@@ -1,0 +1,30 @@
+// F1: the execution-interval distribution claims of Section 3.
+//
+// "Thread execution intervals exhibit a peak at about 3 milliseconds, with about 75% of all
+// execution intervals being between 0 and 5 milliseconds in length ... A second peak is around
+// 45 milliseconds, which is related to the PCR time-slice period ... Between 20% and 50% of the
+// total execution time during any period is accumulated by threads running for periods of 45 to
+// 50 milliseconds." (GVX: 50-70% of intervals under 5 ms; 30-80% of time in 45-50 ms runs.)
+
+#include <iostream>
+
+#include "src/analysis/table.h"
+#include "src/trace/histogram.h"
+
+int main() {
+  std::cout << "=== Experiment F1: execution-interval distributions (Section 3) ===\n\n";
+  std::vector<world::ScenarioResult> results = analysis::RunAllScenarios();
+  analysis::PrintDistributions(std::cout, results);
+
+  // Full histograms for the flagship rows (1 ms buckets; counts of execution intervals).
+  for (const world::ScenarioResult& r : results) {
+    if (r.scenario != world::Scenario::kCedarKeyboard &&
+        r.scenario != world::Scenario::kGvxKeyboard &&
+        r.scenario != world::Scenario::kCedarFormat) {
+      continue;
+    }
+    std::cout << "\nExecution-interval histogram — " << r.name << " (ms buckets):\n";
+    std::cout << r.summary.exec_intervals.Render(60);
+  }
+  return 0;
+}

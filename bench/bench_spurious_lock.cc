@@ -1,0 +1,90 @@
+// F5: spurious lock conflicts (Section 6.1).
+//
+// "A spurious lock conflict occurs between a thread notifying a CV and the thread that it
+// awakens." Birrell saw it on multiprocessors; the paper observed it "even on a uniprocessor,
+// where it occurs when the waiting thread has higher priority than the notifying thread."
+// PCR's fix: "defer processor rescheduling, but not the notification itself, until after
+// monitor exit."
+
+#include <cstdio>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+#include "src/trace/stats.h"
+
+namespace {
+
+struct Result {
+  int64_t spurious = 0;
+  int64_t switches = 0;
+  int64_t notifies = 0;
+};
+
+// `rounds` producer->consumer notifications with the consumer at higher priority than the
+// producer (uniprocessor case) or on another processor (multiprocessor case).
+Result RunNotifyStorm(bool defer_reschedule, int processors, int consumer_priority) {
+  pcr::Config config;
+  config.defer_notify_reschedule = defer_reschedule;
+  config.processors = processors;
+  pcr::Runtime rt(config);
+  pcr::MonitorLock lock(rt.scheduler(), "m");
+  pcr::Condition cv(lock, "cv");
+  constexpr int kRounds = 500;
+  int consumed = 0;
+  int produced = 0;
+  rt.ForkDetached(
+      [&] {
+        pcr::MonitorGuard guard(lock);
+        while (consumed < kRounds) {
+          while (consumed >= produced) {
+            cv.Wait();
+          }
+          ++consumed;
+        }
+      },
+      pcr::ForkOptions{.name = "consumer", .priority = consumer_priority});
+  rt.ForkDetached(
+      [&] {
+        for (int i = 0; i < kRounds; ++i) {
+          pcr::MonitorGuard guard(lock);
+          ++produced;
+          cv.Notify();
+          pcr::thisthread::Compute(50);  // still inside the monitor after the NOTIFY
+        }
+      },
+      pcr::ForkOptions{.name = "producer", .priority = 3});
+  rt.RunUntilQuiescent(60 * pcr::kUsecPerSec);
+  trace::Summary s = trace::Summarize(rt.tracer());
+  rt.Shutdown();
+  return Result{s.spurious_conflicts, s.switches, s.notifies};
+}
+
+void Report(const char* name, bool defer, int processors, int consumer_priority) {
+  Result r = RunNotifyStorm(defer, processors, consumer_priority);
+  std::printf("%-52s %10lld %12lld\n", name, static_cast<long long>(r.spurious),
+              static_cast<long long>(r.switches));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Experiment F5: spurious lock conflicts on NOTIFY (Section 6.1) ===\n");
+  std::printf("500 notifications with the notifier still holding the monitor\n\n");
+  std::printf("%-52s %10s %12s\n", "configuration", "spurious", "switches");
+  for (int i = 0; i < 76; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+  Report("uniprocessor, high-pri waiter, naive notify", false, 1, 6);
+  Report("uniprocessor, high-pri waiter, deferred reschedule", true, 1, 6);
+  Report("uniprocessor, equal-pri waiter, naive notify", false, 1, 3);
+  Report("2 processors, naive notify (Birrell's case)", false, 2, 4);
+  Report("2 processors, deferred reschedule", true, 2, 4);
+  std::printf(
+      "\nPaper: the notified thread 'runs for a few microseconds and then blocks waiting for "
+      "the monitor lock' —\nuseless trips through the scheduler. The deferred-reschedule fix "
+      "'prevents the problem both in the case\nof interpriority notifications and on "
+      "multiprocessors.'\n");
+  return 0;
+}

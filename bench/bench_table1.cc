@@ -1,0 +1,13 @@
+// T1: reproduces Table 1 (forking and thread-switching rates) for all 12 benchmark rows.
+
+#include <iostream>
+
+#include "src/analysis/table.h"
+
+int main() {
+  std::cout << "=== Experiment T1: Table 1 — forking and thread-switching rates ===\n";
+  std::cout << "12 scenarios x 30 virtual seconds (2 s warm-up excluded)\n\n";
+  std::vector<world::ScenarioResult> results = analysis::RunAllScenarios();
+  analysis::PrintTable1(std::cout, results);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// T2: reproduces Table 2: Wait-CV and monitor entry rates for all 12 benchmark rows.
+
+#include <iostream>
+
+#include "src/analysis/table.h"
+
+int main() {
+  std::cout << "=== Experiment T2: Table 2 — Wait-CV and monitor entry rates ===\n";
+  std::cout << "12 scenarios x 30 virtual seconds (2 s warm-up excluded)\n\n";
+  std::vector<world::ScenarioResult> results = analysis::RunAllScenarios();
+  analysis::PrintTable2(std::cout, results);
+  return 0;
+}

@@ -1,0 +1,13 @@
+// T4: reproduces Table 4: static paradigm census for all 12 benchmark rows.
+
+#include <iostream>
+
+#include "src/analysis/table.h"
+
+int main() {
+  std::cout << "=== Experiment T4: Table 4 — static paradigm census ===\n";
+  std::cout << "12 scenarios x 30 virtual seconds (2 s warm-up excluded)\n\n";
+  std::vector<world::ScenarioResult> results = analysis::RunAllScenarios();
+  analysis::PrintTable4(std::cout, results);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// F9: threading Xlib vs Xl (Section 5.6).
+//
+// Compares the thread-safe-retrofit Xlib (clients read the connection under the library
+// monitor, with short read timeouts and flush-before-read) against Xl (a dedicated reader
+// thread, CV-based client timeouts, decoupled output flushing) on the axes the paper discusses:
+// output flushes, time the library mutex is held across reads (the priority-inversion window),
+// and GetEvent timeout fidelity.
+
+#include <cstdio>
+
+#include "src/pcr/interrupt.h"
+#include "src/pcr/runtime.h"
+#include "src/world/xclient.h"
+#include "src/world/xserver.h"
+
+namespace {
+
+struct RunResult {
+  world::XClientStats stats;
+  int64_t server_flushes = 0;
+  int64_t server_requests = 0;
+};
+
+// A workload shared by both designs: 3 client threads alternately draw (SendRequest) and poll
+// for events (GetEvent with a 200 ms timeout); the server delivers sparse events.
+template <typename Client>
+RunResult RunClientWorkload() {
+  pcr::Runtime rt;
+  world::XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "x-connection");
+  Client client(rt, server, connection);
+
+  // Sparse server events: one every ~700 ms.
+  for (int i = 0; i < 40; ++i) {
+    connection.PostAt((300 + i * 700) * pcr::kUsecPerMsec, static_cast<uint64_t>(i));
+  }
+
+  for (int c = 0; c < 3; ++c) {
+    rt.ForkDetached(
+        [&rt, &client, c] {
+          for (int round = 0; round < 120; ++round) {
+            for (int d = 0; d < 5; ++d) {
+              pcr::thisthread::Compute(500);
+              client.SendRequest(world::PaintRequest{rt.now(), c, round * 5 + d});
+            }
+            client.GetEvent(200 * pcr::kUsecPerMsec);
+          }
+        },
+        pcr::ForkOptions{.name = "client-" + std::to_string(c), .priority = 4});
+  }
+  rt.RunFor(30 * pcr::kUsecPerSec);
+  RunResult result;
+  result.stats = client.stats();
+  result.server_flushes = server.flushes();
+  result.server_requests = server.requests_received();
+  rt.Shutdown();
+  return result;
+}
+
+void Print(const char* name, const RunResult& r) {
+  std::printf("%-10s %9lld %9lld %12lld %14lld %16.1f %14.1f\n", name,
+              static_cast<long long>(r.stats.events_delivered),
+              static_cast<long long>(r.stats.get_event_timeouts),
+              static_cast<long long>(r.stats.output_flushes),
+              static_cast<long long>(r.stats.short_read_cycles),
+              r.stats.lock_held_reading_us / 1000.0,
+              r.stats.worst_timeout_overshoot_us / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Experiment F9: multi-threaded Xlib vs Xl (Section 5.6) ===\n");
+  std::printf("3 client threads, 1800 requests, sparse server events, 30 s virtual\n\n");
+  std::printf("%-10s %9s %9s %12s %14s %16s %14s\n", "library", "events", "timeouts",
+              "flushes", "short-reads", "lock-read(ms)", "overshoot(ms)");
+  for (int i = 0; i < 90; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+  RunResult xlib = RunClientWorkload<world::XlibClient>();
+  Print("Xlib", xlib);
+  RunResult xl = RunClientWorkload<world::XlClient>();
+  Print("Xl", xl);
+  std::printf("\nPaper: Xlib's flush-before-read plus short read timeouts 'caused an excessive "
+              "number of output flushes,\ndefeating the throughput gains of batching'; its "
+              "reads hold the library mutex (a priority-inversion window).\nXl's reader thread "
+              "'can block indefinitely', timeouts are 'handled perfectly by the condition "
+              "variable timeout\nmechanism', and output flushes drop to the maintenance/explicit "
+              "ones.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Shared harness for the Section 5.2 / 6.3 slack-process experiments: a lower-priority imaging
+// thread feeding paint requests to a higher-priority X-buffer slack process that flushes merged
+// batches to a model X server with a high per-flush cost.
+
+#ifndef BENCH_SLACK_PIPELINE_H_
+#define BENCH_SLACK_PIPELINE_H_
+
+#include <string>
+
+#include "src/paradigm/slack_process.h"
+#include "src/pcr/runtime.h"
+#include "src/trace/stats.h"
+#include "src/world/xserver.h"
+
+namespace bench {
+
+struct PipelineResult {
+  std::string label;
+  int64_t requests = 0;
+  int64_t flushes = 0;
+  double mean_batch = 0;
+  pcr::Usec completion_us = 0;   // virtual time until the last request reached the server
+  pcr::Usec server_work_us = 0;  // modelled X server work (what merging exists to reduce)
+  pcr::Usec mean_echo_us = 0;
+  pcr::Usec max_echo_us = 0;
+  double switches_per_sec = 0;
+};
+
+struct PipelineConfig {
+  paradigm::SlackPolicy policy = paradigm::SlackPolicy::kYieldButNotToMe;
+  pcr::Usec quantum = 50 * pcr::kUsecPerMsec;
+  pcr::Usec sleep_interval = 10 * pcr::kUsecPerMsec;
+  int requests = 1500;
+  pcr::Usec imaging_cost = 450;        // per paint request produced
+  pcr::Usec server_per_flush = 1200;   // the "high per-transaction cost" downstream
+  pcr::Usec server_per_request = 100;
+  int buffer_priority = 5;             // deliberately above the imaging thread (Section 5.2)
+  int imaging_priority = 4;
+};
+
+inline PipelineResult RunPipeline(std::string label, const PipelineConfig& cfg) {
+  pcr::Config config;
+  config.quantum = cfg.quantum;
+  pcr::Runtime runtime(config);
+  world::XServerModel server(runtime, {cfg.server_per_flush, cfg.server_per_request});
+
+  paradigm::SlackOptions slack_options;
+  slack_options.policy = cfg.policy;
+  slack_options.sleep_interval = cfg.sleep_interval;
+  slack_options.priority = cfg.buffer_priority;
+  paradigm::SlackProcess<world::PaintRequest> buffer(
+      runtime, "x-buffer",
+      [&server](std::vector<world::PaintRequest>&& batch) { server.Send(batch); },
+      [](std::vector<world::PaintRequest>& batch) {
+        world::XServerModel::MergeOverlapping(batch);
+      },
+      slack_options);
+
+  runtime.ForkDetached(
+      [&] {
+        for (int i = 0; i < cfg.requests; ++i) {
+          pcr::thisthread::Compute(cfg.imaging_cost);
+          // Distinct regions so merging does not collapse the batch: we are measuring
+          // *batching*, not merging.
+          buffer.Submit(world::PaintRequest{runtime.now(), 0, i});
+        }
+      },
+      pcr::ForkOptions{.name = "imaging", .priority = cfg.imaging_priority});
+
+  // Run until every request reached the server (checked at 10 ms resolution).
+  pcr::Usec cap = 120 * pcr::kUsecPerSec;
+  while (server.requests_received() < cfg.requests && runtime.now() < cap) {
+    runtime.RunFor(10 * pcr::kUsecPerMsec);
+  }
+
+  PipelineResult result;
+  result.label = std::move(label);
+  result.requests = server.requests_received();
+  result.flushes = server.flushes();
+  result.mean_batch = server.mean_batch();
+  result.completion_us = runtime.now();
+  result.server_work_us = server.server_work();
+  result.mean_echo_us = result.requests > 0
+                            ? server.echo_latency().total_weight() / result.requests
+                            : 0;
+  result.max_echo_us = server.max_echo_latency();
+  trace::Summary summary = trace::Summarize(runtime.tracer());
+  result.switches_per_sec = summary.switches_per_sec;
+  runtime.Shutdown();
+  return result;
+}
+
+inline void PrintPipelineHeader() {
+  std::printf("%-34s %9s %9s %10s %12s %12s %10s %10s\n", "configuration", "flushes",
+              "batch", "compl(ms)", "server(ms)", "switch/s", "echo(ms)", "max(ms)");
+  for (int i = 0; i < 112; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+inline void PrintPipelineRow(const PipelineResult& r) {
+  std::printf("%-34s %9lld %9.1f %10.1f %12.1f %12.0f %10.2f %10.1f\n", r.label.c_str(),
+              static_cast<long long>(r.flushes), r.mean_batch, r.completion_us / 1000.0,
+              r.server_work_us / 1000.0, r.switches_per_sec, r.mean_echo_us / 1000.0,
+              r.max_echo_us / 1000.0);
+}
+
+}  // namespace bench
+
+#endif  // BENCH_SLACK_PIPELINE_H_

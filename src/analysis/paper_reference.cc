@@ -1,0 +1,57 @@
+#include "src/analysis/paper_reference.h"
+
+#include <array>
+
+namespace analysis {
+
+namespace {
+
+// Tables 1-3, transcribed from the paper. Timeout percentages are the midpoints implied by
+// Table 2's per-row values.
+constexpr std::array<PaperRow, 12> kRows = {{
+    {world::Scenario::kCedarIdle, 0.9, 132, 121, 82, 414, 22, 554},
+    {world::Scenario::kCedarKeyboard, 5.0, 269, 185, 48, 2557, 32, 918},
+    {world::Scenario::kCedarMouse, 1.0, 191, 163, 58, 1025, 26, 734},
+    {world::Scenario::kCedarScroll, 0.7, 172, 115, 69, 2032, 30, 797},
+    {world::Scenario::kCedarFormat, 3.6, 171, 130, 72, 2739, 46, 1060},
+    {world::Scenario::kCedarPreview, 1.6, 222, 157, 56, 1335, 32, 938},
+    {world::Scenario::kCedarMake, 0.3, 170, 158, 61, 2218, 24, 1296},
+    {world::Scenario::kCedarCompile, 0.3, 135, 119, 82, 1365, 36, 2900},
+    {world::Scenario::kGvxIdle, 0.0, 33, 32, 99, 366, 5, 48},
+    {world::Scenario::kGvxKeyboard, 0.0, 60, 38, 42, 1436, 7, 204},
+    {world::Scenario::kGvxMouse, 0.0, 34, 33, 96, 410, 5, 52},
+    {world::Scenario::kGvxScroll, 0.0, 43, 25, 61, 691, 6, 209},
+}};
+
+// Table 4 ("Static Counts of Paradigm Uses"), Cedar total 348, GVX total 234.
+constexpr std::array<PaperCensusRow, 11> kCensus = {{
+    {trace::Paradigm::kDeferWork, 108, 77},
+    {trace::Paradigm::kGeneralPump, 48, 33},
+    {trace::Paradigm::kSlackProcess, 7, 2},
+    {trace::Paradigm::kSleeper, 67, 15},
+    {trace::Paradigm::kOneShot, 25, 11},
+    {trace::Paradigm::kDeadlockAvoidance, 35, 6},
+    {trace::Paradigm::kTaskRejuvenation, 11, 0},
+    {trace::Paradigm::kSerializer, 5, 7},
+    {trace::Paradigm::kEncapsulatedFork, 14, 5},
+    {trace::Paradigm::kConcurrencyExploiter, 3, 0},
+    {trace::Paradigm::kUnknown, 25, 78},
+}};
+
+}  // namespace
+
+const PaperRow& PaperReference(world::Scenario scenario) {
+  for (const PaperRow& row : kRows) {
+    if (row.scenario == scenario) {
+      return row;
+    }
+  }
+  return kRows[0];
+}
+
+const PaperCensusRow* PaperCensus(int* count) {
+  *count = static_cast<int>(kCensus.size());
+  return kCensus.data();
+}
+
+}  // namespace analysis

@@ -1,0 +1,40 @@
+// The published numbers from Tables 1-4 of Hauser et al., SOSP '93, as machine-readable
+// constants, so every bench can print paper-vs-measured side by side.
+
+#ifndef SRC_ANALYSIS_PAPER_REFERENCE_H_
+#define SRC_ANALYSIS_PAPER_REFERENCE_H_
+
+#include <optional>
+#include <string_view>
+
+#include "src/trace/census.h"
+#include "src/world/scenarios.h"
+
+namespace analysis {
+
+struct PaperRow {
+  world::Scenario scenario;
+  double forks_per_sec;      // Table 1
+  double switches_per_sec;   // Table 1
+  double waits_per_sec;      // Table 2
+  double timeout_percent;    // Table 2
+  double ml_enters_per_sec;  // Table 2
+  int distinct_cvs;          // Table 3
+  int distinct_mls;          // Table 3
+};
+
+// Returns the published row for a scenario.
+const PaperRow& PaperReference(world::Scenario scenario);
+
+struct PaperCensusRow {
+  trace::Paradigm paradigm;
+  int cedar_count;    // Table 4, Cedar column (total 348)
+  int gvx_count;      // Table 4, GVX column (total 234)
+};
+
+// The full published Table 4.
+const PaperCensusRow* PaperCensus(int* count);
+
+}  // namespace analysis
+
+#endif  // SRC_ANALYSIS_PAPER_REFERENCE_H_

@@ -1,0 +1,48 @@
+// Per-thread profiles from a trace window.
+//
+// Section 3: "Typically, most of the monitor/condition variable traffic is observed in about 10
+// to 15 different threads, with the worker thread of a benchmark activity dominating the
+// numbers. The other active threads exhibit approximately equal traffic." This module recovers
+// that per-thread view (CPU time, monitor entries, CV waits, forks) from the event trace.
+
+#ifndef SRC_ANALYSIS_PROFILE_H_
+#define SRC_ANALYSIS_PROFILE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/trace/tracer.h"
+
+namespace analysis {
+
+struct ThreadProfile {
+  trace::ThreadId thread = 0;
+  trace::Usec cpu_us = 0;
+  int64_t ml_enters = 0;
+  int64_t cv_waits = 0;
+  int64_t forks = 0;  // children forked by this thread
+};
+
+struct ProfileSummary {
+  std::vector<ThreadProfile> threads;  // sorted by monitor/CV traffic, descending
+
+  // How many threads carry `fraction` (e.g. 0.9) of all monitor+CV traffic — the paper's
+  // "about 10 to 15 different threads".
+  int ThreadsCarryingTraffic(double fraction) const;
+
+  // Share of monitor/CV traffic attributable to the single busiest thread.
+  double DominantTrafficShare() const;
+};
+
+// Builds per-thread profiles over [window_begin, window_end) (0/0 = whole trace).
+ProfileSummary ProfileThreads(const trace::Tracer& tracer, trace::Usec window_begin = 0,
+                              trace::Usec window_end = 0);
+
+// Renders the top `top_n` threads as a table.
+void PrintThreadProfile(std::ostream& os, const ProfileSummary& profile, int top_n = 15);
+
+}  // namespace analysis
+
+#endif  // SRC_ANALYSIS_PROFILE_H_

@@ -1,0 +1,36 @@
+// Table rendering for the reproduction benches: paper-vs-measured rows in the layout of the
+// paper's Tables 1-4.
+
+#ifndef SRC_ANALYSIS_TABLE_H_
+#define SRC_ANALYSIS_TABLE_H_
+
+#include <iosfwd>
+#include <vector>
+
+#include "src/world/scenarios.h"
+
+namespace analysis {
+
+// Runs every scenario (or the given subset) once and renders the requested table. All Table
+// printers share scenario results, so benches typically call RunAllScenarios once.
+std::vector<world::ScenarioResult> RunAllScenarios(world::ScenarioOptions options = {});
+
+// Table 1: forking and thread-switching rates.
+void PrintTable1(std::ostream& os, const std::vector<world::ScenarioResult>& results);
+
+// Table 2: Wait-CV rates, timeout percentages, monitor entry rates (+ contention, from the
+// Section 3 text).
+void PrintTable2(std::ostream& os, const std::vector<world::ScenarioResult>& results);
+
+// Table 3: number of distinct CVs and monitor locks used.
+void PrintTable3(std::ostream& os, const std::vector<world::ScenarioResult>& results);
+
+// Table 4: static paradigm census (ours) against the paper's counts.
+void PrintTable4(std::ostream& os, const std::vector<world::ScenarioResult>& results);
+
+// Section 3 extras: execution-interval distribution, per-priority time, genealogy.
+void PrintDistributions(std::ostream& os, const std::vector<world::ScenarioResult>& results);
+
+}  // namespace analysis
+
+#endif  // SRC_ANALYSIS_TABLE_H_

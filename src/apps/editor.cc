@@ -1,0 +1,242 @@
+#include "src/apps/editor.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "src/paradigm/defer.h"
+#include "src/paradigm/fork_helpers.h"
+
+namespace apps {
+
+namespace {
+constexpr pcr::Usec kMs = pcr::kUsecPerMsec;
+
+// Toy spellcheck heuristic: words without vowels look suspicious.
+bool LooksMisspelled(const std::string& word) {
+  if (word.size() < 3) {
+    return false;
+  }
+  for (char c : word) {
+    if (std::string_view("aeiouyAEIOUY").find(c) != std::string_view::npos) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Editor::Editor(pcr::Runtime& runtime, world::XServerModel& xserver,
+               pcr::Usec file_server_latency)
+    : runtime_(runtime), xserver_(xserver), file_server_latency_(file_server_latency),
+      keyboard_(runtime.scheduler(), "editor-keyboard"),
+      edits_(runtime.scheduler(), "editor-edits", /*capacity=*/0),
+      doc_lock_(runtime.scheduler(), "editor-document"),
+      macro_queue_(runtime.scheduler(), "editor-macros", /*capacity=*/0),
+      save_timeout_(paradigm::AdaptiveTimeoutOptions{.initial = 20 * kMs, .floor = kMs}) {
+  background_ = std::make_unique<paradigm::WorkQueue>(
+      runtime_, "editor-background",
+      paradigm::WorkQueueOptions{.workers = 2, .priority = 2});
+  revert_button_ = std::make_unique<paradigm::GuardedButton>(
+      runtime_, "revert-document", [this] {
+        pcr::MonitorGuard guard(doc_lock_);
+        lines_.assign(1, "");
+        undo_log_.clear();
+        ++version_;
+        ++stats_.reverts;
+      });
+  StartRepaint();
+  StartEditThread();
+  StartAutosave();
+  StartMacroEngine();
+}
+
+Editor::~Editor() { runtime_.Shutdown(); }
+
+void Editor::StartRepaint() {
+  paradigm::SlackOptions options;
+  // Sleep-based batching: typing is slower than the imaging bursts of Section 5.2, so the
+  // buffer thread sleeps a beat and gathers a tick's worth of damage (fine at this quantum,
+  // per the Section 6.3 analysis).
+  options.policy = paradigm::SlackPolicy::kSleep;
+  options.sleep_interval = 10 * kMs;
+  options.priority = 5;
+  repaint_ = std::make_unique<paradigm::SlackProcess<world::PaintRequest>>(
+      runtime_, "editor-repaint",
+      [this](std::vector<world::PaintRequest>&& batch) { xserver_.Send(batch); },
+      [](std::vector<world::PaintRequest>& batch) {
+        world::XServerModel::MergeOverlapping(batch);
+      },
+      options);
+}
+
+void Editor::StartEditThread() {
+  // The keystroke pipeline: interrupt -> edit applier (a pump into the document).
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          uint64_t payload = keyboard_.Await();
+          ++stats_.keystrokes;
+          ApplyKey(static_cast<uint32_t>(payload), runtime_.now());
+        }
+      },
+      pcr::ForkOptions{.name = "editor-input", .priority = 6});
+}
+
+void Editor::ApplyKey(uint32_t key, pcr::Usec pressed_at) {
+  std::string completed_word;
+  int damaged_line;
+  {
+    pcr::MonitorGuard guard(doc_lock_);
+    if (key == kKeyUndo) {
+      ApplyUndo();
+      damaged_line = static_cast<int>(lines_.size()) - 1;
+    } else {
+      undo_log_.push_back(lines_);
+      if (key == kKeyNewline) {
+        completed_word = std::exchange(current_word_, "");
+        lines_.emplace_back();
+      } else {
+        char c = static_cast<char>(key);
+        lines_.back().push_back(c);
+        if (c == ' ') {
+          completed_word = std::exchange(current_word_, "");
+        } else {
+          current_word_.push_back(c);
+        }
+      }
+      ++stats_.edits_applied;
+      ++version_;
+      damaged_line = static_cast<int>(lines_.size()) - 1;
+    }
+    pcr::thisthread::Compute(80);  // glyph layout for the damaged line
+  }
+  repaint_->Submit(world::PaintRequest{pressed_at, 0, damaged_line});
+  if (!completed_word.empty()) {
+    // Spellchecking is not needed for the keystroke to echo: defer it (Section 4.1).
+    paradigm::DeferWork(
+        runtime_, [this, word = std::move(completed_word)] { SpellcheckWord(word); },
+        paradigm::DeferOptions{.name = "spellcheck", .priority = 2});
+  }
+}
+
+void Editor::ApplyUndo() {
+  if (!undo_log_.empty()) {
+    lines_ = std::move(undo_log_.back());
+    undo_log_.pop_back();
+    if (lines_.empty()) {
+      lines_.emplace_back();
+    }
+    ++version_;
+    ++stats_.undos;
+    current_word_.clear();
+  }
+}
+
+void Editor::SpellcheckWord(std::string word) {
+  pcr::thisthread::Compute(300);  // dictionary probe
+  ++stats_.spellcheck_passes;
+  if (LooksMisspelled(word)) {
+    ++stats_.suspect_words;
+    repaint_->Submit(world::PaintRequest{runtime_.now(), 0, 1'000'000});  // squiggle
+  }
+}
+
+void Editor::StartAutosave() {
+  autosave_ = std::make_unique<paradigm::Sleeper>(
+      runtime_, "editor-autosave", 2 * pcr::kUsecPerSec,
+      [this] {
+        std::vector<std::string> snapshot;
+        {
+          pcr::MonitorGuard guard(doc_lock_);
+          snapshot = lines_;
+        }
+        // The write itself happens on the background pool, off the autosave sleeper.
+        background_->Submit(
+            [this, snapshot = std::move(snapshot)] { SaveSnapshot(snapshot); });
+      },
+      /*priority=*/3);
+}
+
+void Editor::SaveSnapshot(std::vector<std::string> snapshot) {
+  // Mock file-server RPC with end-to-end adaptive timeout: if the "server" responds within the
+  // current budget the save commits; otherwise we record a retry and back the timeout off.
+  pcr::Usec budget = save_timeout_.current();
+  pcr::Usec started = runtime_.now();
+  pcr::Usec work = file_server_latency_ +
+                   static_cast<pcr::Usec>(snapshot.size()) * 50;  // size-dependent write
+  pcr::thisthread::Compute(std::min(work, budget));
+  if (work > budget) {
+    ++stats_.save_retries;
+    save_timeout_.RecordTimeout();
+    pcr::thisthread::Compute(work - budget);  // the retry completes the write
+  }
+  save_timeout_.RecordResponse(runtime_.now() - started);
+  ++stats_.autosaves;
+}
+
+void Editor::StartMacroEngine() {
+  macro_engine_ = std::make_unique<paradigm::RejuvenatingTask>(
+      runtime_, "editor-macro-engine",
+      [this] {
+        while (true) {
+          std::optional<std::string> macro = macro_queue_.Take();
+          if (!macro.has_value()) {
+            return;
+          }
+          if (*macro == "crash") {
+            ++stats_.macro_crashes;
+            throw std::runtime_error("macro dereferenced a dead buffer");
+          }
+          if (*macro == "upcase") {
+            pcr::MonitorGuard guard(doc_lock_);
+            for (char& c : lines_.front()) {
+              c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+            }
+            ++version_;
+          }
+          pcr::thisthread::Compute(kMs);
+        }
+      },
+      paradigm::RejuvenateOptions{.priority = 3});
+}
+
+void Editor::TypeText(std::string_view text, pcr::Usec start, double rate) {
+  auto gap = static_cast<pcr::Usec>(1e6 / rate);
+  pcr::Usec when = start;
+  for (char c : text) {
+    uint32_t key = c == '\n' ? kKeyNewline : static_cast<uint32_t>(c);
+    keyboard_.PostAt(when, key);
+    when += gap;
+  }
+}
+
+void Editor::PressUndoAt(pcr::Usec when) { keyboard_.PostAt(when, kKeyUndo); }
+
+void Editor::ClickRevertAt(pcr::Usec when) {
+  paradigm::DelayedFork(runtime_, when - runtime_.now(), [this] {
+    revert_button_->Click();
+    pcr::thisthread::Sleep(400 * kMs);  // past the arming period
+    revert_button_->Click();
+  });
+}
+
+void Editor::RunMacro(std::string name) { macro_queue_.TryPut(std::move(name)); }
+
+std::vector<std::string> Editor::Lines() {
+  if (runtime_.scheduler().current() == pcr::kNoThread) {
+    return lines_;
+  }
+  pcr::MonitorGuard guard(doc_lock_);
+  return lines_;
+}
+
+std::string Editor::FirstLine() {
+  if (runtime_.scheduler().current() == pcr::kNoThread) {
+    return lines_.front();
+  }
+  pcr::MonitorGuard guard(doc_lock_);
+  return lines_.front();
+}
+
+}  // namespace apps

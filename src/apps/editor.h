@@ -1,0 +1,125 @@
+// A miniature interactive text editor built entirely on the public pcr/paradigm API — the kind
+// of Cedar application the paper's thread census is full of. It exists to prove the library
+// composes: one downstream component using, at once,
+//
+//   * a monitored document record (Section 2's data-associated locking variant),
+//   * the keystroke pipeline: interrupt source -> edit-applier pump -> repaint slack process,
+//   * deferred work for spellchecking ("defer work" — Section 4.1),
+//   * an autosave sleeper whose disk writes go through a worker pool,
+//   * an undo log, a guarded "revert all" button (one-shots — Section 4.3),
+//   * a task-rejuvenating macro engine (Section 4.5), and
+//   * an adaptive timeout for the mock file-server RPC (Section 5.5 future work).
+
+#ifndef SRC_APPS_EDITOR_H_
+#define SRC_APPS_EDITOR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/paradigm/adaptive_timeout.h"
+#include "src/paradigm/bounded_buffer.h"
+#include "src/paradigm/one_shot.h"
+#include "src/paradigm/rejuvenate.h"
+#include "src/paradigm/slack_process.h"
+#include "src/paradigm/sleeper.h"
+#include "src/paradigm/work_queue.h"
+#include "src/pcr/interrupt.h"
+#include "src/pcr/runtime.h"
+#include "src/world/xserver.h"
+
+namespace apps {
+
+// Key codes above the printable range.
+inline constexpr uint32_t kKeyNewline = 0x100;
+inline constexpr uint32_t kKeyUndo = 0x101;
+
+struct EditorStats {
+  int64_t keystrokes = 0;
+  int64_t edits_applied = 0;
+  int64_t undos = 0;
+  int64_t autosaves = 0;
+  int64_t save_retries = 0;       // RPC timeouts the adaptive controller absorbed
+  int64_t spellcheck_passes = 0;
+  int64_t suspect_words = 0;      // "misspellings" flagged by the toy checker
+  int64_t macro_crashes = 0;      // macro-engine rejuvenations
+  int64_t reverts = 0;            // guarded-button confirmed reverts
+};
+
+class Editor {
+ public:
+  // `file_server_latency` simulates the remote filesystem the autosave talks to; the adaptive
+  // timeout has to track it.
+  Editor(pcr::Runtime& runtime, world::XServerModel& xserver,
+         pcr::Usec file_server_latency = 3 * pcr::kUsecPerMsec);
+  ~Editor();
+
+  Editor(const Editor&) = delete;
+  Editor& operator=(const Editor&) = delete;
+
+  // Scripts `text` as keystrokes starting at `start`, `rate` characters/second. '\n' becomes
+  // the newline key. Callable from the host before running.
+  void TypeText(std::string_view text, pcr::Usec start, double rate);
+
+  // Presses the undo key at `when`.
+  void PressUndoAt(pcr::Usec when);
+
+  // Clicks the guarded revert-document button at `when` (twice, correctly spaced, confirms).
+  void ClickRevertAt(pcr::Usec when);
+
+  // Runs a named macro on the macro engine; "crash" deliberately fails (rejuvenation demo),
+  // "upcase" upcases the first line.
+  void RunMacro(std::string name);
+
+  // Snapshot of the document (host or fiber context; takes the document monitor when running).
+  std::vector<std::string> Lines();
+  std::string FirstLine();
+  int64_t version() const { return version_; }
+  const EditorStats& stats() const { return stats_; }
+
+  pcr::InterruptSource& keyboard() { return keyboard_; }
+
+ private:
+  struct EditOp {
+    uint32_t key;
+    pcr::Usec pressed_at;
+  };
+
+  void StartEditThread();
+  void StartRepaint();
+  void StartAutosave();
+  void StartMacroEngine();
+  void ApplyKey(uint32_t key, pcr::Usec pressed_at);
+  void ApplyUndo();
+  void SpellcheckWord(std::string word);
+  void SaveSnapshot(std::vector<std::string> snapshot);
+
+  pcr::Runtime& runtime_;
+  world::XServerModel& xserver_;
+  pcr::Usec file_server_latency_;
+
+  pcr::InterruptSource keyboard_;
+  paradigm::BoundedBuffer<EditOp> edits_;
+
+  // The document: a monitored record.
+  pcr::MonitorLock doc_lock_;
+  std::vector<std::string> lines_{1};
+  std::vector<std::vector<std::string>> undo_log_;
+  int64_t version_ = 0;
+  std::string current_word_;
+
+  std::unique_ptr<paradigm::SlackProcess<world::PaintRequest>> repaint_;
+  std::unique_ptr<paradigm::Sleeper> autosave_;
+  std::unique_ptr<paradigm::WorkQueue> background_;
+  std::unique_ptr<paradigm::GuardedButton> revert_button_;
+  std::unique_ptr<paradigm::RejuvenatingTask> macro_engine_;
+  paradigm::BoundedBuffer<std::string> macro_queue_;
+  paradigm::AdaptiveTimeout save_timeout_;
+
+  EditorStats stats_;
+};
+
+}  // namespace apps
+
+#endif  // SRC_APPS_EDITOR_H_

@@ -1,0 +1,71 @@
+// Adaptive timeout tuning — the Section 5.5 future-work idea, implemented.
+//
+// "timeouts related to processor speeds, or more insidiously, to expected network server
+// response times, are more difficult to specify simply for all time. This may be an area of
+// future research. For instance, dynamically tuning application timeout values based on
+// end-to-end system performance may be a workable solution."
+//
+// The controller keeps an exponentially-weighted estimate of observed end-to-end response
+// times and sets the timeout to a headroom multiple of it; timeouts themselves push the
+// estimate up (multiplicative backoff), so a service that genuinely slowed down stops
+// generating false alarms after a few observations.
+
+#ifndef SRC_PARADIGM_ADAPTIVE_TIMEOUT_H_
+#define SRC_PARADIGM_ADAPTIVE_TIMEOUT_H_
+
+#include <algorithm>
+
+#include "src/pcr/ids.h"
+
+namespace paradigm {
+
+struct AdaptiveTimeoutOptions {
+  pcr::Usec initial = 100 * pcr::kUsecPerMsec;
+  pcr::Usec floor = 5 * pcr::kUsecPerMsec;    // never trigger-happier than this
+  pcr::Usec ceiling = 10 * pcr::kUsecPerSec;  // never more patient than this
+  double smoothing = 0.2;   // EWMA weight of a new response-time sample
+  double headroom = 3.0;    // timeout = headroom * smoothed response time
+  double backoff = 2.0;     // multiplicative widening after a timeout fires
+};
+
+class AdaptiveTimeout {
+ public:
+  explicit AdaptiveTimeout(AdaptiveTimeoutOptions options = {})
+      : options_(options),
+        smoothed_(static_cast<double>(options.initial) / options.headroom) {}
+
+  // The timeout to use for the next wait.
+  pcr::Usec current() const {
+    auto timeout = static_cast<pcr::Usec>(smoothed_ * options_.headroom);
+    return std::clamp(timeout, options_.floor, options_.ceiling);
+  }
+
+  // A successful end-to-end response took `elapsed`; track it.
+  void RecordResponse(pcr::Usec elapsed) {
+    smoothed_ = (1.0 - options_.smoothing) * smoothed_ +
+                options_.smoothing * static_cast<double>(elapsed);
+    ++responses_;
+  }
+
+  // A wait timed out: either the service is down or our model of it is stale. Widen so that a
+  // merely-slower service stops alarming ("the system can become timeout driven" when constants
+  // go stale the other way, Section 5.3).
+  void RecordTimeout() {
+    smoothed_ = std::min(smoothed_ * options_.backoff,
+                         static_cast<double>(options_.ceiling) / options_.headroom);
+    ++timeouts_;
+  }
+
+  int64_t responses() const { return responses_; }
+  int64_t timeouts() const { return timeouts_; }
+
+ private:
+  AdaptiveTimeoutOptions options_;
+  double smoothed_;
+  int64_t responses_ = 0;
+  int64_t timeouts_ = 0;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_ADAPTIVE_TIMEOUT_H_

@@ -1,0 +1,157 @@
+// Bounded producer/consumer buffer — the connective tissue of pump pipelines.
+//
+// "Bounded buffers and external devices are two common sources and sinks [for pumps]. The
+// former occur in several implementations in our systems for connecting threads together"
+// (Section 4.2). Implemented exactly as Mesa code would: one monitor, two condition variables,
+// and WAIT-in-a-loop predicates.
+
+#ifndef SRC_PARADIGM_BOUNDED_BUFFER_H_
+#define SRC_PARADIGM_BOUNDED_BUFFER_H_
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/scheduler.h"
+
+namespace paradigm {
+
+template <typename T>
+class BoundedBuffer {
+ public:
+  // `capacity` = 0 means unbounded. `wait_timeout` configures the CV timeout used by blocked
+  // producers/consumers (-1: none); the measured systems lean heavily on CV timeouts (Table 2).
+  BoundedBuffer(pcr::Scheduler& scheduler, std::string name, size_t capacity,
+                pcr::Usec wait_timeout = -1)
+      : capacity_(capacity), lock_(scheduler, name + ".lock"),
+        not_empty_(lock_, name + ".not-empty", wait_timeout),
+        not_full_(lock_, name + ".not-full", wait_timeout) {}
+
+  // Blocks while the buffer is full. Returns false (dropping the item) if the buffer is closed.
+  bool Put(T item) {
+    pcr::MonitorGuard guard(lock_);
+    while (capacity_ != 0 && items_.size() >= capacity_ && !closed_) {
+      not_full_.Wait();
+    }
+    if (closed_) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.Notify();
+    return true;
+  }
+
+  // Non-blocking Put; false when full or closed. Usable from the host context during setup
+  // (the simulation is not running then, so the unlocked path is race-free).
+  bool TryPut(T item) {
+    if (OnHost()) {
+      if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+      not_empty_.Notify();  // host-context notify wakes a blocked consumer directly
+      return true;
+    }
+    pcr::MonitorGuard guard(lock_);
+    if (closed_ || (capacity_ != 0 && items_.size() >= capacity_)) {
+      return false;
+    }
+    items_.push_back(std::move(item));
+    not_empty_.Notify();
+    return true;
+  }
+
+  // Blocks while empty. Returns nullopt only once the buffer is closed and drained.
+  std::optional<T> Take() {
+    pcr::MonitorGuard guard(lock_);
+    while (items_.empty() && !closed_) {
+      not_empty_.Wait();
+    }
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.Notify();
+    return item;
+  }
+
+  // Non-blocking Take. Usable from the host context (e.g. draining results after a run).
+  std::optional<T> TryTake() {
+    if (OnHost()) {
+      if (items_.empty()) {
+        return std::nullopt;
+      }
+      T item = std::move(items_.front());
+      items_.pop_front();
+      return item;
+    }
+    pcr::MonitorGuard guard(lock_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.Notify();
+    return item;
+  }
+
+  // Drains every queued item at once (used by slack processes to batch). Host-callable.
+  std::deque<T> TakeAll() {
+    if (OnHost()) {
+      std::deque<T> all;
+      all.swap(items_);
+      return all;
+    }
+    pcr::MonitorGuard guard(lock_);
+    std::deque<T> all;
+    all.swap(items_);
+    if (capacity_ != 0) {
+      not_full_.Broadcast();
+    }
+    return all;
+  }
+
+  // After Close, Puts are rejected and Takes drain the remainder then return nullopt.
+  void Close() {
+    if (OnHost()) {
+      closed_ = true;
+      not_empty_.Broadcast();  // host-context broadcast wakes blocked takers directly
+      not_full_.Broadcast();
+      return;
+    }
+    pcr::MonitorGuard guard(lock_);
+    closed_ = true;
+    not_empty_.Broadcast();
+    not_full_.Broadcast();
+  }
+
+  size_t size() {
+    if (OnHost()) {
+      return items_.size();
+    }
+    pcr::MonitorGuard guard(lock_);
+    return items_.size();
+  }
+
+  bool closed() const { return closed_; }
+
+  pcr::MonitorLock& lock() { return lock_; }
+
+ private:
+  bool OnHost() { return lock_.scheduler().current() == pcr::kNoThread; }
+
+  const size_t capacity_;
+  pcr::MonitorLock lock_;
+  pcr::Condition not_empty_;
+  pcr::Condition not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_BOUNDED_BUFFER_H_

@@ -1,0 +1,58 @@
+// Deadlock avoidance by forking (Section 4.4).
+//
+// "Cedar often uses FORK to avoid violating lock order constraints... It is far simpler to fork
+// the painting threads, unwind the adjuster completely and let the painters acquire the locks
+// that they need in separate threads." The forked thread starts with an empty lock set, so it
+// can acquire locks in canonical order that the forking thread — already holding some locks —
+// could not take without risking a cycle.
+
+#ifndef SRC_PARADIGM_DEADLOCK_AVOIDER_H_
+#define SRC_PARADIGM_DEADLOCK_AVOIDER_H_
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+struct AvoiderOptions {
+  std::string name = "lock-avoider";
+  int priority = pcr::kDefaultPriority;
+};
+
+// Forks a detached thread that acquires `locks` in canonical (object-id) order and then runs
+// `work` with all of them held. The canonical order is what makes the forked acquisition safe
+// against other avoider threads.
+inline pcr::ThreadId ForkWithLocks(pcr::Runtime& runtime, std::vector<pcr::MonitorLock*> locks,
+                                   std::function<void()> work, AvoiderOptions options = {}) {
+  std::sort(locks.begin(), locks.end(),
+            [](const pcr::MonitorLock* a, const pcr::MonitorLock* b) { return a->id() < b->id(); });
+  return runtime.ForkDetached(
+      [locks = std::move(locks), work = std::move(work)] {
+        size_t acquired = 0;
+        auto release = [&] {
+          while (acquired > 0) {
+            locks[--acquired]->Exit();
+          }
+        };
+        try {
+          for (; acquired < locks.size(); ++acquired) {
+            locks[acquired]->Enter();
+          }
+          work();
+        } catch (...) {
+          release();
+          throw;
+        }
+        release();
+      },
+      pcr::ForkOptions{.name = std::move(options.name), .priority = options.priority});
+}
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_DEADLOCK_AVOIDER_H_

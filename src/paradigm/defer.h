@@ -1,0 +1,45 @@
+// Work deferral: "the single most common use of forking in these systems. A procedure can often
+// reduce the latency seen by its clients by forking a thread to do work not required for the
+// procedure's return value" (Section 4.1).
+
+#ifndef SRC_PARADIGM_DEFER_H_
+#define SRC_PARADIGM_DEFER_H_
+
+#include <functional>
+#include <string>
+
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+struct DeferOptions {
+  std::string name = "deferred-work";
+  // Deferred work typically runs below the critical thread that spawned it: "Forking the real
+  // work allows it to be done in a lower priority thread" (Section 4.1).
+  int priority = pcr::kDefaultPriority;
+};
+
+// Forks `work` as a detached thread and returns immediately — latency reduction for the caller.
+// Returns the thread id (callers almost never keep it; that is the point of the paradigm).
+inline pcr::ThreadId DeferWork(pcr::Runtime& runtime, std::function<void()> work,
+                               DeferOptions options = {}) {
+  return runtime.ForkDetached(
+      std::move(work),
+      pcr::ForkOptions{.name = std::move(options.name), .priority = options.priority});
+}
+
+// Callback dispatch with the classic `fork boolean` interface: "Many modules that do callbacks
+// offer a fork boolean parameter in their interface... The default is almost always TRUE"
+// (Section 4.8). Unforked callbacks couple the caller's fate to the callback's.
+inline void InvokeCallback(pcr::Runtime& runtime, std::function<void()> callback,
+                           bool fork = true, DeferOptions options = {}) {
+  if (fork) {
+    DeferWork(runtime, std::move(callback), std::move(options));
+  } else {
+    callback();
+  }
+}
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_DEFER_H_

@@ -1,0 +1,31 @@
+#include "src/paradigm/fork_helpers.h"
+
+namespace paradigm {
+
+PeriodicalFork::PeriodicalFork(pcr::Runtime& runtime, std::string name, pcr::Usec period,
+                               std::function<void()> action, pcr::ForkOptions child_options,
+                               std::function<bool()> gate) {
+  if (child_options.name.empty()) {
+    child_options.name = name + ".child";
+  }
+  auto cancelled = cancelled_;
+  auto forks = forks_;
+  runtime.ForkDetached(
+      [&runtime, cancelled, forks, period, action = std::move(action),
+       child_options = std::move(child_options), gate = std::move(gate)] {
+        while (!*cancelled) {
+          pcr::thisthread::Sleep(period);
+          if (*cancelled) {
+            break;
+          }
+          if (gate && !gate()) {
+            continue;  // gated off: no transient fork this period
+          }
+          runtime.ForkDetached(action, child_options);
+          ++*forks;
+        }
+      },
+      pcr::ForkOptions{.name = std::move(name), .priority = pcr::kDefaultPriority});
+}
+
+}  // namespace paradigm

@@ -1,0 +1,54 @@
+// Encapsulated forks (Section 4.8): "modules that encapsulate the paradigms" — DelayedFork
+// (one-shot; see also one_shot.h for the richer cancellable form) and PeriodicalFork ("simply a
+// DelayedFork that repeats over and over again at fixed intervals").
+
+#ifndef SRC_PARADIGM_FORK_HELPERS_H_
+#define SRC_PARADIGM_FORK_HELPERS_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+// Calls `action` in a fresh thread after `delay` of virtual time.
+inline pcr::ThreadId DelayedFork(pcr::Runtime& runtime, pcr::Usec delay,
+                                 std::function<void()> action,
+                                 pcr::ForkOptions options = {}) {
+  if (options.name.empty()) {
+    options.name = "delayed-fork";
+  }
+  return runtime.ForkDetached(
+      [delay, action = std::move(action)] {
+        pcr::thisthread::Sleep(delay);
+        action();
+      },
+      std::move(options));
+}
+
+// Forks a *fresh transient thread* running `action` every `period` — unlike Sleeper, which runs
+// the action on its own eternal thread. This is the shape behind the measured systems' steady
+// trickle of transient forks even when idle (Section 3: "an idle Cedar system ... forks a
+// transient thread once a second on average").
+class PeriodicalFork {
+ public:
+  // `gate` (optional): evaluated each period *before* forking; when it returns false no child
+  // is forked at all (used by workloads that quiesce background forking while busy).
+  PeriodicalFork(pcr::Runtime& runtime, std::string name, pcr::Usec period,
+                 std::function<void()> action,
+                 pcr::ForkOptions child_options = {},
+                 std::function<bool()> gate = nullptr);
+
+  void Cancel() { *cancelled_ = true; }
+  int64_t forks() const { return *forks_; }
+
+ private:
+  std::shared_ptr<bool> cancelled_ = std::make_shared<bool>(false);
+  std::shared_ptr<int64_t> forks_ = std::make_shared<int64_t>(0);
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_FORK_HELPERS_H_

@@ -1,0 +1,56 @@
+// Typed fork/join: Mesa's FORK returns a thread whose JOIN yields the procedure's return value
+// (Section 2). The core runtime forks void bodies; Future layers the value channel on top.
+
+#ifndef SRC_PARADIGM_FUTURE_H_
+#define SRC_PARADIGM_FUTURE_H_
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  // Blocks (JOINs) until the producing thread finishes and returns its value. May be called at
+  // most once; rethrows any exception that escaped the producer.
+  T Get() {
+    runtime_->Join(tid_);
+    return std::move(*state_->value);
+  }
+
+  pcr::ThreadId thread() const { return tid_; }
+
+ private:
+  template <typename U, typename Fn>
+  friend Future<U> ForkValue(pcr::Runtime& runtime, Fn fn, pcr::ForkOptions options);
+
+  struct State {
+    std::optional<T> value;
+  };
+
+  pcr::Runtime* runtime_ = nullptr;
+  pcr::ThreadId tid_ = pcr::kNoThread;
+  std::shared_ptr<State> state_;
+};
+
+// FORKs `fn` and returns a Future for its result.
+template <typename T, typename Fn>
+Future<T> ForkValue(pcr::Runtime& runtime, Fn fn, pcr::ForkOptions options = {}) {
+  Future<T> future;
+  future.runtime_ = &runtime;
+  future.state_ = std::make_shared<typename Future<T>::State>();
+  auto state = future.state_;
+  future.tid_ = runtime.Fork([state, fn = std::move(fn)] { state->value.emplace(fn()); },
+                             std::move(options));
+  return future;
+}
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_FUTURE_H_

@@ -1,0 +1,95 @@
+// Fine-grained data locking: "A variant on this scheme, associating locks with data structures
+// instead of with modules, is occasionally used in order to obtain finer grain locking"
+// (Section 2). MonitoredRecord<T> pairs a value with its own monitor and forces every access
+// through the lock — the MONITORED RECORD of Mesa.
+
+#ifndef SRC_PARADIGM_MONITORED_RECORD_H_
+#define SRC_PARADIGM_MONITORED_RECORD_H_
+
+#include <string>
+#include <utility>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/scheduler.h"
+
+namespace paradigm {
+
+template <typename T>
+class MonitoredRecord {
+ public:
+  MonitoredRecord(pcr::Scheduler& scheduler, std::string name, T initial = T(),
+                  pcr::Usec wait_timeout = -1)
+      : lock_(scheduler, name + ".record"), changed_(lock_, name + ".changed", wait_timeout),
+        value_(std::move(initial)) {}
+
+  MonitoredRecord(const MonitoredRecord&) = delete;
+  MonitoredRecord& operator=(const MonitoredRecord&) = delete;
+
+  // Runs `fn(value)` with the record's monitor held and notifies waiters of the change.
+  // Returns fn's result.
+  template <typename Fn>
+  auto Update(Fn fn) {
+    pcr::MonitorGuard guard(lock_);
+    if constexpr (std::is_void_v<decltype(fn(value_))>) {
+      fn(value_);
+      changed_.Broadcast();
+    } else {
+      auto result = fn(value_);
+      changed_.Broadcast();
+      return result;
+    }
+  }
+
+  // Runs `fn(const value)` with the monitor held; no change notification. Host-callable (the
+  // simulation is stopped then, so the unlocked read is race-free).
+  template <typename Fn>
+  auto Read(Fn fn) {
+    if (OnHost()) {
+      return fn(static_cast<const T&>(value_));
+    }
+    pcr::MonitorGuard guard(lock_);
+    return fn(static_cast<const T&>(value_));
+  }
+
+  // Copies the value out under the lock. Host-callable.
+  T Get() {
+    if (OnHost()) {
+      return value_;
+    }
+    pcr::MonitorGuard guard(lock_);
+    return value_;
+  }
+
+  // Blocks until predicate(value) holds (re-checked after every change notification or
+  // timeout), then runs fn(value) under the same lock acquisition — no window in between.
+  template <typename Predicate, typename Fn>
+  auto AwaitAndUpdate(Predicate predicate, Fn fn) {
+    pcr::MonitorGuard guard(lock_);
+    while (!predicate(static_cast<const T&>(value_))) {
+      changed_.Wait();
+    }
+    if constexpr (std::is_void_v<decltype(fn(value_))>) {
+      fn(value_);
+      changed_.Broadcast();
+    } else {
+      auto result = fn(value_);
+      changed_.Broadcast();
+      return result;
+    }
+  }
+
+  pcr::MonitorLock& lock() { return lock_; }
+  pcr::Condition& changed() { return changed_; }
+
+ private:
+  bool OnHost() { return lock_.scheduler().current() == pcr::kNoThread; }
+
+  pcr::MonitorLock lock_;
+  pcr::Condition changed_;
+  T value_;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_MONITORED_RECORD_H_

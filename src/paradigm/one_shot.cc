@@ -1,0 +1,103 @@
+#include "src/paradigm/one_shot.h"
+
+namespace paradigm {
+
+DelayedCall::DelayedCall(pcr::Runtime& runtime, std::string name, pcr::Usec delay,
+                         std::function<void()> action, int priority) {
+  auto cancelled = cancelled_;
+  auto fired = fired_;
+  runtime.ForkDetached(
+      [cancelled, fired, delay, action = std::move(action)] {
+        pcr::thisthread::Sleep(delay);
+        if (!*cancelled) {
+          *fired = true;
+          action();
+        }
+      },
+      pcr::ForkOptions{.name = std::move(name), .priority = priority});
+}
+
+// Internal state shared with in-flight one-shot threads so they survive button destruction.
+struct GuardedButton::Shared {
+  enum class State { kIdle, kArming, kArmed };
+
+  Shared(pcr::Scheduler& scheduler, const std::string& name)
+      : lock(scheduler, name + ".lock") {}
+
+  pcr::MonitorLock lock;
+  State state = State::kIdle;
+  uint64_t epoch = 0;  // bumped whenever the armed window is consumed or reset
+  Appearance appearance = Appearance::kGuarded;
+};
+
+GuardedButton::GuardedButton(pcr::Runtime& runtime, std::string name,
+                             std::function<void()> action, Options options)
+    : runtime_(runtime), name_(std::move(name)), action_(std::move(action)), options_(options),
+      shared_(std::make_shared<Shared>(runtime.scheduler(), name_)) {}
+
+GuardedButton::~GuardedButton() {
+  // May run on the host context (no fiber is mid-update then, so the unlocked write is safe).
+  ++shared_->epoch;  // in-flight one-shots become stale
+  shared_->state = Shared::State::kIdle;
+}
+
+GuardedButton::Appearance GuardedButton::appearance() const { return shared_->appearance; }
+
+bool GuardedButton::Click() {
+  bool invoke = false;
+  {
+    pcr::MonitorGuard guard(shared_->lock);
+    switch (shared_->state) {
+      case Shared::State::kIdle: {
+        // First click: fork the arming one-shot.
+        shared_->state = Shared::State::kArming;
+        uint64_t my_epoch = ++shared_->epoch;
+        auto shared = shared_;
+        pcr::Usec arming = options_.arming_period;
+        pcr::Usec window = options_.window;
+        runtime_.ForkDetached(
+            [shared, my_epoch, arming, window] {
+              pcr::thisthread::Sleep(arming);
+              {
+                pcr::MonitorGuard inner(shared->lock);
+                if (shared->epoch != my_epoch) {
+                  return;  // superseded
+                }
+                shared->state = Shared::State::kArmed;
+                shared->appearance = Appearance::kArmed;  // repaint "Button!" -> "Button"
+              }
+              pcr::thisthread::Sleep(window);
+              {
+                pcr::MonitorGuard inner(shared->lock);
+                if (shared->epoch != my_epoch) {
+                  return;  // a confirming click consumed the window
+                }
+                // Timeout without a second click: repaint the guarded appearance.
+                shared->state = Shared::State::kIdle;
+                shared->appearance = Appearance::kGuarded;
+              }
+            },
+            pcr::ForkOptions{.name = name_ + ".oneshot"});
+        break;
+      }
+      case Shared::State::kArming:
+        // "in close, but not too close succession": too early, ignore.
+        break;
+      case Shared::State::kArmed:
+        ++shared_->epoch;  // invalidate the pending reset
+        shared_->state = Shared::State::kIdle;
+        shared_->appearance = Appearance::kGuarded;
+        invoke = true;
+        break;
+    }
+  }
+  if (invoke) {
+    ++invocations_;
+    action_();  // outside the monitor: the action may block or fork
+  } else {
+    ++ignored_clicks_;
+  }
+  return invoke;
+}
+
+}  // namespace paradigm

@@ -1,0 +1,73 @@
+// One-shots: "sleeper processes that sleep for a while, run and then go away" (Section 4.3),
+// plus the paper's flagship example, the guarded button.
+
+#ifndef SRC_PARADIGM_ONE_SHOT_H_
+#define SRC_PARADIGM_ONE_SHOT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+// A cancellable delayed call: forks a thread that sleeps for `delay` and then runs `action`
+// unless cancelled first. This is the DelayedFork encapsulation (Section 4.8).
+class DelayedCall {
+ public:
+  DelayedCall(pcr::Runtime& runtime, std::string name, pcr::Usec delay,
+              std::function<void()> action, int priority = pcr::kDefaultPriority);
+
+  void Cancel() { *cancelled_ = true; }
+  bool fired() const { return *fired_; }
+
+ private:
+  std::shared_ptr<bool> cancelled_ = std::make_shared<bool>(false);
+  std::shared_ptr<bool> fired_ = std::make_shared<bool>(false);
+};
+
+// The guarded button of Section 4.3: "A guarded button must be pressed twice, in close, but not
+// too close succession. They usually look like 'Button!' on the screen. After a one-shot is
+// forked it sleeps for an arming period that must pass before a second click is acceptable.
+// Then it changes the button appearance from 'Button!' to 'Button' and sleeps a second time.
+// During this period a second click invokes a procedure associated with the button, but if the
+// timeout expires without a second click, the one-shot just repaints the guarded button."
+struct GuardedButtonOptions {
+  pcr::Usec arming_period = 200 * pcr::kUsecPerMsec;  // clicks this close together are ignored
+  pcr::Usec window = 2 * pcr::kUsecPerSec;            // how long the armed state lasts
+};
+
+class GuardedButton {
+ public:
+  enum class Appearance { kGuarded, kArmed };  // "Button!" vs "Button"
+  using Options = GuardedButtonOptions;
+
+  GuardedButton(pcr::Runtime& runtime, std::string name, std::function<void()> action,
+                Options options = {});
+  ~GuardedButton();
+
+  // A user click. Returns true if this click invoked the action (i.e. it was the confirming
+  // second click inside the armed window). Must be called from a fiber.
+  bool Click();
+
+  Appearance appearance() const;
+  int64_t invocations() const { return invocations_; }
+  int64_t ignored_clicks() const { return ignored_clicks_; }
+
+ private:
+  struct Shared;
+
+  pcr::Runtime& runtime_;
+  std::string name_;
+  std::function<void()> action_;
+  Options options_;
+  std::shared_ptr<Shared> shared_;
+  int64_t invocations_ = 0;
+  int64_t ignored_clicks_ = 0;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_ONE_SHOT_H_

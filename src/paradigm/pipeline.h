@@ -1,0 +1,67 @@
+// Pipeline builder: compose pump stages the way the measured systems did ("pumps are
+// components of pipelines", Section 4.2) without hand-wiring every bounded buffer.
+//
+//   paradigm::Pipeline<int> pipeline(runtime, "tokens", 8);
+//   pipeline.Stage("parse", [](int x) { return x + 1; })
+//           .Stage("typecheck", [](int x) { return x * 2; });
+//   auto& out = pipeline.output();
+//   pipeline.input().Put(41);   // -> out.Take() == 84
+//
+// Each Stage adds an eternal pump thread and an output buffer; Close() on the input propagates
+// down the whole pipeline, closing the output after the last item drains.
+
+#ifndef SRC_PARADIGM_PIPELINE_H_
+#define SRC_PARADIGM_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/paradigm/bounded_buffer.h"
+#include "src/paradigm/pump.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+template <typename T>
+class Pipeline {
+ public:
+  // `capacity`: bounded-buffer depth between stages (0 = unbounded).
+  Pipeline(pcr::Runtime& runtime, std::string name, size_t capacity = 8)
+      : runtime_(runtime), name_(std::move(name)), capacity_(capacity) {
+    buffers_.push_back(std::make_unique<BoundedBuffer<T>>(
+        runtime_.scheduler(), name_ + ".in", capacity_));
+  }
+
+  // Appends a transform stage running on its own pump thread.
+  Pipeline& Stage(std::string stage_name, std::function<T(T)> transform,
+                  PumpOptions options = {}) {
+    buffers_.push_back(std::make_unique<BoundedBuffer<T>>(
+        runtime_.scheduler(), name_ + "." + stage_name + ".out", capacity_));
+    pumps_.push_back(std::make_unique<Pump<T, T>>(
+        runtime_, name_ + "." + stage_name, *buffers_[buffers_.size() - 2],
+        *buffers_.back(), std::move(transform), options));
+    return *this;
+  }
+
+  BoundedBuffer<T>& input() { return *buffers_.front(); }
+  BoundedBuffer<T>& output() { return *buffers_.back(); }
+
+  int stages() const { return static_cast<int>(pumps_.size()); }
+
+  int64_t items_through() const {
+    return pumps_.empty() ? 0 : pumps_.back()->items_pumped();
+  }
+
+ private:
+  pcr::Runtime& runtime_;
+  std::string name_;
+  size_t capacity_;
+  std::vector<std::unique_ptr<BoundedBuffer<T>>> buffers_;
+  std::vector<std::unique_ptr<Pump<T, T>>> pumps_;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_PIPELINE_H_

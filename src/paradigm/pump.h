@@ -1,0 +1,58 @@
+// Pumps: pipeline components (Section 4.2).
+//
+// "Pumps pick up input from one place, possibly transform it in some way and produce it as
+// output someplace else... we find them most commonly used in our systems as a programming
+// convenience" — i.e. for structuring, not multiprocessor speedup. A Pump owns an eternal
+// thread that drains an input BoundedBuffer into an output BoundedBuffer through a transform,
+// charging a configurable per-item processing cost.
+
+#ifndef SRC_PARADIGM_PUMP_H_
+#define SRC_PARADIGM_PUMP_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "src/paradigm/bounded_buffer.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+struct PumpOptions {
+  int priority = pcr::kDefaultPriority;
+  pcr::Usec per_item_cost = 50;  // virtual microseconds of processing per item
+};
+
+template <typename In, typename Out>
+class Pump {
+ public:
+  Pump(pcr::Runtime& runtime, std::string name, BoundedBuffer<In>& source,
+       BoundedBuffer<Out>& sink, std::function<Out(In)> transform, PumpOptions options = {})
+      : runtime_(runtime), options_(options) {
+    runtime_.ForkDetached(
+        [this, &source, &sink, transform = std::move(transform)] {
+          while (true) {
+            std::optional<In> item = source.Take();
+            if (!item.has_value()) {
+              sink.Close();  // upstream closed: propagate shutdown down the pipeline
+              return;
+            }
+            pcr::thisthread::Compute(options_.per_item_cost);
+            sink.Put(transform(std::move(*item)));
+            ++items_pumped_;
+          }
+        },
+        pcr::ForkOptions{.name = std::move(name), .priority = options.priority});
+  }
+
+  int64_t items_pumped() const { return items_pumped_; }
+
+ private:
+  pcr::Runtime& runtime_;
+  PumpOptions options_;
+  int64_t items_pumped_ = 0;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_PUMP_H_

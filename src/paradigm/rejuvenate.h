@@ -1,0 +1,67 @@
+// Task rejuvenation (Section 4.5).
+//
+// "Sometimes threads get into bad states, such as arise from uncaught exceptions or stack
+// overflow, from which recovery is impossible within the thread itself. In many cases, however,
+// cleanup and recovery is possible if a new 'task rejuvenation' thread is forked. (This thread
+// is in trouble. Ok let's make two of them!)" The paradigm is "controversial" — it can mask
+// design problems — so the wrapper records every rejuvenation for inspection.
+
+#ifndef SRC_PARADIGM_REJUVENATE_H_
+#define SRC_PARADIGM_REJUVENATE_H_
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+struct RejuvenateOptions {
+  int priority = pcr::kDefaultPriority;
+  // Safety valve: stop rejuvenating after this many restarts (0 = never restart; -1 =
+  // unlimited, the authors' input-event dispatcher behaviour).
+  int max_rejuvenations = -1;
+};
+
+class RejuvenatingTask {
+ public:
+  using Options = RejuvenateOptions;
+
+  // Starts `body` in a detached thread. If an exception escapes the body, a fresh copy of the
+  // service is forked ("For uncaught errors, an exception handler may simply fork a new copy of
+  // the service").
+  RejuvenatingTask(pcr::Runtime& runtime, std::string name, std::function<void()> body,
+                   Options options = {});
+  ~RejuvenatingTask();
+
+  RejuvenatingTask(const RejuvenatingTask&) = delete;
+  RejuvenatingTask& operator=(const RejuvenatingTask&) = delete;
+
+  int64_t rejuvenations() const { return state_->rejuvenations; }
+  bool gave_up() const { return state_->gave_up; }
+  // what() strings of the exceptions that killed previous incarnations.
+  const std::vector<std::string>& failures() const { return state_->failures; }
+
+ private:
+  struct State {
+    pcr::Runtime* runtime;
+    std::string name;
+    std::function<void()> body;
+    Options options;
+    int64_t rejuvenations = 0;
+    bool gave_up = false;
+    bool cancelled = false;
+    std::vector<std::string> failures;
+  };
+
+  static void Launch(std::shared_ptr<State> state);
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_REJUVENATE_H_

@@ -1,0 +1,47 @@
+#include "src/paradigm/serializer.h"
+
+namespace paradigm {
+
+Serializer::Serializer(pcr::Runtime& runtime, std::string name, Options options)
+    : runtime_(runtime), lock_(runtime.scheduler(), name + ".lock"),
+      nonempty_(lock_, name + ".nonempty", options.idle_timeout) {
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          std::function<void()> action;
+          {
+            pcr::MonitorGuard guard(lock_);
+            while (queue_.empty()) {
+              nonempty_.Wait();  // usually ends in a timeout when the queue stays empty
+            }
+            action = std::move(queue_.front());
+            queue_.pop_front();
+          }
+          action();  // outside the monitor: callbacks may block, fork, or enqueue more work
+          ++processed_;
+        }
+      },
+      pcr::ForkOptions{.name = std::move(name), .priority = options.priority});
+}
+
+void Serializer::Enqueue(std::function<void()> action) {
+  if (runtime_.scheduler().current() == pcr::kNoThread) {
+    // Host-context setup: the simulation is not running, so the unlocked push is safe; the
+    // serializer thread will find the work when it first runs.
+    queue_.push_back(std::move(action));
+    return;
+  }
+  pcr::MonitorGuard guard(lock_);
+  queue_.push_back(std::move(action));
+  nonempty_.Notify();
+}
+
+size_t Serializer::pending() {
+  if (runtime_.scheduler().current() == pcr::kNoThread) {
+    return queue_.size();
+  }
+  pcr::MonitorGuard guard(lock_);
+  return queue_.size();
+}
+
+}  // namespace paradigm

@@ -1,0 +1,53 @@
+// Serializers: "a queue and a thread that processes the work on the queue. The queue acts as a
+// point of serialization in the system" (Section 4.6). The encapsulation is MBQueue
+// (Menu/Button Queue): "MBQueue creates a queue as a serialization context and a thread to
+// process it. Mouse clicks and key strokes cause procedures to be enqueued for the context: the
+// thread then calls the procedures in the order received."
+
+#ifndef SRC_PARADIGM_SERIALIZER_H_
+#define SRC_PARADIGM_SERIALIZER_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+struct SerializerOptions {
+  int priority = pcr::kDefaultPriority;
+  // CV timeout for the idle serializer thread; the measured systems' eternal threads mostly
+  // wake by timeout (Table 2), so a finite default keeps that texture.
+  pcr::Usec idle_timeout = 50 * pcr::kUsecPerMsec;
+};
+
+class Serializer {
+ public:
+  using Options = SerializerOptions;
+
+  Serializer(pcr::Runtime& runtime, std::string name, Options options = {});
+
+  Serializer(const Serializer&) = delete;
+  Serializer& operator=(const Serializer&) = delete;
+
+  // Enqueues a procedure for execution by the serialization thread, in arrival order.
+  // Callable from any fiber (and from the host during setup).
+  void Enqueue(std::function<void()> action);
+
+  size_t pending();
+  int64_t processed() const { return processed_; }
+
+ private:
+  pcr::Runtime& runtime_;
+  pcr::MonitorLock lock_;
+  pcr::Condition nonempty_;
+  std::deque<std::function<void()>> queue_;
+  int64_t processed_ = 0;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_SERIALIZER_H_

@@ -1,0 +1,139 @@
+// Slack processes (Sections 4.2, 5.2, 6.3).
+//
+// "A slack process explicitly adds latency to a pipeline in the hope of reducing the total
+// amount of work done, either by merging input or replacing earlier data with later data before
+// placing it on its output. Slack processes are useful when the downstream consumer of the data
+// incurs high per-transaction costs."
+//
+// The canonical instance is the X-request buffer thread: a HIGH-priority thread that
+// accumulates paint requests from a lower-priority imaging thread and flushes merged batches to
+// the X server. How the slack thread cedes the processor so producers can fill its queue is the
+// crux of Section 5.2:
+//   * kYield       — broken under strict priority: the high-priority slack thread is immediately
+//                    rechosen, so nothing batches ("the scheduler always chooses the buffer
+//                    thread to run").
+//   * kYieldButNotToMe — the paper's fix: deprioritized until the next tick, so producers run
+//                    and batches form.
+//   * kSleep       — only works when the quantum is short enough, because sleep granularity is
+//                    the quantum remainder (Section 6.3).
+//   * kNone        — flush immediately; a plain pump, for baselines.
+
+#ifndef SRC_PARADIGM_SLACK_PROCESS_H_
+#define SRC_PARADIGM_SLACK_PROCESS_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+enum class SlackPolicy { kNone, kYield, kYieldButNotToMe, kSleep };
+
+struct SlackOptions {
+  int priority = 5;  // deliberately above the default: the paper's buffer thread is high-priority
+  SlackPolicy policy = SlackPolicy::kYieldButNotToMe;
+  pcr::Usec sleep_interval = 10 * pcr::kUsecPerMsec;  // for kSleep (tick-granular)
+  pcr::Usec per_flush_cost = 100;                     // slack thread's own batching work
+};
+
+template <typename T>
+class SlackProcess {
+ public:
+  // `flush` delivers a merged batch downstream; `merge` compacts the pending batch in place
+  // (e.g. coalescing overlapping paint rectangles). `merge` may be null.
+  SlackProcess(pcr::Runtime& runtime, std::string name,
+               std::function<void(std::vector<T>&&)> flush,
+               std::function<void(std::vector<T>&)> merge, SlackOptions options = {})
+      : runtime_(runtime), options_(options),
+        lock_(runtime.scheduler(), name + ".lock"),
+        nonempty_(lock_, name + ".nonempty") {
+    runtime_.ForkDetached(
+        [this, flush = std::move(flush), merge = std::move(merge)] {
+          RunLoop(flush, merge);
+        },
+        pcr::ForkOptions{.name = std::move(name), .priority = options.priority});
+  }
+
+  // Producer side: enqueue one item and NOTIFY the slack thread (the producer-consumer
+  // architecture the authors "did not consider changing", Section 5.2).
+  void Submit(T item) {
+    pcr::MonitorGuard guard(lock_);
+    queue_.push_back(std::move(item));
+    ++items_submitted_;
+    nonempty_.Notify();
+  }
+
+  int64_t items_submitted() const { return items_submitted_; }
+  int64_t items_flushed() const { return items_flushed_; }
+  int64_t flushes() const { return flushes_; }
+  double mean_batch_size() const {
+    return flushes_ == 0 ? 0.0
+                         : static_cast<double>(drained_) / static_cast<double>(flushes_);
+  }
+
+ private:
+  void RunLoop(const std::function<void(std::vector<T>&&)>& flush,
+               const std::function<void(std::vector<T>&)>& merge) {
+    while (true) {
+      {
+        pcr::MonitorGuard guard(lock_);
+        while (queue_.empty()) {
+          nonempty_.Wait();
+        }
+      }
+      // Add slack: cede the processor so producers can extend the batch. Must happen outside
+      // the monitor or producers would block instead of producing.
+      switch (options_.policy) {
+        case SlackPolicy::kNone:
+          break;
+        case SlackPolicy::kYield:
+          pcr::thisthread::Yield();
+          break;
+        case SlackPolicy::kYieldButNotToMe:
+          pcr::thisthread::YieldButNotToMe();
+          break;
+        case SlackPolicy::kSleep:
+          pcr::thisthread::Sleep(options_.sleep_interval);
+          break;
+      }
+      std::vector<T> batch;
+      {
+        pcr::MonitorGuard guard(lock_);
+        batch.assign(std::make_move_iterator(queue_.begin()),
+                     std::make_move_iterator(queue_.end()));
+        queue_.clear();
+      }
+      if (batch.empty()) {
+        continue;
+      }
+      drained_ += static_cast<int64_t>(batch.size());
+      if (merge) {
+        merge(batch);
+      }
+      pcr::thisthread::Compute(options_.per_flush_cost);
+      items_flushed_ += static_cast<int64_t>(batch.size());
+      ++flushes_;
+      flush(std::move(batch));
+    }
+  }
+
+  pcr::Runtime& runtime_;
+  SlackOptions options_;
+  pcr::MonitorLock lock_;
+  pcr::Condition nonempty_;
+  std::deque<T> queue_;
+  int64_t items_submitted_ = 0;
+  int64_t items_flushed_ = 0;
+  int64_t drained_ = 0;
+  int64_t flushes_ = 0;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_SLACK_PROCESS_H_

@@ -1,0 +1,105 @@
+#include "src/paradigm/sleeper.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace paradigm {
+
+Sleeper::Sleeper(pcr::Runtime& runtime, std::string name, pcr::Usec period,
+                 std::function<void()> action, int priority)
+    : state_(std::make_shared<State>(runtime.scheduler(), name, period)) {
+  auto state = state_;
+  runtime.ForkDetached(
+      [state, action = std::move(action)] {
+        while (true) {
+          {
+            pcr::MonitorGuard guard(state->lock);
+            // The WAIT-in-a-loop convention: wake on timeout (the usual case), a Poke, or a
+            // Cancel.
+            while (!state->poked && !state->cancelled) {
+              if (!state->wakeup.Wait()) {
+                break;  // timeout: a normal periodic activation
+              }
+            }
+            if (state->cancelled) {
+              return;
+            }
+            state->poked = false;
+          }
+          action();
+          ++state->activations;
+        }
+      },
+      pcr::ForkOptions{.name = std::move(name), .priority = priority});
+}
+
+void Sleeper::Cancel() {
+  state_->cancelled = true;
+  if (pcr::Runtime* rt = pcr::Runtime::Current(); rt != nullptr) {
+    pcr::MonitorGuard guard(state_->lock);
+    state_->wakeup.Notify();
+  } else {
+    state_->wakeup.Notify();  // host context: direct wake
+  }
+}
+
+void Sleeper::Poke() {
+  if (pcr::Runtime* rt = pcr::Runtime::Current(); rt != nullptr) {
+    pcr::MonitorGuard guard(state_->lock);
+    state_->poked = true;
+    state_->wakeup.Notify();
+  } else {
+    state_->poked = true;
+    state_->wakeup.Notify();
+  }
+}
+
+PeriodicalProcessRegistry::PeriodicalProcessRegistry(pcr::Runtime& runtime, std::string name,
+                                                     int priority)
+    : runtime_(runtime) {
+  auto state = state_;
+  runtime_.ForkDetached(
+      [state] {
+        while (!state->cancelled) {
+          pcr::Usec now = pcr::thisthread::Now();
+          if (state->entries.empty()) {
+            pcr::thisthread::Sleep(50 * pcr::kUsecPerMsec);
+            continue;
+          }
+          pcr::Usec next_due = std::numeric_limits<pcr::Usec>::max();
+          for (const Entry& entry : state->entries) {
+            next_due = std::min(next_due, entry.next_due);
+          }
+          if (next_due > now) {
+            pcr::thisthread::Sleep(next_due - now);
+          }
+          if (state->cancelled) {
+            break;
+          }
+          now = pcr::thisthread::Now();
+          // Index loop: an action may Add() a new entry, reallocating the vector.
+          for (size_t i = 0; i < state->entries.size(); ++i) {
+            if (state->entries[i].next_due <= now && !state->cancelled) {
+              state->entries[i].action();
+              ++state->activations;
+              state->entries[i].next_due = now + state->entries[i].period;
+            }
+          }
+        }
+      },
+      pcr::ForkOptions{.name = std::move(name), .priority = priority});
+}
+
+PeriodicalProcessRegistry::~PeriodicalProcessRegistry() {
+  // Registered closures reference caller state; stop running them. The thread itself exits at
+  // its next wakeup (or is unwound by runtime shutdown, whichever comes first).
+  state_->cancelled = true;
+}
+
+void PeriodicalProcessRegistry::Add(std::string name, pcr::Usec period,
+                                    std::function<void()> action) {
+  state_->entries.push_back(
+      Entry{std::move(name), period, runtime_.now() + period, std::move(action)});
+}
+
+}  // namespace paradigm

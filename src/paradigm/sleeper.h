@@ -1,0 +1,92 @@
+// Sleepers: "processes that repeatedly wait for a triggering event and then execute" where the
+// event is usually a timeout (Section 4.3) — cursor blinkers, cache agers, network timeout
+// checkers, the garbage collector's page cleaner.
+//
+// Two flavors, matching Section 5.1:
+//   * Sleeper — a dedicated eternal thread (the style that "fell into disfavor" because of
+//     per-thread stack cost, but remains the conceptual model).
+//   * PeriodicalProcessRegistry — the PeriodicalProcess module: many periodic closures
+//     multiplexed on ONE thread, "using closures to maintain the little bit of state necessary
+//     between activations".
+
+#ifndef SRC_PARADIGM_SLEEPER_H_
+#define SRC_PARADIGM_SLEEPER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+class Sleeper {
+ public:
+  // Runs `action` every `period` of virtual time on its own eternal thread. The thread idles in
+  // a timed WAIT on its own condition variable — exactly how the measured systems' eternal
+  // threads slept, which is why 50-80% of all CV waits end in timeouts (Table 2).
+  Sleeper(pcr::Runtime& runtime, std::string name, pcr::Usec period,
+          std::function<void()> action, int priority = pcr::kDefaultPriority);
+
+  // Stops the sleeper; wakes it immediately so the thread exits without running the action.
+  void Cancel();
+
+  // Wakes the sleeper ahead of its timeout (the action runs now; the period restarts).
+  void Poke();
+
+  int64_t activations() const { return state_->activations; }
+
+ private:
+  struct State {
+    State(pcr::Scheduler& scheduler, const std::string& name, pcr::Usec period)
+        : lock(scheduler, name + ".lock"), wakeup(lock, name + ".wakeup", period) {}
+    pcr::MonitorLock lock;
+    pcr::Condition wakeup;
+    bool cancelled = false;
+    bool poked = false;
+    int64_t activations = 0;
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+// One thread serving many periodic closures — the stack-frugal sleeper encapsulation. The
+// serving thread holds shared state, so the registry may be destroyed before the runtime; the
+// thread notices and exits at its next wakeup.
+class PeriodicalProcessRegistry {
+ public:
+  explicit PeriodicalProcessRegistry(pcr::Runtime& runtime,
+                                     std::string name = "PeriodicalProcess",
+                                     int priority = pcr::kDefaultPriority);
+  ~PeriodicalProcessRegistry();
+
+  PeriodicalProcessRegistry(const PeriodicalProcessRegistry&) = delete;
+  PeriodicalProcessRegistry& operator=(const PeriodicalProcessRegistry&) = delete;
+
+  // Registers a closure to run every `period`, first firing one period from now.
+  void Add(std::string name, pcr::Usec period, std::function<void()> action);
+
+  int64_t activations() const { return state_->activations; }
+  size_t entry_count() const { return state_->entries.size(); }
+
+ private:
+  struct Entry {
+    std::string name;
+    pcr::Usec period;
+    pcr::Usec next_due;
+    std::function<void()> action;
+  };
+  struct State {
+    std::vector<Entry> entries;
+    bool cancelled = false;
+    int64_t activations = 0;
+  };
+
+  pcr::Runtime& runtime_;
+  std::shared_ptr<State> state_ = std::make_shared<State>();
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_SLEEPER_H_

@@ -1,0 +1,65 @@
+#include "src/paradigm/work_queue.h"
+
+namespace paradigm {
+
+WorkQueue::WorkQueue(pcr::Runtime& runtime, std::string name, WorkQueueOptions options)
+    : runtime_(runtime), options_(options), lock_(runtime.scheduler(), name + ".lock"),
+      work_ready_(lock_, name + ".work-ready", options.idle_timeout),
+      drained_(lock_, name + ".drained") {
+  for (int i = 0; i < options_.workers; ++i) {
+    runtime_.ForkDetached([this] { WorkerLoop(); },
+                          pcr::ForkOptions{.name = name + ".worker-" + std::to_string(i),
+                                           .priority = options_.priority});
+  }
+}
+
+void WorkQueue::WorkerLoop() {
+  while (true) {
+    std::function<void()> work;
+    {
+      pcr::MonitorGuard guard(lock_);
+      while (queue_.empty()) {
+        work_ready_.Wait();  // usually a timeout while idle
+      }
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    work();  // outside the monitor: items may block, fork, or submit more work
+    pcr::MonitorGuard guard(lock_);
+    --in_flight_;
+    ++completed_;
+    if (queue_.empty() && in_flight_ == 0) {
+      drained_.Broadcast();
+    }
+  }
+}
+
+void WorkQueue::Submit(std::function<void()> work) {
+  if (runtime_.scheduler().current() == pcr::kNoThread) {
+    queue_.push_back(std::move(work));  // host-context setup: simulation not running
+    ++submitted_;
+    return;
+  }
+  pcr::MonitorGuard guard(lock_);
+  queue_.push_back(std::move(work));
+  ++submitted_;
+  work_ready_.Notify();
+}
+
+void WorkQueue::Drain() {
+  pcr::MonitorGuard guard(lock_);
+  while (!queue_.empty() || in_flight_ > 0) {
+    drained_.Wait();
+  }
+}
+
+size_t WorkQueue::pending() {
+  if (runtime_.scheduler().current() == pcr::kNoThread) {
+    return queue_.size();
+  }
+  pcr::MonitorGuard guard(lock_);
+  return queue_.size();
+}
+
+}  // namespace paradigm

@@ -1,0 +1,64 @@
+// A worker-pool work queue — one of the "possible future research topics in the area of thread
+// abstractions" the paper gleans from its code reading (Section 1 / 7).
+//
+// The measured systems forked a fresh transient thread for every deferred piece of work
+// (Section 4.1), paying the fork cost and a stack per item; Section 5.1 weighs exactly that
+// "modest cost of creating a thread against the benefits in structural simplification". A
+// work queue amortizes both: a fixed set of eternal worker threads drains a monitored queue of
+// closures. bench_work_queue quantifies the trade against fork-per-task on the cost model.
+
+#ifndef SRC_PARADIGM_WORK_QUEUE_H_
+#define SRC_PARADIGM_WORK_QUEUE_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+
+struct WorkQueueOptions {
+  int workers = 4;
+  int priority = pcr::kDefaultPriority;
+  // Idle workers wait with this CV timeout (the usual eternal-thread texture).
+  pcr::Usec idle_timeout = 250 * pcr::kUsecPerMsec;
+};
+
+class WorkQueue {
+ public:
+  WorkQueue(pcr::Runtime& runtime, std::string name, WorkQueueOptions options = {});
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  // Enqueues one closure; some worker runs it in FIFO order. Callable from fibers and (during
+  // setup) from the host.
+  void Submit(std::function<void()> work);
+
+  // Blocks the calling fiber until every submitted item has completed.
+  void Drain();
+
+  int64_t completed() const { return completed_; }
+  size_t pending();
+  int workers() const { return options_.workers; }
+
+ private:
+  void WorkerLoop();
+
+  pcr::Runtime& runtime_;
+  WorkQueueOptions options_;
+  pcr::MonitorLock lock_;
+  pcr::Condition work_ready_;
+  pcr::Condition drained_;
+  std::deque<std::function<void()>> queue_;
+  int64_t submitted_ = 0;
+  int64_t completed_ = 0;
+  int in_flight_ = 0;
+};
+
+}  // namespace paradigm
+
+#endif  // SRC_PARADIGM_WORK_QUEUE_H_

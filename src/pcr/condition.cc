@@ -1,0 +1,101 @@
+#include "src/pcr/condition.h"
+
+#include "src/trace/event.h"
+
+namespace pcr {
+
+Condition::Condition(MonitorLock& lock, std::string name, Usec timeout)
+    : lock_(lock), name_(std::move(name)), id_(lock.scheduler().NextObjectId()),
+      timeout_(timeout) {}
+
+size_t Condition::waiter_count() const { return waiters_.size(); }
+
+bool Condition::Wait() {
+  Scheduler& s = lock_.scheduler();
+  if (!lock_.HeldByCurrent()) {
+    throw UsageError("pcr: WAIT on " + name_ + " without holding monitor " + lock_.name());
+  }
+  Tcb* me = s.CurrentTcb();
+  me->notified_by = kNoThread;
+  s.Emit(trace::EventType::kCvWait, id_);
+  s.Charge(s.config().costs.cv_wait);
+  s.EnqueueCurrentWaiter(waiters_);
+  // "The WAIT operation atomically releases the monitor lock and adds its calling thread to the
+  // CV's wait queue" (Section 2).
+  lock_.ReleaseForWait();
+  Usec deadline = timeout_ < 0 ? -1 : s.GridDeadline(timeout_);
+  bool timed_out;
+  try {
+    timed_out = s.BlockCurrent(BlockReason::kCondition, this, deadline);
+  } catch (const ThreadKilled&) {
+    // Shutdown unwind: the enclosing MonitorGuard will Exit, so it must own the lock again.
+    lock_.ForceAcquireForUnwind();
+    throw;
+  }
+  s.Emit(timed_out ? trace::EventType::kCvTimeout : trace::EventType::kCvNotified, id_);
+  ThreadId notifier = timed_out ? kNoThread : me->notified_by;
+  lock_.ReacquireAfterWait(notifier);
+  return !timed_out;
+}
+
+void Condition::RequireLockForSignal(const char* op) const {
+  if (lock_.scheduler().config().require_lock_for_notify && !lock_.HeldByCurrent()) {
+    throw UsageError(std::string("pcr: ") + op + " on " + name_ + " without holding monitor " +
+                     lock_.name());
+  }
+}
+
+bool Condition::SignalOne() {
+  Scheduler& s = lock_.scheduler();
+  ThreadId waiter = s.PopValidWaiter(waiters_);
+  if (waiter == kNoThread) {
+    return false;
+  }
+  s.GetTcb(waiter).notified_by = s.current();
+  if (s.config().defer_notify_reschedule && lock_.HeldByCurrent()) {
+    // The Section 6.1 fix: the notification happens now, but the thread becomes runnable only
+    // when the notifier leaves the monitor, so it cannot wake up just to block on the lock.
+    lock_.DeferWakeup(waiter);
+  } else {
+    s.WakeThread(waiter, /*from_timer=*/false);
+  }
+  return true;
+}
+
+void Condition::Notify() {
+  Scheduler& s = lock_.scheduler();
+  if (s.current() == kNoThread) {
+    // Host context: the simulation is stopped, so wake directly (no lock, no cost, no trace).
+    ThreadId waiter = s.PopValidWaiter(waiters_);
+    if (waiter != kNoThread) {
+      s.WakeThread(waiter, /*from_timer=*/false);
+    }
+    return;
+  }
+  RequireLockForSignal("NOTIFY");
+  bool woke = SignalOne();
+  s.Emit(trace::EventType::kCvNotify, id_, woke ? 1 : 0);
+  s.Charge(s.config().costs.cv_notify);
+}
+
+void Condition::Broadcast() {
+  Scheduler& s = lock_.scheduler();
+  if (s.current() == kNoThread) {
+    while (true) {
+      ThreadId waiter = s.PopValidWaiter(waiters_);
+      if (waiter == kNoThread) {
+        return;
+      }
+      s.WakeThread(waiter, /*from_timer=*/false);
+    }
+  }
+  RequireLockForSignal("BROADCAST");
+  uint64_t woken = 0;
+  while (SignalOne()) {
+    ++woken;
+  }
+  s.Emit(trace::EventType::kCvBroadcast, id_, woken);
+  s.Charge(s.config().costs.cv_notify);
+}
+
+}  // namespace pcr

@@ -1,0 +1,82 @@
+// Mesa condition variables.
+//
+// "Each CV represents a state of the module's data structures (a condition) and a queue of
+// threads waiting for that condition to become true" (Section 2). Semantics reproduced here:
+//   * WAIT atomically releases the monitor lock and enqueues the caller; on wakeup the caller
+//     re-competes for the lock, so the condition must be rechecked — hence Await(), which wraps
+//     the mandatory "WAIT only in a loop" convention (Section 5.3).
+//   * NOTIFY has exactly-one-waiter-wakens semantics; BROADCAST wakes all.
+//   * WAITs may time out. The timeout interval is a property of the CV, granular to the
+//     scheduler quantum (Section 2); most waits in the measured systems ended in timeouts
+//     (Table 2).
+//   * CV operations require the monitor lock (enforced unless Config::require_lock_for_notify
+//     is cleared, which reproduces the corresponding class of bugs).
+
+#ifndef SRC_PCR_CONDITION_H_
+#define SRC_PCR_CONDITION_H_
+
+#include <deque>
+#include <string>
+
+#include "src/pcr/ids.h"
+#include "src/pcr/monitor.h"
+
+namespace pcr {
+
+class Condition {
+ public:
+  // `timeout` < 0 means WAITs never time out. Mesa associates the timeout with the CV, not the
+  // individual WAIT.
+  Condition(MonitorLock& lock, std::string name, Usec timeout = -1);
+
+  Condition(const Condition&) = delete;
+  Condition& operator=(const Condition&) = delete;
+
+  const std::string& name() const { return name_; }
+  ObjectId id() const { return id_; }
+  MonitorLock& lock() { return lock_; }
+
+  void set_timeout(Usec timeout) { timeout_ = timeout; }
+  Usec timeout() const { return timeout_; }
+
+  // One WAIT: releases the lock, blocks, re-acquires. Returns false if the wait ended by
+  // timeout. The caller must hold the lock and must recheck its predicate afterwards.
+  bool Wait();
+
+  // The "WAIT only in a loop" convention as an API: waits until predicate() is true. Returns
+  // false if `max_wait` (absolute budget, -1 = unbounded) elapsed with the predicate still
+  // false.
+  template <typename Predicate>
+  bool Await(Predicate predicate, Usec max_wait = -1) {
+    Usec deadline = max_wait < 0 ? -1 : lock_.scheduler().now() + max_wait;
+    while (!predicate()) {
+      Wait();
+      if (deadline >= 0 && lock_.scheduler().now() >= deadline && !predicate()) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Wakes exactly one waiter (if any). Requires the monitor lock.
+  void Notify();
+  // Wakes all waiters. Requires the monitor lock.
+  void Broadcast();
+
+  size_t waiter_count() const;
+
+ private:
+  void RequireLockForSignal(const char* op) const;
+  // Wakes (or defers) one validated waiter; returns false when the queue had none.
+  bool SignalOne();
+
+  MonitorLock& lock_;
+  std::string name_;
+  ObjectId id_;
+  Usec timeout_;
+  std::deque<WaitEntry> waiters_;
+};
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_CONDITION_H_

@@ -1,0 +1,48 @@
+// Error types raised by the pcr runtime into fiber code.
+
+#ifndef SRC_PCR_ERRORS_H_
+#define SRC_PCR_ERRORS_H_
+
+#include <stdexcept>
+#include <string>
+
+namespace pcr {
+
+// Base class for all runtime-raised errors.
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// Raised by Fork under ForkFailureMode::kError when thread resources are exhausted
+// (Section 5.4: "Earlier versions of the systems would raise an error when a FORK failed").
+class ForkFailed : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+// Raised in a blocking thread when the runtime detects a monitor wait cycle (the situation the
+// deadlock-avoidance paradigm of Section 4.4 exists to prevent).
+class DeadlockError : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+// Raised by blocking primitives when the runtime is shutting down so that fiber stacks unwind
+// cleanly. Thread bodies must let this propagate (catch(...) handlers should rethrow it).
+class ThreadKilled {
+ public:
+  ThreadKilled() = default;
+};
+
+// Misuse of the thread API (join twice, notify without the lock, recursive monitor entry, ...).
+// These correspond to rules the Mesa compiler enforced statically (Section 2); we enforce them
+// dynamically.
+class UsageError : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_ERRORS_H_

@@ -1,0 +1,65 @@
+#include "src/pcr/fiber.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace pcr {
+
+namespace {
+thread_local Fiber* g_current_fiber = nullptr;
+}  // namespace
+
+Fiber::Fiber(Entry entry, size_t stack_bytes) : stack_(stack_bytes), entry_(std::move(entry)) {}
+
+Fiber::~Fiber() = default;
+
+Fiber* Fiber::Current() { return g_current_fiber; }
+
+void Fiber::Trampoline() {
+  Fiber* self = g_current_fiber;
+  self->entry_();
+  self->finished_ = true;
+  // A finished fiber parks here; it should never be resumed again, but suspending in a loop is
+  // safer than returning (returning from a makecontext entry with no uc_link exits the process).
+  while (true) {
+    self->Suspend();
+  }
+}
+
+void Fiber::Resume() {
+  if (finished_) {
+    std::fprintf(stderr, "pcr: Resume on finished fiber\n");
+    std::abort();
+  }
+  if (!started_) {
+    started_ = true;
+    if (getcontext(&context_) != 0) {
+      std::perror("pcr: getcontext");
+      std::abort();
+    }
+    context_.uc_stack.ss_sp = stack_.base();
+    context_.uc_stack.ss_size = stack_.size();
+    context_.uc_link = &resumer_;
+    makecontext(&context_, &Fiber::Trampoline, 0);
+  }
+  Fiber* previous = g_current_fiber;
+  g_current_fiber = this;
+  if (swapcontext(&resumer_, &context_) != 0) {
+    std::perror("pcr: swapcontext resume");
+    std::abort();
+  }
+  g_current_fiber = previous;
+}
+
+void Fiber::Suspend() {
+  if (g_current_fiber != this) {
+    std::fprintf(stderr, "pcr: Suspend called off-fiber\n");
+    std::abort();
+  }
+  if (swapcontext(&context_, &resumer_) != 0) {
+    std::perror("pcr: swapcontext suspend");
+    std::abort();
+  }
+}
+
+}  // namespace pcr

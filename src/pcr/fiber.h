@@ -1,0 +1,60 @@
+// User-level execution contexts (fibers) built on ucontext.
+//
+// A Fiber runs a callable on its own stack and can suspend back to whoever resumed it. The
+// scheduler multiplexes all simulated threads over the host thread with Resume/Suspend pairs;
+// no OS concurrency is involved, which is what makes runs deterministic.
+
+#ifndef SRC_PCR_FIBER_H_
+#define SRC_PCR_FIBER_H_
+
+#include <ucontext.h>
+
+#include <functional>
+
+#include "src/pcr/stack.h"
+
+namespace pcr {
+
+class Fiber {
+ public:
+  using Entry = std::function<void()>;
+
+  // The entry callable must not let exceptions escape (the scheduler wraps thread bodies in a
+  // catch-all before handing them to Fiber).
+  Fiber(Entry entry, size_t stack_bytes);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Switches the caller into the fiber; returns when the fiber calls Suspend or its entry
+  // finishes. Must not be called on a finished fiber.
+  void Resume();
+
+  // Switches from the fiber back to its most recent resumer. Must be called on this fiber.
+  void Suspend();
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  // Address space reserved for this fiber's stack (including the guard page). PCR "allocates
+  // virtual memory for the maximum possible stack size of each thread", which is why forked
+  // sleepers became too expensive (Section 5.1); this makes that cost observable.
+  size_t stack_reserved_bytes() const { return stack_.reserved_bytes(); }
+
+  // The fiber currently executing on this OS thread, or nullptr when on the host stack.
+  static Fiber* Current();
+
+ private:
+  static void Trampoline();
+
+  FiberStack stack_;
+  ucontext_t context_ = {};
+  ucontext_t resumer_ = {};
+  Entry entry_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_FIBER_H_

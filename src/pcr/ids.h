@@ -1,0 +1,34 @@
+// Basic identifier and time types shared across the pcr runtime.
+
+#ifndef SRC_PCR_IDS_H_
+#define SRC_PCR_IDS_H_
+
+#include <cstdint>
+
+namespace pcr {
+
+// Virtual time in microseconds. All scheduling in the runtime happens on a simulated clock so
+// that experiments are deterministic; see DESIGN.md "Key design decisions".
+using Usec = int64_t;
+
+inline constexpr Usec kUsecPerMsec = 1000;
+inline constexpr Usec kUsecPerSec = 1'000'000;
+
+// Thread ids are assigned monotonically from 1. Id 0 means "no thread" (host context / idle
+// processor).
+using ThreadId = uint32_t;
+inline constexpr ThreadId kNoThread = 0;
+
+// Monitors, condition variables, interrupt sources.
+using ObjectId = uint64_t;
+
+// The Mesa/PCR model has 7 priorities; 4 is the default, lower values are background work and
+// higher values are device / user-interface threads (Section 2).
+inline constexpr int kMinPriority = 1;
+inline constexpr int kMaxPriority = 7;
+inline constexpr int kDefaultPriority = 4;
+inline constexpr int kNumPriorityLevels = 8;  // index 1..7 used
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_IDS_H_

@@ -1,0 +1,118 @@
+#include "src/pcr/monitor.h"
+
+#include "src/trace/event.h"
+
+namespace pcr {
+
+MonitorLock::MonitorLock(Scheduler& scheduler, std::string name)
+    : scheduler_(scheduler), name_(std::move(name)), id_(scheduler.NextObjectId()) {}
+
+MonitorLock::~MonitorLock() { scheduler_.SetMonitorOwner(this, kNoThread); }
+
+bool MonitorLock::HeldByCurrent() const {
+  return owner_ != kNoThread && owner_ == scheduler_.current();
+}
+
+void MonitorLock::Enter() {
+  scheduler_.Emit(trace::EventType::kMlEnter, id_);
+  scheduler_.Charge(scheduler_.config().costs.monitor_enter);
+  AcquireSlowPath(/*count_spurious=*/false, kNoThread);
+}
+
+void MonitorLock::ReacquireAfterWait(ThreadId notifier) {
+  scheduler_.Emit(trace::EventType::kMlEnter, id_);
+  scheduler_.Charge(scheduler_.config().costs.monitor_enter);
+  AcquireSlowPath(/*count_spurious=*/true, notifier);
+}
+
+void MonitorLock::AcquireSlowPath(bool count_spurious, ThreadId notifier) {
+  ThreadId me = scheduler_.current();
+  if (me == kNoThread) {
+    throw UsageError("pcr: monitor Enter outside a pcr thread (" + name_ + ")");
+  }
+  if (owner_ == me) {
+    // Mesa monitors are not re-entrant: a recursive entry blocks on itself forever.
+    throw DeadlockError("pcr: recursive entry into monitor " + name_);
+  }
+  bool contended = false;
+  while (owner_ != kNoThread) {
+    if (!contended) {
+      contended = true;
+      scheduler_.Emit(trace::EventType::kMlContend, id_, owner_);
+      if (count_spurious && notifier != kNoThread && owner_ == notifier) {
+        // Section 6.1: the notified thread woke up only to block on the monitor still held by
+        // its notifier — a spurious lock conflict ("useless trips through the scheduler").
+        scheduler_.Emit(trace::EventType::kSpuriousConflict, id_, notifier);
+      }
+      if (scheduler_.config().detect_deadlock && scheduler_.WouldDeadlock(owner_)) {
+        throw DeadlockError("pcr: monitor wait cycle detected entering " + name_);
+      }
+    }
+    scheduler_.DonatePriority(owner_);  // no-op unless Config::priority_inheritance
+    scheduler_.EnqueueCurrentWaiter(entry_waiters_);
+    scheduler_.BlockCurrent(BlockReason::kMonitor, this, -1);
+  }
+  owner_ = me;
+  scheduler_.SetMonitorOwner(this, me);
+}
+
+bool MonitorLock::TryEnter() {
+  ThreadId me = scheduler_.current();
+  if (me == kNoThread) {
+    throw UsageError("pcr: monitor TryEnter outside a pcr thread (" + name_ + ")");
+  }
+  if (owner_ != kNoThread) {
+    return false;
+  }
+  scheduler_.Emit(trace::EventType::kMlEnter, id_);
+  scheduler_.Charge(scheduler_.config().costs.monitor_enter);
+  // The charge is a preemption point; someone may have taken the lock meanwhile.
+  if (owner_ != kNoThread) {
+    return false;
+  }
+  owner_ = me;
+  scheduler_.SetMonitorOwner(this, me);
+  return true;
+}
+
+void MonitorLock::Exit() {
+  if (!HeldByCurrent()) {
+    throw UsageError("pcr: monitor Exit without ownership (" + name_ + ")");
+  }
+  scheduler_.Emit(trace::EventType::kMlExit, id_);
+  ReleaseInternal();
+  scheduler_.Charge(scheduler_.config().costs.monitor_exit);
+}
+
+void MonitorLock::ReleaseForWait() {
+  scheduler_.Emit(trace::EventType::kMlExit, id_);
+  ReleaseInternal();
+}
+
+void MonitorLock::ReleaseInternal() {
+  scheduler_.ClearInheritedPriority(owner_);  // the donation ends with the critical section
+  owner_ = kNoThread;
+  scheduler_.SetMonitorOwner(this, kNoThread);
+  // Flush wakeups deferred by NOTIFY under Config::defer_notify_reschedule: "defer processor
+  // rescheduling, but not the notification itself, until after monitor exit" (Section 6.1).
+  if (!deferred_wakeups_.empty()) {
+    std::vector<ThreadId> wakeups;
+    wakeups.swap(deferred_wakeups_);
+    for (ThreadId tid : wakeups) {
+      scheduler_.WakeThread(tid, /*from_timer=*/false);
+    }
+  }
+  ThreadId next = scheduler_.PopValidWaiter(entry_waiters_);
+  if (next != kNoThread) {
+    scheduler_.WakeThread(next, /*from_timer=*/false);
+  }
+}
+
+void MonitorLock::DeferWakeup(ThreadId tid) { deferred_wakeups_.push_back(tid); }
+
+void MonitorLock::ForceAcquireForUnwind() {
+  owner_ = scheduler_.current();
+  scheduler_.SetMonitorOwner(this, owner_);
+}
+
+}  // namespace pcr

@@ -1,0 +1,96 @@
+// Mesa monitor locks.
+//
+// "A monitor is a set of procedures, or module, that share a mutual exclusion lock, or mutex...
+// Other threads wanting to enter the monitor are enqueued on the mutex" (Section 2). Monitors
+// are not re-entrant; recursive entry is a programming error that would self-deadlock in Mesa,
+// and we diagnose it. Wakeups from Exit put one waiter back in competition for the lock (Mesa
+// semantics allow barging: woken threads "must compete for the monitor's mutex").
+//
+// The monitor also hosts the deferred-reschedule list used by the Section 6.1 fix for spurious
+// lock conflicts: with Config::defer_notify_reschedule, threads notified on this monitor's CVs
+// become runnable only when the lock is released.
+
+#ifndef SRC_PCR_MONITOR_H_
+#define SRC_PCR_MONITOR_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/pcr/ids.h"
+#include "src/pcr/scheduler.h"
+
+namespace pcr {
+
+class MonitorLock {
+ public:
+  MonitorLock(Scheduler& scheduler, std::string name);
+  ~MonitorLock();
+
+  MonitorLock(const MonitorLock&) = delete;
+  MonitorLock& operator=(const MonitorLock&) = delete;
+
+  const std::string& name() const { return name_; }
+  ObjectId id() const { return id_; }
+
+  // Acquires the lock, blocking while another thread holds it. Counts one "ML enter" in the
+  // trace; blocking additionally counts a contention.
+  void Enter();
+
+  // Releases the lock; flushes deferred notify wakeups and wakes one entry waiter.
+  void Exit();
+
+  // Non-blocking acquire; returns false if the lock is held.
+  bool TryEnter();
+
+  ThreadId owner() const { return owner_; }
+  bool HeldByCurrent() const;
+
+  // --- internal, used by Condition ---
+
+  // Release-for-WAIT: like Exit but remembers nothing about the caller; Wait re-enters later.
+  void ReleaseForWait();
+  // Re-entry after a WAIT completes; emits a fresh ML-enter and detects spurious conflicts
+  // against `notifier` (kNoThread when the wait timed out).
+  void ReacquireAfterWait(ThreadId notifier);
+  // Queues a thread whose notify-wakeup is deferred until the lock is released (Section 6.1).
+  void DeferWakeup(ThreadId tid);
+
+  // Shutdown-unwind support: re-marks the current thread as owner without blocking or tracing,
+  // so MonitorGuard destructors can Exit cleanly while a ThreadKilled unwinds out of Wait().
+  void ForceAcquireForUnwind();
+
+  Scheduler& scheduler() { return scheduler_; }
+
+ private:
+  void AcquireSlowPath(bool count_spurious, ThreadId notifier);
+  void ReleaseInternal();
+
+  Scheduler& scheduler_;
+  std::string name_;
+  ObjectId id_;
+  ThreadId owner_ = kNoThread;
+  std::deque<WaitEntry> entry_waiters_;
+  std::vector<ThreadId> deferred_wakeups_;
+};
+
+// RAII guard; the idiomatic way to write a monitored procedure body.
+class MonitorGuard {
+ public:
+  explicit MonitorGuard(MonitorLock& lock) : lock_(lock) { lock_.Enter(); }
+  // noexcept(false): Exit charges virtual time, which is a suspension point; a thread parked
+  // there when the runtime shuts down unwinds with ThreadKilled *out of this destructor*.
+  ~MonitorGuard() noexcept(false) { lock_.Exit(); }
+
+  MonitorGuard(const MonitorGuard&) = delete;
+  MonitorGuard& operator=(const MonitorGuard&) = delete;
+
+  MonitorLock& lock() { return lock_; }
+
+ private:
+  MonitorLock& lock_;
+};
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_MONITOR_H_

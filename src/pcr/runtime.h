@@ -1,0 +1,97 @@
+// Runtime: the public face of the PCR reproduction.
+//
+// Owns the tracer, the scheduler, the paradigm census, and the optional SystemDaemon. Typical
+// use:
+//
+//   pcr::Runtime rt;                       // or Runtime(config)
+//   pcr::MonitorLock lock(rt.scheduler(), "my-module");
+//   pcr::Condition ready(lock, "ready", 50 * pcr::kUsecPerMsec);
+//   rt.Fork([&] { ... });                  // set up threads (host context)
+//   rt.RunFor(30 * pcr::kUsecPerSec);      // run virtual time
+//   trace::Summary s = trace::Summarize(rt.tracer());
+//
+// Threads are fibers on a virtual clock; see scheduler.h for the model. The Runtime destructor
+// unwinds all live threads (they see ThreadKilled from their next blocking call), so it must be
+// destroyed *before* any monitors/CVs its threads still reference — in practice: declare the
+// Runtime after them, or call Shutdown() explicitly first.
+
+#ifndef SRC_PCR_RUNTIME_H_
+#define SRC_PCR_RUNTIME_H_
+
+#include <functional>
+#include <random>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/config.h"
+#include "src/pcr/interrupt.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/scheduler.h"
+#include "src/trace/census.h"
+#include "src/trace/tracer.h"
+
+namespace pcr {
+
+class Runtime {
+ public:
+  explicit Runtime(Config config = {});
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  const Config& config() const { return scheduler_.config(); }
+  Scheduler& scheduler() { return scheduler_; }
+  trace::Tracer& tracer() { return tracer_; }
+  trace::Census& census() { return census_; }
+  std::mt19937_64& rng() { return scheduler_.rng(); }
+  Usec now() const { return scheduler_.now(); }
+
+  // Thread API passthroughs (see Scheduler for semantics).
+  ThreadId Fork(std::function<void()> body, ForkOptions options = {}) {
+    return scheduler_.Fork(std::move(body), std::move(options));
+  }
+  // Fork + Detach in one step, for fire-and-forget threads.
+  ThreadId ForkDetached(std::function<void()> body, ForkOptions options = {});
+  void Join(ThreadId tid) { scheduler_.Join(tid); }
+  void Detach(ThreadId tid) { scheduler_.Detach(tid); }
+
+  // Runs virtual time forward. Starts the SystemDaemon on first run if configured.
+  RunStatus RunFor(Usec duration);
+  RunStatus RunUntilQuiescent(Usec max_duration);
+  QuiescentInfo quiescent_info() const { return scheduler_.quiescent_info(); }
+
+  void Shutdown() { scheduler_.Shutdown(); }
+
+  // The runtime currently executing on this OS thread (set during Run*), or nullptr. Lets
+  // library code reach the runtime without threading a reference everywhere.
+  static Runtime* Current();
+
+ private:
+  void EnsureSystemDaemon();
+
+  trace::Tracer tracer_;
+  trace::Census census_;
+  Scheduler scheduler_;
+  bool system_daemon_started_ = false;
+};
+
+// Convenience wrappers for fiber code, resolving through Runtime::Current(). They throw
+// UsageError outside a running runtime.
+namespace thisthread {
+
+Runtime& runtime();
+void Compute(Usec duration);
+void Sleep(Usec duration);
+void Yield();
+void YieldButNotToMe();
+void SetPriority(int priority);
+Usec Now();
+ThreadId Id();
+// Emits a free-form kUser trace event from workload code (shows up in event-history dumps).
+void Annotate(ObjectId object, uint64_t arg = 0);
+
+}  // namespace thisthread
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_RUNTIME_H_

@@ -1,0 +1,895 @@
+#include "src/pcr/scheduler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <cstdlib>
+#include <limits>
+
+#include "src/pcr/interrupt.h"
+
+namespace pcr {
+
+namespace {
+
+// Livelock guard: this many fiber dispatches without virtual time advancing means some thread is
+// spinning in zero-cost operations (e.g. Yield with a zero cost model).
+constexpr int64_t kZeroProgressLimit = 10'000'000;
+
+int ClampPriority(int priority) {
+  return std::clamp(priority, kMinPriority, kMaxPriority);
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
+    : config_(config), tracer_(tracer), rng_(config.seed) {
+  config_.processors = std::max(1, config_.processors);
+  config_.quantum = std::max<Usec>(1, config_.quantum);
+  running_.assign(static_cast<size_t>(config_.processors), kNoThread);
+  last_running_.assign(static_cast<size_t>(config_.processors), kNoThread);
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+Tcb& Scheduler::GetTcb(ThreadId tid) {
+  if (tid == kNoThread || tid > tcbs_.size()) {
+    throw UsageError("pcr: unknown thread id " + std::to_string(tid));
+  }
+  return *tcbs_[tid - 1];
+}
+
+Tcb* Scheduler::CurrentTcb() {
+  return current_tid_ == kNoThread ? nullptr : &GetTcb(current_tid_);
+}
+
+const Tcb* Scheduler::FindThread(ThreadId tid) const {
+  if (tid == kNoThread || tid > tcbs_.size()) {
+    return nullptr;
+  }
+  return tcbs_[tid - 1].get();
+}
+
+void Scheduler::Emit(trace::EventType type, ObjectId object, uint64_t arg) {
+  if (tracer_ == nullptr || !tracer_->enabled() || shutting_down_ || !config_.trace_events) {
+    return;
+  }
+  trace::Event e;
+  e.time_us = now_;
+  e.type = type;
+  e.thread = current_tid_;
+  e.object = object;
+  e.arg = arg;
+  if (Tcb* me = CurrentTcb()) {
+    e.priority = static_cast<uint8_t>(me->priority);
+    e.processor = static_cast<uint16_t>(me->processor >= 0 ? me->processor : 0);
+  }
+  tracer_->Record(e);
+}
+
+// ---------------------------------------------------------------------------
+// Thread API
+// ---------------------------------------------------------------------------
+
+ThreadId Scheduler::Fork(std::function<void()> body, ForkOptions options) {
+  Tcb* me = CurrentTcb();
+  while (live_threads_ >= config_.max_threads) {
+    if (config_.fork_failure == ForkFailureMode::kError || me == nullptr || shutting_down_) {
+      throw ForkFailed("pcr: FORK failed: " + std::to_string(live_threads_) +
+                       " live threads at limit " + std::to_string(config_.max_threads));
+    }
+    // Section 5.4: "our more recent implementations simply wait in the fork implementation for
+    // more resources to become available" — the user-visible cost is an unexplained delay.
+    EnqueueCurrentWaiter(fork_waiters_);
+    BlockCurrent(BlockReason::kFork, nullptr, -1);
+  }
+
+  auto tcb = std::make_unique<Tcb>();
+  ThreadId id = static_cast<ThreadId>(tcbs_.size()) + 1;
+  tcb->id = id;
+  tcb->name = options.name.empty() ? "thread-" + std::to_string(id) : std::move(options.name);
+  tcb->priority = ClampPriority(options.priority);
+  tcb->entry = std::move(body);
+  tcb->stack_bytes = options.stack_bytes;
+  tcb->parent = me != nullptr ? me->id : kNoThread;
+  tcb->forked_at = now_;
+  tcb->state = ThreadState::kReady;
+  ready_[tcb->priority].push_back(id);
+  tcbs_.push_back(std::move(tcb));
+  ++live_threads_;
+  ++total_forks_;
+  Emit(trace::EventType::kThreadFork, id, static_cast<uint64_t>(ClampPriority(options.priority)));
+  Charge(config_.costs.fork);  // preemption point: a higher-priority child starts promptly
+  return id;
+}
+
+void Scheduler::Join(ThreadId tid) {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    throw UsageError("pcr: JOIN outside a pcr thread");
+  }
+  Tcb& target = GetTcb(tid);
+  if (&target == me) {
+    throw UsageError("pcr: JOIN on self");
+  }
+  if (target.detached) {
+    throw UsageError("pcr: JOIN on detached thread " + target.name);
+  }
+  if (target.joined) {
+    // "A thread may be JOINed at most once" (Section 2).
+    throw UsageError("pcr: thread " + target.name + " already joined");
+  }
+  Charge(config_.costs.join);
+  while (!target.finished) {
+    if (target.joiner != kNoThread && target.joiner != me->id) {
+      throw UsageError("pcr: two threads joining " + target.name);
+    }
+    target.joiner = me->id;
+    BlockCurrent(BlockReason::kJoin, &target, -1);
+  }
+  target.joined = true;
+  Emit(trace::EventType::kThreadJoin, tid);
+  std::exception_ptr uncaught = target.uncaught;
+  target.uncaught = nullptr;
+  ReapIfPossible(target);
+  if (uncaught) {
+    std::rethrow_exception(uncaught);
+  }
+}
+
+void Scheduler::Detach(ThreadId tid) {
+  Tcb& target = GetTcb(tid);
+  if (target.joined || target.joiner != kNoThread) {
+    throw UsageError("pcr: DETACH on joined thread " + target.name);
+  }
+  target.detached = true;
+  Emit(trace::EventType::kThreadDetach, tid);
+  ReapIfPossible(target);
+}
+
+void Scheduler::Compute(Usec duration) {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr || duration <= 0 || shutting_down_) {
+    return;  // host context (world setup) and shutdown unwinding take no virtual time
+  }
+  me->remaining += duration;
+  me->fiber->Suspend();
+  if (shutting_down_ && std::uncaught_exceptions() == 0) {
+    // Resumed by Shutdown: unwind this thread. Suppressed while another exception is already
+    // propagating (a cleanup charge mid-unwind), which would otherwise terminate the process.
+    throw ThreadKilled();
+  }
+}
+
+void Scheduler::Charge(Usec cost) { Compute(cost); }
+
+void Scheduler::Yield() {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    throw UsageError("pcr: YIELD outside a pcr thread");
+  }
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
+  Emit(trace::EventType::kYield);
+  Charge(config_.costs.yield);
+  me->state = ThreadState::kReady;
+  me->boosted = false;
+  ready_[me->priority].push_back(me->id);
+  running_[static_cast<size_t>(me->processor)] = kNoThread;
+  me->processor = -1;
+  me->fiber->Suspend();
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
+}
+
+void Scheduler::YieldButNotToMe() {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    throw UsageError("pcr: YieldButNotToMe outside a pcr thread");
+  }
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
+  Emit(trace::EventType::kYieldButNotToMe);
+  Charge(config_.costs.yield);
+  // "gives the processor to the highest priority ready thread other than its caller, if such a
+  // thread exists" (Section 5.2); the penalty lasts until the end of the timeslice (Section 6.3).
+  me->penalized = true;
+  me->state = ThreadState::kReady;
+  me->boosted = false;
+  ready_[me->priority].push_back(me->id);
+  running_[static_cast<size_t>(me->processor)] = kNoThread;
+  me->processor = -1;
+  me->fiber->Suspend();
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
+}
+
+void Scheduler::DirectedYield(ThreadId target) {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    throw UsageError("pcr: DirectedYield outside a pcr thread");
+  }
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
+  Emit(trace::EventType::kDirectedYield, target);
+  Charge(config_.costs.yield);
+  Tcb& donee = GetTcb(target);
+  if (donee.state == ThreadState::kReady) {
+    donee.boosted = true;  // wins selection regardless of priority, until the next tick
+  }
+  me->state = ThreadState::kReady;
+  me->boosted = false;
+  ready_[me->priority].push_back(me->id);
+  running_[static_cast<size_t>(me->processor)] = kNoThread;
+  me->processor = -1;
+  me->fiber->Suspend();
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
+}
+
+void Scheduler::Sleep(Usec duration) {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    throw UsageError("pcr: Sleep outside a pcr thread");
+  }
+  Emit(trace::EventType::kSleep, 0, static_cast<uint64_t>(duration));
+  // Tick granularity: the wakeup lands on the quantum grid, so "the smallest sleep interval is
+  // the remainder of the scheduler quantum" (Section 6.3).
+  BlockCurrent(BlockReason::kSleep, nullptr, GridDeadline(duration));
+}
+
+void Scheduler::SetPriority(int priority) {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    throw UsageError("pcr: SetPriority outside a pcr thread");
+  }
+  me->priority = ClampPriority(priority);
+  Emit(trace::EventType::kSetPriority, 0, static_cast<uint64_t>(me->priority));
+  Charge(1);  // preemption point so a self-demotion takes effect immediately
+}
+
+int Scheduler::priority() const {
+  if (current_tid_ == kNoThread) {
+    return kDefaultPriority;
+  }
+  return tcbs_[current_tid_ - 1]->priority;
+}
+
+// ---------------------------------------------------------------------------
+// Blocking and wakeup
+// ---------------------------------------------------------------------------
+
+bool Scheduler::BlockCurrent(BlockReason reason, const void* object, Usec deadline) {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    throw UsageError("pcr: blocking call outside a pcr thread");
+  }
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
+  me->state = ThreadState::kBlocked;
+  me->block_reason = reason;
+  me->wait_object = object;
+  me->timer_fired = false;
+  me->boosted = false;
+  if (deadline >= 0) {
+    timers_.push(TimerEntry{deadline, me->id, me->wait_epoch});
+  }
+  if (me->processor >= 0) {
+    running_[static_cast<size_t>(me->processor)] = kNoThread;
+    me->processor = -1;
+  }
+  me->fiber->Suspend();
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
+  return me->timer_fired;
+}
+
+void Scheduler::WakeThread(ThreadId tid, bool from_timer, bool front) {
+  if (shutting_down_) {
+    return;
+  }
+  Tcb& t = GetTcb(tid);
+  if (t.state != ThreadState::kBlocked) {
+    return;
+  }
+  ++t.wait_epoch;  // invalidates any other pending wakeup (stale timer / stale queue entry)
+  t.timer_fired = from_timer;
+  t.state = ThreadState::kReady;
+  t.block_reason = BlockReason::kNone;
+  t.wait_object = nullptr;
+  if (front) {
+    ready_[t.priority].push_front(tid);
+  } else {
+    ready_[t.priority].push_back(tid);
+  }
+  if (from_timer && tracer_ != nullptr && tracer_->enabled() && config_.trace_events) {
+    trace::Event e;
+    e.time_us = now_;
+    e.type = trace::EventType::kTimerFire;
+    e.thread = tid;
+    e.priority = static_cast<uint8_t>(t.priority);
+    tracer_->Record(e);
+  }
+}
+
+ThreadId Scheduler::PopValidWaiter(std::deque<WaitEntry>& queue) {
+  while (!queue.empty()) {
+    WaitEntry entry = queue.front();
+    queue.pop_front();
+    Tcb& t = GetTcb(entry.tid);
+    if (t.state == ThreadState::kBlocked && t.wait_epoch == entry.epoch) {
+      return entry.tid;
+    }
+  }
+  return kNoThread;
+}
+
+void Scheduler::EnqueueCurrentWaiter(std::deque<WaitEntry>& queue) {
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    throw UsageError("pcr: wait outside a pcr thread");
+  }
+  queue.push_back(WaitEntry{me->id, me->wait_epoch});
+}
+
+void Scheduler::SetMonitorOwner(const void* monitor, ThreadId owner) {
+  if (owner == kNoThread) {
+    monitor_owner_.erase(monitor);
+  } else {
+    monitor_owner_[monitor] = owner;
+  }
+}
+
+bool Scheduler::WouldDeadlock(ThreadId owner) const {
+  ThreadId cursor = owner;
+  int steps = 0;
+  while (cursor != kNoThread && steps++ < 10'000) {
+    if (cursor == current_tid_) {
+      return true;
+    }
+    if (cursor == kNoThread || cursor > tcbs_.size()) {
+      return false;
+    }
+    const Tcb& t = *tcbs_[cursor - 1];
+    if (t.state != ThreadState::kBlocked || t.block_reason != BlockReason::kMonitor) {
+      return false;
+    }
+    auto it = monitor_owner_.find(t.wait_object);
+    if (it == monitor_owner_.end()) {
+      return false;
+    }
+    cursor = it->second;
+  }
+  return false;
+}
+
+void Scheduler::ScheduleInterrupt(Usec time, InterruptSource* source, uint64_t payload) {
+  interrupts_.push(PendingInterrupt{std::max(time, now_), source, payload});
+}
+
+ThreadId Scheduler::RandomReadyThread() {
+  std::vector<ThreadId> candidates;
+  for (int pri = kMinPriority; pri <= kMaxPriority; ++pri) {
+    for (ThreadId tid : ready_[pri]) {
+      candidates.push_back(tid);
+    }
+  }
+  if (candidates.empty()) {
+    return kNoThread;
+  }
+  std::uniform_int_distribution<size_t> dist(0, candidates.size() - 1);
+  return candidates[dist(rng_)];
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+int Scheduler::EffectivePriority(const Tcb& tcb) const {
+  if (tcb.boosted) {
+    return kMaxPriority + 1;
+  }
+  if (tcb.penalized) {
+    return 0;
+  }
+  return std::max(tcb.priority, tcb.inherited_priority);
+}
+
+ThreadId Scheduler::SelectReady(bool pop) {
+  // Pass 0: directed-yield donees win outright. Pass 1: selection by *effective* priority
+  // (inheritance included), skipping YieldButNotToMe-penalized threads. Pass 2: penalized
+  // threads as a last resort ("...other than its caller, if such a thread exists"). Queues are
+  // indexed by base priority, so pass 1 scans for the best effective priority rather than
+  // taking the first nonempty queue.
+  for (int pass = 0; pass < 3; ++pass) {
+    int best_eff = -1;  // below even the penalized threads' effective priority of 0
+    int best_pri = -1;
+    std::deque<ThreadId>::iterator best_it;
+    for (int pri = kMaxPriority; pri >= kMinPriority; --pri) {
+      auto& queue = ready_[pri];
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        Tcb& t = GetTcb(*it);
+        bool match = pass == 0 ? t.boosted : (pass == 1 ? !t.penalized : true);
+        if (!match) {
+          continue;
+        }
+        if (pass == 0) {
+          // Any boosted thread wins immediately.
+          ThreadId tid = *it;
+          if (pop) {
+            queue.erase(it);
+          }
+          return tid;
+        }
+        int eff;
+        if (config_.scheduling == SchedulingPolicy::kFairShare && pass == 1) {
+          // Proportional share: prefer the thread with the least CPU consumed per unit of
+          // priority weight. Negated and clamped into an int so "higher is better" still holds.
+          Usec passes = t.cpu_time / std::max(1, t.priority);
+          eff = static_cast<int>(std::numeric_limits<int>::max() -
+                                 std::min<Usec>(passes, std::numeric_limits<int>::max() - 1));
+        } else {
+          eff = EffectivePriority(t);
+        }
+        if (eff > best_eff) {
+          best_eff = eff;
+          best_pri = pri;
+          best_it = it;
+        }
+      }
+    }
+    if (best_pri >= 0) {
+      ThreadId tid = *best_it;
+      if (pop) {
+        ready_[best_pri].erase(best_it);
+      }
+      return tid;
+    }
+  }
+  return kNoThread;
+}
+
+void Scheduler::DonatePriority(ThreadId owner) {
+  if (!config_.priority_inheritance) {
+    return;
+  }
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    return;
+  }
+  int donation = EffectivePriority(*me);
+  ThreadId cursor = owner;
+  int steps = 0;
+  // Walk the owner chain (A blocks on M1 held by B, B blocks on M2 held by C, ...): everyone
+  // between here and a runnable holder inherits the donation.
+  while (cursor != kNoThread && steps++ < 1000) {
+    Tcb& holder = GetTcb(cursor);
+    if (holder.inherited_priority >= donation && holder.priority < donation) {
+      break;  // already donated at this level
+    }
+    if (EffectivePriority(holder) >= donation) {
+      break;  // holder already outranks the donation
+    }
+    holder.inherited_priority = std::max(holder.inherited_priority, donation);
+    if (holder.state != ThreadState::kBlocked || holder.block_reason != BlockReason::kMonitor) {
+      break;
+    }
+    auto it = monitor_owner_.find(holder.wait_object);
+    if (it == monitor_owner_.end()) {
+      break;
+    }
+    cursor = it->second;
+  }
+}
+
+void Scheduler::ClearInheritedPriority(ThreadId tid) {
+  if (tid == kNoThread || tid > tcbs_.size()) {
+    return;
+  }
+  tcbs_[tid - 1]->inherited_priority = 0;
+}
+
+void Scheduler::AssignProcessors() {
+  for (size_t p = 0; p < running_.size(); ++p) {
+    if (running_[p] != kNoThread) {
+      continue;
+    }
+    ThreadId tid = SelectReady(/*pop=*/true);
+    if (tid == kNoThread) {
+      if (last_running_[p] != kNoThread) {
+        // Close the previous run so interval accounting sees the idle gap.
+        if (tracer_ != nullptr && tracer_->enabled() && config_.trace_events) {
+          trace::Event e;
+          e.time_us = now_;
+          e.type = trace::EventType::kSwitch;
+          e.processor = static_cast<uint16_t>(p);
+          e.thread = kNoThread;
+          tracer_->Record(e);
+        }
+        last_running_[p] = kNoThread;
+      }
+      continue;
+    }
+    Tcb& t = GetTcb(tid);
+    t.state = ThreadState::kRunning;
+    t.processor = static_cast<int>(p);
+    running_[p] = tid;
+    if (last_running_[p] != tid) {
+      if (tracer_ != nullptr && tracer_->enabled() && config_.trace_events) {
+        trace::Event e;
+        e.time_us = now_;
+        e.type = trace::EventType::kSwitch;
+        e.processor = static_cast<uint16_t>(p);
+        e.thread = tid;
+        e.priority = static_cast<uint8_t>(t.priority);
+        tracer_->Record(e);
+      }
+      t.remaining += config_.costs.context_switch;
+      last_running_[p] = tid;
+    }
+  }
+}
+
+void Scheduler::PreemptIfNeeded() {
+  while (true) {
+    ThreadId candidate = SelectReady(/*pop=*/false);
+    if (candidate == kNoThread) {
+      return;
+    }
+    if (config_.scheduling == SchedulingPolicy::kFairShare &&
+        !GetTcb(candidate).boosted) {
+      // Fair share reschedules only at quantum ticks (and for directed-yield donees): wakeups
+      // do not preempt, which is exactly its weakness for reactive work (Section 6.2).
+      return;
+    }
+    int weakest_proc = -1;
+    int weakest_eff = std::numeric_limits<int>::max();
+    for (size_t p = 0; p < running_.size(); ++p) {
+      if (running_[p] == kNoThread) {
+        return;  // an idle processor exists; AssignProcessors handles it
+      }
+      int eff = EffectivePriority(GetTcb(running_[p]));
+      if (eff < weakest_eff) {
+        weakest_eff = eff;
+        weakest_proc = static_cast<int>(p);
+      }
+    }
+    if (weakest_proc < 0 || EffectivePriority(GetTcb(candidate)) <= weakest_eff) {
+      return;
+    }
+    // "If a system event causes a higher priority thread to become runnable, the scheduler will
+    // preempt the currently running thread, even if it holds monitor locks" (Section 2).
+    Tcb& victim = GetTcb(running_[static_cast<size_t>(weakest_proc)]);
+    Emit(trace::EventType::kPreempt, victim.id);
+    victim.state = ThreadState::kReady;
+    victim.processor = -1;
+    victim.boosted = false;
+    ready_[victim.priority].push_front(victim.id);
+    running_[static_cast<size_t>(weakest_proc)] = kNoThread;
+    AssignProcessors();
+  }
+}
+
+void Scheduler::RunFiber(Tcb& tcb) {
+  if (!tcb.fiber) {
+    Tcb* target = &tcb;
+    tcb.fiber = std::make_unique<Fiber>([this, target] { FiberBody(*target); },
+                                        tcb.stack_bytes != 0 ? tcb.stack_bytes
+                                                             : config_.stack_bytes);
+    stack_bytes_reserved_ += tcb.fiber->stack_reserved_bytes();
+    peak_stack_bytes_reserved_ = std::max(peak_stack_bytes_reserved_, stack_bytes_reserved_);
+  }
+  ThreadId previous = current_tid_;
+  current_tid_ = tcb.id;
+  tcb.fiber->Resume();
+  current_tid_ = previous;
+  ++zero_progress_ops_;
+  CheckLivelock();
+  if (tcb.finished) {
+    ReapIfPossible(tcb);
+  }
+}
+
+void Scheduler::FiberBody(Tcb& tcb) {
+  tcb.started = true;
+  Emit(trace::EventType::kThreadStart);
+  std::function<void()> body = std::move(tcb.entry);
+  tcb.entry = nullptr;
+  try {
+    body();
+  } catch (const ThreadKilled&) {
+    // Normal shutdown unwind.
+  } catch (...) {
+    tcb.uncaught = std::current_exception();
+  }
+  ExitCurrent();
+}
+
+void Scheduler::ExitCurrent() {
+  Tcb& me = *CurrentTcb();
+  me.finished = true;
+  me.state = ThreadState::kDone;
+  Emit(trace::EventType::kThreadExit, 0, me.uncaught ? 1 : 0);
+  if (me.uncaught) {
+    ++uncaught_exits_;
+  }
+  if (!shutting_down_) {
+    --live_threads_;
+    if (me.joiner != kNoThread) {
+      WakeThread(me.joiner, /*from_timer=*/false);
+    }
+    if (live_threads_ < config_.max_threads) {
+      ThreadId waiter = PopValidWaiter(fork_waiters_);
+      if (waiter != kNoThread) {
+        WakeThread(waiter, /*from_timer=*/false);
+      }
+    }
+  }
+  if (me.processor >= 0) {
+    running_[static_cast<size_t>(me.processor)] = kNoThread;
+    me.processor = -1;
+  }
+  me.fiber->Suspend();  // never resumed; Fiber parks finished fibers defensively
+}
+
+void Scheduler::ReapIfPossible(Tcb& tcb) {
+  if (tcb.finished && (tcb.joined || tcb.detached) && tcb.fiber) {
+    stack_bytes_reserved_ -= tcb.fiber->stack_reserved_bytes();
+    tcb.fiber.reset();  // release the stack; the Tcb itself stays for stats/diagnostics
+  }
+}
+
+void Scheduler::Settle() {
+  while (true) {
+    AssignProcessors();
+    PreemptIfNeeded();
+    Tcb* next_to_run = nullptr;
+    for (ThreadId tid : running_) {
+      if (tid == kNoThread) {
+        continue;
+      }
+      Tcb& t = GetTcb(tid);
+      if (t.remaining == 0) {
+        next_to_run = &t;
+        break;
+      }
+    }
+    if (next_to_run == nullptr) {
+      return;
+    }
+    RunFiber(*next_to_run);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Run loop
+// ---------------------------------------------------------------------------
+
+Usec Scheduler::NextTickAfter(Usec t) const { return (t / config_.quantum + 1) * config_.quantum; }
+
+Usec Scheduler::GridDeadline(Usec relative_timeout) const {
+  Usec ticks = (std::max<Usec>(0, relative_timeout) + config_.quantum - 1) / config_.quantum;
+  return (now_ / config_.quantum + ticks) * config_.quantum;
+}
+
+Usec Scheduler::TickAtOrAfter(Usec t) const {
+  return (t + config_.quantum - 1) / config_.quantum * config_.quantum;
+}
+
+Usec Scheduler::NextTimerDeadline() {
+  while (!timers_.empty()) {
+    const TimerEntry& top = timers_.top();
+    Tcb& t = GetTcb(top.tid);
+    if (t.state == ThreadState::kBlocked && t.wait_epoch == top.epoch) {
+      return top.deadline;
+    }
+    timers_.pop();  // stale: the thread was woken by something else
+  }
+  return -1;
+}
+
+Usec Scheduler::NextInterruptTime() const {
+  return interrupts_.empty() ? -1 : interrupts_.top().time;
+}
+
+void Scheduler::FireTimersUpTo(Usec t) {
+  while (!timers_.empty() && timers_.top().deadline <= t) {
+    TimerEntry entry = timers_.top();
+    timers_.pop();
+    Tcb& thread = GetTcb(entry.tid);
+    if (thread.state == ThreadState::kBlocked && thread.wait_epoch == entry.epoch) {
+      WakeThread(entry.tid, /*from_timer=*/true);
+    }
+  }
+}
+
+void Scheduler::DeliverInterruptsUpTo(Usec t) {
+  while (!interrupts_.empty() && interrupts_.top().time <= t) {
+    PendingInterrupt pending = interrupts_.top();
+    interrupts_.pop();
+    pending.source->DeliverFromScheduler(pending.payload);
+  }
+}
+
+void Scheduler::HandleTick() {
+  // The tick ends YieldButNotToMe penalties and directed-yield boosts (Section 6.3: "The end of
+  // a timeslice ends the effect of a YieldButNotToMe or a directed yield").
+  for (auto& tcb : tcbs_) {
+    tcb->penalized = false;
+    tcb->boosted = false;
+  }
+  FireTimersUpTo(now_);
+  // Round-robin rotation among equal (effective) priorities; under fair share the tick is the
+  // only rescheduling point, so any ready competitor rotates the incumbent out.
+  for (size_t p = 0; p < running_.size(); ++p) {
+    ThreadId tid = running_[p];
+    if (tid == kNoThread) {
+      continue;
+    }
+    Tcb& t = GetTcb(tid);
+    ThreadId candidate = SelectReady(/*pop=*/false);
+    if (candidate == kNoThread) {
+      continue;
+    }
+    bool rotate = config_.scheduling == SchedulingPolicy::kFairShare ||
+                  EffectivePriority(GetTcb(candidate)) >= EffectivePriority(t);
+    if (rotate) {
+      t.state = ThreadState::kReady;
+      t.processor = -1;
+      ready_[t.priority].push_back(tid);
+      running_[p] = kNoThread;
+    }
+  }
+}
+
+void Scheduler::AdvanceTo(Usec t) {
+  Usec dt = t - now_;
+  if (dt <= 0) {
+    return;
+  }
+  for (ThreadId tid : running_) {
+    if (tid == kNoThread) {
+      continue;
+    }
+    Tcb& thread = GetTcb(tid);
+    thread.remaining = std::max<Usec>(0, thread.remaining - dt);
+    thread.cpu_time += dt;
+  }
+  now_ = t;
+  zero_progress_ops_ = 0;
+}
+
+void Scheduler::CheckLivelock() {
+  if (zero_progress_ops_ > kZeroProgressLimit) {
+    std::fprintf(stderr,
+                 "pcr: livelock: %lld dispatches with no virtual-time progress at t=%lld us "
+                 "(zero-cost spin loop?)\n",
+                 static_cast<long long>(zero_progress_ops_), static_cast<long long>(now_));
+    std::abort();
+  }
+}
+
+RunStatus Scheduler::RunLoop(Usec deadline, bool idle_to_deadline) {
+  in_run_loop_ = true;
+  if (next_tick_due_ == 0) {
+    next_tick_due_ = config_.quantum;
+  }
+  RunStatus status = RunStatus::kDeadline;
+  while (true) {
+    // Process any ticks that have come due — including one exactly at a previous RunFor
+    // deadline, which would otherwise be skipped forever.
+    while (next_tick_due_ <= now_) {
+      HandleTick();
+      next_tick_due_ += config_.quantum;
+    }
+    DeliverInterruptsUpTo(now_);
+    Settle();
+
+    Usec next = -1;
+    auto consider = [&next](Usec t) {
+      if (t >= 0 && (next < 0 || t < next)) {
+        next = t;
+      }
+    };
+    bool any_running = false;
+    for (ThreadId tid : running_) {
+      if (tid != kNoThread) {
+        any_running = true;
+        consider(now_ + GetTcb(tid).remaining);
+      }
+    }
+    bool timers_pending = NextTimerDeadline() >= 0;
+    if (any_running || timers_pending) {
+      consider(next_tick_due_);
+    }
+    consider(NextInterruptTime());
+
+    if (next < 0) {
+      if (idle_to_deadline) {
+        now_ = std::max(now_, deadline);  // RunFor semantics: the wall clock still passes
+      }
+      status = RunStatus::kQuiescent;
+      break;
+    }
+    if (next >= deadline) {
+      AdvanceTo(deadline);
+      status = RunStatus::kDeadline;
+      break;
+    }
+    AdvanceTo(next);
+  }
+  in_run_loop_ = false;
+  return status;
+}
+
+RunStatus Scheduler::RunFor(Usec duration) {
+  if (current_tid_ != kNoThread || in_run_loop_) {
+    throw UsageError("pcr: RunFor called from inside the runtime");
+  }
+  return RunLoop(now_ + duration, /*idle_to_deadline=*/true);
+}
+
+RunStatus Scheduler::RunUntilQuiescent(Usec max_duration) {
+  if (current_tid_ != kNoThread || in_run_loop_) {
+    throw UsageError("pcr: RunUntilQuiescent called from inside the runtime");
+  }
+  // Unlike RunFor, the clock stops at the moment of quiescence, so now() reads as the
+  // completion time of the last piece of work.
+  return RunLoop(now_ + max_duration, /*idle_to_deadline=*/false);
+}
+
+QuiescentInfo Scheduler::quiescent_info() const {
+  QuiescentInfo info;
+  for (const auto& tcb : tcbs_) {
+    if (!tcb->finished) {
+      info.all_threads_done = false;
+      if (tcb->state == ThreadState::kBlocked) {
+        info.blocked_threads.push_back(tcb->id);
+      }
+    }
+  }
+  return info;
+}
+
+void Scheduler::Shutdown() {
+  if (shutting_down_) {
+    return;
+  }
+  shutting_down_ = true;
+  for (auto& tcb : tcbs_) {
+    Tcb& t = *tcb;
+    if (t.finished || !t.fiber || !t.fiber->started()) {
+      t.state = ThreadState::kDone;
+      t.finished = true;
+      t.fiber.reset();
+      continue;
+    }
+    ThreadId previous = current_tid_;
+    current_tid_ = t.id;
+    int guard = 0;
+    while (!t.finished && ++guard < 64) {
+      t.fiber->Resume();
+    }
+    current_tid_ = previous;
+    if (!t.finished) {
+      std::fprintf(stderr, "pcr: thread %u (%s) survived shutdown unwinding\n", t.id,
+                   t.name.c_str());
+    }
+    t.fiber.reset();
+  }
+  live_threads_ = 0;
+  for (auto& queue : ready_) {
+    queue.clear();
+  }
+  std::fill(running_.begin(), running_.end(), kNoThread);
+}
+
+}  // namespace pcr

@@ -1,0 +1,285 @@
+// The PCR scheduler: strict-priority, preemptive, quantum-ticked, on virtual time.
+//
+// Model (Section 2 of the paper):
+//   * 7 priority levels; the scheduler always runs the highest-priority ready threads, with
+//     round-robin among equals rotated at each timeslice tick.
+//   * A higher-priority thread becoming runnable preempts a running lower-priority thread, even
+//     one holding monitor locks.
+//   * The quantum (default 50 ms) is also the condition-variable timeout granularity: timeouts
+//     and sleeps fire only at quantum-grid ticks, which is what makes the Section 6.3
+//     quantum-clocking experiment reproducible.
+//   * YieldButNotToMe deprioritizes its caller until the next tick (Section 5.2); directed
+//     yields boost the donee until the next tick (Section 6.2 / the SystemDaemon).
+//
+// Execution model: simulated threads are fibers. Real C++ code takes zero virtual time; virtual
+// time passes only inside Compute()/cost charges, which suspend to the scheduler loop. The loop
+// advances the clock to the next interesting instant (compute completion, tick, or external
+// interrupt), so preemption points are exact without interrupting host code.
+
+#ifndef SRC_PCR_SCHEDULER_H_
+#define SRC_PCR_SCHEDULER_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pcr/config.h"
+#include "src/pcr/errors.h"
+#include "src/pcr/fiber.h"
+#include "src/pcr/ids.h"
+#include "src/trace/tracer.h"
+
+namespace pcr {
+
+class InterruptSource;
+
+enum class ThreadState : uint8_t { kReady, kRunning, kBlocked, kDone };
+
+enum class BlockReason : uint8_t {
+  kNone,
+  kMonitor,     // waiting to enter a monitor
+  kCondition,   // WAITing on a condition variable
+  kJoin,        // JOINing another thread
+  kSleep,       // timed sleep
+  kFork,        // waiting for fork resources (Section 5.4 "wait" mode)
+  kInterrupt,   // awaiting an external event
+};
+
+struct ForkOptions {
+  std::string name;
+  int priority = kDefaultPriority;
+  size_t stack_bytes = 0;  // 0: use Config::stack_bytes
+};
+
+// An entry on some wait queue. Entries are validated lazily against the thread's wait epoch so
+// that timer wakeups and notifies never race over queue membership.
+struct WaitEntry {
+  ThreadId tid = kNoThread;
+  uint64_t epoch = 0;
+};
+
+// Thread control block. Owned by the scheduler; stable address for a thread's lifetime.
+struct Tcb {
+  ThreadId id = kNoThread;
+  std::string name;
+  int priority = kDefaultPriority;
+  ThreadState state = ThreadState::kReady;
+  BlockReason block_reason = BlockReason::kNone;
+
+  std::function<void()> entry;     // user body; consumed at first dispatch
+  std::unique_ptr<Fiber> fiber;    // created lazily at first dispatch
+  size_t stack_bytes = 0;          // 0: Config::stack_bytes
+
+  Usec remaining = 0;              // pending virtual compute while ready/running
+  uint64_t wait_epoch = 0;         // bumped on every wakeup; validates WaitEntry/timers
+  bool timer_fired = false;        // last wakeup came from a timeout
+  const void* wait_object = nullptr;  // monitor/CV/etc. blocked on (diagnostics, deadlock walk)
+  ThreadId notified_by = kNoThread;   // who last notified us (spurious-conflict attribution)
+
+  ThreadId joiner = kNoThread;
+  bool detached = false;
+  bool joined = false;
+  bool finished = false;
+  bool started = false;
+  std::exception_ptr uncaught;     // exception that escaped the body; rethrown at Join
+
+  bool penalized = false;          // YieldButNotToMe: skip until next tick if others are ready
+  bool boosted = false;            // directed-yield donee until next tick
+  int inherited_priority = 0;      // donated by blocked higher-priority waiters (optional)
+  int processor = -1;              // processor index while running
+
+  ThreadId parent = kNoThread;
+  Usec forked_at = 0;
+  Usec cpu_time = 0;
+};
+
+// Why a Run* call returned.
+enum class RunStatus {
+  kDeadline,    // reached the requested virtual-time deadline
+  kQuiescent,   // no runnable threads, no timers, no pending interrupts
+};
+
+struct QuiescentInfo {
+  bool all_threads_done = true;
+  std::vector<ThreadId> blocked_threads;  // threads stuck with no wakeup source (lost notify?)
+};
+
+class Scheduler {
+ public:
+  Scheduler(const Config& config, trace::Tracer* tracer);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  const Config& config() const { return config_; }
+  Usec now() const { return now_; }
+  trace::Tracer* tracer() { return tracer_; }
+  std::mt19937_64& rng() { return rng_; }
+
+  // ---- Thread API (callable from fibers; Fork/Detach also from the host) ----
+
+  ThreadId Fork(std::function<void()> body, ForkOptions options = {});
+  void Join(ThreadId tid);
+  void Detach(ThreadId tid);
+  void Compute(Usec duration);
+  void Yield();
+  void YieldButNotToMe();
+  void DirectedYield(ThreadId target);
+  void Sleep(Usec duration);  // wakes at the first tick at/after now + duration
+  void SetPriority(int priority);
+  int priority() const;
+  ThreadId current() const { return current_tid_; }
+  const Tcb* FindThread(ThreadId tid) const;
+
+  // ---- Run loop (host context only) ----
+
+  RunStatus RunFor(Usec duration);
+  RunStatus RunUntilQuiescent(Usec max_duration);
+  QuiescentInfo quiescent_info() const;
+
+  // Unwinds every live fiber by making its next blocking/compute call throw ThreadKilled.
+  // Idempotent; called by the Runtime destructor. Must run before any Monitor/Condition the
+  // threads may still reference is destroyed.
+  void Shutdown();
+
+  // ---- Internal API for Monitor / Condition / InterruptSource ----
+
+  // Blocks the current thread. If deadline >= 0 a timer entry is armed that fires at the first
+  // tick at/after `deadline`. Returns true if the wakeup came from that timer.
+  bool BlockCurrent(BlockReason reason, const void* object, Usec deadline);
+
+  // Absolute tick-grid deadline for a relative timeout: timeouts are counted in whole quanta
+  // from the start of the current timeslice window ("the CV timeout granularity ... [is] 50
+  // milliseconds", Section 2), so a 100 ms timeout armed mid-window still spans exactly two
+  // ticks rather than drifting to three.
+  Usec GridDeadline(Usec relative_timeout) const;
+
+  // Makes `tid` runnable. `from_timer` marks timeout wakeups; `front` requeues at the head of
+  // its priority level (used for preemption victims).
+  void WakeThread(ThreadId tid, bool from_timer, bool front = false);
+
+  // Pops wait-queue entries until a valid (still-blocked, epoch-matching) one is found and
+  // returns its tid, or kNoThread. Does not wake it.
+  ThreadId PopValidWaiter(std::deque<WaitEntry>& queue);
+
+  // Appends the current thread to `queue` with its current epoch.
+  void EnqueueCurrentWaiter(std::deque<WaitEntry>& queue);
+
+  // Charges virtual time to the current thread (no-op from the host context or when cost == 0).
+  void Charge(Usec cost);
+
+  void Emit(trace::EventType type, ObjectId object = 0, uint64_t arg = 0);
+
+  ObjectId NextObjectId() { return ++next_object_id_; }
+
+  Tcb& GetTcb(ThreadId tid);
+  Tcb* CurrentTcb();
+
+  // Monitors report ownership changes here so the deadlock walk can follow blocked->owner
+  // chains. Passing kNoThread erases the entry.
+  void SetMonitorOwner(const void* monitor, ThreadId owner);
+
+  // With Config::priority_inheritance: donates the current thread's effective priority down the
+  // owner chain starting at `owner` (called when blocking on a monitor). The inheritance is
+  // cleared when a holder releases any monitor — an approximation (no per-thread holdings
+  // ledger) that is exact for the single-lock critical sections the paradigms use.
+  void DonatePriority(ThreadId owner);
+  void ClearInheritedPriority(ThreadId tid);
+
+  // True if the current thread blocking on a monitor owned by `owner` would close a wait cycle.
+  bool WouldDeadlock(ThreadId owner) const;
+
+  // Scheduling of external interrupts (used by InterruptSource).
+  void ScheduleInterrupt(Usec time, InterruptSource* source, uint64_t payload);
+
+  // A uniformly random ready thread, or kNoThread (used by the SystemDaemon).
+  ThreadId RandomReadyThread();
+
+  int live_threads() const { return live_threads_; }
+  int64_t total_forks() const { return total_forks_; }
+  int64_t uncaught_exits() const { return uncaught_exits_; }
+  // Stack address space currently reserved / the high-water mark (Section 5.1's memory cost).
+  size_t stack_bytes_reserved() const { return stack_bytes_reserved_; }
+  size_t peak_stack_bytes_reserved() const { return peak_stack_bytes_reserved_; }
+
+ private:
+  struct TimerEntry {
+    Usec deadline;
+    ThreadId tid;
+    uint64_t epoch;
+    bool operator>(const TimerEntry& other) const { return deadline > other.deadline; }
+  };
+
+  struct PendingInterrupt {
+    Usec time;
+    InterruptSource* source;
+    uint64_t payload;
+    bool operator>(const PendingInterrupt& other) const { return time > other.time; }
+  };
+
+  // Dispatch + execution until every processor is idle or mid-compute.
+  void Settle();
+  void AssignProcessors();
+  void PreemptIfNeeded();
+  void RunFiber(Tcb& tcb);
+  void FiberBody(Tcb& tcb);
+  void ExitCurrent();
+  void ReapIfPossible(Tcb& tcb);
+
+  // Selection. Returns kNoThread when nothing is ready. With pop == false the queues are left
+  // untouched (peek).
+  ThreadId SelectReady(bool pop);
+  int EffectivePriority(const Tcb& tcb) const;
+
+  RunStatus RunLoop(Usec deadline, bool idle_to_deadline);
+  Usec NextTickAfter(Usec t) const;     // strictly greater than t, on the quantum grid
+  Usec TickAtOrAfter(Usec t) const;
+  void HandleTick();
+  void FireTimersUpTo(Usec t);
+  Usec NextTimerDeadline();             // -1 when no (valid) timer is pending
+  Usec NextInterruptTime() const;       // -1 when none
+  void DeliverInterruptsUpTo(Usec t);
+  void AdvanceTo(Usec t);
+  void NoteProgress();
+  void CheckLivelock();
+
+  Config config_;
+  trace::Tracer* tracer_;
+  std::mt19937_64 rng_;
+
+  Usec now_ = 0;
+  Usec next_tick_due_ = 0;  // first unprocessed quantum tick; 0 = initialize on first run
+  ThreadId current_tid_ = kNoThread;
+  ObjectId next_object_id_ = 0;
+  bool shutting_down_ = false;
+  bool in_run_loop_ = false;
+
+  std::vector<std::unique_ptr<Tcb>> tcbs_;  // index = tid - 1
+  std::deque<ThreadId> ready_[kNumPriorityLevels];
+  std::vector<ThreadId> running_;       // per processor; kNoThread = idle
+  std::vector<ThreadId> last_running_;  // per processor; for switch-event dedup
+  std::unordered_map<const void*, ThreadId> monitor_owner_;
+
+  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers_;
+  std::priority_queue<PendingInterrupt, std::vector<PendingInterrupt>,
+                      std::greater<PendingInterrupt>>
+      interrupts_;
+
+  std::deque<WaitEntry> fork_waiters_;  // threads blocked in Fork waiting for resources
+  int live_threads_ = 0;
+  int64_t total_forks_ = 0;
+  int64_t uncaught_exits_ = 0;
+  int64_t zero_progress_ops_ = 0;       // livelock guard: ops executed since time last advanced
+  size_t stack_bytes_reserved_ = 0;
+  size_t peak_stack_bytes_reserved_ = 0;
+};
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_SCHEDULER_H_

@@ -1,0 +1,70 @@
+#include "src/pcr/stack.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace pcr {
+
+namespace {
+
+size_t PageSize() {
+  static const size_t page = static_cast<size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+size_t RoundUpToPage(size_t bytes) {
+  size_t page = PageSize();
+  return (bytes + page - 1) / page * page;
+}
+
+}  // namespace
+
+FiberStack::FiberStack(size_t usable_bytes) {
+  size_t page = PageSize();
+  usable_bytes_ = RoundUpToPage(usable_bytes == 0 ? page : usable_bytes);
+  mapping_bytes_ = usable_bytes_ + page;  // one guard page below the stack
+  void* mapping = mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+                       MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (mapping == MAP_FAILED) {
+    std::perror("pcr: mmap fiber stack");
+    std::abort();
+  }
+  if (mprotect(mapping, page, PROT_NONE) != 0) {
+    std::perror("pcr: mprotect guard page");
+    std::abort();
+  }
+  mapping_ = mapping;
+  usable_base_ = static_cast<char*>(mapping) + page;
+}
+
+FiberStack::~FiberStack() { Release(); }
+
+FiberStack::FiberStack(FiberStack&& other) noexcept
+    : mapping_(std::exchange(other.mapping_, nullptr)),
+      usable_base_(std::exchange(other.usable_base_, nullptr)),
+      mapping_bytes_(std::exchange(other.mapping_bytes_, 0)),
+      usable_bytes_(std::exchange(other.usable_bytes_, 0)) {}
+
+FiberStack& FiberStack::operator=(FiberStack&& other) noexcept {
+  if (this != &other) {
+    Release();
+    mapping_ = std::exchange(other.mapping_, nullptr);
+    usable_base_ = std::exchange(other.usable_base_, nullptr);
+    mapping_bytes_ = std::exchange(other.mapping_bytes_, 0);
+    usable_bytes_ = std::exchange(other.usable_bytes_, 0);
+  }
+  return *this;
+}
+
+void FiberStack::Release() {
+  if (mapping_ != nullptr) {
+    munmap(mapping_, mapping_bytes_);
+    mapping_ = nullptr;
+  }
+}
+
+}  // namespace pcr

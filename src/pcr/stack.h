@@ -1,0 +1,44 @@
+// Fiber stack allocation.
+//
+// Each user-level thread gets an mmap'd stack with an inaccessible guard page below it, so a
+// stack overflow faults instead of silently corrupting a neighboring thread's stack — the
+// failure mode the paper's task-rejuvenation paradigm (Section 4.5) exists to recover from.
+
+#ifndef SRC_PCR_STACK_H_
+#define SRC_PCR_STACK_H_
+
+#include <cstddef>
+
+namespace pcr {
+
+class FiberStack {
+ public:
+  // Allocates a stack with at least `usable_bytes` of usable space (rounded up to whole pages)
+  // plus one guard page. Aborts on allocation failure.
+  explicit FiberStack(size_t usable_bytes);
+  ~FiberStack();
+
+  FiberStack(const FiberStack&) = delete;
+  FiberStack& operator=(const FiberStack&) = delete;
+  FiberStack(FiberStack&& other) noexcept;
+  FiberStack& operator=(FiberStack&& other) noexcept;
+
+  // Lowest usable address (just above the guard page).
+  void* base() const { return usable_base_; }
+  size_t size() const { return usable_bytes_; }
+
+  // Total bytes of address space reserved, including the guard page.
+  size_t reserved_bytes() const { return mapping_bytes_; }
+
+ private:
+  void Release();
+
+  void* mapping_ = nullptr;
+  void* usable_base_ = nullptr;
+  size_t mapping_bytes_ = 0;
+  size_t usable_bytes_ = 0;
+};
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_STACK_H_

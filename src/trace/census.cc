@@ -1,0 +1,33 @@
+#include "src/trace/census.h"
+
+namespace trace {
+
+std::string_view ParadigmName(Paradigm paradigm) {
+  switch (paradigm) {
+    case Paradigm::kDeferWork:
+      return "Defer work";
+    case Paradigm::kGeneralPump:
+      return "General pumps";
+    case Paradigm::kSlackProcess:
+      return "Slack processes";
+    case Paradigm::kSleeper:
+      return "Sleepers";
+    case Paradigm::kOneShot:
+      return "Oneshots";
+    case Paradigm::kDeadlockAvoidance:
+      return "Deadlock avoid";
+    case Paradigm::kTaskRejuvenation:
+      return "Task rejuvenate";
+    case Paradigm::kSerializer:
+      return "Serializers";
+    case Paradigm::kEncapsulatedFork:
+      return "Encapsulated fork";
+    case Paradigm::kConcurrencyExploiter:
+      return "Concurrency exploiters";
+    case Paradigm::kUnknown:
+      return "Unknown or other";
+  }
+  return "unknown";
+}
+
+}  // namespace trace

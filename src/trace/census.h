@@ -1,0 +1,78 @@
+// Static paradigm census (Table 4).
+//
+// The paper's Table 4 is a *static* count: the authors read ~650 thread-creating code fragments
+// and classified each into one of ten paradigms. We reproduce the methodology rather than the
+// corpus: every thread-creation site in our Cedar/GVX worlds registers itself here with a
+// paradigm tag, and the Table 4 bench prints our census next to the paper's counts.
+
+#ifndef SRC_TRACE_CENSUS_H_
+#define SRC_TRACE_CENSUS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace trace {
+
+enum class Paradigm : uint8_t {
+  kDeferWork = 0,
+  kGeneralPump,
+  kSlackProcess,
+  kSleeper,
+  kOneShot,
+  kDeadlockAvoidance,
+  kTaskRejuvenation,
+  kSerializer,
+  kEncapsulatedFork,
+  kConcurrencyExploiter,
+  kUnknown,
+};
+inline constexpr int kNumParadigms = 11;
+
+std::string_view ParadigmName(Paradigm paradigm);
+
+class Census {
+ public:
+  // Registers one static thread-creation site. `site` should name the module and purpose, e.g.
+  // "shell: keystroke worker".
+  void Register(Paradigm paradigm, std::string site) {
+    counts_[static_cast<size_t>(paradigm)] += 1;
+    sites_.push_back({paradigm, std::move(site)});
+  }
+
+  int64_t count(Paradigm paradigm) const { return counts_[static_cast<size_t>(paradigm)]; }
+
+  int64_t total() const {
+    int64_t sum = 0;
+    for (int64_t c : counts_) {
+      sum += c;
+    }
+    return sum;
+  }
+
+  double fraction(Paradigm paradigm) const {
+    int64_t t = total();
+    return t == 0 ? 0.0 : static_cast<double>(count(paradigm)) / static_cast<double>(t);
+  }
+
+  struct Site {
+    Paradigm paradigm;
+    std::string name;
+  };
+  const std::vector<Site>& sites() const { return sites_; }
+
+  void Clear() {
+    counts_.fill(0);
+    sites_.clear();
+  }
+
+ private:
+  std::array<int64_t, kNumParadigms> counts_{};
+  std::vector<Site> sites_;
+};
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_CENSUS_H_

@@ -1,0 +1,68 @@
+// Thread-event records emitted by the pcr runtime.
+//
+// The paper's methodology rests on "microsecond spacing between thread events": forks, yields,
+// scheduler switches, monitor-lock entries and condition-variable waits (Section 1). Every
+// scheduler-visible action in our runtime emits one Event into a Tracer; all of Tables 1-3 and
+// the execution-interval histograms are computed from these records after a run.
+
+#ifndef SRC_TRACE_EVENT_H_
+#define SRC_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace trace {
+
+// Virtual time in microseconds.
+using Usec = int64_t;
+
+// Thread ids are runtime-assigned, monotonically increasing. Id 0 denotes "no thread" (an idle
+// processor in switch events).
+using ThreadId = uint32_t;
+
+// Monitors, condition variables and other waitable objects get process-unique ids.
+using ObjectId = uint64_t;
+
+enum class EventType : uint8_t {
+  kThreadFork,        // thread = parent, object = child id, arg = child priority
+  kThreadStart,       // thread = child (first dispatch)
+  kThreadExit,        // thread = exiting thread, arg = 1 if it died with an uncaught error
+  kThreadJoin,        // thread = joiner, object = joined thread
+  kThreadDetach,      // thread = detacher, object = detached thread
+  kSwitch,            // processor's running thread changed; thread = incoming (0 = idle)
+  kPreempt,           // thread preempted by a higher-priority wakeup; thread = victim
+  kMlEnter,           // thread entered a monitor; object = monitor
+  kMlContend,         // thread had to block for a monitor; object = monitor, arg = owner
+  kMlExit,            // thread left a monitor; object = monitor
+  kCvWait,            // thread began a WAIT; object = condition variable
+  kCvTimeout,         // a WAIT completed by timeout; object = condition variable
+  kCvNotified,        // a WAIT completed by NOTIFY/BROADCAST; object = condition variable
+  kCvNotify,          // NOTIFY issued; object = condition variable, arg = #waiters woken
+  kCvBroadcast,       // BROADCAST issued; object = condition variable, arg = #waiters woken
+  kSpuriousConflict,  // notified thread immediately blocked on the notifier's monitor (6.1)
+  kYield,             // explicit YIELD
+  kYieldButNotToMe,   // the YieldButNotToMe primitive (5.2)
+  kDirectedYield,     // directed yield; object = donee thread
+  kSetPriority,       // thread changed its own priority; arg = new priority
+  kInterrupt,         // external (device) event delivered; object = interrupt source
+  kTimerFire,         // scheduler tick fired a timeout for this thread
+  kSleep,             // thread began a timed sleep; arg = requested microseconds
+  kUser,              // free-form workload annotation; object/arg are caller-defined
+};
+
+// Human-readable name for an event type (for dumps and debugging).
+std::string_view EventTypeName(EventType type);
+
+struct Event {
+  Usec time_us = 0;
+  EventType type = EventType::kUser;
+  uint8_t priority = 0;    // priority of the acting thread at event time
+  uint16_t processor = 0;  // virtual processor the event happened on
+  ThreadId thread = 0;     // acting thread (incoming thread for kSwitch)
+  ObjectId object = 0;     // monitor / CV / peer-thread id, depending on type
+  uint64_t arg = 0;        // extra per-type payload
+};
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_EVENT_H_

@@ -1,0 +1,81 @@
+#include "src/trace/genealogy.h"
+
+#include <sstream>
+
+namespace trace {
+
+GenealogySummary AnalyzeGenealogy(const Tracer& tracer, const GenealogyOptions& options) {
+  GenealogySummary g;
+  const std::vector<Event>& events = tracer.events();
+  Usec trace_end = events.empty() ? 0 : events.back().time_us;
+
+  for (const Event& e : events) {
+    if (e.type == EventType::kThreadFork) {
+      ThreadRecord rec;
+      rec.id = static_cast<ThreadId>(e.object);
+      rec.parent = e.thread;
+      rec.forked_at = e.time_us;
+      g.threads[rec.id] = rec;
+    } else if (e.type == EventType::kThreadExit) {
+      auto it = g.threads.find(e.thread);
+      if (it != g.threads.end()) {
+        it->second.exited_at = e.time_us;
+      }
+    }
+  }
+
+  // Classify by lifetime. Threads alive at trace end are eternal; completed threads are
+  // transient or worker by threshold.
+  Usec transient_total = 0;
+  for (auto& [id, rec] : g.threads) {
+    if (rec.exited_at < 0) {
+      rec.thread_class = ThreadClass::kEternal;
+      ++g.eternal;
+      (void)trace_end;
+    } else if (rec.exited_at - rec.forked_at < options.transient_threshold_us) {
+      rec.thread_class = ThreadClass::kTransient;
+      ++g.transients;
+      transient_total += rec.exited_at - rec.forked_at;
+    } else {
+      rec.thread_class = ThreadClass::kWorker;
+      ++g.workers;
+    }
+  }
+  if (g.transients > 0) {
+    g.mean_transient_lifetime_us = transient_total / g.transients;
+  }
+
+  // Generation: walk parent chains; transient children of eternal/worker (or of the host, id 0)
+  // are generation 1, their transient children generation 2, etc.
+  for (auto& [id, rec] : g.threads) {
+    if (rec.thread_class != ThreadClass::kTransient) {
+      rec.generation = 0;
+      continue;
+    }
+    int generation = 1;
+    ThreadId parent = rec.parent;
+    while (parent != 0) {
+      auto it = g.threads.find(parent);
+      if (it == g.threads.end() || it->second.thread_class != ThreadClass::kTransient) {
+        break;
+      }
+      ++generation;
+      parent = it->second.parent;
+    }
+    rec.generation = generation;
+    if (generation > g.max_transient_generation) {
+      g.max_transient_generation = generation;
+    }
+  }
+  return g;
+}
+
+std::string GenealogySummary::ToString() const {
+  std::ostringstream os;
+  os << "eternal=" << eternal << " workers=" << workers << " transients=" << transients
+     << " max-generation=" << max_transient_generation
+     << " mean-transient-life=" << mean_transient_lifetime_us << "us";
+  return os.str();
+}
+
+}  // namespace trace

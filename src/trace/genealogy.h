@@ -1,0 +1,57 @@
+// Fork genealogy and thread lifetime classification.
+//
+// Section 3 classifies dynamic threads into eternal, worker and transient, and reports the fork
+// generation structure: "every transient thread was either the child or grandchild of some
+// worker or long-lived thread" — i.e. no transient forking chains deeper than 2. This module
+// recovers both classifications from fork/exit trace events.
+
+#ifndef SRC_TRACE_GENEALOGY_H_
+#define SRC_TRACE_GENEALOGY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "src/trace/event.h"
+#include "src/trace/tracer.h"
+
+namespace trace {
+
+enum class ThreadClass : uint8_t {
+  kEternal,    // alive at the end of the run with a long lifetime
+  kWorker,     // completed, but lived a long time (>= worker_threshold)
+  kTransient,  // completed quickly
+};
+
+struct ThreadRecord {
+  ThreadId id = 0;
+  ThreadId parent = 0;
+  Usec forked_at = 0;
+  Usec exited_at = -1;  // -1: still alive at end of trace
+  ThreadClass thread_class = ThreadClass::kTransient;
+  // Fork generation counted from the nearest eternal/worker ancestor: a transient forked by a
+  // worker is generation 1; a transient forked by that transient is generation 2.
+  int generation = 0;
+};
+
+struct GenealogyOptions {
+  // Threads that complete in under this live span are transient (paper: "well under 1 second").
+  Usec transient_threshold_us = 1'000'000;
+};
+
+struct GenealogySummary {
+  int64_t eternal = 0;
+  int64_t workers = 0;
+  int64_t transients = 0;
+  int max_transient_generation = 0;  // paper: never exceeds 2
+  Usec mean_transient_lifetime_us = 0;
+  std::map<ThreadId, ThreadRecord> threads;
+
+  std::string ToString() const;
+};
+
+GenealogySummary AnalyzeGenealogy(const Tracer& tracer, const GenealogyOptions& options = {});
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_GENEALOGY_H_

@@ -1,0 +1,33 @@
+#include "src/trace/histogram.h"
+
+#include <sstream>
+
+namespace trace {
+
+std::string Histogram::Render(int max_bar_width) const {
+  int64_t peak = 1;
+  for (int64_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::ostringstream os;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) {
+      continue;
+    }
+    int64_t lo = static_cast<int64_t>(b) * width_;
+    if (b + 1 == counts_.size()) {
+      os << "[" << lo << ", inf) ";
+    } else {
+      os << "[" << lo << ", " << lo + width_ << ") ";
+    }
+    os << counts_[b] << " ";
+    int bar = static_cast<int>(counts_[b] * max_bar_width / peak);
+    for (int i = 0; i < bar; ++i) {
+      os << '#';
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace trace

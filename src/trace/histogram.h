@@ -1,0 +1,101 @@
+// Fixed-bucket histogram used for execution-interval distributions.
+//
+// Section 3 of the paper reports execution-interval distributions ("a peak at about 3
+// milliseconds ... a second peak around 45 milliseconds") and the share of total execution time
+// accumulated in 45-50 ms intervals. This histogram tracks both a count and a value-weighted
+// total per bucket so both views come from one pass.
+
+#ifndef SRC_TRACE_HISTOGRAM_H_
+#define SRC_TRACE_HISTOGRAM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trace {
+
+class Histogram {
+ public:
+  // Buckets are [0, width), [width, 2*width), ..., plus a final overflow bucket.
+  Histogram(int64_t bucket_width, int num_buckets)
+      : width_(bucket_width > 0 ? bucket_width : 1), counts_(num_buckets + 1, 0),
+        weights_(num_buckets + 1, 0) {}
+
+  void Add(int64_t value) {
+    size_t index = std::min<size_t>(static_cast<size_t>(value / width_), counts_.size() - 1);
+    counts_[index] += 1;
+    weights_[index] += value;
+    total_count_ += 1;
+    total_weight_ += value;
+  }
+
+  int64_t bucket_width() const { return width_; }
+  // Number of regular buckets, excluding the overflow bucket.
+  int num_buckets() const { return static_cast<int>(counts_.size()) - 1; }
+
+  int64_t count(int bucket) const { return counts_[static_cast<size_t>(bucket)]; }
+  int64_t weight(int bucket) const { return weights_[static_cast<size_t>(bucket)]; }
+  int64_t overflow_count() const { return counts_.back(); }
+  int64_t total_count() const { return total_count_; }
+  int64_t total_weight() const { return total_weight_; }
+
+  // Fraction of samples whose value fell in [lo, hi). Returns 0 when empty.
+  double CountFraction(int64_t lo, int64_t hi) const {
+    return total_count_ == 0 ? 0.0 : static_cast<double>(CountIn(lo, hi)) / total_count_;
+  }
+
+  // Fraction of total (value-weighted) mass in [lo, hi). Returns 0 when empty.
+  double WeightFraction(int64_t lo, int64_t hi) const {
+    return total_weight_ == 0 ? 0.0 : static_cast<double>(WeightIn(lo, hi)) / total_weight_;
+  }
+
+  // Bucket index with the highest count within [lo_bucket, hi_bucket]; -1 if all are empty.
+  int PeakBucket(int lo_bucket, int hi_bucket) const {
+    int best = -1;
+    int64_t best_count = 0;
+    for (int b = lo_bucket; b <= hi_bucket && b < num_buckets(); ++b) {
+      if (counts_[static_cast<size_t>(b)] > best_count) {
+        best_count = counts_[static_cast<size_t>(b)];
+        best = b;
+      }
+    }
+    return best;
+  }
+
+  // ASCII rendering, one line per bucket: "[lo,hi) count weight bar".
+  std::string Render(int max_bar_width = 50) const;
+
+ private:
+  int64_t CountIn(int64_t lo, int64_t hi) const {
+    int64_t total = 0;
+    for (size_t b = 0; b + 1 < counts_.size(); ++b) {
+      int64_t bucket_lo = static_cast<int64_t>(b) * width_;
+      if (bucket_lo >= lo && bucket_lo < hi) {
+        total += counts_[b];
+      }
+    }
+    return total;
+  }
+
+  int64_t WeightIn(int64_t lo, int64_t hi) const {
+    int64_t total = 0;
+    for (size_t b = 0; b + 1 < weights_.size(); ++b) {
+      int64_t bucket_lo = static_cast<int64_t>(b) * width_;
+      if (bucket_lo >= lo && bucket_lo < hi) {
+        total += weights_[b];
+      }
+    }
+    return total;
+  }
+
+  int64_t width_;
+  std::vector<int64_t> counts_;
+  std::vector<int64_t> weights_;
+  int64_t total_count_ = 0;
+  int64_t total_weight_ = 0;
+};
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_HISTOGRAM_H_

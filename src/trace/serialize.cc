@@ -1,0 +1,70 @@
+#include "src/trace/serialize.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace trace {
+
+namespace {
+constexpr char kHeader[] = "pcr-trace v1";
+}  // namespace
+
+size_t WriteTrace(std::ostream& os, const Tracer& tracer) {
+  os << kHeader << "\n";
+  for (const Event& e : tracer.events()) {
+    os << e.time_us << '\t' << static_cast<int>(e.type) << '\t'
+       << static_cast<int>(e.priority) << '\t' << e.processor << '\t' << e.thread << '\t'
+       << e.object << '\t' << e.arg << '\n';
+  }
+  return tracer.size();
+}
+
+int64_t ReadTrace(std::istream& is, Tracer* tracer) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    return -1;
+  }
+  int64_t count = 0;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream fields(line);
+    Event e;
+    int64_t time = 0;
+    int type = 0;
+    int priority = 0;
+    uint32_t processor = 0;
+    if (!(fields >> time >> type >> priority >> processor >> e.thread >> e.object >> e.arg)) {
+      return -1;
+    }
+    e.time_us = time;
+    e.type = static_cast<EventType>(type);
+    e.priority = static_cast<uint8_t>(priority);
+    e.processor = static_cast<uint16_t>(processor);
+    tracer->Record(e);
+    ++count;
+  }
+  return count;
+}
+
+bool SaveTraceFile(const std::string& path, const Tracer& tracer) {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteTrace(out, tracer);
+  return static_cast<bool>(out);
+}
+
+bool LoadTraceFile(const std::string& path, Tracer* tracer) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  return ReadTrace(in, tracer) >= 0;
+}
+
+}  // namespace trace

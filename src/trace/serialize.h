@@ -1,0 +1,28 @@
+// Trace serialization: save a run's event history to disk and load it back, so traces can be
+// archived, diffed across runs, or analyzed by external tooling. The format is a versioned
+// tab-separated text file — grep-able, like the authors' own event histories.
+
+#ifndef SRC_TRACE_SERIALIZE_H_
+#define SRC_TRACE_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/tracer.h"
+
+namespace trace {
+
+// Writes every recorded event. Returns the number of events written.
+size_t WriteTrace(std::ostream& os, const Tracer& tracer);
+
+// Parses a trace written by WriteTrace into `tracer` (appending). Returns the number of events
+// read, or -1 if the header is missing/unsupported or a record is malformed.
+int64_t ReadTrace(std::istream& is, Tracer* tracer);
+
+// Convenience file wrappers. Return false on I/O failure.
+bool SaveTraceFile(const std::string& path, const Tracer& tracer);
+bool LoadTraceFile(const std::string& path, Tracer* tracer);
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_SERIALIZE_H_

@@ -1,0 +1,190 @@
+#include "src/trace/stats.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+namespace trace {
+
+namespace {
+
+// Per-processor run tracking used to turn kSwitch events into execution intervals.
+struct ProcessorRun {
+  ThreadId thread = 0;
+  uint8_t priority = 0;
+  Usec since = 0;
+};
+
+}  // namespace
+
+Summary Summarize(const Tracer& tracer, const StatsOptions& options) {
+  const std::vector<Event>& events = tracer.events();
+  Usec begin = options.window_begin;
+  Usec end = options.window_end;
+  if (end <= begin) {
+    end = events.empty() ? begin : events.back().time_us;
+  }
+
+  Summary s;
+  s.window_us = end - begin;
+  s.exec_intervals = Histogram(options.interval_bucket_us, options.interval_buckets);
+
+  std::set<ObjectId> cvs;
+  std::set<ObjectId> mls;
+  std::map<uint16_t, ProcessorRun> runs;
+  int live = 0;
+
+  auto account_run = [&](const ProcessorRun& run, Usec until) {
+    Usec from = std::max(run.since, begin);
+    Usec to = std::min(until, end);
+    if (to <= from) {
+      return;
+    }
+    Usec span = to - from;
+    if (run.thread == 0) {
+      s.idle_time_us += span;
+      return;
+    }
+    s.busy_time_us += span;
+    if (run.priority < s.cpu_time_by_priority.size()) {
+      s.cpu_time_by_priority[run.priority] += span;
+    }
+    // Execution intervals are measured switch-to-switch; clamping to the window keeps partial
+    // boundary runs from polluting the distribution only when the window cut them.
+    s.exec_intervals.Add(span);
+  };
+
+  for (const Event& e : events) {
+    if (e.time_us >= end) {
+      break;
+    }
+    bool in_window = e.time_us >= begin;
+
+    switch (e.type) {
+      case EventType::kThreadFork:
+        ++live;
+        if (live > s.max_live_threads) {
+          s.max_live_threads = live;
+        }
+        if (in_window) {
+          ++s.forks;
+        }
+        break;
+      case EventType::kThreadExit:
+        --live;
+        break;
+      case EventType::kSwitch: {
+        ProcessorRun& run = runs[e.processor];
+        account_run(run, e.time_us);
+        if (in_window && e.thread != 0) {
+          // Switches *to* a thread. A park-to-idle is not a thread switch; the later
+          // idle-to-thread dispatch counts as the one switch, matching how the paper's
+          // switch rates relate to its wait rates.
+          ++s.switches;
+        }
+        run.thread = e.thread;
+        run.priority = e.priority;
+        run.since = e.time_us;
+        break;
+      }
+      case EventType::kPreempt:
+        if (in_window) {
+          ++s.preemptions;
+        }
+        break;
+      case EventType::kMlEnter:
+        if (in_window) {
+          ++s.ml_enters;
+          mls.insert(e.object);
+        }
+        break;
+      case EventType::kMlContend:
+        if (in_window) {
+          ++s.ml_contentions;
+        }
+        break;
+      case EventType::kCvWait:
+        if (in_window) {
+          cvs.insert(e.object);
+        }
+        break;
+      case EventType::kCvTimeout:
+        if (in_window) {
+          ++s.cv_waits;
+          ++s.cv_timeouts;
+        }
+        break;
+      case EventType::kCvNotified:
+        if (in_window) {
+          ++s.cv_waits;
+        }
+        break;
+      case EventType::kCvNotify:
+        if (in_window) {
+          ++s.notifies;
+        }
+        break;
+      case EventType::kCvBroadcast:
+        if (in_window) {
+          ++s.broadcasts;
+        }
+        break;
+      case EventType::kSpuriousConflict:
+        if (in_window) {
+          ++s.spurious_conflicts;
+        }
+        break;
+      case EventType::kYield:
+      case EventType::kYieldButNotToMe:
+      case EventType::kDirectedYield:
+        if (in_window) {
+          ++s.yields;
+        }
+        break;
+      case EventType::kInterrupt:
+        if (in_window) {
+          ++s.interrupts;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  // Close out runs still open at window end.
+  for (auto& [proc, run] : runs) {
+    account_run(run, end);
+  }
+
+  s.distinct_cvs = static_cast<int64_t>(cvs.size());
+  s.distinct_mls = static_cast<int64_t>(mls.size());
+
+  double seconds = static_cast<double>(s.window_us) / 1e6;
+  if (seconds > 0) {
+    s.forks_per_sec = static_cast<double>(s.forks) / seconds;
+    s.switches_per_sec = static_cast<double>(s.switches) / seconds;
+    s.waits_per_sec = static_cast<double>(s.cv_waits) / seconds;
+    s.ml_enters_per_sec = static_cast<double>(s.ml_enters) / seconds;
+  }
+  if (s.cv_waits > 0) {
+    s.timeout_fraction = static_cast<double>(s.cv_timeouts) / static_cast<double>(s.cv_waits);
+  }
+  if (s.ml_enters > 0) {
+    s.contention_fraction =
+        static_cast<double>(s.ml_contentions) / static_cast<double>(s.ml_enters);
+  }
+  return s;
+}
+
+std::string Summary::ToString() const {
+  std::ostringstream os;
+  os << "window=" << window_us / 1000 << "ms"
+     << " forks/s=" << forks_per_sec << " switches/s=" << switches_per_sec
+     << " waits/s=" << waits_per_sec << " timeout%=" << timeout_fraction * 100
+     << " ml-enters/s=" << ml_enters_per_sec << " contention%=" << contention_fraction * 100
+     << " #cv=" << distinct_cvs << " #ml=" << distinct_mls
+     << " max-threads=" << max_live_threads;
+  return os.str();
+}
+
+}  // namespace trace

@@ -1,0 +1,89 @@
+// Post-hoc statistics over a trace window.
+//
+// Computes every metric reported in the paper's Tables 1-3 plus the in-text series:
+//   Table 1: forks/sec and thread switches/sec.
+//   Table 2: CV waits/sec, fraction of waits that timed out, monitor entries/sec (and, from the
+//            surrounding text, the fraction of entries that contended).
+//   Table 3: number of distinct condition variables and monitor locks used.
+//   Section 3 prose: execution-interval distribution (bimodal: ~3 ms and ~quantum peaks), the
+//            share of execution time in intervals of 45-50 ms, per-priority execution time, and
+//            the maximum number of concurrently live threads.
+
+#ifndef SRC_TRACE_STATS_H_
+#define SRC_TRACE_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "src/trace/event.h"
+#include "src/trace/histogram.h"
+#include "src/trace/tracer.h"
+
+namespace trace {
+
+struct StatsOptions {
+  Usec window_begin = 0;
+  Usec window_end = 0;  // exclusive; 0 means "through the last event"
+  // Bucketing for the execution-interval histogram (defaults: 1 ms buckets up to 100 ms).
+  Usec interval_bucket_us = 1000;
+  int interval_buckets = 100;
+};
+
+struct Summary {
+  Usec window_us = 0;
+
+  // Table 1.
+  int64_t forks = 0;
+  int64_t switches = 0;
+  double forks_per_sec = 0;
+  double switches_per_sec = 0;
+
+  // Table 2.
+  int64_t cv_waits = 0;
+  int64_t cv_timeouts = 0;
+  int64_t ml_enters = 0;
+  int64_t ml_contentions = 0;
+  double waits_per_sec = 0;
+  double timeout_fraction = 0;     // of completed waits, how many ended by timeout
+  double ml_enters_per_sec = 0;
+  double contention_fraction = 0;  // of monitor entries, how many blocked
+
+  // Table 3.
+  int64_t distinct_cvs = 0;
+  int64_t distinct_mls = 0;
+
+  // Section 3 / Section 6 extras.
+  int64_t yields = 0;
+  int64_t preemptions = 0;
+  int64_t spurious_conflicts = 0;
+  int64_t notifies = 0;
+  int64_t broadcasts = 0;
+  int64_t interrupts = 0;
+  int max_live_threads = 0;
+  Usec idle_time_us = 0;
+  Usec busy_time_us = 0;
+  std::array<Usec, 8> cpu_time_by_priority{};  // index 1..7; 0 unused
+
+  // Execution intervals: time between thread switches attributed to the running thread.
+  Histogram exec_intervals{1000, 100};
+
+  // Convenience accessors for the paper's headline distribution claims.
+  double FractionIntervalsUnder(Usec limit_us) const {
+    return exec_intervals.CountFraction(0, limit_us);
+  }
+  double FractionTimeBetween(Usec lo_us, Usec hi_us) const {
+    return exec_intervals.WeightFraction(lo_us, hi_us);
+  }
+
+  std::string ToString() const;
+};
+
+// Computes a Summary from the tracer's event buffer. Events before options.window_begin still
+// contribute to live-thread tracking (a thread forked before the window can run inside it) but
+// not to rate counters.
+Summary Summarize(const Tracer& tracer, const StatsOptions& options = {});
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_STATS_H_

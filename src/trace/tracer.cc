@@ -1,0 +1,84 @@
+#include "src/trace/tracer.h"
+
+#include <iomanip>
+#include <ostream>
+
+namespace trace {
+
+std::string_view EventTypeName(EventType type) {
+  switch (type) {
+    case EventType::kThreadFork:
+      return "fork";
+    case EventType::kThreadStart:
+      return "start";
+    case EventType::kThreadExit:
+      return "exit";
+    case EventType::kThreadJoin:
+      return "join";
+    case EventType::kThreadDetach:
+      return "detach";
+    case EventType::kSwitch:
+      return "switch";
+    case EventType::kPreempt:
+      return "preempt";
+    case EventType::kMlEnter:
+      return "ml-enter";
+    case EventType::kMlContend:
+      return "ml-contend";
+    case EventType::kMlExit:
+      return "ml-exit";
+    case EventType::kCvWait:
+      return "cv-wait";
+    case EventType::kCvTimeout:
+      return "cv-timeout";
+    case EventType::kCvNotified:
+      return "cv-notified";
+    case EventType::kCvNotify:
+      return "cv-notify";
+    case EventType::kCvBroadcast:
+      return "cv-broadcast";
+    case EventType::kSpuriousConflict:
+      return "spurious-conflict";
+    case EventType::kYield:
+      return "yield";
+    case EventType::kYieldButNotToMe:
+      return "yield-but-not-to-me";
+    case EventType::kDirectedYield:
+      return "directed-yield";
+    case EventType::kSetPriority:
+      return "set-priority";
+    case EventType::kInterrupt:
+      return "interrupt";
+    case EventType::kTimerFire:
+      return "timer-fire";
+    case EventType::kSleep:
+      return "sleep";
+    case EventType::kUser:
+      return "user";
+  }
+  return "unknown";
+}
+
+void Tracer::Dump(std::ostream& os, Usec from_us, Usec to_us, size_t limit) const {
+  size_t emitted = 0;
+  for (const Event& e : events_) {
+    if (e.time_us < from_us) {
+      continue;
+    }
+    if (e.time_us >= to_us || emitted >= limit) {
+      break;
+    }
+    os << std::setw(12) << e.time_us << "us p" << e.processor << " t" << e.thread << " pri"
+       << static_cast<int>(e.priority) << " " << EventTypeName(e.type);
+    if (e.object != 0) {
+      os << " obj=" << e.object;
+    }
+    if (e.arg != 0) {
+      os << " arg=" << e.arg;
+    }
+    os << "\n";
+    ++emitted;
+  }
+}
+
+}  // namespace trace

@@ -1,0 +1,57 @@
+// In-memory event tracer.
+//
+// The tracer is the runtime's only measurement channel: it stores every Event in arrival order
+// (virtual time is monotone, so the buffer is sorted by construction). Statistics (stats.h) are
+// computed post-hoc over a [begin, end) window so that benchmarks can exclude warm-up.
+
+#ifndef SRC_TRACE_TRACER_H_
+#define SRC_TRACE_TRACER_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "src/trace/event.h"
+
+namespace trace {
+
+class Tracer {
+ public:
+  Tracer() = default;
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Enables or disables recording. Disabled tracers drop events (counters in the runtime that
+  // do not depend on the tracer keep working).
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  void Record(const Event& event) {
+    if (enabled_) {
+      events_.push_back(event);
+    }
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+  size_t size() const { return events_.size(); }
+  void Clear() { events_.clear(); }
+
+  // Marks the logical start of the measurement window. Stats helpers use this to skip warm-up
+  // events without copying the buffer.
+  void MarkWindowStart(Usec now) { window_start_ = now; }
+  Usec window_start() const { return window_start_; }
+
+  // Writes a human-readable dump of events in [from_us, to_us) to `os`, at most `limit` lines.
+  // Intended for debugging "100 millisecond event histories" the way the authors did.
+  void Dump(std::ostream& os, Usec from_us, Usec to_us, size_t limit = 1000) const;
+
+ private:
+  bool enabled_ = true;
+  Usec window_start_ = 0;
+  std::vector<Event> events_;
+};
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_TRACER_H_

@@ -1,0 +1,102 @@
+#include "src/trace/validate.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace trace {
+
+namespace {
+
+void Error(ValidationResult* result, size_t index, const Event& e, const std::string& what) {
+  if (result->errors.size() >= 20) {
+    return;  // cap the report; one broken invariant tends to cascade
+  }
+  std::ostringstream os;
+  os << "event #" << index << " t=" << e.time_us << "us thread=" << e.thread << " "
+     << EventTypeName(e.type) << ": " << what;
+  result->errors.push_back(os.str());
+}
+
+}  // namespace
+
+ValidationResult ValidateTrace(const Tracer& tracer) {
+  ValidationResult result;
+  const std::vector<Event>& events = tracer.events();
+
+  Usec last_time = 0;
+  std::set<ThreadId> forked;
+  std::set<ThreadId> exited;
+  std::map<ObjectId, int64_t> monitor_balance;  // enters minus exits; never negative
+  std::map<ThreadId, int> waits_begun;          // cv-wait vs completion balance
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (e.time_us < last_time) {
+      Error(&result, i, e, "time went backwards");
+    }
+    last_time = e.time_us;
+
+    // Acting threads must exist and not be finished (thread 0 = scheduler context is exempt).
+    if (e.thread != 0 && e.type != EventType::kThreadFork && e.type != EventType::kSwitch) {
+      if (exited.count(e.thread) != 0) {
+        Error(&result, i, e, "action by an exited thread");
+      }
+    }
+
+    switch (e.type) {
+      case EventType::kThreadFork: {
+        auto child = static_cast<ThreadId>(e.object);
+        if (!forked.insert(child).second) {
+          Error(&result, i, e, "thread id forked twice");
+        }
+        break;
+      }
+      case EventType::kThreadExit:
+        if (e.thread != 0 && !exited.insert(e.thread).second) {
+          Error(&result, i, e, "thread exited twice");
+        }
+        break;
+      case EventType::kMlEnter:
+        // kMlEnter is emitted at the start of Enter (the attempt), so enters can legitimately
+        // run ahead of exits — but exits must never run ahead of enters.
+        ++monitor_balance[e.object];
+        break;
+      case EventType::kMlExit:
+        if (--monitor_balance[e.object] < 0) {
+          Error(&result, i, e, "monitor exit without a matching enter");
+          monitor_balance[e.object] = 0;
+        }
+        break;
+      case EventType::kCvWait:
+        ++waits_begun[e.thread];
+        break;
+      case EventType::kCvTimeout:
+      case EventType::kCvNotified:
+        if (--waits_begun[e.thread] < 0) {
+          Error(&result, i, e, "wait completion without a matching WAIT");
+          waits_begun[e.thread] = 0;
+        }
+        break;
+      case EventType::kSwitch:
+        if (e.thread != 0 && exited.count(e.thread) != 0) {
+          Error(&result, i, e, "switch to an exited thread");
+        }
+        break;
+      default:
+        break;
+    }
+
+  }
+  return result;
+}
+
+std::string ValidationResult::ToString() const {
+  std::ostringstream os;
+  for (const std::string& error : errors) {
+    os << error << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace trace

@@ -1,0 +1,29 @@
+// Structural validation of event traces.
+//
+// A well-formed trace obeys invariants no workload can legally break: time is monotone, monitor
+// enters/exits balance per monitor with consistent ownership, threads start before they act and
+// never act after exiting, every completed wait was preceded by its WAIT. ValidateTrace checks
+// them all; the stress and world tests run it so scheduler regressions surface as structured
+// errors rather than downstream weirdness.
+
+#ifndef SRC_TRACE_VALIDATE_H_
+#define SRC_TRACE_VALIDATE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/tracer.h"
+
+namespace trace {
+
+struct ValidationResult {
+  std::vector<std::string> errors;  // empty = valid
+  bool ok() const { return errors.empty(); }
+  std::string ToString() const;
+};
+
+ValidationResult ValidateTrace(const Tracer& tracer);
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_VALIDATE_H_

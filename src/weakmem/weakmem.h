@@ -1,0 +1,102 @@
+// Weakly-ordered shared memory, simulated (Section 5.5).
+//
+// "we saw several places where the correctness of threaded code depended on strong memory
+// ordering, an assumption no longer true in some modern multiprocessors ... Under weak
+// ordering, readers of the global variable can follow a pointer to a record that has not yet
+// had its fields filled in."
+//
+// The model: every store enters the writing thread's store buffer and becomes visible to OTHER
+// threads only after a drain delay (the writer always sees its own stores — store forwarding).
+// A Fence drains the calling thread's pending stores immediately, which is what the monitor
+// implementation's memory barriers do ("The monitor implementation for weak ordering can use
+// memory barrier instructions...").
+//
+// This reproduces both of the paper's examples — the published-pointer-with-unfilled-fields
+// record and Birrell's call-the-initializer-exactly-once hint — as testable behaviour.
+
+#ifndef SRC_WEAKMEM_WEAKMEM_H_
+#define SRC_WEAKMEM_WEAKMEM_H_
+
+#include <deque>
+
+#include "src/pcr/ids.h"
+#include "src/pcr/runtime.h"
+
+namespace weakmem {
+
+// How long a store sits in the owner's store buffer before becoming globally visible.
+inline constexpr pcr::Usec kDefaultDrainDelay = 20;
+
+template <typename T>
+class WeakCell {
+ public:
+  WeakCell(pcr::Runtime& runtime, T initial, pcr::Usec drain_delay = kDefaultDrainDelay)
+      : runtime_(runtime), committed_(initial), drain_delay_(drain_delay) {}
+
+  WeakCell(const WeakCell&) = delete;
+  WeakCell& operator=(const WeakCell&) = delete;
+
+  // Buffered store: visible to the writer immediately, to everyone else after the drain delay
+  // (or the writer's next Fence).
+  void Store(T value) {
+    Commit(runtime_.now());
+    pending_.push_back(Pending{value, runtime_.scheduler().current(),
+                               runtime_.now() + drain_delay_});
+  }
+
+  // What the calling thread observes now.
+  T Load() {
+    pcr::Usec now = runtime_.now();
+    Commit(now);
+    pcr::ThreadId me = runtime_.scheduler().current();
+    // Store forwarding: the writer sees its own most recent pending store.
+    for (auto it = pending_.rbegin(); it != pending_.rend(); ++it) {
+      if (it->writer == me) {
+        return it->value;
+      }
+    }
+    return committed_;
+  }
+
+  // Drains the calling thread's pending stores (a memory barrier on the writer's processor).
+  void Fence() {
+    pcr::ThreadId me = runtime_.scheduler().current();
+    for (Pending& p : pending_) {
+      if (p.writer == me) {
+        p.visible_at = runtime_.now();
+      }
+    }
+    Commit(runtime_.now());
+  }
+
+  // Store + Fence: release-publish.
+  void Publish(T value) {
+    Store(value);
+    Fence();
+  }
+
+  size_t pending_stores() const { return pending_.size(); }
+
+ private:
+  struct Pending {
+    T value;
+    pcr::ThreadId writer;
+    pcr::Usec visible_at;
+  };
+
+  void Commit(pcr::Usec now) {
+    while (!pending_.empty() && pending_.front().visible_at <= now) {
+      committed_ = pending_.front().value;
+      pending_.pop_front();
+    }
+  }
+
+  pcr::Runtime& runtime_;
+  T committed_;
+  pcr::Usec drain_delay_;
+  std::deque<Pending> pending_;
+};
+
+}  // namespace weakmem
+
+#endif  // SRC_WEAKMEM_WEAKMEM_H_

@@ -1,0 +1,564 @@
+#include "src/world/cedar_world.h"
+
+#include "src/paradigm/deadlock_avoider.h"
+#include "src/paradigm/defer.h"
+#include "src/trace/census.h"
+
+namespace world {
+
+namespace {
+
+using paradigm::Serializer;
+using paradigm::Sleeper;
+using trace::Paradigm;
+
+constexpr pcr::Usec kMs = pcr::kUsecPerMsec;
+
+// The bank of housekeeping sleepers that, with the pipeline threads and cache managers, brings
+// an idle Cedar to ~35 eternal threads (Section 3). Periods and library footprints are tuned so
+// an idle system produces the Table 1-3 idle texture (~120 CV waits/sec, ~80% timeouts,
+// ~400 ML-enters/sec over ~550 distinct monitors).
+struct HousekeeperSpec {
+  const char* name;
+  pcr::Usec period;
+  int priority;
+  int lib_base;  // base key into the UI library
+  int ops;       // library calls per activation
+  pcr::Usec op_cost;
+};
+
+constexpr HousekeeperSpec kHousekeepers[] = {
+    {"cursor-blinker", 500 * kMs, 6, 600, 6, 20},
+    {"clock-updater", 1000 * kMs, 4, 610, 9, 25},
+    {"network-timeout-checker", 1000 * kMs, 4, 620, 12, 20},
+    {"mail-watcher", 2000 * kMs, 3, 630, 15, 30},
+    {"filesystem-watcher", 800 * kMs, 4, 640, 12, 20},
+    {"page-cleaner", 600 * kMs, 3, 650, 18, 25},
+    {"font-cache-ager", 900 * kMs, 3, 660, 15, 20},
+    {"selection-manager", 400 * kMs, 4, 670, 6, 15},
+    {"screen-saver-watch", 1500 * kMs, 2, 680, 6, 15},
+    {"swap-daemon", 700 * kMs, 3, 690, 12, 20},
+    {"tip-table-refresher", 1100 * kMs, 3, 700, 9, 20},
+    {"version-map-daemon", 1300 * kMs, 3, 710, 9, 20},
+    {"undo-log-trimmer", 1700 * kMs, 3, 720, 9, 20},
+    {"session-logger", 450 * kMs, 3, 730, 6, 15},
+    {"print-queue-watch", 1900 * kMs, 3, 740, 6, 20},
+    {"rpc-keepalive", 200 * kMs, 4, 750, 4, 15},
+    {"icon-refresher", 650 * kMs, 4, 760, 9, 20},
+    {"profiler-sampler", 160 * kMs, 2, 770, 2, 10},
+    {"debugger-nub", 2100 * kMs, 2, 780, 3, 10},
+    {"heartbeat-net", 150 * kMs, 3, 790, 2, 10},
+    {"heartbeat-disk", 180 * kMs, 3, 800, 2, 10},
+    {"heartbeat-ipc", 220 * kMs, 3, 810, 2, 10},
+};
+
+}  // namespace
+
+CedarWorld::CedarWorld(pcr::Runtime& runtime, CedarSpec spec)
+    : runtime_(runtime), spec_(spec),
+      input_irq_(runtime.scheduler(), "input-device"),
+      keyboard_(runtime, input_irq_),
+      mouse_(runtime, input_irq_),
+      xserver_(runtime),
+      ui_library_(runtime, "ui", spec.ui_modules),
+      compiler_library_(runtime, "compiler", spec.compiler_modules),
+      raw_events_(runtime.scheduler(), "raw-input", /*capacity=*/0),
+      cooked_events_(runtime.scheduler(), "cooked-input", /*capacity=*/0),
+      paint_jobs_(runtime.scheduler(), "paint-jobs", /*capacity=*/0) {
+  window_system_ = std::make_unique<WindowSystem>(
+      runtime_, /*window_count=*/8, [this](const RepaintOrder& order) {
+        paint_jobs_.Put(PaintJob{runtime_.now(), order.window, order.ops, order.requests});
+      });
+  for (const char* name : {"delete-document", "quit-viewer", "purge-mail"}) {
+    guarded_buttons_.push_back(std::make_unique<paradigm::GuardedButton>(
+        runtime_, name, [this] { ui_library_.Call(98, 30); }));
+  }
+  RegisterCensus();
+  StartNotifier();
+  StartInputPipeline();
+  StartDispatcher();
+  StartShell();
+  StartImaging();
+  StartXConnectionReader();
+  StartGc();
+  StartCacheManagers();
+  StartHousekeeping();
+  StartIdleForkDaemon();
+}
+
+CedarWorld::~CedarWorld() {
+  // World threads reference world members: unwind them before the members are destroyed.
+  runtime_.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Eternal threads
+// ---------------------------------------------------------------------------
+
+void CedarWorld::StartNotifier() {
+  // "The keyboard-and-mouse watching process, called the Notifier, is such a critical, high
+  // priority thread" (Section 4.1). It does almost nothing per event beyond noticing it.
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          uint64_t payload = input_irq_.Await();
+          pcr::thisthread::Compute(20);
+          raw_events_.Put(payload);
+        }
+      },
+      pcr::ForkOptions{.name = "Notifier", .priority = 7});
+  ++eternal_threads_;
+}
+
+void CedarWorld::StartInputPipeline() {
+  // "all user input is filtered through a pipeline thread that preprocesses events and puts
+  // them into another queue, rather than have each reader thread preprocess on demand"
+  // (Section 4.2).
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          std::optional<uint64_t> event = raw_events_.Take();
+          if (!event.has_value()) {
+            return;
+          }
+          pcr::thisthread::Compute(40);  // keystroke translation, coordinate mapping
+          cooked_events_.Put(*event);
+        }
+      },
+      pcr::ForkOptions{.name = "input-pipeline", .priority = 6});
+  ++eternal_threads_;
+}
+
+void CedarWorld::StartDispatcher() {
+  // The input event dispatcher: unforked callbacks on the critical path, protected by task
+  // rejuvenation (Section 4.5: "the new copy of the dispatcher keeps running").
+  dispatcher_ = std::make_unique<paradigm::RejuvenatingTask>(
+      runtime_, "event-dispatcher",
+      [this] {
+        while (true) {
+          std::optional<uint64_t> event = cooked_events_.Take();
+          if (!event.has_value()) {
+            return;
+          }
+          pcr::thisthread::Compute(15);
+          // Unforked callbacks: "most callbacks are very short (e.g. enqueue an event) and so a
+          // fork overhead would be significant" (Section 4.5).
+          switch (InputKindOf(*event)) {
+            case InputKind::kKey:
+              shell_queue_->Enqueue(
+                  [this, detail = InputDetailOf(*event)] { HandleKeyEvent(detail); });
+              // Every keystroke also moves the caret/selection in the viewer.
+              viewer_queue_->Enqueue(
+                  [this, detail = InputDetailOf(*event)] {
+                    ui_library_.CallRange(570 + detail % 12, 8, 15);
+                  });
+              break;
+            case InputKind::kMouseMove:
+              viewer_queue_->Enqueue(
+                  [this, detail = InputDetailOf(*event)] { HandleMouseMove(detail); });
+              break;
+            case InputKind::kMouseClick:
+              viewer_queue_->Enqueue(
+                  [this, detail = InputDetailOf(*event)] { HandleMouseClick(detail); });
+              break;
+          }
+          // Input wakes the interactive housekeepers (cursor, selection, highlights): "both
+          // keyboard activity and mouse motion cause significant increases in activity by
+          // eternal threads" (Section 3). Mouse motion perks up only the cursor tracker.
+          size_t pokes = InputKindOf(*event) == InputKind::kMouseMove
+                             ? std::min<size_t>(1, ui_sleepers_.size())
+                             : ui_sleepers_.size();
+          for (size_t i = 0; i < pokes; ++i) {
+            ui_sleepers_[i]->Poke();
+          }
+        }
+      },
+      paradigm::RejuvenateOptions{.priority = 6});
+  ++eternal_threads_;
+}
+
+void CedarWorld::StartShell() {
+  shell_queue_ = std::make_unique<Serializer>(
+      runtime_, "MBQueue-shell", paradigm::SerializerOptions{.priority = 4});
+  viewer_queue_ = std::make_unique<Serializer>(
+      runtime_, "MBQueue-viewer", paradigm::SerializerOptions{.priority = 4});
+  eternal_threads_ += 2;
+}
+
+void CedarWorld::StartImaging() {
+  runtime_.ForkDetached(
+      [this] {
+        uint64_t scratch_key = 0;
+        while (true) {
+          std::optional<PaintJob> job = paint_jobs_.Take();
+          if (!job.has_value()) {
+            return;
+          }
+          // Per-glyph/per-rectangle work through monitored imaging packages.
+          for (int i = 0; i < job->ops; ++i) {
+            ui_library_.Call(100 + (scratch_key++ % 150), 12);
+          }
+          for (int r = 0; r < job->requests; ++r) {
+            x_buffer_->Submit(PaintRequest{job->created_at, job->window, r});
+          }
+        }
+      },
+      pcr::ForkOptions{.name = "imaging", .priority = 4});
+  ++eternal_threads_;
+
+  paradigm::SlackOptions slack_options;
+  slack_options.policy = spec_.x_buffer_policy;
+  slack_options.priority = spec_.x_buffer_priority;
+  slack_options.per_flush_cost = 120;
+  x_buffer_ = std::make_unique<paradigm::SlackProcess<PaintRequest>>(
+      runtime_, "x-buffer",
+      [this](std::vector<PaintRequest>&& batch) { xserver_.Send(batch); },
+      [](std::vector<PaintRequest>& batch) { XServerModel::MergeOverlapping(batch); },
+      slack_options);
+  ++eternal_threads_;
+}
+
+void CedarWorld::StartXConnectionReader() {
+  // The Xl-style serializing reader thread (Section 5.6) — here it mostly ensures timely output
+  // flushes via a periodic timeout.
+  sleepers_.push_back(std::make_unique<Sleeper>(
+      runtime_, "x-connection-reader", 250 * kMs,
+      [this] { ui_library_.Call(80, 15); }, /*priority=*/6));
+  ++eternal_threads_;
+}
+
+void CedarWorld::StartGc() {
+  // "Cedar also uses level 6 for its garbage collection daemon" (Section 3); its mark/sweep
+  // increments are the quantum-scale background runs of the execution-interval distribution,
+  // and its finalization service forks each client callback (Section 4.4). See gc.h.
+  GcOptions options;
+  options.scan_period = spec_.gc_period;
+  options.scan_base_cost = 45 * kMs;
+  gc_ = std::make_unique<GarbageCollector>(runtime_, options);
+  eternal_threads_ += gc_->eternal_threads();
+}
+
+void CedarWorld::StartCacheManagers() {
+  // "various cache managers in our systems simply throw away aged values in a cache then go
+  // back to sleep" (Section 4.3). Sweeps rotate through per-entry monitored records, which is
+  // what spreads Cedar's monitor-lock footprint across hundreds of distinct locks (Table 3).
+  for (int i = 0; i < 5; ++i) {
+    auto sweep_counter = std::make_shared<int64_t>(0);
+    sleepers_.push_back(std::make_unique<Sleeper>(
+        runtime_, "cache-manager-" + std::to_string(i), (700 + 300 * i) * kMs,
+        [this, i, sweep_counter] {
+          int64_t sweep = (*sweep_counter)++;
+          uint64_t base = 200 + static_cast<uint64_t>(i) * 70 +
+                          static_cast<uint64_t>(sweep % 7) * 10;
+          ui_library_.CallRange(base, 10, 15);
+        },
+        /*priority=*/3));
+    ++eternal_threads_;
+  }
+}
+
+void CedarWorld::StartHousekeeping() {
+  for (const HousekeeperSpec& spec : kHousekeepers) {
+    bool is_cursor = std::string_view(spec.name) == "cursor-blinker";
+    sleepers_.push_back(std::make_unique<Sleeper>(
+        runtime_, spec.name, spec.period,
+        [this, spec, is_cursor] {
+          ui_library_.CallRange(static_cast<uint64_t>(spec.lib_base), spec.ops, spec.op_cost);
+          if (is_cursor) {
+            // Blinking repaints the caret: a tiny job through the imaging/X pipeline, so even
+            // an idle system sees a trickle of *notified* (non-timeout) CV wakeups.
+            paint_jobs_.TryPut(PaintJob{runtime_.now(), 0, 2, 1});
+          }
+        },
+        spec.priority));
+    ++eternal_threads_;
+    // The interactive housekeepers that input activity wakes ahead of their timeouts.
+    std::string_view name(spec.name);
+    if (name == "cursor-blinker" || name == "selection-manager" || name == "icon-refresher" ||
+        name == "rpc-keepalive" || name == "filesystem-watcher" || name == "page-cleaner" ||
+        name == "font-cache-ager" || name == "session-logger") {
+      ui_sleepers_.push_back(sleepers_.back().get());
+    }
+  }
+}
+
+void CedarWorld::StartIdleForkDaemon() {
+  // The idle transient trickle (Section 3). Compute-intensive workloads suppress it — "the
+  // other two compute-intensive applications we examined caused thread-forking activity to
+  // decrease by more than a factor of 3".
+  idle_daemon_ = std::make_unique<paradigm::PeriodicalFork>(
+      runtime_, "idle-daemon", spec_.idle_fork_period,
+      [this] {
+        pcr::thisthread::Compute(400);
+        ui_library_.Call(95, 25);
+        // "Each forked thread, in turn, forks another transient thread."
+        runtime_.ForkDetached(
+            [this] {
+              pcr::thisthread::Compute(250);
+              ui_library_.Call(96, 20);
+            },
+            pcr::ForkOptions{.name = "idle-daemon.grandchild", .priority = 3});
+      },
+      pcr::ForkOptions{.name = "idle-daemon.child", .priority = 3},
+      /*gate=*/[this] { return !workload_active_; });
+  ++eternal_threads_;
+}
+
+// ---------------------------------------------------------------------------
+// Input handling
+// ---------------------------------------------------------------------------
+
+void CedarWorld::HandleKeyEvent(uint32_t detail) {
+  ++keystrokes_handled_;
+  gc_->Allocate();  // input events allocate (the idle system's GC pressure)
+  if (detail % 12 == 5) {
+    // Occasionally the allocation is a registered object with a finalizer (a viewer record, an
+    // open file) — collected later, finalized in a forked thread.
+    gc_->Allocate([this] { ui_library_.Call(90, 20); });
+  }
+  if (detail % 50 == 17) {
+    RunApplicationCommand(detail);  // an occasional command keystroke (^P, ^M, ...)
+  }
+  // "Keyboard activity causes a transient thread to be forked by the command-shell thread for
+  // every keystroke" (Section 3) — the echo worker formats the glyph and hands the imaging
+  // thread a paint job.
+  runtime_.ForkDetached(
+      [this, detail] {
+        ui_library_.CallRange(detail % 140, spec_.keystroke_worker_ops, 18);
+        paint_jobs_.Put(PaintJob{runtime_.now(), static_cast<int>(detail % 4),
+                                 spec_.keystroke_imaging_ops, 3});
+      },
+      pcr::ForkOptions{.name = "echo-worker", .priority = 4});
+}
+
+void CedarWorld::HandleMouseMove(uint32_t detail) {
+  // "simply moving the mouse around causes no threads to be forked" (Section 3) — cursor
+  // tracking happens in the eternal viewer thread.
+  ui_library_.CallRange(500 + detail % 36, spec_.mouse_tracking_ops, 18);
+}
+
+void CedarWorld::HandleMouseClick(uint32_t detail) {
+  gc_->Allocate();
+  if (detail % 11 == 7) {
+    // Some clicks land on guarded buttons; most just arm or get ignored (Section 4.3).
+    guarded_buttons_[detail % guarded_buttons_.size()]->Click();
+  }
+  // Scroll repaint: inline in the viewer thread when lock order allows, otherwise via a
+  // deadlock-avoider painter fork (Section 4.4) — see WindowSystem::Scroll.
+  window_system_->Scroll(detail, spec_.scroll_repaint_ops);
+}
+
+void CedarWorld::RunApplicationCommand(uint32_t detail) {
+  // "Many commands fork an activity whose results will be reported in a separate window:
+  // control in the originating thread returns immediately to the user" (Section 4.1).
+  switch (detail % 4) {
+    case 0:  // print a document
+      paradigm::DeferWork(runtime_, [this] {
+        ui_library_.CallRange(830, 25, 30);
+        pcr::thisthread::Compute(3 * kMs);
+      }, paradigm::DeferOptions{.name = "print-document", .priority = 3});
+      break;
+    case 1:  // send a mail message
+      paradigm::DeferWork(runtime_, [this] {
+        ui_library_.CallRange(845, 15, 25);
+        pcr::thisthread::Compute(2 * kMs);
+      }, paradigm::DeferOptions{.name = "send-mail", .priority = 3});
+      break;
+    case 2:  // create a new window
+      paradigm::DeferWork(runtime_, [this] {
+        ui_library_.CallRange(860, 20, 25);
+        paint_jobs_.Put(PaintJob{runtime_.now(), 5, 80, 4});
+      }, paradigm::DeferOptions{.name = "create-window", .priority = 4});
+      break;
+    default:  // update the contents of a window
+      paradigm::DeferWork(runtime_, [this] {
+        paint_jobs_.Put(PaintJob{runtime_.now(), 6, 50, 3});
+      }, paradigm::DeferOptions{.name = "update-window", .priority = 4});
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario workloads
+// ---------------------------------------------------------------------------
+
+void CedarWorld::StartDocumentFormatting(pcr::Usec start, pcr::Usec end) {
+  runtime_.ForkDetached(
+      [this, start, end] {
+        if (start > runtime_.now()) {
+          pcr::thisthread::Sleep(start - runtime_.now());
+        }
+        workload_active_ = true;
+        uint64_t page = 0;
+        while (runtime_.now() < end) {
+          // Format one page: heavy monitored library traffic...
+          ui_library_.CallRange(300 + (page % 30) * 12, 250, 22);
+          gc_->Allocate();
+          if (page % 12 == 0) {
+            gc_->Allocate([this] { ui_library_.Call(91, 20); });  // a page buffer with a finalizer
+          }
+          // ...plus, every few pages, a transient helper that forks a second-generation child
+          // (Section 3's formatter fork pattern, ~3.6 forks/sec in total).
+          if (page % 5 == 0) {
+            runtime_.ForkDetached(
+                [this, page] {
+                  ui_library_.CallRange(400 + (page % 7) * 5, 25, 20);
+                  runtime_.ForkDetached(
+                      [this, page] {
+                        pcr::thisthread::Compute(400);
+                        ui_library_.Call(450 + page % 11, 20);
+                      },
+                      pcr::ForkOptions{.name = "hyphenate", .priority = 4});
+                },
+                pcr::ForkOptions{.name = "format-figure", .priority = 4});
+          }
+          paint_jobs_.Put(PaintJob{runtime_.now(), 2, 30, 2});
+          pcr::thisthread::Compute(110 * kMs);
+          ++page;
+        }
+        workload_active_ = false;
+      },
+      pcr::ForkOptions{.name = "document-formatter", .priority = 4});
+}
+
+void CedarWorld::StartDocumentPreviewing(pcr::Usec start, pcr::Usec end) {
+  runtime_.ForkDetached(
+      [this, start, end] {
+        if (start > runtime_.now()) {
+          pcr::thisthread::Sleep(start - runtime_.now());
+        }
+        workload_active_ = true;
+        uint64_t page = 0;
+        while (runtime_.now() < end) {
+          ui_library_.CallRange(120 + (page % 25) * 10, 90, 25);
+          gc_->Allocate();
+          if (page % 15 == 0) {
+            gc_->Allocate([this] { ui_library_.Call(92, 20); });
+          }
+          // Previewer transients "simply run to completion" — no second generation.
+          if (page % 7 == 0) {
+            runtime_.ForkDetached(
+                [this, page] { ui_library_.CallRange(480 + page % 13, 18, 20); },
+                pcr::ForkOptions{.name = "decompress-band", .priority = 4});
+          }
+          paint_jobs_.Put(PaintJob{runtime_.now(), 3, 60, 4});
+          pcr::thisthread::Compute(110 * kMs);
+          ++page;
+        }
+        workload_active_ = false;
+      },
+      pcr::ForkOptions{.name = "document-previewer", .priority = 4});
+}
+
+void CedarWorld::StartCompile(pcr::Usec start, pcr::Usec end) {
+  // "the command-shell thread gets used as the main worker thread" — the compile runs inside
+  // the shell's serialization context, not a fresh thread.
+  shell_queue_->Enqueue([this, start, end] {
+    if (start > runtime_.now()) {
+      pcr::thisthread::Sleep(start - runtime_.now());
+    }
+    workload_active_ = true;
+    // "user interface activity tended to use higher priorities for its threads than did
+    // user-initiated tasks such as compiling" (Section 3).
+    pcr::thisthread::SetPriority(2);
+    uint64_t module = 0;
+    while (runtime_.now() < end) {
+      // One compiled module makes several passes over ~45 distinct monitors (parse, bind,
+      // code-gen touching symbol tables and interface records): 70+ modules over the run reach
+      // Table 3's ~2900 distinct MLs.
+      for (int pass = 0; pass < 8; ++pass) {
+        compiler_library_.CallRange(module * 47, 45, 8);
+      }
+      gc_->Allocate();
+      if (module % 8 == 0) {
+        gc_->Allocate([this] { ui_library_.Call(93, 20); });  // a retained symbol-table arena
+      }
+      pcr::thisthread::Compute(340 * kMs);
+      ++module;
+    }
+    pcr::thisthread::SetPriority(4);
+    workload_active_ = false;
+  });
+}
+
+void CedarWorld::StartMake(pcr::Usec start, pcr::Usec end) {
+  shell_queue_->Enqueue([this, start, end] {
+    if (start > runtime_.now()) {
+      pcr::thisthread::Sleep(start - runtime_.now());
+    }
+    workload_active_ = true;
+    pcr::thisthread::SetPriority(2);
+    uint64_t file = 0;
+    while (runtime_.now() < end) {
+      // Dependency checking: many monitored per-file-map operations, no forks of its own; the
+      // wide key walk is why Make's distinct-ML count is so large (Table 3: 1296).
+      ui_library_.CallRange((file * 37) % 1200, 28, 22);
+      if (file % 12 == 0) {
+        gc_->Allocate();
+      }
+      if (file % 384 == 0) {
+        gc_->Allocate([this] { ui_library_.Call(94, 20); });  // a version-map record
+      }
+      pcr::thisthread::Compute(14 * kMs);
+      ++file;
+    }
+    pcr::thisthread::SetPriority(4);
+    workload_active_ = false;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Census (Table 4): every static thread-creation site in this world, classified.
+// ---------------------------------------------------------------------------
+
+void CedarWorld::RegisterCensus() {
+  trace::Census& census = runtime_.census();
+  // Defer work (Section 4.1) — the most common paradigm.
+  census.Register(Paradigm::kDeferWork, "shell: echo worker per keystroke");
+  census.Register(Paradigm::kDeferWork, "gc: forked finalization callback");
+  census.Register(Paradigm::kDeferWork, "formatter: format-figure helper");
+  census.Register(Paradigm::kDeferWork, "formatter: hyphenation helper");
+  census.Register(Paradigm::kDeferWork, "previewer: band decompressor");
+  census.Register(Paradigm::kDeferWork, "scroll: repaint helper");
+  census.Register(Paradigm::kDeferWork, "idle daemon: cache flush child");
+  census.Register(Paradigm::kDeferWork, "idle daemon: grandchild");
+  census.Register(Paradigm::kDeferWork, "command: print a document");
+  census.Register(Paradigm::kDeferWork, "command: send a mail message");
+  census.Register(Paradigm::kDeferWork, "command: create a new window");
+  census.Register(Paradigm::kDeferWork, "command: update window contents");
+  census.Register(Paradigm::kDeferWork, "guarded button: confirmed action");
+  census.Register(Paradigm::kDeferWork, "previewer: prefetch next page");
+  // Pumps (Section 4.2).
+  census.Register(Paradigm::kGeneralPump, "input pipeline preprocessor");
+  census.Register(Paradigm::kGeneralPump, "imaging thread (paint jobs -> X buffer)");
+  census.Register(Paradigm::kSlackProcess, "X-request buffer thread");
+  // Sleepers and one-shots (Section 4.3).
+  census.Register(Paradigm::kSleeper, "gc daemon");
+  census.Register(Paradigm::kSleeper, "x connection maintenance");
+  for (int i = 0; i < 5; ++i) {
+    census.Register(Paradigm::kSleeper, "cache manager " + std::to_string(i));
+  }
+  for (const HousekeeperSpec& spec : kHousekeepers) {
+    census.Register(Paradigm::kSleeper, std::string("housekeeper: ") + spec.name);
+  }
+  // Deadlock avoiders (Section 4.4).
+  census.Register(Paradigm::kDeadlockAvoidance, "window manager: scroll painter fork");
+  census.Register(Paradigm::kDeadlockAvoidance, "window manager: boundary-adjust painters");
+  // Task rejuvenation (Section 4.5).
+  census.Register(Paradigm::kTaskRejuvenation, "input event dispatcher");
+  // Serializers (Section 4.6).
+  census.Register(Paradigm::kSerializer, "MBQueue: shell commands");
+  census.Register(Paradigm::kSerializer, "MBQueue: viewer actions");
+  census.Register(Paradigm::kSerializer, "Notifier event intake");
+  // Encapsulated forks (Section 4.8).
+  census.Register(Paradigm::kEncapsulatedFork, "PeriodicalFork: idle daemon");
+  census.Register(Paradigm::kEncapsulatedFork, "DelayedFork: guarded buttons");
+  for (const char* button : {"delete-document", "quit-viewer", "purge-mail"}) {
+    census.Register(Paradigm::kOneShot, std::string("guarded button: ") + button);
+  }
+  census.Register(Paradigm::kOneShot, "tooltip delay timer");
+  census.Register(Paradigm::kOneShot, "double-click disambiguation timer");
+  census.Register(Paradigm::kConcurrencyExploiter, "parallel page render (multiprocessor)");
+}
+
+}  // namespace world

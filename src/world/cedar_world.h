@@ -1,0 +1,175 @@
+// A synthetic Cedar: the research system whose thread behaviour fills Tables 1-4.
+//
+// The world reassembles, from the paper's own descriptions, the structures that generate
+// Cedar's dynamic numbers:
+//   * ~35 eternal threads when idle (Section 3): the Notifier ("a critical, high priority
+//     thread", Section 4.1), an input-preprocessing pipeline pump ("all user input is filtered
+//     through a pipeline thread", Section 4.2), a task-rejuvenating event dispatcher that makes
+//     unforked callbacks (Section 4.5), MBQueue serializers (Section 4.6), the X-request buffer
+//     slack process and imaging thread (Section 5.2), an X connection reader, the garbage
+//     collection daemon at priority 6 (Section 3) forking finalization callbacks (Section 4.4),
+//     cache managers that "simply throw away aged values" (Section 4.3), and a bank of
+//     housekeeping sleepers.
+//   * A transient-fork trickle while idle: "an idle Cedar system forks a transient thread about
+//     once every 2 seconds. Each forked thread, in turn, forks another transient thread"
+//     (Section 3) — a PeriodicalFork whose children fork grandchildren.
+//   * Keystroke handling that forks one transient per key from the command-shell thread and
+//     drives hundreds of monitored library calls through the imaging path into the X buffer.
+//
+// Thread priorities follow Section 3: UI threads high (Cedar uses level 7 for interrupt
+// handling and never uses level 5... we follow: Notifier at 7, pipeline/dispatcher at 6, UI
+// work at 4, background at 1-3), level 6 also hosts the GC daemon and SystemDaemon.
+
+#ifndef SRC_WORLD_CEDAR_WORLD_H_
+#define SRC_WORLD_CEDAR_WORLD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/paradigm/bounded_buffer.h"
+#include "src/paradigm/rejuvenate.h"
+#include "src/paradigm/serializer.h"
+#include "src/paradigm/slack_process.h"
+#include "src/paradigm/sleeper.h"
+#include "src/paradigm/fork_helpers.h"
+#include "src/paradigm/one_shot.h"
+#include "src/pcr/runtime.h"
+#include "src/world/events.h"
+#include "src/world/gc.h"
+#include "src/world/library.h"
+#include "src/world/windows.h"
+#include "src/world/xserver.h"
+
+namespace world {
+
+struct CedarSpec {
+  // Library pools (Table 3 distinct-ML footprints).
+  int ui_modules = 1300;       // window/imaging/font/file-map packages
+  int compiler_modules = 2400; // per-compiled-module monitors
+
+  // Echo path weights (calibrated against Table 2's ML-enter rates).
+  int keystroke_worker_ops = 60;    // library calls by the forked keystroke worker
+  int keystroke_imaging_ops = 420;  // library calls by the imaging thread per keystroke
+  int mouse_tracking_ops = 30;      // cursor-tracker calls per mouse motion
+  int scroll_repaint_ops = 1500;    // imaging calls per scroll repaint
+
+  // Idle trickle (Table 1 idle fork rate ~0.9/sec with two generations).
+  pcr::Usec idle_fork_period = 2200 * pcr::kUsecPerMsec;
+
+  // Slack-process policy for the X buffer thread (the Section 5.2 experiment varies this).
+  paradigm::SlackPolicy x_buffer_policy = paradigm::SlackPolicy::kYieldButNotToMe;
+  int x_buffer_priority = 6;  // "higher priority is used for threads associated with ... the user interface"
+
+  bool enable_gc = true;
+  pcr::Usec gc_period = 2000 * pcr::kUsecPerMsec;
+};
+
+class CedarWorld {
+ public:
+  CedarWorld(pcr::Runtime& runtime, CedarSpec spec = CedarSpec());
+  ~CedarWorld();
+
+  CedarWorld(const CedarWorld&) = delete;
+  CedarWorld& operator=(const CedarWorld&) = delete;
+
+  pcr::Runtime& runtime() { return runtime_; }
+  InputDevice& keyboard() { return keyboard_; }
+  InputDevice& mouse() { return mouse_; }
+  XServerModel& xserver() { return xserver_; }
+  ModuleLibrary& ui_library() { return ui_library_; }
+  paradigm::SlackProcess<PaintRequest>& x_buffer() { return *x_buffer_; }
+
+  // ---- Scenario workloads (start before running; they drive virtual time [start, end)) ----
+
+  // Document formatting: a worker thread forking two generations of transients ("the document
+  // formatter's transient threads fork one or more additional transient threads", Section 3).
+  void StartDocumentFormatting(pcr::Usec start, pcr::Usec end);
+
+  // Document previewing: transients "simply run to completion".
+  void StartDocumentPreviewing(pcr::Usec start, pcr::Usec end);
+
+  // Compile: the command-shell thread is the worker; touches thousands of distinct module
+  // monitors (Table 3: 2900).
+  void StartCompile(pcr::Usec start, pcr::Usec end);
+
+  // Make: "does not cause any threads to be forked ... except for garbage collection and
+  // finalization".
+  void StartMake(pcr::Usec start, pcr::Usec end);
+
+  // Statistics handles.
+  int64_t keystrokes_handled() const { return keystrokes_handled_; }
+  int64_t scrolls_handled() const { return window_system_->scrolls(); }
+  int64_t finalizations() const { return gc_->finalizations_run(); }
+  WindowSystem& window_system() { return *window_system_; }
+  GarbageCollector& gc() { return *gc_; }
+  int eternal_thread_count() const { return eternal_threads_; }
+
+ private:
+  struct PaintJob {
+    pcr::Usec created_at;
+    int window;
+    int ops;       // imaging library calls this job costs
+    int requests;  // paint requests it emits toward the X buffer
+  };
+
+  void RegisterCensus();
+  void StartNotifier();
+  void StartInputPipeline();
+  void StartDispatcher();
+  void StartShell();
+  void StartImaging();
+  void StartXConnectionReader();
+  void StartGc();
+  void StartCacheManagers();
+  void StartHousekeeping();
+  void StartIdleForkDaemon();
+
+  void HandleKeyEvent(uint32_t detail);
+  void HandleMouseMove(uint32_t detail);
+  void HandleMouseClick(uint32_t detail);
+  // Application commands reached from the shell: each defers its real work to a forked thread
+  // ("forking to print a document / send a mail message / create a new window / update the
+  // contents of a window", Section 4.1).
+  void RunApplicationCommand(uint32_t detail);
+
+  pcr::Runtime& runtime_;
+  CedarSpec spec_;
+
+  pcr::InterruptSource input_irq_;  // shared device channel watched by the Notifier
+  InputDevice keyboard_;
+  InputDevice mouse_;
+  XServerModel xserver_;
+  ModuleLibrary ui_library_;
+  ModuleLibrary compiler_library_;
+
+  // Input pipeline: Notifier -> preprocessed event queue -> dispatcher.
+  paradigm::BoundedBuffer<uint64_t> raw_events_;
+  paradigm::BoundedBuffer<uint64_t> cooked_events_;
+
+  // The command shell's serialization context (MBQueue) and the paint-job queue feeding the
+  // imaging thread.
+  std::unique_ptr<paradigm::Serializer> shell_queue_;
+  std::unique_ptr<paradigm::Serializer> viewer_queue_;
+  paradigm::BoundedBuffer<PaintJob> paint_jobs_;
+
+  std::unique_ptr<paradigm::SlackProcess<PaintRequest>> x_buffer_;
+  std::unique_ptr<paradigm::RejuvenatingTask> dispatcher_;
+  std::vector<std::unique_ptr<paradigm::Sleeper>> sleepers_;
+  std::vector<paradigm::Sleeper*> ui_sleepers_;  // poked by input activity
+  std::unique_ptr<paradigm::PeriodicalFork> idle_daemon_;
+  std::vector<std::unique_ptr<paradigm::GuardedButton>> guarded_buttons_;
+
+  // Window system (scrolls, boundary adjustments, deadlock-avoider painter forks).
+  std::unique_ptr<WindowSystem> window_system_;
+  // Garbage collector with forked finalization callbacks.
+  std::unique_ptr<GarbageCollector> gc_;
+
+  int64_t keystrokes_handled_ = 0;
+  bool workload_active_ = false;  // suppresses the idle fork trickle (Section 3)
+  int eternal_threads_ = 0;
+};
+
+}  // namespace world
+
+#endif  // SRC_WORLD_CEDAR_WORLD_H_

@@ -1,0 +1,35 @@
+#include "src/world/events.h"
+
+#include <random>
+
+namespace world {
+
+InputDevice::InputDevice(pcr::Runtime& runtime, pcr::InterruptSource& source)
+    : runtime_(runtime), source_(source) {}
+
+void InputDevice::ScriptUniform(pcr::Usec start, pcr::Usec end, double rate, InputKind kind,
+                                double jitter) {
+  if (rate <= 0) {
+    return;
+  }
+  auto period = static_cast<pcr::Usec>(1e6 / rate);
+  std::uniform_real_distribution<double> noise(-jitter, jitter);
+  for (pcr::Usec t = start; t < end; t += period) {
+    auto offset = static_cast<pcr::Usec>(noise(runtime_.rng()) * static_cast<double>(period));
+    pcr::Usec when = t + offset;
+    if (when < start || when >= end) {
+      continue;
+    }
+    source_.PostAt(when, EncodeInput(kind, sequence_++));
+    ++scripted_;
+  }
+}
+
+void InputDevice::ScriptBurst(pcr::Usec at, int count, pcr::Usec gap, InputKind kind) {
+  for (int i = 0; i < count; ++i) {
+    source_.PostAt(at + gap * i, EncodeInput(kind, sequence_++));
+    ++scripted_;
+  }
+}
+
+}  // namespace world

@@ -1,0 +1,89 @@
+// A simulated incremental garbage collector with finalization — the paper's most-cited callback
+// machinery.
+//
+// Section 4.3: "our systems use callbacks from the garbage collector to finalize objects...
+// These callbacks are removed from time-critical paths in the garbage collector ... by putting
+// an event in a work queue serviced by a sleeper thread. The client's code is then called from
+// the sleeper." Section 4.4: "Cedar permits clients to register callback procedures with the
+// garbage collector that are called to finalize (clean up) data structures. The finalization
+// service thread forks each callback" — the fork both releases the service's locks promptly and
+// "insulates the service from things that may go wrong in the client callback."
+//
+// The model: clients Allocate() objects with optional finalizers; the collector daemon
+// (priority 6, like Cedar's) periodically runs a mark/sweep increment whose cost scales with
+// the live heap, retires unreachable objects, and enqueues their finalizers; the finalization
+// sleeper forks one transient thread per callback.
+
+#ifndef SRC_WORLD_GC_H_
+#define SRC_WORLD_GC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/paradigm/sleeper.h"
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace world {
+
+struct GcOptions {
+  pcr::Usec scan_period = 2 * pcr::kUsecPerSec;  // how often the daemon runs an increment
+  pcr::Usec scan_base_cost = 5 * pcr::kUsecPerMsec;   // fixed cost of an increment
+  pcr::Usec scan_per_object = 40;                     // marginal cost per live object
+  pcr::Usec finalizer_cost = 300;                     // charged inside each forked finalizer
+  int daemon_priority = 6;       // "Cedar also uses level 6 for its garbage collection daemon"
+  int finalizer_priority = 3;
+  // Fraction of the heap that each increment discovers to be garbage (a stand-in for real
+  // reachability: interactive allocations die young).
+  double death_rate = 0.5;
+};
+
+class GarbageCollector {
+ public:
+  GarbageCollector(pcr::Runtime& runtime, GcOptions options = {});
+
+  GarbageCollector(const GarbageCollector&) = delete;
+  GarbageCollector& operator=(const GarbageCollector&) = delete;
+
+  // Client-side allocation: registers an object, optionally with a finalizer to be called (in
+  // its own forked thread) when the object is collected. Fiber context.
+  void Allocate(std::function<void()> finalizer = nullptr);
+
+  // Statistics.
+  int64_t live_objects();
+  int64_t collected() const { return collected_; }
+  int64_t finalizations_run() const { return finalizations_run_; }
+  int64_t finalizer_failures() const { return finalizer_failures_; }
+  int64_t scan_increments() const { return scans_; }
+
+  // The eternal threads this subsystem contributes (daemon + finalization sleeper).
+  int eternal_threads() const { return 2; }
+
+ private:
+  void RunIncrement();
+
+  pcr::Runtime& runtime_;
+  GcOptions options_;
+  pcr::MonitorLock heap_lock_;
+  int64_t live_ = 0;
+  int64_t plain_live_ = 0;  // objects without finalizers (cheap bulk)
+  std::deque<std::function<void()>> finalizable_;  // registered finalizers of live objects
+
+  pcr::MonitorLock queue_lock_;
+  pcr::Condition queue_ready_;
+  std::deque<std::function<void()>> finalization_queue_;
+
+  std::unique_ptr<paradigm::Sleeper> daemon_;
+  int64_t collected_ = 0;
+  int64_t finalizations_run_ = 0;
+  int64_t finalizer_failures_ = 0;
+  int64_t scans_ = 0;
+};
+
+}  // namespace world
+
+#endif  // SRC_WORLD_GC_H_

@@ -1,0 +1,255 @@
+#include "src/world/gvx_world.h"
+
+#include "src/trace/census.h"
+
+namespace world {
+
+namespace {
+using trace::Paradigm;
+constexpr pcr::Usec kMs = pcr::kUsecPerMsec;
+}  // namespace
+
+GvxWorld::GvxWorld(pcr::Runtime& runtime, GvxSpec spec)
+    : runtime_(runtime), spec_(spec),
+      input_irq_(runtime.scheduler(), "gvx-input"),
+      keyboard_(runtime, input_irq_),
+      mouse_(runtime, input_irq_),
+      xserver_(runtime),
+      library_(runtime, "gvx", spec.modules),
+      display_lock_(runtime.scheduler(), "display"),
+      paint_cv_(display_lock_, "paint-work", 500 * kMs),
+      flush_cv_(display_lock_, "flush-work", 300 * kMs),
+      group_lock_(runtime.scheduler(), "group"),
+      ui_group_cv_(group_lock_, "ui-group", 450 * kMs),
+      bg_group_cv_(group_lock_, "bg-group", 600 * kMs),
+      helper_cv_(group_lock_, "helpers", 2500 * kMs),
+      never_cv_(group_lock_, "never") {
+  RegisterCensus();
+  StartNotifier();
+  StartPainter();
+  StartFlusher();
+  StartUiGroup();
+  StartBackgroundGroup();
+  StartLowPriorityHelpers();
+}
+
+GvxWorld::~GvxWorld() { runtime_.Shutdown(); }
+
+void GvxWorld::StartNotifier() {
+  // GVX interrupt handling runs at level 5 ("while Cedar uses level 7 for interrupt handling
+  // and doesn't use level 5, GVX does the opposite", Section 3). All input work happens inline:
+  // the Notifier forks nothing, ever.
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          uint64_t payload = input_irq_.Await();
+          switch (InputKindOf(payload)) {
+            case InputKind::kKey:
+              HandleKeyInline(InputDetailOf(payload));
+              break;
+            case InputKind::kMouseMove:
+              HandleMouseInline(InputDetailOf(payload));
+              break;
+            case InputKind::kMouseClick:
+              HandleClickInline(InputDetailOf(payload));
+              break;
+          }
+        }
+      },
+      pcr::ForkOptions{.name = "gvx-notifier", .priority = 5});
+  ++eternal_threads_;
+}
+
+void GvxWorld::StartPainter() {
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          PaintWork work{};
+          {
+            pcr::MonitorGuard guard(display_lock_);
+            while (paint_queue_.empty()) {
+              if (!paint_cv_.Wait()) {
+                break;  // periodic timeout: check for stale damage anyway
+              }
+            }
+            if (paint_queue_.empty()) {
+              continue;
+            }
+            work = paint_queue_.front();
+            paint_queue_.pop_front();
+            // GVX paints *under the display lock* — the coarse locking that shows up as higher
+            // contention than Cedar's (Section 3).
+            pcr::thisthread::Compute(work.hold);
+          }
+          for (int i = 0; i < work.ops; ++i) {
+            library_.Call(60 + static_cast<uint64_t>((work.window * 17 + i) % 120), 10);
+          }
+          std::vector<PaintRequest> batch;
+          batch.reserve(static_cast<size_t>(work.requests));
+          for (int r = 0; r < work.requests; ++r) {
+            batch.push_back(PaintRequest{work.created_at, work.window, r});
+          }
+          xserver_.Send(batch);
+          {
+            pcr::MonitorGuard guard(display_lock_);
+            flush_requested_ = true;
+            flush_cv_.Notify();
+          }
+        }
+      },
+      pcr::ForkOptions{.name = "gvx-painter", .priority = 3});
+  ++eternal_threads_;
+}
+
+void GvxWorld::StartFlusher() {
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          {
+            pcr::MonitorGuard guard(display_lock_);
+            while (!flush_requested_) {
+              if (!flush_cv_.Wait()) {
+                break;  // timeout: periodic safety flush
+              }
+            }
+            flush_requested_ = false;
+          }
+          library_.Call(40, 15);
+        }
+      },
+      pcr::ForkOptions{.name = "gvx-flusher", .priority = 3});
+  ++eternal_threads_;
+}
+
+void GvxWorld::StartUiGroup() {
+  // Five interactive housekeepers (cursor, status line, selection, caret, highlight) sharing
+  // ONE condition variable — why GVX's distinct-CV counts stay at 5-7 (Table 3).
+  for (int i = 0; i < 5; ++i) {
+    runtime_.ForkDetached(
+        [this, i] {
+          while (true) {
+            {
+              pcr::MonitorGuard guard(group_lock_);
+              ui_group_cv_.Wait();  // mostly times out; input activity notifies
+            }
+            pcr::MonitorGuard guard(display_lock_);
+            pcr::thisthread::Compute(80);
+            library_.CallRange(static_cast<uint64_t>(10 + i), 4, 12);
+          }
+        },
+        pcr::ForkOptions{.name = "gvx-ui-" + std::to_string(i), .priority = 3});
+    ++eternal_threads_;
+  }
+}
+
+void GvxWorld::StartBackgroundGroup() {
+  // Nine background housekeepers on the second shared CV.
+  for (int i = 0; i < 9; ++i) {
+    runtime_.ForkDetached(
+        [this, i] {
+          while (true) {
+            {
+              pcr::MonitorGuard guard(group_lock_);
+              bg_group_cv_.Wait();
+            }
+            if (i == 0) {
+              // The repagination daemon: a compute-bound background pass that accumulates its
+              // execution time in quantum-length runs (Section 3's 45-50 ms mode).
+              pcr::thisthread::Compute(46 * kMs);
+            }
+            library_.CallRange(static_cast<uint64_t>(20 + i * 3), 14, 12);
+          }
+        },
+        pcr::ForkOptions{.name = "gvx-bg-" + std::to_string(i), .priority = 3});
+    ++eternal_threads_;
+  }
+}
+
+void GvxWorld::StartLowPriorityHelpers() {
+  // "using the lower two priority levels only for a few background helper tasks. Two of the
+  // five low-priority threads in fact never ran during our experiments" (Section 3).
+  for (int i = 0; i < 3; ++i) {
+    runtime_.ForkDetached(
+        [this, i] {
+          while (true) {
+            {
+              pcr::MonitorGuard guard(group_lock_);
+              helper_cv_.Wait();
+            }
+            library_.CallRange(static_cast<uint64_t>(50 + i), 8, 15);
+          }
+        },
+        pcr::ForkOptions{.name = "gvx-helper-" + std::to_string(i), .priority = 2});
+    ++eternal_threads_;
+  }
+  for (int i = 0; i < 2; ++i) {
+    runtime_.ForkDetached(
+        [this] {
+          pcr::MonitorGuard guard(group_lock_);
+          never_cv_.Wait();  // no timeout, never notified: this thread never runs again
+        },
+        pcr::ForkOptions{.name = "gvx-idle-helper-" + std::to_string(i), .priority = 1});
+    ++eternal_threads_;
+  }
+}
+
+void GvxWorld::HandleKeyInline(uint32_t detail) {
+  ++keystrokes_handled_;
+  // Echo entirely inside the Notifier (no fork), under the display lock.
+  {
+    pcr::MonitorGuard guard(display_lock_);
+    pcr::thisthread::Compute(150);
+    paint_queue_.push_back(PaintWork{runtime_.now(), static_cast<int>(detail % 4),
+                                     spec_.keystroke_paint_ops, spec_.keystroke_paint_hold, 2});
+    paint_cv_.Notify();
+  }
+  library_.CallRange(100 + detail % 60, spec_.keystroke_echo_ops, 12);
+  // Input perks up several eternal threads: cursor/status housekeepers and a background
+  // refresher ("keyboard activity ... cause[s] significant increases in activity by eternal
+  // threads", Section 3) — most of the Table 2 notified (non-timeout) wakeups.
+  pcr::MonitorGuard guard(group_lock_);
+  ui_group_cv_.Notify();
+  ui_group_cv_.Notify();
+  ui_group_cv_.Notify();
+  bg_group_cv_.Notify();
+}
+
+void GvxWorld::HandleMouseInline(uint32_t detail) {
+  // Near-free: GVX mouse handling barely registers in the tables (switch and ML rates at
+  // mouse-move time are almost identical to idle).
+  library_.CallRange(30 + detail % 6, 15, 10);
+}
+
+void GvxWorld::HandleClickInline(uint32_t detail) {
+  ++scrolls_handled_;
+  {
+    pcr::MonitorGuard guard(display_lock_);
+    pcr::thisthread::Compute(300);
+    paint_queue_.push_back(PaintWork{runtime_.now(), static_cast<int>(detail % 4),
+                                     spec_.scroll_paint_ops, spec_.scroll_paint_hold, 5});
+    paint_cv_.Notify();
+  }
+  library_.CallRange(160 + detail % 20, 25, 14);
+  pcr::MonitorGuard guard(group_lock_);
+  ui_group_cv_.Notify();
+}
+
+void GvxWorld::RegisterCensus() {
+  trace::Census& census = runtime_.census();
+  census.Register(Paradigm::kSerializer, "gvx notifier: single input serializer");
+  census.Register(Paradigm::kGeneralPump, "gvx painter: damage queue -> X");
+  census.Register(Paradigm::kGeneralPump, "gvx output flusher");
+  for (int i = 0; i < 5; ++i) {
+    census.Register(Paradigm::kSleeper, "gvx ui housekeeper " + std::to_string(i));
+  }
+  for (int i = 0; i < 9; ++i) {
+    census.Register(Paradigm::kSleeper, "gvx background housekeeper " + std::to_string(i));
+  }
+  for (int i = 0; i < 3; ++i) {
+    census.Register(Paradigm::kSleeper, "gvx low-priority helper " + std::to_string(i));
+  }
+  census.Register(Paradigm::kUnknown, "gvx idle helper 0 (never ran)");
+  census.Register(Paradigm::kUnknown, "gvx idle helper 1 (never ran)");
+}
+
+}  // namespace world

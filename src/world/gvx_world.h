@@ -1,0 +1,109 @@
+// A synthetic GVX (ViewPoint/GlobalView): the product system contrasted with Cedar in every
+// table.
+//
+// Structural differences reproduced from the paper:
+//   * "An idle system contains 22 eternal threads and forks no additional threads. In fact, no
+//     additional threads are forked for any user interface activity" (Section 3) — all input is
+//     handled inline by eternal threads.
+//   * "GVX sets almost all of its threads to priority level 3, using the lower two priority
+//     levels only for a few background helper tasks. Two of the five low-priority threads in
+//     fact never ran during our experiments." Interrupt handling uses level 5 (Cedar uses 7),
+//     level 7 is unused, and level 6 hosts the SystemDaemon.
+//   * Few distinct condition variables (Table 3: 5-7): eternal threads share a handful of
+//     group CVs rather than owning one each.
+//   * Higher monitor contention than Cedar (up to 0.4% when scrolling): input handling and the
+//     painting thread compete for a coarse display lock that repaints hold for a long time.
+
+#ifndef SRC_WORLD_GVX_WORLD_H_
+#define SRC_WORLD_GVX_WORLD_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+#include "src/world/events.h"
+#include "src/world/library.h"
+#include "src/world/xserver.h"
+
+namespace world {
+
+struct GvxSpec {
+  int modules = 260;           // Table 3: GVX touches 48-209 distinct MLs
+  int keystroke_echo_ops = 120;    // inline echo work in the Notifier
+  int keystroke_paint_ops = 150;   // painting-thread work per keystroke
+  int scroll_paint_ops = 450;      // painting-thread work per scroll
+  pcr::Usec keystroke_paint_hold = 8 * pcr::kUsecPerMsec;   // display lock held while painting
+  pcr::Usec scroll_paint_hold = 100 * pcr::kUsecPerMsec;    // GVX repaints are slow
+};
+
+class GvxWorld {
+ public:
+  explicit GvxWorld(pcr::Runtime& runtime, GvxSpec spec = GvxSpec());
+  ~GvxWorld();
+
+  GvxWorld(const GvxWorld&) = delete;
+  GvxWorld& operator=(const GvxWorld&) = delete;
+
+  pcr::Runtime& runtime() { return runtime_; }
+  InputDevice& keyboard() { return keyboard_; }
+  InputDevice& mouse() { return mouse_; }
+  XServerModel& xserver() { return xserver_; }
+
+  int64_t keystrokes_handled() const { return keystrokes_handled_; }
+  int64_t scrolls_handled() const { return scrolls_handled_; }
+  int eternal_thread_count() const { return eternal_threads_; }
+
+ private:
+  struct PaintWork {
+    pcr::Usec created_at;
+    int window;
+    int ops;
+    pcr::Usec hold;
+    int requests;
+  };
+
+  void RegisterCensus();
+  void StartNotifier();
+  void StartPainter();
+  void StartFlusher();
+  void StartUiGroup();
+  void StartBackgroundGroup();
+  void StartLowPriorityHelpers();
+
+  void HandleKeyInline(uint32_t detail);
+  void HandleMouseInline(uint32_t detail);
+  void HandleClickInline(uint32_t detail);
+
+  pcr::Runtime& runtime_;
+  GvxSpec spec_;
+
+  pcr::InterruptSource input_irq_;
+  InputDevice keyboard_;
+  InputDevice mouse_;
+  XServerModel xserver_;
+  ModuleLibrary library_;
+
+  // The coarse display lock: input echo, painting and UI housekeeping all pass through it.
+  pcr::MonitorLock display_lock_;
+  pcr::Condition paint_cv_;       // painter's work signal (shared CV #1)
+  pcr::Condition flush_cv_;       // output flusher's signal (shared CV #2)
+  pcr::MonitorLock group_lock_;   // group CVs for the sleeping eternals
+  pcr::Condition ui_group_cv_;    // shared CV #3: interactive housekeepers
+  pcr::Condition bg_group_cv_;    // shared CV #4: background housekeepers
+  pcr::Condition helper_cv_;      // shared CV #5: the low-priority helpers
+  pcr::Condition never_cv_;       // shared CV #6: the two threads that never run
+
+  std::deque<PaintWork> paint_queue_;
+  bool flush_requested_ = false;
+
+  int64_t keystrokes_handled_ = 0;
+  int64_t scrolls_handled_ = 0;
+  int eternal_threads_ = 0;
+};
+
+}  // namespace world
+
+#endif  // SRC_WORLD_GVX_WORLD_H_

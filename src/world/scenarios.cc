@@ -1,0 +1,179 @@
+#include "src/world/scenarios.h"
+
+#include "src/pcr/runtime.h"
+#include "src/world/gvx_world.h"
+
+namespace world {
+
+namespace {
+
+// Scripted "user" rates, shared by all scenarios for comparability.
+constexpr double kTypingRate = 4.2;        // keys/sec, a steady typist
+constexpr double kCedarMouseRate = 10.0;   // raw motion events/sec
+constexpr double kGvxMouseRate = 3.0;      // GVX's X interface compresses motion into hints
+constexpr double kScrollClickRate = 1.0;   // window scrolls/sec
+
+}  // namespace
+
+std::string_view ScenarioName(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kCedarIdle:
+      return "Idle Cedar";
+    case Scenario::kCedarKeyboard:
+      return "Keyboard input";
+    case Scenario::kCedarMouse:
+      return "Mouse movement";
+    case Scenario::kCedarScroll:
+      return "Window scrolling";
+    case Scenario::kCedarFormat:
+      return "Document formatting";
+    case Scenario::kCedarPreview:
+      return "Document previewing";
+    case Scenario::kCedarMake:
+      return "Make program";
+    case Scenario::kCedarCompile:
+      return "Compile";
+    case Scenario::kGvxIdle:
+      return "Idle GVX";
+    case Scenario::kGvxKeyboard:
+      return "Keyboard input (GVX)";
+    case Scenario::kGvxMouse:
+      return "Mouse movement (GVX)";
+    case Scenario::kGvxScroll:
+      return "Window scrolling (GVX)";
+    case Scenario::kCedarEveryday:
+      return "Everyday work (mixed)";
+  }
+  return "unknown";
+}
+
+bool IsGvx(Scenario scenario) {
+  switch (scenario) {
+    case Scenario::kGvxIdle:
+    case Scenario::kGvxKeyboard:
+    case Scenario::kGvxMouse:
+    case Scenario::kGvxScroll:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<Scenario> CedarScenarios() {
+  return {Scenario::kCedarIdle,   Scenario::kCedarKeyboard, Scenario::kCedarMouse,
+          Scenario::kCedarScroll, Scenario::kCedarFormat,   Scenario::kCedarPreview,
+          Scenario::kCedarMake,   Scenario::kCedarCompile};
+}
+
+std::vector<Scenario> GvxScenarios() {
+  return {Scenario::kGvxIdle, Scenario::kGvxKeyboard, Scenario::kGvxMouse, Scenario::kGvxScroll};
+}
+
+std::vector<Scenario> AllScenarios() {
+  std::vector<Scenario> all = CedarScenarios();
+  for (Scenario s : GvxScenarios()) {
+    all.push_back(s);
+  }
+  return all;
+}
+
+ScenarioResult RunScenario(Scenario scenario, ScenarioOptions options) {
+  pcr::Config config;
+  config.seed = options.seed;
+  config.costs = options.costs;
+  // Both systems ran on PCR with its SystemDaemon active (Section 3: "In both systems,
+  // priority level 6 gets used by the system daemon that does proportional scheduling").
+  config.enable_system_daemon = true;
+  pcr::Runtime runtime(config);
+
+  pcr::Usec begin = options.warmup;
+  pcr::Usec end = options.warmup + options.duration;
+
+  ScenarioResult result;
+  result.scenario = scenario;
+  result.name = std::string(ScenarioName(scenario));
+
+  auto summarize = [&](auto& world_ref) {
+    trace::StatsOptions stats_options;
+    stats_options.window_begin = begin;
+    stats_options.window_end = end;
+    result.summary = trace::Summarize(runtime.tracer(), stats_options);
+    result.genealogy = trace::AnalyzeGenealogy(runtime.tracer());
+    result.census = runtime.census();  // copy before the world is torn down
+    result.eternal_threads = world_ref.eternal_thread_count();
+    result.x_requests = world_ref.xserver().requests_received();
+    result.x_flushes = world_ref.xserver().flushes();
+    if (result.x_requests > 0) {
+      result.echo_mean_us = world_ref.xserver().echo_latency().total_weight() / result.x_requests;
+      result.echo_max_us = world_ref.xserver().max_echo_latency();
+    }
+  };
+
+  if (IsGvx(scenario)) {
+    GvxWorld world(runtime);
+    switch (scenario) {
+      case Scenario::kGvxIdle:
+        break;
+      case Scenario::kGvxKeyboard:
+        world.keyboard().ScriptUniform(begin, end, kTypingRate, InputKind::kKey);
+        break;
+      case Scenario::kGvxMouse:
+        world.mouse().ScriptUniform(begin, end, kGvxMouseRate, InputKind::kMouseMove);
+        break;
+      case Scenario::kGvxScroll:
+        world.mouse().ScriptUniform(begin, end, kScrollClickRate, InputKind::kMouseClick);
+        break;
+      default:
+        break;
+    }
+    runtime.RunFor(end);
+    summarize(world);
+    if (options.inspect) {
+      options.inspect(runtime);
+    }
+  } else {
+    CedarWorld world(runtime, options.cedar_spec);
+    switch (scenario) {
+      case Scenario::kCedarIdle:
+        break;
+      case Scenario::kCedarKeyboard:
+        world.keyboard().ScriptUniform(begin, end, kTypingRate, InputKind::kKey);
+        break;
+      case Scenario::kCedarMouse:
+        world.mouse().ScriptUniform(begin, end, kCedarMouseRate, InputKind::kMouseMove);
+        break;
+      case Scenario::kCedarScroll:
+        world.mouse().ScriptUniform(begin, end, kScrollClickRate, InputKind::kMouseClick);
+        break;
+      case Scenario::kCedarFormat:
+        world.StartDocumentFormatting(begin, end);
+        break;
+      case Scenario::kCedarPreview:
+        world.StartDocumentPreviewing(begin, end);
+        break;
+      case Scenario::kCedarMake:
+        world.StartMake(begin, end);
+        break;
+      case Scenario::kCedarCompile:
+        world.StartCompile(begin, end);
+        break;
+      case Scenario::kCedarEveryday:
+        world.keyboard().ScriptUniform(begin, end, kTypingRate, InputKind::kKey);
+        world.mouse().ScriptUniform(begin, end, kCedarMouseRate / 2, InputKind::kMouseMove);
+        world.mouse().ScriptUniform(begin, end, kScrollClickRate / 2, InputKind::kMouseClick);
+        world.StartDocumentFormatting(begin, end);
+        world.StartDocumentPreviewing(begin + pcr::kUsecPerSec, end);
+        break;
+      default:
+        break;
+    }
+    runtime.RunFor(end);
+    summarize(world);
+    if (options.inspect) {
+      options.inspect(runtime);
+    }
+  }
+  return result;
+}
+
+}  // namespace world

@@ -1,0 +1,83 @@
+// The paper's benchmark suite: "a set of benchmarks intended to be typical of user activity,
+// including compilation, formatting a document ..., previewing pages ... and user interface
+// tasks (keyboarding, mousing and scrolling windows)" (Section 3) — 8 Cedar rows + 4 GVX rows,
+// exactly the rows of Tables 1-3.
+
+#ifndef SRC_WORLD_SCENARIOS_H_
+#define SRC_WORLD_SCENARIOS_H_
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/pcr/config.h"
+#include "src/world/cedar_world.h"
+#include "src/trace/census.h"
+#include "src/trace/genealogy.h"
+#include "src/trace/stats.h"
+
+namespace pcr {
+class Runtime;
+}  // namespace pcr
+
+namespace world {
+
+enum class Scenario {
+  kCedarIdle,
+  kCedarKeyboard,
+  kCedarMouse,
+  kCedarScroll,
+  kCedarFormat,
+  kCedarPreview,
+  kCedarMake,
+  kCedarCompile,
+  kGvxIdle,
+  kGvxKeyboard,
+  kGvxMouse,
+  kGvxScroll,
+  // "users employ two to three times this many [threads] in everyday work" (Section 3): typing,
+  // mousing, scrolling and a document format running at once. Not a Table 1-3 row (the paper
+  // never tabulates it), so it is excluded from AllScenarios().
+  kCedarEveryday,
+};
+
+std::string_view ScenarioName(Scenario scenario);
+bool IsGvx(Scenario scenario);
+std::vector<Scenario> AllScenarios();
+std::vector<Scenario> CedarScenarios();
+std::vector<Scenario> GvxScenarios();
+
+struct ScenarioOptions {
+  pcr::Usec duration = 30 * pcr::kUsecPerSec;
+  pcr::Usec warmup = 2 * pcr::kUsecPerSec;  // excluded from the measurement window
+  uint64_t seed = 1;
+  // Cost-model override (defaults match pcr::Config) — used by the cost-sensitivity ablation.
+  pcr::CostModel costs;
+  // World override for Cedar scenarios — used by the in-world slack-policy experiment.
+  CedarSpec cedar_spec;
+  // Called after the run completes but before the world is torn down — the hook for raw-trace
+  // inspection (event-history dumps, custom statistics) while the tracer is still alive.
+  std::function<void(pcr::Runtime&)> inspect;
+};
+
+struct ScenarioResult {
+  Scenario scenario;
+  std::string name;
+  trace::Summary summary;          // the Table 1-3 metrics over the measurement window
+  trace::GenealogySummary genealogy;
+  trace::Census census;            // Table 4 fork-site census of the world that ran
+  int eternal_threads = 0;
+  int64_t x_requests = 0;
+  int64_t x_flushes = 0;
+  pcr::Usec echo_mean_us = 0;  // keystroke-to-screen latency through the X pipeline
+  pcr::Usec echo_max_us = 0;
+};
+
+// Builds the world, scripts its input, runs warmup + duration of virtual time, and summarizes
+// the measurement window. Fully deterministic for a given (scenario, options).
+ScenarioResult RunScenario(Scenario scenario, ScenarioOptions options = ScenarioOptions());
+
+}  // namespace world
+
+#endif  // SRC_WORLD_SCENARIOS_H_

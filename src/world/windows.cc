@@ -1,0 +1,85 @@
+#include "src/world/windows.h"
+
+#include "src/paradigm/deadlock_avoider.h"
+
+namespace world {
+
+WindowSystem::WindowSystem(pcr::Runtime& runtime, int window_count, RepaintSink sink)
+    : runtime_(runtime), sink_(std::move(sink)),
+      tree_lock_(runtime.scheduler(), "window-tree") {
+  for (int i = 0; i < window_count; ++i) {
+    windows_.push_back(std::make_unique<Window>(runtime.scheduler(), i));
+  }
+}
+
+void WindowSystem::RepaintLocked(Window& window, int repaint_ops, int requests) {
+  // Caller holds window.lock (and possibly the tree lock).
+  pcr::thisthread::Compute(300);  // damage computation
+  ++window.repaints;
+  sink_(RepaintOrder{window.id, repaint_ops, requests});
+}
+
+void WindowSystem::Scroll(uint32_t detail, int repaint_ops) {
+  int64_t scroll = scrolls_++;
+  Window& window = *windows_[detail % windows_.size()];
+  if (scroll % 4 != 0) {
+    // The common case: the viewer thread already may take (content) then nothing else — the
+    // inline repaint is lock-order safe.
+    pcr::MonitorGuard guard(window.lock);
+    RepaintLocked(window, repaint_ops, 6);
+    ++inline_repaints_;
+    return;
+  }
+  // Every so often the scroll moved the elevator, which requires the tree lock; from under it
+  // the content lock cannot be taken in canonical order — fork a painter (Section 4.4).
+  pcr::MonitorGuard tree(tree_lock_);
+  pcr::thisthread::Compute(200);  // update the elevator in the tree
+  ++avoider_forks_;
+  paradigm::ForkWithLocks(
+      runtime_, {&window.lock, &tree_lock_},
+      [this, &window, repaint_ops, scroll] {
+        RepaintLocked(window, repaint_ops, 6);
+        if (scroll % 9 == 0) {
+          // One in three avoider painters forks a second-generation helper ("one of which is
+          // the child of one of the other transients", Section 3).
+          ++avoider_forks_;
+          runtime_.ForkDetached(
+              [this, &window] {
+                pcr::thisthread::Compute(300);
+                sink_(RepaintOrder{window.id, 20, 1});
+              },
+              pcr::ForkOptions{.name = "repaint-helper", .priority = 4});
+        }
+      },
+      paradigm::AvoiderOptions{.name = "scroll-painter", .priority = 4});
+}
+
+void WindowSystem::AdjustBoundary(int left, int right, int repaint_ops) {
+  Window& a = *windows_[static_cast<size_t>(left) % windows_.size()];
+  Window& b = *windows_[static_cast<size_t>(right) % windows_.size()];
+  pcr::MonitorGuard tree(tree_lock_);
+  ++boundary_adjustments_;
+  pcr::thisthread::Compute(500);  // move the boundary in the tree
+  a.height -= 10;
+  b.height += 10;
+  // "fork the painting threads, unwind the adjuster completely and let the painters acquire
+  // the locks that they need in separate threads."
+  for (Window* window : {&a, &b}) {
+    ++avoider_forks_;
+    paradigm::ForkWithLocks(
+        runtime_, {&window->lock, &tree_lock_},
+        [this, window, repaint_ops] { RepaintLocked(*window, repaint_ops, 4); },
+        paradigm::AvoiderOptions{.name = "boundary-painter", .priority = 4});
+  }
+}
+
+int WindowSystem::height(int index) {
+  Window& window = *windows_[static_cast<size_t>(index) % windows_.size()];
+  if (runtime_.scheduler().current() == pcr::kNoThread) {
+    return window.height;
+  }
+  pcr::MonitorGuard guard(window.lock);
+  return window.height;
+}
+
+}  // namespace world

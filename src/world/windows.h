@@ -1,0 +1,84 @@
+// The window system: per-window content monitors under a global tree lock, with the paper's
+// flagship deadlock-avoidance scenario.
+//
+// Section 4.4: "The window manager makes heavy use of this paradigm. For example, after
+// adjusting the boundary between two windows the contents of the windows must be repainted.
+// The boundary-moving thread forks new threads to do the repainting because it already holds
+// some, but not all of the locks needed for the repainting... It is far simpler to fork the
+// painting threads, unwind the adjuster completely and let the painters acquire the locks that
+// they need in separate threads."
+
+#ifndef SRC_WORLD_WINDOWS_H_
+#define SRC_WORLD_WINDOWS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace world {
+
+// A repaint order handed to the imaging path: which window, how much imaging work, how many
+// paint requests toward the X buffer.
+struct RepaintOrder {
+  int window = 0;
+  int ops = 0;
+  int requests = 0;
+};
+
+class WindowSystem {
+ public:
+  using RepaintSink = std::function<void(const RepaintOrder&)>;
+
+  WindowSystem(pcr::Runtime& runtime, int window_count, RepaintSink sink);
+
+  WindowSystem(const WindowSystem&) = delete;
+  WindowSystem& operator=(const WindowSystem&) = delete;
+
+  // Scrolls a window. Most repaints run inline in the calling (viewer) thread; periodically the
+  // repaint needs locks the caller cannot take in order, and a deadlock-avoider painter is
+  // forked instead — reproducing the paper's "10 scrolls -> 3 transients, one a child of
+  // another" cadence. Fiber context.
+  void Scroll(uint32_t detail, int repaint_ops);
+
+  // Moves the boundary between two adjacent windows while holding the tree lock, forking one
+  // painter per affected window — the literal Section 4.4 situation. Fiber context.
+  void AdjustBoundary(int left, int right, int repaint_ops);
+
+  // The height of window `index` (changed by AdjustBoundary; for tests).
+  int height(int index);
+
+  int64_t scrolls() const { return scrolls_; }
+  int64_t inline_repaints() const { return inline_repaints_; }
+  int64_t avoider_forks() const { return avoider_forks_; }
+  int64_t boundary_adjustments() const { return boundary_adjustments_; }
+  int window_count() const { return static_cast<int>(windows_.size()); }
+
+ private:
+  struct Window {
+    Window(pcr::Scheduler& scheduler, int id)
+        : lock(scheduler, "window-" + std::to_string(id)), id(id) {}
+    pcr::MonitorLock lock;
+    int id;
+    int height = 100;
+    int64_t repaints = 0;
+  };
+
+  void RepaintLocked(Window& window, int repaint_ops, int requests);
+
+  pcr::Runtime& runtime_;
+  RepaintSink sink_;
+  pcr::MonitorLock tree_lock_;
+  std::vector<std::unique_ptr<Window>> windows_;
+  int64_t scrolls_ = 0;
+  int64_t inline_repaints_ = 0;
+  int64_t avoider_forks_ = 0;
+  int64_t boundary_adjustments_ = 0;
+};
+
+}  // namespace world
+
+#endif  // SRC_WORLD_WINDOWS_H_

@@ -1,0 +1,151 @@
+#include "src/world/xclient.h"
+
+#include <algorithm>
+
+namespace world {
+
+// ---------------------------------------------------------------------------
+// XlibClient
+// ---------------------------------------------------------------------------
+
+XlibClient::XlibClient(pcr::Runtime& runtime, XServerModel& server,
+                       pcr::InterruptSource& connection, Options options)
+    : runtime_(runtime), server_(server), connection_(connection), options_(options),
+      lock_(runtime.scheduler(), "xlib-library") {}
+
+void XlibClient::SendRequest(const PaintRequest& request) {
+  pcr::MonitorGuard guard(lock_);
+  output_.push_back(request);
+}
+
+void XlibClient::Flush() {
+  pcr::MonitorGuard guard(lock_);
+  FlushLocked();
+}
+
+void XlibClient::FlushLocked() {
+  if (output_.empty()) {
+    return;
+  }
+  server_.Send(output_);
+  output_.clear();
+  ++stats_.output_flushes;
+}
+
+std::optional<uint64_t> XlibClient::GetEvent(pcr::Usec timeout) {
+  pcr::Scheduler& s = runtime_.scheduler();
+  pcr::Usec deadline = s.now() + timeout;
+  while (true) {
+    std::optional<uint64_t> delivered;
+    {
+      pcr::MonitorGuard guard(lock_);
+      if (!event_queue_.empty()) {
+        delivered = event_queue_.front();
+        event_queue_.pop_front();
+      } else {
+        // "The X specification requires that the output queue be flushed whenever a read is
+        // done on the input stream" — and this design reads often, so it flushes often.
+        FlushLocked();
+        // Read the connection while holding the library monitor. The short timeout exists only
+        // to let other threads at the mutex; it is the workaround the paper criticizes.
+        pcr::Usec read_start = s.now();
+        uint64_t payload = 0;
+        bool got = connection_.AwaitFor(options_.short_read_timeout, &payload);
+        stats_.lock_held_reading_us += s.now() - read_start;
+        if (got) {
+          delivered = payload;
+        } else {
+          ++stats_.short_read_cycles;
+        }
+      }
+    }
+    if (delivered.has_value()) {
+      ++stats_.events_delivered;
+      return delivered;
+    }
+    if (s.now() >= deadline) {
+      ++stats_.get_event_timeouts;
+      stats_.worst_timeout_overshoot_us =
+          std::max(stats_.worst_timeout_overshoot_us, s.now() - deadline);
+      return std::nullopt;
+    }
+    // "a short timeout after which the mutex was released, allowing other threads to continue"
+    // — actually let them continue, or this thread would just re-win the mutex race.
+    s.Yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// XlClient
+// ---------------------------------------------------------------------------
+
+XlClient::XlClient(pcr::Runtime& runtime, XServerModel& server,
+                   pcr::InterruptSource& connection, Options options)
+    : runtime_(runtime), server_(server), connection_(connection), options_(options),
+      lock_(runtime.scheduler(), "xl-library"),
+      event_ready_(lock_, "xl-event-ready", 50 * pcr::kUsecPerMsec) {
+  // "Xl introduced a new serializing thread ... its job was solely to read from the I/O
+  // connection and dispatch events to waiting threads." It blocks with no lock held and no
+  // timeout: input is decoupled from output.
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          uint64_t payload = connection_.Await();
+          pcr::MonitorGuard guard(lock_);
+          event_queue_.push_back(payload);
+          event_ready_.Notify();
+        }
+      },
+      pcr::ForkOptions{.name = "xl-reader", .priority = 5});
+  // "other mechanisms such as an explicit flush by clients or a periodic timeout by a
+  // maintenance thread ensure that output gets flushed in a timely manner."
+  runtime_.ForkDetached(
+      [this] {
+        while (true) {
+          pcr::thisthread::Sleep(options_.maintenance_flush_period);
+          pcr::MonitorGuard guard(lock_);
+          FlushLocked();
+        }
+      },
+      pcr::ForkOptions{.name = "xl-maintenance", .priority = 3});
+}
+
+void XlClient::SendRequest(const PaintRequest& request) {
+  pcr::MonitorGuard guard(lock_);
+  output_.push_back(request);
+}
+
+void XlClient::Flush() {
+  pcr::MonitorGuard guard(lock_);
+  FlushLocked();
+}
+
+void XlClient::FlushLocked() {
+  if (output_.empty()) {
+    return;
+  }
+  server_.Send(output_);
+  output_.clear();
+  ++stats_.output_flushes;
+}
+
+std::optional<uint64_t> XlClient::GetEvent(pcr::Usec timeout) {
+  pcr::Scheduler& s = runtime_.scheduler();
+  pcr::Usec deadline = s.now() + timeout;
+  pcr::MonitorGuard guard(lock_);
+  while (event_queue_.empty()) {
+    if (s.now() >= deadline) {
+      ++stats_.get_event_timeouts;
+      stats_.worst_timeout_overshoot_us =
+          std::max(stats_.worst_timeout_overshoot_us, s.now() - deadline);
+      return std::nullopt;
+    }
+    event_ready_.Wait();
+  }
+  uint64_t payload = event_queue_.front();
+  event_queue_.pop_front();
+  ++stats_.events_delivered;
+  return payload;
+}
+
+}  // namespace world

@@ -1,0 +1,118 @@
+// Two multi-threaded X client libraries (Section 5.6).
+//
+// "We studied two approaches to using X windows from a multi-threaded client. One approach uses
+// Xlib, modified only to make it thread-safe. The other approach uses Xl, an X client library
+// designed from scratch with multi-threading in mind."
+//
+//   * XlibClient — any client thread reads the connection while holding the library monitor.
+//     Two problems the paper identifies: priority inversion (a preempted reader holds the
+//     mutex) and clients cannot time out on the mutex, so "each read had to be done with a
+//     short timeout after which the mutex was released". The X flush-before-read rule then
+//     causes "an excessive number of output flushes, defeating the throughput gains of
+//     batching".
+//   * XlClient — a dedicated serializing reader thread owns the connection, blocks
+//     indefinitely, and dispatches events to waiting threads; client timeouts map directly to
+//     CV timeouts, input and output are decoupled, and a maintenance thread flushes output
+//     periodically.
+
+#ifndef SRC_WORLD_XCLIENT_H_
+#define SRC_WORLD_XCLIENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/interrupt.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+#include "src/world/xserver.h"
+
+namespace world {
+
+// Shared counters so the bench can compare the two designs on the axes the paper discusses.
+struct XClientStats {
+  int64_t events_delivered = 0;
+  int64_t get_event_timeouts = 0;
+  int64_t output_flushes = 0;
+  int64_t short_read_cycles = 0;   // Xlib only: reads abandoned to release the library mutex
+  pcr::Usec lock_held_reading_us = 0;  // time the library mutex was held across reads
+  pcr::Usec worst_timeout_overshoot_us = 0;  // requested GetEvent timeout vs actual wait
+};
+
+struct XlibOptions {
+  pcr::Usec short_read_timeout = 50 * pcr::kUsecPerMsec;  // mutex-release granularity
+};
+
+// The thread-safe Xlib retrofit.
+class XlibClient {
+ public:
+  using Options = XlibOptions;
+
+  XlibClient(pcr::Runtime& runtime, XServerModel& server, pcr::InterruptSource& connection,
+             Options options = {});
+
+  // Blocks until a server event arrives or `timeout` elapses; nullopt on timeout. Any client
+  // thread may call this; the caller does the connection read under the library monitor.
+  std::optional<uint64_t> GetEvent(pcr::Usec timeout);
+
+  // Buffers one request. The X specification forces a flush before every read, so batching
+  // barely helps this design.
+  void SendRequest(const PaintRequest& request);
+  void Flush();
+
+  const XClientStats& stats() const { return stats_; }
+
+ private:
+  void FlushLocked();
+
+  pcr::Runtime& runtime_;
+  XServerModel& server_;
+  pcr::InterruptSource& connection_;
+  Options options_;
+  pcr::MonitorLock lock_;
+  std::deque<uint64_t> event_queue_;
+  std::vector<PaintRequest> output_;
+  XClientStats stats_;
+};
+
+struct XlOptions {
+  pcr::Usec maintenance_flush_period = 500 * pcr::kUsecPerMsec;
+};
+
+// The designed-for-threads library.
+class XlClient {
+ public:
+  using Options = XlOptions;
+
+  XlClient(pcr::Runtime& runtime, XServerModel& server, pcr::InterruptSource& connection,
+           Options options = {});
+
+  // Blocks on a condition variable until the reader thread delivers an event; the client's
+  // timeout is "handled perfectly by the condition variable timeout mechanism".
+  std::optional<uint64_t> GetEvent(pcr::Usec timeout);
+
+  // Buffers one request; flushed by explicit Flush or the maintenance thread.
+  void SendRequest(const PaintRequest& request);
+  void Flush();
+
+  const XClientStats& stats() const { return stats_; }
+
+ private:
+  void FlushLocked();
+
+  pcr::Runtime& runtime_;
+  XServerModel& server_;
+  pcr::InterruptSource& connection_;
+  Options options_;
+  pcr::MonitorLock lock_;
+  pcr::Condition event_ready_;
+  std::deque<uint64_t> event_queue_;
+  std::vector<PaintRequest> output_;
+  XClientStats stats_;
+};
+
+}  // namespace world
+
+#endif  // SRC_WORLD_XCLIENT_H_

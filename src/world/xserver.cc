@@ -1,0 +1,49 @@
+#include "src/world/xserver.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace world {
+
+XServerModel::XServerModel(pcr::Runtime& runtime, Costs costs)
+    : runtime_(runtime), costs_(costs) {}
+
+void XServerModel::Send(const std::vector<PaintRequest>& batch) {
+  if (batch.empty()) {
+    return;
+  }
+  runtime_.scheduler().Charge(costs_.per_flush +
+                              costs_.per_request * static_cast<pcr::Usec>(batch.size()));
+  ++flushes_;
+  requests_received_ += static_cast<int64_t>(batch.size());
+  pcr::Usec now = runtime_.now();
+  for (const PaintRequest& request : batch) {
+    pcr::Usec latency = now - request.created_at;
+    echo_latency_.Add(latency);
+    max_echo_latency_ = std::max(max_echo_latency_, latency);
+  }
+}
+
+void XServerModel::MergeOverlapping(std::vector<PaintRequest>& batch) {
+  // Later data replaces earlier data for the same damage region; order of first appearance is
+  // preserved so the screen still paints in request order.
+  std::map<std::pair<int, int>, size_t> latest;
+  std::vector<PaintRequest> merged;
+  merged.reserve(batch.size());
+  for (const PaintRequest& request : batch) {
+    auto key = std::make_pair(request.window, request.region);
+    auto it = latest.find(key);
+    if (it == latest.end()) {
+      latest[key] = merged.size();
+      merged.push_back(request);
+    } else {
+      pcr::Usec created = merged[it->second].created_at;
+      merged[it->second] = request;
+      merged[it->second].created_at = created;  // latency measured from the first damage
+    }
+  }
+  batch.swap(merged);
+}
+
+}  // namespace world

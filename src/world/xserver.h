@@ -1,0 +1,72 @@
+// A model X server (the downstream consumer with "high per-transaction costs", Section 4.2).
+//
+// The real server is a separate Unix process; what matters for the paper's experiments is its
+// cost structure as seen by the client: every flush has a fixed protocol/context-switch cost,
+// every request a marginal cost, and the user perceives echo latency as the time from a paint
+// request's creation to its arrival at the server. All three are modelled here; no pixels are
+// harmed.
+
+#ifndef SRC_WORLD_XSERVER_H_
+#define SRC_WORLD_XSERVER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/pcr/runtime.h"
+#include "src/trace/histogram.h"
+
+namespace world {
+
+// One paint/graphics request travelling toward the server.
+struct PaintRequest {
+  pcr::Usec created_at = 0;  // when the imaging code produced it (for echo-latency tracking)
+  int window = 0;
+  int region = 0;  // requests in the same window+region are mergeable (overlapping damage)
+};
+
+struct XServerCosts {
+  pcr::Usec per_flush = 400;    // protocol + process-switch overhead per batch
+  pcr::Usec per_request = 150;  // marginal server work per request
+};
+
+class XServerModel {
+ public:
+  using Costs = XServerCosts;
+
+  explicit XServerModel(pcr::Runtime& runtime, Costs costs = {});
+
+  // Sends a batch; charges the *calling thread* the flush + per-request protocol cost (the
+  // client pays to talk to the server) and records echo latency for each request.
+  void Send(const std::vector<PaintRequest>& batch);
+
+  int64_t requests_received() const { return requests_received_; }
+  int64_t flushes() const { return flushes_; }
+  double mean_batch() const {
+    return flushes_ == 0 ? 0.0
+                         : static_cast<double>(requests_received_) / static_cast<double>(flushes_);
+  }
+  // Total modelled server-side work: the quantity batching/merging exists to reduce.
+  pcr::Usec server_work() const {
+    return flushes_ * costs_.per_flush + requests_received_ * costs_.per_request;
+  }
+  const trace::Histogram& echo_latency() const { return echo_latency_; }
+  pcr::Usec max_echo_latency() const { return max_echo_latency_; }
+
+  // Coalesces requests targeting the same (window, region), keeping the latest — "merging
+  // input or replacing earlier data with later data" (Section 4.2). Exposed so slack processes
+  // can use it as their merge function.
+  static void MergeOverlapping(std::vector<PaintRequest>& batch);
+
+ private:
+  pcr::Runtime& runtime_;
+  Costs costs_;
+  int64_t requests_received_ = 0;
+  int64_t flushes_ = 0;
+  trace::Histogram echo_latency_{1000, 200};  // 1 ms buckets up to 200 ms
+  pcr::Usec max_echo_latency_ = 0;
+};
+
+}  // namespace world
+
+#endif  // SRC_WORLD_XSERVER_H_

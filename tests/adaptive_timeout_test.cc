@@ -1,0 +1,128 @@
+// Tests for the adaptive timeout controller (Section 5.5 future work) — including an
+// end-to-end comparison against the stale-constant anti-pattern it replaces.
+
+#include <gtest/gtest.h>
+
+#include "src/paradigm/adaptive_timeout.h"
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+TEST(AdaptiveTimeoutTest, ConvergesDownOnFastService) {
+  AdaptiveTimeout timeout;
+  for (int i = 0; i < 50; ++i) {
+    timeout.RecordResponse(2 * kUsecPerMsec);
+  }
+  // 3x headroom over a ~2 ms response time.
+  EXPECT_LE(timeout.current(), 8 * kUsecPerMsec);
+  EXPECT_GE(timeout.current(), 5 * kUsecPerMsec);
+}
+
+TEST(AdaptiveTimeoutTest, TracksServiceSlowdown) {
+  AdaptiveTimeout timeout;
+  for (int i = 0; i < 50; ++i) {
+    timeout.RecordResponse(2 * kUsecPerMsec);
+  }
+  pcr::Usec fast = timeout.current();
+  for (int i = 0; i < 50; ++i) {
+    timeout.RecordResponse(80 * kUsecPerMsec);
+  }
+  EXPECT_GT(timeout.current(), 5 * fast);
+  EXPECT_GE(timeout.current(), 200 * kUsecPerMsec);
+}
+
+TEST(AdaptiveTimeoutTest, TimeoutsBackOffMultiplicatively) {
+  AdaptiveTimeout timeout;
+  pcr::Usec before = timeout.current();
+  timeout.RecordTimeout();
+  timeout.RecordTimeout();
+  EXPECT_GE(timeout.current(), 3 * before);
+}
+
+TEST(AdaptiveTimeoutTest, RespectsFloorAndCeiling) {
+  AdaptiveTimeoutOptions options;
+  options.floor = 10 * kUsecPerMsec;
+  options.ceiling = kUsecPerSec;
+  AdaptiveTimeout timeout(options);
+  for (int i = 0; i < 100; ++i) {
+    timeout.RecordResponse(1);  // absurdly fast
+  }
+  EXPECT_EQ(timeout.current(), 10 * kUsecPerMsec);
+  for (int i = 0; i < 100; ++i) {
+    timeout.RecordTimeout();
+  }
+  EXPECT_EQ(timeout.current(), kUsecPerSec);
+}
+
+// End-to-end: an RPC client polls a server whose latency jumps 40x mid-run. The stale fixed
+// timeout (tuned for the fast era) false-alarms on every slow call; the adaptive one re-tunes
+// within a few calls.
+struct RpcResult {
+  int false_timeouts = 0;
+  int completed = 0;
+};
+
+RpcResult RunRpcWorkload(bool adaptive) {
+  pcr::Runtime rt;
+  pcr::MonitorLock lock(rt.scheduler(), "rpc");
+  pcr::Condition reply(lock, "reply", 20 * kUsecPerMsec);
+  bool replied = false;
+  AdaptiveTimeout controller(
+      AdaptiveTimeoutOptions{.initial = 20 * kUsecPerMsec, .floor = 2 * kUsecPerMsec});
+  RpcResult result;
+  rt.ForkDetached([&] {
+    for (int call = 0; call < 40; ++call) {
+      pcr::Usec server_latency = (call < 20 ? 2 : 80) * kUsecPerMsec;  // the era change
+      replied = false;
+      rt.ForkDetached(
+          [&, server_latency] {
+            pcr::thisthread::Compute(server_latency);
+            pcr::MonitorGuard guard(lock);
+            replied = true;
+            reply.Notify();
+          },
+          pcr::ForkOptions{.name = "server", .priority = 3});
+      pcr::Usec started = rt.now();
+      bool ok;
+      {
+        pcr::MonitorGuard guard(lock);
+        reply.set_timeout(adaptive ? controller.current() : 20 * kUsecPerMsec);
+        ok = reply.Await([&] { return replied; },
+                         adaptive ? controller.current() : 20 * kUsecPerMsec);
+      }
+      if (ok) {
+        controller.RecordResponse(rt.now() - started);
+        ++result.completed;
+      } else {
+        controller.RecordTimeout();
+        ++result.false_timeouts;  // the server was fine, just slower than the constant
+        pcr::MonitorGuard guard(lock);
+        reply.Await([&] { return replied; });  // drain before the next call
+      }
+      pcr::thisthread::Sleep(10 * kUsecPerMsec);
+    }
+  });
+  rt.RunFor(60 * kUsecPerSec);
+  rt.Shutdown();
+  return result;
+}
+
+TEST(AdaptiveTimeoutTest, FixedConstantFalseAlarmsAfterEraChange) {
+  RpcResult fixed = RunRpcWorkload(/*adaptive=*/false);
+  EXPECT_GT(fixed.false_timeouts, 10);  // nearly every slow-era call alarms
+}
+
+TEST(AdaptiveTimeoutTest, AdaptiveControllerRetunesWithinAFewCalls) {
+  RpcResult adaptive = RunRpcWorkload(/*adaptive=*/true);
+  EXPECT_LE(adaptive.false_timeouts, 4);  // a couple of alarms while re-tuning, then quiet
+  EXPECT_GE(adaptive.completed, 36);
+}
+
+}  // namespace
+}  // namespace paradigm

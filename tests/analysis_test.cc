@@ -1,0 +1,125 @@
+// Tests for the analysis layer: paper reference data, table rendering, per-thread profiles.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/analysis/paper_reference.h"
+#include "src/analysis/profile.h"
+#include "src/analysis/table.h"
+#include "src/pcr/runtime.h"
+
+namespace analysis {
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+TEST(PaperReferenceTest, EveryScenarioHasARow) {
+  for (world::Scenario scenario : world::AllScenarios()) {
+    const PaperRow& row = PaperReference(scenario);
+    EXPECT_EQ(row.scenario, scenario);
+    EXPECT_GE(row.switches_per_sec, 30);
+    EXPECT_GE(row.distinct_mls, 48);
+  }
+}
+
+TEST(PaperReferenceTest, Table4TotalsMatchThePaper) {
+  int count = 0;
+  const PaperCensusRow* rows = PaperCensus(&count);
+  int cedar = 0;
+  int gvx = 0;
+  for (int i = 0; i < count; ++i) {
+    cedar += rows[i].cedar_count;
+    gvx += rows[i].gvx_count;
+  }
+  EXPECT_EQ(cedar, 348);  // "TOTAL 348" (Table 4)
+  EXPECT_EQ(gvx, 234);    // "TOTAL 234"
+}
+
+TEST(PaperReferenceTest, GvxRowsNeverFork) {
+  for (world::Scenario scenario : world::GvxScenarios()) {
+    EXPECT_EQ(PaperReference(scenario).forks_per_sec, 0.0);
+  }
+}
+
+TEST(TableRenderingTest, TablesContainEveryBenchmarkRow) {
+  world::ScenarioOptions options;
+  options.duration = 3 * kUsecPerSec;
+  options.warmup = kUsecPerSec;
+  std::vector<world::ScenarioResult> results = RunAllScenarios(options);
+  ASSERT_EQ(results.size(), 12u);
+  std::ostringstream os;
+  PrintTable1(os, results);
+  PrintTable2(os, results);
+  PrintTable3(os, results);
+  PrintTable4(os, results);
+  PrintDistributions(os, results);
+  std::string text = os.str();
+  for (const world::ScenarioResult& r : results) {
+    EXPECT_NE(text.find(r.name), std::string::npos) << r.name;
+  }
+  EXPECT_NE(text.find("Defer work"), std::string::npos);
+  EXPECT_NE(text.find("Slack processes"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST(ProfileTest, AttributesTrafficToTheRightThreads) {
+  pcr::Runtime rt;
+  pcr::MonitorLock lock(rt.scheduler(), "m");
+  pcr::ThreadId busy = rt.ForkDetached([&] {
+    for (int i = 0; i < 50; ++i) {
+      pcr::MonitorGuard guard(lock);
+      pcr::thisthread::Compute(100);
+    }
+  });
+  rt.ForkDetached([&] {
+    pcr::MonitorGuard guard(lock);
+    pcr::thisthread::Compute(100);
+  });
+  rt.RunUntilQuiescent(5 * kUsecPerSec);
+  ProfileSummary profile = ProfileThreads(rt.tracer());
+  ASSERT_GE(profile.threads.size(), 2u);
+  EXPECT_EQ(profile.threads.front().thread, busy);
+  EXPECT_EQ(profile.threads.front().ml_enters, 50);
+  EXPECT_GT(profile.DominantTrafficShare(), 0.9);
+  EXPECT_EQ(profile.ThreadsCarryingTraffic(0.9), 1);
+}
+
+TEST(ProfileTest, CpuTimeMatchesComputeRequests) {
+  pcr::Runtime rt;
+  pcr::ThreadId worker = rt.ForkDetached([] { pcr::thisthread::Compute(25 * kUsecPerMsec); });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  ProfileSummary profile = ProfileThreads(rt.tracer());
+  for (const ThreadProfile& t : profile.threads) {
+    if (t.thread == worker) {
+      EXPECT_NEAR(static_cast<double>(t.cpu_us), 25.0 * kUsecPerMsec, kUsecPerMsec);
+      return;
+    }
+  }
+  FAIL() << "worker thread missing from profile";
+}
+
+TEST(ProfileTest, EmptyTraceYieldsEmptyProfile) {
+  pcr::Runtime rt;
+  ProfileSummary profile = ProfileThreads(rt.tracer());
+  EXPECT_TRUE(profile.threads.empty());
+  EXPECT_EQ(profile.ThreadsCarryingTraffic(0.9), 0);
+  EXPECT_EQ(profile.DominantTrafficShare(), 0.0);
+}
+
+TEST(AnnotateTest, UserEventsAppearInTheTrace) {
+  pcr::Runtime rt;
+  rt.ForkDetached([] { pcr::thisthread::Annotate(/*object=*/777, /*arg=*/42); });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  bool found = false;
+  for (const trace::Event& e : rt.tracer().events()) {
+    if (e.type == trace::EventType::kUser && e.object == 777 && e.arg == 42) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace analysis

@@ -1,0 +1,209 @@
+// Final coverage battery: distinct behaviours not exercised elsewhere — the trace validator's
+// own detection power, heterogeneous pumps, guarded-button re-arming, custom stacks, and the
+// editor's corner states.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/apps/editor.h"
+#include "src/paradigm/bounded_buffer.h"
+#include "src/paradigm/one_shot.h"
+#include "src/paradigm/pump.h"
+#include "src/pcr/runtime.h"
+#include "src/trace/validate.h"
+#include "src/world/xserver.h"
+
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+// --- the validator must actually detect corruption --------------------------------------------
+
+trace::Event MakeEvent(trace::Usec t, trace::EventType type, trace::ThreadId thread,
+                       trace::ObjectId object = 0) {
+  trace::Event e;
+  e.time_us = t;
+  e.type = type;
+  e.thread = thread;
+  e.object = object;
+  return e;
+}
+
+TEST(ValidateTest, AcceptsARealRunsTrace) {
+  pcr::Runtime rt;
+  pcr::MonitorLock lock(rt.scheduler(), "m");
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 5; ++i) {
+      pcr::MonitorGuard guard(lock);
+      pcr::thisthread::Compute(kUsecPerMsec);
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  trace::ValidationResult v = trace::ValidateTrace(rt.tracer());
+  EXPECT_TRUE(v.ok()) << v.ToString();
+}
+
+TEST(ValidateTest, DetectsTimeTravel) {
+  trace::Tracer tracer;
+  tracer.Record(MakeEvent(100, trace::EventType::kYield, 1));
+  tracer.Record(MakeEvent(50, trace::EventType::kYield, 1));
+  trace::ValidationResult v = trace::ValidateTrace(tracer);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.ToString().find("time went backwards"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsUnbalancedMonitorExit) {
+  trace::Tracer tracer;
+  tracer.Record(MakeEvent(10, trace::EventType::kMlExit, 1, /*object=*/9));
+  trace::ValidationResult v = trace::ValidateTrace(tracer);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.ToString().find("without a matching enter"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsActionsByExitedThreads) {
+  trace::Tracer tracer;
+  tracer.Record(MakeEvent(10, trace::EventType::kThreadExit, 3));
+  tracer.Record(MakeEvent(20, trace::EventType::kMlEnter, 3, 1));
+  trace::ValidationResult v = trace::ValidateTrace(tracer);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.ToString().find("exited thread"), std::string::npos);
+}
+
+TEST(ValidateTest, DetectsWaitCompletionWithoutWait) {
+  trace::Tracer tracer;
+  tracer.Record(MakeEvent(10, trace::EventType::kCvNotified, 2, 5));
+  trace::ValidationResult v = trace::ValidateTrace(tracer);
+  ASSERT_FALSE(v.ok());
+  EXPECT_NE(v.ToString().find("matching WAIT"), std::string::npos);
+}
+
+// --- heterogeneous pump ------------------------------------------------------------------------
+
+TEST(PumpHeterogeneousTest, TransformsAcrossTypes) {
+  pcr::Runtime rt;
+  paradigm::BoundedBuffer<int> numbers(rt.scheduler(), "in", 4);
+  paradigm::BoundedBuffer<std::string> words(rt.scheduler(), "out", 4);
+  paradigm::Pump<int, std::string> stringify(rt, "stringify", numbers, words,
+                                             [](int x) { return std::to_string(x * 10); });
+  std::vector<std::string> out;
+  rt.ForkDetached([&] {
+    for (int i = 1; i <= 3; ++i) {
+      numbers.Put(i);
+    }
+    numbers.Close();
+  });
+  rt.ForkDetached([&] {
+    while (auto word = words.Take()) {
+      out.push_back(*word);
+    }
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), pcr::RunStatus::kQuiescent);
+  EXPECT_EQ(out, (std::vector<std::string>{"10", "20", "30"}));
+}
+
+// --- guarded button re-arming --------------------------------------------------------------------
+
+TEST(GuardedButtonReArmTest, UsableAgainAfterWindowExpires) {
+  pcr::Runtime rt;
+  int invocations = 0;
+  paradigm::GuardedButtonOptions options;
+  options.arming_period = 100 * kUsecPerMsec;
+  options.window = 500 * kUsecPerMsec;
+  paradigm::GuardedButton button(rt, "b", [&] { ++invocations; }, options);
+  rt.ForkDetached([&] {
+    button.Click();                                  // arm #1
+    pcr::thisthread::Sleep(2 * kUsecPerSec);         // window expires, resets
+    EXPECT_EQ(button.appearance(), paradigm::GuardedButton::Appearance::kGuarded);
+    button.Click();                                  // arm #2
+    pcr::thisthread::Sleep(200 * kUsecPerMsec);
+    EXPECT_TRUE(button.Click());                     // confirm #2
+  });
+  rt.RunFor(5 * kUsecPerSec);
+  EXPECT_EQ(invocations, 1);
+  EXPECT_EQ(button.ignored_clicks(), 2);  // the two arming clicks
+  rt.Shutdown();
+}
+
+// --- custom stack sizes -------------------------------------------------------------------------
+
+TEST(CustomStackTest, PerThreadStackSizeIsHonored) {
+  pcr::Config config;
+  config.stack_bytes = 32 * 1024;
+  pcr::Runtime rt(config);
+  rt.ForkDetached([] { pcr::thisthread::Sleep(kUsecPerSec); },
+                  pcr::ForkOptions{.name = "big", .stack_bytes = 512 * 1024});
+  rt.RunFor(10 * kUsecPerMsec);
+  // 512 kB + guard dwarfs the 32 kB default.
+  EXPECT_GE(rt.scheduler().peak_stack_bytes_reserved(), 512u * 1024);
+  rt.Shutdown();
+}
+
+// --- X server latency histogram ------------------------------------------------------------------
+
+TEST(XServerHistogramTest, EchoLatencyLandsInTheRightBucket) {
+  pcr::Runtime rt;
+  world::XServerModel server(rt);
+  rt.ForkDetached([&] {
+    pcr::Usec created = rt.now();
+    pcr::thisthread::Compute(7 * kUsecPerMsec);  // the request sat batched for 7 ms
+    server.Send({world::PaintRequest{created, 0, 0}});
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  // 1 ms buckets: the sample belongs to bucket 7.
+  EXPECT_EQ(server.echo_latency().count(7), 1);
+  EXPECT_EQ(server.echo_latency().total_count(), 1);
+}
+
+// --- editor corner states -------------------------------------------------------------------------
+
+TEST(EditorCornersTest, UndoOnEmptyDocumentIsANoOp) {
+  pcr::Runtime rt;
+  world::XServerModel xserver(rt);
+  apps::Editor editor(rt, xserver);
+  editor.PressUndoAt(100 * kUsecPerMsec);
+  rt.RunFor(kUsecPerSec);
+  EXPECT_EQ(editor.stats().undos, 0);
+  EXPECT_EQ(editor.FirstLine(), "");
+  rt.Shutdown();
+}
+
+TEST(EditorCornersTest, TypingResumesAfterRevert) {
+  pcr::Runtime rt;
+  world::XServerModel xserver(rt);
+  apps::Editor editor(rt, xserver);
+  editor.TypeText("old", 100 * kUsecPerMsec, 50.0);
+  editor.ClickRevertAt(kUsecPerSec);
+  editor.TypeText("new", 3 * kUsecPerSec, 50.0);
+  rt.RunFor(5 * kUsecPerSec);
+  EXPECT_EQ(editor.stats().reverts, 1);
+  EXPECT_EQ(editor.FirstLine(), "new");
+  rt.Shutdown();
+}
+
+TEST(EditorCornersTest, UndoChainRewindsMultipleEdits) {
+  pcr::Runtime rt;
+  world::XServerModel xserver(rt);
+  apps::Editor editor(rt, xserver);
+  editor.TypeText("abcd", 100 * kUsecPerMsec, 50.0);
+  for (int i = 0; i < 3; ++i) {
+    editor.PressUndoAt((500 + i * 100) * kUsecPerMsec);
+  }
+  rt.RunFor(2 * kUsecPerSec);
+  EXPECT_EQ(editor.stats().undos, 3);
+  EXPECT_EQ(editor.FirstLine(), "a");
+  rt.Shutdown();
+}
+
+// --- census site listing --------------------------------------------------------------------------
+
+TEST(CensusSitesTest, SiteNamesDescribeTheirModules) {
+  trace::Census census;
+  census.Register(trace::Paradigm::kSlackProcess, "X-request buffer thread");
+  ASSERT_EQ(census.sites().size(), 1u);
+  EXPECT_EQ(census.sites()[0].paradigm, trace::Paradigm::kSlackProcess);
+  EXPECT_EQ(census.sites()[0].name, "X-request buffer thread");
+}
+
+}  // namespace

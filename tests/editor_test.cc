@@ -1,0 +1,116 @@
+// Integration tests for the showcase editor application — the whole paradigm library composed
+// into one downstream component.
+
+#include <gtest/gtest.h>
+
+#include "src/apps/editor.h"
+#include "src/pcr/runtime.h"
+#include "src/world/xserver.h"
+
+namespace apps {
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+struct EditorFixture {
+  EditorFixture() : xserver(runtime), editor(runtime, xserver) {}
+  pcr::Runtime runtime;
+  world::XServerModel xserver;
+  Editor editor;
+};
+
+TEST(EditorTest, TypedTextAppearsInTheDocument) {
+  EditorFixture f;
+  f.editor.TypeText("hello world\nsecond line", 100 * kUsecPerMsec, 40.0);
+  f.runtime.RunFor(3 * kUsecPerSec);
+  std::vector<std::string> lines = f.editor.Lines();
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "hello world");
+  EXPECT_EQ(lines[1], "second line");
+  EXPECT_EQ(f.editor.stats().keystrokes, 23);
+}
+
+TEST(EditorTest, EveryKeystrokeReachesTheScreenBatched) {
+  EditorFixture f;
+  f.editor.TypeText("abcdefghij", 100 * kUsecPerMsec, 100.0);
+  f.runtime.RunFor(2 * kUsecPerSec);
+  EXPECT_GT(f.xserver.requests_received(), 0);
+  // The repaint slack process batches keystroke damage: far fewer flushes than keystrokes.
+  EXPECT_LT(f.xserver.flushes(), 10);
+  // Echo latency bounded by the batching quantum.
+  EXPECT_LE(f.xserver.max_echo_latency(), 60 * kUsecPerMsec);
+}
+
+TEST(EditorTest, UndoRestoresPreviousState) {
+  EditorFixture f;
+  f.editor.TypeText("ab", 100 * kUsecPerMsec, 50.0);
+  f.editor.PressUndoAt(500 * kUsecPerMsec);
+  f.runtime.RunFor(2 * kUsecPerSec);
+  EXPECT_EQ(f.editor.FirstLine(), "a");
+  EXPECT_EQ(f.editor.stats().undos, 1);
+}
+
+TEST(EditorTest, SpellcheckRunsDeferredAndFlagsSuspects) {
+  EditorFixture f;
+  // "zzz" has no vowels -> flagged; "hello" is fine. Words complete on space/newline.
+  f.editor.TypeText("zzzq hello \n", 100 * kUsecPerMsec, 50.0);
+  f.runtime.RunFor(3 * kUsecPerSec);
+  EXPECT_GE(f.editor.stats().spellcheck_passes, 2);
+  EXPECT_EQ(f.editor.stats().suspect_words, 1);
+}
+
+TEST(EditorTest, AutosavesHappenPeriodicallyOnTheBackgroundPool) {
+  EditorFixture f;
+  f.editor.TypeText("some text", 100 * kUsecPerMsec, 50.0);
+  f.runtime.RunFor(9 * kUsecPerSec);
+  EXPECT_GE(f.editor.stats().autosaves, 3);  // every ~2 s
+  EXPECT_LE(f.editor.stats().autosaves, 5);
+}
+
+TEST(EditorTest, AdaptiveSaveTimeoutAbsorbsSlowFileServer) {
+  pcr::Runtime runtime;
+  world::XServerModel xserver(runtime);
+  Editor editor(runtime, xserver, /*file_server_latency=*/60 * kUsecPerMsec);  // slow server
+  editor.TypeText("x", 100 * kUsecPerMsec, 50.0);
+  runtime.RunFor(20 * kUsecPerSec);
+  EXPECT_GE(editor.stats().autosaves, 8);
+  // The first save(s) blow the 20 ms initial budget; the controller re-tunes and the retry
+  // count stops growing.
+  EXPECT_GE(editor.stats().save_retries, 1);
+  EXPECT_LE(editor.stats().save_retries, 3);
+}
+
+TEST(EditorTest, CrashingMacroIsRejuvenated) {
+  EditorFixture f;
+  f.editor.TypeText("abc", 100 * kUsecPerMsec, 50.0);
+  f.runtime.RunFor(kUsecPerSec);
+  f.editor.RunMacro("crash");
+  f.editor.RunMacro("upcase");  // must still run on the rejuvenated engine
+  f.runtime.RunFor(3 * kUsecPerSec);
+  EXPECT_EQ(f.editor.stats().macro_crashes, 1);
+  EXPECT_EQ(f.editor.FirstLine(), "ABC");
+}
+
+TEST(EditorTest, GuardedRevertNeedsBothClicks) {
+  EditorFixture f;
+  f.editor.TypeText("doomed text", 100 * kUsecPerMsec, 100.0);
+  f.editor.ClickRevertAt(kUsecPerSec);
+  f.runtime.RunFor(5 * kUsecPerSec);
+  EXPECT_EQ(f.editor.stats().reverts, 1);
+  EXPECT_EQ(f.editor.FirstLine(), "");
+}
+
+TEST(EditorTest, DeterministicAcrossRuns) {
+  auto run = [] {
+    EditorFixture f;
+    f.editor.TypeText("the quick brown fox\njumps over\n", 100 * kUsecPerMsec, 30.0);
+    f.runtime.RunFor(5 * kUsecPerSec);
+    return std::make_tuple(f.editor.version(), f.editor.stats().edits_applied,
+                           f.xserver.flushes(), f.xserver.requests_received());
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace apps

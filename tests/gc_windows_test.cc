@@ -1,0 +1,193 @@
+// Tests for the garbage collector (Sections 4.3/4.4 finalization machinery) and the window
+// system (the Section 4.4 deadlock-avoidance scenario).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "src/pcr/runtime.h"
+#include "src/trace/genealogy.h"
+#include "src/trace/stats.h"
+#include "src/world/gc.h"
+#include "src/world/windows.h"
+
+namespace world {
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+GcOptions FastGc() {
+  GcOptions options;
+  options.scan_period = 200 * kUsecPerMsec;
+  options.scan_base_cost = kUsecPerMsec;
+  return options;
+}
+
+TEST(GcTest, CollectsGarbageOverTime) {
+  pcr::Runtime rt;
+  GarbageCollector gc(rt, FastGc());
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 100; ++i) {
+      gc.Allocate();
+    }
+  });
+  rt.RunFor(5 * kUsecPerSec);
+  // Half dies per 200 ms sweep: the heap decays toward zero.
+  EXPECT_LT(gc.live_objects(), 5);
+  EXPECT_GT(gc.collected(), 95);
+  EXPECT_GT(gc.scan_increments(), 10);
+  rt.Shutdown();
+}
+
+TEST(GcTest, FinalizersRunExactlyOnceEach) {
+  pcr::Runtime rt;
+  GarbageCollector gc(rt, FastGc());
+  std::set<int> finalized;
+  int duplicate_finalizations = 0;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 20; ++i) {
+      gc.Allocate([&finalized, &duplicate_finalizations, i] {
+        if (!finalized.insert(i).second) {
+          ++duplicate_finalizations;
+        }
+      });
+    }
+  });
+  rt.RunFor(10 * kUsecPerSec);
+  EXPECT_EQ(finalized.size(), 20u);
+  EXPECT_EQ(duplicate_finalizations, 0);
+  EXPECT_EQ(gc.finalizations_run(), 20);
+  rt.Shutdown();
+}
+
+TEST(GcTest, FinalizersRunInForkedTransientThreads) {
+  pcr::Runtime rt;
+  GarbageCollector gc(rt, FastGc());
+  std::set<pcr::ThreadId> finalizer_threads;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 8; ++i) {
+      gc.Allocate([&finalizer_threads] { finalizer_threads.insert(pcr::thisthread::Id()); });
+    }
+  });
+  rt.RunFor(10 * kUsecPerSec);
+  // "The finalization service thread forks each callback": every callback got its own thread.
+  EXPECT_EQ(finalizer_threads.size(), 8u);
+  trace::GenealogySummary g = trace::AnalyzeGenealogy(rt.tracer());
+  EXPECT_GE(g.transients, 8);
+  rt.Shutdown();
+}
+
+TEST(GcTest, ForkInsulatesServiceFromBuggyFinalizers) {
+  // "The fork also insulates the service from things that may go wrong in the client callback"
+  // (Section 4.4).
+  pcr::Runtime rt;
+  GarbageCollector gc(rt, FastGc());
+  int good_finalizers_after_bad = 0;
+  rt.ForkDetached([&] {
+    gc.Allocate([] { throw std::runtime_error("buggy client finalizer"); });
+    pcr::thisthread::Sleep(600 * kUsecPerMsec);  // let the bad one be collected first
+    for (int i = 0; i < 5; ++i) {
+      gc.Allocate([&good_finalizers_after_bad] { ++good_finalizers_after_bad; });
+    }
+  });
+  rt.RunFor(10 * kUsecPerSec);
+  EXPECT_EQ(gc.finalizer_failures(), 1);
+  EXPECT_EQ(good_finalizers_after_bad, 5);  // the service survived the buggy callback
+  rt.Shutdown();
+}
+
+TEST(GcTest, ScanCostScalesWithHeap) {
+  auto busy_time_with_allocations = [](int allocations) {
+    pcr::Runtime rt;
+    GcOptions options = FastGc();
+    options.scan_per_object = 200;
+    options.death_rate = 0.0;  // keep the heap fully live
+    GarbageCollector gc(rt, options);
+    rt.ForkDetached([&, allocations] {
+      for (int i = 0; i < allocations; ++i) {
+        gc.Allocate();
+      }
+    });
+    rt.RunFor(3 * kUsecPerSec);
+    trace::Summary s = trace::Summarize(rt.tracer());
+    rt.Shutdown();
+    return s.busy_time_us;
+  };
+  EXPECT_GT(busy_time_with_allocations(400), 2 * busy_time_with_allocations(10));
+}
+
+TEST(WindowSystemTest, ScrollsMostlyRepaintInline) {
+  pcr::Runtime rt;
+  std::vector<RepaintOrder> orders;
+  WindowSystem windows(rt, 4, [&](const RepaintOrder& order) { orders.push_back(order); });
+  rt.ForkDetached([&] {
+    for (uint32_t i = 0; i < 12; ++i) {
+      windows.Scroll(i, 100);
+      pcr::thisthread::Sleep(60 * kUsecPerMsec);
+    }
+  });
+  rt.RunFor(5 * kUsecPerSec);
+  EXPECT_EQ(windows.scrolls(), 12);
+  EXPECT_EQ(windows.inline_repaints(), 9);  // 3 of 12 went through avoider forks
+  EXPECT_GE(windows.avoider_forks(), 3);
+  EXPECT_GE(orders.size(), 12u);
+  rt.Shutdown();
+}
+
+TEST(WindowSystemTest, ScrollCadenceMatchesPaperGenealogy) {
+  // "Scrolling a text window 10 times causes 3 transient threads to be forked, one of which is
+  // the child of one of the other transients" (Section 3).
+  pcr::Runtime rt;
+  WindowSystem windows(rt, 4, [](const RepaintOrder&) {});
+  rt.ForkDetached([&] {
+    for (uint32_t i = 0; i < 10; ++i) {
+      windows.Scroll(i, 50);
+      pcr::thisthread::Sleep(60 * kUsecPerMsec);
+    }
+  });
+  rt.RunFor(5 * kUsecPerSec);
+  trace::GenealogySummary g = trace::AnalyzeGenealogy(rt.tracer());
+  EXPECT_EQ(g.transients, 4);  // 3 painters + 1 second-generation helper
+  EXPECT_EQ(g.max_transient_generation, 2);
+  rt.Shutdown();
+}
+
+TEST(WindowSystemTest, BoundaryAdjustRepaintsBothWindows) {
+  pcr::Runtime rt;
+  std::vector<RepaintOrder> orders;
+  WindowSystem windows(rt, 4, [&](const RepaintOrder& order) { orders.push_back(order); });
+  int before_left = windows.height(1);
+  int before_right = windows.height(2);
+  rt.ForkDetached([&] { windows.AdjustBoundary(1, 2, 80); });
+  EXPECT_EQ(rt.RunUntilQuiescent(5 * kUsecPerSec), pcr::RunStatus::kQuiescent);
+  EXPECT_EQ(windows.height(1), before_left - 10);
+  EXPECT_EQ(windows.height(2), before_right + 10);
+  ASSERT_EQ(orders.size(), 2u);
+  EXPECT_EQ(windows.avoider_forks(), 2);
+  EXPECT_TRUE(rt.quiescent_info().all_threads_done);  // no painter deadlocked
+}
+
+TEST(WindowSystemTest, ConcurrentAdjustersAndScrollersDoNotDeadlock) {
+  pcr::Runtime rt;
+  WindowSystem windows(rt, 4, [](const RepaintOrder&) { pcr::thisthread::Compute(500); });
+  for (int t = 0; t < 3; ++t) {
+    rt.ForkDetached([&, t] {
+      for (uint32_t i = 0; i < 6; ++i) {
+        if (t == 0) {
+          windows.AdjustBoundary(static_cast<int>(i), static_cast<int>(i) + 1, 40);
+        } else {
+          windows.Scroll(i * static_cast<uint32_t>(t), 40);
+        }
+        pcr::thisthread::Sleep(30 * kUsecPerMsec);
+      }
+    });
+  }
+  EXPECT_EQ(rt.RunUntilQuiescent(30 * kUsecPerSec), pcr::RunStatus::kQuiescent);
+  EXPECT_TRUE(rt.quiescent_info().all_threads_done);
+  EXPECT_EQ(windows.boundary_adjustments(), 6);
+}
+
+}  // namespace
+}  // namespace world

@@ -1,0 +1,165 @@
+// Priority inheritance (the Section 6.2 future-work technique, implemented behind
+// Config::priority_inheritance).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+
+namespace pcr {
+namespace {
+
+Config InheritConfig() {
+  Config config;
+  config.priority_inheritance = true;
+  return config;
+}
+
+// The canonical inversion: low holds, mid hogs, high waits. Returns the virtual time at which
+// the high thread got the lock, or -1.
+Usec RunInversion(const Config& config) {
+  Runtime rt(config);
+  MonitorLock lock(rt.scheduler(), "resource");
+  Usec acquired_at = -1;
+  rt.ForkDetached(
+      [&] {
+        MonitorGuard guard(lock);
+        thisthread::Compute(100 * kUsecPerMsec);
+      },
+      ForkOptions{.priority = 1});
+  rt.ForkDetached(
+      [&] {
+        thisthread::Sleep(30 * kUsecPerMsec);
+        thisthread::Compute(30 * kUsecPerSec);
+      },
+      ForkOptions{.priority = 4});
+  rt.ForkDetached(
+      [&] {
+        thisthread::Sleep(100 * kUsecPerMsec);
+        MonitorGuard guard(lock);
+        acquired_at = rt.now();
+      },
+      ForkOptions{.priority = 6});
+  rt.RunFor(10 * kUsecPerSec);
+  rt.Shutdown();
+  return acquired_at;
+}
+
+TEST(PriorityInheritanceTest, OffByDefaultInversionIsStable) {
+  EXPECT_EQ(RunInversion(Config{}), -1);  // matches PCR's documented behaviour
+}
+
+TEST(PriorityInheritanceTest, ResolvesInversionInBoundedTime) {
+  Usec acquired = RunInversion(InheritConfig());
+  ASSERT_GE(acquired, 0);
+  // The holder needed ~100 ms of CPU from the moment the high thread blocked (~100 ms in);
+  // with inheritance it outranks the hog immediately, so the bound is tight.
+  EXPECT_LE(acquired, 350 * kUsecPerMsec);
+}
+
+TEST(PriorityInheritanceTest, DonationEndsWithTheCriticalSection) {
+  Runtime rt(InheritConfig());
+  MonitorLock lock(rt.scheduler(), "m");
+  std::vector<std::string> order;
+  // Low-priority thread: a locked phase (inherits priority 6) then an unlocked phase (back to
+  // priority 1, so the mid thread runs first).
+  rt.ForkDetached(
+      [&] {
+        {
+          MonitorGuard guard(lock);
+          thisthread::Compute(40 * kUsecPerMsec);
+          order.push_back("low: locked phase done");
+        }
+        thisthread::Compute(40 * kUsecPerMsec);
+        order.push_back("low: unlocked phase done");
+      },
+      ForkOptions{.priority = 1});
+  rt.ForkDetached(
+      [&] {
+        thisthread::Sleep(10 * kUsecPerMsec);
+        thisthread::Compute(60 * kUsecPerMsec);
+        order.push_back("mid: done");
+      },
+      ForkOptions{.priority = 4});
+  rt.ForkDetached(
+      [&] {
+        thisthread::Sleep(10 * kUsecPerMsec);
+        MonitorGuard guard(lock);
+        order.push_back("high: got lock");
+      },
+      ForkOptions{.priority = 6});
+  rt.RunFor(10 * kUsecPerSec);
+  ASSERT_EQ(order.size(), 4u);
+  // With the donation active, low finishes its locked phase before mid; once it releases, the
+  // donation ends and mid's priority 4 beats low's 1 again.
+  EXPECT_EQ(order[0], "low: locked phase done");
+  EXPECT_EQ(order[1], "high: got lock");
+  EXPECT_EQ(order[2], "mid: done");
+  EXPECT_EQ(order[3], "low: unlocked phase done");
+  rt.Shutdown();
+}
+
+TEST(PriorityInheritanceTest, DonationPropagatesAlongOwnerChains) {
+  // A(6) blocks on M1 held by B(2); B blocks on M2 held by C(1); a mid hog(4) runs. C must
+  // inherit 6 transitively or the chain never unwinds.
+  Runtime rt(InheritConfig());
+  MonitorLock m1(rt.scheduler(), "m1");
+  MonitorLock m2(rt.scheduler(), "m2");
+  bool chain_unwound = false;
+  rt.ForkDetached(
+      [&] {
+        MonitorGuard guard(m2);
+        thisthread::Compute(50 * kUsecPerMsec);
+      },
+      ForkOptions{.name = "C", .priority = 1});
+  rt.ForkDetached(
+      [&] {
+        MonitorGuard g1(m1);
+        thisthread::Sleep(20 * kUsecPerMsec);  // let C take m2 and A arrive at m1
+        MonitorGuard g2(m2);
+        thisthread::Compute(20 * kUsecPerMsec);
+      },
+      ForkOptions{.name = "B", .priority = 2});
+  rt.ForkDetached(
+      [&] {
+        thisthread::Sleep(60 * kUsecPerMsec);
+        thisthread::Compute(30 * kUsecPerSec);
+      },
+      ForkOptions{.name = "hog", .priority = 4});
+  rt.ForkDetached(
+      [&] {
+        thisthread::Sleep(40 * kUsecPerMsec);
+        MonitorGuard guard(m1);
+        chain_unwound = true;
+      },
+      ForkOptions{.name = "A", .priority = 6});
+  rt.RunFor(5 * kUsecPerSec);
+  EXPECT_TRUE(chain_unwound);
+  rt.Shutdown();
+}
+
+TEST(PriorityInheritanceTest, NoEffectWhenHolderAlreadyOutranksWaiter) {
+  Runtime rt(InheritConfig());
+  MonitorLock lock(rt.scheduler(), "m");
+  bool low_got_lock = false;
+  rt.ForkDetached(
+      [&] {
+        MonitorGuard guard(lock);
+        thisthread::Sleep(60 * kUsecPerMsec);
+      },
+      ForkOptions{.priority = 6});
+  rt.ForkDetached(
+      [&] {
+        thisthread::Compute(5 * kUsecPerMsec);
+        MonitorGuard guard(lock);  // donates priority 2 to a priority-6 holder: no-op
+        low_got_lock = true;
+      },
+      ForkOptions{.priority = 2});
+  rt.RunUntilQuiescent(5 * kUsecPerSec);
+  EXPECT_TRUE(low_got_lock);
+}
+
+}  // namespace
+}  // namespace pcr

@@ -1,0 +1,297 @@
+// The paper's catalogue of thread-programming mistakes (Section 5.3/5.5), reproduced as
+// failure-injection tests: each "questionable practice" is written the wrong way on purpose and
+// the test asserts the failure mode the paper describes — then the corrected version passes.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+#include "src/trace/stats.h"
+
+namespace pcr {
+namespace {
+
+// --- Mistake #1: IF instead of WHILE around WAIT ------------------------------------------------
+//
+// "The IF-based approach will work in Mesa with sufficient constraints on the number and
+// behavior of the threads using the monitor, but its use cannot be recommended. The practice
+// has been a continuing source of bugs as programs are modified and the correctness conditions
+// become untrue."
+
+struct TokenPool {
+  explicit TokenPool(Runtime& rt)
+      : lock(rt.scheduler(), "pool"), available(lock, "available") {}
+  MonitorLock lock;
+  Condition available;
+  int tokens = 0;
+};
+
+// With BROADCAST plus barging, an IF-waiter can proceed on a condition another thread already
+// consumed — the classic under-synchronization. Returns how many consumers "consumed" a token
+// that was not there.
+int RunConsumers(bool wait_in_loop, int consumers) {
+  Runtime rt;
+  TokenPool pool(rt);
+  int phantom_consumptions = 0;
+  for (int i = 0; i < consumers; ++i) {
+    rt.ForkDetached([&] {
+      MonitorGuard guard(pool.lock);
+      if (wait_in_loop) {
+        while (pool.tokens == 0) {
+          pool.available.Wait();
+        }
+      } else if (pool.tokens == 0) {
+        pool.available.Wait();  // the bug: checks the condition only once
+      }
+      if (pool.tokens == 0) {
+        ++phantom_consumptions;  // proceeded without the condition holding
+      } else {
+        --pool.tokens;
+      }
+    });
+  }
+  rt.ForkDetached([&] {
+    thisthread::Compute(5 * kUsecPerMsec);
+    MonitorGuard guard(pool.lock);
+    pool.tokens = 1;  // ONE token...
+    pool.available.Broadcast();  // ...but EVERY waiter wakes
+  });
+  rt.RunFor(kUsecPerSec);
+  rt.Shutdown();
+  return phantom_consumptions;
+}
+
+TEST(WaitInLoopTest, IfBasedWaitBreaksUnderBroadcast) {
+  EXPECT_GT(RunConsumers(/*wait_in_loop=*/false, 4), 0);
+}
+
+TEST(WaitInLoopTest, WhileBasedWaitIsCorrect) {
+  EXPECT_EQ(RunConsumers(/*wait_in_loop=*/true, 4), 0);
+}
+
+TEST(WaitInLoopTest, LoopConventionMakesBroadcastSubstitutableForNotify) {
+  // "under this convention BROADCAST can be substituted for NOTIFY without affecting program
+  // correctness, so NOTIFY is just a performance hint" (Section 2).
+  for (bool use_broadcast : {false, true}) {
+    Runtime rt;
+    TokenPool pool(rt);
+    int consumed = 0;
+    for (int i = 0; i < 3; ++i) {
+      rt.ForkDetached([&] {
+        MonitorGuard guard(pool.lock);
+        while (pool.tokens == 0) {
+          pool.available.Wait();
+        }
+        --pool.tokens;
+        ++consumed;
+      });
+    }
+    rt.ForkDetached([&] {
+      for (int i = 0; i < 3; ++i) {
+        thisthread::Compute(2 * kUsecPerMsec);
+        MonitorGuard guard(pool.lock);
+        ++pool.tokens;
+        if (use_broadcast) {
+          pool.available.Broadcast();
+        } else {
+          pool.available.Notify();
+        }
+      }
+    });
+    rt.RunUntilQuiescent(5 * kUsecPerSec);
+    EXPECT_EQ(consumed, 3) << (use_broadcast ? "broadcast" : "notify");
+  }
+}
+
+// --- Mistake #2: timeouts masking a missing NOTIFY ----------------------------------------------
+//
+// "there were cases where timeouts had been introduced to compensate for missing NOTIFYs
+// (bugs), instead of fixing the underlying problem. The problem with this is that the system
+// can become timeout driven — it apparently works correctly but slowly."
+
+struct Mailbox {
+  explicit Mailbox(Runtime& rt, Usec timeout)
+      : lock(rt.scheduler(), "mailbox"), arrived(lock, "arrived", timeout) {}
+  MonitorLock lock;
+  Condition arrived;
+  std::vector<int> messages;
+};
+
+// The producer "forgets" to NOTIFY. With a CV timeout the consumer still makes progress — just
+// one quantum late per message. Returns {messages consumed, mean delivery latency}.
+std::pair<int, Usec> RunForgottenNotify(bool forget_notify, Usec timeout) {
+  Runtime rt;
+  Mailbox mailbox(rt, timeout);
+  int consumed = 0;
+  Usec total_latency = 0;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 10; ++i) {
+      thisthread::Compute(2 * kUsecPerMsec);
+      MonitorGuard guard(mailbox.lock);
+      mailbox.messages.push_back(static_cast<int>(rt.now()));
+      if (!forget_notify) {
+        mailbox.arrived.Notify();
+      }
+    }
+  });
+  rt.ForkDetached(
+      [&] {
+        while (consumed < 10) {
+          MonitorGuard guard(mailbox.lock);
+          while (mailbox.messages.empty()) {
+            mailbox.arrived.Wait();
+          }
+          total_latency += rt.now() - mailbox.messages.front();
+          mailbox.messages.erase(mailbox.messages.begin());
+          ++consumed;
+        }
+      },
+      // Higher priority than the producer, so it is always parked in WAIT when a message
+      // lands — the delivery latency measures the wakeup mechanism, not queueing.
+      ForkOptions{.priority = 5});
+  rt.RunFor(10 * kUsecPerSec);
+  rt.Shutdown();
+  return {consumed, consumed > 0 ? total_latency / consumed : 0};
+}
+
+TEST(TimeoutMaskingTest, MissingNotifyWithTimeoutWorksButSlowly) {
+  auto [consumed, latency] = RunForgottenNotify(/*forget_notify=*/true, 50 * kUsecPerMsec);
+  EXPECT_EQ(consumed, 10);                    // "apparently works correctly..."
+  EXPECT_GT(latency, 10 * kUsecPerMsec);      // "...but slowly": quantum-scale delivery
+}
+
+TEST(TimeoutMaskingTest, ProperNotifyDeliversPromptly) {
+  auto [consumed, latency] = RunForgottenNotify(/*forget_notify=*/false, 50 * kUsecPerMsec);
+  EXPECT_EQ(consumed, 10);
+  EXPECT_LT(latency, kUsecPerMsec);  // sub-millisecond with real notifications
+}
+
+TEST(TimeoutMaskingTest, MissingNotifyWithoutTimeoutHangsForever) {
+  // "figuring out why a system has stopped due to a missing NOTIFY" is the easy version of the
+  // bug: without the masking timeout, the consumer visibly wedges and quiescence reports it.
+  Runtime rt;
+  Mailbox mailbox(rt, /*timeout=*/-1);
+  bool done = false;
+  rt.ForkDetached([&] {
+    MonitorGuard guard(mailbox.lock);
+    mailbox.messages.push_back(1);  // no NOTIFY
+  });
+  rt.ForkDetached([&] {
+    MonitorGuard guard(mailbox.lock);
+    while (mailbox.messages.size() < 2) {  // waits for a second message that never arrives
+      mailbox.arrived.Wait();
+    }
+    done = true;
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(5 * kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_FALSE(done);
+  QuiescentInfo info = rt.quiescent_info();
+  EXPECT_FALSE(info.all_threads_done);
+  EXPECT_EQ(info.blocked_threads.size(), 1u);  // the diagnosis the paper's authors had to make
+  rt.Shutdown();
+}
+
+// --- Mistake #3: ridiculous timeout constants (Section 5.5) -------------------------------------
+//
+// "we found many instances of timeouts and pauses with ridiculous values. These values
+// presumably were chosen with some particular now-obsolete processor speed in mind."
+
+TEST(StaleTimeoutTest, HardwareScaledTimeoutMisfiresOnFasterSubstrate) {
+  // A server answers in ~2 ms of work on today's cost model. A client timeout chosen as "500
+  // iterations of a 1985 machine" (here: 40 ms) burns a whole scheduler quantum before giving
+  // up on a server that IS down — and on a *slower* model the same constant false-positives.
+  auto answered_within = [](Usec server_work, Usec client_timeout) {
+    Runtime rt;
+    MonitorLock lock(rt.scheduler(), "rpc");
+    Condition reply(lock, "reply", client_timeout);
+    bool got_reply = false;
+    rt.ForkDetached([&] {
+      thisthread::Compute(server_work);
+      MonitorGuard guard(lock);
+      reply.Notify();
+    }, ForkOptions{.priority = 3});
+    rt.ForkDetached([&] {
+      MonitorGuard guard(lock);
+      got_reply = reply.Wait();
+    }, ForkOptions{.priority = 5});
+    rt.RunFor(2 * kUsecPerSec);
+    rt.Shutdown();
+    return got_reply;
+  };
+  // Fast server, generous stale timeout: works, as always.
+  EXPECT_TRUE(answered_within(2 * kUsecPerMsec, 40 * kUsecPerMsec));
+  // Same constant on a server that got 100x slower (network hop added): spurious timeout.
+  EXPECT_FALSE(answered_within(200 * kUsecPerMsec, 40 * kUsecPerMsec));
+}
+
+// --- Mistake #4: NOTIFY outside the monitor -----------------------------------------------------
+
+TEST(NotifyDisciplineTest, MesaRuleRejectsUnlockedNotify) {
+  // "The compiler enforces the rule that CV operations are only invoked with the monitor lock
+  // held" (Section 2) — Mesa did it statically; we do it dynamically.
+  Runtime rt;
+  MonitorLock lock(rt.scheduler(), "m");
+  Condition cv(lock, "cv");
+  int violations = 0;
+  rt.ForkDetached([&] {
+    try {
+      cv.Notify();
+    } catch (const UsageError&) {
+      ++violations;
+    }
+    try {
+      cv.Broadcast();
+    } catch (const UsageError&) {
+      ++violations;
+    }
+    try {
+      cv.Wait();
+    } catch (const UsageError&) {
+      ++violations;
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(violations, 3);
+}
+
+// --- Mistake #5: relying on exactly-one-waiter-wakens -------------------------------------------
+//
+// "Programs that obey the 'WAIT only in a loop' convention are insensitive to whether NOTIFY
+// has at least one waiter wakens or exactly one waiter wakens behavior" — conversely, counting
+// on exactly-one semantics to partition work breaks the moment wakeups are duplicated (e.g. a
+// timeout racing a NOTIFY).
+
+TEST(ExactlyOneWaiterTest, TimeoutRacingNotifyDuplicatesWakeups) {
+  Runtime rt;
+  MonitorLock lock(rt.scheduler(), "m");
+  Condition cv(lock, "cv", /*timeout=*/50 * kUsecPerMsec);
+  int wakeups = 0;
+  int items = 0;
+  for (int i = 0; i < 2; ++i) {
+    rt.ForkDetached([&] {
+      MonitorGuard guard(lock);
+      cv.Wait();  // BUG: treats any wakeup as "one item is mine"
+      ++wakeups;
+      if (items > 0) {
+        --items;
+      }
+    });
+  }
+  rt.ForkDetached([&] {
+    thisthread::Compute(30 * kUsecPerMsec);  // before the waiters' 50 ms timeout tick
+    MonitorGuard guard(lock);
+    ++items;
+    cv.Notify();  // wakes one waiter; the other still times out at the tick
+  });
+  rt.RunFor(kUsecPerSec);
+  // Both waiters woke (one by timeout, one by notify) for a single item.
+  EXPECT_EQ(wakeups, 2);
+  EXPECT_EQ(items, 0);
+  rt.Shutdown();
+}
+
+}  // namespace
+}  // namespace pcr

@@ -1,0 +1,621 @@
+// Tests for the paradigm library: every one of the paper's ten thread-usage paradigms.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/paradigm/bounded_buffer.h"
+#include "src/paradigm/deadlock_avoider.h"
+#include "src/paradigm/defer.h"
+#include "src/paradigm/exploiter.h"
+#include "src/paradigm/fork_helpers.h"
+#include "src/paradigm/future.h"
+#include "src/paradigm/one_shot.h"
+#include "src/paradigm/pump.h"
+#include "src/paradigm/rejuvenate.h"
+#include "src/paradigm/serializer.h"
+#include "src/paradigm/slack_process.h"
+#include "src/paradigm/sleeper.h"
+#include "src/pcr/runtime.h"
+
+namespace paradigm {
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+// --- BoundedBuffer -----------------------------------------------------------------------------
+
+TEST(BoundedBufferTest, FifoOrder) {
+  pcr::Runtime rt;
+  BoundedBuffer<int> buffer(rt.scheduler(), "b", 10);
+  std::vector<int> taken;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 5; ++i) {
+      buffer.Put(i);
+    }
+  });
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 5; ++i) {
+      taken.push_back(*buffer.Take());
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(taken, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(BoundedBufferTest, ProducerBlocksWhenFull) {
+  pcr::Runtime rt;
+  BoundedBuffer<int> buffer(rt.scheduler(), "b", 2);
+  int produced = 0;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 6; ++i) {
+      buffer.Put(i);
+      ++produced;
+    }
+  });
+  rt.RunFor(10 * kUsecPerMsec);
+  EXPECT_EQ(produced, 2);  // stuck at capacity
+  rt.ForkDetached([&] {
+    while (buffer.Take().has_value() && produced < 6) {
+    }
+  });
+  rt.RunFor(kUsecPerSec);
+  EXPECT_EQ(produced, 6);
+  rt.Shutdown();
+}
+
+TEST(BoundedBufferTest, CloseDrainsThenReturnsNullopt) {
+  pcr::Runtime rt;
+  BoundedBuffer<int> buffer(rt.scheduler(), "b", 10);
+  std::vector<int> taken;
+  bool saw_end = false;
+  rt.ForkDetached([&] {
+    buffer.Put(1);
+    buffer.Put(2);
+    buffer.Close();
+    EXPECT_FALSE(buffer.Put(3));  // rejected after close
+  });
+  rt.ForkDetached([&] {
+    while (auto item = buffer.Take()) {
+      taken.push_back(*item);
+    }
+    saw_end = true;
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), pcr::RunStatus::kQuiescent);
+  EXPECT_EQ(taken, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(saw_end);
+}
+
+TEST(BoundedBufferTest, TryVariantsNeverBlock) {
+  pcr::Runtime rt;
+  BoundedBuffer<int> buffer(rt.scheduler(), "b", 1);
+  rt.ForkDetached([&] {
+    EXPECT_FALSE(buffer.TryTake().has_value());
+    EXPECT_TRUE(buffer.TryPut(7));
+    EXPECT_FALSE(buffer.TryPut(8));  // full
+    auto got = buffer.TryTake();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 7);
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+}
+
+TEST(BoundedBufferTest, UnboundedCapacityNeverBlocksProducer) {
+  pcr::Runtime rt;
+  BoundedBuffer<int> buffer(rt.scheduler(), "b", 0);
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(buffer.Put(i));
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(buffer.TakeAll().size(), 1000u);
+}
+
+// --- Pump / pipelines --------------------------------------------------------------------------
+
+TEST(PumpTest, MovesAndTransformsItems) {
+  pcr::Runtime rt;
+  BoundedBuffer<int> in(rt.scheduler(), "in", 10);
+  BoundedBuffer<int> out(rt.scheduler(), "out", 10);
+  Pump<int, int> pump(rt, "doubler", in, out, [](int x) { return 2 * x; });
+  std::vector<int> result;
+  rt.ForkDetached([&] {
+    for (int i = 1; i <= 3; ++i) {
+      in.Put(i);
+    }
+    in.Close();
+  });
+  rt.ForkDetached([&] {
+    while (auto item = out.Take()) {
+      result.push_back(*item);
+    }
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), pcr::RunStatus::kQuiescent);
+  EXPECT_EQ(result, (std::vector<int>{2, 4, 6}));
+  EXPECT_EQ(pump.items_pumped(), 3);
+}
+
+TEST(PumpTest, ThreeStagePipelinePreservesOrder) {
+  // "tokens just appear in a queue. The programmer needs to understand less about the pieces
+  // being connected" (Section 4.2).
+  pcr::Runtime rt;
+  BoundedBuffer<int> a(rt.scheduler(), "a", 4);
+  BoundedBuffer<int> b(rt.scheduler(), "b", 4);
+  BoundedBuffer<int> c(rt.scheduler(), "c", 4);
+  Pump<int, int> stage1(rt, "add10", a, b, [](int x) { return x + 10; });
+  Pump<int, int> stage2(rt, "triple", b, c, [](int x) { return x * 3; });
+  std::vector<int> result;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 20; ++i) {
+      a.Put(i);
+    }
+    a.Close();
+  });
+  rt.ForkDetached([&] {
+    while (auto item = c.Take()) {
+      result.push_back(*item);
+    }
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(5 * kUsecPerSec), pcr::RunStatus::kQuiescent);
+  ASSERT_EQ(result.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(result[static_cast<size_t>(i)], (i + 10) * 3);
+  }
+}
+
+// --- Slack process -----------------------------------------------------------------------------
+
+struct SlackCounters {
+  int64_t flushes = 0;
+  int64_t items = 0;
+};
+
+// Produces `n` items at 1 ms apart from a priority-4 imaging thread into a priority-5 slack
+// process, mirroring the Section 5.2 topology.
+SlackCounters RunSlack(SlackPolicy policy, int n) {
+  pcr::Runtime rt;
+  SlackCounters counters;
+  SlackOptions options;
+  options.policy = policy;
+  SlackProcess<int> slack(
+      rt, "buffer",
+      [&counters](std::vector<int>&& batch) {
+        ++counters.flushes;
+        counters.items += static_cast<int64_t>(batch.size());
+      },
+      /*merge=*/nullptr, options);
+  rt.ForkDetached(
+      [&] {
+        for (int i = 0; i < n; ++i) {
+          pcr::thisthread::Compute(kUsecPerMsec);
+          slack.Submit(i);
+        }
+      },
+      pcr::ForkOptions{.name = "imaging", .priority = 4});
+  rt.RunFor(2 * kUsecPerSec);
+  rt.Shutdown();
+  return counters;
+}
+
+TEST(SlackProcessTest, PlainYieldFlushesEveryItemIndividually) {
+  // The Section 5.2 pathology: the high-priority buffer thread's plain YIELD reschedules
+  // itself, so no batching happens.
+  SlackCounters c = RunSlack(SlackPolicy::kYield, 40);
+  EXPECT_EQ(c.items, 40);
+  EXPECT_EQ(c.flushes, 40);  // one flush per item: no merging at all
+}
+
+TEST(SlackProcessTest, YieldButNotToMeFormsBatches) {
+  SlackCounters c = RunSlack(SlackPolicy::kYieldButNotToMe, 40);
+  EXPECT_EQ(c.items, 40);
+  EXPECT_LT(c.flushes, 10);  // ~one flush per quantum of production
+}
+
+TEST(SlackProcessTest, SleepPolicyBatchesAtQuantumGranularity) {
+  SlackCounters c = RunSlack(SlackPolicy::kSleep, 40);
+  EXPECT_EQ(c.items, 40);
+  EXPECT_LT(c.flushes, 10);
+}
+
+TEST(SlackProcessTest, MergeFunctionCompactsBatch) {
+  pcr::Runtime rt;
+  int64_t flushed_items = 0;
+  SlackOptions options;
+  options.policy = SlackPolicy::kYieldButNotToMe;
+  SlackProcess<int> slack(
+      rt, "buffer",
+      [&](std::vector<int>&& batch) { flushed_items += static_cast<int64_t>(batch.size()); },
+      // Merge overlapping requests: keep only the last item (replace earlier data with later).
+      [](std::vector<int>& batch) {
+        if (batch.size() > 1) {
+          batch = {batch.back()};
+        }
+      },
+      options);
+  rt.ForkDetached(
+      [&] {
+        for (int i = 0; i < 30; ++i) {
+          pcr::thisthread::Compute(kUsecPerMsec);
+          slack.Submit(i);
+        }
+      },
+      pcr::ForkOptions{.priority = 4});
+  rt.RunFor(2 * kUsecPerSec);
+  EXPECT_EQ(slack.items_submitted(), 30);
+  EXPECT_LE(flushed_items, slack.flushes());  // at most one item per flush after merging
+  EXPECT_GT(slack.mean_batch_size(), 2.0);    // batches really formed before merging
+  rt.Shutdown();
+}
+
+// --- Sleepers and one-shots --------------------------------------------------------------------
+
+TEST(SleeperTest, ActivatesOncePerPeriod) {
+  pcr::Runtime rt;
+  Sleeper sleeper(rt, "blinker", 100 * kUsecPerMsec, [] {});
+  rt.RunFor(kUsecPerSec + 10 * kUsecPerMsec);  // +10 ms: the t=1 s firing is on the exclusive deadline
+  EXPECT_EQ(sleeper.activations(), 10);
+  rt.Shutdown();
+}
+
+TEST(SleeperTest, CancelStopsActivations) {
+  pcr::Runtime rt;
+  Sleeper sleeper(rt, "blinker", 100 * kUsecPerMsec, [] {});
+  rt.RunFor(250 * kUsecPerMsec);
+  sleeper.Cancel();
+  int64_t at_cancel = sleeper.activations();
+  rt.RunFor(kUsecPerSec);
+  EXPECT_EQ(sleeper.activations(), at_cancel);
+  EXPECT_TRUE(rt.quiescent_info().all_threads_done);  // the sleeper thread exited
+}
+
+TEST(PeriodicalProcessTest, MultiplexesClosuresOnOneThread) {
+  pcr::Runtime rt;
+  PeriodicalProcessRegistry registry(rt);
+  int fast = 0;
+  int slow = 0;
+  registry.Add("fast", 100 * kUsecPerMsec, [&] { ++fast; });
+  registry.Add("slow", 300 * kUsecPerMsec, [&] { ++slow; });
+  rt.RunFor(kUsecPerSec + 10 * kUsecPerMsec);
+  EXPECT_GE(fast, 8);
+  EXPECT_LE(fast, 11);
+  EXPECT_GE(slow, 3);
+  EXPECT_LE(slow, 4);
+  // Only the registry thread exists — the closure style saves the per-sleeper stacks that made
+  // forked sleepers "just too expensive" (Section 5.1).
+  EXPECT_LE(rt.scheduler().live_threads(), 1);
+  rt.Shutdown();
+}
+
+TEST(PeriodicalProcessTest, ClosureStatePersistsBetweenActivations) {
+  pcr::Runtime rt;
+  PeriodicalProcessRegistry registry(rt);
+  std::vector<int> sequence;
+  registry.Add("counter", 100 * kUsecPerMsec, [&sequence, n = 0]() mutable {
+    sequence.push_back(n++);  // the "little bit of state" kept in the closure
+  });
+  rt.RunFor(450 * kUsecPerMsec);
+  EXPECT_EQ(sequence, (std::vector<int>{0, 1, 2, 3}));
+  rt.Shutdown();
+}
+
+TEST(DelayedCallTest, FiresAfterDelay) {
+  pcr::Runtime rt;
+  bool fired = false;
+  DelayedCall call(rt, "delayed", 200 * kUsecPerMsec, [&] { fired = true; });
+  rt.RunFor(100 * kUsecPerMsec);
+  EXPECT_FALSE(fired);
+  rt.RunFor(200 * kUsecPerMsec);
+  EXPECT_TRUE(fired);
+}
+
+TEST(DelayedCallTest, CancelSuppressesAction) {
+  pcr::Runtime rt;
+  bool fired = false;
+  DelayedCall call(rt, "delayed", 200 * kUsecPerMsec, [&] { fired = true; });
+  rt.RunFor(100 * kUsecPerMsec);
+  call.Cancel();
+  rt.RunFor(kUsecPerSec);
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(rt.quiescent_info().all_threads_done);
+}
+
+TEST(GuardedButtonTest, SecondClickInWindowInvokesAction) {
+  pcr::Runtime rt;
+  int invoked = 0;
+  GuardedButton button(rt, "delete", [&] { ++invoked; });
+  rt.ForkDetached([&] {
+    button.Click();                          // arm
+    pcr::thisthread::Sleep(300 * kUsecPerMsec);  // wait out the arming period
+    EXPECT_EQ(button.appearance(), GuardedButton::Appearance::kArmed);
+    EXPECT_TRUE(button.Click());             // confirm
+  });
+  rt.RunFor(5 * kUsecPerSec);
+  EXPECT_EQ(invoked, 1);
+  EXPECT_EQ(button.appearance(), GuardedButton::Appearance::kGuarded);
+  rt.Shutdown();
+}
+
+TEST(GuardedButtonTest, TooCloseSecondClickIsIgnored) {
+  // "must be pressed twice, in close, but not too close succession".
+  pcr::Runtime rt;
+  int invoked = 0;
+  GuardedButton button(rt, "delete", [&] { ++invoked; });
+  rt.ForkDetached([&] {
+    button.Click();
+    pcr::thisthread::Compute(10 * kUsecPerMsec);  // inside the arming period
+    EXPECT_FALSE(button.Click());
+  });
+  rt.RunFor(5 * kUsecPerSec);
+  EXPECT_EQ(invoked, 0);
+  rt.Shutdown();
+}
+
+TEST(GuardedButtonTest, WindowTimeoutRepaintsGuardedState) {
+  pcr::Runtime rt;
+  int invoked = 0;
+  GuardedButton button(rt, "delete", [&] { ++invoked; });
+  rt.ForkDetached([&] { button.Click(); });
+  rt.RunFor(10 * kUsecPerSec);  // arming + window both expire
+  EXPECT_EQ(invoked, 0);
+  EXPECT_EQ(button.appearance(), GuardedButton::Appearance::kGuarded);
+  EXPECT_TRUE(rt.quiescent_info().all_threads_done);  // the one-shot went away
+}
+
+// --- Serializer --------------------------------------------------------------------------------
+
+TEST(SerializerTest, ProcessesInArrivalOrder) {
+  pcr::Runtime rt;
+  Serializer serializer(rt, "mbqueue");
+  std::vector<int> order;
+  // Three producer threads at different priorities; arrival order must still win.
+  for (int p = 0; p < 3; ++p) {
+    rt.ForkDetached(
+        [&serializer, &order, p] {
+          for (int i = 0; i < 3; ++i) {
+            pcr::thisthread::Compute((p + 1) * kUsecPerMsec);
+            serializer.Enqueue([&order, p, i] { order.push_back(p * 10 + i); });
+          }
+        },
+        pcr::ForkOptions{.priority = 3 + p});
+  }
+  rt.RunFor(kUsecPerSec);
+  ASSERT_EQ(order.size(), 9u);
+  // Per-producer order is preserved (global order is arrival order, which interleaves).
+  for (int p = 0; p < 3; ++p) {
+    std::vector<int> mine;
+    for (int v : order) {
+      if (v / 10 == p) {
+        mine.push_back(v % 10);
+      }
+    }
+    EXPECT_EQ(mine, (std::vector<int>{0, 1, 2}));
+  }
+  EXPECT_EQ(serializer.processed(), 9);
+  rt.Shutdown();
+}
+
+TEST(SerializerTest, HostEnqueueBeforeRunIsServed) {
+  pcr::Runtime rt;
+  Serializer serializer(rt, "mbqueue");
+  int ran = 0;
+  serializer.Enqueue([&] { ++ran; });  // host-context setup
+  rt.RunFor(200 * kUsecPerMsec);
+  EXPECT_EQ(ran, 1);
+  rt.Shutdown();
+}
+
+// --- Defer work --------------------------------------------------------------------------------
+
+TEST(DeferTest, CallerReturnsBeforeDeferredWorkRuns) {
+  pcr::Runtime rt;
+  std::vector<std::string> order;
+  rt.ForkDetached(
+      [&] {
+        DeferWork(rt, [&] { order.push_back("work"); },
+                  DeferOptions{.name = "print-job", .priority = 3});
+        order.push_back("returned");  // latency reduction: we get here first
+      },
+      pcr::ForkOptions{.priority = 5});
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(order, (std::vector<std::string>{"returned", "work"}));
+}
+
+TEST(DeferTest, ForkedCallbackInsulatesCaller) {
+  // "The fork also insulates the service from things that may go wrong in the client callback"
+  // (Section 4.4).
+  pcr::Runtime rt;
+  bool caller_survived = false;
+  rt.ForkDetached([&] {
+    InvokeCallback(rt, [] { throw std::runtime_error("client bug"); }, /*fork=*/true);
+    caller_survived = true;
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_TRUE(caller_survived);
+  EXPECT_EQ(rt.scheduler().uncaught_exits(), 1);  // the callback thread died alone
+}
+
+TEST(DeferTest, UnforkedCallbackPropagatesFailure) {
+  pcr::Runtime rt;
+  bool caller_survived = false;
+  rt.ForkDetached([&] {
+    InvokeCallback(rt, [] { throw std::runtime_error("client bug"); }, /*fork=*/false);
+    caller_survived = true;
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_FALSE(caller_survived);
+  EXPECT_EQ(rt.scheduler().uncaught_exits(), 1);  // the caller itself died
+}
+
+// --- Deadlock avoidance ------------------------------------------------------------------------
+
+TEST(DeadlockAvoiderTest, ForkedRepaintAvoidsLockOrderViolation) {
+  // The window-boundary scenario of Section 4.4: the adjuster holds the window-tree lock and
+  // must trigger repaints that need (contents lock, tree lock) in canonical order.
+  pcr::Runtime rt;
+  pcr::MonitorLock tree(rt.scheduler(), "window-tree");
+  pcr::MonitorLock contents(rt.scheduler(), "window-contents");
+  bool repainted = false;
+  rt.ForkDetached([&] {
+    pcr::MonitorGuard guard(tree);  // adjusting the boundary
+    pcr::thisthread::Compute(2 * kUsecPerMsec);
+    // Direct acquisition of `contents` here could violate lock order; fork instead and unwind.
+    ForkWithLocks(rt, {&contents, &tree}, [&] {
+      pcr::thisthread::Compute(kUsecPerMsec);
+      repainted = true;
+    });
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), pcr::RunStatus::kQuiescent);
+  EXPECT_TRUE(repainted);
+  EXPECT_TRUE(rt.quiescent_info().all_threads_done);
+}
+
+TEST(DeadlockAvoiderTest, ConcurrentAvoidersDoNotDeadlock) {
+  pcr::Runtime rt;
+  pcr::MonitorLock a(rt.scheduler(), "a");
+  pcr::MonitorLock b(rt.scheduler(), "b");
+  pcr::MonitorLock c(rt.scheduler(), "c");
+  int done = 0;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 5; ++i) {
+      ForkWithLocks(rt, {&a, &b, &c}, [&] {
+        pcr::thisthread::Compute(3 * kUsecPerMsec);
+        ++done;
+      });
+      ForkWithLocks(rt, {&c, &a}, [&] {
+        pcr::thisthread::Compute(2 * kUsecPerMsec);
+        ++done;
+      });
+      pcr::thisthread::Sleep(20 * kUsecPerMsec);
+    }
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(10 * kUsecPerSec), pcr::RunStatus::kQuiescent);
+  EXPECT_EQ(done, 10);
+  EXPECT_TRUE(rt.quiescent_info().all_threads_done);
+}
+
+// --- Task rejuvenation -------------------------------------------------------------------------
+
+TEST(RejuvenateTest, ServiceRestartsAfterUncaughtError) {
+  pcr::Runtime rt;
+  int runs = 0;
+  RejuvenatingTask task(rt, "dispatcher",
+                        [&] {
+                          ++runs;
+                          if (runs < 3) {
+                            throw std::runtime_error("bad callback #" + std::to_string(runs));
+                          }
+                        });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(runs, 3);  // two crashes, then a clean run
+  EXPECT_EQ(task.rejuvenations(), 2);
+  EXPECT_FALSE(task.gave_up());
+  ASSERT_EQ(task.failures().size(), 2u);
+  EXPECT_EQ(task.failures()[0], "bad callback #1");
+}
+
+TEST(RejuvenateTest, CleanExitDoesNotRestart) {
+  pcr::Runtime rt;
+  int runs = 0;
+  RejuvenatingTask task(rt, "svc", [&] { ++runs; });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(task.rejuvenations(), 0);
+}
+
+TEST(RejuvenateTest, GivesUpAfterMaxRejuvenations) {
+  pcr::Runtime rt;
+  int runs = 0;
+  RejuvenatingTask task(rt, "svc", [&] {
+    ++runs;
+    throw std::runtime_error("always broken");
+  },
+                        RejuvenateOptions{.max_rejuvenations = 3});
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(runs, 4);  // original + 3 rejuvenations
+  EXPECT_TRUE(task.gave_up());
+}
+
+// --- Concurrency exploiters --------------------------------------------------------------------
+
+TEST(ExploiterTest, ParallelForCoversAllIndices) {
+  pcr::Config config;
+  config.processors = 4;
+  pcr::Runtime rt(config);
+  std::set<int64_t> seen;
+  rt.ForkDetached([&] {
+    ParallelFor(rt, 100, [&](int64_t i) {
+      pcr::thisthread::Compute(100);
+      seen.insert(i);
+    });
+  });
+  rt.RunUntilQuiescent(10 * kUsecPerSec);
+  EXPECT_EQ(seen.size(), 100u);
+}
+
+TEST(ExploiterTest, MultiprocessorGivesSpeedup) {
+  auto elapsed_with = [](int processors) {
+    pcr::Config config;
+    config.processors = processors;
+    pcr::Runtime rt(config);
+    pcr::Usec finished = 0;
+    rt.ForkDetached([&] {
+      ParallelFor(rt, 64, [](int64_t) { pcr::thisthread::Compute(kUsecPerMsec); });
+      finished = rt.now();
+    });
+    rt.RunUntilQuiescent(10 * kUsecPerSec);
+    return finished;
+  };
+  pcr::Usec uni = elapsed_with(1);
+  pcr::Usec quad = elapsed_with(4);
+  EXPECT_LT(quad * 2, uni);  // at least 2x speedup from 4 virtual processors
+}
+
+// --- Futures (typed FORK/JOIN) -----------------------------------------------------------------
+
+TEST(FutureTest, GetReturnsForkedValue) {
+  pcr::Runtime rt;
+  int result = 0;
+  rt.ForkDetached([&] {
+    Future<int> f = ForkValue<int>(rt, [] {
+      pcr::thisthread::Compute(kUsecPerMsec);
+      return 41 + 1;
+    });
+    result = f.Get();
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(result, 42);
+}
+
+TEST(FutureTest, GetRethrowsProducerException) {
+  pcr::Runtime rt;
+  bool caught = false;
+  rt.ForkDetached([&] {
+    Future<int> f = ForkValue<int>(rt, []() -> int { throw std::runtime_error("producer"); });
+    try {
+      f.Get();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_TRUE(caught);
+}
+
+TEST(PeriodicalForkTest, ForksFreshTransientThreads) {
+  pcr::Runtime rt;
+  std::set<pcr::ThreadId> child_ids;
+  PeriodicalFork daemon(rt, "idle-daemon", 100 * kUsecPerMsec,
+                        [&] { child_ids.insert(pcr::thisthread::Id()); });
+  rt.RunFor(kUsecPerSec + 10 * kUsecPerMsec);
+  EXPECT_EQ(daemon.forks(), 10);
+  EXPECT_EQ(child_ids.size(), 10u);  // a distinct transient thread each period
+  rt.Shutdown();
+}
+
+}  // namespace
+}  // namespace paradigm

@@ -1,0 +1,197 @@
+// Tests for MonitoredRecord (fine-grained data locking, Section 2) and the Pipeline builder
+// (Section 4.2 pump composition).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/paradigm/monitored_record.h"
+#include "src/paradigm/pipeline.h"
+#include "src/pcr/runtime.h"
+#include "src/trace/stats.h"
+
+namespace paradigm {
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+TEST(MonitoredRecordTest, UpdatesAreMutuallyExclusive) {
+  pcr::Runtime rt;
+  MonitoredRecord<int> counter(rt.scheduler(), "counter", 0);
+  for (int i = 0; i < 6; ++i) {
+    rt.ForkDetached([&] {
+      for (int j = 0; j < 10; ++j) {
+        counter.Update([](int& v) {
+          int snapshot = v;
+          pcr::thisthread::Compute(500);  // a preemption window inside the critical section
+          v = snapshot + 1;
+        });
+      }
+    });
+  }
+  rt.RunUntilQuiescent(30 * kUsecPerSec);
+  EXPECT_EQ(counter.Get(), 60);  // no lost updates
+}
+
+TEST(MonitoredRecordTest, UpdateReturnsValue) {
+  pcr::Runtime rt;
+  MonitoredRecord<std::vector<int>> record(rt.scheduler(), "vec");
+  size_t size_after = 0;
+  rt.ForkDetached([&] {
+    size_after = record.Update([](std::vector<int>& v) {
+      v.push_back(7);
+      return v.size();
+    });
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(size_after, 1u);
+}
+
+TEST(MonitoredRecordTest, AwaitAndUpdateWakesOnChange) {
+  pcr::Runtime rt;
+  MonitoredRecord<int> balance(rt.scheduler(), "balance", 0);
+  int withdrawn = 0;
+  rt.ForkDetached([&] {
+    // Waits until the balance covers the withdrawal; consumes it atomically.
+    balance.AwaitAndUpdate([](const int& v) { return v >= 100; },
+                           [&](int& v) {
+                             v -= 100;
+                             withdrawn = 100;
+                           });
+  });
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 4; ++i) {
+      pcr::thisthread::Sleep(20 * kUsecPerMsec);
+      balance.Update([](int& v) { v += 30; });
+    }
+  });
+  rt.RunUntilQuiescent(5 * kUsecPerSec);
+  EXPECT_EQ(withdrawn, 100);
+  EXPECT_EQ(balance.Get(), 20);  // 120 deposited - 100 withdrawn
+}
+
+TEST(MonitoredRecordTest, EachRecordIsADistinctMonitor) {
+  // The point of data-associated locking: independent records do not contend.
+  pcr::Runtime rt;
+  MonitoredRecord<int> a(rt.scheduler(), "a", 0);
+  MonitoredRecord<int> b(rt.scheduler(), "b", 0);
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 20; ++i) {
+      a.Update([](int& v) { ++v; });
+    }
+  });
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 20; ++i) {
+      b.Update([](int& v) { ++v; });
+    }
+  });
+  rt.RunUntilQuiescent(5 * kUsecPerSec);
+  trace::Summary s = trace::Summarize(rt.tracer());
+  EXPECT_EQ(s.distinct_mls, 2);
+  EXPECT_EQ(s.ml_contentions, 0);
+}
+
+TEST(PipelineTest, ThreeStageComposition) {
+  pcr::Runtime rt;
+  Pipeline<int> pipeline(rt, "compiler", 4);
+  pipeline.Stage("parse", [](int x) { return x + 1; })
+      .Stage("check", [](int x) { return x * 2; })
+      .Stage("emit", [](int x) { return x - 3; });
+  EXPECT_EQ(pipeline.stages(), 3);
+  std::vector<int> out;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 10; ++i) {
+      pipeline.input().Put(i);
+    }
+    pipeline.input().Close();
+  });
+  rt.ForkDetached([&] {
+    while (auto item = pipeline.output().Take()) {
+      out.push_back(*item);
+    }
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(10 * kUsecPerSec), pcr::RunStatus::kQuiescent);
+  ASSERT_EQ(out.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(out[static_cast<size_t>(i)], (i + 1) * 2 - 3);
+  }
+  EXPECT_EQ(pipeline.items_through(), 10);
+}
+
+TEST(PipelineTest, CloseDrainsBeforePropagating) {
+  pcr::Runtime rt;
+  Pipeline<int> pipeline(rt, "p", 2);
+  pipeline.Stage("slow", [](int x) {
+    pcr::thisthread::Compute(2 * kUsecPerMsec);
+    return x;
+  });
+  int received = 0;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 8; ++i) {
+      pipeline.input().Put(i);
+    }
+    pipeline.input().Close();  // items already queued must still flow through
+  });
+  rt.ForkDetached([&] {
+    while (pipeline.output().Take().has_value()) {
+      ++received;
+    }
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(10 * kUsecPerSec), pcr::RunStatus::kQuiescent);
+  EXPECT_EQ(received, 8);
+  EXPECT_TRUE(pipeline.output().closed());
+}
+
+TEST(PipelineTest, StagesRunConcurrentlyInVirtualTime) {
+  // With per-item cost C and S stages, a pipeline processes N items in ~ (N + S - 1) * C, not
+  // N * S * C — the stages overlap.
+  pcr::Runtime rt;
+  Pipeline<int> pipeline(rt, "p", 4);
+  PumpOptions slow;
+  slow.per_item_cost = 5 * kUsecPerMsec;
+  pipeline.Stage("s1", [](int x) { return x; }, slow)
+      .Stage("s2", [](int x) { return x; }, slow)
+      .Stage("s3", [](int x) { return x; }, slow);
+  pcr::Usec done_at = 0;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 12; ++i) {
+      pipeline.input().Put(i);
+    }
+    pipeline.input().Close();
+  });
+  rt.ForkDetached([&] {
+    while (pipeline.output().Take().has_value()) {
+    }
+    done_at = rt.now();
+  });
+  rt.RunUntilQuiescent(30 * kUsecPerSec);
+  // Uniprocessor: stages interleave on one CPU, so total work is N*S*C regardless — but with 2
+  // processors the overlap is real. Check the multiprocessor case.
+  pcr::Config config;
+  config.processors = 3;
+  pcr::Runtime rt2(config);
+  Pipeline<int> pipeline2(rt2, "p2", 4);
+  pipeline2.Stage("s1", [](int x) { return x; }, slow)
+      .Stage("s2", [](int x) { return x; }, slow)
+      .Stage("s3", [](int x) { return x; }, slow);
+  pcr::Usec done_at2 = 0;
+  rt2.ForkDetached([&] {
+    for (int i = 0; i < 12; ++i) {
+      pipeline2.input().Put(i);
+    }
+    pipeline2.input().Close();
+  });
+  rt2.ForkDetached([&] {
+    while (pipeline2.output().Take().has_value()) {
+    }
+    done_at2 = rt2.now();
+  });
+  rt2.RunUntilQuiescent(30 * kUsecPerSec);
+  EXPECT_LT(done_at2 * 2, done_at);  // at least 2x from 3-way stage overlap
+  rt.Shutdown();
+  rt2.Shutdown();
+}
+
+}  // namespace
+}  // namespace paradigm

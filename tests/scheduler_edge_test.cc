@@ -1,0 +1,257 @@
+// Edge cases of the scheduler's machinery: tick-grid math, epoch validation, run-loop
+// boundaries, stack accounting, flag interactions.
+
+#include <gtest/gtest.h>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/interrupt.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+#include "src/trace/stats.h"
+
+namespace pcr {
+namespace {
+
+TEST(GridDeadlineTest, RoundsUpInWholeQuanta) {
+  Runtime rt;  // quantum 50 ms; now == 0
+  Scheduler& s = rt.scheduler();
+  EXPECT_EQ(s.GridDeadline(0), 0);
+  EXPECT_EQ(s.GridDeadline(1), 50 * kUsecPerMsec);
+  EXPECT_EQ(s.GridDeadline(50 * kUsecPerMsec), 50 * kUsecPerMsec);
+  EXPECT_EQ(s.GridDeadline(50 * kUsecPerMsec + 1), 100 * kUsecPerMsec);
+  EXPECT_EQ(s.GridDeadline(120 * kUsecPerMsec), 150 * kUsecPerMsec);
+}
+
+TEST(RunLoopTest, DeadlineExactlyOnTickStillFiresTimersNextRun) {
+  // The regression behind the slack-process bug: a RunFor ending exactly on a tick must not
+  // swallow that tick.
+  Runtime rt;
+  int wakeups = 0;
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 4; ++i) {
+      thisthread::Sleep(50 * kUsecPerMsec);
+      ++wakeups;
+    }
+  });
+  for (int chunk = 0; chunk < 25; ++chunk) {
+    rt.RunFor(10 * kUsecPerMsec);  // chunk boundaries land on every tick
+  }
+  EXPECT_EQ(wakeups, 4);
+  rt.Shutdown();
+}
+
+TEST(RunLoopTest, RunForZeroIsANoOp) {
+  Runtime rt;
+  rt.ForkDetached([] { thisthread::Compute(kUsecPerMsec); });
+  EXPECT_EQ(rt.RunFor(0), RunStatus::kDeadline);
+  EXPECT_EQ(rt.now(), 0);
+  rt.Shutdown();
+}
+
+TEST(RunLoopTest, QuiescentRunAdvancesClockToDeadline) {
+  Runtime rt;  // nothing to do at all
+  EXPECT_EQ(rt.RunFor(kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_EQ(rt.now(), kUsecPerSec);
+}
+
+TEST(RunLoopTest, TinyQuantumStillTerminates) {
+  Config config;
+  config.quantum = 1;  // one-microsecond ticks: worst case for the tick loop
+  Runtime rt(config);
+  bool done = false;
+  rt.ForkDetached([&] {
+    thisthread::Sleep(200);
+    thisthread::Compute(300);
+    done = true;
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_TRUE(done);
+}
+
+TEST(EpochTest, NotifyAfterTimeoutDoesNotDoubleWake) {
+  // A NOTIFY issued after the waiter already timed out (stale queue entry) must be a no-op for
+  // that waiter and should still be available for the next one.
+  Runtime rt;
+  MonitorLock lock(rt.scheduler(), "m");
+  Condition cv(lock, "cv", 40 * kUsecPerMsec);
+  int first_wakeups = 0;
+  bool second_got_notify = false;
+  rt.ForkDetached([&] {
+    {
+      MonitorGuard guard(lock);
+      cv.Wait();  // times out at the 50 ms tick
+      ++first_wakeups;
+    }
+    thisthread::Sleep(200 * kUsecPerMsec);
+    EXPECT_EQ(first_wakeups, 1);  // never woken again by the late notify
+  });
+  rt.ForkDetached([&] {
+    thisthread::Sleep(100 * kUsecPerMsec);  // after the first waiter timed out
+    {
+      MonitorGuard guard(lock);
+      cv.Notify();  // nobody valid is waiting: must not resurrect the stale entry
+    }
+    MonitorGuard guard(lock);
+    second_got_notify = cv.Wait();  // and the stale entry must not eat this thread's timeout
+  });
+  rt.RunFor(kUsecPerSec);
+  EXPECT_EQ(first_wakeups, 1);
+  EXPECT_FALSE(second_got_notify);  // the earlier notify found no one; this wait times out
+  rt.Shutdown();
+}
+
+TEST(FlagInteractionTest, PenalizedThreadCanStillBeBoosted) {
+  // A thread that YieldButNotToMe'd can immediately receive a directed yield: the boost wins.
+  Runtime rt;
+  std::vector<std::string> order;
+  ThreadId penalized = rt.ForkDetached(
+      [&] {
+        thisthread::YieldButNotToMe();
+        order.push_back("penalized-resumed");
+      },
+      ForkOptions{.priority = 5});
+  rt.ForkDetached(
+      [&] {
+        order.push_back("donor");
+        rt.scheduler().DirectedYield(penalized);
+        order.push_back("donor-after");
+      },
+      ForkOptions{.priority = 4});
+  rt.RunUntilQuiescent(kUsecPerSec);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "donor");
+  EXPECT_EQ(order[1], "penalized-resumed");  // boost overrides the penalty
+}
+
+TEST(FlagInteractionTest, PenaltyDoesNotSurviveBlocking) {
+  Runtime rt;
+  bool low_ran_before_high = false;
+  bool low_ran = false;
+  rt.ForkDetached(
+      [&] {
+        thisthread::YieldButNotToMe();  // penalty...
+        thisthread::Sleep(60 * kUsecPerMsec);  // ...but then we block: penalty is moot
+        low_ran_before_high = !low_ran;  // after the sleep we outrank priority 3 again
+      },
+      ForkOptions{.priority = 5});
+  rt.ForkDetached([&] {
+    thisthread::Sleep(60 * kUsecPerMsec);
+    thisthread::Compute(30 * kUsecPerMsec);
+    low_ran = true;
+  },
+                  ForkOptions{.priority = 3});
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_TRUE(low_ran_before_high);
+  EXPECT_TRUE(low_ran);
+}
+
+TEST(StackAccountingTest, ReservationTracksLiveFibers) {
+  Config config;
+  config.stack_bytes = 64 * 1024;
+  Runtime rt(config);
+  EXPECT_EQ(rt.scheduler().stack_bytes_reserved(), 0u);
+  rt.ForkDetached([&] {
+    std::vector<ThreadId> children;
+    for (int i = 0; i < 10; ++i) {
+      children.push_back(rt.Fork([] { thisthread::Sleep(10 * kUsecPerMsec); }));
+    }
+    for (ThreadId child : children) {
+      rt.Join(child);
+    }
+  });
+  rt.RunUntilQuiescent(5 * kUsecPerSec);
+  // Everything joined: only reaped stacks remain outstanding for unfinished threads (none).
+  trace::Summary s = trace::Summarize(rt.tracer());
+  EXPECT_EQ(s.max_live_threads, 11);
+  EXPECT_GE(rt.scheduler().peak_stack_bytes_reserved(), 11u * 64 * 1024);
+  rt.Shutdown();
+}
+
+TEST(InterruptEdgeTest, PostAtPastTimeDeliversImmediately) {
+  Runtime rt;
+  InterruptSource source(rt.scheduler(), "dev");
+  Usec got_at = -1;
+  rt.ForkDetached([&] {
+    thisthread::Compute(20 * kUsecPerMsec);
+    source.PostAt(5 * kUsecPerMsec, 1);  // in the past: clamped to now
+    got_at = rt.now();
+  });
+  rt.ForkDetached([&] { source.Await(); }, ForkOptions{.priority = 6});
+  rt.RunFor(kUsecPerSec);
+  EXPECT_GE(got_at, 20 * kUsecPerMsec);
+  rt.Shutdown();
+}
+
+TEST(InterruptEdgeTest, MultipleWaitersServedFifo) {
+  Runtime rt;
+  InterruptSource source(rt.scheduler(), "dev");
+  std::vector<int> served;
+  for (int i = 0; i < 3; ++i) {
+    rt.ForkDetached([&, i] {
+      source.Await();
+      served.push_back(i);
+    });
+  }
+  for (int i = 0; i < 3; ++i) {
+    source.PostAt((10 + i * 60) * kUsecPerMsec, static_cast<uint64_t>(i));
+  }
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(served, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(PriorityClampTest, OutOfRangePrioritiesAreClamped) {
+  Runtime rt;
+  int observed_low = 0;
+  int observed_high = 0;
+  rt.ForkDetached([&] { observed_low = rt.scheduler().priority(); },
+                  ForkOptions{.priority = -5});
+  rt.ForkDetached([&] { observed_high = rt.scheduler().priority(); },
+                  ForkOptions{.priority = 99});
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(observed_low, kMinPriority);
+  EXPECT_EQ(observed_high, kMaxPriority);
+}
+
+TEST(TryEnterTest, SucceedsAndExcludesOthers) {
+  Runtime rt;
+  MonitorLock lock(rt.scheduler(), "m");
+  bool second_failed = false;
+  rt.ForkDetached([&] {
+    ASSERT_TRUE(lock.TryEnter());
+    thisthread::Sleep(60 * kUsecPerMsec);
+    lock.Exit();
+  });
+  rt.ForkDetached([&] {
+    thisthread::Compute(kUsecPerMsec);
+    second_failed = !lock.TryEnter();
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_TRUE(second_failed);
+}
+
+TEST(DetachEdgeTest, DetachAfterFinishReapsImmediately) {
+  Config config;
+  config.stack_bytes = 64 * 1024;
+  Runtime rt(config);
+  ThreadId child = 0;
+  rt.ForkDetached([&] {
+    child = rt.Fork([] {});
+    thisthread::Sleep(60 * kUsecPerMsec);  // child finishes while we sleep
+    size_t before = rt.scheduler().stack_bytes_reserved();
+    rt.Detach(child);  // late detach must still release the child's stack
+    EXPECT_LT(rt.scheduler().stack_bytes_reserved(), before);
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+}
+
+TEST(TracerWindowTest, SummaryOfEmptyTraceIsZero) {
+  Runtime rt;
+  trace::Summary s = trace::Summarize(rt.tracer());
+  EXPECT_EQ(s.forks, 0);
+  EXPECT_EQ(s.switches, 0);
+  EXPECT_EQ(s.window_us, 0);
+  EXPECT_EQ(s.max_live_threads, 0);
+}
+
+}  // namespace
+}  // namespace pcr

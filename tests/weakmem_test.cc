@@ -1,0 +1,172 @@
+// Tests for the Section 5.5 weak-memory simulation.
+
+#include <gtest/gtest.h>
+
+#include "src/pcr/runtime.h"
+#include "src/weakmem/weakmem.h"
+
+namespace weakmem {
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+pcr::Config DualProcessor() {
+  pcr::Config config;
+  config.processors = 2;
+  return config;
+}
+
+TEST(WeakCellTest, WriterSeesOwnStoreImmediately) {
+  pcr::Runtime rt;
+  WeakCell<int> cell(rt, 0, /*drain_delay=*/1000);
+  int seen = -1;
+  rt.ForkDetached([&] {
+    cell.Store(5);
+    seen = cell.Load();  // store forwarding: no delay for the writer
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(seen, 5);
+}
+
+TEST(WeakCellTest, OtherThreadSeesStaleValueUntilDrain) {
+  pcr::Runtime rt(DualProcessor());
+  WeakCell<int> cell(rt, 0, /*drain_delay=*/500);
+  int early = -1;
+  int late = -1;
+  rt.ForkDetached([&] { cell.Store(9); });
+  rt.ForkDetached([&] {
+    pcr::thisthread::Compute(100);
+    early = cell.Load();  // before the 500 us drain
+    pcr::thisthread::Compute(1000);
+    late = cell.Load();  // after it
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(early, 0);
+  EXPECT_EQ(late, 9);
+}
+
+TEST(WeakCellTest, FenceMakesStoreVisibleImmediately) {
+  pcr::Runtime rt(DualProcessor());
+  WeakCell<int> cell(rt, 0, /*drain_delay=*/10'000);
+  int observed = -1;
+  rt.ForkDetached([&] {
+    cell.Store(3);
+    cell.Fence();
+  });
+  rt.ForkDetached([&] {
+    pcr::thisthread::Compute(200);
+    observed = cell.Load();
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(observed, 3);
+}
+
+TEST(WeakCellTest, PublishIsStorePlusFence) {
+  pcr::Runtime rt(DualProcessor());
+  WeakCell<int> cell(rt, 0, /*drain_delay=*/10'000);
+  int observed = -1;
+  rt.ForkDetached([&] { cell.Publish(11); });
+  rt.ForkDetached([&] {
+    pcr::thisthread::Compute(200);
+    observed = cell.Load();
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_EQ(observed, 11);
+}
+
+TEST(WeakCellTest, StoresDrainInProgramOrderPerCell) {
+  pcr::Runtime rt(DualProcessor());
+  WeakCell<int> cell(rt, 0, /*drain_delay=*/300);
+  std::vector<int> observations;
+  rt.ForkDetached([&] {
+    cell.Store(1);
+    pcr::thisthread::Compute(100);
+    cell.Store(2);
+  });
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 12; ++i) {
+      pcr::thisthread::Compute(100);
+      observations.push_back(cell.Load());
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  // Monotone: 0 -> 1 -> 2, never observing 2 before 1.
+  for (size_t i = 1; i < observations.size(); ++i) {
+    EXPECT_GE(observations[i], observations[i - 1]);
+  }
+  EXPECT_EQ(observations.back(), 2);
+}
+
+TEST(WeakMemoryHazardTest, PointerPublicationWithoutFenceTears) {
+  // The paper's record-of-time-date-values example (Section 5.5): the fast-draining pointer
+  // becomes visible before the slow-draining fields.
+  pcr::Runtime rt(DualProcessor());
+  WeakCell<int> field(rt, 0, /*drain_delay=*/400);
+  WeakCell<int> pointer(rt, 0, /*drain_delay=*/20);
+  bool torn = false;
+  rt.ForkDetached([&] {
+    pcr::thisthread::Compute(50);
+    field.Store(1);
+    pointer.Store(1);
+  });
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 50 && !torn; ++i) {
+      pcr::thisthread::Compute(20);
+      if (pointer.Load() == 1 && field.Load() != 1) {
+        torn = true;
+      }
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_TRUE(torn);
+}
+
+TEST(WeakMemoryHazardTest, FenceBeforePublishPreventsTearing) {
+  pcr::Runtime rt(DualProcessor());
+  WeakCell<int> field(rt, 0, /*drain_delay=*/400);
+  WeakCell<int> pointer(rt, 0, /*drain_delay=*/20);
+  bool torn = false;
+  rt.ForkDetached([&] {
+    pcr::thisthread::Compute(50);
+    field.Store(1);
+    field.Fence();
+    pointer.Store(1);
+  });
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 50; ++i) {
+      pcr::thisthread::Compute(20);
+      if (pointer.Load() == 1 && field.Load() != 1) {
+        torn = true;
+      }
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_FALSE(torn);
+}
+
+TEST(WeakMemoryHazardTest, UniprocessorHidesTheHazard) {
+  // On one processor the context switch outlasts the drain delay — which is why code "correct
+  // with strong ordering" survived for years before multiprocessors exposed it.
+  pcr::Runtime rt;  // 1 processor
+  WeakCell<int> field(rt, 0, /*drain_delay=*/25);
+  WeakCell<int> pointer(rt, 0, /*drain_delay=*/1);
+  bool torn = false;
+  rt.ForkDetached([&] {
+    field.Store(1);
+    pointer.Store(1);
+  });
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 50; ++i) {
+      pcr::thisthread::Compute(20);
+      if (pointer.Load() == 1 && field.Load() != 1) {
+        torn = true;
+      }
+    }
+  });
+  rt.RunUntilQuiescent(kUsecPerSec);
+  EXPECT_FALSE(torn);
+}
+
+}  // namespace
+}  // namespace weakmem

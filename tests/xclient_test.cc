@@ -1,0 +1,147 @@
+// Tests for the Section 5.6 Xlib/Xl client libraries.
+
+#include <gtest/gtest.h>
+
+#include "src/pcr/runtime.h"
+#include "src/world/xclient.h"
+
+namespace world {
+namespace {
+
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+
+TEST(XlibClientTest, DeliversEventsToCallingThread) {
+  pcr::Runtime rt;
+  XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "conn");
+  XlibClient client(rt, server, connection);
+  connection.PostAt(30 * kUsecPerMsec, 42);
+  std::optional<uint64_t> got;
+  rt.ForkDetached([&] { got = client.GetEvent(kUsecPerSec); });
+  rt.RunFor(2 * kUsecPerSec);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 42u);
+  rt.Shutdown();
+}
+
+TEST(XlibClientTest, ReadsHoldTheLibraryMutex) {
+  pcr::Runtime rt;
+  XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "conn");
+  XlibClient client(rt, server, connection);
+  rt.ForkDetached([&] { client.GetEvent(400 * kUsecPerMsec); });  // no events: all reads
+  rt.RunFor(kUsecPerSec);
+  // The priority-inversion window: essentially the whole wait was spent holding the mutex.
+  EXPECT_GE(client.stats().lock_held_reading_us, 300 * kUsecPerMsec);
+  EXPECT_GE(client.stats().short_read_cycles, 4);  // one per short-timeout cycle
+  rt.Shutdown();
+}
+
+TEST(XlibClientTest, FlushBeforeReadDefeatsBatching) {
+  pcr::Runtime rt;
+  XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "conn");
+  XlibClient client(rt, server, connection);
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 5; ++i) {
+      client.SendRequest(PaintRequest{rt.now(), 0, i});
+      client.GetEvent(60 * kUsecPerMsec);  // each read flushes the single buffered request
+    }
+  });
+  rt.RunFor(2 * kUsecPerSec);
+  EXPECT_EQ(client.stats().output_flushes, 5);  // no batching survived
+  EXPECT_EQ(server.requests_received(), 5);
+  rt.Shutdown();
+}
+
+TEST(XlClientTest, ReaderThreadKeepsLockFreeDuringReads) {
+  pcr::Runtime rt;
+  XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "conn");
+  XlClient client(rt, server, connection);
+  std::optional<uint64_t> got;
+  rt.ForkDetached([&] { got = client.GetEvent(kUsecPerSec); });
+  connection.PostAt(70 * kUsecPerMsec, 7);
+  rt.RunFor(2 * kUsecPerSec);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, 7u);
+  EXPECT_EQ(client.stats().lock_held_reading_us, 0);
+  EXPECT_EQ(client.stats().short_read_cycles, 0);
+  rt.Shutdown();
+}
+
+TEST(XlClientTest, RequestsBatchUntilMaintenanceFlush) {
+  pcr::Runtime rt;
+  XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "conn");
+  XlClient client(rt, server, connection);
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 12; ++i) {
+      pcr::thisthread::Compute(2 * kUsecPerMsec);
+      client.SendRequest(PaintRequest{rt.now(), 0, i});
+    }
+  });
+  rt.RunFor(kUsecPerSec);
+  EXPECT_EQ(server.requests_received(), 12);
+  // Input is decoupled from output: far fewer flushes than requests.
+  EXPECT_LE(client.stats().output_flushes, 3);
+  rt.Shutdown();
+}
+
+TEST(XlClientTest, GetEventTimeoutIsTickAccurate) {
+  pcr::Runtime rt;
+  XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "conn");
+  XlClient client(rt, server, connection);
+  rt.ForkDetached([&] {
+    auto result = client.GetEvent(120 * kUsecPerMsec);
+    EXPECT_FALSE(result.has_value());
+  });
+  rt.RunFor(kUsecPerSec);
+  EXPECT_EQ(client.stats().get_event_timeouts, 1);
+  // Overshoot bounded by the CV timeout granularity (one quantum).
+  EXPECT_LE(client.stats().worst_timeout_overshoot_us, 51 * kUsecPerMsec);
+  rt.Shutdown();
+}
+
+TEST(XClientComparisonTest, XlFlushesLessAndNeverHoldsLockReading) {
+  auto run = [](auto* client_tag) {
+    using Client = std::remove_pointer_t<decltype(client_tag)>;
+    pcr::Runtime rt;
+    XServerModel server(rt);
+    pcr::InterruptSource connection(rt.scheduler(), "conn");
+    Client client(rt, server, connection);
+    for (int i = 0; i < 10; ++i) {
+      connection.PostAt((100 + i * 600) * kUsecPerMsec, static_cast<uint64_t>(i));
+    }
+    // An event-loop thread reading continuously (the common X client shape) while another
+    // thread draws: in Xlib every short-read cycle flushes whatever the drawer buffered.
+    rt.ForkDetached([&] {
+      for (int i = 0; i < 10;) {
+        if (client.GetEvent(kUsecPerSec).has_value()) {
+          ++i;
+        }
+      }
+    });
+    rt.ForkDetached([&] {
+      for (int i = 0; i < 300; ++i) {
+        pcr::thisthread::Compute(20 * kUsecPerMsec);
+        client.SendRequest(PaintRequest{rt.now(), 0, i});
+      }
+    });
+    rt.RunFor(20 * kUsecPerSec);
+    XClientStats stats = client.stats();
+    rt.Shutdown();
+    return stats;
+  };
+  XClientStats xlib = run(static_cast<XlibClient*>(nullptr));
+  XClientStats xl = run(static_cast<XlClient*>(nullptr));
+  EXPECT_GT(xlib.output_flushes, 2 * xl.output_flushes);
+  EXPECT_GT(xlib.lock_held_reading_us, 0);
+  EXPECT_EQ(xl.lock_held_reading_us, 0);
+  EXPECT_EQ(xlib.events_delivered, xl.events_delivered);
+}
+
+}  // namespace
+}  // namespace world

@@ -1,0 +1,235 @@
+// pcrsim — command-line driver for the reproduction's benchmark scenarios.
+//
+//   pcrsim --list
+//   pcrsim --scenario keyboard --duration 30 --seed 2
+//   pcrsim --scenario keyboard --dump 5000:5100      # a 100 ms event history (Section 7:
+//                                                    # "the same 100 millisecond event
+//                                                    # histories")
+//   pcrsim --scenario compile --histogram            # execution-interval histogram
+//   pcrsim --all --tables                            # Tables 1-4 across every scenario
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "src/analysis/profile.h"
+#include "src/trace/serialize.h"
+#include "src/analysis/table.h"
+#include "src/pcr/runtime.h"
+#include "src/world/scenarios.h"
+
+namespace {
+
+struct Cli {
+  bool list = false;
+  bool all = false;
+  bool tables = false;
+  bool histogram = false;
+  bool genealogy = false;
+  bool profile = false;
+  std::optional<std::string> save_trace;
+  std::optional<std::string> scenario;
+  double duration_sec = 30.0;
+  double warmup_sec = 2.0;
+  uint64_t seed = 1;
+  std::optional<std::pair<long, long>> dump_ms;  // [from, to) in virtual milliseconds
+};
+
+// Short slugs accepted on the command line, one per scenario.
+struct Slug {
+  const char* name;
+  world::Scenario scenario;
+};
+constexpr Slug kSlugs[] = {
+    {"idle", world::Scenario::kCedarIdle},
+    {"keyboard", world::Scenario::kCedarKeyboard},
+    {"mouse", world::Scenario::kCedarMouse},
+    {"scroll", world::Scenario::kCedarScroll},
+    {"format", world::Scenario::kCedarFormat},
+    {"preview", world::Scenario::kCedarPreview},
+    {"make", world::Scenario::kCedarMake},
+    {"compile", world::Scenario::kCedarCompile},
+    {"gvx-idle", world::Scenario::kGvxIdle},
+    {"gvx-keyboard", world::Scenario::kGvxKeyboard},
+    {"gvx-mouse", world::Scenario::kGvxMouse},
+    {"gvx-scroll", world::Scenario::kGvxScroll},
+    {"everyday", world::Scenario::kCedarEveryday},
+};
+
+void PrintUsage() {
+  std::printf(
+      "pcrsim — run the SOSP'93 thread-usage scenarios on the virtual-time PCR runtime\n\n"
+      "  --list                  list scenario slugs\n"
+      "  --scenario <slug>       run one scenario and print its summary row\n"
+      "  --all                   run every scenario\n"
+      "  --duration <seconds>    measurement window (default 30)\n"
+      "  --warmup <seconds>      warm-up excluded from stats (default 2)\n"
+      "  --seed <n>              workload seed (default 1)\n"
+      "  --tables                print Tables 1-4 (implies --all unless --scenario given)\n"
+      "  --histogram             print the execution-interval histogram\n"
+      "  --genealogy             print the fork-genealogy summary\n"
+      "  --profile               print the per-thread traffic profile\n"
+      "  --save-trace <file>     write the raw event trace to a file\n"
+      "  --dump <from>:<to>      dump the raw event history for [from,to) virtual ms\n");
+}
+
+std::optional<world::Scenario> ParseScenario(const std::string& slug) {
+  for (const Slug& s : kSlugs) {
+    if (slug == s.name) {
+      return s.scenario;
+    }
+  }
+  return std::nullopt;
+}
+
+bool ParseArgs(int argc, char** argv, Cli* cli) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "pcrsim: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      cli->list = true;
+    } else if (arg == "--all") {
+      cli->all = true;
+    } else if (arg == "--tables") {
+      cli->tables = true;
+    } else if (arg == "--histogram") {
+      cli->histogram = true;
+    } else if (arg == "--genealogy") {
+      cli->genealogy = true;
+    } else if (arg == "--profile") {
+      cli->profile = true;
+    } else if (arg == "--save-trace") {
+      cli->save_trace = next();
+    } else if (arg == "--scenario") {
+      cli->scenario = next();
+    } else if (arg == "--duration") {
+      cli->duration_sec = std::atof(next());
+    } else if (arg == "--warmup") {
+      cli->warmup_sec = std::atof(next());
+    } else if (arg == "--seed") {
+      cli->seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--dump") {
+      std::string range = next();
+      size_t colon = range.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "pcrsim: --dump expects <from>:<to> in ms\n");
+        return false;
+      }
+      cli->dump_ms = {std::atol(range.substr(0, colon).c_str()),
+                      std::atol(range.substr(colon + 1).c_str())};
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "pcrsim: unknown option %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+void PrintSummaryRow(const world::ScenarioResult& r) {
+  std::printf("%-26s forks/s=%5.1f switches/s=%6.0f waits/s=%5.0f timeouts=%3.0f%% "
+              "ml/s=%7.0f contention=%.3f%% #cv=%lld #ml=%lld max-threads=%d\n",
+              r.name.c_str(), r.summary.forks_per_sec, r.summary.switches_per_sec,
+              r.summary.waits_per_sec, r.summary.timeout_fraction * 100,
+              r.summary.ml_enters_per_sec, r.summary.contention_fraction * 100,
+              static_cast<long long>(r.summary.distinct_cvs),
+              static_cast<long long>(r.summary.distinct_mls), r.summary.max_live_threads);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!ParseArgs(argc, argv, &cli)) {
+    return 2;
+  }
+  if (argc == 1) {
+    PrintUsage();
+    return 0;
+  }
+  if (cli.list) {
+    for (const Slug& s : kSlugs) {
+      std::printf("%-14s %s\n", s.name, std::string(world::ScenarioName(s.scenario)).c_str());
+    }
+    return 0;
+  }
+
+  world::ScenarioOptions options;
+  options.duration = static_cast<pcr::Usec>(cli.duration_sec * pcr::kUsecPerSec);
+  options.warmup = static_cast<pcr::Usec>(cli.warmup_sec * pcr::kUsecPerSec);
+  options.seed = cli.seed;
+  bool want_profile = cli.profile;
+  if (cli.dump_ms.has_value() || want_profile || cli.save_trace.has_value()) {
+    auto dump = cli.dump_ms;
+    auto save_trace = cli.save_trace;
+    options.inspect = [dump, want_profile, save_trace](pcr::Runtime& rt) {
+      if (dump.has_value()) {
+        std::printf("--- event history %ld..%ld ms ---\n", dump->first, dump->second);
+        rt.tracer().Dump(std::cout, dump->first * pcr::kUsecPerMsec,
+                         dump->second * pcr::kUsecPerMsec, 4000);
+      }
+      if (want_profile) {
+        std::printf("--- per-thread traffic profile ---\n");
+        analysis::ProfileSummary profile = analysis::ProfileThreads(rt.tracer());
+        analysis::PrintThreadProfile(std::cout, profile, 15);
+      }
+      if (save_trace.has_value()) {
+        if (trace::SaveTraceFile(*save_trace, rt.tracer())) {
+          std::printf("trace written to %s (%zu events)\n", save_trace->c_str(),
+                      rt.tracer().size());
+        } else {
+          std::fprintf(stderr, "pcrsim: could not write %s\n", save_trace->c_str());
+        }
+      }
+    };
+  }
+
+  std::vector<world::ScenarioResult> results;
+  if (cli.scenario.has_value()) {
+    std::optional<world::Scenario> scenario = ParseScenario(*cli.scenario);
+    if (!scenario.has_value()) {
+      std::fprintf(stderr, "pcrsim: unknown scenario '%s' (try --list)\n",
+                   cli.scenario->c_str());
+      return 2;
+    }
+    results.push_back(world::RunScenario(*scenario, options));
+  } else {
+    for (world::Scenario scenario : world::AllScenarios()) {
+      results.push_back(world::RunScenario(scenario, options));
+    }
+  }
+
+  for (const world::ScenarioResult& r : results) {
+    PrintSummaryRow(r);
+  }
+  if (cli.tables) {
+    std::printf("\n");
+    analysis::PrintTable1(std::cout, results);
+    analysis::PrintTable2(std::cout, results);
+    analysis::PrintTable3(std::cout, results);
+    analysis::PrintTable4(std::cout, results);
+  }
+  if (cli.histogram) {
+    for (const world::ScenarioResult& r : results) {
+      std::printf("\nExecution intervals — %s (1 ms buckets):\n%s", r.name.c_str(),
+                  r.summary.exec_intervals.Render(60).c_str());
+    }
+  }
+  if (cli.genealogy) {
+    for (const world::ScenarioResult& r : results) {
+      std::printf("%-26s %s\n", r.name.c_str(), r.genealogy.ToString().c_str());
+    }
+  }
+  return 0;
+}

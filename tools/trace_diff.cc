@@ -1,0 +1,73 @@
+// trace_diff — compare two saved event traces (see pcrsim --save-trace).
+//
+//   trace_diff a.trace b.trace
+//
+// Reports the first divergent event and summary deltas. Two runs of the same scenario with the
+// same seed must produce bit-identical traces (the determinism the virtual-time design buys);
+// this tool pinpoints where that breaks when it does.
+
+#include <cstdio>
+#include <string>
+
+#include "src/trace/serialize.h"
+#include "src/trace/stats.h"
+
+int main(int argc, char** argv) {
+  if (argc != 3) {
+    std::fprintf(stderr, "usage: trace_diff <a.trace> <b.trace>\n");
+    return 2;
+  }
+  trace::Tracer a;
+  trace::Tracer b;
+  if (!trace::LoadTraceFile(argv[1], &a)) {
+    std::fprintf(stderr, "trace_diff: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  if (!trace::LoadTraceFile(argv[2], &b)) {
+    std::fprintf(stderr, "trace_diff: cannot read %s\n", argv[2]);
+    return 2;
+  }
+  std::printf("%s: %zu events; %s: %zu events\n", argv[1], a.size(), argv[2], b.size());
+
+  size_t common = std::min(a.size(), b.size());
+  size_t first_diff = common;
+  for (size_t i = 0; i < common; ++i) {
+    const trace::Event& ea = a.events()[i];
+    const trace::Event& eb = b.events()[i];
+    if (ea.time_us != eb.time_us || ea.type != eb.type || ea.thread != eb.thread ||
+        ea.object != eb.object || ea.arg != eb.arg || ea.processor != eb.processor) {
+      first_diff = i;
+      break;
+    }
+  }
+  if (first_diff == common && a.size() == b.size()) {
+    std::printf("traces are identical (%zu events)\n", a.size());
+    return 0;
+  }
+  if (first_diff == common) {
+    std::printf("traces agree for all %zu common events; lengths differ\n", common);
+  } else {
+    const trace::Event& ea = a.events()[first_diff];
+    const trace::Event& eb = b.events()[first_diff];
+    std::printf("first divergence at event #%zu:\n", first_diff);
+    std::printf("  a: t=%lldus thread=%u %s obj=%llu arg=%llu\n",
+                static_cast<long long>(ea.time_us), ea.thread,
+                std::string(trace::EventTypeName(ea.type)).c_str(),
+                static_cast<unsigned long long>(ea.object),
+                static_cast<unsigned long long>(ea.arg));
+    std::printf("  b: t=%lldus thread=%u %s obj=%llu arg=%llu\n",
+                static_cast<long long>(eb.time_us), eb.thread,
+                std::string(trace::EventTypeName(eb.type)).c_str(),
+                static_cast<unsigned long long>(eb.object),
+                static_cast<unsigned long long>(eb.arg));
+  }
+  trace::Summary sa = trace::Summarize(a);
+  trace::Summary sb = trace::Summarize(b);
+  std::printf("summary deltas (a - b): switches %+lld, ml-enters %+lld, cv-waits %+lld, "
+              "forks %+lld\n",
+              static_cast<long long>(sa.switches - sb.switches),
+              static_cast<long long>(sa.ml_enters - sb.ml_enters),
+              static_cast<long long>(sa.cv_waits - sb.cv_waits),
+              static_cast<long long>(sa.forks - sb.forks));
+  return 1;
+}
