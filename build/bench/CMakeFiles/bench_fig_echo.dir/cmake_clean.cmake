@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_echo.dir/bench_fig_echo.cc.o"
+  "CMakeFiles/bench_fig_echo.dir/bench_fig_echo.cc.o.d"
+  "bench_fig_echo"
+  "bench_fig_echo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_echo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

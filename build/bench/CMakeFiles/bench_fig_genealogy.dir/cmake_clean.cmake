@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig_genealogy.dir/bench_fig_genealogy.cc.o"
+  "CMakeFiles/bench_fig_genealogy.dir/bench_fig_genealogy.cc.o.d"
+  "bench_fig_genealogy"
+  "bench_fig_genealogy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_genealogy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fork_failure.dir/bench_fork_failure.cc.o"
+  "CMakeFiles/bench_fork_failure.dir/bench_fork_failure.cc.o.d"
+  "bench_fork_failure"
+  "bench_fork_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fork_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_priority_inversion.dir/bench_priority_inversion.cc.o"
+  "CMakeFiles/bench_priority_inversion.dir/bench_priority_inversion.cc.o.d"
+  "bench_priority_inversion"
+  "bench_priority_inversion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_priority_inversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

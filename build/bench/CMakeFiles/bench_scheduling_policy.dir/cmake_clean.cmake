@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduling_policy.dir/bench_scheduling_policy.cc.o"
+  "CMakeFiles/bench_scheduling_policy.dir/bench_scheduling_policy.cc.o.d"
+  "bench_scheduling_policy"
+  "bench_scheduling_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduling_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slack_yield.dir/bench_slack_yield.cc.o"
+  "CMakeFiles/bench_slack_yield.dir/bench_slack_yield.cc.o.d"
+  "bench_slack_yield"
+  "bench_slack_yield.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slack_yield.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

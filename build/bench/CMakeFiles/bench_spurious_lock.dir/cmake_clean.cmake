@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_spurious_lock.dir/bench_spurious_lock.cc.o"
+  "CMakeFiles/bench_spurious_lock.dir/bench_spurious_lock.cc.o.d"
+  "bench_spurious_lock"
+  "bench_spurious_lock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_spurious_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

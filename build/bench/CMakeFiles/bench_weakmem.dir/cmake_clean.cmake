@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_weakmem.dir/bench_weakmem.cc.o"
+  "CMakeFiles/bench_weakmem.dir/bench_weakmem.cc.o.d"
+  "bench_weakmem"
+  "bench_weakmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_weakmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_work_queue.dir/bench_work_queue.cc.o"
+  "CMakeFiles/bench_work_queue.dir/bench_work_queue.cc.o.d"
+  "bench_work_queue"
+  "bench_work_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_work_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xlib_vs_xl.dir/bench_xlib_vs_xl.cc.o"
+  "CMakeFiles/bench_xlib_vs_xl.dir/bench_xlib_vs_xl.cc.o.d"
+  "bench_xlib_vs_xl"
+  "bench_xlib_vs_xl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xlib_vs_xl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

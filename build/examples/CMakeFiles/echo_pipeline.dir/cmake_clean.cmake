@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/echo_pipeline.dir/echo_pipeline.cpp.o"
+  "CMakeFiles/echo_pipeline.dir/echo_pipeline.cpp.o.d"
+  "echo_pipeline"
+  "echo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/echo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/editor_session.dir/editor_session.cpp.o"
+  "CMakeFiles/editor_session.dir/editor_session.cpp.o.d"
+  "editor_session"
+  "editor_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/editor_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

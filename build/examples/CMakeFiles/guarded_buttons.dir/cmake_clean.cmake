@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guarded_buttons.dir/guarded_buttons.cpp.o"
+  "CMakeFiles/guarded_buttons.dir/guarded_buttons.cpp.o.d"
+  "guarded_buttons"
+  "guarded_buttons.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guarded_buttons.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

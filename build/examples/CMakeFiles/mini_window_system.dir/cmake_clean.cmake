@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mini_window_system.dir/mini_window_system.cpp.o"
+  "CMakeFiles/mini_window_system.dir/mini_window_system.cpp.o.d"
+  "mini_window_system"
+  "mini_window_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mini_window_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/paper_reference.cc" "src/analysis/CMakeFiles/analysis.dir/paper_reference.cc.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/paper_reference.cc.o.d"
+  "/root/repo/src/analysis/profile.cc" "src/analysis/CMakeFiles/analysis.dir/profile.cc.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/profile.cc.o.d"
+  "/root/repo/src/analysis/table.cc" "src/analysis/CMakeFiles/analysis.dir/table.cc.o" "gcc" "src/analysis/CMakeFiles/analysis.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/world/CMakeFiles/world.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/paradigm/CMakeFiles/paradigm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcr/CMakeFiles/pcr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis.dir/paper_reference.cc.o"
+  "CMakeFiles/analysis.dir/paper_reference.cc.o.d"
+  "CMakeFiles/analysis.dir/profile.cc.o"
+  "CMakeFiles/analysis.dir/profile.cc.o.d"
+  "CMakeFiles/analysis.dir/table.cc.o"
+  "CMakeFiles/analysis.dir/table.cc.o.d"
+  "libanalysis.a"
+  "libanalysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

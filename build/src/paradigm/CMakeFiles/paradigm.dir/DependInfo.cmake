@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/paradigm/fork_helpers.cc" "src/paradigm/CMakeFiles/paradigm.dir/fork_helpers.cc.o" "gcc" "src/paradigm/CMakeFiles/paradigm.dir/fork_helpers.cc.o.d"
+  "/root/repo/src/paradigm/one_shot.cc" "src/paradigm/CMakeFiles/paradigm.dir/one_shot.cc.o" "gcc" "src/paradigm/CMakeFiles/paradigm.dir/one_shot.cc.o.d"
+  "/root/repo/src/paradigm/rejuvenate.cc" "src/paradigm/CMakeFiles/paradigm.dir/rejuvenate.cc.o" "gcc" "src/paradigm/CMakeFiles/paradigm.dir/rejuvenate.cc.o.d"
+  "/root/repo/src/paradigm/serializer.cc" "src/paradigm/CMakeFiles/paradigm.dir/serializer.cc.o" "gcc" "src/paradigm/CMakeFiles/paradigm.dir/serializer.cc.o.d"
+  "/root/repo/src/paradigm/sleeper.cc" "src/paradigm/CMakeFiles/paradigm.dir/sleeper.cc.o" "gcc" "src/paradigm/CMakeFiles/paradigm.dir/sleeper.cc.o.d"
+  "/root/repo/src/paradigm/work_queue.cc" "src/paradigm/CMakeFiles/paradigm.dir/work_queue.cc.o" "gcc" "src/paradigm/CMakeFiles/paradigm.dir/work_queue.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcr/CMakeFiles/pcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

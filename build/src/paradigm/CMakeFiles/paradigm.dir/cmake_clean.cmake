@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm.dir/fork_helpers.cc.o"
+  "CMakeFiles/paradigm.dir/fork_helpers.cc.o.d"
+  "CMakeFiles/paradigm.dir/one_shot.cc.o"
+  "CMakeFiles/paradigm.dir/one_shot.cc.o.d"
+  "CMakeFiles/paradigm.dir/rejuvenate.cc.o"
+  "CMakeFiles/paradigm.dir/rejuvenate.cc.o.d"
+  "CMakeFiles/paradigm.dir/serializer.cc.o"
+  "CMakeFiles/paradigm.dir/serializer.cc.o.d"
+  "CMakeFiles/paradigm.dir/sleeper.cc.o"
+  "CMakeFiles/paradigm.dir/sleeper.cc.o.d"
+  "CMakeFiles/paradigm.dir/work_queue.cc.o"
+  "CMakeFiles/paradigm.dir/work_queue.cc.o.d"
+  "libparadigm.a"
+  "libparadigm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pcr/condition.cc" "src/pcr/CMakeFiles/pcr.dir/condition.cc.o" "gcc" "src/pcr/CMakeFiles/pcr.dir/condition.cc.o.d"
+  "/root/repo/src/pcr/fiber.cc" "src/pcr/CMakeFiles/pcr.dir/fiber.cc.o" "gcc" "src/pcr/CMakeFiles/pcr.dir/fiber.cc.o.d"
+  "/root/repo/src/pcr/interrupt.cc" "src/pcr/CMakeFiles/pcr.dir/interrupt.cc.o" "gcc" "src/pcr/CMakeFiles/pcr.dir/interrupt.cc.o.d"
+  "/root/repo/src/pcr/monitor.cc" "src/pcr/CMakeFiles/pcr.dir/monitor.cc.o" "gcc" "src/pcr/CMakeFiles/pcr.dir/monitor.cc.o.d"
+  "/root/repo/src/pcr/runtime.cc" "src/pcr/CMakeFiles/pcr.dir/runtime.cc.o" "gcc" "src/pcr/CMakeFiles/pcr.dir/runtime.cc.o.d"
+  "/root/repo/src/pcr/scheduler.cc" "src/pcr/CMakeFiles/pcr.dir/scheduler.cc.o" "gcc" "src/pcr/CMakeFiles/pcr.dir/scheduler.cc.o.d"
+  "/root/repo/src/pcr/stack.cc" "src/pcr/CMakeFiles/pcr.dir/stack.cc.o" "gcc" "src/pcr/CMakeFiles/pcr.dir/stack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcr.dir/condition.cc.o"
+  "CMakeFiles/pcr.dir/condition.cc.o.d"
+  "CMakeFiles/pcr.dir/fiber.cc.o"
+  "CMakeFiles/pcr.dir/fiber.cc.o.d"
+  "CMakeFiles/pcr.dir/interrupt.cc.o"
+  "CMakeFiles/pcr.dir/interrupt.cc.o.d"
+  "CMakeFiles/pcr.dir/monitor.cc.o"
+  "CMakeFiles/pcr.dir/monitor.cc.o.d"
+  "CMakeFiles/pcr.dir/runtime.cc.o"
+  "CMakeFiles/pcr.dir/runtime.cc.o.d"
+  "CMakeFiles/pcr.dir/scheduler.cc.o"
+  "CMakeFiles/pcr.dir/scheduler.cc.o.d"
+  "CMakeFiles/pcr.dir/stack.cc.o"
+  "CMakeFiles/pcr.dir/stack.cc.o.d"
+  "libpcr.a"
+  "libpcr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

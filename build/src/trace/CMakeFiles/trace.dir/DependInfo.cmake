@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/census.cc" "src/trace/CMakeFiles/trace.dir/census.cc.o" "gcc" "src/trace/CMakeFiles/trace.dir/census.cc.o.d"
+  "/root/repo/src/trace/genealogy.cc" "src/trace/CMakeFiles/trace.dir/genealogy.cc.o" "gcc" "src/trace/CMakeFiles/trace.dir/genealogy.cc.o.d"
+  "/root/repo/src/trace/histogram.cc" "src/trace/CMakeFiles/trace.dir/histogram.cc.o" "gcc" "src/trace/CMakeFiles/trace.dir/histogram.cc.o.d"
+  "/root/repo/src/trace/serialize.cc" "src/trace/CMakeFiles/trace.dir/serialize.cc.o" "gcc" "src/trace/CMakeFiles/trace.dir/serialize.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "src/trace/CMakeFiles/trace.dir/stats.cc.o" "gcc" "src/trace/CMakeFiles/trace.dir/stats.cc.o.d"
+  "/root/repo/src/trace/tracer.cc" "src/trace/CMakeFiles/trace.dir/tracer.cc.o" "gcc" "src/trace/CMakeFiles/trace.dir/tracer.cc.o.d"
+  "/root/repo/src/trace/validate.cc" "src/trace/CMakeFiles/trace.dir/validate.cc.o" "gcc" "src/trace/CMakeFiles/trace.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace.dir/census.cc.o"
+  "CMakeFiles/trace.dir/census.cc.o.d"
+  "CMakeFiles/trace.dir/genealogy.cc.o"
+  "CMakeFiles/trace.dir/genealogy.cc.o.d"
+  "CMakeFiles/trace.dir/histogram.cc.o"
+  "CMakeFiles/trace.dir/histogram.cc.o.d"
+  "CMakeFiles/trace.dir/serialize.cc.o"
+  "CMakeFiles/trace.dir/serialize.cc.o.d"
+  "CMakeFiles/trace.dir/stats.cc.o"
+  "CMakeFiles/trace.dir/stats.cc.o.d"
+  "CMakeFiles/trace.dir/tracer.cc.o"
+  "CMakeFiles/trace.dir/tracer.cc.o.d"
+  "CMakeFiles/trace.dir/validate.cc.o"
+  "CMakeFiles/trace.dir/validate.cc.o.d"
+  "libtrace.a"
+  "libtrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

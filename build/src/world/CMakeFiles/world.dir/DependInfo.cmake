@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/world/cedar_world.cc" "src/world/CMakeFiles/world.dir/cedar_world.cc.o" "gcc" "src/world/CMakeFiles/world.dir/cedar_world.cc.o.d"
+  "/root/repo/src/world/events.cc" "src/world/CMakeFiles/world.dir/events.cc.o" "gcc" "src/world/CMakeFiles/world.dir/events.cc.o.d"
+  "/root/repo/src/world/gc.cc" "src/world/CMakeFiles/world.dir/gc.cc.o" "gcc" "src/world/CMakeFiles/world.dir/gc.cc.o.d"
+  "/root/repo/src/world/gvx_world.cc" "src/world/CMakeFiles/world.dir/gvx_world.cc.o" "gcc" "src/world/CMakeFiles/world.dir/gvx_world.cc.o.d"
+  "/root/repo/src/world/library.cc" "src/world/CMakeFiles/world.dir/library.cc.o" "gcc" "src/world/CMakeFiles/world.dir/library.cc.o.d"
+  "/root/repo/src/world/scenarios.cc" "src/world/CMakeFiles/world.dir/scenarios.cc.o" "gcc" "src/world/CMakeFiles/world.dir/scenarios.cc.o.d"
+  "/root/repo/src/world/windows.cc" "src/world/CMakeFiles/world.dir/windows.cc.o" "gcc" "src/world/CMakeFiles/world.dir/windows.cc.o.d"
+  "/root/repo/src/world/xclient.cc" "src/world/CMakeFiles/world.dir/xclient.cc.o" "gcc" "src/world/CMakeFiles/world.dir/xclient.cc.o.d"
+  "/root/repo/src/world/xserver.cc" "src/world/CMakeFiles/world.dir/xserver.cc.o" "gcc" "src/world/CMakeFiles/world.dir/xserver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paradigm/CMakeFiles/paradigm.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcr/CMakeFiles/pcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/world.dir/cedar_world.cc.o"
+  "CMakeFiles/world.dir/cedar_world.cc.o.d"
+  "CMakeFiles/world.dir/events.cc.o"
+  "CMakeFiles/world.dir/events.cc.o.d"
+  "CMakeFiles/world.dir/gc.cc.o"
+  "CMakeFiles/world.dir/gc.cc.o.d"
+  "CMakeFiles/world.dir/gvx_world.cc.o"
+  "CMakeFiles/world.dir/gvx_world.cc.o.d"
+  "CMakeFiles/world.dir/library.cc.o"
+  "CMakeFiles/world.dir/library.cc.o.d"
+  "CMakeFiles/world.dir/scenarios.cc.o"
+  "CMakeFiles/world.dir/scenarios.cc.o.d"
+  "CMakeFiles/world.dir/windows.cc.o"
+  "CMakeFiles/world.dir/windows.cc.o.d"
+  "CMakeFiles/world.dir/xclient.cc.o"
+  "CMakeFiles/world.dir/xclient.cc.o.d"
+  "CMakeFiles/world.dir/xserver.cc.o"
+  "CMakeFiles/world.dir/xserver.cc.o.d"
+  "libworld.a"
+  "libworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

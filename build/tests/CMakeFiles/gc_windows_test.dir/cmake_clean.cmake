@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gc_windows_test.dir/gc_windows_test.cc.o"
+  "CMakeFiles/gc_windows_test.dir/gc_windows_test.cc.o.d"
+  "gc_windows_test"
+  "gc_windows_test.pdb"
+  "gc_windows_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gc_windows_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

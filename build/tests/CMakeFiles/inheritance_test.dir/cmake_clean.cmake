@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inheritance_test.dir/inheritance_test.cc.o"
+  "CMakeFiles/inheritance_test.dir/inheritance_test.cc.o.d"
+  "inheritance_test"
+  "inheritance_test.pdb"
+  "inheritance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inheritance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mistakes_test.dir/mistakes_test.cc.o"
+  "CMakeFiles/mistakes_test.dir/mistakes_test.cc.o.d"
+  "mistakes_test"
+  "mistakes_test.pdb"
+  "mistakes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mistakes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitor_condition_test.dir/monitor_condition_test.cc.o"
+  "CMakeFiles/monitor_condition_test.dir/monitor_condition_test.cc.o.d"
+  "monitor_condition_test"
+  "monitor_condition_test.pdb"
+  "monitor_condition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitor_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradigm_sweep_test.dir/paradigm_sweep_test.cc.o"
+  "CMakeFiles/paradigm_sweep_test.dir/paradigm_sweep_test.cc.o.d"
+  "paradigm_sweep_test"
+  "paradigm_sweep_test.pdb"
+  "paradigm_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradigm_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

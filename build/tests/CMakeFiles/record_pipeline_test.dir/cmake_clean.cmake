@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_pipeline_test.dir/record_pipeline_test.cc.o"
+  "CMakeFiles/record_pipeline_test.dir/record_pipeline_test.cc.o.d"
+  "record_pipeline_test"
+  "record_pipeline_test.pdb"
+  "record_pipeline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakmem_test.dir/weakmem_test.cc.o"
+  "CMakeFiles/weakmem_test.dir/weakmem_test.cc.o.d"
+  "weakmem_test"
+  "weakmem_test.pdb"
+  "weakmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_queue_test.dir/work_queue_test.cc.o"
+  "CMakeFiles/work_queue_test.dir/work_queue_test.cc.o.d"
+  "work_queue_test"
+  "work_queue_test.pdb"
+  "work_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

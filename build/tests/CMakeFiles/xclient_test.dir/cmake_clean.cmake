@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xclient_test.dir/xclient_test.cc.o"
+  "CMakeFiles/xclient_test.dir/xclient_test.cc.o.d"
+  "xclient_test"
+  "xclient_test.pdb"
+  "xclient_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xclient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

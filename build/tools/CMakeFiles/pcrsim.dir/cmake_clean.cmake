@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcrsim.dir/pcrsim.cc.o"
+  "CMakeFiles/pcrsim.dir/pcrsim.cc.o.d"
+  "pcrsim"
+  "pcrsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcrsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

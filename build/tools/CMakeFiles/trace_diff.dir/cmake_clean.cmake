@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_diff.dir/trace_diff.cc.o"
+  "CMakeFiles/trace_diff.dir/trace_diff.cc.o.d"
+  "trace_diff"
+  "trace_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
