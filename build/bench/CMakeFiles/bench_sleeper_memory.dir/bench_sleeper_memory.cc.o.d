@@ -209,7 +209,12 @@ bench/CMakeFiles/bench_sleeper_memory.dir/bench_sleeper_memory.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/pcr/runtime.h \
- /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
+ /root/repo/src/pcr/condition.h /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /root/repo/src/pcr/ids.h /root/repo/src/pcr/monitor.h \
+ /root/repo/src/pcr/scheduler.h /usr/include/c++/12/queue \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/random \
+ /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
@@ -236,17 +241,12 @@ bench/CMakeFiles/bench_sleeper_memory.dir/bench_sleeper_memory.cc.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/pcr/condition.h /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/pcr/ids.h /root/repo/src/pcr/monitor.h \
- /root/repo/src/pcr/scheduler.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/pcr/config.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/pcr/config.h \
  /usr/include/c++/12/cstddef /root/repo/src/pcr/errors.h \
  /root/repo/src/pcr/fiber.h /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/pcr/interrupt.h \
- /root/repo/src/trace/census.h
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/pcr/interrupt.h /root/repo/src/trace/census.h

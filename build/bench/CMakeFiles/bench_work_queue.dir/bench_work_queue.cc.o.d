@@ -249,6 +249,7 @@ bench/CMakeFiles/bench_work_queue.dir/bench_work_queue.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/pcr/runtime.h \
- /root/repo/src/pcr/interrupt.h /root/repo/src/trace/census.h
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/pcr/runtime.h /root/repo/src/pcr/interrupt.h \
+ /root/repo/src/trace/census.h

@@ -28,8 +28,9 @@ examples/CMakeFiles/editor_session.dir/editor_session.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdio_lim.h \
  /usr/include/x86_64-linux-gnu/bits/floatn.h \
  /usr/include/x86_64-linux-gnu/bits/floatn-common.h \
- /usr/include/x86_64-linux-gnu/bits/stdio.h /root/repo/src/apps/editor.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_algobase.h \
+ /usr/include/x86_64-linux-gnu/bits/stdio.h \
+ /root/repo/examples/example_scenarios.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_algobase.h \
  /usr/include/c++/12/bits/functexcept.h \
  /usr/include/c++/12/bits/exception_defines.h \
  /usr/include/c++/12/bits/cpp_type_traits.h \
@@ -197,7 +198,7 @@ examples/CMakeFiles/editor_session.dir/editor_session.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/apps/editor.h \
  /root/repo/src/paradigm/adaptive_timeout.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
@@ -253,11 +254,14 @@ examples/CMakeFiles/editor_session.dir/editor_session.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/paradigm/one_shot.h \
- /root/repo/src/pcr/runtime.h /root/repo/src/pcr/interrupt.h \
- /root/repo/src/trace/census.h /root/repo/src/paradigm/rejuvenate.h \
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/paradigm/one_shot.h /root/repo/src/pcr/runtime.h \
+ /root/repo/src/pcr/interrupt.h /root/repo/src/trace/census.h \
+ /root/repo/src/paradigm/rejuvenate.h \
  /root/repo/src/paradigm/slack_process.h \
  /root/repo/src/paradigm/sleeper.h /root/repo/src/paradigm/work_queue.h \
  /root/repo/src/world/xserver.h /root/repo/src/trace/histogram.h \
- /root/repo/src/trace/stats.h
+ /root/repo/src/paradigm/deadlock_avoider.h \
+ /root/repo/src/paradigm/defer.h /root/repo/src/paradigm/future.h \
+ /root/repo/src/paradigm/serializer.h /root/repo/src/trace/stats.h

@@ -13,6 +13,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/world/CMakeFiles/world.dir/DependInfo.cmake"
   "/root/repo/build/src/paradigm/CMakeFiles/paradigm.dir/DependInfo.cmake"
   "/root/repo/build/src/pcr/CMakeFiles/pcr.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"

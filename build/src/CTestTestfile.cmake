@@ -8,6 +8,7 @@ subdirs("pcr")
 subdirs("trace")
 subdirs("paradigm")
 subdirs("weakmem")
+subdirs("explore")
 subdirs("world")
 subdirs("analysis")
 subdirs("apps")

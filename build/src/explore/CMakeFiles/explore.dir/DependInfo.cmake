@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/explore/detector.cc" "src/explore/CMakeFiles/explore.dir/detector.cc.o" "gcc" "src/explore/CMakeFiles/explore.dir/detector.cc.o.d"
+  "/root/repo/src/explore/explorer.cc" "src/explore/CMakeFiles/explore.dir/explorer.cc.o" "gcc" "src/explore/CMakeFiles/explore.dir/explorer.cc.o.d"
+  "/root/repo/src/explore/perturbers.cc" "src/explore/CMakeFiles/explore.dir/perturbers.cc.o" "gcc" "src/explore/CMakeFiles/explore.dir/perturbers.cc.o.d"
+  "/root/repo/src/explore/repro.cc" "src/explore/CMakeFiles/explore.dir/repro.cc.o" "gcc" "src/explore/CMakeFiles/explore.dir/repro.cc.o.d"
+  "/root/repo/src/explore/scenarios.cc" "src/explore/CMakeFiles/explore.dir/scenarios.cc.o" "gcc" "src/explore/CMakeFiles/explore.dir/scenarios.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pcr/CMakeFiles/pcr.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore.dir/detector.cc.o"
+  "CMakeFiles/explore.dir/detector.cc.o.d"
+  "CMakeFiles/explore.dir/explorer.cc.o"
+  "CMakeFiles/explore.dir/explorer.cc.o.d"
+  "CMakeFiles/explore.dir/perturbers.cc.o"
+  "CMakeFiles/explore.dir/perturbers.cc.o.d"
+  "CMakeFiles/explore.dir/repro.cc.o"
+  "CMakeFiles/explore.dir/repro.cc.o.d"
+  "CMakeFiles/explore.dir/scenarios.cc.o"
+  "CMakeFiles/explore.dir/scenarios.cc.o.d"
+  "libexplore.a"
+  "libexplore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

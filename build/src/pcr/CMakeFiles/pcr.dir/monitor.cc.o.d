@@ -247,5 +247,5 @@ src/pcr/CMakeFiles/pcr.dir/monitor.cc.o: /root/repo/src/pcr/monitor.cc \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h

@@ -249,10 +249,11 @@ src/world/CMakeFiles/world.dir/cedar_world.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/paradigm/rejuvenate.h \
- /root/repo/src/pcr/runtime.h /root/repo/src/pcr/interrupt.h \
- /root/repo/src/trace/census.h /root/repo/src/paradigm/serializer.h \
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/paradigm/rejuvenate.h /root/repo/src/pcr/runtime.h \
+ /root/repo/src/pcr/interrupt.h /root/repo/src/trace/census.h \
+ /root/repo/src/paradigm/serializer.h \
  /root/repo/src/paradigm/slack_process.h \
  /root/repo/src/paradigm/sleeper.h /root/repo/src/paradigm/fork_helpers.h \
  /root/repo/src/paradigm/one_shot.h /root/repo/src/world/events.h \

@@ -212,6 +212,9 @@ src/world/CMakeFiles/world.dir/gc.cc.o: /root/repo/src/world/gc.cc \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/paradigm/sleeper.h /root/repo/src/pcr/runtime.h \
+ /root/repo/src/pcr/condition.h /root/repo/src/pcr/ids.h \
+ /root/repo/src/pcr/monitor.h /root/repo/src/pcr/scheduler.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /usr/include/c++/12/random /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -239,16 +242,12 @@ src/world/CMakeFiles/world.dir/gc.cc.o: /root/repo/src/world/gc.cc \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/pcr/condition.h /root/repo/src/pcr/ids.h \
- /root/repo/src/pcr/monitor.h /root/repo/src/pcr/scheduler.h \
- /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/pcr/config.h /usr/include/c++/12/cstddef \
- /root/repo/src/pcr/errors.h /root/repo/src/pcr/fiber.h \
- /usr/include/ucontext.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/pcr/config.h \
+ /usr/include/c++/12/cstddef /root/repo/src/pcr/errors.h \
+ /root/repo/src/pcr/fiber.h /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/pcr/interrupt.h \
- /root/repo/src/trace/census.h
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/pcr/interrupt.h /root/repo/src/trace/census.h

@@ -332,10 +332,11 @@ tests/CMakeFiles/editor_test.dir/editor_test.cc.o: \
  /root/repo/src/pcr/errors.h /root/repo/src/pcr/fiber.h \
  /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/paradigm/one_shot.h \
- /root/repo/src/pcr/runtime.h /root/repo/src/pcr/interrupt.h \
- /root/repo/src/trace/census.h /root/repo/src/paradigm/rejuvenate.h \
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/paradigm/one_shot.h /root/repo/src/pcr/runtime.h \
+ /root/repo/src/pcr/interrupt.h /root/repo/src/trace/census.h \
+ /root/repo/src/paradigm/rejuvenate.h \
  /root/repo/src/paradigm/slack_process.h \
  /root/repo/src/paradigm/sleeper.h /root/repo/src/paradigm/work_queue.h \
  /root/repo/src/world/xserver.h /root/repo/src/trace/histogram.h

@@ -327,7 +327,7 @@ tests/CMakeFiles/fairshare_test.dir/fairshare_test.cc.o: \
  /root/repo/src/pcr/errors.h /root/repo/src/pcr/fiber.h \
  /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/pcr/runtime.h \
- /root/repo/src/pcr/condition.h /root/repo/src/pcr/monitor.h \
- /root/repo/src/trace/census.h
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/pcr/runtime.h /root/repo/src/pcr/condition.h \
+ /root/repo/src/pcr/monitor.h /root/repo/src/trace/census.h

@@ -329,8 +329,9 @@ tests/CMakeFiles/record_pipeline_test.dir/record_pipeline_test.cc.o: \
  /root/repo/src/pcr/errors.h /root/repo/src/pcr/fiber.h \
  /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/paradigm/pipeline.h \
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/paradigm/pipeline.h \
  /root/repo/src/paradigm/bounded_buffer.h /root/repo/src/paradigm/pump.h \
  /root/repo/src/pcr/runtime.h /root/repo/src/pcr/interrupt.h \
  /root/repo/src/trace/census.h /root/repo/src/trace/stats.h \

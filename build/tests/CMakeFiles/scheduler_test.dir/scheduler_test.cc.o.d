@@ -247,8 +247,9 @@ tests/CMakeFiles/scheduler_test.dir/scheduler_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
  /usr/include/x86_64-linux-gnu/sys/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/types/stack_t.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

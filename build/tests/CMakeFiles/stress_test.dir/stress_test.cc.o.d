@@ -328,11 +328,12 @@ tests/CMakeFiles/stress_test.dir/stress_test.cc.o: \
  /root/repo/src/pcr/errors.h /root/repo/src/pcr/fiber.h \
  /usr/include/ucontext.h \
  /usr/include/x86_64-linux-gnu/bits/indirect-return.h \
- /root/repo/src/pcr/stack.h /root/repo/src/trace/tracer.h \
- /root/repo/src/trace/event.h /root/repo/src/pcr/runtime.h \
- /root/repo/src/pcr/interrupt.h /root/repo/src/trace/census.h \
- /root/repo/src/trace/stats.h /root/repo/src/trace/histogram.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/pcr/stack.h /root/repo/src/pcr/perturber.h \
+ /root/repo/src/trace/tracer.h /root/repo/src/trace/event.h \
+ /root/repo/src/pcr/runtime.h /root/repo/src/pcr/interrupt.h \
+ /root/repo/src/trace/census.h /root/repo/src/trace/stats.h \
+ /root/repo/src/trace/histogram.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/trace/validate.h

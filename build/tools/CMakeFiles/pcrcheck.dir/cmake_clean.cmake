@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcrcheck.dir/pcrcheck.cc.o"
+  "CMakeFiles/pcrcheck.dir/pcrcheck.cc.o.d"
+  "pcrcheck"
+  "pcrcheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcrcheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,71 +5,25 @@
 // A scripted typist's keystrokes flow through an interrupt source into an imaging thread and a
 // high-priority X-buffer slack process, and finally into a model X server. Run twice — once
 // with the broken plain-YIELD slack policy, once with YieldButNotToMe — and compare what the
-// "user" experiences.
+// "user" experiences. The workload lives in example_scenarios.h so tests can re-run it
+// headlessly.
 
 #include <cstdio>
 
+#include "examples/example_scenarios.h"
 #include "src/paradigm/slack_process.h"
-#include "src/pcr/interrupt.h"
 #include "src/pcr/runtime.h"
-#include "src/world/xserver.h"
-
-namespace {
-
-void RunEcho(const char* label, paradigm::SlackPolicy policy) {
-  pcr::Runtime rt;
-  world::XServerModel server(rt, {/*per_flush=*/800, /*per_request=*/120});
-  pcr::InterruptSource keyboard(rt.scheduler(), "keyboard");
-
-  paradigm::SlackOptions options;
-  options.policy = policy;
-  options.priority = 5;  // the buffer thread outranks the imaging thread — that's the trap
-  paradigm::SlackProcess<world::PaintRequest> buffer(
-      rt, "x-buffer",
-      [&server](std::vector<world::PaintRequest>&& batch) { server.Send(batch); },
-      [](std::vector<world::PaintRequest>& batch) {
-        world::XServerModel::MergeOverlapping(batch);
-      },
-      options);
-
-  // The imaging thread: each keystroke re-renders the damaged line — a burst of ~20 paint
-  // requests a few hundred microseconds apart. Whether that burst reaches the server as one
-  // batch or twenty tiny flushes is exactly the Section 5.2 question.
-  rt.ForkDetached(
-      [&] {
-        int region = 0;
-        while (true) {
-          keyboard.Await();
-          for (int j = 0; j < 20; ++j) {
-            pcr::thisthread::Compute(180);
-            buffer.Submit(world::PaintRequest{rt.now(), 0, region++});
-          }
-        }
-      },
-      pcr::ForkOptions{.name = "imaging", .priority = 4});
-
-  // A 60-words-per-minute typist for five seconds.
-  for (int i = 0; i < 25; ++i) {
-    keyboard.PostAt((200 + i * 190) * pcr::kUsecPerMsec, static_cast<uint64_t>(i));
-  }
-  rt.RunFor(6 * pcr::kUsecPerSec);
-
-  std::printf("%-24s keystrokes=25  flushes=%-4lld mean-batch=%-5.1f mean-echo=%5.1f ms  "
-              "max-echo=%5.1f ms\n",
-              label, static_cast<long long>(server.flushes()), server.mean_batch(),
-              server.requests_received() > 0
-                  ? server.echo_latency().total_weight() / server.requests_received() / 1000.0
-                  : 0.0,
-              server.max_echo_latency() / 1000.0);
-  rt.Shutdown();
-}
-
-}  // namespace
 
 int main() {
   std::printf("Typing through the X-buffer slack process (Section 5.2):\n\n");
-  RunEcho("plain YIELD (broken):", paradigm::SlackPolicy::kYield);
-  RunEcho("YieldButNotToMe (fixed):", paradigm::SlackPolicy::kYieldButNotToMe);
+  {
+    pcr::Runtime rt;
+    examples::EchoPipelineBody(rt, paradigm::SlackPolicy::kYield, /*verbose=*/true);
+  }
+  {
+    pcr::Runtime rt;
+    examples::EchoPipelineBody(rt, paradigm::SlackPolicy::kYieldButNotToMe, /*verbose=*/true);
+  }
   std::printf("\nWith plain YIELD the high-priority buffer thread is immediately rescheduled:\n"
               "every keystroke becomes its own X flush. YieldButNotToMe cedes the processor\n"
               "until the next tick, so batches form and the server does far less work.\n");

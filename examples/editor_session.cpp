@@ -1,44 +1,19 @@
 // A full editor session on the showcase application: typing, a typo, undo, a crashing macro
 // that gets rejuvenated, and a guarded revert — with the thread-level statistics behind it.
+// The workload lives in example_scenarios.h so tests can re-run it headlessly.
 //
 // Build & run:  ./build/examples/editor_session
 
 #include <cstdio>
 
-#include "src/apps/editor.h"
+#include "examples/example_scenarios.h"
 #include "src/pcr/runtime.h"
 #include "src/trace/stats.h"
-#include "src/world/xserver.h"
 
 int main() {
   pcr::Runtime rt;
-  world::XServerModel xserver(rt);
-  apps::Editor editor(rt, xserver);
+  examples::EditorSessionBody(rt, /*verbose=*/true);
 
-  editor.TypeText("using threads in interactive systems\n", 200 * pcr::kUsecPerMsec, 25.0);
-  editor.TypeText("a case sstm ", 2200 * pcr::kUsecPerMsec, 25.0);  // note the typo
-  editor.PressUndoAt(3500 * pcr::kUsecPerMsec);                     // ...noticed too late
-  rt.RunFor(4 * pcr::kUsecPerSec);
-  editor.RunMacro("crash");   // a buggy user macro
-  editor.RunMacro("upcase");  // the engine must survive it
-  rt.RunFor(4 * pcr::kUsecPerSec);
-
-  std::printf("document after the session:\n");
-  for (const std::string& line : editor.Lines()) {
-    std::printf("  | %s\n", line.c_str());
-  }
-  const apps::EditorStats& s = editor.stats();
-  std::printf("\nkeystrokes=%lld edits=%lld undos=%lld autosaves=%lld spellchecks=%lld "
-              "(suspect=%lld)\nmacro crashes survived=%lld\n",
-              static_cast<long long>(s.keystrokes), static_cast<long long>(s.edits_applied),
-              static_cast<long long>(s.undos), static_cast<long long>(s.autosaves),
-              static_cast<long long>(s.spellcheck_passes),
-              static_cast<long long>(s.suspect_words),
-              static_cast<long long>(s.macro_crashes));
-  std::printf("screen: %lld paint requests in %lld batched flushes (max echo %.1f ms)\n",
-              static_cast<long long>(xserver.requests_received()),
-              static_cast<long long>(xserver.flushes()),
-              xserver.max_echo_latency() / 1000.0);
   trace::Summary summary = trace::Summarize(rt.tracer());
   std::printf("runtime:  %s\n", summary.ToString().c_str());
   return 0;

@@ -1,0 +1,302 @@
+// The example programs' workloads as reusable bodies.
+//
+// Each examples/*.cpp main() is a thin wrapper around one of these functions: the body takes a
+// Runtime (constructed by the caller, so tests control the Config/seed) plus a `verbose` flag
+// that gates all printing. With verbose=false the bodies are silent, deterministic workloads —
+// tests/determinism_test.cc runs each twice per seed and requires byte-identical traces, and
+// tools/pcrcheck can push them through the schedule explorer.
+//
+// Keep bodies self-contained: all monitors/CVs/objects are locals, and every body ends with
+// rt.Shutdown() so those locals outlive the threads referencing them.
+
+#ifndef EXAMPLES_EXAMPLE_SCENARIOS_H_
+#define EXAMPLES_EXAMPLE_SCENARIOS_H_
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/apps/editor.h"
+#include "src/paradigm/deadlock_avoider.h"
+#include "src/paradigm/defer.h"
+#include "src/paradigm/future.h"
+#include "src/paradigm/one_shot.h"
+#include "src/paradigm/rejuvenate.h"
+#include "src/paradigm/serializer.h"
+#include "src/paradigm/slack_process.h"
+#include "src/pcr/interrupt.h"
+#include "src/pcr/runtime.h"
+#include "src/world/xserver.h"
+
+namespace examples {
+
+// Quickstart: FORK/JOIN, a monitor + CV WAIT loop with timeouts, priorities (see
+// examples/quickstart.cpp for the narrated version).
+inline void QuickstartBody(pcr::Runtime& rt, bool verbose) {
+  pcr::MonitorLock lock(rt.scheduler(), "counter");
+  pcr::Condition nonzero(lock, "nonzero", /*timeout=*/200 * pcr::kUsecPerMsec);
+  int tokens = 0;
+
+  rt.ForkDetached(
+      [&] {
+        for (int i = 0; i < 5; ++i) {
+          pcr::thisthread::Compute(10 * pcr::kUsecPerMsec);
+          pcr::MonitorGuard guard(lock);
+          ++tokens;
+          nonzero.Notify();
+        }
+      },
+      pcr::ForkOptions{.name = "producer", .priority = 4});
+
+  rt.ForkDetached(
+      [&] {
+        for (int consumed = 0; consumed < 5;) {
+          pcr::MonitorGuard guard(lock);
+          while (tokens == 0) {
+            if (!nonzero.Wait() && verbose) {
+              std::printf("[%6.1f ms] consumer: wait timed out, rechecking\n",
+                          rt.now() / 1000.0);
+            }
+          }
+          --tokens;
+          ++consumed;
+          if (verbose) {
+            std::printf("[%6.1f ms] consumer: got token %d\n", rt.now() / 1000.0, consumed);
+          }
+        }
+      },
+      pcr::ForkOptions{.name = "consumer", .priority = 5});
+
+  paradigm::Future<long> sum;
+  rt.ForkDetached([&] {
+    sum = paradigm::ForkValue<long>(rt, [] {
+      long total = 0;
+      for (int i = 1; i <= 1000; ++i) {
+        total += i;
+      }
+      pcr::thisthread::Compute(pcr::kUsecPerMsec);
+      return total;
+    });
+    long value = sum.Get();
+    if (verbose) {
+      std::printf("[%6.1f ms] join returned %ld\n", rt.now() / 1000.0, value);
+    }
+  });
+
+  rt.RunUntilQuiescent(10 * pcr::kUsecPerSec);
+  rt.Shutdown();
+}
+
+// Guarded buttons (Section 4.3): scripted users against the press-twice button.
+inline void GuardedButtonsBody(pcr::Runtime& rt, bool verbose) {
+  auto label = [](paradigm::GuardedButton::Appearance appearance) {
+    return appearance == paradigm::GuardedButton::Appearance::kGuarded ? "Button!" : "Button";
+  };
+
+  int deletions = 0;
+  paradigm::GuardedButtonOptions options;
+  options.arming_period = 200 * pcr::kUsecPerMsec;
+  options.window = 2 * pcr::kUsecPerSec;
+  paradigm::GuardedButton button(rt, "delete-everything", [&] { ++deletions; }, options);
+
+  auto click_at = [&](pcr::Usec when, const char* who) {
+    rt.ForkDetached([&, when, who] {
+      pcr::thisthread::Sleep(when - pcr::thisthread::Now());
+      bool fired = button.Click();
+      if (verbose) {
+        std::printf("[%7.1f ms] %-28s -> %s  (appearance now '%s')\n", rt.now() / 1000.0, who,
+                    fired ? "ACTION INVOKED" : "no action", label(button.appearance()));
+      }
+    });
+  };
+
+  click_at(100 * pcr::kUsecPerMsec, "hasty: first click");
+  click_at(150 * pcr::kUsecPerMsec, "hasty: too-soon second click");
+  click_at(3000 * pcr::kUsecPerMsec, "careful: first click");
+  click_at(3500 * pcr::kUsecPerMsec, "careful: confirming click");
+  click_at(8000 * pcr::kUsecPerMsec, "slow: first click");
+
+  rt.RunFor(12 * pcr::kUsecPerSec);
+  if (verbose) {
+    std::printf("\nfinal appearance: '%s'; deletions performed: %d (expected 1)\n",
+                label(button.appearance()), deletions);
+  }
+  rt.Shutdown();
+}
+
+// The Section 5.2 keyboard-echo pipeline under one slack-process policy.
+inline void EchoPipelineBody(pcr::Runtime& rt, paradigm::SlackPolicy policy, bool verbose) {
+  world::XServerModel server(rt, {/*per_flush=*/800, /*per_request=*/120});
+  pcr::InterruptSource keyboard(rt.scheduler(), "keyboard");
+
+  paradigm::SlackOptions options;
+  options.policy = policy;
+  options.priority = 5;  // the buffer thread outranks the imaging thread — that's the trap
+  paradigm::SlackProcess<world::PaintRequest> buffer(
+      rt, "x-buffer",
+      [&server](std::vector<world::PaintRequest>&& batch) { server.Send(batch); },
+      [](std::vector<world::PaintRequest>& batch) {
+        world::XServerModel::MergeOverlapping(batch);
+      },
+      options);
+
+  rt.ForkDetached(
+      [&] {
+        int region = 0;
+        while (true) {
+          keyboard.Await();
+          for (int j = 0; j < 20; ++j) {
+            pcr::thisthread::Compute(180);
+            buffer.Submit(world::PaintRequest{rt.now(), 0, region++});
+          }
+        }
+      },
+      pcr::ForkOptions{.name = "imaging", .priority = 4});
+
+  for (int i = 0; i < 25; ++i) {
+    keyboard.PostAt((200 + i * 190) * pcr::kUsecPerMsec, static_cast<uint64_t>(i));
+  }
+  rt.RunFor(6 * pcr::kUsecPerSec);
+
+  if (verbose) {
+    const char* label = policy == paradigm::SlackPolicy::kYield ? "plain YIELD (broken):"
+                                                                : "YieldButNotToMe (fixed):";
+    std::printf("%-24s keystrokes=25  flushes=%-4lld mean-batch=%-5.1f mean-echo=%5.1f ms  "
+                "max-echo=%5.1f ms\n",
+                label, static_cast<long long>(server.flushes()), server.mean_batch(),
+                server.requests_received() > 0
+                    ? server.echo_latency().total_weight() / server.requests_received() / 1000.0
+                    : 0.0,
+                server.max_echo_latency() / 1000.0);
+  }
+  rt.Shutdown();
+}
+
+// Registry-friendly wrapper: the fixed policy (the interesting steady state).
+inline void EchoPipelineFixedBody(pcr::Runtime& rt, bool verbose) {
+  EchoPipelineBody(rt, paradigm::SlackPolicy::kYieldButNotToMe, verbose);
+}
+
+// The miniature window system: serializer + deadlock-avoider forks + rejuvenation + defer.
+inline void MiniWindowSystemBody(pcr::Runtime& rt, bool verbose) {
+  struct Window {
+    Window(pcr::Runtime& rt, int id)
+        : lock(rt.scheduler(), "window-" + std::to_string(id)), id(id) {}
+    pcr::MonitorLock lock;
+    int id;
+    int repaints = 0;
+  };
+
+  pcr::MonitorLock tree_lock(rt.scheduler(), "window-tree");
+  std::vector<std::unique_ptr<Window>> windows;
+  for (int i = 0; i < 3; ++i) {
+    windows.push_back(std::make_unique<Window>(rt, i));
+  }
+
+  paradigm::Serializer mbqueue(rt, "MBQueue");
+
+  auto adjust_boundary = [&](int left, int right) {
+    pcr::MonitorGuard tree(tree_lock);
+    pcr::thisthread::Compute(500);  // move the boundary
+    for (int w : {left, right}) {
+      paradigm::ForkWithLocks(
+          rt, {&windows[w]->lock, &tree_lock},
+          [&, w] {
+            pcr::thisthread::Compute(2 * pcr::kUsecPerMsec);  // repaint
+            ++windows[w]->repaints;
+            if (verbose) {
+              std::printf("[%7.1f ms] painter repainted window %d\n", rt.now() / 1000.0, w);
+            }
+          },
+          paradigm::AvoiderOptions{.name = "painter-" + std::to_string(w)});
+    }
+  };
+
+  int callbacks = 0;
+  paradigm::RejuvenatingTask dispatcher(rt, "dispatcher", [&] {
+    while (true) {
+      pcr::thisthread::Sleep(300 * pcr::kUsecPerMsec);
+      ++callbacks;
+      if (callbacks == 3) {
+        throw std::runtime_error("client callback dereferenced a dead viewer");
+      }
+      if (callbacks > 8) {
+        return;  // demo over
+      }
+    }
+  });
+
+  rt.ForkDetached([&] {
+    for (int i = 0; i < 4; ++i) {
+      pcr::thisthread::Sleep(400 * pcr::kUsecPerMsec);
+      mbqueue.Enqueue([&, i] { adjust_boundary(i % 3, (i + 1) % 3); });
+      paradigm::DeferWork(rt, [&] { pcr::thisthread::Compute(3 * pcr::kUsecPerMsec); },
+                          paradigm::DeferOptions{.name = "save-layout", .priority = 2});
+    }
+  });
+
+  rt.RunFor(5 * pcr::kUsecPerSec);
+
+  if (verbose) {
+    std::printf("\nrepaints per window:");
+    for (const auto& window : windows) {
+      std::printf("  w%d=%d", window->id, window->repaints);
+    }
+    std::printf("\ndispatcher callbacks=%d, rejuvenations=%lld (one buggy callback survived)\n",
+                callbacks, static_cast<long long>(dispatcher.rejuvenations()));
+  }
+  rt.Shutdown();
+}
+
+// The editor session: typing, undo, a crashing macro, and the screen pipeline.
+inline void EditorSessionBody(pcr::Runtime& rt, bool verbose) {
+  world::XServerModel xserver(rt);
+  apps::Editor editor(rt, xserver);
+
+  editor.TypeText("using threads in interactive systems\n", 200 * pcr::kUsecPerMsec, 25.0);
+  editor.TypeText("a case sstm ", 2200 * pcr::kUsecPerMsec, 25.0);  // note the typo
+  editor.PressUndoAt(3500 * pcr::kUsecPerMsec);                     // ...noticed too late
+  rt.RunFor(4 * pcr::kUsecPerSec);
+  editor.RunMacro("crash");   // a buggy user macro
+  editor.RunMacro("upcase");  // the engine must survive it
+  rt.RunFor(4 * pcr::kUsecPerSec);
+
+  if (verbose) {
+    std::printf("document after the session:\n");
+    for (const std::string& line : editor.Lines()) {
+      std::printf("  | %s\n", line.c_str());
+    }
+    const apps::EditorStats& s = editor.stats();
+    std::printf("\nkeystrokes=%lld edits=%lld undos=%lld autosaves=%lld spellchecks=%lld "
+                "(suspect=%lld)\nmacro crashes survived=%lld\n",
+                static_cast<long long>(s.keystrokes), static_cast<long long>(s.edits_applied),
+                static_cast<long long>(s.undos), static_cast<long long>(s.autosaves),
+                static_cast<long long>(s.spellcheck_passes),
+                static_cast<long long>(s.suspect_words),
+                static_cast<long long>(s.macro_crashes));
+    std::printf("screen: %lld paint requests in %lld batched flushes (max echo %.1f ms)\n",
+                static_cast<long long>(xserver.requests_received()),
+                static_cast<long long>(xserver.flushes()),
+                xserver.max_echo_latency() / 1000.0);
+  }
+  rt.Shutdown();
+}
+
+struct ExampleScenario {
+  const char* name;
+  void (*body)(pcr::Runtime& rt, bool verbose);
+};
+
+inline constexpr ExampleScenario kExampleScenarios[] = {
+    {"quickstart", QuickstartBody},
+    {"guarded_buttons", GuardedButtonsBody},
+    {"echo_pipeline", EchoPipelineFixedBody},
+    {"mini_window_system", MiniWindowSystemBody},
+    {"editor_session", EditorSessionBody},
+};
+
+}  // namespace examples
+
+#endif  // EXAMPLES_EXAMPLE_SCENARIOS_H_

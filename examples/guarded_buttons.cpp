@@ -4,53 +4,14 @@
 //
 // A guarded button "must be pressed twice, in close, but not too close succession". This
 // example scripts four users: one too hasty, one correct, one too slow, and one who changes
-// their mind, and shows the button's appearance transitions driven by forked one-shots.
+// their mind, and shows the button's appearance transitions driven by forked one-shots. The
+// workload lives in example_scenarios.h so tests can re-run it headlessly.
 
-#include <cstdio>
-
-#include "src/paradigm/one_shot.h"
+#include "examples/example_scenarios.h"
 #include "src/pcr/runtime.h"
-
-namespace {
-
-const char* Label(paradigm::GuardedButton::Appearance appearance) {
-  return appearance == paradigm::GuardedButton::Appearance::kGuarded ? "Button!" : "Button";
-}
-
-}  // namespace
 
 int main() {
   pcr::Runtime rt;
-  int deletions = 0;
-  paradigm::GuardedButtonOptions options;
-  options.arming_period = 200 * pcr::kUsecPerMsec;
-  options.window = 2 * pcr::kUsecPerSec;
-  paradigm::GuardedButton button(rt, "delete-everything", [&] { ++deletions; }, options);
-
-  auto click_at = [&](pcr::Usec when, const char* who) {
-    rt.ForkDetached([&, when, who] {
-      pcr::thisthread::Sleep(when - pcr::thisthread::Now());
-      bool fired = button.Click();
-      std::printf("[%7.1f ms] %-28s -> %s  (appearance now '%s')\n", rt.now() / 1000.0, who,
-                  fired ? "ACTION INVOKED" : "no action", Label(button.appearance()));
-    });
-  };
-
-  // Hasty user: second click inside the arming period is ignored.
-  click_at(100 * pcr::kUsecPerMsec, "hasty: first click");
-  click_at(150 * pcr::kUsecPerMsec, "hasty: too-soon second click");
-
-  // Correct user: waits out the arming period, confirms inside the window.
-  click_at(3000 * pcr::kUsecPerMsec, "careful: first click");
-  click_at(3500 * pcr::kUsecPerMsec, "careful: confirming click");
-
-  // Slow user: the armed window expires and the button repaints to guarded.
-  click_at(8000 * pcr::kUsecPerMsec, "slow: first click");
-  // (no second click; watch the appearance revert)
-
-  rt.RunFor(12 * pcr::kUsecPerSec);
-  std::printf("\nfinal appearance: '%s'; deletions performed: %d (expected 1)\n",
-              Label(button.appearance()), deletions);
-  rt.Shutdown();
+  examples::GuardedButtonsBody(rt, /*verbose=*/true);
   return 0;
 }

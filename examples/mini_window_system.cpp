@@ -1,95 +1,16 @@
 // A miniature window system exercising four paradigms together: a serializer (MBQueue) for
 // input, deadlock-avoider forks for repaints (Section 4.4's boundary-adjustment scenario), a
 // task-rejuvenating dispatcher surviving buggy client callbacks (Section 4.5), and deferred
-// work for the slow parts.
+// work for the slow parts. The workload lives in example_scenarios.h so tests can re-run it
+// headlessly.
 //
 // Build & run:  ./build/examples/mini_window_system
 
-#include <cstdio>
-#include <stdexcept>
-#include <vector>
-
-#include "src/paradigm/deadlock_avoider.h"
-#include "src/paradigm/defer.h"
-#include "src/paradigm/rejuvenate.h"
-#include "src/paradigm/serializer.h"
+#include "examples/example_scenarios.h"
 #include "src/pcr/runtime.h"
-
-namespace {
-
-struct Window {
-  explicit Window(pcr::Runtime& rt, int id)
-      : lock(rt.scheduler(), "window-" + std::to_string(id)), id(id) {}
-  pcr::MonitorLock lock;
-  int id;
-  int repaints = 0;
-};
-
-}  // namespace
 
 int main() {
   pcr::Runtime rt;
-  pcr::MonitorLock tree_lock(rt.scheduler(), "window-tree");
-  std::vector<std::unique_ptr<Window>> windows;
-  for (int i = 0; i < 3; ++i) {
-    windows.push_back(std::make_unique<Window>(rt, i));
-  }
-
-  // The MBQueue: mouse clicks and keystrokes become procedures executed in arrival order.
-  paradigm::Serializer mbqueue(rt, "MBQueue");
-
-  // Adjusting the boundary between two windows: the adjuster holds the tree lock and cannot
-  // take the window-content locks in order, so it forks painters that can (Section 4.4).
-  auto adjust_boundary = [&](int left, int right) {
-    pcr::MonitorGuard tree(tree_lock);
-    pcr::thisthread::Compute(500);  // move the boundary
-    for (int w : {left, right}) {
-      paradigm::ForkWithLocks(
-          rt, {&windows[w]->lock, &tree_lock},
-          [&, w] {
-            pcr::thisthread::Compute(2 * pcr::kUsecPerMsec);  // repaint
-            ++windows[w]->repaints;
-            std::printf("[%7.1f ms] painter repainted window %d\n", rt.now() / 1000.0, w);
-          },
-          paradigm::AvoiderOptions{.name = "painter-" + std::to_string(w)});
-    }
-  };
-
-  // A dispatcher making unforked client callbacks; the third callback is buggy. Task
-  // rejuvenation forks a fresh dispatcher and the system keeps running.
-  int callbacks = 0;
-  paradigm::RejuvenatingTask dispatcher(rt, "dispatcher", [&] {
-    while (true) {
-      pcr::thisthread::Sleep(300 * pcr::kUsecPerMsec);
-      ++callbacks;
-      if (callbacks == 3) {
-        throw std::runtime_error("client callback dereferenced a dead viewer");
-      }
-      if (callbacks > 8) {
-        return;  // demo over
-      }
-    }
-  });
-
-  // Script some user activity through the MBQueue.
-  rt.ForkDetached([&] {
-    for (int i = 0; i < 4; ++i) {
-      pcr::thisthread::Sleep(400 * pcr::kUsecPerMsec);
-      mbqueue.Enqueue([&, i] { adjust_boundary(i % 3, (i + 1) % 3); });
-      // Saving the layout is not needed for the click to return: defer it.
-      paradigm::DeferWork(rt, [&] { pcr::thisthread::Compute(3 * pcr::kUsecPerMsec); },
-                          paradigm::DeferOptions{.name = "save-layout", .priority = 2});
-    }
-  });
-
-  rt.RunFor(5 * pcr::kUsecPerSec);
-
-  std::printf("\nrepaints per window:");
-  for (const auto& window : windows) {
-    std::printf("  w%d=%d", window->id, window->repaints);
-  }
-  std::printf("\ndispatcher callbacks=%d, rejuvenations=%lld (one buggy callback survived)\n",
-              callbacks, static_cast<long long>(dispatcher.rejuvenations()));
-  rt.Shutdown();
+  examples::MiniWindowSystemBody(rt, /*verbose=*/true);
   return 0;
 }

@@ -4,67 +4,18 @@
 //
 // Shows FORK/JOIN, a monitor with a condition variable (WAIT-in-a-loop), timeouts, priorities,
 // and reading the run's statistics afterwards — everything else in this repository builds on
-// these primitives.
+// these primitives. The workload itself lives in example_scenarios.h so tests can re-run it
+// headlessly (determinism checks, schedule exploration).
 
 #include <cstdio>
 
-#include "src/paradigm/future.h"
+#include "examples/example_scenarios.h"
 #include "src/pcr/runtime.h"
 #include "src/trace/stats.h"
 
 int main() {
   pcr::Runtime rt;  // virtual-time runtime: deterministic, no OS threads involved
-
-  // A monitored bounded counter, Mesa style: one lock, one condition variable per condition.
-  pcr::MonitorLock lock(rt.scheduler(), "counter");
-  pcr::Condition nonzero(lock, "nonzero", /*timeout=*/200 * pcr::kUsecPerMsec);
-  int tokens = 0;
-
-  // Producer: deposits a token every ~10 ms of simulated work.
-  rt.ForkDetached(
-      [&] {
-        for (int i = 0; i < 5; ++i) {
-          pcr::thisthread::Compute(10 * pcr::kUsecPerMsec);
-          pcr::MonitorGuard guard(lock);
-          ++tokens;
-          nonzero.Notify();
-        }
-      },
-      pcr::ForkOptions{.name = "producer", .priority = 4});
-
-  // Consumer: the prototypical WAIT loop ("WHILE NOT condition DO WAIT", Section 5.3).
-  rt.ForkDetached(
-      [&] {
-        for (int consumed = 0; consumed < 5;) {
-          pcr::MonitorGuard guard(lock);
-          while (tokens == 0) {
-            if (!nonzero.Wait()) {
-              std::printf("[%6.1f ms] consumer: wait timed out, rechecking\n",
-                          rt.now() / 1000.0);
-            }
-          }
-          --tokens;
-          ++consumed;
-          std::printf("[%6.1f ms] consumer: got token %d\n", rt.now() / 1000.0, consumed);
-        }
-      },
-      pcr::ForkOptions{.name = "consumer", .priority = 5});
-
-  // Typed fork/join: Mesa's FORK returns a value through JOIN.
-  paradigm::Future<long> sum;
-  rt.ForkDetached([&] {
-    sum = paradigm::ForkValue<long>(rt, [] {
-      long total = 0;
-      for (int i = 1; i <= 1000; ++i) {
-        total += i;
-      }
-      pcr::thisthread::Compute(pcr::kUsecPerMsec);
-      return total;
-    });
-    std::printf("[%6.1f ms] join returned %ld\n", rt.now() / 1000.0, sum.Get());
-  });
-
-  rt.RunUntilQuiescent(10 * pcr::kUsecPerSec);
+  examples::QuickstartBody(rt, /*verbose=*/true);
 
   trace::Summary stats = trace::Summarize(rt.tracer());
   std::printf("\nrun summary: %s\n", stats.ToString().c_str());

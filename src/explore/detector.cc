@@ -1,0 +1,335 @@
+#include "src/explore/detector.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace explore {
+
+namespace {
+
+using trace::Event;
+using trace::EventType;
+using trace::ObjectId;
+using trace::ThreadId;
+using trace::Usec;
+
+// Sparse vector clock: thread -> logical time. Small maps (thread counts in these tests are
+// tens, not thousands), so flat storage keeps it cheap to copy at access points.
+using VectorClock = std::unordered_map<ThreadId, uint64_t>;
+
+void Join(VectorClock* into, const VectorClock& from) {
+  for (const auto& [tid, clock] : from) {
+    uint64_t& slot = (*into)[tid];
+    slot = std::max(slot, clock);
+  }
+}
+
+// True when the access stamped with `vc_a` by `thread_a` happens-before the later access
+// stamped with `vc_b`.
+bool HappensBefore(ThreadId thread_a, const VectorClock& vc_a, const VectorClock& vc_b) {
+  auto own = vc_a.find(thread_a);
+  if (own == vc_a.end()) {
+    return true;  // degenerate: no clock, treat as ordered
+  }
+  auto seen = vc_b.find(thread_a);
+  return seen != vc_b.end() && seen->second >= own->second;
+}
+
+using Lockset = std::vector<ObjectId>;  // sorted
+
+bool Disjoint(const Lockset& a, const Lockset& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) {
+      return false;
+    }
+    (*ia < *ib) ? ++ia : ++ib;
+  }
+  return true;
+}
+
+struct Access {
+  ThreadId thread;
+  bool is_write;
+  Lockset locks;
+  VectorClock vc;
+  Usec time;
+};
+
+struct CellState {
+  std::vector<Access> accesses;  // capped, deduped by (thread, is_write, lockset)
+  bool reported = false;
+};
+
+struct CvState {
+  int64_t waits_started = 0;
+  int64_t timeouts = 0;
+  int64_t notified = 0;
+  int64_t notifies = 0;       // NOTIFY ops issued
+  int64_t notifies_woke = 0;  // NOTIFY ops that woke someone
+  Usec last_time = 0;
+};
+
+struct BroadcastGroup {
+  ObjectId cv = 0;
+  Usec time = 0;
+  uint64_t woken = 0;
+  uint64_t unassigned = 0;  // kCvNotified events still to attribute to this broadcast
+  uint64_t left_without_rewait = 0;
+};
+
+// What a broadcast-woken thread is doing between its kCvNotified and the verdict.
+struct WokenState {
+  size_t group = 0;          // index into groups
+  ObjectId cv = 0;
+  ObjectId home_monitor = 0;  // first monitor re-entered after the wakeup; 0 until seen
+};
+
+}  // namespace
+
+std::string_view FindingKindName(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kUnprotectedSharedAccess:
+      return "unprotected-shared-access";
+    case FindingKind::kWaitNotInLoop:
+      return "wait-not-in-loop";
+    case FindingKind::kTimeoutDrivenCv:
+      return "timeout-driven-cv";
+    case FindingKind::kNotifyWithoutWaiter:
+      return "notify-without-waiter";
+  }
+  return "unknown";
+}
+
+std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOptions& options) {
+  std::vector<Finding> findings;
+
+  std::unordered_map<ThreadId, VectorClock> clocks;
+  std::unordered_map<ThreadId, Lockset> held;
+  std::unordered_map<ObjectId, VectorClock> monitor_release;
+  std::unordered_map<ObjectId, VectorClock> cv_signal;
+  std::unordered_map<ObjectId, CellState> cells;
+  std::map<ObjectId, CvState> cvs;
+  std::vector<BroadcastGroup> groups;
+  std::unordered_map<ObjectId, std::vector<size_t>> pending_groups;  // cv -> group indices
+  std::unordered_map<ThreadId, WokenState> woken;
+
+  auto tick = [&clocks](ThreadId tid) { ++clocks[tid][tid]; };
+
+  for (const Event& e : tracer.events()) {
+    ThreadId t = e.thread;
+    switch (e.type) {
+      case EventType::kThreadFork: {
+        // The child starts with everything the parent has done so far.
+        auto child = static_cast<ThreadId>(e.object);
+        tick(t);
+        clocks[child] = clocks[t];
+        tick(child);
+        break;
+      }
+      case EventType::kThreadJoin:
+        // Everything the joined thread did is now ordered before the joiner's future.
+        Join(&clocks[t], clocks[static_cast<ThreadId>(e.object)]);
+        tick(t);
+        break;
+      case EventType::kMlEnter: {
+        Lockset& locks = held[t];
+        auto it = std::lower_bound(locks.begin(), locks.end(), e.object);
+        if (it == locks.end() || *it != e.object) {
+          locks.insert(it, e.object);
+        }
+        auto release = monitor_release.find(e.object);
+        if (release != monitor_release.end()) {
+          Join(&clocks[t], release->second);
+        }
+        tick(t);
+        if (auto w = woken.find(t); w != woken.end() && w->second.home_monitor == 0) {
+          w->second.home_monitor = e.object;  // the re-acquire after a CV wakeup
+        }
+        break;
+      }
+      case EventType::kMlExit: {
+        Lockset& locks = held[t];
+        auto it = std::lower_bound(locks.begin(), locks.end(), e.object);
+        if (it != locks.end() && *it == e.object) {
+          locks.erase(it);
+        }
+        tick(t);
+        monitor_release[e.object] = clocks[t];
+        if (auto w = woken.find(t);
+            w != woken.end() && w->second.home_monitor == e.object) {
+          // Left the monitor without re-WAITing: proceeded on a once-checked predicate.
+          ++groups[w->second.group].left_without_rewait;
+          woken.erase(w);
+        }
+        break;
+      }
+      case EventType::kCvWait:
+        ++cvs[e.object].waits_started;
+        cvs[e.object].last_time = e.time_us;
+        tick(t);
+        if (auto w = woken.find(t); w != woken.end() && w->second.cv == e.object) {
+          woken.erase(w);  // re-checked and re-waited: the loop convention in action
+        }
+        break;
+      case EventType::kCvTimeout:
+        ++cvs[e.object].timeouts;
+        cvs[e.object].last_time = e.time_us;
+        tick(t);
+        break;
+      case EventType::kCvNotified: {
+        CvState& cv = cvs[e.object];
+        ++cv.notified;
+        cv.last_time = e.time_us;
+        auto signal = cv_signal.find(e.object);
+        if (signal != cv_signal.end()) {
+          Join(&clocks[t], signal->second);  // the notifier's past is ordered before us
+        }
+        tick(t);
+        auto pending = pending_groups.find(e.object);
+        if (pending != pending_groups.end() && !pending->second.empty()) {
+          size_t g = pending->second.front();
+          if (--groups[g].unassigned == 0) {
+            pending->second.erase(pending->second.begin());
+          }
+          woken[t] = WokenState{g, e.object, 0};
+        }
+        break;
+      }
+      case EventType::kCvNotify: {
+        CvState& cv = cvs[e.object];
+        ++cv.notifies;
+        if (e.arg > 0) {
+          ++cv.notifies_woke;
+        }
+        cv.last_time = e.time_us;
+        tick(t);
+        cv_signal[e.object] = clocks[t];
+        break;
+      }
+      case EventType::kCvBroadcast: {
+        CvState& cv = cvs[e.object];
+        ++cv.notifies;
+        if (e.arg > 0) {
+          ++cv.notifies_woke;
+        }
+        cv.last_time = e.time_us;
+        tick(t);
+        cv_signal[e.object] = clocks[t];
+        if (e.arg >= 2) {
+          groups.push_back(BroadcastGroup{e.object, e.time_us, e.arg, e.arg, 0});
+          pending_groups[e.object].push_back(groups.size() - 1);
+        }
+        break;
+      }
+      case EventType::kSharedRead:
+      case EventType::kSharedWrite: {
+        if (t == 0) {
+          break;  // host-context setup accesses are not schedulable
+        }
+        bool is_write = e.type == EventType::kSharedWrite;
+        tick(t);
+        CellState& cell = cells[e.object];
+        const Lockset& locks = held[t];
+        // Dedup by (thread, kind, lockset), keeping the first and the latest access per key:
+        // the first catches races against earlier accesses, the latest keeps the clock fresh
+        // for races against later ones. Without this, spin-loop reads would blow up the pass.
+        Access* latest = nullptr;
+        int matches = 0;
+        for (auto it = cell.accesses.rbegin(); it != cell.accesses.rend(); ++it) {
+          if (it->thread == t && it->is_write == is_write && it->locks == locks) {
+            if (latest == nullptr) {
+              latest = &*it;
+            }
+            ++matches;
+          }
+        }
+        if (matches >= 2) {
+          *latest = Access{t, is_write, locks, clocks[t], e.time_us};  // refresh latest slot
+        } else if (cell.accesses.size() < options.max_access_summaries) {
+          cell.accesses.push_back(Access{t, is_write, locks, clocks[t], e.time_us});
+        }
+        break;
+      }
+      default:
+        if (t != 0) {
+          tick(t);
+        }
+        break;
+    }
+  }
+
+  // Race check: any unordered, lock-disjoint, read-write or write-write pair per cell.
+  for (auto& [cell_id, cell] : cells) {
+    for (size_t i = 0; i < cell.accesses.size() && !cell.reported; ++i) {
+      for (size_t j = i + 1; j < cell.accesses.size(); ++j) {
+        const Access& a = cell.accesses[i];
+        const Access& b = cell.accesses[j];
+        if (a.thread == b.thread || (!a.is_write && !b.is_write) || !Disjoint(a.locks, b.locks)) {
+          continue;
+        }
+        if (HappensBefore(a.thread, a.vc, b.vc) || HappensBefore(b.thread, b.vc, a.vc)) {
+          continue;
+        }
+        std::ostringstream detail;
+        detail << "cell " << cell_id << ": " << (a.is_write ? "write" : "read") << " by thread "
+               << a.thread << " at " << a.time << "us races with "
+               << (b.is_write ? "write" : "read") << " by thread " << b.thread << " at "
+               << b.time << "us (no common lock, no happens-before order)";
+        findings.push_back(Finding{FindingKind::kUnprotectedSharedAccess, cell_id, a.thread,
+                                   b.thread, b.time, detail.str()});
+        cell.reported = true;
+        break;
+      }
+    }
+  }
+
+  for (const BroadcastGroup& group : groups) {
+    if (group.left_without_rewait >= 2) {
+      std::ostringstream detail;
+      detail << "broadcast on cv " << group.cv << " at " << group.time << "us woke "
+             << group.woken << " waiters and " << group.left_without_rewait
+             << " left the monitor without re-checking (WAIT not in a loop?)";
+      findings.push_back(
+          Finding{FindingKind::kWaitNotInLoop, group.cv, 0, 0, group.time, detail.str()});
+    }
+  }
+
+  for (const auto& [cv_id, cv] : cvs) {
+    if (cv.timeouts >= options.timeout_driven_min_waits && cv.notified == 0) {
+      std::ostringstream detail;
+      detail << "cv " << cv_id << ": all " << cv.timeouts
+             << " completed waits ended by timeout, none by notify — timeout driven "
+                "(missing NOTIFY?)";
+      findings.push_back(
+          Finding{FindingKind::kTimeoutDrivenCv, cv_id, 0, 0, cv.last_time, detail.str()});
+    }
+    // Requires >= 2 waits: a thread that waits and is never woken hangs in its first WAIT, so
+    // repeated waits alongside all-no-op notifies means timeouts are doing the waking — a
+    // genuinely missed rendezvous, not a schedule that merely delayed one waiter.
+    if (cv.notifies >= options.notify_no_waiter_min && cv.notifies_woke == 0 &&
+        cv.waits_started >= 2) {
+      std::ostringstream detail;
+      detail << "cv " << cv_id << ": " << cv.notifies << " notifies woke nobody while "
+             << cv.waits_started << " waits were issued — notify and wait never met";
+      findings.push_back(
+          Finding{FindingKind::kNotifyWithoutWaiter, cv_id, 0, 0, cv.last_time, detail.str()});
+    }
+  }
+
+  return findings;
+}
+
+std::string RenderFindings(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << "[" << FindingKindName(f.kind) << "] " << f.detail << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace explore

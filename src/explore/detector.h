@@ -1,0 +1,71 @@
+// Post-run race and invariant detection over a recorded trace.
+//
+// The runtime already emits an event for every scheduler-visible action (trace/event.h); this
+// module replays that stream through a lockset + vector-clock analysis and reports the bug
+// patterns the paper catalogues:
+//
+//   * Unprotected shared access (Section 5.5): an Eraser-style lockset over weakly-ordered
+//     kSharedRead/kSharedWrite accesses, filtered by a fork/join/notify happens-before check so
+//     deliberately sequenced lock-free code is not flagged.
+//   * WAIT-without-loop candidates (Section 5.3): one BROADCAST wakes several waiters and two or
+//     more of them leave the monitor without re-checking (re-WAITing) — with one condition
+//     instance per wakeup, somebody proceeded on a stale predicate.
+//   * Timeout-driven condition variables (Section 5.3): every completed WAIT on a CV ended by
+//     timeout — "timeouts had been introduced to compensate for missing NOTIFYs (bugs) ... the
+//     system becomes timeout driven: it apparently works correctly but slowly".
+//   * Notifies that never wake anyone (missed-rendezvous candidates).
+//
+// All detectors are heuristics over observable behaviour — they name *candidates* with enough
+// context (object ids, thread ids, event times) to judge, and the Explorer treats them as
+// failures only where a scenario opts in.
+
+#ifndef SRC_EXPLORE_DETECTOR_H_
+#define SRC_EXPLORE_DETECTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/trace/tracer.h"
+
+namespace explore {
+
+enum class FindingKind : uint8_t {
+  kUnprotectedSharedAccess,  // racing accesses to a weakmem cell
+  kWaitNotInLoop,            // broadcast-woken waiters proceeded without rechecking
+  kTimeoutDrivenCv,          // all waits on a CV completed by timeout
+  kNotifyWithoutWaiter,      // all notifies on a waited-on CV woke nobody
+};
+
+std::string_view FindingKindName(FindingKind kind);
+
+struct Finding {
+  FindingKind kind;
+  trace::ObjectId object = 0;   // cell / CV the finding is about
+  trace::ThreadId thread_a = 0;
+  trace::ThreadId thread_b = 0;
+  trace::Usec time_us = 0;      // representative event time
+  std::string detail;           // human-readable one-liner
+
+  // Stable identity for dedup across schedules.
+  bool SameBug(const Finding& other) const {
+    return kind == other.kind && object == other.object;
+  }
+};
+
+struct DetectorOptions {
+  // Minimum completed (all-timeout) waits before a CV is called timeout driven.
+  int timeout_driven_min_waits = 3;
+  // Minimum no-op notifies before a CV is called a missed rendezvous.
+  int notify_no_waiter_min = 3;
+  // Per-cell cap on distinct (thread, lockset, kind) access summaries kept for the race check.
+  size_t max_access_summaries = 64;
+};
+
+std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOptions& options = {});
+
+// Multi-line human-readable report ("" when empty).
+std::string RenderFindings(const std::vector<Finding>& findings);
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_DETECTOR_H_

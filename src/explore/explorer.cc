@@ -1,0 +1,222 @@
+#include "src/explore/explorer.h"
+
+#include <algorithm>
+#include <random>
+#include <utility>
+
+#include "src/explore/hash.h"
+#include "src/pcr/errors.h"
+
+namespace explore {
+
+namespace {
+
+std::vector<Decision> TrimTrailingDefaults(std::vector<Decision> decisions) {
+  while (!decisions.empty() && decisions.back() == 0) {
+    decisions.pop_back();
+  }
+  return decisions;
+}
+
+}  // namespace
+
+Explorer::Explorer(ExploreOptions options) : options_(std::move(options)) {}
+
+ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const TestBody& body) {
+  pcr::Config config = options_.base_config;
+  config.seed = plan.runtime_seed;
+  config.trace_events = true;  // the trace is the whole point
+
+  ScheduleOutcome outcome;
+  outcome.schedule_index = schedule_index;
+
+  RecordingPerturber recorder(plan.policy);
+  ReplayPerturber replayer(plan.replay);
+
+  pcr::Runtime rt(config);
+  TestContext ctx;
+  if (plan.replay_mode) {
+    rt.scheduler().set_perturber(&replayer);
+  } else {
+    rt.scheduler().set_perturber(&recorder);
+  }
+  try {
+    body(rt, ctx);
+  } catch (const std::exception& e) {
+    ctx.Fail(std::string("uncaught exception: ") + e.what());
+  }
+  rt.Shutdown();
+  rt.scheduler().set_perturber(nullptr);
+
+  outcome.findings = AnalyzeTrace(rt.tracer(), options_.detector);
+  outcome.trace_hash = TraceHash(rt.tracer());
+  outcome.failures = ctx.failures();
+  if (options_.fail_on_findings) {
+    for (const Finding& f : outcome.findings) {
+      outcome.failures.push_back(std::string(FindingKindName(f.kind)) + ": " + f.detail);
+    }
+  }
+  outcome.failed = !outcome.failures.empty();
+  outcome.preempt_points = recorder.preempt_points_seen();
+
+  std::vector<Decision> decisions = TrimTrailingDefaults(
+      plan.replay_mode ? replayer.consumed() : recorder.decisions());
+  outcome.repro = EncodeRepro(options_.scenario_name, plan.runtime_seed, decisions);
+  return outcome;
+}
+
+bool Explorer::SameFailure(const ScheduleOutcome& a, const ScheduleOutcome& b) {
+  if (!a.failed || !b.failed) {
+    return false;
+  }
+  if (!a.findings.empty() && !b.findings.empty()) {
+    return a.findings.front().SameBug(b.findings.front());
+  }
+  if (a.findings.empty() != b.findings.empty()) {
+    return false;
+  }
+  // No detector findings on either side: fall back to the first assertion message. Messages
+  // embed stable text per Check call site, so this groups failures by which check tripped.
+  return !a.failures.empty() && !b.failures.empty() && a.failures.front() == b.failures.front();
+}
+
+ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBody& body) {
+  std::string scenario;
+  uint64_t runtime_seed = 0;
+  std::vector<Decision> decisions;
+  if (!DecodeRepro(outcome.repro, &scenario, &runtime_seed, &decisions)) {
+    return outcome;  // shouldn't happen: we produced the string ourselves
+  }
+
+  int replays_left = 128;
+  auto still_fails = [&](const std::vector<Decision>& candidate, ScheduleOutcome* result) {
+    if (replays_left <= 0) {
+      return false;
+    }
+    --replays_left;
+    Plan plan;
+    plan.runtime_seed = runtime_seed;
+    plan.replay = candidate;
+    plan.replay_mode = true;
+    ScheduleOutcome attempt = RunPlan(plan, outcome.schedule_index, body);
+    if (SameFailure(outcome, attempt)) {
+      *result = std::move(attempt);
+      return true;
+    }
+    return false;
+  };
+
+  ScheduleOutcome best = outcome;
+  std::vector<Decision> current = decisions;
+
+  // Phase 1: binary-search the shortest failing prefix (defaults past the cut).
+  size_t lo = 0;
+  size_t hi = current.size();
+  while (lo < hi && replays_left > 0) {
+    size_t mid = lo + (hi - lo) / 2;
+    std::vector<Decision> prefix(current.begin(), current.begin() + mid);
+    ScheduleOutcome attempt;
+    if (still_fails(prefix, &attempt)) {
+      hi = mid;
+      best = std::move(attempt);
+    } else {
+      lo = mid + 1;
+    }
+  }
+  current.resize(std::min(current.size(), hi));
+
+  // Phase 2: zero individual non-default decisions, last first (late perturbations are the
+  // likeliest to be incidental).
+  for (size_t i = current.size(); i-- > 0 && replays_left > 0;) {
+    if (current[i] == 0) {
+      continue;
+    }
+    std::vector<Decision> candidate = current;
+    candidate[i] = 0;
+    ScheduleOutcome attempt;
+    if (still_fails(candidate, &attempt)) {
+      current = std::move(candidate);
+      best = std::move(attempt);
+    }
+  }
+  return best;
+}
+
+ScheduleOutcome Explorer::Replay(const std::string& repro, const TestBody& body) {
+  std::string scenario;
+  Plan plan;
+  plan.replay_mode = true;
+  if (!DecodeRepro(repro, &scenario, &plan.runtime_seed, &plan.replay)) {
+    throw pcr::UsageError("malformed repro string: " + repro);
+  }
+  return RunPlan(plan, -1, body);
+}
+
+ExploreResult Explorer::Explore(const TestBody& body) {
+  ExploreResult result;
+  std::mt19937_64 master(options_.seed);
+  std::vector<uint64_t> hashes;
+
+  auto note_hash = [&hashes](uint64_t h) {
+    if (std::find(hashes.begin(), hashes.end(), h) == hashes.end()) {
+      hashes.push_back(h);
+    }
+  };
+
+  // Schedule 0: the unperturbed baseline. Its horizon seeds PCT change-point placement.
+  Plan baseline_plan;
+  baseline_plan.runtime_seed = options_.base_config.seed;
+  result.baseline = RunPlan(baseline_plan, 0, body);
+  result.schedules_run = 1;
+  note_hash(result.baseline.trace_hash);
+  uint64_t horizon = std::max<uint64_t>(result.baseline.preempt_points, 16);
+
+  if (result.baseline.failed) {
+    ScheduleOutcome failure = result.baseline;
+    if (options_.minimize) {
+      failure = Minimize(failure, body);
+    }
+    result.failures.push_back(std::move(failure));
+  }
+
+  for (int i = 1; i < options_.budget && result.failures.size() < options_.max_failures; ++i) {
+    Plan plan;
+    plan.runtime_seed =
+        options_.sweep_runtime_seed ? (master() | 1) : options_.base_config.seed;
+    plan.policy.seed = master();
+    plan.policy.preempt_probability = options_.preempt_probability;
+    plan.policy.shuffle_probability = options_.shuffle_probability;
+    // PCT-style depth: schedule i gets i % 4 guaranteed change points within the horizon
+    // observed so far. Depth cycles 0..3 so shallow bugs are not starved by deep probing.
+    int depth = i % 4;
+    for (int d = 0; d < depth; ++d) {
+      plan.policy.change_points.push_back(master() % horizon);
+    }
+
+    ScheduleOutcome outcome = RunPlan(plan, i, body);
+    ++result.schedules_run;
+    note_hash(outcome.trace_hash);
+    horizon = std::max(horizon, outcome.preempt_points);
+
+    if (outcome.failed) {
+      bool duplicate = false;
+      for (const ScheduleOutcome& known : result.failures) {
+        if (SameFailure(known, outcome)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        if (options_.minimize) {
+          outcome = Minimize(outcome, body);
+        }
+        result.failures.push_back(std::move(outcome));
+      }
+    }
+  }
+
+  result.distinct_schedules = static_cast<int>(hashes.size());
+  return result;
+}
+
+}  // namespace explore

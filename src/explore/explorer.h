@@ -1,0 +1,122 @@
+// Schedule exploration: run one test body under many perturbed-but-deterministic schedules,
+// analyze every trace, and hand back a replayable repro string for each failure.
+//
+// The paper's bug catalogue (Sections 5.3-5.5) is full of failures that only appear under rare
+// interleavings: a WAIT outside a loop is fine until a barging thread poaches the predicate, a
+// missing NOTIFY hides behind its timeout, an unprotected load is benign until a store lands
+// between check and use. The runtime is deterministic given (Config, workload), so a single
+// extra input — the decision stream of a SchedulePerturber — is enough to both explore many
+// schedules and replay any one of them exactly.
+//
+//   explore::Explorer ex(explore::ExploreOptions{.budget = 200});
+//   explore::ExploreResult r = ex.Explore(body);
+//   if (!r.failures.empty()) {
+//     // r.failures[0].repro is e.g. "pcr1:-:7:0r12x10r3x2"; feed it to tools/pcrcheck --replay
+//     explore::ScheduleOutcome again = ex.Replay(r.failures[0].repro, body);
+//     assert(again.trace_hash == r.failures[0].trace_hash);
+//   }
+
+#ifndef SRC_EXPLORE_EXPLORER_H_
+#define SRC_EXPLORE_EXPLORER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/explore/detector.h"
+#include "src/explore/perturbers.h"
+#include "src/explore/repro.h"
+#include "src/pcr/runtime.h"
+
+namespace explore {
+
+// Collects assertion results from inside the test body. Fiber code must not throw across the
+// scheduler, so checks record rather than abort; the run keeps going and reports everything.
+class TestContext {
+ public:
+  // Records a failure (and returns false) when `ok` is false.
+  bool Check(bool ok, std::string message) {
+    if (!ok) {
+      failures_.push_back(std::move(message));
+    }
+    return ok;
+  }
+  void Fail(std::string message) { failures_.push_back(std::move(message)); }
+
+  bool failed() const { return !failures_.empty(); }
+  const std::vector<std::string>& failures() const { return failures_; }
+
+ private:
+  std::vector<std::string> failures_;
+};
+
+// A test body: set up threads, run virtual time, make TestContext checks. Must leave the
+// runtime quiescent or call rt.Shutdown() before returning. Runs many times — keep all state
+// local so every invocation starts fresh.
+using TestBody = std::function<void(pcr::Runtime& rt, TestContext& ctx)>;
+
+struct ExploreOptions {
+  std::string scenario_name = "-";  // embedded in repro strings so they are self-describing
+  int budget = 100;                 // schedules to run (schedule 0 is always unperturbed)
+  uint64_t seed = 1;                // master seed; all per-schedule seeds derive from it
+  bool sweep_runtime_seed = true;   // vary Config::seed across schedules too
+  double preempt_probability = 0.15;
+  double shuffle_probability = 0.3;
+  bool fail_on_findings = true;     // detector findings count as failures
+  pcr::Config base_config;          // per-run Config (seed field may be swept)
+  size_t max_failures = 8;          // stop exploring after this many distinct failures
+  bool minimize = true;             // shrink failing decision streams before reporting
+  DetectorOptions detector;
+};
+
+// Everything known about one executed schedule.
+struct ScheduleOutcome {
+  int schedule_index = -1;
+  bool failed = false;
+  std::vector<std::string> failures;  // TestContext messages (+ rendered findings if opted in)
+  std::vector<Finding> findings;      // detector output, always populated
+  uint64_t trace_hash = 0;
+  std::string repro;                  // replayable repro string for this exact schedule
+  uint64_t preempt_points = 0;        // ForcePreempt consultations seen (the PCT horizon)
+};
+
+struct ExploreResult {
+  int schedules_run = 0;
+  int distinct_schedules = 0;              // distinct trace hashes seen
+  std::vector<ScheduleOutcome> failures;   // one entry per distinct failing bug, minimized
+  ScheduleOutcome baseline;                // schedule 0 (unperturbed)
+};
+
+class Explorer {
+ public:
+  explicit Explorer(ExploreOptions options = {});
+
+  // Runs up to options.budget schedules. Deterministic: same options + same body => same result.
+  ExploreResult Explore(const TestBody& body);
+
+  // Re-executes the schedule described by `repro` (scenario field ignored here). Throws
+  // pcr::UsageError on a malformed repro string.
+  ScheduleOutcome Replay(const std::string& repro, const TestBody& body);
+
+  const ExploreOptions& options() const { return options_; }
+
+ private:
+  struct Plan {
+    uint64_t runtime_seed = 1;
+    PerturbPolicy policy;                // recording mode when `replay` is empty
+    std::vector<Decision> replay;
+    bool replay_mode = false;
+  };
+
+  ScheduleOutcome RunPlan(const Plan& plan, int schedule_index, const TestBody& body);
+  // Prefix-truncates and zeroes decisions while the same bug keeps reproducing.
+  ScheduleOutcome Minimize(const ScheduleOutcome& outcome, const TestBody& body);
+  static bool SameFailure(const ScheduleOutcome& a, const ScheduleOutcome& b);
+
+  ExploreOptions options_;
+};
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_EXPLORER_H_

@@ -1,0 +1,37 @@
+// Trace hashing: one 64-bit fingerprint per run.
+//
+// Two runs are "the same schedule" iff every recorded event matches field-for-field; the hash
+// is FNV-1a over the canonical field tuple of each event. Used by Explorer to verify replay
+// determinism and to count distinct schedules explored.
+
+#ifndef SRC_EXPLORE_HASH_H_
+#define SRC_EXPLORE_HASH_H_
+
+#include <cstdint>
+
+#include "src/trace/tracer.h"
+
+namespace explore {
+
+inline uint64_t TraceHash(const trace::Tracer& tracer) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (const trace::Event& e : tracer.events()) {
+    mix(static_cast<uint64_t>(e.time_us));
+    mix(static_cast<uint64_t>(e.type));
+    mix((static_cast<uint64_t>(e.priority) << 32) | (static_cast<uint64_t>(e.processor) << 16));
+    mix(e.thread);
+    mix(e.object);
+    mix(e.arg);
+  }
+  return h;
+}
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_HASH_H_

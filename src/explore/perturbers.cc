@@ -1,0 +1,70 @@
+#include "src/explore/perturbers.h"
+
+#include <algorithm>
+
+namespace explore {
+
+RecordingPerturber::RecordingPerturber(const PerturbPolicy& policy)
+    : policy_(policy), rng_(policy.seed) {
+  std::sort(policy_.change_points.begin(), policy_.change_points.end());
+}
+
+void RecordingPerturber::Record(Decision d) {
+  if (decisions_.size() < kMaxRecordedDecisions) {
+    decisions_.push_back(d);
+  }
+}
+
+bool RecordingPerturber::ForcePreempt(pcr::PreemptPoint /*point*/, pcr::ThreadId /*current*/) {
+  uint64_t index = preempt_points_seen_++;
+  if (decisions_.size() >= kMaxRecordedDecisions) {
+    return false;  // stopped recording; must answer the replayer's past-end default
+  }
+  bool fire = std::binary_search(policy_.change_points.begin(), policy_.change_points.end(),
+                                 index);
+  if (!fire && policy_.preempt_probability > 0.0) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    fire = coin(rng_) < policy_.preempt_probability;
+  }
+  Record(fire ? 1 : 0);
+  return fire;
+}
+
+size_t RecordingPerturber::PickNext(const pcr::ThreadId* /*candidates*/, size_t count) {
+  if (decisions_.size() >= kMaxRecordedDecisions) {
+    return 0;
+  }
+  size_t choice = 0;
+  if (policy_.shuffle_probability > 0.0 && count > 1) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    if (coin(rng_) < policy_.shuffle_probability) {
+      std::uniform_int_distribution<size_t> pick(0, std::min<size_t>(count, 16) - 1);
+      choice = pick(rng_);
+    }
+  }
+  Record(static_cast<Decision>(choice));
+  return choice;
+}
+
+ReplayPerturber::ReplayPerturber(std::vector<Decision> decisions)
+    : decisions_(std::move(decisions)) {}
+
+Decision ReplayPerturber::Next() {
+  Decision d = cursor_ < decisions_.size() ? decisions_[cursor_] : 0;
+  ++cursor_;
+  if (consumed_.size() < kMaxRecordedDecisions) {
+    consumed_.push_back(d);
+  }
+  return d;
+}
+
+bool ReplayPerturber::ForcePreempt(pcr::PreemptPoint /*point*/, pcr::ThreadId /*current*/) {
+  return Next() != 0;
+}
+
+size_t ReplayPerturber::PickNext(const pcr::ThreadId* /*candidates*/, size_t count) {
+  size_t choice = Next();
+  return choice < count ? choice : 0;
+}
+
+}  // namespace explore

@@ -1,0 +1,81 @@
+// Concrete SchedulePerturbers used by the Explorer.
+//
+// RecordingPerturber makes randomized decisions and records every one of them, so the schedule
+// it produced can be re-executed verbatim by a ReplayPerturber. The randomization combines two
+// strategies from the systematic-concurrency-testing literature:
+//   * PCT-style change points: a small number of decision indices, chosen up front, at which a
+//     forced preemption *will* happen — few, targeted perturbations find ordering bugs with
+//     provable probability (cf. "Competitive Parallelism: Getting Your Priorities Right",
+//     PAPERS.md, for the priority-perturbation lineage).
+//   * i.i.d. noise: every preemption point fires with a small probability, and every ready-queue
+//     tie-break picks a random candidate with some probability — a broad fuzz over round-robin
+//     accidents.
+
+#ifndef SRC_EXPLORE_PERTURBERS_H_
+#define SRC_EXPLORE_PERTURBERS_H_
+
+#include <random>
+#include <vector>
+
+#include "src/explore/repro.h"
+#include "src/pcr/perturber.h"
+
+namespace explore {
+
+// Decisions past this count stop being recorded and fall back to defaults (no preempt, FIFO
+// tie-break). Replay stays faithful because the replayer answers the same defaults past the end
+// of its stream.
+inline constexpr size_t kMaxRecordedDecisions = 1 << 20;
+
+struct PerturbPolicy {
+  uint64_t seed = 0;                      // perturber RNG seed (distinct from the runtime seed)
+  double preempt_probability = 0.0;       // i.i.d. chance a ForcePreempt consultation fires
+  double shuffle_probability = 0.0;       // i.i.d. chance a tie-break picks a random candidate
+  std::vector<uint64_t> change_points;    // ForcePreempt consultation indices that always fire
+};
+
+class RecordingPerturber : public pcr::SchedulePerturber {
+ public:
+  explicit RecordingPerturber(const PerturbPolicy& policy);
+
+  bool ForcePreempt(pcr::PreemptPoint point, pcr::ThreadId current) override;
+  size_t PickNext(const pcr::ThreadId* candidates, size_t count) override;
+
+  const std::vector<Decision>& decisions() const { return decisions_; }
+  // Total ForcePreempt consultations seen — the "horizon" the explorer uses to place the next
+  // schedule's change points.
+  uint64_t preempt_points_seen() const { return preempt_points_seen_; }
+
+ private:
+  void Record(Decision d);
+
+  PerturbPolicy policy_;
+  std::mt19937_64 rng_;
+  uint64_t preempt_points_seen_ = 0;
+  std::vector<Decision> decisions_;
+};
+
+// Replays a recorded decision stream verbatim; past the end (or on any out-of-range value) it
+// answers the defaults, which is exactly what the recorder did past kMaxRecordedDecisions.
+class ReplayPerturber : public pcr::SchedulePerturber {
+ public:
+  explicit ReplayPerturber(std::vector<Decision> decisions);
+
+  bool ForcePreempt(pcr::PreemptPoint point, pcr::ThreadId current) override;
+  size_t PickNext(const pcr::ThreadId* candidates, size_t count) override;
+
+  // Decisions actually consumed; on a faithful replay of a terminating run this equals the
+  // recorded stream (trailing defaults may be truncated).
+  const std::vector<Decision>& consumed() const { return consumed_; }
+
+ private:
+  Decision Next();
+
+  std::vector<Decision> decisions_;
+  std::vector<Decision> consumed_;
+  size_t cursor_ = 0;
+};
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_PERTURBERS_H_

@@ -1,0 +1,103 @@
+#include "src/explore/repro.h"
+
+#include <cctype>
+
+namespace explore {
+
+namespace {
+
+constexpr char kMagic[] = "pcr1";
+
+char HexDigit(Decision d) {
+  return d < 10 ? static_cast<char>('0' + d) : static_cast<char>('a' + (d - 10));
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') {
+    return c - '0';
+  }
+  if (c >= 'a' && c <= 'f') {
+    return c - 'a' + 10;
+  }
+  return -1;
+}
+
+}  // namespace
+
+std::string EncodeRepro(const std::string& scenario, uint64_t runtime_seed,
+                        const std::vector<Decision>& decisions) {
+  std::string out = std::string(kMagic) + ":" + scenario + ":" + std::to_string(runtime_seed) +
+                    ":";
+  size_t i = 0;
+  while (i < decisions.size()) {
+    Decision value = decisions[i] > 15 ? 15 : decisions[i];
+    size_t run = 1;
+    while (i + run < decisions.size() &&
+           (decisions[i + run] > 15 ? 15 : decisions[i + run]) == value) {
+      ++run;
+    }
+    out += HexDigit(value);
+    if (run > 1) {
+      // The count is decimal and would be ambiguous against a following hex digit, so it is
+      // always terminated with 'x'.
+      out += 'r' + std::to_string(run) + 'x';
+    }
+    i += run;
+  }
+  return out;
+}
+
+bool DecodeRepro(const std::string& repro, std::string* scenario, uint64_t* runtime_seed,
+                 std::vector<Decision>* decisions) {
+  size_t p1 = repro.find(':');
+  if (p1 == std::string::npos || repro.substr(0, p1) != kMagic) {
+    return false;
+  }
+  size_t p2 = repro.find(':', p1 + 1);
+  size_t p3 = p2 == std::string::npos ? std::string::npos : repro.find(':', p2 + 1);
+  if (p3 == std::string::npos) {
+    return false;
+  }
+  std::string name = repro.substr(p1 + 1, p2 - p1 - 1);
+  std::string seed_str = repro.substr(p2 + 1, p3 - p2 - 1);
+  if (name.empty() || seed_str.empty()) {
+    return false;
+  }
+  uint64_t seed = 0;
+  for (char c : seed_str) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) {
+      return false;
+    }
+    seed = seed * 10 + static_cast<uint64_t>(c - '0');
+  }
+  std::vector<Decision> parsed;
+  size_t i = p3 + 1;
+  while (i < repro.size()) {
+    int value = HexValue(repro[i]);
+    if (value < 0) {
+      return false;
+    }
+    ++i;
+    size_t run = 1;
+    if (i < repro.size() && repro[i] == 'r') {
+      ++i;
+      size_t start = i;
+      run = 0;
+      while (i < repro.size() && std::isdigit(static_cast<unsigned char>(repro[i]))) {
+        run = run * 10 + static_cast<size_t>(repro[i] - '0');
+        ++i;
+      }
+      if (i == start || run == 0 || i >= repro.size() || repro[i] != 'x') {
+        return false;
+      }
+      ++i;  // the 'x' terminator
+    }
+    parsed.insert(parsed.end(), run, static_cast<Decision>(value));
+  }
+  *scenario = std::move(name);
+  *runtime_seed = seed;
+  *decisions = std::move(parsed);
+  return true;
+}
+
+}  // namespace explore

@@ -1,0 +1,37 @@
+// Repro strings: a failing schedule as a copy-pastable token.
+//
+// A schedule is fully determined by (scenario, runtime seed, perturber decision sequence): the
+// runtime itself is deterministic, so replaying the recorded decisions byte-for-byte reproduces
+// the identical trace. The encoding is deliberately compact and diff-friendly — decision
+// streams are overwhelmingly zeros ("don't perturb here"), so runs are run-length encoded.
+//
+//   pcr1:<scenario>:<runtime_seed>:<decisions>
+//   decisions := ( <hex-digit> [ 'r' <decimal-count> 'x' ] )*
+//
+// The decimal count would be ambiguous against a following hex digit, so it is always
+// terminated with 'x'. Example: "pcr1:buggy_monitor:7:0r42x10r7x" = 42 defaults, one forced
+// preempt, 7 defaults.
+
+#ifndef SRC_EXPLORE_REPRO_H_
+#define SRC_EXPLORE_REPRO_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace explore {
+
+// One recorded perturber decision, in consultation order. ForcePreempt consultations record
+// 0 (no) or 1 (yes); PickNext tie-breaks record the chosen candidate index, clamped to 15.
+using Decision = uint8_t;
+
+std::string EncodeRepro(const std::string& scenario, uint64_t runtime_seed,
+                        const std::vector<Decision>& decisions);
+
+// Parses a repro string. Returns false on malformed input; outputs are untouched on failure.
+bool DecodeRepro(const std::string& repro, std::string* scenario, uint64_t* runtime_seed,
+                 std::vector<Decision>* decisions);
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_REPRO_H_

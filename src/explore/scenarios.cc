@@ -1,0 +1,191 @@
+#include "src/explore/scenarios.h"
+
+#include "src/pcr/runtime.h"
+#include "src/weakmem/weakmem.h"
+
+namespace explore {
+
+namespace {
+
+// A one-token rendezvous with a barging "poacher". The producer holds the monitor for a long
+// critical section, so by the time it exits, both the notified consumer and the poacher are
+// competing for the lock (Mesa semantics: the woken waiter "must compete for the monitor's
+// mutex"). Whether the consumer's once-checked predicate still holds depends entirely on who
+// wins — which is exactly what the perturber's tie-break shuffle varies.
+//
+// `safe` selects the WHILE-loop (convention-following) consumer; !safe is the Section 5.3 bug.
+void TokenPoolBody(pcr::Runtime& rt, TestContext& ctx, bool safe) {
+  constexpr int kRounds = 8;
+  pcr::MonitorLock pool(rt.scheduler(), "token-pool");
+  pcr::Condition available(pool, "available", -1);
+  int tokens = 0;
+
+  rt.Fork([&rt, &ctx, &pool, &available, &tokens, safe] {
+    for (int r = 0; r < kRounds; ++r) {
+      pcr::MonitorGuard g(pool);
+      if (safe) {
+        while (tokens == 0) {
+          available.Wait();
+        }
+      } else if (tokens == 0) {  // BUG: IF where the convention demands WHILE (Section 5.3)
+        available.Wait();
+      }
+      if (!ctx.Check(tokens > 0,
+                     "consumer woke with zero tokens: WAIT was not re-checked in a loop")) {
+        return;  // predicate is broken; stop before the count goes negative
+      }
+      --tokens;
+    }
+  });
+  rt.Fork([&rt, &pool, &tokens] {  // poacher: takes any token it can barge onto
+    for (int r = 0; r < kRounds; ++r) {
+      pcr::thisthread::Compute(230);
+      pcr::MonitorGuard g(pool);
+      if (tokens > 0) {
+        --tokens;
+      }
+    }
+  });
+  rt.Fork([&rt, &pool, &available, &tokens] {  // producer
+    for (int r = 0; r < kRounds; ++r) {
+      pcr::thisthread::Compute(100);
+      pcr::MonitorGuard g(pool);
+      pcr::thisthread::Compute(80);  // long critical section: lets contenders pile up
+      ++tokens;
+      available.Notify();
+    }
+  });
+
+  rt.RunFor(60 * pcr::kUsecPerMsec);
+  rt.Shutdown();  // before the monitor/CV above go out of scope
+}
+
+void BuggyMonitorBody(pcr::Runtime& rt, TestContext& ctx) { TokenPoolBody(rt, ctx, false); }
+void GoodMonitorBody(pcr::Runtime& rt, TestContext& ctx) { TokenPoolBody(rt, ctx, true); }
+
+// A producer/consumer queue whose producer "forgets" to NOTIFY; the consumer's CV timeout
+// masks the bug — the system "apparently works correctly but slowly" (Section 5.3). The
+// progress check passes; only the detector's timeout-driven-CV heuristic exposes the bug.
+void MissingNotifyBody(pcr::Runtime& rt, TestContext& ctx) {
+  constexpr int kItems = 4;
+  pcr::MonitorLock queue(rt.scheduler(), "queue");
+  pcr::Condition ready(queue, "ready", pcr::kUsecPerMsec);
+  int items = 0;
+  int taken = 0;
+
+  rt.Fork([&rt, &queue, &ready, &items, &taken] {
+    for (int r = 0; r < kItems; ++r) {
+      pcr::MonitorGuard g(queue);
+      while (items == 0) {
+        ready.Wait();  // ends by timeout every time: nobody ever notifies
+      }
+      --items;
+      ++taken;
+    }
+  });
+  rt.Fork([&rt, &queue, &items] {
+    for (int r = 0; r < kItems; ++r) {
+      pcr::thisthread::Compute(3500);  // slow producer: the consumer times out repeatedly
+      pcr::MonitorGuard g(queue);
+      ++items;
+      // BUG: missing ready.Notify() — the timeout on the CV papers over it.
+    }
+  });
+
+  rt.RunFor(80 * pcr::kUsecPerMsec);
+  ctx.Check(taken == kItems, "consumer starved: timeouts failed to mask the missing NOTIFY");
+  rt.Shutdown();
+}
+
+// Two threads increment a weakly-ordered shared cell with no lock: the Section 5.5 pattern.
+// The lockset detector flags the unordered cross-thread accesses in any schedule.
+void WeakmemRaceBody(pcr::Runtime& rt, TestContext& /*ctx*/) {
+  weakmem::WeakCell<int> counter(rt, 0);
+
+  for (int t = 0; t < 2; ++t) {
+    rt.Fork([&rt, &counter, t] {
+      for (int i = 0; i < 4; ++i) {
+        int v = counter.Load();
+        pcr::thisthread::Compute(7 + t);
+        counter.Store(v + 1);  // read-modify-write with no lock: updates can be lost
+        pcr::thisthread::Compute(11 + 2 * t);
+      }
+    });
+  }
+
+  rt.RunFor(10 * pcr::kUsecPerMsec);
+  rt.Shutdown();
+}
+
+std::vector<BugScenario> BuildScenarios() {
+  std::vector<BugScenario> list;
+
+  {
+    BugScenario s;
+    s.name = "buggy_monitor";
+    s.description = "IF-guarded WAIT loses its token to a barging poacher (Section 5.3)";
+    s.expect_bug = true;
+    s.options.scenario_name = s.name;
+    s.options.budget = 200;
+    s.options.fail_on_findings = false;  // the assertion is the oracle here
+    s.options.base_config.quantum = pcr::kUsecPerMsec;
+    s.body = BuggyMonitorBody;
+    list.push_back(std::move(s));
+  }
+  {
+    BugScenario s;
+    s.name = "good_monitor";
+    s.description = "same workload with WHILE-guarded WAIT: no schedule breaks it";
+    s.expect_bug = false;
+    s.options.scenario_name = s.name;
+    s.options.budget = 200;
+    s.options.fail_on_findings = true;
+    s.options.base_config.quantum = pcr::kUsecPerMsec;
+    s.body = GoodMonitorBody;
+    list.push_back(std::move(s));
+  }
+  {
+    BugScenario s;
+    s.name = "missing_notify";
+    s.description = "forgotten NOTIFY masked by a CV timeout; system runs timeout driven";
+    s.expect_bug = true;
+    s.options.scenario_name = s.name;
+    s.options.budget = 20;  // the detector sees it in any schedule
+    s.options.fail_on_findings = true;
+    s.options.base_config.quantum = pcr::kUsecPerMsec;
+    s.body = MissingNotifyBody;
+    list.push_back(std::move(s));
+  }
+  {
+    BugScenario s;
+    s.name = "weakmem_race";
+    s.description = "unlocked read-modify-write of a weakly-ordered cell (Section 5.5)";
+    s.expect_bug = true;
+    s.options.scenario_name = s.name;
+    s.options.budget = 20;
+    s.options.fail_on_findings = true;
+    s.options.base_config.quantum = pcr::kUsecPerMsec;
+    s.body = WeakmemRaceBody;
+    list.push_back(std::move(s));
+  }
+
+  return list;
+}
+
+}  // namespace
+
+const std::vector<BugScenario>& Scenarios() {
+  static const std::vector<BugScenario>* scenarios = new std::vector<BugScenario>(BuildScenarios());
+  return *scenarios;
+}
+
+const BugScenario* FindScenario(const std::string& name) {
+  for (const BugScenario& s : Scenarios()) {
+    if (s.name == name) {
+      return &s;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace explore

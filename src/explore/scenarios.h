@@ -1,0 +1,37 @@
+// Canned concurrency-bug scenarios for the exploration harness.
+//
+// Each scenario is a small self-contained workload reproducing one bug pattern from the
+// paper's catalogue (Section 5), with a known verdict: `expect_bug` says whether a competent
+// explorer should find a failure. The buggy/good monitor pair is deliberately identical except
+// for the one-token IF-vs-WHILE around WAIT — the difference the Mesa convention exists to
+// erase (Section 5.3).
+//
+// Used by tools/pcrcheck (CLI) and tests/explore_test.cc.
+
+#ifndef SRC_EXPLORE_SCENARIOS_H_
+#define SRC_EXPLORE_SCENARIOS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/explore/explorer.h"
+
+namespace explore {
+
+struct BugScenario {
+  std::string name;
+  std::string description;
+  bool expect_bug = false;     // should exploration report at least one failure?
+  ExploreOptions options;      // tuned defaults; callers may override budget/seed
+  TestBody body;
+};
+
+// The built-in scenario table (stable order).
+const std::vector<BugScenario>& Scenarios();
+
+// Lookup by name; nullptr when unknown.
+const BugScenario* FindScenario(const std::string& name);
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_SCENARIOS_H_

@@ -35,6 +35,9 @@ bool Condition::Wait() {
   s.Emit(timed_out ? trace::EventType::kCvTimeout : trace::EventType::kCvNotified, id_);
   ThreadId notifier = timed_out ? kNoThread : me->notified_by;
   lock_.ReacquireAfterWait(notifier);
+  // Exploration point: a WAIT that has re-acquired the lock but not yet rechecked its predicate
+  // — the window that separates IF-based waits from WHILE-based waits (Section 5.3).
+  s.MaybeForcePreempt(PreemptPoint::kWaitReturn);
   return !timed_out;
 }
 
@@ -76,6 +79,9 @@ void Condition::Notify() {
   bool woke = SignalOne();
   s.Emit(trace::EventType::kCvNotify, id_, woke ? 1 : 0);
   s.Charge(s.config().costs.cv_notify);
+  // Exploration point: notify-then-preempt is the schedule behind Section 6.1's spurious lock
+  // conflicts when rescheduling is not deferred.
+  s.MaybeForcePreempt(PreemptPoint::kNotify);
 }
 
 void Condition::Broadcast() {
@@ -96,6 +102,7 @@ void Condition::Broadcast() {
   }
   s.Emit(trace::EventType::kCvBroadcast, id_, woken);
   s.Charge(s.config().costs.cv_notify);
+  s.MaybeForcePreempt(PreemptPoint::kNotify);
 }
 
 }  // namespace pcr

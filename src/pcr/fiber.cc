@@ -3,6 +3,22 @@
 #include <cstdio>
 #include <cstdlib>
 
+// AddressSanitizer needs to be told about manual stack switches: each context owns a shadow
+// "fake stack", and swapcontext moves execution between stacks behind ASan's back. The
+// protocol is start_switch_fiber before leaving a context and finish_switch_fiber as the first
+// thing after regaining control on the destination (see sanitizer/common_interface_defs.h).
+#if defined(__SANITIZE_ADDRESS__)
+#define PCR_ASAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PCR_ASAN_FIBERS 1
+#endif
+#endif
+
+#ifdef PCR_ASAN_FIBERS
+#include <sanitizer/common_interface_defs.h>
+#endif
+
 namespace pcr {
 
 namespace {
@@ -17,6 +33,12 @@ Fiber* Fiber::Current() { return g_current_fiber; }
 
 void Fiber::Trampoline() {
   Fiber* self = g_current_fiber;
+#ifdef PCR_ASAN_FIBERS
+  // First entry onto this stack: complete the switch begun in Resume and learn the resumer's
+  // stack bounds so Suspend can announce the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_resumer_bottom_,
+                                  &self->asan_resumer_size_);
+#endif
   self->entry_();
   self->finished_ = true;
   // A finished fiber parks here; it should never be resumed again, but suspending in a loop is
@@ -44,10 +66,16 @@ void Fiber::Resume() {
   }
   Fiber* previous = g_current_fiber;
   g_current_fiber = this;
+#ifdef PCR_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_resumer_fake_stack_, stack_.base(), stack_.size());
+#endif
   if (swapcontext(&resumer_, &context_) != 0) {
     std::perror("pcr: swapcontext resume");
     std::abort();
   }
+#ifdef PCR_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_resumer_fake_stack_, nullptr, nullptr);
+#endif
   g_current_fiber = previous;
 }
 
@@ -56,10 +84,20 @@ void Fiber::Suspend() {
     std::fprintf(stderr, "pcr: Suspend called off-fiber\n");
     std::abort();
   }
+#ifdef PCR_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_fiber_fake_stack_, asan_resumer_bottom_,
+                                 asan_resumer_size_);
+#endif
   if (swapcontext(&context_, &resumer_) != 0) {
     std::perror("pcr: swapcontext suspend");
     std::abort();
   }
+#ifdef PCR_ASAN_FIBERS
+  // Back on the fiber stack: restore our fake stack and refresh the resumer's bounds (a
+  // different host frame may resume us next time).
+  __sanitizer_finish_switch_fiber(asan_fiber_fake_stack_, &asan_resumer_bottom_,
+                                  &asan_resumer_size_);
+#endif
 }
 
 }  // namespace pcr

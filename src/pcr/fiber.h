@@ -53,6 +53,14 @@ class Fiber {
   Entry entry_;
   bool started_ = false;
   bool finished_ = false;
+
+  // AddressSanitizer fiber-switch bookkeeping (see fiber.cc); unused when not sanitized.
+  // ASan tracks one shadow "fake stack" per execution context — without the switch
+  // annotations, stack-use-after-return checking misfires across swapcontext.
+  void* asan_resumer_fake_stack_ = nullptr;
+  void* asan_fiber_fake_stack_ = nullptr;
+  const void* asan_resumer_bottom_ = nullptr;
+  size_t asan_resumer_size_ = 0;
 };
 
 }  // namespace pcr

@@ -17,6 +17,9 @@ void MonitorLock::Enter() {
   scheduler_.Emit(trace::EventType::kMlEnter, id_);
   scheduler_.Charge(scheduler_.config().costs.monitor_enter);
   AcquireSlowPath(/*count_spurious=*/false, kNoThread);
+  // Exploration point: being preempted right after acquiring (still holding the lock) is legal
+  // under Section 2's model and is where lock-holder-preempted schedules come from.
+  scheduler_.MaybeForcePreempt(PreemptPoint::kMonitorEnter);
 }
 
 void MonitorLock::ReacquireAfterWait(ThreadId notifier) {
@@ -82,6 +85,8 @@ void MonitorLock::Exit() {
   scheduler_.Emit(trace::EventType::kMlExit, id_);
   ReleaseInternal();
   scheduler_.Charge(scheduler_.config().costs.monitor_exit);
+  // Exploration point: the barging window — woken waiters compete for the lock from here.
+  scheduler_.MaybeForcePreempt(PreemptPoint::kMonitorExit);
 }
 
 void MonitorLock::ReleaseForWait() {

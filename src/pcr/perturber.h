@@ -1,0 +1,55 @@
+// Schedule perturbation hook.
+//
+// The scheduler is deterministic: given a seed and a scripted workload, every run produces the
+// same interleaving. That is what makes experiments reproducible — and what makes testing
+// incomplete, because each seed exercises exactly one schedule. A SchedulePerturber lets a
+// test harness (src/explore/) systematically explore *other* legal schedules without touching
+// user code: the scheduler consults it at every preemption decision point (monitor and
+// condition-variable boundaries, shared-memory accesses) and at every ready-queue tie-break.
+//
+// Both hooks are pure decision points. A perturber that always answers "no preempt, first
+// candidate" reproduces the unperturbed schedule exactly, so installing one never changes
+// semantics by itself. All decisions are made in a deterministic order, which is what lets the
+// explorer record them into a compact repro string and replay any schedule bit-for-bit.
+
+#ifndef SRC_PCR_PERTURBER_H_
+#define SRC_PCR_PERTURBER_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/pcr/ids.h"
+
+namespace pcr {
+
+// Where in the runtime a forced-preemption decision is being made. Monitor and CV boundaries
+// are where schedule-dependent bugs hide (Sections 5-6): barging windows open at kMonitorExit,
+// spurious lock conflicts at kNotify, wait-loop bugs at kWaitReturn, and data races at
+// kSharedAccess.
+enum class PreemptPoint : uint8_t {
+  kMonitorEnter,  // current thread just acquired a monitor lock
+  kMonitorExit,   // current thread just released a monitor lock
+  kNotify,        // current thread just issued NOTIFY/BROADCAST
+  kWaitReturn,    // current thread's WAIT just returned (lock re-acquired)
+  kSharedAccess,  // current thread touched weakly-ordered shared memory
+};
+
+class SchedulePerturber {
+ public:
+  virtual ~SchedulePerturber() = default;
+
+  // Called after the current thread passes `point`. Returning true forces the thread to be
+  // requeued at the back of its priority level and reschedules, exactly as if its timeslice had
+  // ended there. Returning false is a no-op.
+  virtual bool ForcePreempt(PreemptPoint point, ThreadId current) = 0;
+
+  // Called when the dispatcher must choose among `count` >= 2 ready threads of equal effective
+  // priority (the round-robin tie-break). `candidates` lists them in queue order; return the
+  // index to run next. Index 0 reproduces the default FIFO rotation; out-of-range returns are
+  // clamped to 0.
+  virtual size_t PickNext(const ThreadId* candidates, size_t count) = 0;
+};
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_PERTURBER_H_

@@ -19,7 +19,6 @@
 #define SRC_PCR_RUNTIME_H_
 
 #include <functional>
-#include <random>
 
 #include "src/pcr/condition.h"
 #include "src/pcr/config.h"
@@ -43,7 +42,6 @@ class Runtime {
   Scheduler& scheduler() { return scheduler_; }
   trace::Tracer& tracer() { return tracer_; }
   trace::Census& census() { return census_; }
-  std::mt19937_64& rng() { return scheduler_.rng(); }
   Usec now() const { return scheduler_.now(); }
 
   // Thread API passthroughs (see Scheduler for semantics).

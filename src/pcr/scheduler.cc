@@ -385,8 +385,55 @@ ThreadId Scheduler::RandomReadyThread() {
   if (candidates.empty()) {
     return kNoThread;
   }
-  std::uniform_int_distribution<size_t> dist(0, candidates.size() - 1);
-  return candidates[dist(rng_)];
+  return candidates[RandomIndex(candidates.size())];
+}
+
+// ---------------------------------------------------------------------------
+// Seed-logged randomness
+// ---------------------------------------------------------------------------
+
+uint64_t Scheduler::RandomU64() {
+  if (!rng_seed_logged_) {
+    rng_seed_logged_ = true;
+    Emit(trace::EventType::kRngSeed, 0, config_.seed);
+  }
+  return rng_();
+}
+
+double Scheduler::RandomUnit() {
+  // 53 random bits into [0, 1), matching std::generate_canonical's resolution without its
+  // implementation-defined draw count (which would make traces compiler-dependent).
+  return static_cast<double>(RandomU64() >> 11) * 0x1.0p-53;
+}
+
+size_t Scheduler::RandomIndex(size_t n) {
+  if (n == 0) {
+    throw UsageError("pcr: RandomIndex(0)");
+  }
+  return static_cast<size_t>(RandomUnit() * static_cast<double>(n));
+}
+
+void Scheduler::MaybeForcePreempt(PreemptPoint point) {
+  Tcb* me = CurrentTcb();
+  if (perturber_ == nullptr || me == nullptr || shutting_down_ || me->processor < 0) {
+    return;
+  }
+  if (!perturber_->ForcePreempt(point, me->id)) {
+    return;
+  }
+  // A forced end-of-timeslice: requeue at the back of our priority level and reschedule. Unlike
+  // YieldButNotToMe there is no penalty — the perturber is exploring legal schedules, not
+  // changing policy.
+  Emit(trace::EventType::kForcedPreempt, 0, static_cast<uint64_t>(point));
+  me->state = ThreadState::kReady;
+  me->boosted = false;
+  ready_[me->priority].push_back(me->id);
+  running_[static_cast<size_t>(me->processor)] = kNoThread;
+  me->processor = -1;
+  me->fiber->Suspend();
+  if (shutting_down_) {
+    throw ThreadKilled();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -410,6 +457,16 @@ ThreadId Scheduler::SelectReady(bool pop) {
   // indexed by base priority, so pass 1 scans for the best effective priority rather than
   // taking the first nonempty queue.
   for (int pass = 0; pass < 3; ++pass) {
+    auto rank = [this, pass](const Tcb& t) {
+      if (config_.scheduling == SchedulingPolicy::kFairShare && pass == 1) {
+        // Proportional share: prefer the thread with the least CPU consumed per unit of
+        // priority weight. Negated and clamped into an int so "higher is better" still holds.
+        Usec passes = t.cpu_time / std::max(1, t.priority);
+        return static_cast<int>(std::numeric_limits<int>::max() -
+                                std::min<Usec>(passes, std::numeric_limits<int>::max() - 1));
+      }
+      return EffectivePriority(t);
+    };
     int best_eff = -1;  // below even the penalized threads' effective priority of 0
     int best_pri = -1;
     std::deque<ThreadId>::iterator best_it;
@@ -429,16 +486,7 @@ ThreadId Scheduler::SelectReady(bool pop) {
           }
           return tid;
         }
-        int eff;
-        if (config_.scheduling == SchedulingPolicy::kFairShare && pass == 1) {
-          // Proportional share: prefer the thread with the least CPU consumed per unit of
-          // priority weight. Negated and clamped into an int so "higher is better" still holds.
-          Usec passes = t.cpu_time / std::max(1, t.priority);
-          eff = static_cast<int>(std::numeric_limits<int>::max() -
-                                 std::min<Usec>(passes, std::numeric_limits<int>::max() - 1));
-        } else {
-          eff = EffectivePriority(t);
-        }
+        int eff = rank(t);
         if (eff > best_eff) {
           best_eff = eff;
           best_pri = pri;
@@ -447,6 +495,31 @@ ThreadId Scheduler::SelectReady(bool pop) {
       }
     }
     if (best_pri >= 0) {
+      // Threads tied at the best rank are interchangeable under the scheduling policy; which
+      // one runs is the round-robin accident a perturber is allowed to re-decide. Consulted
+      // only when actually dispatching (pop), so peeks stay side-effect free.
+      if (pop && perturber_ != nullptr && pass == 1) {
+        std::vector<ThreadId> tied;
+        for (int pri = kMaxPriority; pri >= kMinPriority; --pri) {
+          for (ThreadId tid : ready_[pri]) {
+            Tcb& t = GetTcb(tid);
+            if (!t.penalized && !t.boosted && rank(t) == best_eff) {
+              tied.push_back(tid);
+            }
+          }
+        }
+        if (tied.size() > 1) {
+          size_t choice = perturber_->PickNext(tied.data(), tied.size());
+          if (choice >= tied.size()) {
+            choice = 0;
+          }
+          ThreadId tid = tied[choice];
+          Tcb& t = GetTcb(tid);
+          auto& queue = ready_[t.priority];
+          queue.erase(std::find(queue.begin(), queue.end(), tid));
+          return tid;
+        }
+      }
       ThreadId tid = *best_it;
       if (pop) {
         ready_[best_pri].erase(best_it);
@@ -610,6 +683,9 @@ void Scheduler::FiberBody(Tcb& tcb) {
   } catch (...) {
     tcb.uncaught = std::current_exception();
   }
+  // Free the closure now: ExitCurrent() parks the fiber and never returns, so this frame's
+  // destructors would otherwise never run and heap-allocated captures would leak.
+  body = nullptr;
   ExitCurrent();
 }
 

@@ -32,6 +32,7 @@
 #include "src/pcr/errors.h"
 #include "src/pcr/fiber.h"
 #include "src/pcr/ids.h"
+#include "src/pcr/perturber.h"
 #include "src/trace/tracer.h"
 
 namespace pcr {
@@ -120,7 +121,30 @@ class Scheduler {
   const Config& config() const { return config_; }
   Usec now() const { return now_; }
   trace::Tracer* tracer() { return tracer_; }
-  std::mt19937_64& rng() { return rng_; }
+
+  // ---- Seed-logged randomness ----
+  //
+  // All in-run randomness must flow through these so that a run is a pure function of
+  // (config, workload script): the seed is emitted into the trace on the first draw, and repro
+  // strings (src/explore/) capture it. The raw engine is deliberately not exposed.
+
+  uint64_t RandomU64();
+  double RandomUnit();            // uniform in [0, 1)
+  size_t RandomIndex(size_t n);   // uniform in [0, n); n must be > 0
+  uint64_t seed() const { return config_.seed; }
+
+  // ---- Schedule exploration (src/explore/) ----
+
+  // Installs (or clears, with nullptr) the perturbation hook. Not owned. Install before the
+  // first Run* call; decisions are consulted at ready-queue tie-breaks and at the preemption
+  // points declared in perturber.h.
+  void set_perturber(SchedulePerturber* perturber) { perturber_ = perturber; }
+  SchedulePerturber* perturber() const { return perturber_; }
+
+  // Consults the perturber at `point`; if it answers yes, the current thread is requeued at the
+  // back of its priority level and the processor rescheduled (a forced end-of-timeslice). No-op
+  // from host context, during shutdown, or with no perturber installed.
+  void MaybeForcePreempt(PreemptPoint point);
 
   // ---- Thread API (callable from fibers; Fork/Detach also from the host) ----
 
@@ -233,7 +257,8 @@ class Scheduler {
   void ReapIfPossible(Tcb& tcb);
 
   // Selection. Returns kNoThread when nothing is ready. With pop == false the queues are left
-  // untouched (peek).
+  // untouched (peek); the perturber tie-break is consulted only when popping, so peeks stay
+  // side-effect free.
   ThreadId SelectReady(bool pop);
   int EffectivePriority(const Tcb& tcb) const;
 
@@ -252,6 +277,8 @@ class Scheduler {
   Config config_;
   trace::Tracer* tracer_;
   std::mt19937_64 rng_;
+  bool rng_seed_logged_ = false;
+  SchedulePerturber* perturber_ = nullptr;
 
   Usec now_ = 0;
   Usec next_tick_due_ = 0;  // first unprocessed quantum tick; 0 = initialize on first run

@@ -48,6 +48,10 @@ enum class EventType : uint8_t {
   kTimerFire,         // scheduler tick fired a timeout for this thread
   kSleep,             // thread began a timed sleep; arg = requested microseconds
   kUser,              // free-form workload annotation; object/arg are caller-defined
+  kForcedPreempt,     // a SchedulePerturber forced a reschedule; arg = PreemptPoint
+  kSharedRead,        // weakly-ordered shared read; object = cell id
+  kSharedWrite,       // weakly-ordered shared write; object = cell id
+  kRngSeed,           // first runtime RNG draw; arg = the seed (so repros capture randomness)
 };
 
 // Human-readable name for an event type (for dumps and debugging).

@@ -55,6 +55,14 @@ std::string_view EventTypeName(EventType type) {
       return "sleep";
     case EventType::kUser:
       return "user";
+    case EventType::kForcedPreempt:
+      return "forced-preempt";
+    case EventType::kSharedRead:
+      return "shared-read";
+    case EventType::kSharedWrite:
+      return "shared-write";
+    case EventType::kRngSeed:
+      return "rng-seed";
   }
   return "unknown";
 }

@@ -31,21 +31,30 @@ template <typename T>
 class WeakCell {
  public:
   WeakCell(pcr::Runtime& runtime, T initial, pcr::Usec drain_delay = kDefaultDrainDelay)
-      : runtime_(runtime), committed_(initial), drain_delay_(drain_delay) {}
+      : runtime_(runtime), committed_(initial), drain_delay_(drain_delay),
+        id_(runtime.scheduler().NextObjectId()) {}
 
   WeakCell(const WeakCell&) = delete;
   WeakCell& operator=(const WeakCell&) = delete;
 
+  // Process-unique id shared with monitors/CVs; shared-access trace events carry it so the
+  // race detector (src/explore/) can group accesses by cell.
+  pcr::ObjectId id() const { return id_; }
+
   // Buffered store: visible to the writer immediately, to everyone else after the drain delay
   // (or the writer's next Fence).
   void Store(T value) {
+    runtime_.scheduler().Emit(trace::EventType::kSharedWrite, id_);
     Commit(runtime_.now());
     pending_.push_back(Pending{value, runtime_.scheduler().current(),
                                runtime_.now() + drain_delay_});
+    runtime_.scheduler().MaybeForcePreempt(pcr::PreemptPoint::kSharedAccess);
   }
 
   // What the calling thread observes now.
   T Load() {
+    runtime_.scheduler().Emit(trace::EventType::kSharedRead, id_);
+    runtime_.scheduler().MaybeForcePreempt(pcr::PreemptPoint::kSharedAccess);
     pcr::Usec now = runtime_.now();
     Commit(now);
     pcr::ThreadId me = runtime_.scheduler().current();
@@ -94,6 +103,7 @@ class WeakCell {
   pcr::Runtime& runtime_;
   T committed_;
   pcr::Usec drain_delay_;
+  pcr::ObjectId id_;
   std::deque<Pending> pending_;
 };
 

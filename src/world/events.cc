@@ -1,7 +1,5 @@
 #include "src/world/events.h"
 
-#include <random>
-
 namespace world {
 
 InputDevice::InputDevice(pcr::Runtime& runtime, pcr::InterruptSource& source)
@@ -13,9 +11,10 @@ void InputDevice::ScriptUniform(pcr::Usec start, pcr::Usec end, double rate, Inp
     return;
   }
   auto period = static_cast<pcr::Usec>(1e6 / rate);
-  std::uniform_real_distribution<double> noise(-jitter, jitter);
   for (pcr::Usec t = start; t < end; t += period) {
-    auto offset = static_cast<pcr::Usec>(noise(runtime_.rng()) * static_cast<double>(period));
+    // Jitter comes from the scheduler-owned, seed-logged RNG so that repro strings capture it.
+    double noise = (2.0 * runtime_.scheduler().RandomUnit() - 1.0) * jitter;
+    auto offset = static_cast<pcr::Usec>(noise * static_cast<double>(period));
     pcr::Usec when = t + offset;
     if (when < start || when >= end) {
       continue;

@@ -1,0 +1,63 @@
+// Determinism regression: every example workload, run twice under the same Config seed,
+// must produce byte-identical trace event streams. This is the property the whole exploration
+// harness rests on — if the runtime itself were nondeterministic, repro strings would be
+// meaningless.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "examples/example_scenarios.h"
+#include "src/explore/hash.h"
+#include "src/pcr/runtime.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+struct CapturedRun {
+  std::vector<trace::Event> events;
+  uint64_t hash = 0;
+};
+
+CapturedRun RunOnce(const examples::ExampleScenario& scenario, uint64_t seed) {
+  pcr::Config config;
+  config.seed = seed;
+  pcr::Runtime rt(config);
+  scenario.body(rt, /*verbose=*/false);
+  return CapturedRun{rt.tracer().events(), explore::TraceHash(rt.tracer())};
+}
+
+void ExpectIdentical(const CapturedRun& a, const CapturedRun& b, const char* name) {
+  EXPECT_EQ(a.hash, b.hash) << name;
+  ASSERT_EQ(a.events.size(), b.events.size()) << name;
+  for (size_t i = 0; i < a.events.size(); ++i) {
+    const trace::Event& x = a.events[i];
+    const trace::Event& y = b.events[i];
+    bool same = x.time_us == y.time_us && x.type == y.type && x.thread == y.thread &&
+                x.object == y.object && x.arg == y.arg && x.priority == y.priority &&
+                x.processor == y.processor;
+    ASSERT_TRUE(same) << name << ": first divergence at event " << i;
+  }
+}
+
+class DeterminismTest : public ::testing::TestWithParam<examples::ExampleScenario> {};
+
+TEST_P(DeterminismTest, SameSeedSameTraceTwice) {
+  const examples::ExampleScenario& scenario = GetParam();
+  for (uint64_t seed : {1u, 7u}) {
+    CapturedRun first = RunOnce(scenario, seed);
+    CapturedRun second = RunOnce(scenario, seed);
+    ASSERT_FALSE(first.events.empty()) << scenario.name;
+    ExpectIdentical(first, second, scenario.name);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Examples, DeterminismTest,
+    ::testing::ValuesIn(std::begin(examples::kExampleScenarios),
+                        std::end(examples::kExampleScenarios)),
+    [](const ::testing::TestParamInfo<examples::ExampleScenario>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace

@@ -1,0 +1,207 @@
+// pcrcheck: schedule exploration from the command line.
+//
+// Runs a named bug scenario (src/explore/scenarios.h) under many perturbed schedules, prints
+// every distinct failure with a minimized repro string, and verifies that replaying each repro
+// reproduces the identical trace hash twice.
+//
+//   pcrcheck --list
+//   pcrcheck --scenario=buggy_monitor --budget=200
+//   pcrcheck --all
+//   pcrcheck --replay=pcr1:buggy_monitor:7:0r42x10r7x
+//   pcrcheck --scenario=buggy_monitor --require-bug   # exit 1 unless a bug is found
+//
+// Exit status: 0 when every explored scenario matched its expectation (bug found iff
+// expect_bug, or just "found" under --require-bug) and all replays were deterministic;
+// 1 otherwise; 2 on usage errors.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/explore/explorer.h"
+#include "src/explore/repro.h"
+#include "src/explore/scenarios.h"
+
+namespace {
+
+struct Args {
+  std::string scenario;
+  std::string replay;
+  bool all = false;
+  bool list = false;
+  bool require_bug = false;
+  int budget = -1;       // <0: use the scenario's tuned default
+  uint64_t seed = 0;     // 0: use the scenario's tuned default
+  bool verbose = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: pcrcheck [--list] [--all] [--scenario=NAME] [--budget=N] [--seed=N]\n"
+               "                [--replay=REPRO] [--require-bug] [--verbose]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      size_t len = std::strlen(flag);
+      return arg.compare(0, len, flag) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--list") {
+      args->list = true;
+    } else if (arg == "--all") {
+      args->all = true;
+    } else if (arg == "--require-bug") {
+      args->require_bug = true;
+    } else if (arg == "--verbose") {
+      args->verbose = true;
+    } else if (const char* v = value("--scenario=")) {
+      args->scenario = v;
+    } else if (const char* v = value("--replay=")) {
+      args->replay = v;
+    } else if (const char* v = value("--budget=")) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "pcrcheck: --budget expects a non-negative integer, got '%s'\n", v);
+        return false;
+      }
+      args->budget = static_cast<int>(n);
+    } else if (const char* v = value("--seed=")) {
+      char* end = nullptr;
+      uint64_t n = std::strtoull(v, &end, 10);
+      if (*v == '\0' || *end != '\0') {
+        std::fprintf(stderr, "pcrcheck: --seed expects an integer, got '%s'\n", v);
+        return false;
+      }
+      args->seed = n;
+    } else {
+      std::fprintf(stderr, "pcrcheck: unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Replays `repro` twice and checks all three hashes agree; the repro string is only useful if
+// it pins down one schedule exactly.
+bool VerifyReplay(explore::Explorer& explorer, const explore::ScheduleOutcome& failure,
+                  const explore::TestBody& body) {
+  explore::ScheduleOutcome first = explorer.Replay(failure.repro, body);
+  explore::ScheduleOutcome second = explorer.Replay(failure.repro, body);
+  bool ok = first.trace_hash == failure.trace_hash && second.trace_hash == failure.trace_hash &&
+            first.failed && second.failed;
+  std::printf("  replay x2: hash %016llx / %016llx / %016llx -> %s\n",
+              static_cast<unsigned long long>(failure.trace_hash),
+              static_cast<unsigned long long>(first.trace_hash),
+              static_cast<unsigned long long>(second.trace_hash),
+              ok ? "deterministic" : "MISMATCH");
+  return ok;
+}
+
+// Returns true when the scenario behaved as expected.
+bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
+  explore::ExploreOptions options = scenario.options;
+  if (args.budget >= 0) {
+    options.budget = args.budget;
+  }
+  if (args.seed != 0) {
+    options.seed = args.seed;
+  }
+
+  std::printf("== %s: %s\n", scenario.name.c_str(), scenario.description.c_str());
+  explore::Explorer explorer(options);
+  explore::ExploreResult result = explorer.Explore(scenario.body);
+  std::printf("  %d schedules run, %d distinct, %zu failure(s)\n", result.schedules_run,
+              result.distinct_schedules, result.failures.size());
+
+  bool ok = true;
+  for (const explore::ScheduleOutcome& failure : result.failures) {
+    std::printf("  FAILURE (schedule %d):\n", failure.schedule_index);
+    for (const std::string& message : failure.failures) {
+      std::printf("    %s\n", message.c_str());
+    }
+    std::printf("  repro: %s\n", failure.repro.c_str());
+    ok = VerifyReplay(explorer, failure, scenario.body) && ok;
+  }
+  if (args.verbose && !result.baseline.findings.empty()) {
+    std::printf("  baseline findings:\n%s", RenderFindings(result.baseline.findings).c_str());
+  }
+
+  bool found = !result.failures.empty();
+  bool expected = args.require_bug ? found : (found == scenario.expect_bug);
+  std::printf("  verdict: %s (expected %s, %s)\n",
+              expected && ok ? "OK" : "UNEXPECTED",
+              scenario.expect_bug ? "bug" : "no bug", found ? "found one" : "found none");
+  return expected && ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  if (args.list) {
+    for (const explore::BugScenario& s : explore::Scenarios()) {
+      std::printf("%-16s %s (expect %s, default budget %d)\n", s.name.c_str(),
+                  s.description.c_str(), s.expect_bug ? "bug" : "clean", s.options.budget);
+    }
+    return 0;
+  }
+
+  if (!args.replay.empty()) {
+    std::string name;
+    uint64_t seed = 0;
+    std::vector<explore::Decision> decisions;
+    if (!explore::DecodeRepro(args.replay, &name, &seed, &decisions)) {
+      std::fprintf(stderr, "pcrcheck: malformed repro string\n");
+      return 2;
+    }
+    const explore::BugScenario* scenario = explore::FindScenario(name);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "pcrcheck: repro names unknown scenario '%s'\n", name.c_str());
+      return 2;
+    }
+    explore::Explorer explorer(scenario->options);
+    explore::ScheduleOutcome outcome = explorer.Replay(args.replay, scenario->body);
+    std::printf("replayed %s: hash %016llx, %s\n", name.c_str(),
+                static_cast<unsigned long long>(outcome.trace_hash),
+                outcome.failed ? "FAILED" : "passed");
+    for (const std::string& message : outcome.failures) {
+      std::printf("  %s\n", message.c_str());
+    }
+    return outcome.failed ? 1 : 0;
+  }
+
+  std::vector<const explore::BugScenario*> to_run;
+  if (args.all) {
+    for (const explore::BugScenario& s : explore::Scenarios()) {
+      to_run.push_back(&s);
+    }
+  } else if (!args.scenario.empty()) {
+    const explore::BugScenario* scenario = explore::FindScenario(args.scenario);
+    if (scenario == nullptr) {
+      std::fprintf(stderr, "pcrcheck: unknown scenario '%s' (try --list)\n",
+                   args.scenario.c_str());
+      return 2;
+    }
+    to_run.push_back(scenario);
+  } else {
+    Usage();
+    return 2;
+  }
+
+  bool all_ok = true;
+  for (const explore::BugScenario* scenario : to_run) {
+    all_ok = RunScenario(*scenario, args) && all_ok;
+  }
+  return all_ok ? 0 : 1;
+}

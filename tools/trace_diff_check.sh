@@ -1,0 +1,33 @@
+#!/bin/sh
+# CTest coverage for tools/trace_diff: a trace must self-diff to zero, and a single mutated
+# event must be reported as a located divergence with a nonzero exit.
+#
+#   trace_diff_check.sh <pcrsim-binary> <trace_diff-binary> <work-dir>
+set -eu
+
+PCRSIM=$1
+TRACE_DIFF=$2
+WORK=$3
+
+mkdir -p "$WORK"
+A="$WORK/a.trace"
+B="$WORK/b.trace"
+MUT="$WORK/mutated.trace"
+
+"$PCRSIM" --scenario idle --duration 2 --save-trace "$A" > /dev/null
+"$PCRSIM" --scenario idle --duration 2 --save-trace "$B" > /dev/null
+
+# Same scenario, same seed: byte-identical traces, and self-diff exits 0.
+cmp "$A" "$B"
+"$TRACE_DIFF" "$A" "$B" > "$WORK/self_diff.out"
+grep -q "traces are identical" "$WORK/self_diff.out"
+
+# Mutate one field of one event (the arg column of line 10) and expect a located divergence.
+awk 'NR == 10 { $7 = $7 + 1 } { print }' OFS='\t' "$A" > "$MUT"
+if "$TRACE_DIFF" "$A" "$MUT" > "$WORK/mut_diff.out"; then
+  echo "trace_diff_check: expected nonzero exit on mutated trace" >&2
+  exit 1
+fi
+grep -q "first divergence at event #8" "$WORK/mut_diff.out"
+
+echo "trace_diff_check: OK"
