@@ -1,0 +1,237 @@
+// Schedule-exploration throughput: serial vs parallel.
+//
+// The whole repo's value is how many deterministic virtual-time schedules it can execute per
+// second; this bench measures exactly that, per canned pcrcheck scenario, once on one worker
+// and once on a pool (default: hardware concurrency). It also re-checks the parallel
+// explorer's contract — byte-identical results at any worker count — and exits nonzero on a
+// mismatch, so it doubles as a determinism smoke test in CI.
+//
+//   bench_explore                   # human-readable table, all scenarios
+//   bench_explore --workers=8       # pin the parallel worker count
+//   bench_explore --budget=400      # override each scenario's schedule budget
+//   bench_explore --json            # also write BENCH_explore.json
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "src/explore/explorer.h"
+#include "src/explore/pool.h"
+#include "src/explore/scenarios.h"
+#include "src/pcr/runtime.h"
+
+namespace {
+
+struct Args {
+  std::string scenario;  // empty: all
+  int budget = -1;       // <0: scenario default
+  int workers = 0;       // 0: hardware concurrency
+  bool json = false;
+};
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: bench_explore [--scenario=NAME] [--budget=N] [--workers=N] [--json]\n");
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&arg](const char* flag) -> const char* {
+      size_t len = std::strlen(flag);
+      return arg.compare(0, len, flag) == 0 ? arg.c_str() + len : nullptr;
+    };
+    if (arg == "--json") {
+      args->json = true;
+    } else if (const char* v = value("--scenario=")) {
+      args->scenario = v;
+    } else if (const char* v = value("--budget=")) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "bench_explore: --budget expects a positive integer, got '%s'\n",
+                     v);
+        return false;
+      }
+      args->budget = static_cast<int>(n);
+    } else if (const char* v = value("--workers=")) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "bench_explore: --workers expects a positive integer, got '%s'\n",
+                     v);
+        return false;
+      }
+      args->workers = static_cast<int>(n);
+    } else {
+      std::fprintf(stderr, "bench_explore: unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct Measurement {
+  std::string scenario;
+  int budget = 0;
+  int workers_parallel = 1;
+  double serial_seconds = 0;
+  double parallel_seconds = 0;
+  double schedules_per_sec_serial = 0;
+  double schedules_per_sec_parallel = 0;
+  double speedup = 0;
+  int64_t events_per_schedule = 0;
+  double events_per_sec_parallel = 0;
+  bool deterministic = false;
+};
+
+double Seconds(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+// Field-for-field comparison of the parts of an ExploreResult the contract promises.
+bool SameResult(const explore::ExploreResult& a, const explore::ExploreResult& b) {
+  if (a.schedules_run != b.schedules_run || a.distinct_schedules != b.distinct_schedules ||
+      a.baseline.trace_hash != b.baseline.trace_hash || a.failures.size() != b.failures.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.failures.size(); ++i) {
+    const explore::ScheduleOutcome& fa = a.failures[i];
+    const explore::ScheduleOutcome& fb = b.failures[i];
+    if (fa.schedule_index != fb.schedule_index || fa.trace_hash != fb.trace_hash ||
+        fa.repro != fb.repro || fa.failures != fb.failures) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Measurement RunScenario(const explore::BugScenario& scenario, const Args& args) {
+  Measurement m;
+  m.scenario = scenario.name;
+
+  explore::ExploreOptions options = scenario.options;
+  if (args.budget > 0) {
+    options.budget = args.budget;
+  }
+  m.budget = options.budget;
+  m.workers_parallel =
+      args.workers > 0 ? args.workers : explore::WorkerPool::HardwareWorkers();
+
+  // Events per schedule, from one plain run of the body (the same run every schedule perturbs).
+  {
+    pcr::Config config = options.base_config;
+    config.trace_events = true;
+    pcr::Runtime rt(config);
+    explore::TestContext ctx;
+    scenario.body(rt, ctx);
+    rt.Shutdown();
+    m.events_per_schedule = static_cast<int64_t>(rt.tracer().size());
+  }
+
+  options.workers = 1;
+  explore::Explorer serial(options);
+  auto t0 = std::chrono::steady_clock::now();
+  explore::ExploreResult serial_result = serial.Explore(scenario.body);
+  auto t1 = std::chrono::steady_clock::now();
+
+  options.workers = m.workers_parallel;
+  explore::Explorer parallel(options);
+  auto t2 = std::chrono::steady_clock::now();
+  explore::ExploreResult parallel_result = parallel.Explore(scenario.body);
+  auto t3 = std::chrono::steady_clock::now();
+
+  m.serial_seconds = Seconds(t0, t1);
+  m.parallel_seconds = Seconds(t2, t3);
+  // Throughput counts executed schedules: the full budget, since the parallel sweep runs every
+  // precomputed plan (the merge, not execution, applies the max_failures cutoff).
+  if (m.serial_seconds > 0) {
+    m.schedules_per_sec_serial = m.budget / m.serial_seconds;
+  }
+  if (m.parallel_seconds > 0) {
+    m.schedules_per_sec_parallel = m.budget / m.parallel_seconds;
+    m.events_per_sec_parallel =
+        static_cast<double>(m.events_per_schedule) * m.budget / m.parallel_seconds;
+  }
+  if (m.parallel_seconds > 0 && m.serial_seconds > 0) {
+    m.speedup = m.serial_seconds / m.parallel_seconds;
+  }
+  m.deterministic = SameResult(serial_result, parallel_result);
+  return m;
+}
+
+void WriteJson(const std::vector<Measurement>& all, const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_explore: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (size_t i = 0; i < all.size(); ++i) {
+    const Measurement& m = all[i];
+    std::fprintf(f,
+                 "    {\"scenario\": \"%s\", \"budget\": %d, \"workers\": %d,\n"
+                 "     \"serial_seconds\": %.6f, \"parallel_seconds\": %.6f,\n"
+                 "     \"schedules_per_sec_serial\": %.1f, \"schedules_per_sec_parallel\": "
+                 "%.1f,\n"
+                 "     \"speedup\": %.2f, \"events_per_schedule\": %lld,\n"
+                 "     \"events_per_sec_parallel\": %.1f, \"deterministic\": %s}%s\n",
+                 m.scenario.c_str(), m.budget, m.workers_parallel, m.serial_seconds,
+                 m.parallel_seconds, m.schedules_per_sec_serial, m.schedules_per_sec_parallel,
+                 m.speedup, static_cast<long long>(m.events_per_schedule),
+                 m.events_per_sec_parallel, m.deterministic ? "true" : "false",
+                 i + 1 < all.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    Usage();
+    return 2;
+  }
+
+  std::vector<const explore::BugScenario*> to_run;
+  for (const explore::BugScenario& s : explore::Scenarios()) {
+    if (args.scenario.empty() || args.scenario == s.name) {
+      to_run.push_back(&s);
+    }
+  }
+  if (to_run.empty()) {
+    std::fprintf(stderr, "bench_explore: unknown scenario '%s'\n", args.scenario.c_str());
+    return 2;
+  }
+
+  std::vector<Measurement> all;
+  bool deterministic = true;
+  for (const explore::BugScenario* scenario : to_run) {
+    Measurement m = RunScenario(*scenario, args);
+    std::printf(
+        "%-16s budget=%-4d workers=%-2d serial %7.1f sched/s, parallel %7.1f sched/s "
+        "(%.2fx), %.0f events/s, %s\n",
+        m.scenario.c_str(), m.budget, m.workers_parallel, m.schedules_per_sec_serial,
+        m.schedules_per_sec_parallel, m.speedup, m.events_per_sec_parallel,
+        m.deterministic ? "deterministic" : "MISMATCH");
+    deterministic = deterministic && m.deterministic;
+    all.push_back(std::move(m));
+  }
+
+  if (args.json) {
+    WriteJson(all, "BENCH_explore.json");
+  }
+  if (!deterministic) {
+    std::fprintf(stderr, "bench_explore: serial and parallel results diverged\n");
+    return 1;
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "src/explore/hash.h"
+#include "src/explore/pool.h"
 #include "src/pcr/errors.h"
 
 namespace explore {
@@ -154,7 +155,6 @@ ScheduleOutcome Explorer::Replay(const std::string& repro, const TestBody& body)
 
 ExploreResult Explorer::Explore(const TestBody& body) {
   ExploreResult result;
-  std::mt19937_64 master(options_.seed);
   std::vector<uint64_t> hashes;
 
   auto note_hash = [&hashes](uint64_t h) {
@@ -171,48 +171,72 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   note_hash(result.baseline.trace_hash);
   uint64_t horizon = std::max<uint64_t>(result.baseline.preempt_points, 16);
 
-  if (result.baseline.failed) {
-    ScheduleOutcome failure = result.baseline;
-    if (options_.minimize) {
-      failure = Minimize(failure, body);
-    }
-    result.failures.push_back(std::move(failure));
-  }
-
-  for (int i = 1; i < options_.budget && result.failures.size() < options_.max_failures; ++i) {
+  // Every plan is precomputed from (options, baseline) before anything executes. The horizon
+  // is fixed at the baseline's: letting it grow with each completed schedule would make plan i
+  // a function of schedules 0..i-1, serializing the whole sweep. With plans pure, any worker
+  // can run any schedule and the result cannot depend on who ran what when.
+  std::mt19937_64 master(options_.seed);
+  std::vector<Plan> plans;
+  plans.reserve(options_.budget > 1 ? static_cast<size_t>(options_.budget) - 1 : 0);
+  for (int i = 1; i < options_.budget; ++i) {
     Plan plan;
     plan.runtime_seed =
         options_.sweep_runtime_seed ? (master() | 1) : options_.base_config.seed;
     plan.policy.seed = master();
     plan.policy.preempt_probability = options_.preempt_probability;
     plan.policy.shuffle_probability = options_.shuffle_probability;
-    // PCT-style depth: schedule i gets i % 4 guaranteed change points within the horizon
-    // observed so far. Depth cycles 0..3 so shallow bugs are not starved by deep probing.
+    // PCT-style depth: schedule i gets i % 4 guaranteed change points within the baseline
+    // horizon. Depth cycles 0..3 so shallow bugs are not starved by deep probing.
     int depth = i % 4;
     for (int d = 0; d < depth; ++d) {
       plan.policy.change_points.push_back(master() % horizon);
     }
+    plans.push_back(std::move(plan));
+  }
 
-    ScheduleOutcome outcome = RunPlan(plan, i, body);
+  // Fan schedules across workers. Each RunPlan builds its own Runtime + Tracer and shares
+  // nothing, so schedules are embarrassingly parallel; outcomes land in their slot by index.
+  int workers = options_.workers > 0 ? options_.workers : WorkerPool::HardwareWorkers();
+  WorkerPool pool(workers);
+  std::vector<ScheduleOutcome> outcomes(plans.size());
+  pool.Run(plans.size(), [&](size_t k) {
+    outcomes[k] = RunPlan(plans[k], static_cast<int>(k) + 1, body);
+  });
+
+  // Deterministic merge in schedule-index order: identical hashes, dedup decisions and cutoff
+  // at any worker count. Outcomes past the max_failures cutoff were executed but are not
+  // consumed, matching the serial explorer's early stop.
+  std::vector<ScheduleOutcome> distinct;  // unminimized representative per bug
+  if (result.baseline.failed) {
+    distinct.push_back(result.baseline);
+  }
+  for (size_t k = 0; k < outcomes.size() && distinct.size() < options_.max_failures; ++k) {
+    ScheduleOutcome& outcome = outcomes[k];
     ++result.schedules_run;
     note_hash(outcome.trace_hash);
-    horizon = std::max(horizon, outcome.preempt_points);
-
     if (outcome.failed) {
       bool duplicate = false;
-      for (const ScheduleOutcome& known : result.failures) {
+      for (const ScheduleOutcome& known : distinct) {
         if (SameFailure(known, outcome)) {
           duplicate = true;
           break;
         }
       }
       if (!duplicate) {
-        if (options_.minimize) {
-          outcome = Minimize(outcome, body);
-        }
-        result.failures.push_back(std::move(outcome));
+        distinct.push_back(std::move(outcome));
       }
     }
+  }
+
+  // Minimization is a pure function of (representative, body) — replays run on whatever
+  // worker picks them up, one bug per task.
+  if (options_.minimize && !distinct.empty()) {
+    result.failures.resize(distinct.size());
+    pool.Run(distinct.size(), [&](size_t k) {
+      result.failures[k] = Minimize(distinct[k], body);
+    });
+  } else {
+    result.failures = std::move(distinct);
   }
 
   result.distinct_schedules = static_cast<int>(hashes.size());

@@ -68,6 +68,10 @@ struct ExploreOptions {
   size_t max_failures = 8;          // stop exploring after this many distinct failures
   bool minimize = true;             // shrink failing decision streams before reporting
   DetectorOptions detector;
+  // OS worker threads schedules are fanned across (0 = hardware concurrency, 1 = serial).
+  // The result is byte-identical for every value: schedules execute on whichever worker is
+  // free, but they are merged in schedule-index order.
+  int workers = 0;
 };
 
 // Everything known about one executed schedule.

@@ -1,0 +1,119 @@
+#include "src/explore/pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace explore {
+
+WorkerPool::WorkerPool(int workers) : workers_(std::max(workers, 1)) {}
+
+int WorkerPool::HardwareWorkers() {
+  unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+bool WorkerPool::PopOrSteal(std::vector<std::unique_ptr<Queue>>& queues, size_t self,
+                            size_t* task) {
+  {
+    Queue& mine = *queues[self];
+    std::lock_guard<std::mutex> lock(mine.mu);
+    if (!mine.tasks.empty()) {
+      *task = mine.tasks.front();
+      mine.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal from the back of the fullest victim: the back is the work the victim will reach
+  // last, so a steal displaces the least locality.
+  while (true) {
+    size_t victim = queues.size();
+    size_t victim_size = 0;
+    for (size_t i = 0; i < queues.size(); ++i) {
+      if (i == self) {
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(queues[i]->mu);
+      if (queues[i]->tasks.size() > victim_size) {
+        victim = i;
+        victim_size = queues[i]->tasks.size();
+      }
+    }
+    if (victim == queues.size()) {
+      return false;  // every queue empty: nothing left to do
+    }
+    std::lock_guard<std::mutex> lock(queues[victim]->mu);
+    if (!queues[victim]->tasks.empty()) {
+      *task = queues[victim]->tasks.back();
+      queues[victim]->tasks.pop_back();
+      return true;
+    }
+    // Lost the race for that victim; rescan.
+  }
+}
+
+void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
+  if (count == 0) {
+    return;
+  }
+  size_t n = std::min<size_t>(static_cast<size_t>(workers_), count);
+  if (n == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  // Deal contiguous blocks so each worker starts on a distinct region of the index space.
+  std::vector<std::unique_ptr<Queue>> queues;
+  queues.reserve(n);
+  for (size_t w = 0; w < n; ++w) {
+    queues.push_back(std::make_unique<Queue>());
+  }
+  for (size_t w = 0; w < n; ++w) {
+    size_t begin = count * w / n;
+    size_t end = count * (w + 1) / n;
+    for (size_t i = begin; i < end; ++i) {
+      queues[w]->tasks.push_back(i);
+    }
+  }
+
+  std::atomic<bool> abort{false};
+  std::mutex error_mu;
+  size_t error_index = std::numeric_limits<size_t>::max();
+  std::exception_ptr error;
+
+  auto work = [&](size_t self) {
+    size_t task = 0;
+    while (!abort.load(std::memory_order_relaxed) && PopOrSteal(queues, self, &task)) {
+      try {
+        fn(task);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (task < error_index) {
+          error_index = task;
+          error = std::current_exception();
+        }
+        abort.store(true, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (size_t w = 1; w < n; ++w) {
+    threads.emplace_back(work, w);
+  }
+  work(0);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace explore

@@ -1,0 +1,56 @@
+// Work-stealing worker pool for host-parallel schedule execution.
+//
+// The simulation itself stays single-OS-threaded and deterministic: each explored schedule
+// builds its own pcr::Runtime + Tracer and shares nothing with other schedules (all runtime
+// "current" state is thread_local). The pool only parallelizes *across* schedules — the
+// cooperative/competitive split: simulated threads cooperate inside one Runtime, OS workers
+// compete for whole schedules. Determinism is the merge's job (explorer.cc), not the pool's.
+
+#ifndef SRC_EXPLORE_POOL_H_
+#define SRC_EXPLORE_POOL_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace explore {
+
+class WorkerPool {
+ public:
+  // `workers` < 1 is clamped to 1 (the calling thread always participates as worker 0; only
+  // workers-1 OS threads are spawned per Run call).
+  explicit WorkerPool(int workers);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Executes fn(0) .. fn(count-1), each exactly once, using up to `workers` OS threads. Tasks
+  // are dealt to per-worker deques in contiguous index blocks; an idle worker pops from the
+  // front of its own deque and steals from the back of the busiest victim, so early indices
+  // complete early and steals grab the work farthest from the victim's own cursor. Blocks
+  // until every task has run. If any fn throws, remaining queued tasks are abandoned and the
+  // exception from the lowest task index is rethrown here.
+  void Run(size_t count, const std::function<void(size_t)>& fn);
+
+  int workers() const { return workers_; }
+
+  // std::thread::hardware_concurrency with a floor of 1.
+  static int HardwareWorkers();
+
+ private:
+  struct Queue {
+    std::mutex mu;
+    std::deque<size_t> tasks;
+  };
+
+  bool PopOrSteal(std::vector<std::unique_ptr<Queue>>& queues, size_t self, size_t* task);
+
+  int workers_;
+};
+
+}  // namespace explore
+
+#endif  // SRC_EXPLORE_POOL_H_

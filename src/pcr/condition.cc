@@ -6,7 +6,7 @@ namespace pcr {
 
 Condition::Condition(MonitorLock& lock, std::string name, Usec timeout)
     : lock_(lock), name_(std::move(name)), id_(lock.scheduler().NextObjectId()),
-      timeout_(timeout) {}
+      name_sym_(lock.scheduler().InternName(name_)), timeout_(timeout) {}
 
 size_t Condition::waiter_count() const { return waiters_.size(); }
 
@@ -17,7 +17,7 @@ bool Condition::Wait() {
   }
   Tcb* me = s.CurrentTcb();
   me->notified_by = kNoThread;
-  s.Emit(trace::EventType::kCvWait, id_);
+  s.Emit(trace::EventType::kCvWait, id_, 0, name_sym_);
   s.Charge(s.config().costs.cv_wait);
   s.EnqueueCurrentWaiter(waiters_);
   // "The WAIT operation atomically releases the monitor lock and adds its calling thread to the
@@ -32,7 +32,7 @@ bool Condition::Wait() {
     lock_.ForceAcquireForUnwind();
     throw;
   }
-  s.Emit(timed_out ? trace::EventType::kCvTimeout : trace::EventType::kCvNotified, id_);
+  s.Emit(timed_out ? trace::EventType::kCvTimeout : trace::EventType::kCvNotified, id_, 0, name_sym_);
   ThreadId notifier = timed_out ? kNoThread : me->notified_by;
   lock_.ReacquireAfterWait(notifier);
   // Exploration point: a WAIT that has re-acquired the lock but not yet rechecked its predicate
@@ -77,7 +77,7 @@ void Condition::Notify() {
   }
   RequireLockForSignal("NOTIFY");
   bool woke = SignalOne();
-  s.Emit(trace::EventType::kCvNotify, id_, woke ? 1 : 0);
+  s.Emit(trace::EventType::kCvNotify, id_, woke ? 1 : 0, name_sym_);
   s.Charge(s.config().costs.cv_notify);
   // Exploration point: notify-then-preempt is the schedule behind Section 6.1's spurious lock
   // conflicts when rescheduling is not deferred.
@@ -100,7 +100,7 @@ void Condition::Broadcast() {
   while (SignalOne()) {
     ++woken;
   }
-  s.Emit(trace::EventType::kCvBroadcast, id_, woken);
+  s.Emit(trace::EventType::kCvBroadcast, id_, woken, name_sym_);
   s.Charge(s.config().costs.cv_notify);
   s.MaybeForcePreempt(PreemptPoint::kNotify);
 }

@@ -73,6 +73,7 @@ class Condition {
   MonitorLock& lock_;
   std::string name_;
   ObjectId id_;
+  uint32_t name_sym_;  // `name_` interned in the tracer's symbol table
   Usec timeout_;
   std::deque<WaitEntry> waiters_;
 };

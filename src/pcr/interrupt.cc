@@ -7,7 +7,8 @@
 namespace pcr {
 
 InterruptSource::InterruptSource(Scheduler& scheduler, std::string name)
-    : scheduler_(scheduler), name_(std::move(name)), id_(scheduler.NextObjectId()) {}
+    : scheduler_(scheduler), name_(std::move(name)), id_(scheduler.NextObjectId()),
+      name_sym_(scheduler.InternName(name_)) {}
 
 void InterruptSource::PostAt(Usec time, uint64_t payload) {
   scheduler_.ScheduleInterrupt(time, this, payload);
@@ -15,7 +16,7 @@ void InterruptSource::PostAt(Usec time, uint64_t payload) {
 
 void InterruptSource::DeliverFromScheduler(uint64_t payload) {
   queue_.push_back(payload);
-  scheduler_.Emit(trace::EventType::kInterrupt, id_);
+  scheduler_.Emit(trace::EventType::kInterrupt, id_, 0, name_sym_);
   ThreadId waiter = scheduler_.PopValidWaiter(waiters_);
   if (waiter != kNoThread) {
     scheduler_.WakeThread(waiter, /*from_timer=*/false);

@@ -49,6 +49,7 @@ class InterruptSource {
   Scheduler& scheduler_;
   std::string name_;
   ObjectId id_;
+  uint32_t name_sym_;  // `name_` interned in the tracer's symbol table
   std::deque<uint64_t> queue_;
   std::deque<WaitEntry> waiters_;
 };

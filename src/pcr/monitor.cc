@@ -5,7 +5,8 @@
 namespace pcr {
 
 MonitorLock::MonitorLock(Scheduler& scheduler, std::string name)
-    : scheduler_(scheduler), name_(std::move(name)), id_(scheduler.NextObjectId()) {}
+    : scheduler_(scheduler), name_(std::move(name)), id_(scheduler.NextObjectId()),
+      name_sym_(scheduler.InternName(name_)) {}
 
 MonitorLock::~MonitorLock() { scheduler_.SetMonitorOwner(this, kNoThread); }
 
@@ -14,7 +15,7 @@ bool MonitorLock::HeldByCurrent() const {
 }
 
 void MonitorLock::Enter() {
-  scheduler_.Emit(trace::EventType::kMlEnter, id_);
+  scheduler_.Emit(trace::EventType::kMlEnter, id_, 0, name_sym_);
   scheduler_.Charge(scheduler_.config().costs.monitor_enter);
   AcquireSlowPath(/*count_spurious=*/false, kNoThread);
   // Exploration point: being preempted right after acquiring (still holding the lock) is legal
@@ -23,7 +24,7 @@ void MonitorLock::Enter() {
 }
 
 void MonitorLock::ReacquireAfterWait(ThreadId notifier) {
-  scheduler_.Emit(trace::EventType::kMlEnter, id_);
+  scheduler_.Emit(trace::EventType::kMlEnter, id_, 0, name_sym_);
   scheduler_.Charge(scheduler_.config().costs.monitor_enter);
   AcquireSlowPath(/*count_spurious=*/true, notifier);
 }
@@ -41,11 +42,11 @@ void MonitorLock::AcquireSlowPath(bool count_spurious, ThreadId notifier) {
   while (owner_ != kNoThread) {
     if (!contended) {
       contended = true;
-      scheduler_.Emit(trace::EventType::kMlContend, id_, owner_);
+      scheduler_.Emit(trace::EventType::kMlContend, id_, owner_, name_sym_);
       if (count_spurious && notifier != kNoThread && owner_ == notifier) {
         // Section 6.1: the notified thread woke up only to block on the monitor still held by
         // its notifier — a spurious lock conflict ("useless trips through the scheduler").
-        scheduler_.Emit(trace::EventType::kSpuriousConflict, id_, notifier);
+        scheduler_.Emit(trace::EventType::kSpuriousConflict, id_, notifier, name_sym_);
       }
       if (scheduler_.config().detect_deadlock && scheduler_.WouldDeadlock(owner_)) {
         throw DeadlockError("pcr: monitor wait cycle detected entering " + name_);
@@ -67,7 +68,7 @@ bool MonitorLock::TryEnter() {
   if (owner_ != kNoThread) {
     return false;
   }
-  scheduler_.Emit(trace::EventType::kMlEnter, id_);
+  scheduler_.Emit(trace::EventType::kMlEnter, id_, 0, name_sym_);
   scheduler_.Charge(scheduler_.config().costs.monitor_enter);
   // The charge is a preemption point; someone may have taken the lock meanwhile.
   if (owner_ != kNoThread) {
@@ -82,7 +83,7 @@ void MonitorLock::Exit() {
   if (!HeldByCurrent()) {
     throw UsageError("pcr: monitor Exit without ownership (" + name_ + ")");
   }
-  scheduler_.Emit(trace::EventType::kMlExit, id_);
+  scheduler_.Emit(trace::EventType::kMlExit, id_, 0, name_sym_);
   ReleaseInternal();
   scheduler_.Charge(scheduler_.config().costs.monitor_exit);
   // Exploration point: the barging window — woken waiters compete for the lock from here.
@@ -90,7 +91,7 @@ void MonitorLock::Exit() {
 }
 
 void MonitorLock::ReleaseForWait() {
-  scheduler_.Emit(trace::EventType::kMlExit, id_);
+  scheduler_.Emit(trace::EventType::kMlExit, id_, 0, name_sym_);
   ReleaseInternal();
 }
 

@@ -69,6 +69,7 @@ class MonitorLock {
   Scheduler& scheduler_;
   std::string name_;
   ObjectId id_;
+  uint32_t name_sym_;  // `name_` interned in the tracer's symbol table
   ThreadId owner_ = kNoThread;
   std::deque<WaitEntry> entry_waiters_;
   std::vector<ThreadId> deferred_wakeups_;

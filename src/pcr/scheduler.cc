@@ -20,6 +20,11 @@ int ClampPriority(int priority) {
   return std::clamp(priority, kMinPriority, kMaxPriority);
 }
 
+// Highest set bit index of a non-zero mask (ready levels fit in an int).
+inline int TopSetBit(uint32_t mask) {
+  return 31 - __builtin_clz(mask);
+}
+
 }  // namespace
 
 Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
@@ -50,7 +55,41 @@ const Tcb* Scheduler::FindThread(ThreadId tid) const {
   return tcbs_[tid - 1].get();
 }
 
-void Scheduler::Emit(trace::EventType type, ObjectId object, uint64_t arg) {
+void Scheduler::PushReady(Tcb& tcb, bool front) {
+  auto& queue = ready_[tcb.priority];
+  if (queue.empty()) {
+    ready_mask_ |= 1u << tcb.priority;
+  }
+  if (front) {
+    queue.push_front(tcb.id);
+  } else {
+    queue.push_back(tcb.id);
+  }
+}
+
+void Scheduler::SetBoosted(Tcb& tcb, bool value) {
+  if (tcb.boosted != value) {
+    tcb.boosted = value;
+    boosted_count_ += value ? 1 : -1;
+  }
+}
+
+void Scheduler::SetPenalized(Tcb& tcb, bool value) {
+  if (tcb.penalized != value) {
+    tcb.penalized = value;
+    penalized_count_ += value ? 1 : -1;
+  }
+}
+
+void Scheduler::SetInheritedPriority(Tcb& tcb, int value) {
+  if ((tcb.inherited_priority > 0) != (value > 0)) {
+    inherited_count_ += value > 0 ? 1 : -1;
+  }
+  tcb.inherited_priority = value;
+}
+
+void Scheduler::Emit(trace::EventType type, ObjectId object, uint64_t arg,
+                     uint32_t object_sym) {
   if (tracer_ == nullptr || !tracer_->enabled() || shutting_down_ || !config_.trace_events) {
     return;
   }
@@ -60,11 +99,20 @@ void Scheduler::Emit(trace::EventType type, ObjectId object, uint64_t arg) {
   e.thread = current_tid_;
   e.object = object;
   e.arg = arg;
+  e.object_sym = object_sym;
   if (Tcb* me = CurrentTcb()) {
     e.priority = static_cast<uint8_t>(me->priority);
     e.processor = static_cast<uint16_t>(me->processor >= 0 ? me->processor : 0);
+    e.thread_sym = me->name_sym;
   }
   tracer_->Record(e);
+}
+
+uint32_t Scheduler::InternName(std::string_view name) {
+  if (tracer_ == nullptr || !config_.trace_events || name.empty()) {
+    return 0;
+  }
+  return tracer_->symbols().Intern(name);
 }
 
 // ---------------------------------------------------------------------------
@@ -88,17 +136,19 @@ ThreadId Scheduler::Fork(std::function<void()> body, ForkOptions options) {
   ThreadId id = static_cast<ThreadId>(tcbs_.size()) + 1;
   tcb->id = id;
   tcb->name = options.name.empty() ? "thread-" + std::to_string(id) : std::move(options.name);
+  tcb->name_sym = InternName(tcb->name);
   tcb->priority = ClampPriority(options.priority);
   tcb->entry = std::move(body);
   tcb->stack_bytes = options.stack_bytes;
   tcb->parent = me != nullptr ? me->id : kNoThread;
   tcb->forked_at = now_;
   tcb->state = ThreadState::kReady;
-  ready_[tcb->priority].push_back(id);
+  PushReady(*tcb);
   tcbs_.push_back(std::move(tcb));
   ++live_threads_;
   ++total_forks_;
-  Emit(trace::EventType::kThreadFork, id, static_cast<uint64_t>(ClampPriority(options.priority)));
+  Emit(trace::EventType::kThreadFork, id, static_cast<uint64_t>(ClampPriority(options.priority)),
+       GetTcb(id).name_sym);
   Charge(config_.costs.fork);  // preemption point: a higher-priority child starts promptly
   return id;
 }
@@ -128,7 +178,7 @@ void Scheduler::Join(ThreadId tid) {
     BlockCurrent(BlockReason::kJoin, &target, -1);
   }
   target.joined = true;
-  Emit(trace::EventType::kThreadJoin, tid);
+  Emit(trace::EventType::kThreadJoin, tid, 0, target.name_sym);
   std::exception_ptr uncaught = target.uncaught;
   target.uncaught = nullptr;
   ReapIfPossible(target);
@@ -143,7 +193,7 @@ void Scheduler::Detach(ThreadId tid) {
     throw UsageError("pcr: DETACH on joined thread " + target.name);
   }
   target.detached = true;
-  Emit(trace::EventType::kThreadDetach, tid);
+  Emit(trace::EventType::kThreadDetach, tid, 0, target.name_sym);
   ReapIfPossible(target);
 }
 
@@ -174,8 +224,8 @@ void Scheduler::Yield() {
   Emit(trace::EventType::kYield);
   Charge(config_.costs.yield);
   me->state = ThreadState::kReady;
-  me->boosted = false;
-  ready_[me->priority].push_back(me->id);
+  SetBoosted(*me, false);
+  PushReady(*me);
   running_[static_cast<size_t>(me->processor)] = kNoThread;
   me->processor = -1;
   me->fiber->Suspend();
@@ -196,10 +246,10 @@ void Scheduler::YieldButNotToMe() {
   Charge(config_.costs.yield);
   // "gives the processor to the highest priority ready thread other than its caller, if such a
   // thread exists" (Section 5.2); the penalty lasts until the end of the timeslice (Section 6.3).
-  me->penalized = true;
+  SetPenalized(*me, true);
   me->state = ThreadState::kReady;
-  me->boosted = false;
-  ready_[me->priority].push_back(me->id);
+  SetBoosted(*me, false);
+  PushReady(*me);
   running_[static_cast<size_t>(me->processor)] = kNoThread;
   me->processor = -1;
   me->fiber->Suspend();
@@ -216,15 +266,15 @@ void Scheduler::DirectedYield(ThreadId target) {
   if (shutting_down_) {
     throw ThreadKilled();
   }
-  Emit(trace::EventType::kDirectedYield, target);
+  Emit(trace::EventType::kDirectedYield, target, 0, GetTcb(target).name_sym);
   Charge(config_.costs.yield);
   Tcb& donee = GetTcb(target);
   if (donee.state == ThreadState::kReady) {
-    donee.boosted = true;  // wins selection regardless of priority, until the next tick
+    SetBoosted(donee, true);  // wins selection regardless of priority, until the next tick
   }
   me->state = ThreadState::kReady;
-  me->boosted = false;
-  ready_[me->priority].push_back(me->id);
+  SetBoosted(*me, false);
+  PushReady(*me);
   running_[static_cast<size_t>(me->processor)] = kNoThread;
   me->processor = -1;
   me->fiber->Suspend();
@@ -277,9 +327,9 @@ bool Scheduler::BlockCurrent(BlockReason reason, const void* object, Usec deadli
   me->block_reason = reason;
   me->wait_object = object;
   me->timer_fired = false;
-  me->boosted = false;
+  SetBoosted(*me, false);
   if (deadline >= 0) {
-    timers_.push(TimerEntry{deadline, me->id, me->wait_epoch});
+    ArmTimer(deadline, me->id, me->wait_epoch);
   }
   if (me->processor >= 0) {
     running_[static_cast<size_t>(me->processor)] = kNoThread;
@@ -305,16 +355,13 @@ void Scheduler::WakeThread(ThreadId tid, bool from_timer, bool front) {
   t.state = ThreadState::kReady;
   t.block_reason = BlockReason::kNone;
   t.wait_object = nullptr;
-  if (front) {
-    ready_[t.priority].push_front(tid);
-  } else {
-    ready_[t.priority].push_back(tid);
-  }
+  PushReady(t, front);
   if (from_timer && tracer_ != nullptr && tracer_->enabled() && config_.trace_events) {
     trace::Event e;
     e.time_us = now_;
     e.type = trace::EventType::kTimerFire;
     e.thread = tid;
+    e.thread_sym = t.name_sym;
     e.priority = static_cast<uint8_t>(t.priority);
     tracer_->Record(e);
   }
@@ -376,16 +423,19 @@ void Scheduler::ScheduleInterrupt(Usec time, InterruptSource* source, uint64_t p
 }
 
 ThreadId Scheduler::RandomReadyThread() {
-  std::vector<ThreadId> candidates;
-  for (int pri = kMinPriority; pri <= kMaxPriority; ++pri) {
+  random_scratch_.clear();
+  uint32_t mask = ready_mask_;
+  while (mask != 0) {
+    int pri = __builtin_ctz(mask);
+    mask &= mask - 1;
     for (ThreadId tid : ready_[pri]) {
-      candidates.push_back(tid);
+      random_scratch_.push_back(tid);
     }
   }
-  if (candidates.empty()) {
+  if (random_scratch_.empty()) {
     return kNoThread;
   }
-  return candidates[RandomIndex(candidates.size())];
+  return random_scratch_[RandomIndex(random_scratch_.size())];
 }
 
 // ---------------------------------------------------------------------------
@@ -426,8 +476,8 @@ void Scheduler::MaybeForcePreempt(PreemptPoint point) {
   // changing policy.
   Emit(trace::EventType::kForcedPreempt, 0, static_cast<uint64_t>(point));
   me->state = ThreadState::kReady;
-  me->boosted = false;
-  ready_[me->priority].push_back(me->id);
+  SetBoosted(*me, false);
+  PushReady(*me);
   running_[static_cast<size_t>(me->processor)] = kNoThread;
   me->processor = -1;
   me->fiber->Suspend();
@@ -451,12 +501,52 @@ int Scheduler::EffectivePriority(const Tcb& tcb) const {
 }
 
 ThreadId Scheduler::SelectReady(bool pop) {
+  // Fast path: with no boosted/penalized/inherited thread anywhere and strict-priority
+  // scheduling, effective priority equals base priority, so the best candidate is simply the
+  // front of the highest non-empty level — one find-first-set on the ready mask instead of a
+  // three-pass scan over every queue. Falls back to the full scan whenever any modifier is
+  // live (the counters track them exactly) or under fair share, whose rank depends on
+  // accumulated CPU rather than the queue level.
+  if (boosted_count_ == 0 && penalized_count_ == 0 && inherited_count_ == 0 &&
+      config_.scheduling == SchedulingPolicy::kStrictPriority) {
+    if (ready_mask_ == 0) {
+      return kNoThread;
+    }
+    int pri = TopSetBit(ready_mask_);
+    auto& queue = ready_[pri];
+    // Threads tied at the top level are interchangeable; the perturber may re-decide the
+    // round-robin accident, exactly as in the slow path (consulted only when popping).
+    if (pop && perturber_ != nullptr && queue.size() > 1) {
+      tied_scratch_.assign(queue.begin(), queue.end());
+      size_t choice = perturber_->PickNext(tied_scratch_.data(), tied_scratch_.size());
+      if (choice >= tied_scratch_.size()) {
+        choice = 0;
+      }
+      ThreadId tid = tied_scratch_[choice];
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(choice));
+      SyncReadyMask(pri);
+      return tid;
+    }
+    ThreadId tid = queue.front();
+    if (pop) {
+      queue.pop_front();
+      SyncReadyMask(pri);
+    }
+    return tid;
+  }
+  return SelectReadySlow(pop);
+}
+
+ThreadId Scheduler::SelectReadySlow(bool pop) {
   // Pass 0: directed-yield donees win outright. Pass 1: selection by *effective* priority
   // (inheritance included), skipping YieldButNotToMe-penalized threads. Pass 2: penalized
   // threads as a last resort ("...other than its caller, if such a thread exists"). Queues are
   // indexed by base priority, so pass 1 scans for the best effective priority rather than
   // taking the first nonempty queue.
   for (int pass = 0; pass < 3; ++pass) {
+    if (pass == 0 && boosted_count_ == 0) {
+      continue;  // nothing can match; skip the scan
+    }
     auto rank = [this, pass](const Tcb& t) {
       if (config_.scheduling == SchedulingPolicy::kFairShare && pass == 1) {
         // Proportional share: prefer the thread with the least CPU consumed per unit of
@@ -471,6 +561,9 @@ ThreadId Scheduler::SelectReady(bool pop) {
     int best_pri = -1;
     std::deque<ThreadId>::iterator best_it;
     for (int pri = kMaxPriority; pri >= kMinPriority; --pri) {
+      if ((ready_mask_ & (1u << pri)) == 0) {
+        continue;
+      }
       auto& queue = ready_[pri];
       for (auto it = queue.begin(); it != queue.end(); ++it) {
         Tcb& t = GetTcb(*it);
@@ -483,6 +576,7 @@ ThreadId Scheduler::SelectReady(bool pop) {
           ThreadId tid = *it;
           if (pop) {
             queue.erase(it);
+            SyncReadyMask(pri);
           }
           return tid;
         }
@@ -499,30 +593,32 @@ ThreadId Scheduler::SelectReady(bool pop) {
       // one runs is the round-robin accident a perturber is allowed to re-decide. Consulted
       // only when actually dispatching (pop), so peeks stay side-effect free.
       if (pop && perturber_ != nullptr && pass == 1) {
-        std::vector<ThreadId> tied;
+        tied_scratch_.clear();
         for (int pri = kMaxPriority; pri >= kMinPriority; --pri) {
           for (ThreadId tid : ready_[pri]) {
             Tcb& t = GetTcb(tid);
             if (!t.penalized && !t.boosted && rank(t) == best_eff) {
-              tied.push_back(tid);
+              tied_scratch_.push_back(tid);
             }
           }
         }
-        if (tied.size() > 1) {
-          size_t choice = perturber_->PickNext(tied.data(), tied.size());
-          if (choice >= tied.size()) {
+        if (tied_scratch_.size() > 1) {
+          size_t choice = perturber_->PickNext(tied_scratch_.data(), tied_scratch_.size());
+          if (choice >= tied_scratch_.size()) {
             choice = 0;
           }
-          ThreadId tid = tied[choice];
+          ThreadId tid = tied_scratch_[choice];
           Tcb& t = GetTcb(tid);
           auto& queue = ready_[t.priority];
           queue.erase(std::find(queue.begin(), queue.end(), tid));
+          SyncReadyMask(t.priority);
           return tid;
         }
       }
       ThreadId tid = *best_it;
       if (pop) {
         ready_[best_pri].erase(best_it);
+        SyncReadyMask(best_pri);
       }
       return tid;
     }
@@ -551,7 +647,7 @@ void Scheduler::DonatePriority(ThreadId owner) {
     if (EffectivePriority(holder) >= donation) {
       break;  // holder already outranks the donation
     }
-    holder.inherited_priority = std::max(holder.inherited_priority, donation);
+    SetInheritedPriority(holder, std::max(holder.inherited_priority, donation));
     if (holder.state != ThreadState::kBlocked || holder.block_reason != BlockReason::kMonitor) {
       break;
     }
@@ -567,7 +663,7 @@ void Scheduler::ClearInheritedPriority(ThreadId tid) {
   if (tid == kNoThread || tid > tcbs_.size()) {
     return;
   }
-  tcbs_[tid - 1]->inherited_priority = 0;
+  SetInheritedPriority(*tcbs_[tid - 1], 0);
 }
 
 void Scheduler::AssignProcessors() {
@@ -602,6 +698,7 @@ void Scheduler::AssignProcessors() {
         e.type = trace::EventType::kSwitch;
         e.processor = static_cast<uint16_t>(p);
         e.thread = tid;
+        e.thread_sym = t.name_sym;
         e.priority = static_cast<uint8_t>(t.priority);
         tracer_->Record(e);
       }
@@ -641,11 +738,11 @@ void Scheduler::PreemptIfNeeded() {
     // "If a system event causes a higher priority thread to become runnable, the scheduler will
     // preempt the currently running thread, even if it holds monitor locks" (Section 2).
     Tcb& victim = GetTcb(running_[static_cast<size_t>(weakest_proc)]);
-    Emit(trace::EventType::kPreempt, victim.id);
+    Emit(trace::EventType::kPreempt, victim.id, 0, victim.name_sym);
     victim.state = ThreadState::kReady;
     victim.processor = -1;
-    victim.boosted = false;
-    ready_[victim.priority].push_front(victim.id);
+    SetBoosted(victim, false);
+    PushReady(victim, /*front=*/true);
     running_[static_cast<size_t>(weakest_proc)] = kNoThread;
     AssignProcessors();
   }
@@ -760,14 +857,77 @@ Usec Scheduler::TickAtOrAfter(Usec t) const {
   return (t + config_.quantum - 1) / config_.quantum * config_.quantum;
 }
 
-Usec Scheduler::NextTimerDeadline() {
-  while (!timers_.empty()) {
-    const TimerEntry& top = timers_.top();
-    Tcb& t = GetTcb(top.tid);
-    if (t.state == ThreadState::kBlocked && t.wait_epoch == top.epoch) {
-      return top.deadline;
+std::vector<Scheduler::TimerEntry> Scheduler::TakeBucket() {
+  if (timer_bucket_pool_.empty()) {
+    return {};
+  }
+  std::vector<TimerEntry> bucket = std::move(timer_bucket_pool_.back());
+  timer_bucket_pool_.pop_back();
+  return bucket;
+}
+
+void Scheduler::RecycleBucket(std::vector<TimerEntry> bucket) {
+  bucket.clear();
+  if (timer_bucket_pool_.size() < 64) {
+    timer_bucket_pool_.push_back(std::move(bucket));
+  }
+}
+
+void Scheduler::ArmTimer(Usec deadline, ThreadId tid, uint64_t epoch) {
+  // Deadlines come from GridDeadline, so the covering tick is exact; a non-aligned deadline
+  // (defensive) lands in the first tick at/after it, which is when timers fire anyway.
+  Usec tick = (std::max<Usec>(deadline, 0) + config_.quantum - 1) / config_.quantum;
+  if (timer_count_ == 0) {
+    while (!timer_wheel_.empty()) {
+      RecycleBucket(std::move(timer_wheel_.front()));
+      timer_wheel_.pop_front();
     }
-    timers_.pop();  // stale: the thread was woken by something else
+    wheel_base_tick_ = tick;
+    wheel_scan_hint_ = 0;
+  }
+  // The wheel grows at both ends: a deadline earlier than every bucket so far pulls the base
+  // back to its tick. A tick at/under the last-fired tick still gets a real front bucket — it
+  // fires on the next FireTimersUpTo call (next quantum), exactly like the old heap.
+  if (tick < wheel_base_tick_) {
+    for (Usec i = wheel_base_tick_ - tick; i > 0; --i) {
+      timer_wheel_.push_front(TakeBucket());
+    }
+    wheel_base_tick_ = tick;
+    wheel_scan_hint_ = 0;
+  }
+  size_t index = static_cast<size_t>(tick - wheel_base_tick_);
+  while (timer_wheel_.size() <= index) {
+    timer_wheel_.push_back(TakeBucket());
+  }
+  timer_wheel_[index].push_back(TimerEntry{deadline, tid, epoch});
+  wheel_scan_hint_ = std::min(wheel_scan_hint_, index);
+  ++timer_count_;
+}
+
+Usec Scheduler::NextTimerDeadline() {
+  // Scan forward from the first possibly-non-empty bucket, compacting out stale entries
+  // (threads woken by something else) like the old heap's pop loop. The hint makes repeated
+  // calls amortized O(1); the base never moves here, so future buckets keep their tick.
+  while (timer_count_ > 0 && wheel_scan_hint_ < timer_wheel_.size()) {
+    std::vector<TimerEntry>& bucket = timer_wheel_[wheel_scan_hint_];
+    size_t kept = 0;
+    Usec best = -1;
+    for (const TimerEntry& entry : bucket) {
+      const Tcb& t = GetTcb(entry.tid);
+      if (t.state == ThreadState::kBlocked && t.wait_epoch == entry.epoch) {
+        if (best < 0 || entry.deadline < best) {
+          best = entry.deadline;
+        }
+        bucket[kept++] = entry;
+      } else {
+        --timer_count_;
+      }
+    }
+    bucket.resize(kept);
+    if (kept > 0) {
+      return best;
+    }
+    ++wheel_scan_hint_;
   }
   return -1;
 }
@@ -777,13 +937,22 @@ Usec Scheduler::NextInterruptTime() const {
 }
 
 void Scheduler::FireTimersUpTo(Usec t) {
-  while (!timers_.empty() && timers_.top().deadline <= t) {
-    TimerEntry entry = timers_.top();
-    timers_.pop();
-    Tcb& thread = GetTcb(entry.tid);
-    if (thread.state == ThreadState::kBlocked && thread.wait_epoch == entry.epoch) {
-      WakeThread(entry.tid, /*from_timer=*/true);
+  Usec target_tick = t / config_.quantum;  // buckets with tick*quantum <= t are due
+  while (timer_count_ > 0 && !timer_wheel_.empty() && wheel_base_tick_ <= target_tick) {
+    std::vector<TimerEntry> bucket = std::move(timer_wheel_.front());
+    timer_wheel_.pop_front();
+    ++wheel_base_tick_;
+    if (wheel_scan_hint_ > 0) {
+      --wheel_scan_hint_;
     }
+    for (const TimerEntry& entry : bucket) {
+      --timer_count_;
+      Tcb& thread = GetTcb(entry.tid);
+      if (thread.state == ThreadState::kBlocked && thread.wait_epoch == entry.epoch) {
+        WakeThread(entry.tid, /*from_timer=*/true);
+      }
+    }
+    RecycleBucket(std::move(bucket));
   }
 }
 
@@ -797,10 +966,13 @@ void Scheduler::DeliverInterruptsUpTo(Usec t) {
 
 void Scheduler::HandleTick() {
   // The tick ends YieldButNotToMe penalties and directed-yield boosts (Section 6.3: "The end of
-  // a timeslice ends the effect of a YieldButNotToMe or a directed yield").
-  for (auto& tcb : tcbs_) {
-    tcb->penalized = false;
-    tcb->boosted = false;
+  // a timeslice ends the effect of a YieldButNotToMe or a directed yield"). The counters make
+  // the sweep free in the overwhelmingly common tick with no live modifier.
+  if (penalized_count_ > 0 || boosted_count_ > 0) {
+    for (auto& tcb : tcbs_) {
+      SetPenalized(*tcb, false);
+      SetBoosted(*tcb, false);
+    }
   }
   FireTimersUpTo(now_);
   // Round-robin rotation among equal (effective) priorities; under fair share the tick is the
@@ -820,7 +992,7 @@ void Scheduler::HandleTick() {
     if (rotate) {
       t.state = ThreadState::kReady;
       t.processor = -1;
-      ready_[t.priority].push_back(tid);
+      PushReady(t);
       running_[p] = kNoThread;
     }
   }
@@ -965,6 +1137,7 @@ void Scheduler::Shutdown() {
   for (auto& queue : ready_) {
     queue.clear();
   }
+  ready_mask_ = 0;
   std::fill(running_.begin(), running_.end(), kNoThread);
 }
 

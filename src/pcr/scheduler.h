@@ -25,6 +25,7 @@
 #include <queue>
 #include <random>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -68,6 +69,7 @@ struct WaitEntry {
 struct Tcb {
   ThreadId id = kNoThread;
   std::string name;
+  uint32_t name_sym = 0;  // `name` interned in the tracer's SymbolTable (0 when not tracing)
   int priority = kDefaultPriority;
   ThreadState state = ThreadState::kReady;
   BlockReason block_reason = BlockReason::kNone;
@@ -198,7 +200,12 @@ class Scheduler {
   // Charges virtual time to the current thread (no-op from the host context or when cost == 0).
   void Charge(Usec cost);
 
-  void Emit(trace::EventType type, ObjectId object = 0, uint64_t arg = 0);
+  void Emit(trace::EventType type, ObjectId object = 0, uint64_t arg = 0,
+            uint32_t object_sym = 0);
+
+  // Interns a name in the tracer's symbol table so events can reference it by id. Returns 0
+  // (anonymous) when tracing is off; callers cache the result.
+  uint32_t InternName(std::string_view name);
 
   ObjectId NextObjectId() { return ++next_object_id_; }
 
@@ -237,7 +244,6 @@ class Scheduler {
     Usec deadline;
     ThreadId tid;
     uint64_t epoch;
-    bool operator>(const TimerEntry& other) const { return deadline > other.deadline; }
   };
 
   struct PendingInterrupt {
@@ -260,7 +266,30 @@ class Scheduler {
   // untouched (peek); the perturber tie-break is consulted only when popping, so peeks stay
   // side-effect free.
   ThreadId SelectReady(bool pop);
+  ThreadId SelectReadySlow(bool pop);
   int EffectivePriority(const Tcb& tcb) const;
+
+  // All ready-queue pushes and the boosted/penalized/inherited flags go through these so the
+  // non-empty-level bitmask and the modifier counters stay exact. The counters exist to let
+  // SelectReady take its find-first-set fast path (and HandleTick skip its clear sweep) in the
+  // common case where no thread carries a scheduling modifier.
+  void PushReady(Tcb& tcb, bool front = false);
+  void SyncReadyMask(int priority) {
+    if (ready_[priority].empty()) {
+      ready_mask_ &= ~(1u << priority);
+    }
+  }
+  void SetBoosted(Tcb& tcb, bool value);
+  void SetPenalized(Tcb& tcb, bool value);
+  void SetInheritedPriority(Tcb& tcb, int value);
+
+  // Timer bucket wheel. Deadlines come from GridDeadline, so they land on the quantum grid;
+  // each bucket holds the entries due at one tick and firing a tick is one bucket pop instead
+  // of a heap walk. Entries are validated against the thread's wait epoch when fired or
+  // scanned, exactly like the old priority-queue implementation.
+  void ArmTimer(Usec deadline, ThreadId tid, uint64_t epoch);
+  std::vector<TimerEntry> TakeBucket();
+  void RecycleBucket(std::vector<TimerEntry> bucket);
 
   RunStatus RunLoop(Usec deadline, bool idle_to_deadline);
   Usec NextTickAfter(Usec t) const;     // strictly greater than t, on the quantum grid
@@ -289,11 +318,24 @@ class Scheduler {
 
   std::vector<std::unique_ptr<Tcb>> tcbs_;  // index = tid - 1
   std::deque<ThreadId> ready_[kNumPriorityLevels];
+  uint32_t ready_mask_ = 0;   // bit p set iff ready_[p] is non-empty
+  int boosted_count_ = 0;     // threads with the boosted flag set
+  int penalized_count_ = 0;   // threads with the penalized flag set
+  int inherited_count_ = 0;   // threads with inherited_priority > 0
+  std::vector<ThreadId> tied_scratch_;    // SelectReady tie-break candidates (reused)
+  std::vector<ThreadId> random_scratch_;  // RandomReadyThread candidates (reused)
   std::vector<ThreadId> running_;       // per processor; kNoThread = idle
   std::vector<ThreadId> last_running_;  // per processor; for switch-event dedup
   std::unordered_map<const void*, ThreadId> monitor_owner_;
 
-  std::priority_queue<TimerEntry, std::vector<TimerEntry>, std::greater<TimerEntry>> timers_;
+  // Timer wheel: timer_wheel_[i] holds entries due at tick (wheel_base_tick_ + i) on the
+  // quantum grid. timer_count_ counts live (possibly stale) entries across all buckets.
+  std::deque<std::vector<TimerEntry>> timer_wheel_;
+  Usec wheel_base_tick_ = 0;
+  size_t wheel_scan_hint_ = 0;  // buckets below this index are known empty
+  size_t timer_count_ = 0;
+  std::vector<std::vector<TimerEntry>> timer_bucket_pool_;
+
   std::priority_queue<PendingInterrupt, std::vector<PendingInterrupt>,
                       std::greater<PendingInterrupt>>
       interrupts_;

@@ -14,6 +14,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/trace/symbol.h"
+
 namespace trace {
 
 enum class Paradigm : uint8_t {
@@ -37,9 +39,11 @@ class Census {
  public:
   // Registers one static thread-creation site. `site` should name the module and purpose, e.g.
   // "shell: keystroke worker".
-  void Register(Paradigm paradigm, std::string site) {
+  void Register(Paradigm paradigm, std::string_view site) {
     counts_[static_cast<size_t>(paradigm)] += 1;
-    sites_.push_back({paradigm, std::move(site)});
+    // Site names repeat every time a world is rebuilt; interning stores each string once and
+    // the site list holds views into the table.
+    sites_.push_back({paradigm, symbols_.Name(symbols_.Intern(site))});
   }
 
   int64_t count(Paradigm paradigm) const { return counts_[static_cast<size_t>(paradigm)]; }
@@ -59,18 +63,20 @@ class Census {
 
   struct Site {
     Paradigm paradigm;
-    std::string name;
+    std::string_view name;  // view into the census's symbol table
   };
   const std::vector<Site>& sites() const { return sites_; }
 
   void Clear() {
     counts_.fill(0);
     sites_.clear();
+    symbols_.Clear();
   }
 
  private:
   std::array<int64_t, kNumParadigms> counts_{};
   std::vector<Site> sites_;
+  SymbolTable symbols_;
 };
 
 }  // namespace trace

@@ -65,6 +65,8 @@ struct Event {
   ThreadId thread = 0;     // acting thread (incoming thread for kSwitch)
   ObjectId object = 0;     // monitor / CV / peer-thread id, depending on type
   uint64_t arg = 0;        // extra per-type payload
+  uint32_t thread_sym = 0;  // interned name of the acting thread (SymbolTable; 0 = anonymous)
+  uint32_t object_sym = 0;  // interned name of the object, when it has one
 };
 
 }  // namespace trace

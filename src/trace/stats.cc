@@ -1,5 +1,6 @@
 #include "src/trace/stats.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <sstream>
@@ -12,6 +13,7 @@ namespace {
 // Per-processor run tracking used to turn kSwitch events into execution intervals.
 struct ProcessorRun {
   ThreadId thread = 0;
+  uint32_t thread_sym = 0;
   uint8_t priority = 0;
   Usec since = 0;
 };
@@ -33,6 +35,7 @@ Summary Summarize(const Tracer& tracer, const StatsOptions& options) {
   std::set<ObjectId> cvs;
   std::set<ObjectId> mls;
   std::map<uint16_t, ProcessorRun> runs;
+  std::map<ThreadId, std::pair<Usec, uint32_t>> cpu_by_thread;  // cpu time, name symbol
   int live = 0;
 
   auto account_run = [&](const ProcessorRun& run, Usec until) {
@@ -47,6 +50,9 @@ Summary Summarize(const Tracer& tracer, const StatsOptions& options) {
       return;
     }
     s.busy_time_us += span;
+    auto& per_thread = cpu_by_thread[run.thread];
+    per_thread.first += span;
+    per_thread.second = run.thread_sym;
     if (run.priority < s.cpu_time_by_priority.size()) {
       s.cpu_time_by_priority[run.priority] += span;
     }
@@ -84,6 +90,7 @@ Summary Summarize(const Tracer& tracer, const StatsOptions& options) {
           ++s.switches;
         }
         run.thread = e.thread;
+        run.thread_sym = e.thread_sym;
         run.priority = e.priority;
         run.since = e.time_us;
         break;
@@ -158,6 +165,18 @@ Summary Summarize(const Tracer& tracer, const StatsOptions& options) {
 
   s.distinct_cvs = static_cast<int64_t>(cvs.size());
   s.distinct_mls = static_cast<int64_t>(mls.size());
+
+  for (const auto& [tid, cpu] : cpu_by_thread) {
+    s.busiest_threads.push_back(
+        {tid, std::string(tracer.symbols().Name(cpu.second)), cpu.first});
+  }
+  std::sort(s.busiest_threads.begin(), s.busiest_threads.end(),
+            [](const Summary::ThreadTime& a, const Summary::ThreadTime& b) {
+              return a.cpu_us != b.cpu_us ? a.cpu_us > b.cpu_us : a.thread < b.thread;
+            });
+  if (s.busiest_threads.size() > static_cast<size_t>(Summary::kBusiestThreads)) {
+    s.busiest_threads.resize(Summary::kBusiestThreads);
+  }
 
   double seconds = static_cast<double>(s.window_us) / 1e6;
   if (seconds > 0) {

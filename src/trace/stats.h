@@ -15,6 +15,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/trace/event.h"
 #include "src/trace/histogram.h"
@@ -67,6 +68,16 @@ struct Summary {
 
   // Execution intervals: time between thread switches attributed to the running thread.
   Histogram exec_intervals{1000, 100};
+
+  // Threads with the most CPU time in the window, names resolved through the tracer's
+  // SymbolTable. At most kBusiestThreads entries, busiest first (ties by thread id).
+  struct ThreadTime {
+    ThreadId thread = 0;
+    std::string name;  // empty for anonymous threads
+    Usec cpu_us = 0;
+  };
+  static constexpr int kBusiestThreads = 5;
+  std::vector<ThreadTime> busiest_threads;
 
   // Convenience accessors for the paper's headline distribution claims.
   double FractionIntervalsUnder(Usec limit_us) const {

@@ -1,0 +1,78 @@
+// String interning for trace events.
+//
+// Thread and object names are recorded once per name, not once per event: the runtime interns
+// each name into the tracer's SymbolTable and events carry 32-bit symbol ids. This keeps the
+// Record hot path free of string copies while dumps, serialization, census and stats can still
+// render human-readable names.
+
+#ifndef SRC_TRACE_SYMBOL_H_
+#define SRC_TRACE_SYMBOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace trace {
+
+// Symbol 0 is always the empty string, so a zero-initialized Event renders namelessly.
+class SymbolTable {
+ public:
+  SymbolTable() { Intern(std::string_view()); }
+
+  // Copying rebuilds the index: the map keys are views into names_, so a copied index would
+  // dangle into the source table. Moving a deque keeps its heap blocks, so moves are default.
+  SymbolTable(const SymbolTable& other) : names_(other.names_) { Reindex(); }
+  SymbolTable& operator=(const SymbolTable& other) {
+    if (this != &other) {
+      names_ = other.names_;
+      Reindex();
+    }
+    return *this;
+  }
+  SymbolTable(SymbolTable&&) = default;
+  SymbolTable& operator=(SymbolTable&&) = default;
+
+  // Returns the id for `name`, interning it on first sight. Ids are dense and assigned in
+  // interning order, so a deterministic run produces a deterministic table.
+  uint32_t Intern(std::string_view name) {
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+      return it->second;
+    }
+    uint32_t id = static_cast<uint32_t>(names_.size());
+    names_.emplace_back(name);  // deque: stable storage, views into it never move
+    index_.emplace(names_.back(), id);
+    return id;
+  }
+
+  // Name for an id; unknown ids render as empty (robust against partial tables from old trace
+  // files).
+  std::string_view Name(uint32_t id) const {
+    return id < names_.size() ? std::string_view(names_[id]) : std::string_view();
+  }
+
+  size_t size() const { return names_.size(); }
+
+  void Clear() {
+    names_.clear();
+    index_.clear();
+    Intern(std::string_view());
+  }
+
+ private:
+  void Reindex() {
+    index_.clear();
+    for (uint32_t id = 0; id < names_.size(); ++id) {
+      index_.emplace(names_[id], id);
+    }
+  }
+
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_SYMBOL_H_

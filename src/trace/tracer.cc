@@ -76,10 +76,16 @@ void Tracer::Dump(std::ostream& os, Usec from_us, Usec to_us, size_t limit) cons
     if (e.time_us >= to_us || emitted >= limit) {
       break;
     }
-    os << std::setw(12) << e.time_us << "us p" << e.processor << " t" << e.thread << " pri"
-       << static_cast<int>(e.priority) << " " << EventTypeName(e.type);
+    os << std::setw(12) << e.time_us << "us p" << e.processor << " t" << e.thread;
+    if (std::string_view name = symbols_.Name(e.thread_sym); !name.empty()) {
+      os << "(" << name << ")";
+    }
+    os << " pri" << static_cast<int>(e.priority) << " " << EventTypeName(e.type);
     if (e.object != 0) {
       os << " obj=" << e.object;
+      if (std::string_view name = symbols_.Name(e.object_sym); !name.empty()) {
+        os << "(" << name << ")";
+      }
     }
     if (e.arg != 0) {
       os << " arg=" << e.arg;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "src/trace/event.h"
+#include "src/trace/symbol.h"
 
 namespace trace {
 
@@ -29,13 +30,24 @@ class Tracer {
 
   void Record(const Event& event) {
     if (enabled_) {
+      if (events_.size() == events_.capacity()) {
+        // Explicit geometric growth with a meaningful floor: the first Record pays one block
+        // allocation, after which the hot path is a bounds check and a 40-byte store.
+        events_.reserve(events_.capacity() == 0 ? kInitialCapacity : events_.capacity() * 2);
+      }
       events_.push_back(event);
     }
   }
 
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
+  // Drops events but keeps the symbol table: the runtime caches interned ids (in Tcbs,
+  // monitors, CVs), so symbols must stay valid across a mid-run Clear.
   void Clear() { events_.clear(); }
+
+  // Interned thread/object names referenced by Event::thread_sym / object_sym.
+  SymbolTable& symbols() { return symbols_; }
+  const SymbolTable& symbols() const { return symbols_; }
 
   // Marks the logical start of the measurement window. Stats helpers use this to skip warm-up
   // events without copying the buffer.
@@ -47,9 +59,12 @@ class Tracer {
   void Dump(std::ostream& os, Usec from_us, Usec to_us, size_t limit = 1000) const;
 
  private:
+  static constexpr size_t kInitialCapacity = 1024;
+
   bool enabled_ = true;
   Usec window_start_ = 0;
   std::vector<Event> events_;
+  SymbolTable symbols_;
 };
 
 }  // namespace trace

@@ -1,0 +1,150 @@
+// Parallel exploration contract: Explorer::Explore is a pure function of (options minus
+// workers, body). Fanning schedules across OS workers must not change a single byte of the
+// result — failure lists, repro strings, trace hashes, schedule counts — because the merge,
+// not the execution order, decides everything. Plus unit coverage for the work-stealing pool.
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/explore/explorer.h"
+#include "src/explore/pool.h"
+#include "src/explore/scenarios.h"
+
+namespace {
+
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::Explorer;
+using explore::WorkerPool;
+
+// Two results must agree field-for-field on everything Explore reports.
+void ExpectSameResult(const ExploreResult& a, const ExploreResult& b) {
+  EXPECT_EQ(a.schedules_run, b.schedules_run);
+  EXPECT_EQ(a.distinct_schedules, b.distinct_schedules);
+  EXPECT_EQ(a.baseline.trace_hash, b.baseline.trace_hash);
+  EXPECT_EQ(a.baseline.failed, b.baseline.failed);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].schedule_index, b.failures[i].schedule_index) << "failure " << i;
+    EXPECT_EQ(a.failures[i].trace_hash, b.failures[i].trace_hash) << "failure " << i;
+    EXPECT_EQ(a.failures[i].repro, b.failures[i].repro) << "failure " << i;
+    EXPECT_EQ(a.failures[i].failures, b.failures[i].failures) << "failure " << i;
+  }
+}
+
+ExploreResult ExploreWithWorkers(const explore::BugScenario& scenario, int budget,
+                                 int workers) {
+  ExploreOptions options = scenario.options;
+  options.budget = budget;
+  options.workers = workers;
+  Explorer explorer(options);
+  return explorer.Explore(scenario.body);
+}
+
+TEST(ExploreParallelTest, WorkerCountInvarianceOnBugScenario) {
+  const explore::BugScenario* scenario = explore::FindScenario("buggy_monitor");
+  ASSERT_NE(scenario, nullptr);
+  ExploreResult one = ExploreWithWorkers(*scenario, 120, 1);
+  ExploreResult two = ExploreWithWorkers(*scenario, 120, 2);
+  ExploreResult eight = ExploreWithWorkers(*scenario, 120, 8);
+  ASSERT_FALSE(one.failures.empty()) << "scenario should find its injected bug";
+  ExpectSameResult(one, two);
+  ExpectSameResult(one, eight);
+}
+
+TEST(ExploreParallelTest, WorkerCountInvarianceOnCleanScenario) {
+  const explore::BugScenario* scenario = explore::FindScenario("good_monitor");
+  ASSERT_NE(scenario, nullptr);
+  ExploreResult one = ExploreWithWorkers(*scenario, 80, 1);
+  ExploreResult eight = ExploreWithWorkers(*scenario, 80, 8);
+  EXPECT_TRUE(one.failures.empty());
+  ExpectSameResult(one, eight);
+}
+
+TEST(ExploreParallelTest, EveryScenarioInvariantAtFourWorkers) {
+  for (const explore::BugScenario& scenario : explore::Scenarios()) {
+    ExploreResult serial = ExploreWithWorkers(scenario, 60, 1);
+    ExploreResult parallel = ExploreWithWorkers(scenario, 60, 4);
+    SCOPED_TRACE(scenario.name);
+    ExpectSameResult(serial, parallel);
+  }
+}
+
+TEST(ExploreParallelTest, RepeatedParallelRunsAreIdentical) {
+  const explore::BugScenario* scenario = explore::FindScenario("missing_notify");
+  ASSERT_NE(scenario, nullptr);
+  ExploreResult first = ExploreWithWorkers(*scenario, 100, 8);
+  ExploreResult second = ExploreWithWorkers(*scenario, 100, 8);
+  ExpectSameResult(first, second);
+}
+
+TEST(WorkerPoolTest, RunsEveryTaskExactlyOnce) {
+  WorkerPool pool(4);
+  constexpr size_t kTasks = 257;
+  std::vector<std::atomic<int>> runs(kTasks);
+  pool.Run(kTasks, [&](size_t i) { runs[i].fetch_add(1); });
+  for (size_t i = 0; i < kTasks; ++i) {
+    EXPECT_EQ(runs[i].load(), 1) << "task " << i;
+  }
+}
+
+TEST(WorkerPoolTest, MoreWorkersThanTasks) {
+  WorkerPool pool(16);
+  std::atomic<int> total{0};
+  pool.Run(3, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(WorkerPoolTest, ZeroTasksReturnsImmediately) {
+  WorkerPool pool(4);
+  pool.Run(0, [](size_t) { FAIL() << "no task should run"; });
+}
+
+TEST(WorkerPoolTest, ClampsWorkerCountToOne) {
+  WorkerPool pool(-3);
+  EXPECT_EQ(pool.workers(), 1);
+  std::atomic<int> total{0};
+  pool.Run(5, [&](size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 5);
+}
+
+TEST(WorkerPoolTest, TaskExceptionPropagatesToCaller) {
+  WorkerPool pool(4);
+  try {
+    pool.Run(64, [](size_t i) {
+      if (i == 7 || i == 50) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected Run to rethrow";
+  } catch (const std::runtime_error& e) {
+    // Of the tasks that threw before the abort propagated, the lowest index wins; which tasks
+    // got that far is a race, so either thrower is acceptable.
+    std::string what = e.what();
+    EXPECT_TRUE(what == "task 7" || what == "task 50") << what;
+  }
+}
+
+TEST(WorkerPoolTest, SingleWorkerRethrowsFirstFailure) {
+  WorkerPool pool(1);
+  try {
+    pool.Run(10, [](size_t i) {
+      if (i >= 3) {
+        throw std::runtime_error("task " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected Run to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 3");
+  }
+}
+
+TEST(WorkerPoolTest, HardwareWorkersIsPositive) {
+  EXPECT_GE(WorkerPool::HardwareWorkers(), 1);
+}
+
+}  // namespace

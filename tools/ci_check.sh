@@ -20,6 +20,16 @@ cmake -B "$BUILD_RELEASE" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release > /dev/null
 cmake --build "$BUILD_RELEASE" -j"$JOBS"
 (cd "$BUILD_RELEASE" && ctest --output-on-failure -j"$JOBS")
 
+# Parallel-exploration gates: the explore suite and the full scenario sweep must behave
+# identically on a multi-worker pool, and bench_explore must report serial == parallel
+# (it exits nonzero on divergence). These gate on determinism only — throughput numbers
+# are informational and depend on the host.
+echo "== Explore suite at workers=4"
+(cd "$BUILD_RELEASE" && ctest --output-on-failure -j"$JOBS" -L explore)
+"$BUILD_RELEASE/tools/pcrcheck" --all --workers=4
+echo "== bench_explore --json smoke"
+(cd "$BUILD_RELEASE" && bench/bench_explore --budget=60 --workers=4 --json)
+
 echo "== Debug build with -fsanitize=$SANITIZER"
 cmake -B "$BUILD_SANITIZED" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
   -DPCR_SANITIZE="$SANITIZER" > /dev/null

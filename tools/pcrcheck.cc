@@ -35,13 +35,14 @@ struct Args {
   bool require_bug = false;
   int budget = -1;       // <0: use the scenario's tuned default
   uint64_t seed = 0;     // 0: use the scenario's tuned default
+  int workers = 0;       // 0: hardware concurrency (the flag itself requires > 0)
   bool verbose = false;
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: pcrcheck [--list] [--all] [--scenario=NAME] [--budget=N] [--seed=N]\n"
-               "                [--replay=REPRO] [--require-bug] [--verbose]\n");
+               "                [--workers=N] [--replay=REPRO] [--require-bug] [--verbose]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -79,6 +80,14 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         return false;
       }
       args->seed = n;
+    } else if (const char* v = value("--workers=")) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "pcrcheck: --workers expects a positive integer, got '%s'\n", v);
+        return false;
+      }
+      args->workers = static_cast<int>(n);
     } else {
       std::fprintf(stderr, "pcrcheck: unknown argument '%s'\n", arg.c_str());
       return false;
@@ -112,6 +121,7 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
   if (args.seed != 0) {
     options.seed = args.seed;
   }
+  options.workers = args.workers;  // 0 = hardware concurrency
 
   std::printf("== %s: %s\n", scenario.name.c_str(), scenario.description.c_str());
   explore::Explorer explorer(options);

@@ -22,8 +22,10 @@ cmp "$A" "$B"
 "$TRACE_DIFF" "$A" "$B" > "$WORK/self_diff.out"
 grep -q "traces are identical" "$WORK/self_diff.out"
 
-# Mutate one field of one event (the arg column of line 10) and expect a located divergence.
-awk 'NR == 10 { $7 = $7 + 1 } { print }' OFS='\t' "$A" > "$MUT"
+# Mutate one field of one event (the arg column of the 9th event record, skipping the header
+# and #sym lines) and expect a located divergence.
+awk 'BEGIN { ev = 0 } NR == 1 || /^#/ { print; next } { ev += 1; if (ev == 9) $7 = $7 + 1; print }' \
+    OFS='\t' "$A" > "$MUT"
 if "$TRACE_DIFF" "$A" "$MUT" > "$WORK/mut_diff.out"; then
   echo "trace_diff_check: expected nonzero exit on mutated trace" >&2
   exit 1
