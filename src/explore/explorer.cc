@@ -1,6 +1,7 @@
 #include "src/explore/explorer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <random>
 #include <utility>
 
@@ -19,11 +20,23 @@ std::vector<Decision> TrimTrailingDefaults(std::vector<Decision> decisions) {
   return decisions;
 }
 
+using ProfileClock = std::chrono::steady_clock;
+
+int64_t NsSince(ProfileClock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(ProfileClock::now() - start)
+      .count();
+}
+
+double SecSince(ProfileClock::time_point start) {
+  return static_cast<double>(NsSince(start)) * 1e-9;
+}
+
 }  // namespace
 
 Explorer::Explorer(ExploreOptions options) : options_(std::move(options)) {}
 
-ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const TestBody& body) {
+ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const TestBody& body,
+                                  trace::Tracer* capture) {
   pcr::Config config = options_.base_config;
   config.seed = plan.runtime_seed;
   config.trace_events = true;  // the trace is the whole point
@@ -41,6 +54,7 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   } else {
     rt.scheduler().set_perturber(&recorder);
   }
+  const auto run_start = ProfileClock::now();
   try {
     body(rt, ctx);
   } catch (const std::exception& e) {
@@ -48,8 +62,20 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   }
   rt.Shutdown();
   rt.scheduler().set_perturber(nullptr);
+  run_ns_.fetch_add(NsSince(run_start), std::memory_order_relaxed);
 
+  if (capture != nullptr) {
+    // Symbol ids in the captured events are only meaningful against the run's own table, so
+    // the capture tracer's table is replaced wholesale (SymbolTable copies rebuild the index).
+    capture->symbols() = rt.tracer().symbols();
+    for (const trace::Event& e : rt.tracer().events()) {
+      capture->Record(e);
+    }
+  }
+
+  const auto detector_start = ProfileClock::now();
   outcome.findings = AnalyzeTrace(rt.tracer(), options_.detector);
+  detector_ns_.fetch_add(NsSince(detector_start), std::memory_order_relaxed);
   outcome.trace_hash = TraceHash(rt.tracer());
   outcome.failures = ctx.failures();
   if (options_.fail_on_findings) {
@@ -143,19 +169,23 @@ ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBod
   return best;
 }
 
-ScheduleOutcome Explorer::Replay(const std::string& repro, const TestBody& body) {
+ScheduleOutcome Explorer::Replay(const std::string& repro, const TestBody& body,
+                                 trace::Tracer* capture) {
   std::string scenario;
   Plan plan;
   plan.replay_mode = true;
   if (!DecodeRepro(repro, &scenario, &plan.runtime_seed, &plan.replay)) {
     throw pcr::UsageError("malformed repro string: " + repro);
   }
-  return RunPlan(plan, -1, body);
+  return RunPlan(plan, -1, body, capture);
 }
 
 ExploreResult Explorer::Explore(const TestBody& body) {
   ExploreResult result;
   std::vector<uint64_t> hashes;
+  run_ns_.store(0, std::memory_order_relaxed);
+  detector_ns_.store(0, std::memory_order_relaxed);
+  const auto total_start = ProfileClock::now();
 
   auto note_hash = [&hashes](uint64_t h) {
     if (std::find(hashes.begin(), hashes.end(), h) == hashes.end()) {
@@ -167,6 +197,7 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   Plan baseline_plan;
   baseline_plan.runtime_seed = options_.base_config.seed;
   result.baseline = RunPlan(baseline_plan, 0, body);
+  result.profile.baseline_sec = SecSince(total_start);
   result.schedules_run = 1;
   note_hash(result.baseline.trace_hash);
   uint64_t horizon = std::max<uint64_t>(result.baseline.preempt_points, 16);
@@ -199,9 +230,11 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   int workers = options_.workers > 0 ? options_.workers : WorkerPool::HardwareWorkers();
   WorkerPool pool(workers);
   std::vector<ScheduleOutcome> outcomes(plans.size());
+  const auto sweep_start = ProfileClock::now();
   pool.Run(plans.size(), [&](size_t k) {
     outcomes[k] = RunPlan(plans[k], static_cast<int>(k) + 1, body);
   });
+  result.profile.sweep_sec = SecSince(sweep_start);
 
   // Deterministic merge in schedule-index order: identical hashes, dedup decisions and cutoff
   // at any worker count. Outcomes past the max_failures cutoff were executed but are not
@@ -230,6 +263,7 @@ ExploreResult Explorer::Explore(const TestBody& body) {
 
   // Minimization is a pure function of (representative, body) — replays run on whatever
   // worker picks them up, one bug per task.
+  const auto minimize_start = ProfileClock::now();
   if (options_.minimize && !distinct.empty()) {
     result.failures.resize(distinct.size());
     pool.Run(distinct.size(), [&](size_t k) {
@@ -238,8 +272,17 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   } else {
     result.failures = std::move(distinct);
   }
+  result.profile.minimize_sec = SecSince(minimize_start);
 
   result.distinct_schedules = static_cast<int>(hashes.size());
+  result.profile.total_sec = SecSince(total_start);
+  result.profile.run_sec =
+      static_cast<double>(run_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  result.profile.detector_sec =
+      static_cast<double>(detector_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  if (result.profile.total_sec > 0) {
+    result.profile.schedules_per_sec = result.schedules_run / result.profile.total_sec;
+  }
   return result;
 }
 

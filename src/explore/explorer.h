@@ -19,6 +19,7 @@
 #ifndef SRC_EXPLORE_EXPLORER_H_
 #define SRC_EXPLORE_EXPLORER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -85,11 +86,25 @@ struct ScheduleOutcome {
   uint64_t preempt_points = 0;        // ForcePreempt consultations seen (the PCT horizon)
 };
 
+// Self-profiling for one Explore call: where the wall time went, and how much of the per-run
+// cost is the race detector versus the runtime itself. Phase times are wall clock; run_sec and
+// detector_sec are summed across workers, so on an N-worker pool they can exceed total_sec.
+struct ExploreProfile {
+  double total_sec = 0;
+  double baseline_sec = 0;   // schedule 0 (serial, also sets the PCT horizon)
+  double sweep_sec = 0;      // the parallel schedule fan-out
+  double minimize_sec = 0;   // shrinking failing decision streams
+  double run_sec = 0;        // summed: body execution + runtime shutdown, all schedules
+  double detector_sec = 0;   // summed: AnalyzeTrace over every schedule's trace
+  double schedules_per_sec = 0;
+};
+
 struct ExploreResult {
   int schedules_run = 0;
   int distinct_schedules = 0;              // distinct trace hashes seen
   std::vector<ScheduleOutcome> failures;   // one entry per distinct failing bug, minimized
   ScheduleOutcome baseline;                // schedule 0 (unperturbed)
+  ExploreProfile profile;
 };
 
 class Explorer {
@@ -100,8 +115,11 @@ class Explorer {
   ExploreResult Explore(const TestBody& body);
 
   // Re-executes the schedule described by `repro` (scenario field ignored here). Throws
-  // pcr::UsageError on a malformed repro string.
-  ScheduleOutcome Replay(const std::string& repro, const TestBody& body);
+  // pcr::UsageError on a malformed repro string. With `capture` non-null, the replayed run's
+  // full event stream and symbol table are copied into it (the tracer's prior events are kept;
+  // its symbol table is replaced) — the hook pcrcheck uses to export failing schedules.
+  ScheduleOutcome Replay(const std::string& repro, const TestBody& body,
+                         trace::Tracer* capture = nullptr);
 
   const ExploreOptions& options() const { return options_; }
 
@@ -113,12 +131,16 @@ class Explorer {
     bool replay_mode = false;
   };
 
-  ScheduleOutcome RunPlan(const Plan& plan, int schedule_index, const TestBody& body);
+  ScheduleOutcome RunPlan(const Plan& plan, int schedule_index, const TestBody& body,
+                          trace::Tracer* capture = nullptr);
   // Prefix-truncates and zeroes decisions while the same bug keeps reproducing.
   ScheduleOutcome Minimize(const ScheduleOutcome& outcome, const TestBody& body);
   static bool SameFailure(const ScheduleOutcome& a, const ScheduleOutcome& b);
 
   ExploreOptions options_;
+  // Profile accumulators; atomics because RunPlan executes concurrently on pool workers.
+  std::atomic<int64_t> run_ns_{0};
+  std::atomic<int64_t> detector_ns_{0};
 };
 
 }  // namespace explore

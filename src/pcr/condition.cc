@@ -6,7 +6,10 @@ namespace pcr {
 
 Condition::Condition(MonitorLock& lock, std::string name, Usec timeout)
     : lock_(lock), name_(std::move(name)), id_(lock.scheduler().NextObjectId()),
-      name_sym_(lock.scheduler().InternName(name_)), timeout_(timeout) {}
+      name_sym_(lock.scheduler().InternName(name_)), timeout_(timeout) {
+  m_wait_notified_us_ = lock_.scheduler().MetricHistogram("cv.wait_us.notified");
+  m_wait_timeout_us_ = lock_.scheduler().MetricHistogram("cv.wait_us.timeout");
+}
 
 size_t Condition::waiter_count() const { return waiters_.size(); }
 
@@ -17,6 +20,7 @@ bool Condition::Wait() {
   }
   Tcb* me = s.CurrentTcb();
   me->notified_by = kNoThread;
+  const Usec wait_began = s.now();
   s.Emit(trace::EventType::kCvWait, id_, 0, name_sym_);
   s.Charge(s.config().costs.cv_wait);
   s.EnqueueCurrentWaiter(waiters_);
@@ -33,6 +37,8 @@ bool Condition::Wait() {
     throw;
   }
   s.Emit(timed_out ? trace::EventType::kCvTimeout : trace::EventType::kCvNotified, id_, 0, name_sym_);
+  trace::MetricRecord(timed_out ? m_wait_timeout_us_ : m_wait_notified_us_,
+                      s.now() - wait_began);
   ThreadId notifier = timed_out ? kNoThread : me->notified_by;
   lock_.ReacquireAfterWait(notifier);
   // Exploration point: a WAIT that has re-acquired the lock but not yet rechecked its predicate

@@ -75,6 +75,10 @@ class Condition {
   ObjectId id_;
   uint32_t name_sym_;  // `name_` interned in the tracer's symbol table
   Usec timeout_;
+  // Wait-latency histograms split by completion cause — Table 2's timeout-vs-notify
+  // distinction as a live metric. nullptr with metrics off.
+  trace::Log2Histogram* m_wait_notified_us_ = nullptr;
+  trace::Log2Histogram* m_wait_timeout_us_ = nullptr;
   std::deque<WaitEntry> waiters_;
 };
 

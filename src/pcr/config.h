@@ -96,6 +96,11 @@ struct Config {
   // Record trace events (Tables 1-3 and histograms need this on).
   bool trace_events = true;
 
+  // Feed the runtime metrics registry (scheduler/monitor/CV counters and histograms,
+  // src/trace/metrics.h). Independent of trace_events: metrics are the cheap always-on channel
+  // for runs too long to keep an event buffer. Ignored when built with PCR_METRICS=OFF.
+  bool metrics = true;
+
   CostModel costs;
 };
 

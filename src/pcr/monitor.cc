@@ -6,7 +6,22 @@ namespace pcr {
 
 MonitorLock::MonitorLock(Scheduler& scheduler, std::string name)
     : scheduler_(scheduler), name_(std::move(name)), id_(scheduler.NextObjectId()),
-      name_sym_(scheduler.InternName(name_)) {}
+      name_sym_(scheduler.InternName(name_)) {
+  m_all_contentions_ = scheduler_.MetricCounter("monitor.contentions");
+  m_all_hold_us_ = scheduler_.MetricHistogram("monitor.hold_us");
+}
+
+void MonitorLock::RegisterContentionMetrics() {
+  // Per-monitor series are registered on first contention, not at construction: workloads
+  // create thousands of short-lived uncontended monitors (one per compilation, per document,
+  // ...), and eagerly registering two dead series for each would swamp the registry. The
+  // uncontended world is fully covered by the monitor.* rollups; a monitor earns its own
+  // contentions/hold_us series the moment it first matters for blocking. Same-named monitors
+  // share a series (try_emplace), which aggregates per-module rather than per-instance.
+  per_monitor_registered_ = true;
+  m_contentions_ = scheduler_.MetricCounter("monitor." + name_ + ".contentions");
+  m_hold_us_ = scheduler_.MetricHistogram("monitor." + name_ + ".hold_us");
+}
 
 MonitorLock::~MonitorLock() { scheduler_.SetMonitorOwner(this, kNoThread); }
 
@@ -43,6 +58,11 @@ void MonitorLock::AcquireSlowPath(bool count_spurious, ThreadId notifier) {
     if (!contended) {
       contended = true;
       scheduler_.Emit(trace::EventType::kMlContend, id_, owner_, name_sym_);
+      if (!per_monitor_registered_) {
+        RegisterContentionMetrics();
+      }
+      trace::MetricAdd(m_contentions_);
+      trace::MetricAdd(m_all_contentions_);
       if (count_spurious && notifier != kNoThread && owner_ == notifier) {
         // Section 6.1: the notified thread woke up only to block on the monitor still held by
         // its notifier — a spurious lock conflict ("useless trips through the scheduler").
@@ -57,6 +77,7 @@ void MonitorLock::AcquireSlowPath(bool count_spurious, ThreadId notifier) {
     scheduler_.BlockCurrent(BlockReason::kMonitor, this, -1);
   }
   owner_ = me;
+  acquired_at_ = scheduler_.now();
   scheduler_.SetMonitorOwner(this, me);
 }
 
@@ -75,6 +96,7 @@ bool MonitorLock::TryEnter() {
     return false;
   }
   owner_ = me;
+  acquired_at_ = scheduler_.now();
   scheduler_.SetMonitorOwner(this, me);
   return true;
 }
@@ -96,6 +118,13 @@ void MonitorLock::ReleaseForWait() {
 }
 
 void MonitorLock::ReleaseInternal() {
+  if (owner_ != kNoThread && !scheduler_.shutting_down()) {
+    // Skipped during shutdown unwinding: ForceAcquireForUnwind re-marks owners without
+    // stamping acquired_at_, and a synthetic hold time would pollute the histogram.
+    const Usec held = scheduler_.now() - acquired_at_;
+    trace::MetricRecord(m_hold_us_, held);
+    trace::MetricRecord(m_all_hold_us_, held);
+  }
   scheduler_.ClearInheritedPriority(owner_);  // the donation ends with the critical section
   owner_ = kNoThread;
   scheduler_.SetMonitorOwner(this, kNoThread);

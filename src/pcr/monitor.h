@@ -70,7 +70,18 @@ class MonitorLock {
   std::string name_;
   ObjectId id_;
   uint32_t name_sym_;  // `name_` interned in the tracer's symbol table
+  void RegisterContentionMetrics();
+
   ThreadId owner_ = kNoThread;
+  Usec acquired_at_ = 0;  // when owner_ last took the lock (for the hold-time histogram)
+  // Metric handles (nullptr with metrics off). The process-wide rollups are registered at
+  // construction; the per-monitor series lazily, on first contention — see
+  // RegisterContentionMetrics for why.
+  bool per_monitor_registered_ = false;
+  trace::Counter* m_contentions_ = nullptr;
+  trace::Counter* m_all_contentions_ = nullptr;
+  trace::Log2Histogram* m_hold_us_ = nullptr;
+  trace::Log2Histogram* m_all_hold_us_ = nullptr;
   std::deque<WaitEntry> entry_waiters_;
   std::vector<ThreadId> deferred_wakeups_;
 };

@@ -33,6 +33,39 @@ Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
   config_.quantum = std::max<Usec>(1, config_.quantum);
   running_.assign(static_cast<size_t>(config_.processors), kNoThread);
   last_running_.assign(static_cast<size_t>(config_.processors), kNoThread);
+#if PCR_METRICS
+  if (config_.metrics) {
+    // Register once here; the hot paths only ever touch the cached pointers.
+    m_dispatches_ = metrics_.counter("sched.dispatches");
+    m_idle_parks_ = metrics_.counter("sched.idle_parks");
+    m_preempts_ = metrics_.counter("sched.preempts");
+    m_forced_preempts_ = metrics_.counter("sched.forced_preempts");
+    m_ticks_ = metrics_.counter("sched.ticks");
+    m_timer_fires_ = metrics_.counter("sched.timer_fires");
+    m_forks_ = metrics_.counter("sched.forks");
+    m_ready_depth_ = metrics_.histogram("sched.ready_depth");
+  }
+#endif
+}
+
+trace::Counter* Scheduler::MetricCounter(std::string_view name) {
+#if PCR_METRICS
+  if (config_.metrics) {
+    return metrics_.counter(name);
+  }
+#endif
+  (void)name;
+  return nullptr;
+}
+
+trace::Log2Histogram* Scheduler::MetricHistogram(std::string_view name) {
+#if PCR_METRICS
+  if (config_.metrics) {
+    return metrics_.histogram(name);
+  }
+#endif
+  (void)name;
+  return nullptr;
 }
 
 Scheduler::~Scheduler() { Shutdown(); }
@@ -147,6 +180,7 @@ ThreadId Scheduler::Fork(std::function<void()> body, ForkOptions options) {
   tcbs_.push_back(std::move(tcb));
   ++live_threads_;
   ++total_forks_;
+  trace::MetricAdd(m_forks_);
   Emit(trace::EventType::kThreadFork, id, static_cast<uint64_t>(ClampPriority(options.priority)),
        GetTcb(id).name_sym);
   Charge(config_.costs.fork);  // preemption point: a higher-priority child starts promptly
@@ -356,6 +390,9 @@ void Scheduler::WakeThread(ThreadId tid, bool from_timer, bool front) {
   t.block_reason = BlockReason::kNone;
   t.wait_object = nullptr;
   PushReady(t, front);
+  if (from_timer) {
+    trace::MetricAdd(m_timer_fires_);
+  }
   if (from_timer && tracer_ != nullptr && tracer_->enabled() && config_.trace_events) {
     trace::Event e;
     e.time_us = now_;
@@ -475,6 +512,7 @@ void Scheduler::MaybeForcePreempt(PreemptPoint point) {
   // YieldButNotToMe there is no penalty — the perturber is exploring legal schedules, not
   // changing policy.
   Emit(trace::EventType::kForcedPreempt, 0, static_cast<uint64_t>(point));
+  trace::MetricAdd(m_forced_preempts_);
   me->state = ThreadState::kReady;
   SetBoosted(*me, false);
   PushReady(*me);
@@ -684,6 +722,7 @@ void Scheduler::AssignProcessors() {
           tracer_->Record(e);
         }
         last_running_[p] = kNoThread;
+        trace::MetricAdd(m_idle_parks_);
       }
       continue;
     }
@@ -704,6 +743,18 @@ void Scheduler::AssignProcessors() {
       }
       t.remaining += config_.costs.context_switch;
       last_running_[p] = tid;
+      // This branch fires exactly when a thread!=0 kSwitch event would be recorded, so
+      // sched.dispatches stays equal to the post-hoc Summary.switches count.
+      trace::MetricAdd(m_dispatches_);
+#if PCR_METRICS
+      if (m_ready_depth_ != nullptr) {
+        size_t depth = 0;
+        for (const auto& queue : ready_) {
+          depth += queue.size();
+        }
+        m_ready_depth_->Record(static_cast<int64_t>(depth));
+      }
+#endif
     }
   }
 }
@@ -739,6 +790,7 @@ void Scheduler::PreemptIfNeeded() {
     // preempt the currently running thread, even if it holds monitor locks" (Section 2).
     Tcb& victim = GetTcb(running_[static_cast<size_t>(weakest_proc)]);
     Emit(trace::EventType::kPreempt, victim.id, 0, victim.name_sym);
+    trace::MetricAdd(m_preempts_);
     victim.state = ThreadState::kReady;
     victim.processor = -1;
     SetBoosted(victim, false);
@@ -965,6 +1017,7 @@ void Scheduler::DeliverInterruptsUpTo(Usec t) {
 }
 
 void Scheduler::HandleTick() {
+  trace::MetricAdd(m_ticks_);
   // The tick ends YieldButNotToMe penalties and directed-yield boosts (Section 6.3: "The end of
   // a timeslice ends the effect of a YieldButNotToMe or a directed yield"). The counters make
   // the sweep free in the overwhelmingly common tick with no live modifier.

@@ -34,6 +34,7 @@
 #include "src/pcr/fiber.h"
 #include "src/pcr/ids.h"
 #include "src/pcr/perturber.h"
+#include "src/trace/metrics.h"
 #include "src/trace/tracer.h"
 
 namespace pcr {
@@ -123,6 +124,19 @@ class Scheduler {
   const Config& config() const { return config_; }
   Usec now() const { return now_; }
   trace::Tracer* tracer() { return tracer_; }
+  bool shutting_down() const { return shutting_down_; }
+
+  // ---- Runtime metrics (src/trace/metrics.h) ----
+  //
+  // The registry lives for the scheduler's lifetime; hot paths hold cached Counter/Histogram
+  // pointers registered once at construction. MetricCounter/MetricHistogram return nullptr when
+  // metrics are disabled (Config::metrics = false or PCR_METRICS=0), so call sites feed the
+  // null-tolerant trace::MetricAdd / trace::MetricRecord and pay one predicted branch.
+
+  trace::MetricsRegistry& metrics() { return metrics_; }
+  const trace::MetricsRegistry& metrics() const { return metrics_; }
+  trace::Counter* MetricCounter(std::string_view name);
+  trace::Log2Histogram* MetricHistogram(std::string_view name);
 
   // ---- Seed-logged randomness ----
   //
@@ -305,6 +319,16 @@ class Scheduler {
 
   Config config_;
   trace::Tracer* tracer_;
+  trace::MetricsRegistry metrics_;
+  // Cached registry handles; all nullptr when metrics are off so the hot paths no-op.
+  trace::Counter* m_dispatches_ = nullptr;
+  trace::Counter* m_idle_parks_ = nullptr;
+  trace::Counter* m_preempts_ = nullptr;
+  trace::Counter* m_forced_preempts_ = nullptr;
+  trace::Counter* m_ticks_ = nullptr;
+  trace::Counter* m_timer_fires_ = nullptr;
+  trace::Counter* m_forks_ = nullptr;
+  trace::Log2Histogram* m_ready_depth_ = nullptr;
   std::mt19937_64 rng_;
   bool rng_seed_logged_ = false;
   SchedulePerturber* perturber_ = nullptr;

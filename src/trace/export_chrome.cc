@@ -1,0 +1,225 @@
+#include "src/trace/export_chrome.h"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/trace/intervals.h"
+#include "src/trace/json.h"
+
+namespace trace {
+
+namespace {
+
+// Synthetic process ids grouping the three track families in the Perfetto UI.
+constexpr int kThreadsPid = 1;
+constexpr int kProcessorsPid = 2;
+constexpr int kMonitorsPid = 3;
+
+std::string DisplayName(const SymbolTable& symbols, uint32_t sym, const char* prefix,
+                        uint64_t id) {
+  std::string_view name = symbols.Name(sym);
+  if (!name.empty()) {
+    return std::string(name);
+  }
+  return std::string(prefix) + std::to_string(id);
+}
+
+// One serialized trace event per line, comma-separated. Emitting through a single chokepoint
+// keeps the key order fixed, which is what makes golden tests byte-stable.
+class Emitter {
+ public:
+  explicit Emitter(std::ostream& os) : os_(os) {}
+
+  std::ostream& Begin() {
+    os_ << (first_ ? "\n" : ",\n");
+    first_ = false;
+    os_ << "{";
+    return os_;
+  }
+  void End() { os_ << "}"; }
+
+  void Metadata(int pid, int64_t tid, std::string_view key, std::string_view value) {
+    Begin() << "\"name\": \"" << key << "\", \"ph\": \"M\", \"pid\": " << pid;
+    if (tid >= 0) {
+      os_ << ", \"tid\": " << tid;
+    }
+    os_ << ", \"args\": {\"name\": ";
+    WriteJsonString(os_, value);
+    os_ << "}";
+    End();
+  }
+
+  // Opens a complete ("X") slice; the caller appends `, "args": {...}` via os() then End().
+  std::ostream& Slice(std::string_view name, std::string_view cat, Usec ts, Usec dur, int pid,
+                      int64_t tid) {
+    Begin() << "\"name\": ";
+    WriteJsonString(os_, name);
+    os_ << ", \"cat\": \"" << cat << "\", \"ph\": \"X\", \"ts\": " << ts << ", \"dur\": " << dur
+        << ", \"pid\": " << pid << ", \"tid\": " << tid;
+    return os_;
+  }
+
+  // Opens a thread-scoped instant ("i") marker; same continuation contract as Slice.
+  std::ostream& Instant(std::string_view name, Usec ts, int pid, int64_t tid) {
+    Begin() << "\"name\": ";
+    WriteJsonString(os_, name);
+    os_ << ", \"cat\": \"marker\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << ts
+        << ", \"pid\": " << pid << ", \"tid\": " << tid;
+    return os_;
+  }
+
+  std::ostream& os() { return os_; }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void ExportChromeTrace(std::ostream& os, const Tracer& tracer) {
+  const Timeline timeline = BuildTimeline(tracer);
+  const SymbolTable& symbols = tracer.symbols();
+  Emitter out(os);
+
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+
+  out.Metadata(kThreadsPid, -1, "process_name", "threads");
+  out.Metadata(kProcessorsPid, -1, "process_name", "processors");
+  out.Metadata(kMonitorsPid, -1, "process_name", "monitors");
+
+  // Track names. Threads are already sorted by id; processors and monitors are collected into
+  // ordered maps so the metadata block is stable.
+  std::map<uint16_t, bool> processors;
+  for (const ThreadTimeline& t : timeline.threads) {
+    out.Metadata(kThreadsPid, t.id, "thread_name",
+                 DisplayName(symbols, t.name_sym, "thread-", t.id));
+    for (const ThreadInterval& iv : t.intervals) {
+      if (iv.phase == ThreadPhase::kRunning) {
+        processors[iv.processor] = true;
+      }
+    }
+  }
+  for (const auto& [proc, unused] : processors) {
+    out.Metadata(kProcessorsPid, proc, "thread_name", "cpu-" + std::to_string(proc));
+  }
+  // Monitor object ids are process-unique 64-bit values; give each a small stable track id.
+  std::map<ObjectId, int64_t> monitor_track;
+  std::map<ObjectId, uint32_t> monitor_sym;
+  for (const MonitorHold& h : timeline.monitor_holds) {
+    if (monitor_track.emplace(h.monitor, 0).second) {
+      monitor_sym[h.monitor] = h.monitor_sym;
+    }
+  }
+  {
+    int64_t next = 1;
+    for (auto& [id, track] : monitor_track) {
+      track = next++;
+      out.Metadata(kMonitorsPid, track, "thread_name",
+                   DisplayName(symbols, monitor_sym[id], "monitor-", id));
+    }
+  }
+
+  // Per-thread state slices, chronological within each track.
+  for (const ThreadTimeline& t : timeline.threads) {
+    for (const ThreadInterval& iv : t.intervals) {
+      out.Slice(ThreadPhaseName(iv.phase), "state", iv.begin, iv.end - iv.begin, kThreadsPid,
+                t.id);
+      if (iv.phase == ThreadPhase::kRunning) {
+        out.os() << ", \"args\": {\"processor\": " << iv.processor << "}";
+      }
+      out.End();
+    }
+  }
+
+  // Processor occupancy: the same running intervals, re-keyed by processor and labelled with
+  // the thread that ran.
+  struct ProcSlice {
+    Usec begin;
+    Usec end;
+    uint16_t processor;
+    ThreadId thread;
+    uint32_t name_sym;
+  };
+  std::vector<ProcSlice> proc_slices;
+  for (const ThreadTimeline& t : timeline.threads) {
+    for (const ThreadInterval& iv : t.intervals) {
+      if (iv.phase == ThreadPhase::kRunning) {
+        proc_slices.push_back({iv.begin, iv.end, iv.processor, t.id, t.name_sym});
+      }
+    }
+  }
+  std::sort(proc_slices.begin(), proc_slices.end(), [](const ProcSlice& a, const ProcSlice& b) {
+    return a.begin != b.begin ? a.begin < b.begin
+                              : (a.processor != b.processor ? a.processor < b.processor
+                                                            : a.thread < b.thread);
+  });
+  for (const ProcSlice& s : proc_slices) {
+    out.Slice(DisplayName(symbols, s.name_sym, "thread-", s.thread), "run", s.begin,
+              s.end - s.begin, kProcessorsPid, s.processor);
+    out.os() << ", \"args\": {\"thread\": " << s.thread << "}";
+    out.End();
+  }
+
+  // Monitor hold spans, labelled with the holding thread.
+  for (const MonitorHold& h : timeline.monitor_holds) {
+    const ThreadTimeline* holder = timeline.Find(h.holder);
+    out.Slice(DisplayName(symbols, holder != nullptr ? holder->name_sym : 0, "thread-",
+                          h.holder),
+              "hold", h.begin, h.end - h.begin, kMonitorsPid, monitor_track[h.monitor]);
+    out.os() << ", \"args\": {\"holder\": " << h.holder << "}";
+    out.End();
+  }
+
+  // Instant markers for the pathologies the paper reads straight off event histories: notify
+  // and broadcast fan-out, preemption, YieldButNotToMe (5.2), spurious conflicts (6.1).
+  for (const Event& e : tracer.events()) {
+    switch (e.type) {
+      case EventType::kCvNotify:
+      case EventType::kCvBroadcast:
+        out.Instant(e.type == EventType::kCvNotify ? "notify" : "broadcast", e.time_us,
+                    kThreadsPid, e.thread);
+        out.os() << ", \"args\": {\"cv\": ";
+        WriteJsonString(out.os(), DisplayName(symbols, e.object_sym, "cv-", e.object));
+        out.os() << ", \"woken\": " << e.arg << "}";
+        out.End();
+        break;
+      case EventType::kPreempt:
+        // Emitted from the host context (thread = 0); the victim rides in `object`, and the
+        // marker belongs on the victim's track.
+        out.Instant("preempt", e.time_us, kThreadsPid, static_cast<int64_t>(e.object));
+        out.End();
+        break;
+      case EventType::kYieldButNotToMe:
+        out.Instant("yield-but-not-to-me", e.time_us, kThreadsPid, e.thread);
+        out.End();
+        break;
+      case EventType::kSpuriousConflict:
+        out.Instant("spurious-conflict", e.time_us, kThreadsPid, e.thread);
+        out.os() << ", \"args\": {\"monitor\": ";
+        WriteJsonString(out.os(), DisplayName(symbols, e.object_sym, "monitor-", e.object));
+        out.os() << "}";
+        out.End();
+        break;
+      default:
+        break;
+    }
+  }
+
+  os << "\n]}\n";
+}
+
+bool SaveChromeTraceFile(const std::string& path, const Tracer& tracer) {
+  std::ofstream file(path);
+  if (!file) {
+    return false;
+  }
+  ExportChromeTrace(file, tracer);
+  return file.good();
+}
+
+}  // namespace trace

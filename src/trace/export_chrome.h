@@ -1,0 +1,33 @@
+// Chrome Trace Event / Perfetto export.
+//
+// Serializes a reconstructed Timeline (intervals.h) as Chrome `trace_event` JSON so any run
+// opens directly in ui.perfetto.dev (or chrome://tracing): one named track per thread showing
+// its state intervals, one track per virtual processor showing which thread it ran, one track
+// per monitor showing hold spans, plus instant markers for the paper's pathologies — notify /
+// broadcast, preemption, YieldButNotToMe (Section 5.2) and spurious lock conflicts (Section
+// 6.1). Virtual time maps 1:1 onto the format's microsecond `ts` field.
+//
+// Output is deterministic (fixed event order, fixed key order, one event per line) so golden
+// tests can pin it byte-for-byte.
+
+#ifndef SRC_TRACE_EXPORT_CHROME_H_
+#define SRC_TRACE_EXPORT_CHROME_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/tracer.h"
+
+namespace trace {
+
+// Writes the full Chrome trace JSON document for `tracer`'s buffer to `os`. Builds the interval
+// timeline internally; propagates TimelineError on a corrupt event stream.
+void ExportChromeTrace(std::ostream& os, const Tracer& tracer);
+
+// Convenience wrapper: ExportChromeTrace to `path`. Returns false if the file cannot be opened
+// or written.
+bool SaveChromeTraceFile(const std::string& path, const Tracer& tracer);
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_EXPORT_CHROME_H_

@@ -1,0 +1,331 @@
+#include "src/trace/intervals.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace trace {
+
+namespace {
+
+// Mutable per-thread state while folding the event stream.
+struct ThreadState {
+  ThreadPhase phase = ThreadPhase::kReady;
+  Usec phase_begin = 0;
+  uint16_t processor = 0;
+  int priority = 0;
+  bool alive = true;
+  // Index into Timeline::monitor_waits of the still-open blocked span, or -1.
+  int open_wait = -1;
+  // Index into Timeline::cv_waits of the WAIT in flight (survives re-dispatch: the completion
+  // event is emitted after the switch back in), or -1.
+  int open_cv = -1;
+};
+
+// Mutable per-monitor state: who the model believes holds the lock, and since when.
+struct MonitorState {
+  ThreadId owner = 0;
+  uint32_t sym = 0;
+  Usec held_since = 0;
+};
+
+class Builder {
+ public:
+  explicit Builder(const Tracer& tracer) : tracer_(tracer) {}
+
+  Timeline Build();
+
+ private:
+  ThreadState& Thread(ThreadId id) { return threads_[id]; }
+
+  // Closes `id`'s open interval at `now` and opens a new one in `phase`. Zero-length intervals
+  // contribute nothing and are dropped rather than emitted.
+  void Transition(ThreadId id, ThreadPhase phase, Usec now, uint16_t processor = 0) {
+    ThreadState& st = Thread(id);
+    ClosePhase(id, st, now);
+    st.phase = phase;
+    st.phase_begin = now;
+    st.processor = processor;
+  }
+
+  void ClosePhase(ThreadId id, ThreadState& st, Usec now) {
+    if (now > st.phase_begin) {
+      intervals_[id].push_back({st.phase, st.phase_begin, now, st.processor});
+      residency_[id][static_cast<size_t>(st.phase)] += now - st.phase_begin;
+    }
+  }
+
+  void CloseHold(ObjectId monitor, MonitorState& ms, Usec now) {
+    if (ms.owner != 0) {
+      timeline_.monitor_holds.push_back({monitor, ms.sym, ms.owner, ms.held_since, now});
+      ms.owner = 0;
+    }
+  }
+
+  void NoteName(ThreadId id, uint32_t sym) {
+    if (sym != 0 && names_.find(id) == names_.end()) {
+      names_[id] = sym;
+    }
+  }
+
+  const Tracer& tracer_;
+  Timeline timeline_;
+  std::map<ThreadId, ThreadState> threads_;
+  std::map<ThreadId, std::vector<ThreadInterval>> intervals_;
+  std::map<ThreadId, std::array<Usec, kNumThreadPhases>> residency_;
+  std::map<ThreadId, uint32_t> names_;
+  std::map<ThreadId, Usec> born_;
+  std::map<ThreadId, Usec> died_;
+  std::map<ObjectId, MonitorState> monitors_;
+  std::map<uint16_t, ThreadId> running_;     // processor -> dispatched thread
+  std::map<uint16_t, Usec> last_time_;       // processor -> last event time (monotonicity)
+};
+
+Timeline Builder::Build() {
+  const std::vector<Event>& events = tracer_.events();
+  if (!events.empty()) {
+    timeline_.begin = events.front().time_us;
+    timeline_.end = events.back().time_us;
+  }
+
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    const Usec now = e.time_us;
+
+    // The tracer claims per-construction monotonicity; a violation means the buffer was
+    // corrupted or hand-assembled wrong, and every interval after it would be garbage.
+    auto [it, fresh] = last_time_.try_emplace(e.processor, now);
+    if (!fresh) {
+      if (now < it->second) {
+        std::ostringstream msg;
+        msg << "non-monotone event time on processor " << e.processor << ": event #" << i << " ("
+            << EventTypeName(e.type) << ") at " << now << "us after " << it->second << "us";
+        throw TimelineError(msg.str(), i);
+      }
+      it->second = now;
+    }
+
+    if (e.thread != 0) {
+      ThreadState& st = Thread(e.thread);
+      st.priority = e.priority;
+      NoteName(e.thread, e.thread_sym);
+      if (born_.find(e.thread) == born_.end()) {
+        born_[e.thread] = now;  // first sighting of a thread never seen forked (e.g. main)
+      }
+    }
+
+    switch (e.type) {
+      case EventType::kThreadFork: {
+        const ThreadId child = static_cast<ThreadId>(e.object);
+        born_[child] = now;
+        ThreadState& st = Thread(child);
+        st.phase = ThreadPhase::kReady;
+        st.phase_begin = now;
+        st.priority = static_cast<int>(e.arg);
+        break;
+      }
+      case EventType::kSwitch: {
+        const ThreadId incoming = e.thread;
+        const ThreadId outgoing = running_[e.processor];
+        // The outgoing thread only becomes ready here if nothing already moved it elsewhere
+        // (block, wait, sleep, exit and preempt all transition before the switch shows up).
+        if (outgoing != 0 && outgoing != incoming) {
+          ThreadState& out = Thread(outgoing);
+          if (out.alive && out.phase == ThreadPhase::kRunning) {
+            Transition(outgoing, ThreadPhase::kReady, now);
+          }
+        }
+        running_[e.processor] = incoming;
+        if (incoming != 0) {
+          ThreadState& in = Thread(incoming);
+          if (in.phase == ThreadPhase::kBlockedMonitor && in.open_wait >= 0) {
+            // Dispatch is the first evidence the blocked thread owns the lock: complete the
+            // wait span and start its hold.
+            MonitorWait& w = timeline_.monitor_waits[in.open_wait];
+            w.end = now;
+            in.open_wait = -1;
+            MonitorState& ms = monitors_[w.monitor];
+            CloseHold(w.monitor, ms, now);
+            ms.owner = incoming;
+            ms.sym = w.monitor_sym;
+            ms.held_since = now;
+          }
+          Transition(incoming, ThreadPhase::kRunning, now, e.processor);
+        }
+        break;
+      }
+      case EventType::kPreempt: {
+        // Emitted from the host context: thread = 0, object = victim.
+        const ThreadId victim = static_cast<ThreadId>(e.object);
+        ThreadState& st = Thread(victim);
+        if (st.alive && st.phase == ThreadPhase::kRunning) {
+          Transition(victim, ThreadPhase::kReady, now);
+        }
+        break;
+      }
+      case EventType::kMlEnter: {
+        // Emitted before acquisition; uncontended entry owns the lock at this same timestamp.
+        // If a contend event follows it will correct the tentative claim.
+        MonitorState& ms = monitors_[e.object];
+        if (ms.owner == 0) {
+          ms.owner = e.thread;
+          ms.sym = e.object_sym;
+          ms.held_since = now;
+        }
+        break;
+      }
+      case EventType::kMlContend: {
+        const ThreadId owner = static_cast<ThreadId>(e.arg);
+        MonitorState& ms = monitors_[e.object];
+        if (ms.owner != owner) {
+          // The runtime's arg is authoritative; the tentative kMlEnter claim (possibly by this
+          // very waiter) was wrong.
+          CloseHold(e.object, ms, now);
+          ms.owner = owner;
+          ms.sym = e.object_sym;
+          ms.held_since = now;
+        }
+        ThreadState& st = Thread(e.thread);
+        auto owner_it = threads_.find(owner);
+        const int owner_priority = owner_it == threads_.end() ? 0 : owner_it->second.priority;
+        st.open_wait = static_cast<int>(timeline_.monitor_waits.size());
+        timeline_.monitor_waits.push_back({e.object, e.object_sym, e.thread, owner, st.priority,
+                                           owner_priority, now, now});
+        Transition(e.thread, ThreadPhase::kBlockedMonitor, now);
+        break;
+      }
+      case EventType::kMlExit: {
+        MonitorState& ms = monitors_[e.object];
+        if (ms.owner != 0 && ms.owner != e.thread) {
+          // Model drift; trust the exit event over the reconstruction.
+          ms.owner = e.thread;
+        }
+        if (ms.owner == 0) {
+          ms.owner = e.thread;
+          ms.held_since = now;
+          ms.sym = e.object_sym;
+        }
+        CloseHold(e.object, ms, now);
+        break;
+      }
+      case EventType::kCvWait: {
+        ThreadState& st = Thread(e.thread);
+        st.open_cv = static_cast<int>(timeline_.cv_waits.size());
+        timeline_.cv_waits.push_back({e.object, e.object_sym, e.thread, false, false, now, now});
+        Transition(e.thread, ThreadPhase::kCvWaiting, now);
+        break;
+      }
+      case EventType::kCvTimeout:
+      case EventType::kCvNotified: {
+        // Emitted after the waiter is re-dispatched, so its phase is already kRunning; only the
+        // latency span needs completing.
+        ThreadState& st = Thread(e.thread);
+        if (st.open_cv >= 0) {
+          CvWait& w = timeline_.cv_waits[st.open_cv];
+          w.end = now;
+          w.by_timeout = e.type == EventType::kCvTimeout;
+          w.completed = true;
+          st.open_cv = -1;
+        }
+        break;
+      }
+      case EventType::kSleep: {
+        Transition(e.thread, ThreadPhase::kSleeping, now);
+        break;
+      }
+      case EventType::kTimerFire: {
+        ThreadState& st = Thread(e.thread);
+        if (st.phase == ThreadPhase::kSleeping || st.phase == ThreadPhase::kCvWaiting) {
+          Transition(e.thread, ThreadPhase::kReady, now);
+        }
+        break;
+      }
+      case EventType::kThreadExit: {
+        ThreadState& st = Thread(e.thread);
+        ClosePhase(e.thread, st, now);
+        st.alive = false;
+        st.phase_begin = now;
+        died_[e.thread] = now;
+        break;
+      }
+      default:
+        break;  // forks/joins/yields/user events carry no phase transition of their own
+    }
+  }
+
+  // Trace over: close whatever is still open so residency accounts for the full window.
+  for (auto& [id, st] : threads_) {
+    if (st.alive) {
+      ClosePhase(id, st, timeline_.end);
+    }
+    if (st.open_wait >= 0) {
+      timeline_.monitor_waits[st.open_wait].end = timeline_.end;
+    }
+    if (st.open_cv >= 0) {
+      timeline_.cv_waits[st.open_cv].end = timeline_.end;
+    }
+  }
+  for (auto& [id, ms] : monitors_) {
+    CloseHold(id, ms, timeline_.end);
+  }
+
+  for (auto& [id, st] : threads_) {
+    ThreadTimeline tt;
+    tt.id = id;
+    auto name_it = names_.find(id);
+    tt.name_sym = name_it == names_.end() ? 0 : name_it->second;
+    tt.born = born_.count(id) != 0 ? born_[id] : timeline_.begin;
+    tt.died = died_.count(id) != 0 ? died_[id] : -1;
+    tt.intervals = std::move(intervals_[id]);
+    tt.residency = residency_[id];
+    timeline_.threads.push_back(std::move(tt));
+  }
+  std::sort(timeline_.monitor_holds.begin(), timeline_.monitor_holds.end(),
+            [](const MonitorHold& a, const MonitorHold& b) {
+              return a.begin != b.begin ? a.begin < b.begin : a.monitor < b.monitor;
+            });
+  return std::move(timeline_);
+}
+
+}  // namespace
+
+std::string_view ThreadPhaseName(ThreadPhase phase) {
+  switch (phase) {
+    case ThreadPhase::kReady:
+      return "ready";
+    case ThreadPhase::kRunning:
+      return "running";
+    case ThreadPhase::kBlockedMonitor:
+      return "blocked-monitor";
+    case ThreadPhase::kCvWaiting:
+      return "cv-waiting";
+    case ThreadPhase::kSleeping:
+      return "sleeping";
+  }
+  return "unknown";
+}
+
+const ThreadTimeline* Timeline::Find(ThreadId id) const {
+  for (const ThreadTimeline& t : threads) {
+    if (t.id == id) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+Timeline BuildTimeline(const Tracer& tracer) { return Builder(tracer).Build(); }
+
+std::vector<MonitorWait> FindPriorityInversions(const Timeline& timeline) {
+  std::vector<MonitorWait> inversions;
+  for (const MonitorWait& w : timeline.monitor_waits) {
+    if (w.holder_priority != 0 && w.holder_priority < w.waiter_priority) {
+      inversions.push_back(w);
+    }
+  }
+  std::sort(inversions.begin(), inversions.end(),
+            [](const MonitorWait& a, const MonitorWait& b) { return a.begin < b.begin; });
+  return inversions;
+}
+
+}  // namespace trace

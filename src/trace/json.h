@@ -1,0 +1,49 @@
+// Tiny shared JSON primitives for the observability emitters (metrics snapshot, Chrome trace).
+// Not a JSON library: just enough to write syntactically valid, deterministic output.
+
+#ifndef SRC_TRACE_JSON_H_
+#define SRC_TRACE_JSON_H_
+
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace trace {
+
+// Writes `s` as a double-quoted JSON string. Metric and symbol names are programmer-chosen, but
+// they flow in from workloads and may carry quotes, backslashes or control characters.
+inline void WriteJsonString(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace trace
+
+#endif  // SRC_TRACE_JSON_H_

@@ -69,12 +69,18 @@ std::string_view EventTypeName(EventType type) {
 
 void Tracer::Dump(std::ostream& os, Usec from_us, Usec to_us, size_t limit) const {
   size_t emitted = 0;
+  size_t suppressed = 0;
   for (const Event& e : events_) {
     if (e.time_us < from_us) {
       continue;
     }
-    if (e.time_us >= to_us || emitted >= limit) {
+    if (e.time_us >= to_us) {
       break;
+    }
+    if (emitted >= limit) {
+      // Keep scanning so the marker can say exactly how much of the window was cut off.
+      ++suppressed;
+      continue;
     }
     os << std::setw(12) << e.time_us << "us p" << e.processor << " t" << e.thread;
     if (std::string_view name = symbols_.Name(e.thread_sym); !name.empty()) {
@@ -92,6 +98,9 @@ void Tracer::Dump(std::ostream& os, Usec from_us, Usec to_us, size_t limit) cons
     }
     os << "\n";
     ++emitted;
+  }
+  if (suppressed > 0) {
+    os << "... truncated (" << suppressed << " more events)\n";
   }
 }
 

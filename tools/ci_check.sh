@@ -30,6 +30,17 @@ echo "== Explore suite at workers=4"
 echo "== bench_explore --json smoke"
 (cd "$BUILD_RELEASE" && bench/bench_explore --budget=60 --workers=4 --json)
 
+# Observability gates: the Chrome-trace and metrics exports must be valid JSON end to end, and
+# the metrics instrumentation must stay within its hot-path overhead budget (the bench exits
+# nonzero past 10% and records the numbers in BENCH_trace.json).
+echo "== Observability exports + trace-overhead budget"
+(cd "$BUILD_RELEASE" \
+  && tools/pcrsim --scenario keyboard --duration 5 \
+       --chrome-trace=ci_chrome_trace.json --metrics-json=ci_metrics.json \
+  && python3 -m json.tool ci_chrome_trace.json > /dev/null \
+  && python3 -m json.tool ci_metrics.json > /dev/null \
+  && bench/bench_trace_overhead --json)
+
 echo "== Debug build with -fsanitize=$SANITIZER"
 cmake -B "$BUILD_SANITIZED" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
   -DPCR_SANITIZE="$SANITIZER" > /dev/null

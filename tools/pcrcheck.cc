@@ -18,21 +18,25 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <vector>
 
 #include "src/explore/explorer.h"
 #include "src/explore/repro.h"
 #include "src/explore/scenarios.h"
+#include "src/trace/export_chrome.h"
 
 namespace {
 
 struct Args {
   std::string scenario;
   std::string replay;
+  std::string chrome_trace_dir;  // --chrome-trace-on-failure: export failing schedules here
   bool all = false;
   bool list = false;
   bool require_bug = false;
+  bool profile = false;
   int budget = -1;       // <0: use the scenario's tuned default
   uint64_t seed = 0;     // 0: use the scenario's tuned default
   int workers = 0;       // 0: hardware concurrency (the flag itself requires > 0)
@@ -42,7 +46,8 @@ struct Args {
 void Usage() {
   std::fprintf(stderr,
                "usage: pcrcheck [--list] [--all] [--scenario=NAME] [--budget=N] [--seed=N]\n"
-               "                [--workers=N] [--replay=REPRO] [--require-bug] [--verbose]\n");
+               "                [--workers=N] [--replay=REPRO] [--require-bug] [--verbose]\n"
+               "                [--profile] [--chrome-trace-on-failure=DIR]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -60,6 +65,10 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->require_bug = true;
     } else if (arg == "--verbose") {
       args->verbose = true;
+    } else if (arg == "--profile") {
+      args->profile = true;
+    } else if (const char* v = value("--chrome-trace-on-failure=")) {
+      args->chrome_trace_dir = v;
     } else if (const char* v = value("--scenario=")) {
       args->scenario = v;
     } else if (const char* v = value("--replay=")) {
@@ -130,6 +139,7 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
               result.distinct_schedules, result.failures.size());
 
   bool ok = true;
+  int failure_index = 0;
   for (const explore::ScheduleOutcome& failure : result.failures) {
     std::printf("  FAILURE (schedule %d):\n", failure.schedule_index);
     for (const std::string& message : failure.failures) {
@@ -137,9 +147,34 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
     }
     std::printf("  repro: %s\n", failure.repro.c_str());
     ok = VerifyReplay(explorer, failure, scenario.body) && ok;
+    if (!args.chrome_trace_dir.empty()) {
+      // Re-execute the failing schedule with a capture tracer and export it for visual triage
+      // in ui.perfetto.dev.
+      std::error_code ec;
+      std::filesystem::create_directories(args.chrome_trace_dir, ec);
+      std::string path = args.chrome_trace_dir + "/" + scenario.name + "-" +
+                         std::to_string(failure_index) + ".json";
+      trace::Tracer capture;
+      explorer.Replay(failure.repro, scenario.body, &capture);
+      if (trace::SaveChromeTraceFile(path, capture)) {
+        std::printf("  chrome trace: %s\n", path.c_str());
+      } else {
+        std::fprintf(stderr, "  could not write chrome trace %s\n", path.c_str());
+      }
+    }
+    ++failure_index;
   }
   if (args.verbose && !result.baseline.findings.empty()) {
     std::printf("  baseline findings:\n%s", RenderFindings(result.baseline.findings).c_str());
+  }
+  if (args.profile) {
+    const explore::ExploreProfile& p = result.profile;
+    double busy = p.run_sec + p.detector_sec;
+    std::printf(
+        "  profile: %.1f schedules/s | wall %.3fs = baseline %.3fs + sweep %.3fs + "
+        "minimize %.3fs | worker-time run %.3fs, detector %.3fs (%.1f%% of busy)\n",
+        p.schedules_per_sec, p.total_sec, p.baseline_sec, p.sweep_sec, p.minimize_sec,
+        p.run_sec, p.detector_sec, busy > 0 ? 100.0 * p.detector_sec / busy : 0.0);
   }
 
   bool found = !result.failures.empty();

@@ -11,11 +11,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/analysis/profile.h"
+#include "src/trace/export_chrome.h"
 #include "src/trace/serialize.h"
 #include "src/analysis/table.h"
 #include "src/pcr/runtime.h"
@@ -31,10 +34,13 @@ struct Cli {
   bool genealogy = false;
   bool profile = false;
   std::optional<std::string> save_trace;
+  std::optional<std::string> chrome_trace;
+  std::optional<std::string> metrics_json;
   std::optional<std::string> scenario;
   double duration_sec = 30.0;
   double warmup_sec = 2.0;
   uint64_t seed = 1;
+  size_t dump_limit = 4000;
   std::optional<std::pair<long, long>> dump_ms;  // [from, to) in virtual milliseconds
 };
 
@@ -73,7 +79,11 @@ void PrintUsage() {
       "  --genealogy             print the fork-genealogy summary\n"
       "  --profile               print the per-thread traffic profile\n"
       "  --save-trace <file>     write the raw event trace to a file\n"
-      "  --dump <from>:<to>      dump the raw event history for [from,to) virtual ms\n");
+      "  --chrome-trace <file>   export a Chrome/Perfetto trace (open in ui.perfetto.dev)\n"
+      "  --metrics-json <file>   write the runtime metrics registry snapshot as JSON\n"
+      "  --dump <from>:<to>      dump the raw event history for [from,to) virtual ms\n"
+      "  --dump-limit <n>        max events per --dump before truncation (default 4000)\n"
+      "\nOptions also accept --flag=value.\n");
 }
 
 std::optional<world::Scenario> ParseScenario(const std::string& slug) {
@@ -86,14 +96,26 @@ std::optional<world::Scenario> ParseScenario(const std::string& slug) {
 }
 
 bool ParseArgs(int argc, char** argv, Cli* cli) {
+  // Accept both `--flag value` and `--flag=value` by splitting on the first '=' up front.
+  std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
+    std::string raw = argv[i];
+    size_t eq;
+    if (raw.rfind("--", 0) == 0 && (eq = raw.find('=')) != std::string::npos) {
+      args.push_back(raw.substr(0, eq));
+      args.push_back(raw.substr(eq + 1));
+    } else {
+      args.push_back(std::move(raw));
+    }
+  }
+  for (size_t i = 0; i < args.size(); ++i) {
+    std::string arg = args[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
+      if (i + 1 >= args.size()) {
         std::fprintf(stderr, "pcrsim: %s needs a value\n", arg.c_str());
         std::exit(2);
       }
-      return argv[++i];
+      return args[++i].c_str();
     };
     if (arg == "--list") {
       cli->list = true;
@@ -109,6 +131,12 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
       cli->profile = true;
     } else if (arg == "--save-trace") {
       cli->save_trace = next();
+    } else if (arg == "--chrome-trace") {
+      cli->chrome_trace = next();
+    } else if (arg == "--metrics-json") {
+      cli->metrics_json = next();
+    } else if (arg == "--dump-limit") {
+      cli->dump_limit = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--scenario") {
       cli->scenario = next();
     } else if (arg == "--duration") {
@@ -170,14 +198,19 @@ int main(int argc, char** argv) {
   options.warmup = static_cast<pcr::Usec>(cli.warmup_sec * pcr::kUsecPerSec);
   options.seed = cli.seed;
   bool want_profile = cli.profile;
-  if (cli.dump_ms.has_value() || want_profile || cli.save_trace.has_value()) {
+  if (cli.dump_ms.has_value() || want_profile || cli.save_trace.has_value() ||
+      cli.chrome_trace.has_value() || cli.metrics_json.has_value()) {
     auto dump = cli.dump_ms;
     auto save_trace = cli.save_trace;
-    options.inspect = [dump, want_profile, save_trace](pcr::Runtime& rt) {
+    auto chrome_trace = cli.chrome_trace;
+    auto metrics_json = cli.metrics_json;
+    size_t dump_limit = cli.dump_limit;
+    options.inspect = [dump, want_profile, save_trace, chrome_trace, metrics_json,
+                       dump_limit](pcr::Runtime& rt) {
       if (dump.has_value()) {
         std::printf("--- event history %ld..%ld ms ---\n", dump->first, dump->second);
         rt.tracer().Dump(std::cout, dump->first * pcr::kUsecPerMsec,
-                         dump->second * pcr::kUsecPerMsec, 4000);
+                         dump->second * pcr::kUsecPerMsec, dump_limit);
       }
       if (want_profile) {
         std::printf("--- per-thread traffic profile ---\n");
@@ -190,6 +223,23 @@ int main(int argc, char** argv) {
                       rt.tracer().size());
         } else {
           std::fprintf(stderr, "pcrsim: could not write %s\n", save_trace->c_str());
+        }
+      }
+      if (chrome_trace.has_value()) {
+        if (trace::SaveChromeTraceFile(*chrome_trace, rt.tracer())) {
+          std::printf("chrome trace written to %s (open in ui.perfetto.dev)\n",
+                      chrome_trace->c_str());
+        } else {
+          std::fprintf(stderr, "pcrsim: could not write %s\n", chrome_trace->c_str());
+        }
+      }
+      if (metrics_json.has_value()) {
+        std::ofstream out(*metrics_json);
+        if (out) {
+          rt.scheduler().metrics().WriteJson(out);
+          std::printf("metrics snapshot written to %s\n", metrics_json->c_str());
+        } else {
+          std::fprintf(stderr, "pcrsim: could not write %s\n", metrics_json->c_str());
         }
       }
     };

@@ -8,9 +8,35 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "src/trace/serialize.h"
 #include "src/trace/stats.h"
+
+namespace {
+
+// Renders "id" or "id(name)"; symbol ids are table-local, so names are compared and printed by
+// string, never by id.
+std::string WithName(unsigned long long id, std::string_view name) {
+  std::string out = std::to_string(id);
+  if (!name.empty()) {
+    out += "(";
+    out += name;
+    out += ")";
+  }
+  return out;
+}
+
+void PrintEvent(const char* label, const trace::Tracer& t, const trace::Event& e) {
+  std::printf("  %s: t=%lldus p%u thread=%s pri=%d %s obj=%s arg=%llu\n", label,
+              static_cast<long long>(e.time_us), e.processor,
+              WithName(e.thread, t.symbols().Name(e.thread_sym)).c_str(),
+              static_cast<int>(e.priority), std::string(trace::EventTypeName(e.type)).c_str(),
+              WithName(e.object, t.symbols().Name(e.object_sym)).c_str(),
+              static_cast<unsigned long long>(e.arg));
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3) {
@@ -34,8 +60,13 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < common; ++i) {
     const trace::Event& ea = a.events()[i];
     const trace::Event& eb = b.events()[i];
+    // Symbol ids are interned per table, so names must be compared as resolved strings —
+    // identical traces can legitimately assign different ids to the same name.
     if (ea.time_us != eb.time_us || ea.type != eb.type || ea.thread != eb.thread ||
-        ea.object != eb.object || ea.arg != eb.arg || ea.processor != eb.processor) {
+        ea.object != eb.object || ea.arg != eb.arg || ea.processor != eb.processor ||
+        ea.priority != eb.priority ||
+        a.symbols().Name(ea.thread_sym) != b.symbols().Name(eb.thread_sym) ||
+        a.symbols().Name(ea.object_sym) != b.symbols().Name(eb.object_sym)) {
       first_diff = i;
       break;
     }
@@ -47,19 +78,9 @@ int main(int argc, char** argv) {
   if (first_diff == common) {
     std::printf("traces agree for all %zu common events; lengths differ\n", common);
   } else {
-    const trace::Event& ea = a.events()[first_diff];
-    const trace::Event& eb = b.events()[first_diff];
     std::printf("first divergence at event #%zu:\n", first_diff);
-    std::printf("  a: t=%lldus thread=%u %s obj=%llu arg=%llu\n",
-                static_cast<long long>(ea.time_us), ea.thread,
-                std::string(trace::EventTypeName(ea.type)).c_str(),
-                static_cast<unsigned long long>(ea.object),
-                static_cast<unsigned long long>(ea.arg));
-    std::printf("  b: t=%lldus thread=%u %s obj=%llu arg=%llu\n",
-                static_cast<long long>(eb.time_us), eb.thread,
-                std::string(trace::EventTypeName(eb.type)).c_str(),
-                static_cast<unsigned long long>(eb.object),
-                static_cast<unsigned long long>(eb.arg));
+    PrintEvent("a", a, a.events()[first_diff]);
+    PrintEvent("b", b, b.events()[first_diff]);
   }
   trace::Summary sa = trace::Summarize(a);
   trace::Summary sb = trace::Summarize(b);
