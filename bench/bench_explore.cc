@@ -87,6 +87,11 @@ struct Measurement {
   int64_t events_per_schedule = 0;
   double events_per_sec_parallel = 0;
   bool deterministic = false;
+  // Runtime counters from the parallel run's profile. pool_hit_rate is informational only —
+  // it depends on worker placement, so it is excluded from the determinism comparison.
+  int64_t fiber_switches = 0;
+  int64_t stack_acquires = 0;
+  int64_t stack_pool_hits = 0;
 };
 
 double Seconds(std::chrono::steady_clock::time_point a,
@@ -162,6 +167,9 @@ Measurement RunScenario(const explore::BugScenario& scenario, const Args& args) 
     m.speedup = m.serial_seconds / m.parallel_seconds;
   }
   m.deterministic = SameResult(serial_result, parallel_result);
+  m.fiber_switches = parallel_result.profile.fiber_switches;
+  m.stack_acquires = parallel_result.profile.stack_acquires;
+  m.stack_pool_hits = parallel_result.profile.stack_pool_hits;
   return m;
 }
 
@@ -180,12 +188,16 @@ void WriteJson(const std::vector<Measurement>& all, const char* path) {
                  "     \"schedules_per_sec_serial\": %.1f, \"schedules_per_sec_parallel\": "
                  "%.1f,\n"
                  "     \"speedup\": %.2f, \"events_per_schedule\": %lld,\n"
-                 "     \"events_per_sec_parallel\": %.1f, \"deterministic\": %s}%s\n",
+                 "     \"events_per_sec_parallel\": %.1f, \"deterministic\": %s,\n"
+                 "     \"fiber_switches\": %lld, \"stack_acquires\": %lld, "
+                 "\"stack_pool_hits\": %lld}%s\n",
                  m.scenario.c_str(), m.budget, m.workers_parallel, m.serial_seconds,
                  m.parallel_seconds, m.schedules_per_sec_serial, m.schedules_per_sec_parallel,
                  m.speedup, static_cast<long long>(m.events_per_schedule),
                  m.events_per_sec_parallel, m.deterministic ? "true" : "false",
-                 i + 1 < all.size() ? "," : "");
+                 static_cast<long long>(m.fiber_switches),
+                 static_cast<long long>(m.stack_acquires),
+                 static_cast<long long>(m.stack_pool_hits), i + 1 < all.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -216,12 +228,17 @@ int main(int argc, char** argv) {
   bool deterministic = true;
   for (const explore::BugScenario* scenario : to_run) {
     Measurement m = RunScenario(*scenario, args);
+    double pool_hit_rate =
+        m.stack_acquires > 0
+            ? 100.0 * static_cast<double>(m.stack_pool_hits) / m.stack_acquires
+            : 0.0;
     std::printf(
         "%-16s budget=%-4d workers=%-2d serial %7.1f sched/s, parallel %7.1f sched/s "
-        "(%.2fx), %.0f events/s, %s\n",
+        "(%.2fx), %.0f events/s, %lld switches, %lld stacks (%.0f%% pooled), %s\n",
         m.scenario.c_str(), m.budget, m.workers_parallel, m.schedules_per_sec_serial,
         m.schedules_per_sec_parallel, m.speedup, m.events_per_sec_parallel,
-        m.deterministic ? "deterministic" : "MISMATCH");
+        static_cast<long long>(m.fiber_switches), static_cast<long long>(m.stack_acquires),
+        pool_hit_rate, m.deterministic ? "deterministic" : "MISMATCH");
     deterministic = deterministic && m.deterministic;
     all.push_back(std::move(m));
   }

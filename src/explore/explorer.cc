@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <random>
 #include <utility>
 
@@ -36,10 +37,13 @@ double SecSince(ProfileClock::time_point start) {
 Explorer::Explorer(ExploreOptions options) : options_(std::move(options)) {}
 
 ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const TestBody& body,
-                                  trace::Tracer* capture) {
+                                  trace::Tracer* capture, WorkerArena* arena) {
   pcr::Config config = options_.base_config;
   config.seed = plan.runtime_seed;
   config.trace_events = true;  // the trace is the whole point
+  if (arena != nullptr) {
+    config.stack_pool = &arena->stacks;
+  }
 
   ScheduleOutcome outcome;
   outcome.schedule_index = schedule_index;
@@ -48,6 +52,9 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   ReplayPerturber replayer(plan.replay);
 
   pcr::Runtime rt(config);
+  if (arena != nullptr) {
+    rt.tracer().AdoptEventBuffer(std::move(arena->trace_buffer));
+  }
   TestContext ctx;
   if (plan.replay_mode) {
     rt.scheduler().set_perturber(&replayer);
@@ -63,6 +70,9 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   rt.Shutdown();
   rt.scheduler().set_perturber(nullptr);
   run_ns_.fetch_add(NsSince(run_start), std::memory_order_relaxed);
+  fiber_switches_.fetch_add(rt.scheduler().fiber_switches(), std::memory_order_relaxed);
+  stack_acquires_.fetch_add(rt.scheduler().stack_acquires(), std::memory_order_relaxed);
+  stack_pool_hits_.fetch_add(rt.scheduler().stack_pool_hits(), std::memory_order_relaxed);
 
   if (capture != nullptr) {
     // Symbol ids in the captured events are only meaningful against the run's own table, so
@@ -89,6 +99,12 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   std::vector<Decision> decisions = TrimTrailingDefaults(
       plan.replay_mode ? replayer.consumed() : recorder.decisions());
   outcome.repro = EncodeRepro(options_.scenario_name, plan.runtime_seed, decisions);
+  if (arena != nullptr) {
+    // Everything that reads the trace (capture, detector, hash) has run; reclaim the buffer's
+    // capacity for this worker's next schedule. The runtime's fibers are already torn down
+    // (Shutdown above), so their stacks are parked in the arena pool by now too.
+    arena->trace_buffer = rt.tracer().TakeEventBuffer();
+  }
   return outcome;
 }
 
@@ -107,7 +123,8 @@ bool Explorer::SameFailure(const ScheduleOutcome& a, const ScheduleOutcome& b) {
   return !a.failures.empty() && !b.failures.empty() && a.failures.front() == b.failures.front();
 }
 
-ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBody& body) {
+ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBody& body,
+                                   WorkerArena* arena) {
   std::string scenario;
   uint64_t runtime_seed = 0;
   std::vector<Decision> decisions;
@@ -125,7 +142,7 @@ ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBod
     plan.runtime_seed = runtime_seed;
     plan.replay = candidate;
     plan.replay_mode = true;
-    ScheduleOutcome attempt = RunPlan(plan, outcome.schedule_index, body);
+    ScheduleOutcome attempt = RunPlan(plan, outcome.schedule_index, body, nullptr, arena);
     if (SameFailure(outcome, attempt)) {
       *result = std::move(attempt);
       return true;
@@ -185,6 +202,9 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   std::vector<uint64_t> hashes;
   run_ns_.store(0, std::memory_order_relaxed);
   detector_ns_.store(0, std::memory_order_relaxed);
+  fiber_switches_.store(0, std::memory_order_relaxed);
+  stack_acquires_.store(0, std::memory_order_relaxed);
+  stack_pool_hits_.store(0, std::memory_order_relaxed);
   const auto total_start = ProfileClock::now();
 
   auto note_hash = [&hashes](uint64_t h) {
@@ -193,10 +213,23 @@ ExploreResult Explorer::Explore(const TestBody& body) {
     }
   };
 
-  // Schedule 0: the unperturbed baseline. Its horizon seeds PCT change-point placement.
+  // One arena per pool worker, alive for the whole Explore call: each worker's schedules
+  // inherit its predecessor's stack pool and trace-buffer capacity instead of paying mmap +
+  // mprotect + heap growth per Runtime. Outcome bytes cannot depend on which arena served a
+  // schedule (see WorkerArena).
+  int workers = options_.workers > 0 ? options_.workers : WorkerPool::HardwareWorkers();
+  WorkerPool pool(workers);
+  std::vector<std::unique_ptr<WorkerArena>> arenas;
+  arenas.reserve(static_cast<size_t>(pool.workers()));
+  for (int w = 0; w < pool.workers(); ++w) {
+    arenas.push_back(std::make_unique<WorkerArena>());
+  }
+
+  // Schedule 0: the unperturbed baseline. Its horizon seeds PCT change-point placement. It
+  // runs on the calling thread, which is pool worker 0.
   Plan baseline_plan;
   baseline_plan.runtime_seed = options_.base_config.seed;
-  result.baseline = RunPlan(baseline_plan, 0, body);
+  result.baseline = RunPlan(baseline_plan, 0, body, nullptr, arenas[0].get());
   result.profile.baseline_sec = SecSince(total_start);
   result.schedules_run = 1;
   note_hash(result.baseline.trace_hash);
@@ -226,13 +259,13 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   }
 
   // Fan schedules across workers. Each RunPlan builds its own Runtime + Tracer and shares
-  // nothing, so schedules are embarrassingly parallel; outcomes land in their slot by index.
-  int workers = options_.workers > 0 ? options_.workers : WorkerPool::HardwareWorkers();
-  WorkerPool pool(workers);
+  // nothing but its worker's arena, so schedules are embarrassingly parallel; outcomes land in
+  // their slot by index.
   std::vector<ScheduleOutcome> outcomes(plans.size());
   const auto sweep_start = ProfileClock::now();
-  pool.Run(plans.size(), [&](size_t k) {
-    outcomes[k] = RunPlan(plans[k], static_cast<int>(k) + 1, body);
+  pool.Run(plans.size(), [&](size_t worker, size_t k) {
+    outcomes[k] = RunPlan(plans[k], static_cast<int>(k) + 1, body, nullptr,
+                          arenas[worker].get());
   });
   result.profile.sweep_sec = SecSince(sweep_start);
 
@@ -266,8 +299,8 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   const auto minimize_start = ProfileClock::now();
   if (options_.minimize && !distinct.empty()) {
     result.failures.resize(distinct.size());
-    pool.Run(distinct.size(), [&](size_t k) {
-      result.failures[k] = Minimize(distinct[k], body);
+    pool.Run(distinct.size(), [&](size_t worker, size_t k) {
+      result.failures[k] = Minimize(distinct[k], body, arenas[worker].get());
     });
   } else {
     result.failures = std::move(distinct);
@@ -280,6 +313,9 @@ ExploreResult Explorer::Explore(const TestBody& body) {
       static_cast<double>(run_ns_.load(std::memory_order_relaxed)) * 1e-9;
   result.profile.detector_sec =
       static_cast<double>(detector_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  result.profile.fiber_switches = fiber_switches_.load(std::memory_order_relaxed);
+  result.profile.stack_acquires = stack_acquires_.load(std::memory_order_relaxed);
+  result.profile.stack_pool_hits = stack_pool_hits_.load(std::memory_order_relaxed);
   if (result.profile.total_sec > 0) {
     result.profile.schedules_per_sec = result.schedules_run / result.profile.total_sec;
   }

@@ -29,6 +29,8 @@
 #include "src/explore/perturbers.h"
 #include "src/explore/repro.h"
 #include "src/pcr/runtime.h"
+#include "src/pcr/stack.h"
+#include "src/trace/event.h"
 
 namespace explore {
 
@@ -97,6 +99,12 @@ struct ExploreProfile {
   double run_sec = 0;        // summed: body execution + runtime shutdown, all schedules
   double detector_sec = 0;   // summed: AnalyzeTrace over every schedule's trace
   double schedules_per_sec = 0;
+  // Runtime counters summed across every schedule the Explore call executed (baseline, sweep,
+  // minimization replays). stack_pool_hits depends on which worker ran which schedule, so it is
+  // informational only — never part of result comparison.
+  int64_t fiber_switches = 0;
+  int64_t stack_acquires = 0;
+  int64_t stack_pool_hits = 0;
 };
 
 struct ExploreResult {
@@ -131,16 +139,30 @@ class Explorer {
     bool replay_mode = false;
   };
 
+  // Warm capacity one pool worker carries from schedule to schedule within an Explore call:
+  // guard-paged stacks and the trace event buffer, the two dominant per-Runtime allocations.
+  // Only *capacity* is recycled — a recycled arena and a fresh one produce byte-identical
+  // outcomes, which is what keeps results independent of worker count. The symbol table is
+  // deliberately not here: interning order differs per schedule, so reuse would leak state.
+  struct WorkerArena {
+    pcr::StackPool stacks;
+    std::vector<trace::Event> trace_buffer;
+  };
+
   ScheduleOutcome RunPlan(const Plan& plan, int schedule_index, const TestBody& body,
-                          trace::Tracer* capture = nullptr);
+                          trace::Tracer* capture = nullptr, WorkerArena* arena = nullptr);
   // Prefix-truncates and zeroes decisions while the same bug keeps reproducing.
-  ScheduleOutcome Minimize(const ScheduleOutcome& outcome, const TestBody& body);
+  ScheduleOutcome Minimize(const ScheduleOutcome& outcome, const TestBody& body,
+                           WorkerArena* arena = nullptr);
   static bool SameFailure(const ScheduleOutcome& a, const ScheduleOutcome& b);
 
   ExploreOptions options_;
   // Profile accumulators; atomics because RunPlan executes concurrently on pool workers.
   std::atomic<int64_t> run_ns_{0};
   std::atomic<int64_t> detector_ns_{0};
+  std::atomic<int64_t> fiber_switches_{0};
+  std::atomic<int64_t> stack_acquires_{0};
+  std::atomic<int64_t> stack_pool_hits_{0};
 };
 
 }  // namespace explore

@@ -56,13 +56,17 @@ bool WorkerPool::PopOrSteal(std::vector<std::unique_ptr<Queue>>& queues, size_t 
 }
 
 void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
+  Run(count, [&fn](size_t /*worker*/, size_t task) { fn(task); });
+}
+
+void WorkerPool::Run(size_t count, const std::function<void(size_t, size_t)>& fn) {
   if (count == 0) {
     return;
   }
   size_t n = std::min<size_t>(static_cast<size_t>(workers_), count);
   if (n == 1) {
     for (size_t i = 0; i < count; ++i) {
-      fn(i);
+      fn(0, i);
     }
     return;
   }
@@ -90,7 +94,7 @@ void WorkerPool::Run(size_t count, const std::function<void(size_t)>& fn) {
     size_t task = 0;
     while (!abort.load(std::memory_order_relaxed) && PopOrSteal(queues, self, &task)) {
       try {
-        fn(task);
+        fn(self, task);
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mu);
         if (task < error_index) {

@@ -35,6 +35,11 @@ class WorkerPool {
   // exception from the lowest task index is rethrown here.
   void Run(size_t count, const std::function<void(size_t)>& fn);
 
+  // Same, but fn also learns which worker is executing the task (0 <= worker < workers()).
+  // Task->worker placement is timing-dependent — callers may key *allocations* off the worker
+  // index (arenas, stack pools) but never anything that reaches results.
+  void Run(size_t count, const std::function<void(size_t worker, size_t task)>& fn);
+
   int workers() const { return workers_; }
 
   // std::thread::hardware_concurrency with a floor of 1.

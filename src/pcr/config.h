@@ -11,6 +11,8 @@
 
 namespace pcr {
 
+class StackPool;
+
 // Virtual-time costs charged by runtime primitives. The paper reports that PCR's scheduler
 // "takes less than 50 microseconds to switch between threads on a Sparcstation-2" (Section 2)
 // and that fork overhead is "significant" relative to very short callbacks (Section 4.5); these
@@ -89,6 +91,13 @@ struct Config {
   // sleepers fell into disfavor (Section 5.1); we allocate lazily at first dispatch but keep the
   // per-thread cost real.
   size_t stack_bytes = 64 * 1024;
+
+  // Where fiber stacks come from. nullptr: the scheduler uses a private pool (stacks are still
+  // recycled across FORKs within the run). Non-null: an external pool — not owned, must
+  // outlive the Runtime, and must not be shared across OS threads (StackPool is
+  // thread-compatible, not thread-safe). The explorer points each of its workers' runs at a
+  // per-worker pool so warm stacks survive from one schedule to the next.
+  StackPool* stack_pool = nullptr;
 
   // Seed for the runtime RNG (SystemDaemon choice and workload generators).
   uint64_t seed = 1;

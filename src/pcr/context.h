@@ -1,0 +1,61 @@
+// Context-switch primitive selection for the fiber substrate.
+//
+// Two implementations exist:
+//
+//   * fcontext-style assembly (context_switch.S): saves/restores only the callee-saved
+//     registers, the stack pointer, and the FPU/SIMD control words the psABI requires —
+//     ~20 ns per switch. No syscall. This is the default on x86-64 and aarch64.
+//   * ucontext (swapcontext): portable POSIX fallback, but every switch performs a
+//     sigprocmask syscall to save/restore the signal mask (~1 µs per switch).
+//
+// Build with -DPCR_FIBER_UCONTEXT=ON (CMake) to force the fallback everywhere; other
+// architectures fall back automatically. The selected path is exposed as the
+// PCR_FIBER_USE_UCONTEXT macro so fiber.{h,cc} and the benches can branch on it.
+
+#ifndef SRC_PCR_CONTEXT_H_
+#define SRC_PCR_CONTEXT_H_
+
+#include <cstddef>
+
+#if defined(PCR_FIBER_UCONTEXT) && PCR_FIBER_UCONTEXT
+#define PCR_FIBER_USE_UCONTEXT 1
+#elif defined(__x86_64__) || defined(__aarch64__)
+#define PCR_FIBER_USE_UCONTEXT 0
+#else
+#define PCR_FIBER_USE_UCONTEXT 1  // no assembly port for this architecture
+#endif
+
+#if !PCR_FIBER_USE_UCONTEXT
+
+namespace pcr {
+
+// An opaque suspended context: the stack pointer of a stack whose top holds the saved
+// callee-saved registers. Owned by whoever will jump to it next; a context becomes invalid the
+// moment it is jumped to (the callee hands back a fresh one when it suspends).
+using FiberContext = void*;
+
+// What a jump delivers to the destination: the context the jumper suspended into (resume it to
+// go back) and the void* payload passed to pcr_jump_context.
+struct ContextTransfer {
+  FiberContext from;
+  void* data;
+};
+
+extern "C" {
+
+// Suspends the caller and resumes `to`. Returns (in the destination) the caller's new context
+// and `data`. Implemented in context_switch.S.
+ContextTransfer pcr_jump_context(FiberContext to, void* data);
+
+// Prepares a fresh context on [stack_top - size, stack_top) that will enter `entry` on its
+// first jump. `stack_top` is the high end of the stack (stacks grow down) and is aligned down
+// to 16 bytes internally. `entry` must never return.
+FiberContext pcr_make_context(void* stack_top, size_t size, void (*entry)(ContextTransfer));
+
+}  // extern "C"
+
+}  // namespace pcr
+
+#endif  // !PCR_FIBER_USE_UCONTEXT
+
+#endif  // SRC_PCR_CONTEXT_H_

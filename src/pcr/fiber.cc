@@ -4,9 +4,11 @@
 #include <cstdlib>
 
 // AddressSanitizer needs to be told about manual stack switches: each context owns a shadow
-// "fake stack", and swapcontext moves execution between stacks behind ASan's back. The
-// protocol is start_switch_fiber before leaving a context and finish_switch_fiber as the first
-// thing after regaining control on the destination (see sanitizer/common_interface_defs.h).
+// "fake stack", and a switch moves execution between stacks behind ASan's back. The protocol is
+// start_switch_fiber before leaving a context and finish_switch_fiber as the first thing after
+// regaining control on the destination (see sanitizer/common_interface_defs.h). It is identical
+// for the assembly and the ucontext paths — ASan cares about the stack change, not the
+// mechanism.
 #if defined(__SANITIZE_ADDRESS__)
 #define PCR_ASAN_FIBERS 1
 #elif defined(__has_feature)
@@ -19,6 +21,25 @@
 #include <sanitizer/common_interface_defs.h>
 #endif
 
+// ThreadSanitizer likewise tracks one shadow state per execution context, but only intercepts
+// swapcontext — the assembly path is invisible to it, so each Fiber registers a TSan fiber and
+// announces every switch (__tsan_switch_to_fiber immediately before the jump, per
+// sanitizer/tsan_interface.h). On the ucontext path the interceptor already does this; adding
+// manual annotations there would double-switch.
+#if !PCR_FIBER_USE_UCONTEXT
+#if defined(__SANITIZE_THREAD__)
+#define PCR_TSAN_FIBERS 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PCR_TSAN_FIBERS 1
+#endif
+#endif
+#endif
+
+#ifdef PCR_TSAN_FIBERS
+#include <sanitizer/tsan_interface.h>
+#endif
+
 namespace pcr {
 
 namespace {
@@ -27,9 +48,32 @@ thread_local Fiber* g_current_fiber = nullptr;
 
 Fiber::Fiber(Entry entry, size_t stack_bytes) : stack_(stack_bytes), entry_(std::move(entry)) {}
 
-Fiber::~Fiber() = default;
+Fiber::Fiber(Entry entry, FiberStack stack, StackPool* release_to)
+    : stack_(std::move(stack)), release_to_(release_to), entry_(std::move(entry)) {}
+
+Fiber::~Fiber() {
+#ifdef PCR_TSAN_FIBERS
+  if (tsan_fiber_ != nullptr) {
+    __tsan_destroy_fiber(tsan_fiber_);
+  }
+#endif
+  if (release_to_ != nullptr) {
+    release_to_->Release(std::move(stack_));
+  }
+}
 
 Fiber* Fiber::Current() { return g_current_fiber; }
+
+void Fiber::AbortResumedAfterFinish() {
+  std::fprintf(stderr, "pcr: fiber %u resumed after finishing\n", debug_id_);
+  std::abort();
+}
+
+#if PCR_FIBER_USE_UCONTEXT
+
+// ---------------------------------------------------------------------------
+// Portable fallback: swapcontext. Each switch costs a sigprocmask syscall.
+// ---------------------------------------------------------------------------
 
 void Fiber::Trampoline() {
   Fiber* self = g_current_fiber;
@@ -41,16 +85,17 @@ void Fiber::Trampoline() {
 #endif
   self->entry_();
   self->finished_ = true;
-  // A finished fiber parks here; it should never be resumed again, but suspending in a loop is
-  // safer than returning (returning from a makecontext entry with no uc_link exits the process).
-  while (true) {
-    self->Suspend();
-  }
+  // Hand control back to the resumer for the last time. A finished fiber must never run again:
+  // if some path resumes the parked context anyway, abort loudly instead of silently
+  // re-suspending forever (returning from a makecontext entry with no uc_link would exit the
+  // process, which is worse).
+  self->Suspend();
+  self->AbortResumedAfterFinish();
 }
 
 void Fiber::Resume() {
   if (finished_) {
-    std::fprintf(stderr, "pcr: Resume on finished fiber\n");
+    std::fprintf(stderr, "pcr: Resume on finished fiber %u\n", debug_id_);
     std::abort();
   }
   if (!started_) {
@@ -81,7 +126,7 @@ void Fiber::Resume() {
 
 void Fiber::Suspend() {
   if (g_current_fiber != this) {
-    std::fprintf(stderr, "pcr: Suspend called off-fiber\n");
+    std::fprintf(stderr, "pcr: Suspend called off-fiber (fiber %u)\n", debug_id_);
     std::abort();
   }
 #ifdef PCR_ASAN_FIBERS
@@ -99,5 +144,82 @@ void Fiber::Suspend() {
                                   &asan_resumer_size_);
 #endif
 }
+
+#else  // !PCR_FIBER_USE_UCONTEXT
+
+// ---------------------------------------------------------------------------
+// Fast path: assembly context switch (src/pcr/context_switch.S). A suspended context is one
+// stack pointer; a switch saves/restores callee-saved registers only. No syscalls.
+// ---------------------------------------------------------------------------
+
+void Fiber::Trampoline(ContextTransfer transfer) {
+  Fiber* self = static_cast<Fiber*>(transfer.data);
+  self->resumer_ = transfer.from;
+#ifdef PCR_ASAN_FIBERS
+  // First entry onto this stack: complete the switch begun in Resume and learn the resumer's
+  // stack bounds so Suspend can announce the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &self->asan_resumer_bottom_,
+                                  &self->asan_resumer_size_);
+#endif
+  self->entry_();
+  self->finished_ = true;
+  // Hand control back to the resumer for the last time. The entry must never return into the
+  // assembly thunk (that traps), and a finished fiber must never run again.
+  self->Suspend();
+  self->AbortResumedAfterFinish();
+}
+
+void Fiber::Resume() {
+  if (finished_) {
+    std::fprintf(stderr, "pcr: Resume on finished fiber %u\n", debug_id_);
+    std::abort();
+  }
+  if (!started_) {
+    started_ = true;
+    void* stack_top = static_cast<char*>(stack_.base()) + stack_.size();
+    context_ = pcr_make_context(stack_top, stack_.size(), &Fiber::Trampoline);
+#ifdef PCR_TSAN_FIBERS
+    tsan_fiber_ = __tsan_create_fiber(0);
+#endif
+  }
+  Fiber* previous = g_current_fiber;
+  g_current_fiber = this;
+#ifdef PCR_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_resumer_fake_stack_, stack_.base(), stack_.size());
+#endif
+#ifdef PCR_TSAN_FIBERS
+  tsan_resumer_ = __tsan_get_current_fiber();
+  __tsan_switch_to_fiber(tsan_fiber_, 0);
+#endif
+  ContextTransfer transfer = pcr_jump_context(context_, this);
+  context_ = transfer.from;  // where the fiber suspended; resume it there next time
+#ifdef PCR_ASAN_FIBERS
+  __sanitizer_finish_switch_fiber(asan_resumer_fake_stack_, nullptr, nullptr);
+#endif
+  g_current_fiber = previous;
+}
+
+void Fiber::Suspend() {
+  if (g_current_fiber != this) {
+    std::fprintf(stderr, "pcr: Suspend called off-fiber (fiber %u)\n", debug_id_);
+    std::abort();
+  }
+#ifdef PCR_ASAN_FIBERS
+  __sanitizer_start_switch_fiber(&asan_fiber_fake_stack_, asan_resumer_bottom_,
+                                 asan_resumer_size_);
+#endif
+#ifdef PCR_TSAN_FIBERS
+  __tsan_switch_to_fiber(tsan_resumer_, 0);
+#endif
+  ContextTransfer transfer = pcr_jump_context(resumer_, nullptr);
+  resumer_ = transfer.from;  // a different host frame may resume us next time
+#ifdef PCR_ASAN_FIBERS
+  // Back on the fiber stack: restore our fake stack and refresh the resumer's bounds.
+  __sanitizer_finish_switch_fiber(asan_fiber_fake_stack_, &asan_resumer_bottom_,
+                                  &asan_resumer_size_);
+#endif
+}
+
+#endif  // PCR_FIBER_USE_UCONTEXT
 
 }  // namespace pcr

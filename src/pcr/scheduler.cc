@@ -33,6 +33,7 @@ Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
   config_.quantum = std::max<Usec>(1, config_.quantum);
   running_.assign(static_cast<size_t>(config_.processors), kNoThread);
   last_running_.assign(static_cast<size_t>(config_.processors), kNoThread);
+  stack_pool_ = config_.stack_pool != nullptr ? config_.stack_pool : &own_stack_pool_;
 #if PCR_METRICS
   if (config_.metrics) {
     // Register once here; the hot paths only ever touch the cached pointers.
@@ -43,6 +44,10 @@ Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
     m_ticks_ = metrics_.counter("sched.ticks");
     m_timer_fires_ = metrics_.counter("sched.timer_fires");
     m_forks_ = metrics_.counter("sched.forks");
+    m_fiber_switches_ = metrics_.counter("fiber.switches");
+    m_stack_acquires_ = metrics_.counter("stack.acquires");
+    m_stack_pool_hits_ = metrics_.counter("stack.pool_hits");
+    m_stack_peak_live_ = metrics_.counter("stack.peak_live_bytes");
     m_ready_depth_ = metrics_.histogram("sched.ready_depth");
   }
 #endif
@@ -803,14 +808,32 @@ void Scheduler::PreemptIfNeeded() {
 void Scheduler::RunFiber(Tcb& tcb) {
   if (!tcb.fiber) {
     Tcb* target = &tcb;
+    bool from_pool = false;
+    FiberStack stack = stack_pool_->Acquire(
+        tcb.stack_bytes != 0 ? tcb.stack_bytes : config_.stack_bytes, &from_pool);
+    ++stack_acquires_;
+    trace::MetricAdd(m_stack_acquires_);
+    if (from_pool) {
+      ++stack_pool_hits_;
+      trace::MetricAdd(m_stack_pool_hits_);
+    }
     tcb.fiber = std::make_unique<Fiber>([this, target] { FiberBody(*target); },
-                                        tcb.stack_bytes != 0 ? tcb.stack_bytes
-                                                             : config_.stack_bytes);
+                                        std::move(stack), stack_pool_);
+    tcb.fiber->set_debug_id(tcb.id);
     stack_bytes_reserved_ += tcb.fiber->stack_reserved_bytes();
-    peak_stack_bytes_reserved_ = std::max(peak_stack_bytes_reserved_, stack_bytes_reserved_);
+    if (stack_bytes_reserved_ > peak_stack_bytes_reserved_) {
+      peak_stack_bytes_reserved_ = stack_bytes_reserved_;
+      // Surface the high-water mark through the registry as well: monotone, so expressed as
+      // the delta that raises the counter to the new peak.
+      trace::MetricAdd(m_stack_peak_live_,
+                       static_cast<int64_t>(peak_stack_bytes_reserved_) -
+                           (m_stack_peak_live_ != nullptr ? m_stack_peak_live_->value() : 0));
+    }
   }
   ThreadId previous = current_tid_;
   current_tid_ = tcb.id;
+  fiber_switches_ += 2;  // one switch in, one back out when the fiber suspends or finishes
+  trace::MetricAdd(m_fiber_switches_, 2);
   tcb.fiber->Resume();
   current_tid_ = previous;
   ++zero_progress_ops_;

@@ -253,6 +253,18 @@ class Scheduler {
   size_t stack_bytes_reserved() const { return stack_bytes_reserved_; }
   size_t peak_stack_bytes_reserved() const { return peak_stack_bytes_reserved_; }
 
+  // Fiber-substrate counters, kept independent of the metrics registry so benches can read
+  // them even in PCR_METRICS=OFF builds. fiber_switches counts context switches (two per
+  // Resume round trip); stack_acquires/stack_pool_hits count fiber-stack requests and how many
+  // the stack pool served without a fresh mmap.
+  int64_t fiber_switches() const { return fiber_switches_; }
+  int64_t stack_acquires() const { return stack_acquires_; }
+  int64_t stack_pool_hits() const { return stack_pool_hits_; }
+
+  // The pool FORK draws fiber stacks from: Config::stack_pool when set (shared, e.g. one per
+  // explorer worker reused across schedules), otherwise a private per-scheduler pool.
+  StackPool& stack_pool() { return *stack_pool_; }
+
  private:
   struct TimerEntry {
     Usec deadline;
@@ -328,6 +340,10 @@ class Scheduler {
   trace::Counter* m_ticks_ = nullptr;
   trace::Counter* m_timer_fires_ = nullptr;
   trace::Counter* m_forks_ = nullptr;
+  trace::Counter* m_fiber_switches_ = nullptr;
+  trace::Counter* m_stack_acquires_ = nullptr;
+  trace::Counter* m_stack_pool_hits_ = nullptr;
+  trace::Counter* m_stack_peak_live_ = nullptr;
   trace::Log2Histogram* m_ready_depth_ = nullptr;
   std::mt19937_64 rng_;
   bool rng_seed_logged_ = false;
@@ -371,6 +387,14 @@ class Scheduler {
   int64_t zero_progress_ops_ = 0;       // livelock guard: ops executed since time last advanced
   size_t stack_bytes_reserved_ = 0;
   size_t peak_stack_bytes_reserved_ = 0;
+  int64_t fiber_switches_ = 0;
+  int64_t stack_acquires_ = 0;
+  int64_t stack_pool_hits_ = 0;
+  // Fibers release their stacks into this pool when destroyed; Shutdown() (which the
+  // destructor runs before any member is torn down) destroys every fiber, so member order
+  // relative to tcbs_ does not matter.
+  StackPool own_stack_pool_;
+  StackPool* stack_pool_ = nullptr;  // == config_.stack_pool or &own_stack_pool_
 };
 
 }  // namespace pcr

@@ -7,6 +7,22 @@
 #include <cstdlib>
 #include <utility>
 
+// Recycled stacks carry whatever ASan shadow the previous fiber left behind: fibers abandoned
+// mid-execution (the scheduler destroys suspended fibers at shutdown/reap) never run the
+// epilogues that would unpoison their frames' redzones. Scrub the shadow on release so the
+// next fiber starts on a clean stack.
+#if defined(__SANITIZE_ADDRESS__)
+#define PCR_ASAN_STACKS 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PCR_ASAN_STACKS 1
+#endif
+#endif
+
+#ifdef PCR_ASAN_STACKS
+#include <sanitizer/asan_interface.h>
+#endif
+
 namespace pcr {
 
 namespace {
@@ -23,9 +39,13 @@ size_t RoundUpToPage(size_t bytes) {
 
 }  // namespace
 
+size_t FiberStack::UsableSize(size_t usable_bytes) {
+  return RoundUpToPage(usable_bytes == 0 ? PageSize() : usable_bytes);
+}
+
 FiberStack::FiberStack(size_t usable_bytes) {
   size_t page = PageSize();
-  usable_bytes_ = RoundUpToPage(usable_bytes == 0 ? page : usable_bytes);
+  usable_bytes_ = UsableSize(usable_bytes);
   mapping_bytes_ = usable_bytes_ + page;  // one guard page below the stack
   void* mapping = mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
@@ -65,6 +85,68 @@ void FiberStack::Release() {
     munmap(mapping_, mapping_bytes_);
     mapping_ = nullptr;
   }
+}
+
+StackPool::StackPool(size_t max_pooled_bytes) : max_pooled_bytes_(max_pooled_bytes) {}
+
+FiberStack StackPool::Acquire(size_t usable_bytes, bool* from_pool) {
+  ++stats_.acquires;
+  size_t size_class = FiberStack::UsableSize(usable_bytes);
+  auto it = free_.find(size_class);
+  FiberStack stack;
+  bool reused = it != free_.end() && !it->second.empty();
+  if (reused) {
+    stack = std::move(it->second.back());
+    it->second.pop_back();
+    ++stats_.pool_hits;
+    stats_.pooled_bytes -= stack.reserved_bytes();
+  } else {
+    stack = FiberStack(size_class);
+  }
+  if (from_pool != nullptr) {
+    *from_pool = reused;
+  }
+  stats_.live_bytes += stack.reserved_bytes();
+  if (stats_.live_bytes > stats_.peak_live_bytes) {
+    stats_.peak_live_bytes = stats_.live_bytes;
+  }
+  return stack;
+}
+
+void StackPool::Release(FiberStack stack) {
+  if (stack.base() == nullptr) {
+    return;
+  }
+  ++stats_.releases;
+  stats_.live_bytes -= stack.reserved_bytes();
+  if (stats_.pooled_bytes + stack.reserved_bytes() > max_pooled_bytes_) {
+    ++stats_.drops;
+    return;  // `stack` unmaps on scope exit
+  }
+#ifdef PCR_ASAN_STACKS
+  __asan_unpoison_memory_region(stack.base(), stack.size());
+#endif
+  // Parked stacks hold address space but no memory: DONTNEED on an anonymous private mapping
+  // drops the pages now and refaults them zero-filled on next use.
+  madvise(stack.base(), stack.size(), MADV_DONTNEED);
+  stats_.pooled_bytes += stack.reserved_bytes();
+  if (stats_.pooled_bytes > stats_.peak_pooled_bytes) {
+    stats_.peak_pooled_bytes = stats_.pooled_bytes;
+  }
+  free_[stack.size()].push_back(std::move(stack));
+}
+
+void StackPool::Clear() {
+  free_.clear();
+  stats_.pooled_bytes = 0;
+}
+
+size_t StackPool::pooled_stacks() const {
+  size_t n = 0;
+  for (const auto& [size_class, stacks] : free_) {
+    n += stacks.size();
+  }
+  return n;
 }
 
 }  // namespace pcr

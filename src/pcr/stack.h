@@ -1,18 +1,30 @@
-// Fiber stack allocation.
+// Fiber stack allocation and recycling.
 //
 // Each user-level thread gets an mmap'd stack with an inaccessible guard page below it, so a
 // stack overflow faults instead of silently corrupting a neighboring thread's stack — the
 // failure mode the paper's task-rejuvenation paradigm (Section 4.5) exists to recover from.
+//
+// Creating a stack is two syscalls (mmap + mprotect) and tearing one down is a third; for the
+// fork-heavy workloads the paper describes (Cedar forks thousands of short-lived threads,
+// Table 1) that cost dominates fiber creation. StackPool recycles released stacks on free
+// lists keyed by size class so a FORK usually reuses an existing mapping, paying only an
+// madvise-marked-clean page fault instead of a fresh mapping.
 
 #ifndef SRC_PCR_STACK_H_
 #define SRC_PCR_STACK_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
 
 namespace pcr {
 
 class FiberStack {
  public:
+  // An empty stack (no mapping); assign or move a real one into it.
+  FiberStack() = default;
+
   // Allocates a stack with at least `usable_bytes` of usable space (rounded up to whole pages)
   // plus one guard page. Aborts on allocation failure.
   explicit FiberStack(size_t usable_bytes);
@@ -30,6 +42,10 @@ class FiberStack {
   // Total bytes of address space reserved, including the guard page.
   size_t reserved_bytes() const { return mapping_bytes_; }
 
+  // The usable size a request for `usable_bytes` actually gets (page-rounded, with the same
+  // floor the constructor applies). StackPool keys its size classes on this.
+  static size_t UsableSize(size_t usable_bytes);
+
  private:
   void Release();
 
@@ -37,6 +53,56 @@ class FiberStack {
   void* usable_base_ = nullptr;
   size_t mapping_bytes_ = 0;
   size_t usable_bytes_ = 0;
+};
+
+// Cumulative pool accounting. Byte figures count reserved address space (guard page included),
+// matching Scheduler::stack_bytes_reserved(). The peaks are the Section 5.1 memory story in
+// pool terms: how much address space fiber churn actually pinned at once.
+struct StackPoolStats {
+  uint64_t acquires = 0;        // total Acquire calls
+  uint64_t pool_hits = 0;       // acquires served from a free list (no mmap)
+  uint64_t releases = 0;        // stacks handed back
+  uint64_t drops = 0;           // releases unmapped because the pool was at capacity
+  size_t live_bytes = 0;        // reserved bytes currently checked out
+  size_t peak_live_bytes = 0;
+  size_t pooled_bytes = 0;      // reserved bytes parked on free lists
+  size_t peak_pooled_bytes = 0;
+};
+
+// Free lists of guard-paged stacks, keyed by usable size class. Thread-compatible, not
+// thread-safe: each scheduler (and each explorer worker) owns its own pool. Pooled stacks are
+// madvise(MADV_DONTNEED)'d on release, so parking a stack costs address space but no RSS.
+class StackPool {
+ public:
+  // `max_pooled_bytes` caps reserved address space parked on free lists; releases past the cap
+  // unmap instead of pooling.
+  explicit StackPool(size_t max_pooled_bytes = kDefaultMaxPooledBytes);
+  ~StackPool() = default;
+
+  StackPool(const StackPool&) = delete;
+  StackPool& operator=(const StackPool&) = delete;
+
+  // Returns a stack whose usable size is FiberStack::UsableSize(usable_bytes) — from the
+  // matching free list when possible, freshly mapped otherwise. `*from_pool` (optional)
+  // reports which.
+  FiberStack Acquire(size_t usable_bytes, bool* from_pool = nullptr);
+
+  // Hands a stack back for reuse. The usable region is madvised clean so a parked stack holds
+  // no RSS; the guard page stays in place.
+  void Release(FiberStack stack);
+
+  // Unmaps every parked stack (checked-out stacks are unaffected).
+  void Clear();
+
+  const StackPoolStats& stats() const { return stats_; }
+  size_t pooled_stacks() const;
+
+  static constexpr size_t kDefaultMaxPooledBytes = size_t{256} << 20;  // 256 MiB
+
+ private:
+  size_t max_pooled_bytes_;
+  std::unordered_map<size_t, std::vector<FiberStack>> free_;  // usable size -> parked stacks
+  StackPoolStats stats_;
 };
 
 }  // namespace pcr

@@ -45,6 +45,17 @@ class Tracer {
   // monitors, CVs), so symbols must stay valid across a mid-run Clear.
   void Clear() { events_.clear(); }
 
+  // Capacity recycling for harnesses that build one Tracer per run (the explorer runs tens of
+  // thousands of schedules): Take hands the event buffer — contents and capacity — to the
+  // caller, Adopt installs a donated buffer after clearing its *contents*; its capacity is the
+  // point. Only allocation is reused, never data, so recycled and fresh tracers are
+  // observationally identical.
+  std::vector<Event> TakeEventBuffer() { return std::move(events_); }
+  void AdoptEventBuffer(std::vector<Event> buffer) {
+    buffer.clear();
+    events_ = std::move(buffer);
+  }
+
   // Interned thread/object names referenced by Event::thread_sym / object_sym.
   SymbolTable& symbols() { return symbols_; }
   const SymbolTable& symbols() const { return symbols_; }

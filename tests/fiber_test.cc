@@ -117,6 +117,43 @@ TEST(FiberTest, ManyFibersInterleave) {
   }
 }
 
+// Defeats tail-call optimization so each level really consumes frame space.
+int DeepRecursion(int depth) {
+  volatile char pad[512];
+  pad[0] = static_cast<char>(depth);
+  if (depth <= 0) {
+    return pad[0];
+  }
+  return DeepRecursion(depth - 1) + pad[0];
+}
+
+TEST(FiberDeathTest, GuardPageIsInaccessible) {
+  FiberStack stack(16 * 1024);
+  // One byte below the usable region is the guard page; the write must fault, not corrupt
+  // whatever mapping sits below the stack.
+  char* guard = static_cast<char*>(stack.base()) - 1;
+  EXPECT_DEATH({ *guard = 1; }, "");
+}
+
+TEST(FiberDeathTest, StackOverflowInFiberHitsGuardPage) {
+  EXPECT_DEATH(
+      {
+        Fiber fiber([] { DeepRecursion(1 << 20); }, 16 * 1024);
+        fiber.Resume();
+      },
+      "");
+}
+
+TEST(FiberDeathTest, ResumeAfterFinishAbortsWithFiberId) {
+  // A finished fiber has no frame to return to. Resuming one used to silently re-suspend in a
+  // park loop; now it aborts, identifying the fiber.
+  Fiber fiber([] {}, 16 * 1024);
+  fiber.set_debug_id(7);
+  fiber.Resume();
+  ASSERT_TRUE(fiber.finished());
+  EXPECT_DEATH(fiber.Resume(), "Resume on finished fiber 7");
+}
+
 TEST(FiberTest, DeepStackUseWithinLimitsSurvives) {
   // Touch a healthy chunk of the stack to prove the usable region is really writable.
   bool completed = false;

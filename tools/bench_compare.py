@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Compare fresh benchmark JSON against the committed baselines.
+
+The repo commits BENCH_*.json files produced on a reference run; CI regenerates them in the
+build tree and this script diffs the two, failing on regressions beyond a relative tolerance.
+Tolerance is deliberately generous (default 50%): CI hosts differ wildly from the reference
+machine, so the gate exists to catch order-of-magnitude regressions (a switch path falling back
+to syscalls, a pool that stopped pooling), not single-digit noise.
+
+Usage:
+    bench_compare.py --baseline-dir=REPO --fresh-dir=BUILD [--tolerance=0.5] [NAME ...]
+
+NAME defaults to every BENCH_*.json present in both directories. Correctness fields
+(deterministic, pass) are compared exactly regardless of tolerance.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+KNOWN_FILES = [
+    "BENCH_explore.json",
+    "BENCH_micro.json",
+    "BENCH_trace.json",
+    "BENCH_fiber.json",
+]
+
+
+def extract_metrics(name, doc):
+    """Flattens one benchmark JSON into {metric_name: (value, higher_is_better)} plus a list of
+    (check_name, bool) exact correctness gates."""
+    metrics = {}
+    checks = []
+    if name == "BENCH_explore.json":
+        for row in doc.get("benchmarks", []):
+            scenario = row["scenario"]
+            metrics[f"{scenario}/schedules_per_sec_parallel"] = (
+                row["schedules_per_sec_parallel"], True)
+            metrics[f"{scenario}/schedules_per_sec_serial"] = (
+                row["schedules_per_sec_serial"], True)
+            checks.append((f"{scenario}/deterministic", bool(row.get("deterministic"))))
+    elif name == "BENCH_micro.json":
+        # google-benchmark format; aggregate rows (mean/median/stddev) are skipped.
+        for row in doc.get("benchmarks", []):
+            if row.get("run_type") == "aggregate":
+                continue
+            unit = row.get("time_unit", "ns")
+            scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
+            metrics[f"{row['name']}/real_time_ns"] = (row["real_time"] * scale, False)
+    elif name == "BENCH_trace.json":
+        for row in doc.get("benchmarks", []):
+            metrics[f"{row['config']}/events_per_sec"] = (row["events_per_sec"], True)
+        metrics["metrics_overhead_fraction"] = (doc["metrics_overhead_fraction"], False)
+        checks.append(("pass", bool(doc.get("pass"))))
+    elif name == "BENCH_fiber.json":
+        for row in doc.get("benchmarks", []):
+            metrics[f"{row['name']}"] = (row["ns"], False)
+        # Only comparable when both runs used the same backend; the caller's gate in
+        # bench_fiber_switch itself enforces the absolute floor.
+        metrics["switch_speedup_vs_ucontext"] = (doc["switch_speedup_vs_ucontext"], True)
+        checks.append(("fiber_backend_matches", None))  # filled by caller comparison below
+    return metrics, checks
+
+
+def compare_file(name, baseline_doc, fresh_doc, tolerance):
+    base_metrics, base_checks = extract_metrics(name, baseline_doc)
+    fresh_metrics, fresh_checks = extract_metrics(name, fresh_doc)
+
+    failures = []
+    lines = []
+
+    if name == "BENCH_fiber.json":
+        if baseline_doc.get("fiber_backend") != fresh_doc.get("fiber_backend"):
+            # Different switch mechanisms are not comparable; skip the numbers, note it.
+            lines.append(f"  backend differs ({baseline_doc.get('fiber_backend')} vs "
+                         f"{fresh_doc.get('fiber_backend')}): numeric comparison skipped")
+            return lines, failures
+        base_checks = [c for c in base_checks if c[0] != "fiber_backend_matches"]
+        fresh_checks = [c for c in fresh_checks if c[0] != "fiber_backend_matches"]
+
+    for check_name, ok in fresh_checks:
+        if ok is False:
+            failures.append(f"{name}: correctness check '{check_name}' is false in fresh run")
+
+    for metric, (base_value, higher_better) in sorted(base_metrics.items()):
+        if metric not in fresh_metrics:
+            lines.append(f"  {metric}: missing from fresh run")
+            failures.append(f"{name}: metric '{metric}' missing from fresh run")
+            continue
+        fresh_value, _ = fresh_metrics[metric]
+        if base_value == 0:
+            continue
+        ratio = fresh_value / base_value
+        if higher_better:
+            regressed = ratio < 1.0 - tolerance
+            direction = "+" if ratio >= 1 else "-"
+        else:
+            regressed = ratio > 1.0 + tolerance
+            direction = "-" if ratio >= 1 else "+"
+        delta_pct = (ratio - 1.0) * 100
+        marker = "REGRESSED" if regressed else "ok"
+        lines.append(f"  {metric}: {base_value:.1f} -> {fresh_value:.1f} "
+                     f"({delta_pct:+.1f}%, {direction}) {marker}")
+        if regressed:
+            failures.append(f"{name}: {metric} regressed {delta_pct:+.1f}% "
+                            f"(tolerance {tolerance * 100:.0f}%)")
+    return lines, failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--baseline-dir", required=True,
+                        help="directory holding committed BENCH_*.json (the repo root)")
+    parser.add_argument("--fresh-dir", required=True,
+                        help="directory holding freshly generated BENCH_*.json (the build tree)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="relative regression tolerance (0.5 = 50%%)")
+    parser.add_argument("names", nargs="*",
+                        help="specific BENCH_*.json names; default: all known present in both")
+    args = parser.parse_args()
+
+    names = args.names or KNOWN_FILES
+    all_failures = []
+    compared = 0
+    for name in names:
+        baseline_path = os.path.join(args.baseline_dir, name)
+        fresh_path = os.path.join(args.fresh_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"{name}: no committed baseline, skipping")
+            continue
+        if not os.path.exists(fresh_path):
+            if args.names:
+                all_failures.append(f"{name}: requested but missing from {args.fresh_dir}")
+            else:
+                print(f"{name}: not generated by this run, skipping")
+            continue
+        with open(baseline_path) as f:
+            baseline_doc = json.load(f)
+        with open(fresh_path) as f:
+            fresh_doc = json.load(f)
+        print(f"{name}:")
+        lines, failures = compare_file(name, baseline_doc, fresh_doc, args.tolerance)
+        for line in lines:
+            print(line)
+        all_failures.extend(failures)
+        compared += 1
+
+    if compared == 0:
+        print("bench_compare: nothing compared")
+        return 1
+    if all_failures:
+        print("\nbench_compare: FAILED")
+        for failure in all_failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nbench_compare: {compared} file(s) within {args.tolerance * 100:.0f}% tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,11 @@
 #
 #   tools/ci_check.sh [sanitizer]       # sanitizer: address (default) or thread
 #
-# Build trees go to build-ci-release/ and build-ci-<sanitizer>/ next to the source tree;
-# override with BUILD_RELEASE / BUILD_SANITIZED. The sanitized pass catches memory errors the
-# virtual-time runtime can otherwise hide (fiber stacks are mmap'd, so plain runs rarely
-# crash); the fiber-switch annotations in src/pcr/fiber.cc make ASan ucontext-safe.
+# Build trees go to build-ci-release/, build-ci-ucontext/, and build-ci-<sanitizer>/ next to
+# the source tree; override with BUILD_RELEASE / BUILD_UCONTEXT / BUILD_SANITIZED. The
+# sanitized pass catches memory errors the virtual-time runtime can otherwise hide (fiber
+# stacks are mmap'd, so plain runs rarely crash); the fiber-switch annotations in
+# src/pcr/fiber.cc keep ASan correct across both the assembly and ucontext switch paths.
 set -eu
 
 ROOT=$(cd "$(dirname "$0")/.." && pwd)
@@ -28,7 +29,16 @@ echo "== Explore suite at workers=4"
 (cd "$BUILD_RELEASE" && ctest --output-on-failure -j"$JOBS" -L explore)
 "$BUILD_RELEASE/tools/pcrcheck" --all --workers=4
 echo "== bench_explore --json smoke"
-(cd "$BUILD_RELEASE" && bench/bench_explore --budget=60 --workers=4 --json)
+(cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --json)
+
+# Context-switch gate: the assembly fast path must stay at least 5x faster than raw
+# swapcontext (it measures ~12x on the reference machine; 5x leaves room for host noise). On
+# builds where the fiber backend is ucontext the gate auto-skips.
+echo "== bench_fiber_switch (>=5x vs ucontext)"
+(cd "$BUILD_RELEASE" && bench/bench_fiber_switch --json --require-speedup=5)
+
+echo "== bench_micro --json"
+(cd "$BUILD_RELEASE" && bench/bench_micro --json > /dev/null)
 
 # Observability gates: the Chrome-trace and metrics exports must be valid JSON end to end, and
 # the metrics instrumentation must stay within its hot-path overhead budget (the bench exits
@@ -40,6 +50,24 @@ echo "== Observability exports + trace-overhead budget"
   && python3 -m json.tool ci_chrome_trace.json > /dev/null \
   && python3 -m json.tool ci_metrics.json > /dev/null \
   && bench/bench_trace_overhead --json)
+
+# Benchmark regression gate: the runs above regenerated BENCH_explore/fiber/micro/trace.json in
+# the build tree; diff them against the committed baselines. Tolerance is wide (50%) because CI
+# hosts differ from the reference machine — this catches mechanism-level regressions (a switch
+# path falling back to syscalls, a pool that stopped pooling), not noise.
+echo "== bench_compare vs committed baselines"
+python3 "$ROOT/tools/bench_compare.py" --baseline-dir="$ROOT" --fresh-dir="$BUILD_RELEASE"
+
+# Portable-fallback leg: the ucontext fiber path must keep passing the explore suite (which
+# exercises fibers hardest: thousands of schedules, stack recycling, determinism at several
+# worker counts) so it cannot rot while the assembly path is the everyday default.
+BUILD_UCONTEXT=${BUILD_UCONTEXT:-"$ROOT/build-ci-ucontext"}
+echo "== Release build with -DPCR_FIBER_UCONTEXT=ON"
+cmake -B "$BUILD_UCONTEXT" -S "$ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DPCR_FIBER_UCONTEXT=ON > /dev/null
+cmake --build "$BUILD_UCONTEXT" -j"$JOBS"
+(cd "$BUILD_UCONTEXT" && ctest --output-on-failure -j"$JOBS" -L explore)
+(cd "$BUILD_UCONTEXT" && bench/bench_fiber_switch --require-speedup=5)  # prints the auto-skip
 
 echo "== Debug build with -fsanitize=$SANITIZER"
 cmake -B "$BUILD_SANITIZED" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
