@@ -10,6 +10,9 @@
 //   bench_explore --workers=8       # pin the parallel worker count
 //   bench_explore --budget=400      # override each scenario's schedule budget
 //   bench_explore --json            # also write BENCH_explore.json
+//   bench_explore --fault-plan="f1,rate=0.05,sites=notify-lost"
+//                                   # sweep fault x schedule space; the serial==parallel
+//                                   # check then covers fault-plan determinism too
 
 #include <chrono>
 #include <cstdint>
@@ -22,20 +25,24 @@
 #include "src/explore/explorer.h"
 #include "src/explore/pool.h"
 #include "src/explore/scenarios.h"
+#include "src/fault/fault.h"
+#include "src/pcr/errors.h"
 #include "src/pcr/runtime.h"
 
 namespace {
 
 struct Args {
-  std::string scenario;  // empty: all
-  int budget = -1;       // <0: scenario default
-  int workers = 0;       // 0: hardware concurrency
+  std::string scenario;    // empty: all
+  std::string fault_plan;  // --fault-plan: base fault::Plan swept across schedules
+  int budget = -1;         // <0: scenario default
+  int workers = 0;         // 0: hardware concurrency
   bool json = false;
 };
 
 void Usage() {
   std::fprintf(stderr,
-               "usage: bench_explore [--scenario=NAME] [--budget=N] [--workers=N] [--json]\n");
+               "usage: bench_explore [--scenario=NAME] [--budget=N] [--workers=N] [--json]\n"
+               "                     [--fault-plan=SPEC]\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -49,6 +56,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->json = true;
     } else if (const char* v = value("--scenario=")) {
       args->scenario = v;
+    } else if (const char* v = value("--fault-plan=")) {
+      args->fault_plan = v;
     } else if (const char* v = value("--budget=")) {
       char* end = nullptr;
       long n = std::strtol(v, &end, 10);
@@ -123,6 +132,9 @@ Measurement RunScenario(const explore::BugScenario& scenario, const Args& args) 
   explore::ExploreOptions options = scenario.options;
   if (args.budget > 0) {
     options.budget = args.budget;
+  }
+  if (!args.fault_plan.empty()) {
+    options.fault_plan = fault::Plan::Decode(args.fault_plan);
   }
   m.budget = options.budget;
   m.workers_parallel =
@@ -211,6 +223,14 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     Usage();
     return 2;
+  }
+  if (!args.fault_plan.empty()) {
+    try {
+      (void)fault::Plan::Decode(args.fault_plan);
+    } catch (const pcr::UsageError& e) {
+      std::fprintf(stderr, "bench_explore: %s\n", e.what());
+      return 2;
+    }
   }
 
   std::vector<const explore::BugScenario*> to_run;

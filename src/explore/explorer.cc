@@ -50,6 +50,7 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
 
   RecordingPerturber recorder(plan.policy);
   ReplayPerturber replayer(plan.replay);
+  fault::Injector injector(plan.fault_plan);
 
   pcr::Runtime rt(config);
   if (arena != nullptr) {
@@ -61,6 +62,9 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   } else {
     rt.scheduler().set_perturber(&recorder);
   }
+  if (plan.fault_plan.enabled()) {
+    rt.scheduler().set_fault_injector(&injector);
+  }
   const auto run_start = ProfileClock::now();
   try {
     body(rt, ctx);
@@ -69,6 +73,7 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   }
   rt.Shutdown();
   rt.scheduler().set_perturber(nullptr);
+  rt.scheduler().set_fault_injector(nullptr);
   run_ns_.fetch_add(NsSince(run_start), std::memory_order_relaxed);
   fiber_switches_.fetch_add(rt.scheduler().fiber_switches(), std::memory_order_relaxed);
   stack_acquires_.fetch_add(rt.scheduler().stack_acquires(), std::memory_order_relaxed);
@@ -96,9 +101,12 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   outcome.failed = !outcome.failures.empty();
   outcome.preempt_points = recorder.preempt_points_seen();
 
+  outcome.fired_faults = injector.fired();
   std::vector<Decision> decisions = TrimTrailingDefaults(
       plan.replay_mode ? replayer.consumed() : recorder.decisions());
-  outcome.repro = EncodeRepro(options_.scenario_name, plan.runtime_seed, decisions);
+  outcome.repro =
+      EncodeRepro(options_.scenario_name, plan.runtime_seed, decisions,
+                  plan.fault_plan.enabled() ? plan.fault_plan.Encode() : std::string());
   if (arena != nullptr) {
     // Everything that reads the trace (capture, detector, hash) has run; reclaim the buffer's
     // capacity for this worker's next schedule. The runtime's fibers are already torn down
@@ -128,12 +136,15 @@ ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBod
   std::string scenario;
   uint64_t runtime_seed = 0;
   std::vector<Decision> decisions;
-  if (!DecodeRepro(outcome.repro, &scenario, &runtime_seed, &decisions)) {
+  std::string fault_text;
+  if (!DecodeRepro(outcome.repro, &scenario, &runtime_seed, &decisions, &fault_text)) {
     return outcome;  // shouldn't happen: we produced the string ourselves
   }
+  fault::Plan fault_plan = fault::Plan::Decode(fault_text);
 
   int replays_left = 128;
-  auto still_fails = [&](const std::vector<Decision>& candidate, ScheduleOutcome* result) {
+  auto still_fails = [&](const std::vector<Decision>& candidate,
+                         const fault::Plan& candidate_faults, ScheduleOutcome* result) {
     if (replays_left <= 0) {
       return false;
     }
@@ -142,6 +153,7 @@ ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBod
     plan.runtime_seed = runtime_seed;
     plan.replay = candidate;
     plan.replay_mode = true;
+    plan.fault_plan = candidate_faults;
     ScheduleOutcome attempt = RunPlan(plan, outcome.schedule_index, body, nullptr, arena);
     if (SameFailure(outcome, attempt)) {
       *result = std::move(attempt);
@@ -152,6 +164,7 @@ ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBod
 
   ScheduleOutcome best = outcome;
   std::vector<Decision> current = decisions;
+  fault::Plan current_faults = fault_plan;
 
   // Phase 1: binary-search the shortest failing prefix (defaults past the cut).
   size_t lo = 0;
@@ -160,7 +173,7 @@ ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBod
     size_t mid = lo + (hi - lo) / 2;
     std::vector<Decision> prefix(current.begin(), current.begin() + mid);
     ScheduleOutcome attempt;
-    if (still_fails(prefix, &attempt)) {
+    if (still_fails(prefix, current_faults, &attempt)) {
       hi = mid;
       best = std::move(attempt);
     } else {
@@ -178,8 +191,33 @@ ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBod
     std::vector<Decision> candidate = current;
     candidate[i] = 0;
     ScheduleOutcome attempt;
-    if (still_fails(candidate, &attempt)) {
+    if (still_fails(candidate, current_faults, &attempt)) {
       current = std::move(candidate);
+      best = std::move(attempt);
+    }
+  }
+
+  // Phase 3: pin a probabilistic plan down to a script of exactly the faults that fired in the
+  // current best run. The injector draws the RNG only at armed sites, so the script reproduces
+  // the identical firings — the repro then names its faults instead of hiding them in a seed.
+  if (current_faults.rate > 0 && replays_left > 0) {
+    fault::Plan scripted;
+    scripted.script = best.fired_faults;
+    ScheduleOutcome attempt;
+    if (still_fails(current, scripted, &attempt)) {
+      current_faults = std::move(scripted);
+      best = std::move(attempt);
+    }
+  }
+
+  // Phase 4: drop scripted faults one at a time, last first, keeping only the ones the
+  // failure actually needs.
+  for (size_t i = current_faults.script.size(); i-- > 0 && replays_left > 0;) {
+    fault::Plan candidate = current_faults;
+    candidate.script.erase(candidate.script.begin() + static_cast<ptrdiff_t>(i));
+    ScheduleOutcome attempt;
+    if (still_fails(current, candidate, &attempt)) {
+      current_faults = std::move(candidate);
       best = std::move(attempt);
     }
   }
@@ -189,11 +227,13 @@ ScheduleOutcome Explorer::Minimize(const ScheduleOutcome& outcome, const TestBod
 ScheduleOutcome Explorer::Replay(const std::string& repro, const TestBody& body,
                                  trace::Tracer* capture) {
   std::string scenario;
+  std::string fault_text;
   Plan plan;
   plan.replay_mode = true;
-  if (!DecodeRepro(repro, &scenario, &plan.runtime_seed, &plan.replay)) {
+  if (!DecodeRepro(repro, &scenario, &plan.runtime_seed, &plan.replay, &fault_text)) {
     throw pcr::UsageError("malformed repro string: " + repro);
   }
+  plan.fault_plan = fault::Plan::Decode(fault_text);  // throws UsageError on a bad field
   return RunPlan(plan, -1, body, capture);
 }
 
@@ -229,6 +269,7 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   // runs on the calling thread, which is pool worker 0.
   Plan baseline_plan;
   baseline_plan.runtime_seed = options_.base_config.seed;
+  baseline_plan.fault_plan = options_.fault_plan;  // verbatim: the reference fault run
   result.baseline = RunPlan(baseline_plan, 0, body, nullptr, arenas[0].get());
   result.profile.baseline_sec = SecSince(total_start);
   result.schedules_run = 1;
@@ -254,6 +295,14 @@ ExploreResult Explorer::Explore(const TestBody& body) {
     int depth = i % 4;
     for (int d = 0; d < depth; ++d) {
       plan.policy.change_points.push_back(master() % horizon);
+    }
+    // The master RNG is stepped for fault seeds only when a fault plan is set, so fault-free
+    // Explore calls keep producing the exact plan streams (and repro strings) they always did.
+    if (options_.fault_plan.enabled()) {
+      plan.fault_plan = options_.fault_plan;
+      if (options_.sweep_fault_seed) {
+        plan.fault_plan.seed = master();
+      }
     }
     plans.push_back(std::move(plan));
   }

@@ -28,6 +28,7 @@
 #include "src/explore/detector.h"
 #include "src/explore/perturbers.h"
 #include "src/explore/repro.h"
+#include "src/fault/fault.h"
 #include "src/pcr/runtime.h"
 #include "src/pcr/stack.h"
 #include "src/trace/event.h"
@@ -70,6 +71,11 @@ struct ExploreOptions {
   pcr::Config base_config;          // per-run Config (seed field may be swept)
   size_t max_failures = 8;          // stop exploring after this many distinct failures
   bool minimize = true;             // shrink failing decision streams before reporting
+  // Base fault plan injected into every schedule (disabled by default). With sweep_fault_seed,
+  // each perturbed schedule redraws the plan's probabilistic seed from the master RNG, so one
+  // Explore call searches fault x schedule space; the baseline keeps the plan verbatim.
+  fault::Plan fault_plan;
+  bool sweep_fault_seed = true;
   DetectorOptions detector;
   // OS worker threads schedules are fanned across (0 = hardware concurrency, 1 = serial).
   // The result is byte-identical for every value: schedules execute on whichever worker is
@@ -86,6 +92,7 @@ struct ScheduleOutcome {
   uint64_t trace_hash = 0;
   std::string repro;                  // replayable repro string for this exact schedule
   uint64_t preempt_points = 0;        // ForcePreempt consultations seen (the PCT horizon)
+  std::vector<fault::ScriptedFault> fired_faults;  // faults that fired, in firing order
 };
 
 // Self-profiling for one Explore call: where the wall time went, and how much of the per-run
@@ -137,6 +144,7 @@ class Explorer {
     PerturbPolicy policy;                // recording mode when `replay` is empty
     std::vector<Decision> replay;
     bool replay_mode = false;
+    fault::Plan fault_plan;              // installed for the run when enabled()
   };
 
   // Warm capacity one pool worker carries from schedule to schedule within an Explore call:

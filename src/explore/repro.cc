@@ -25,7 +25,8 @@ int HexValue(char c) {
 }  // namespace
 
 std::string EncodeRepro(const std::string& scenario, uint64_t runtime_seed,
-                        const std::vector<Decision>& decisions) {
+                        const std::vector<Decision>& decisions,
+                        const std::string& fault_plan) {
   std::string out = std::string(kMagic) + ":" + scenario + ":" + std::to_string(runtime_seed) +
                     ":";
   size_t i = 0;
@@ -44,11 +45,14 @@ std::string EncodeRepro(const std::string& scenario, uint64_t runtime_seed,
     }
     i += run;
   }
+  if (!fault_plan.empty()) {
+    out += ':' + fault_plan;
+  }
   return out;
 }
 
 bool DecodeRepro(const std::string& repro, std::string* scenario, uint64_t* runtime_seed,
-                 std::vector<Decision>* decisions) {
+                 std::vector<Decision>* decisions, std::string* fault_plan) {
   size_t p1 = repro.find(':');
   if (p1 == std::string::npos || repro.substr(0, p1) != kMagic) {
     return false;
@@ -70,24 +74,33 @@ bool DecodeRepro(const std::string& repro, std::string* scenario, uint64_t* runt
     }
     seed = seed * 10 + static_cast<uint64_t>(c - '0');
   }
+  // The decision field ends at the optional fifth colon; everything after it is the fault
+  // plan, passed through verbatim (fault::Plan::Decode owns that grammar).
+  size_t p4 = repro.find(':', p3 + 1);
+  size_t decisions_end = p4 == std::string::npos ? repro.size() : p4;
+  std::string fault_text =
+      p4 == std::string::npos ? std::string() : repro.substr(p4 + 1);
+  if (p4 != std::string::npos && fault_text.empty()) {
+    return false;  // a trailing ':' with nothing after it is malformed, not "no faults"
+  }
   std::vector<Decision> parsed;
   size_t i = p3 + 1;
-  while (i < repro.size()) {
+  while (i < decisions_end) {
     int value = HexValue(repro[i]);
     if (value < 0) {
       return false;
     }
     ++i;
     size_t run = 1;
-    if (i < repro.size() && repro[i] == 'r') {
+    if (i < decisions_end && repro[i] == 'r') {
       ++i;
       size_t start = i;
       run = 0;
-      while (i < repro.size() && std::isdigit(static_cast<unsigned char>(repro[i]))) {
+      while (i < decisions_end && std::isdigit(static_cast<unsigned char>(repro[i]))) {
         run = run * 10 + static_cast<size_t>(repro[i] - '0');
         ++i;
       }
-      if (i == start || run == 0 || i >= repro.size() || repro[i] != 'x') {
+      if (i == start || run == 0 || i >= decisions_end || repro[i] != 'x') {
         return false;
       }
       ++i;  // the 'x' terminator
@@ -97,6 +110,9 @@ bool DecodeRepro(const std::string& repro, std::string* scenario, uint64_t* runt
   *scenario = std::move(name);
   *runtime_seed = seed;
   *decisions = std::move(parsed);
+  if (fault_plan != nullptr) {
+    *fault_plan = std::move(fault_text);
+  }
   return true;
 }
 

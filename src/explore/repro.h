@@ -5,12 +5,16 @@
 // the identical trace. The encoding is deliberately compact and diff-friendly — decision
 // streams are overwhelmingly zeros ("don't perturb here"), so runs are run-length encoded.
 //
-//   pcr1:<scenario>:<runtime_seed>:<decisions>
+//   pcr1:<scenario>:<runtime_seed>:<decisions>[:<fault_plan>]
 //   decisions := ( <hex-digit> [ 'r' <decimal-count> 'x' ] )*
 //
 // The decimal count would be ambiguous against a following hex digit, so it is always
 // terminated with 'x'. Example: "pcr1:buggy_monitor:7:0r42x10r7x" = 42 defaults, one forced
 // preempt, 7 defaults.
+//
+// The optional fifth field is a fault::Plan in its own grammar (src/fault/fault.h) — e.g.
+// "pcr1:-:7:0r12x1:f1,notify-lost@2" — so a repro pins the injected faults along with the
+// schedule. Four-field strings stay valid: an absent field means "no faults".
 
 #ifndef SRC_EXPLORE_REPRO_H_
 #define SRC_EXPLORE_REPRO_H_
@@ -25,12 +29,16 @@ namespace explore {
 // 0 (no) or 1 (yes); PickNext tie-breaks record the chosen candidate index, clamped to 15.
 using Decision = uint8_t;
 
+// `fault_plan` is the serialized fault::Plan for the fifth field; "" omits the field.
 std::string EncodeRepro(const std::string& scenario, uint64_t runtime_seed,
-                        const std::vector<Decision>& decisions);
+                        const std::vector<Decision>& decisions,
+                        const std::string& fault_plan = "");
 
 // Parses a repro string. Returns false on malformed input; outputs are untouched on failure.
+// With `fault_plan` non-null it receives the fifth field's text ("" when absent); with it
+// null, a fifth field is still accepted but dropped.
 bool DecodeRepro(const std::string& repro, std::string* scenario, uint64_t* runtime_seed,
-                 std::vector<Decision>* decisions);
+                 std::vector<Decision>* decisions, std::string* fault_plan = nullptr);
 
 }  // namespace explore
 

@@ -1,0 +1,104 @@
+// In-simulation runtime watchdog: a daemon thread that detects the paper's failure patterns
+// *while the program runs*, instead of in post-hoc trace analysis.
+//
+//   * Deadlock: maintains the wait-for graph (blocked thread -> monitor -> owner) and reports
+//     any cycle — the situation the Section 4.4 lock-ordering paradigm exists to prevent.
+//   * Starvation: flags threads that have been runnable for >= N quanta without ever being
+//     dispatched — the paper's stable priority inversion (Section 5.2), detected at runtime
+//     rather than by the SystemDaemon's random charity.
+//   * Missing notify: a watched condition variable whose waits only ever exit by timeout while
+//     threads still wait on it — the Section 5.3 bug class that "a timeout masks".
+//
+// Reports go four ways at once: the on_report callback, an optional recovery callback, a
+// kWatchdogReport trace event (visible in Chrome exports), and watchdog.* metrics.
+
+#ifndef SRC_FAULT_WATCHDOG_H_
+#define SRC_FAULT_WATCHDOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/pcr/condition.h"
+#include "src/pcr/runtime.h"
+
+namespace fault {
+
+enum class ReportKind : uint8_t {
+  kDeadlock,       // threads = the wait-for cycle, in chain order
+  kStarvation,     // threads = the starved thread
+  kMissingNotify,  // detail names the condition variable
+};
+
+std::string_view ReportKindName(ReportKind kind);
+
+struct WatchdogReport {
+  ReportKind kind = ReportKind::kDeadlock;
+  std::vector<pcr::ThreadId> threads;
+  std::string detail;       // human-readable one-liner
+  pcr::Usec time = 0;       // virtual time of detection
+};
+
+struct WatchdogOptions {
+  pcr::Usec period = 200 * pcr::kUsecPerMsec;  // scan cadence (virtual time)
+  int priority = pcr::kMaxPriority;            // daemon priority; must outrank the suspects
+  int starvation_quanta = 8;       // ready this many quanta without dispatch = starved
+  int missing_notify_min_timeouts = 3;  // timeout-only exits needed before reporting a CV
+  bool detect_deadlock = true;
+  bool detect_starvation = true;
+  bool detect_missing_notify = true;
+  // Called (from the watchdog thread) for every new report, before `recover`.
+  std::function<void(const WatchdogReport&)> on_report;
+  // Optional recovery hook — e.g. poison a monitor, bump a priority, notify a CV. The
+  // "report + optional recovery callback" split keeps policy out of the detector.
+  std::function<void(pcr::Runtime&, const WatchdogReport&)> recover;
+};
+
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {});
+
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  // Forks the detached daemon thread into `rt`. The runtime must outlive the watchdog's last
+  // scan (the daemon dies with the runtime's shutdown unwinding). Call at most once.
+  void Start(pcr::Runtime& rt);
+
+  // Adds `cv` to the missing-notify scan (the watchdog cannot enumerate CVs on its own; the
+  // runtime does not keep a registry). The Condition must outlive the watchdog.
+  void WatchCondition(pcr::Condition* cv);
+
+  // One detection pass; the daemon calls this every period, tests may call it directly.
+  void Scan(pcr::Runtime& rt);
+
+  const std::vector<WatchdogReport>& reports() const { return reports_; }
+  int64_t scans() const { return scans_; }
+
+ private:
+  void Report(pcr::Runtime& rt, WatchdogReport report);
+  void ScanDeadlocks(pcr::Runtime& rt);
+  void ScanStarvation(pcr::Runtime& rt);
+  void ScanMissingNotify(pcr::Runtime& rt);
+
+  WatchdogOptions options_;
+  pcr::ThreadId daemon_tid_ = pcr::kNoThread;
+  std::vector<pcr::Condition*> watched_;
+  std::vector<WatchdogReport> reports_;
+  int64_t scans_ = 0;
+  // Dedup state: a condition is reported when it *becomes* true, not on every scan.
+  std::set<std::vector<pcr::ThreadId>> reported_cycles_;        // sorted cycle members
+  std::unordered_map<pcr::ThreadId, pcr::Usec> reported_starts_;  // tid -> ready_since reported
+  std::set<const pcr::Condition*> reported_cvs_;
+  trace::Counter* m_reports_ = nullptr;
+  trace::Counter* m_deadlocks_ = nullptr;
+  trace::Counter* m_starvations_ = nullptr;
+  trace::Counter* m_missing_notifies_ = nullptr;
+};
+
+}  // namespace fault
+
+#endif  // SRC_FAULT_WATCHDOG_H_

@@ -39,6 +39,7 @@ bool Condition::Wait() {
   s.Emit(timed_out ? trace::EventType::kCvTimeout : trace::EventType::kCvNotified, id_, 0, name_sym_);
   trace::MetricRecord(timed_out ? m_wait_timeout_us_ : m_wait_notified_us_,
                       s.now() - wait_began);
+  ++(timed_out ? timeout_exits_ : notified_exits_);
   ThreadId notifier = timed_out ? kNoThread : me->notified_by;
   lock_.ReacquireAfterWait(notifier);
   // Exploration point: a WAIT that has re-acquired the lock but not yet rechecked its predicate
@@ -82,7 +83,18 @@ void Condition::Notify() {
     return;
   }
   RequireLockForSignal("NOTIFY");
-  bool woke = SignalOne();
+  bool woke = false;
+  if (s.ConsultFault(FaultSite::kNotifyLost) != 0) {
+    // Injected lost notify: the notification evaporates and the waiter stays queued — the
+    // paper's missing-notify class (Section 5.3), normally masked by the CV timeout.
+  } else {
+    woke = SignalOne();
+    if (woke && s.ConsultFault(FaultSite::kNotifyDup) != 0) {
+      // Injected duplicate notify: one extra waiter wakes with its predicate possibly false,
+      // which only WHILE-based waits survive.
+      SignalOne();
+    }
+  }
   s.Emit(trace::EventType::kCvNotify, id_, woke ? 1 : 0, name_sym_);
   s.Charge(s.config().costs.cv_notify);
   // Exploration point: notify-then-preempt is the schedule behind Section 6.1's spurious lock

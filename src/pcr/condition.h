@@ -65,6 +65,12 @@ class Condition {
 
   size_t waiter_count() const;
 
+  // Completed-WAIT counts split by cause (Table 2's timeout-vs-notify distinction). The
+  // watchdog's missing-notify heuristic reads these: many timeout exits and zero notified
+  // exits on a watched CV means the notify side is absent, not slow.
+  int64_t timeout_exits() const { return timeout_exits_; }
+  int64_t notified_exits() const { return notified_exits_; }
+
  private:
   void RequireLockForSignal(const char* op) const;
   // Wakes (or defers) one validated waiter; returns false when the queue had none.
@@ -79,6 +85,8 @@ class Condition {
   // distinction as a live metric. nullptr with metrics off.
   trace::Log2Histogram* m_wait_notified_us_ = nullptr;
   trace::Log2Histogram* m_wait_timeout_us_ = nullptr;
+  int64_t timeout_exits_ = 0;
+  int64_t notified_exits_ = 0;
   std::deque<WaitEntry> waiters_;
 };
 

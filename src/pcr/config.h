@@ -66,6 +66,12 @@ struct Config {
   int max_threads = 4096;
   ForkFailureMode fork_failure = ForkFailureMode::kWait;
 
+  // Abort the process when any fiber body dies of an uncaught exception (after the stderr
+  // report naming the thread and exception). Off by default: a detached thread's death is
+  // counted (uncaught_exits) and reported, but the simulation keeps running — matching the
+  // paper's systems, where one crashed helper thread did not take down the world.
+  bool fatal_uncaught = false;
+
   // The fix for spurious lock conflicts: "defer processor rescheduling, but not the notification
   // itself, until after monitor exit" (Section 6.1). Disable to reproduce the conflict.
   bool defer_notify_reschedule = true;

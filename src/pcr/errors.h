@@ -35,6 +35,22 @@ class ThreadKilled {
   ThreadKilled() = default;
 };
 
+// Raised on monitor entry when the previous owner died (uncaught exception) while holding the
+// lock. Without poisoning, every later entrant would block forever on a lock nobody can
+// release — the silent-wedge failure mode of Section 5.4; with it, waiters get a diagnosable
+// error instead.
+class MonitorPoisoned : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+// Raised into a fiber body by the fault-injection engine (FaultSite::kThreadDeath) to simulate
+// a thread dying of an uncaught exception at a scheduler-visible point.
+class InjectedFault : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
 // Misuse of the thread API (join twice, notify without the lock, recursive monitor entry, ...).
 // These correspond to rules the Mesa compiler enforced statically (Section 2); we enforce them
 // dynamically.

@@ -1,0 +1,39 @@
+// Fault-injection hook.
+//
+// The paper's robustness findings (Section 5.4) are all about what happens when the runtime
+// *fails*: FORK failure "treated as a fatal error" because call sites never handle it, missing
+// notifies masked by timeouts, threads dying inside monitors and wedging every later entrant.
+// A FaultInjector lets a harness (src/fault/) make those failures happen on demand, at named
+// sites, deterministically: the scheduler consults it at each site in a fixed order, so a
+// seeded plan reproduces the same faults at the same points on every run.
+//
+// Like SchedulePerturber, the hook is a pure decision point: an injector that always answers 0
+// changes nothing, so installing one never perturbs a run by itself.
+
+#ifndef SRC_PCR_FAULT_POINT_H_
+#define SRC_PCR_FAULT_POINT_H_
+
+#include <cstdint>
+
+#include "src/trace/event.h"
+
+namespace pcr {
+
+// The site catalogue lives in trace:: so the tracer can render kFaultInjected events without
+// depending on this layer; pcr re-exports it as the canonical spelling for runtime code.
+using trace::FaultSite;
+using trace::kNumFaultSites;
+
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  // Called each time execution passes the named site. Returning 0 means "no fault here".
+  // A nonzero return injects the fault; for kTimerSkew and kXStall the value is the magnitude
+  // in scheduler quanta, for every other site any nonzero value just means "fire".
+  virtual uint64_t OnFaultPoint(FaultSite site) = 0;
+};
+
+}  // namespace pcr
+
+#endif  // SRC_PCR_FAULT_POINT_H_

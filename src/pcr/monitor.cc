@@ -53,6 +53,7 @@ void MonitorLock::AcquireSlowPath(bool count_spurious, ThreadId notifier) {
     // Mesa monitors are not re-entrant: a recursive entry blocks on itself forever.
     throw DeadlockError("pcr: recursive entry into monitor " + name_);
   }
+  ThrowIfPoisoned();
   bool contended = false;
   while (owner_ != kNoThread) {
     if (!contended) {
@@ -75,6 +76,7 @@ void MonitorLock::AcquireSlowPath(bool count_spurious, ThreadId notifier) {
     scheduler_.DonatePriority(owner_);  // no-op unless Config::priority_inheritance
     scheduler_.EnqueueCurrentWaiter(entry_waiters_);
     scheduler_.BlockCurrent(BlockReason::kMonitor, this, -1);
+    ThrowIfPoisoned();  // the wakeup may be Poison() flushing the entry queue
   }
   owner_ = me;
   acquired_at_ = scheduler_.now();
@@ -86,6 +88,7 @@ bool MonitorLock::TryEnter() {
   if (me == kNoThread) {
     throw UsageError("pcr: monitor TryEnter outside a pcr thread (" + name_ + ")");
   }
+  ThrowIfPoisoned();
   if (owner_ != kNoThread) {
     return false;
   }
@@ -144,6 +147,37 @@ void MonitorLock::ReleaseInternal() {
 }
 
 void MonitorLock::DeferWakeup(ThreadId tid) { deferred_wakeups_.push_back(tid); }
+
+void MonitorLock::ThrowIfPoisoned() const {
+  if (poisoned_) {
+    throw MonitorPoisoned("pcr: monitor " + name_ +
+                          " poisoned: owner died with an uncaught exception");
+  }
+}
+
+void MonitorLock::Poison() {
+  if (poisoned_) {
+    return;
+  }
+  poisoned_ = true;
+  scheduler_.Emit(trace::EventType::kMonitorPoisoned, id_, owner_, name_sym_);
+  scheduler_.ClearInheritedPriority(owner_);
+  owner_ = kNoThread;
+  scheduler_.SetMonitorOwner(this, kNoThread);
+  // Wake every deferred wakeup and queued entrant: each retries the acquire in its own
+  // context, observes the poison, and gets MonitorPoisoned instead of blocking forever.
+  if (!deferred_wakeups_.empty()) {
+    std::vector<ThreadId> wakeups;
+    wakeups.swap(deferred_wakeups_);
+    for (ThreadId tid : wakeups) {
+      scheduler_.WakeThread(tid, /*from_timer=*/false);
+    }
+  }
+  for (ThreadId next = scheduler_.PopValidWaiter(entry_waiters_); next != kNoThread;
+       next = scheduler_.PopValidWaiter(entry_waiters_)) {
+    scheduler_.WakeThread(next, /*from_timer=*/false);
+  }
+}
 
 void MonitorLock::ForceAcquireForUnwind() {
   owner_ = scheduler_.current();

@@ -46,6 +46,12 @@ class MonitorLock {
   ThreadId owner() const { return owner_; }
   bool HeldByCurrent() const;
 
+  // Marks the monitor abandoned: the owner died (uncaught exception) without releasing it.
+  // Every queued and future entrant gets MonitorPoisoned instead of blocking forever on a lock
+  // nobody can release. Called by the scheduler's thread-death path; idempotent.
+  void Poison();
+  bool poisoned() const { return poisoned_; }
+
   // --- internal, used by Condition ---
 
   // Release-for-WAIT: like Exit but remembers nothing about the caller; Wait re-enters later.
@@ -65,6 +71,7 @@ class MonitorLock {
  private:
   void AcquireSlowPath(bool count_spurious, ThreadId notifier);
   void ReleaseInternal();
+  void ThrowIfPoisoned() const;
 
   Scheduler& scheduler_;
   std::string name_;
@@ -73,6 +80,7 @@ class MonitorLock {
   void RegisterContentionMetrics();
 
   ThreadId owner_ = kNoThread;
+  bool poisoned_ = false;
   Usec acquired_at_ = 0;  // when owner_ last took the lock (for the hold-time histogram)
   // Metric handles (nullptr with metrics off). The process-wide rollups are registered at
   // construction; the per-monitor series lazily, on first contention — see

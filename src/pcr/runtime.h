@@ -48,6 +48,10 @@ class Runtime {
   ThreadId Fork(std::function<void()> body, ForkOptions options = {}) {
     return scheduler_.Fork(std::move(body), std::move(options));
   }
+  // Fork with an error path instead of a throw; honors ForkOptions::on_failure.
+  ForkResult TryFork(std::function<void()> body, ForkOptions options = {}) {
+    return scheduler_.TryFork(std::move(body), std::move(options));
+  }
   // Fork + Detach in one step, for fire-and-forget threads.
   ThreadId ForkDetached(std::function<void()> body, ForkOptions options = {});
   void Join(ThreadId tid) { scheduler_.Join(tid); }

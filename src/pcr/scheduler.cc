@@ -7,6 +7,7 @@
 #include <limits>
 
 #include "src/pcr/interrupt.h"
+#include "src/pcr/monitor.h"
 
 namespace pcr {
 
@@ -25,7 +26,32 @@ inline int TopSetBit(uint32_t mask) {
   return 31 - __builtin_clz(mask);
 }
 
+// Renders a stored exception for diagnostics without letting anything escape.
+std::string DescribeException(const std::exception_ptr& ep) {
+  try {
+    std::rethrow_exception(ep);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "(non-std exception)";
+  }
+}
+
 }  // namespace
+
+std::string_view ForkErrorName(ForkError error) {
+  switch (error) {
+    case ForkError::kNone:
+      return "ok";
+    case ForkError::kThreadLimit:
+      return "thread-limit";
+    case ForkError::kStackExhausted:
+      return "stack-exhausted";
+    case ForkError::kInjected:
+      return "injected";
+  }
+  return "unknown";
+}
 
 Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
     : config_(config), tracer_(tracer), rng_(config.seed) {
@@ -49,6 +75,9 @@ Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
     m_stack_pool_hits_ = metrics_.counter("stack.pool_hits");
     m_stack_peak_live_ = metrics_.counter("stack.peak_live_bytes");
     m_ready_depth_ = metrics_.histogram("sched.ready_depth");
+    m_faults_injected_ = metrics_.counter("fault.injected");
+    m_fork_failures_ = metrics_.counter("fault.fork_failures");
+    m_monitors_poisoned_ = metrics_.counter("fault.monitors_poisoned");
   }
 #endif
 }
@@ -94,6 +123,7 @@ const Tcb* Scheduler::FindThread(ThreadId tid) const {
 }
 
 void Scheduler::PushReady(Tcb& tcb, bool front) {
+  tcb.ready_since = now_;
   auto& queue = ready_[tcb.priority];
   if (queue.empty()) {
     ready_mask_ |= 1u << tcb.priority;
@@ -158,16 +188,70 @@ uint32_t Scheduler::InternName(std::string_view name) {
 // ---------------------------------------------------------------------------
 
 ThreadId Scheduler::Fork(std::function<void()> body, ForkOptions options) {
+  ForkResult result = TryFork(std::move(body), std::move(options));
+  if (!result.ok()) {
+    throw ForkFailed("pcr: FORK failed (" + std::string(ForkErrorName(result.error)) +
+                     "): " + std::to_string(live_threads_) + " live threads at limit " +
+                     std::to_string(config_.max_threads));
+  }
+  return result.tid;
+}
+
+ForkResult Scheduler::TryFork(std::function<void()> body, ForkOptions options) {
   Tcb* me = CurrentTcb();
-  while (live_threads_ >= config_.max_threads) {
-    if (config_.fork_failure == ForkFailureMode::kError || me == nullptr || shutting_down_) {
-      throw ForkFailed("pcr: FORK failed: " + std::to_string(live_threads_) +
-                       " live threads at limit " + std::to_string(config_.max_threads));
+  ForkResult result;
+  Usec backoff = options.retry_backoff > 0 ? options.retry_backoff : config_.quantum;
+  for (;;) {
+    // Failure causes, checked in a fixed order so a seeded fault plan fires deterministically:
+    // injected failure first, then the real resource checks.
+    ForkError error = ForkError::kNone;
+    if (ConsultFault(FaultSite::kFork) != 0) {
+      error = ForkError::kInjected;
+    } else if (live_threads_ >= config_.max_threads) {
+      error = ForkError::kThreadLimit;
+    } else if (ConsultFault(FaultSite::kStackAcquire) != 0 ||
+               !stack_pool_->HasCapacity(options.stack_bytes != 0 ? options.stack_bytes
+                                                                  : config_.stack_bytes)) {
+      error = ForkError::kStackExhausted;
     }
-    // Section 5.4: "our more recent implementations simply wait in the fork implementation for
-    // more resources to become available" — the user-visible cost is an unexplained delay.
-    EnqueueCurrentWaiter(fork_waiters_);
-    BlockCurrent(BlockReason::kFork, nullptr, -1);
+    if (error == ForkError::kNone) {
+      break;
+    }
+    Emit(trace::EventType::kForkFailed, 0, static_cast<uint64_t>(error));
+    trace::MetricAdd(m_fork_failures_);
+    ForkOnFailure policy = options.on_failure;
+    if (policy == ForkOnFailure::kDefault) {
+      // Section 5.4: "our more recent implementations simply wait in the fork implementation
+      // for more resources to become available" — the user-visible cost is an unexplained
+      // delay. Waiting only makes sense for the thread-limit cause from fiber context; every
+      // other combination reports the error (Fork turns it into a throw).
+      if (config_.fork_failure == ForkFailureMode::kWait &&
+          error == ForkError::kThreadLimit && me != nullptr && !shutting_down_) {
+        EnqueueCurrentWaiter(fork_waiters_);
+        BlockCurrent(BlockReason::kFork, nullptr, -1);
+        continue;
+      }
+      result.error = error;
+      return result;
+    }
+    if (policy == ForkOnFailure::kRetryBackoff) {
+      if (me != nullptr && !shutting_down_ && result.retries < options.max_retries) {
+        ++result.retries;
+        Sleep(backoff);
+        backoff *= 2;
+        continue;
+      }
+      result.error = error;
+      return result;
+    }
+    if (policy == ForkOnFailure::kAbort) {
+      std::fprintf(stderr, "pcr: FORK failed (%s): %d live threads at limit %d\n",
+                   std::string(ForkErrorName(error)).c_str(), live_threads_,
+                   config_.max_threads);
+      std::abort();
+    }
+    result.error = error;  // kReturnError
+    return result;
   }
 
   auto tcb = std::make_unique<Tcb>();
@@ -189,7 +273,8 @@ ThreadId Scheduler::Fork(std::function<void()> body, ForkOptions options) {
   Emit(trace::EventType::kThreadFork, id, static_cast<uint64_t>(ClampPriority(options.priority)),
        GetTcb(id).name_sym);
   Charge(config_.costs.fork);  // preemption point: a higher-priority child starts promptly
-  return id;
+  result.tid = id;
+  return result;
 }
 
 void Scheduler::Join(ThreadId tid) {
@@ -240,6 +325,13 @@ void Scheduler::Compute(Usec duration) {
   Tcb* me = CurrentTcb();
   if (me == nullptr || duration <= 0 || shutting_down_) {
     return;  // host context (world setup) and shutdown unwinding take no virtual time
+  }
+  // Injected thread death: the body throws at a scheduler-visible point, exercising the
+  // uncaught-exception path (and monitor abandonment, if locks are held). Suppressed while an
+  // exception is already propagating — a throw from a cleanup charge would terminate.
+  if (fault_injector_ != nullptr && std::uncaught_exceptions() == 0 &&
+      ConsultFault(FaultSite::kThreadDeath) != 0) {
+    throw InjectedFault("pcr: injected thread death in " + me->name);
   }
   me->remaining += duration;
   me->fiber->Suspend();
@@ -368,6 +460,12 @@ bool Scheduler::BlockCurrent(BlockReason reason, const void* object, Usec deadli
   me->timer_fired = false;
   SetBoosted(*me, false);
   if (deadline >= 0) {
+    // Injected timer skew: the timeout fires N quanta late. The paper's missing-notify bugs
+    // stay hidden because a generous timeout limps the program along (Section 5.3); late
+    // timers widen the window those bugs are visible in.
+    if (uint64_t skew = ConsultFault(FaultSite::kTimerSkew); skew != 0) {
+      deadline += static_cast<Usec>(skew) * config_.quantum;
+    }
     ArmTimer(deadline, me->id, me->wait_epoch);
   }
   if (me->processor >= 0) {
@@ -435,6 +533,23 @@ void Scheduler::SetMonitorOwner(const void* monitor, ThreadId owner) {
   } else {
     monitor_owner_[monitor] = owner;
   }
+}
+
+ThreadId Scheduler::MonitorOwnerOf(const void* monitor) const {
+  auto it = monitor_owner_.find(monitor);
+  return it == monitor_owner_.end() ? kNoThread : it->second;
+}
+
+uint64_t Scheduler::ConsultFault(FaultSite site) {
+  if (fault_injector_ == nullptr || shutting_down_) {
+    return 0;
+  }
+  uint64_t magnitude = fault_injector_->OnFaultPoint(site);
+  if (magnitude != 0) {
+    Emit(trace::EventType::kFaultInjected, static_cast<ObjectId>(site), magnitude);
+    trace::MetricAdd(m_faults_injected_);
+  }
+  return magnitude;
 }
 
 bool Scheduler::WouldDeadlock(ThreadId owner) const {
@@ -734,6 +849,7 @@ void Scheduler::AssignProcessors() {
     Tcb& t = GetTcb(tid);
     t.state = ThreadState::kRunning;
     t.processor = static_cast<int>(p);
+    t.ready_since = -1;
     running_[p] = tid;
     if (last_running_[p] != tid) {
       if (tracer_ != nullptr && tracer_->enabled() && config_.trace_events) {
@@ -868,6 +984,31 @@ void Scheduler::ExitCurrent() {
   Emit(trace::EventType::kThreadExit, 0, me.uncaught ? 1 : 0);
   if (me.uncaught) {
     ++uncaught_exits_;
+    // Monitor abandonment: a thread that dies holding locks would leave every later entrant
+    // blocked forever on a mutex nobody can release (the wedge of Section 5.4). Poison the
+    // abandoned monitors instead so waiters get a diagnosable MonitorPoisoned error. Collect
+    // first: Poison erases the ownership entries we are iterating toward.
+    std::vector<MonitorLock*> abandoned;
+    for (const auto& [monitor, owner] : monitor_owner_) {
+      if (owner == me.id) {
+        // Every monitor_owner_ key is the registering MonitorLock's `this` (monitor.cc), so
+        // the cast recovers the lock object.
+        abandoned.push_back(static_cast<MonitorLock*>(const_cast<void*>(monitor)));
+      }
+    }
+    for (MonitorLock* lock : abandoned) {
+      lock->Poison();
+      trace::MetricAdd(m_monitors_poisoned_);
+    }
+    if (me.detached || config_.fatal_uncaught) {
+      // Nobody will ever Join this thread to rethrow the exception, so this report is the only
+      // record of why it died.
+      std::fprintf(stderr, "pcr: thread %u (%s) died of uncaught exception: %s\n", me.id,
+                   me.name.c_str(), DescribeException(me.uncaught).c_str());
+      if (config_.fatal_uncaught) {
+        std::abort();
+      }
+    }
   }
   if (!shutting_down_) {
     --live_threads_;

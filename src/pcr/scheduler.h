@@ -31,6 +31,7 @@
 
 #include "src/pcr/config.h"
 #include "src/pcr/errors.h"
+#include "src/pcr/fault_point.h"
 #include "src/pcr/fiber.h"
 #include "src/pcr/ids.h"
 #include "src/pcr/perturber.h"
@@ -53,10 +54,39 @@ enum class BlockReason : uint8_t {
   kInterrupt,   // awaiting an external event
 };
 
+// Why TryFork could not produce a thread.
+enum class ForkError : uint8_t {
+  kNone,
+  kThreadLimit,     // Config::max_threads live threads
+  kStackExhausted,  // fiber-stack pool at capacity pressure or the kernel refused the mapping
+  kInjected,        // a FaultInjector fired FaultSite::kFork
+};
+std::string_view ForkErrorName(ForkError error);
+
+// What TryFork does when thread creation fails. The paper found FORK failure "treated as a
+// fatal error" because almost no call site handles it (Section 5.4); these policies make
+// handling it expressible per call site.
+enum class ForkOnFailure : uint8_t {
+  kDefault,       // follow Config::fork_failure (block-and-wait or throw ForkFailed)
+  kReturnError,   // return a ForkResult carrying the error
+  kRetryBackoff,  // re-attempt after a doubling virtual-time backoff, then return the error
+  kAbort,         // abort the process with a diagnostic (the paper's observed behavior)
+};
+
+struct ForkResult {
+  ThreadId tid = kNoThread;
+  ForkError error = ForkError::kNone;
+  int retries = 0;  // backoff re-attempts spent (kRetryBackoff only)
+  bool ok() const { return error == ForkError::kNone; }
+};
+
 struct ForkOptions {
   std::string name;
   int priority = kDefaultPriority;
   size_t stack_bytes = 0;  // 0: use Config::stack_bytes
+  ForkOnFailure on_failure = ForkOnFailure::kDefault;
+  int max_retries = 3;      // kRetryBackoff: re-attempts after the first failure
+  Usec retry_backoff = 0;   // kRetryBackoff: initial wait; 0 = one quantum; doubles per retry
 };
 
 // An entry on some wait queue. Entries are validated lazily against the thread's wait epoch so
@@ -100,6 +130,9 @@ struct Tcb {
   ThreadId parent = kNoThread;
   Usec forked_at = 0;
   Usec cpu_time = 0;
+  Usec ready_since = -1;  // when the thread last became ready; -1 while running/blocked/done.
+                          // The watchdog's starvation scan reads this: ready_since frozen for
+                          // many quanta = runnable but never dispatched (stable inversion).
 };
 
 // Why a Run* call returned.
@@ -162,9 +195,24 @@ class Scheduler {
   // from host context, during shutdown, or with no perturber installed.
   void MaybeForcePreempt(PreemptPoint point);
 
+  // ---- Fault injection (src/fault/) ----
+
+  // Installs (or clears, with nullptr) the fault-injection hook. Not owned. Like the
+  // perturber, install before the first Run* call.
+  void set_fault_injector(FaultInjector* injector) { fault_injector_ = injector; }
+  FaultInjector* fault_injector() const { return fault_injector_; }
+
+  // Consults the injector at `site`. Nonzero means a fault fired (the value is its magnitude);
+  // the firing is emitted as kFaultInjected and counted in fault.* metrics. Always 0 with no
+  // injector installed or during shutdown.
+  uint64_t ConsultFault(FaultSite site);
+
   // ---- Thread API (callable from fibers; Fork/Detach also from the host) ----
 
   ThreadId Fork(std::function<void()> body, ForkOptions options = {});
+  // Fork with an error path: reports failure through the ForkResult instead of throwing,
+  // honoring options.on_failure. Fork is a throwing wrapper over this.
+  ForkResult TryFork(std::function<void()> body, ForkOptions options = {});
   void Join(ThreadId tid);
   void Detach(ThreadId tid);
   void Compute(Usec duration);
@@ -229,6 +277,13 @@ class Scheduler {
   // Monitors report ownership changes here so the deadlock walk can follow blocked->owner
   // chains. Passing kNoThread erases the entry.
   void SetMonitorOwner(const void* monitor, ThreadId owner);
+
+  // Owner of `monitor` per SetMonitorOwner, or kNoThread. The watchdog's wait-for-graph walk
+  // uses this to follow a blocked thread's wait_object to the thread it waits on.
+  ThreadId MonitorOwnerOf(const void* monitor) const;
+
+  // Total threads ever created (valid tids are 1..thread_count()); watchdog scan range.
+  int thread_count() const { return static_cast<int>(tcbs_.size()); }
 
   // With Config::priority_inheritance: donates the current thread's effective priority down the
   // owner chain starting at `owner` (called when blocking on a monitor). The inheritance is
@@ -345,9 +400,13 @@ class Scheduler {
   trace::Counter* m_stack_pool_hits_ = nullptr;
   trace::Counter* m_stack_peak_live_ = nullptr;
   trace::Log2Histogram* m_ready_depth_ = nullptr;
+  trace::Counter* m_faults_injected_ = nullptr;
+  trace::Counter* m_fork_failures_ = nullptr;
+  trace::Counter* m_monitors_poisoned_ = nullptr;
   std::mt19937_64 rng_;
   bool rng_seed_logged_ = false;
   SchedulePerturber* perturber_ = nullptr;
+  FaultInjector* fault_injector_ = nullptr;
 
   Usec now_ = 0;
   Usec next_tick_due_ = 0;  // first unprocessed quantum tick; 0 = initialize on first run

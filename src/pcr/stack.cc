@@ -3,8 +3,10 @@
 #include <sys/mman.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <utility>
 
 // Recycled stacks carry whatever ASan shadow the previous fiber left behind: fibers abandoned
@@ -43,22 +45,43 @@ size_t FiberStack::UsableSize(size_t usable_bytes) {
   return RoundUpToPage(usable_bytes == 0 ? PageSize() : usable_bytes);
 }
 
-FiberStack::FiberStack(size_t usable_bytes) {
+size_t FiberStack::ReservedSize(size_t usable_bytes) {
+  return UsableSize(usable_bytes) + PageSize();
+}
+
+FiberStack FiberStack::TryCreate(size_t usable_bytes, std::string* error) {
   size_t page = PageSize();
-  usable_bytes_ = UsableSize(usable_bytes);
-  mapping_bytes_ = usable_bytes_ + page;  // one guard page below the stack
-  void* mapping = mmap(nullptr, mapping_bytes_, PROT_READ | PROT_WRITE,
+  FiberStack stack;
+  stack.usable_bytes_ = UsableSize(usable_bytes);
+  stack.mapping_bytes_ = stack.usable_bytes_ + page;  // one guard page below the stack
+  void* mapping = mmap(nullptr, stack.mapping_bytes_, PROT_READ | PROT_WRITE,
                        MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
   if (mapping == MAP_FAILED) {
-    std::perror("pcr: mmap fiber stack");
-    std::abort();
+    if (error != nullptr) {
+      *error = "mmap of " + std::to_string(stack.mapping_bytes_) +
+               "-byte fiber stack failed: " + std::strerror(errno);
+    }
+    return FiberStack();
   }
   if (mprotect(mapping, page, PROT_NONE) != 0) {
-    std::perror("pcr: mprotect guard page");
+    if (error != nullptr) {
+      *error = std::string("mprotect of fiber stack guard page failed: ") + std::strerror(errno);
+    }
+    munmap(mapping, stack.mapping_bytes_);
+    return FiberStack();
+  }
+  stack.mapping_ = mapping;
+  stack.usable_base_ = static_cast<char*>(mapping) + page;
+  return stack;
+}
+
+FiberStack::FiberStack(size_t usable_bytes) {
+  std::string error;
+  *this = TryCreate(usable_bytes, &error);
+  if (mapping_ == nullptr) {
+    std::fprintf(stderr, "pcr: %s\n", error.c_str());
     std::abort();
   }
-  mapping_ = mapping;
-  usable_base_ = static_cast<char*>(mapping) + page;
 }
 
 FiberStack::~FiberStack() { Release(); }
@@ -90,6 +113,29 @@ void FiberStack::Release() {
 StackPool::StackPool(size_t max_pooled_bytes) : max_pooled_bytes_(max_pooled_bytes) {}
 
 FiberStack StackPool::Acquire(size_t usable_bytes, bool* from_pool) {
+  FiberStack stack;
+  std::string error;
+  if (!TryAcquire(usable_bytes, &stack, from_pool, &error)) {
+    std::fprintf(stderr, "pcr: stack acquire failed: %s\n", error.c_str());
+    std::abort();
+  }
+  return stack;
+}
+
+bool StackPool::HasCapacity(size_t usable_bytes) const {
+  return max_live_bytes_ == 0 ||
+         stats_.live_bytes + FiberStack::ReservedSize(usable_bytes) <= max_live_bytes_;
+}
+
+bool StackPool::TryAcquire(size_t usable_bytes, FiberStack* out, bool* from_pool,
+                           std::string* error) {
+  if (!HasCapacity(usable_bytes)) {
+    if (error != nullptr) {
+      *error = "stack pool at capacity: " + std::to_string(stats_.live_bytes) +
+               " bytes live of " + std::to_string(max_live_bytes_) + " allowed";
+    }
+    return false;
+  }
   ++stats_.acquires;
   size_t size_class = FiberStack::UsableSize(usable_bytes);
   auto it = free_.find(size_class);
@@ -101,7 +147,11 @@ FiberStack StackPool::Acquire(size_t usable_bytes, bool* from_pool) {
     ++stats_.pool_hits;
     stats_.pooled_bytes -= stack.reserved_bytes();
   } else {
-    stack = FiberStack(size_class);
+    stack = FiberStack::TryCreate(size_class, error);
+    if (stack.base() == nullptr) {
+      --stats_.acquires;  // the failed attempt never produced a stack
+      return false;
+    }
   }
   if (from_pool != nullptr) {
     *from_pool = reused;
@@ -110,7 +160,8 @@ FiberStack StackPool::Acquire(size_t usable_bytes, bool* from_pool) {
   if (stats_.live_bytes > stats_.peak_live_bytes) {
     stats_.peak_live_bytes = stats_.live_bytes;
   }
-  return stack;
+  *out = std::move(stack);
+  return true;
 }
 
 void StackPool::Release(FiberStack stack) {

@@ -15,6 +15,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -26,9 +27,14 @@ class FiberStack {
   FiberStack() = default;
 
   // Allocates a stack with at least `usable_bytes` of usable space (rounded up to whole pages)
-  // plus one guard page. Aborts on allocation failure.
+  // plus one guard page. Aborts on allocation failure with the errno in the message; call sites
+  // that can survive failure should use TryCreate instead.
   explicit FiberStack(size_t usable_bytes);
   ~FiberStack();
+
+  // Fallible allocation: returns an empty stack on mmap/mprotect failure and, with `error`
+  // non-null, describes the failure including strerror(errno).
+  static FiberStack TryCreate(size_t usable_bytes, std::string* error = nullptr);
 
   FiberStack(const FiberStack&) = delete;
   FiberStack& operator=(const FiberStack&) = delete;
@@ -45,6 +51,10 @@ class FiberStack {
   // The usable size a request for `usable_bytes` actually gets (page-rounded, with the same
   // floor the constructor applies). StackPool keys its size classes on this.
   static size_t UsableSize(size_t usable_bytes);
+
+  // Address space a request for `usable_bytes` reserves, guard page included. StackPool's
+  // capacity-pressure check uses this to price an acquire before mapping anything.
+  static size_t ReservedSize(size_t usable_bytes);
 
  private:
   void Release();
@@ -87,6 +97,22 @@ class StackPool {
   // reports which.
   FiberStack Acquire(size_t usable_bytes, bool* from_pool = nullptr);
 
+  // Fallible acquire: fails (returns false, leaves `*out` empty) instead of aborting when the
+  // pool is under capacity pressure (set_max_live_bytes) or the kernel refuses the mapping.
+  // On failure with `error` non-null, describes the cause.
+  bool TryAcquire(size_t usable_bytes, FiberStack* out, bool* from_pool = nullptr,
+                  std::string* error = nullptr);
+
+  // Whether TryAcquire(usable_bytes) would pass the capacity-pressure check right now (it can
+  // still fail if the kernel refuses the mapping).
+  bool HasCapacity(size_t usable_bytes) const;
+
+  // Caps reserved address space checked out at once (capacity-pressure mode; 0 = unlimited,
+  // the default). TryAcquire fails rather than exceed it — the hook fault injection and
+  // resource-exhaustion tests use to make stack acquisition fail on demand.
+  void set_max_live_bytes(size_t bytes) { max_live_bytes_ = bytes; }
+  size_t max_live_bytes() const { return max_live_bytes_; }
+
   // Hands a stack back for reuse. The usable region is madvised clean so a parked stack holds
   // no RSS; the guard page stays in place.
   void Release(FiberStack stack);
@@ -101,6 +127,7 @@ class StackPool {
 
  private:
   size_t max_pooled_bytes_;
+  size_t max_live_bytes_ = 0;  // 0 = unlimited
   std::unordered_map<size_t, std::vector<FiberStack>> free_;  // usable size -> parked stacks
   StackPoolStats stats_;
 };

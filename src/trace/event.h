@@ -52,10 +52,31 @@ enum class EventType : uint8_t {
   kSharedRead,        // weakly-ordered shared read; object = cell id
   kSharedWrite,       // weakly-ordered shared write; object = cell id
   kRngSeed,           // first runtime RNG draw; arg = the seed (so repros capture randomness)
+  kForkFailed,        // a FORK could not produce a thread; arg = ForkError cause
+  kFaultInjected,     // a fault::Injector fired; object = FaultSite, arg = magnitude
+  kMonitorPoisoned,   // a monitor's owner died without releasing it; object = monitor
+  kWatchdogReport,    // the watchdog flagged a condition; object = report kind, arg = detail
 };
 
 // Human-readable name for an event type (for dumps and debugging).
 std::string_view EventTypeName(EventType type);
+
+// Named fault-injection sites. Lives in trace (not pcr) so the tracer can render
+// kFaultInjected events without depending on the runtime layer above it.
+enum class FaultSite : uint8_t {
+  kFork,          // FORK fails outright (paper 5.4: "treated as a fatal error")
+  kStackAcquire,  // fiber stack allocation fails / pool is at capacity pressure
+  kNotifyLost,    // a NOTIFY evaporates: the waiter stays queued (5.3 missing-notify class)
+  kNotifyDup,     // a NOTIFY wakes one extra waiter (exercises WAIT-in-loop discipline)
+  kTimerSkew,     // a timeout fires late by N quanta (timeout-masked bug amplifier)
+  kThreadDeath,   // the running fiber body throws InjectedFault (uncaught-exception path)
+  kXDrop,         // the simulated X connection drops; sends fail until reconnect
+  kXStall,        // the simulated X server stalls for N quanta before accepting a flush
+};
+inline constexpr int kNumFaultSites = 8;
+
+// Short stable name used in fault-plan grammar and dumps (e.g. "notify-lost").
+std::string_view FaultSiteName(FaultSite site);
 
 struct Event {
   Usec time_us = 0;

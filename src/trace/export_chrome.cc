@@ -205,6 +205,33 @@ void ExportChromeTrace(std::ostream& os, const Tracer& tracer) {
         out.os() << "}";
         out.End();
         break;
+      // Fault-injection and watchdog instants, so a failing fault x schedule repro shows its
+      // injected faults inline with the schedule that exposed them.
+      case EventType::kFaultInjected:
+        out.Instant(std::string("fault:") +
+                        std::string(FaultSiteName(static_cast<FaultSite>(e.object))),
+                    e.time_us, kThreadsPid, e.thread);
+        out.os() << ", \"args\": {\"value\": " << e.arg << "}";
+        out.End();
+        break;
+      case EventType::kForkFailed:
+        out.Instant("fork-failed", e.time_us, kThreadsPid, e.thread);
+        out.os() << ", \"args\": {\"cause\": " << e.arg << "}";
+        out.End();
+        break;
+      case EventType::kMonitorPoisoned:
+        out.Instant("monitor-poisoned", e.time_us, kThreadsPid, e.thread);
+        out.os() << ", \"args\": {\"monitor\": ";
+        WriteJsonString(out.os(), DisplayName(symbols, e.object_sym, "monitor-", e.object));
+        out.os() << "}";
+        out.End();
+        break;
+      case EventType::kWatchdogReport:
+        out.Instant("watchdog-report", e.time_us, kThreadsPid,
+                    static_cast<int64_t>(e.arg));  // arg = first implicated thread
+        out.os() << ", \"args\": {\"kind\": " << e.object << "}";
+        out.End();
+        break;
       default:
         break;
     }

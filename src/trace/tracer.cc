@@ -63,6 +63,36 @@ std::string_view EventTypeName(EventType type) {
       return "shared-write";
     case EventType::kRngSeed:
       return "rng-seed";
+    case EventType::kForkFailed:
+      return "fork-failed";
+    case EventType::kFaultInjected:
+      return "fault-injected";
+    case EventType::kMonitorPoisoned:
+      return "monitor-poisoned";
+    case EventType::kWatchdogReport:
+      return "watchdog-report";
+  }
+  return "unknown";
+}
+
+std::string_view FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFork:
+      return "fork";
+    case FaultSite::kStackAcquire:
+      return "stack-acquire";
+    case FaultSite::kNotifyLost:
+      return "notify-lost";
+    case FaultSite::kNotifyDup:
+      return "notify-dup";
+    case FaultSite::kTimerSkew:
+      return "timer-skew";
+    case FaultSite::kThreadDeath:
+      return "thread-death";
+    case FaultSite::kXDrop:
+      return "x-drop";
+    case FaultSite::kXStall:
+      return "x-stall";
   }
   return "unknown";
 }

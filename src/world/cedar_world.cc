@@ -1,5 +1,7 @@
 #include "src/world/cedar_world.h"
 
+#include <iterator>
+
 #include "src/paradigm/deadlock_avoider.h"
 #include "src/paradigm/defer.h"
 #include "src/trace/census.h"
@@ -212,7 +214,25 @@ void CedarWorld::StartImaging() {
   slack_options.per_flush_cost = 120;
   x_buffer_ = std::make_unique<paradigm::SlackProcess<PaintRequest>>(
       runtime_, "x-buffer",
-      [this](std::vector<PaintRequest>&& batch) { xserver_.Send(batch); },
+      [this](std::vector<PaintRequest>&& batch) {
+        // Damage survives a dropped server connection: failed batches park in x_pending_ and
+        // are merged + resent by the first flush after a reconnect, so the screen catches up
+        // instead of wedging with stale paint.
+        if (!x_pending_.empty() || (!xserver_.connected() && !xserver_.TryReconnect())) {
+          std::move(batch.begin(), batch.end(), std::back_inserter(x_pending_));
+          if (!xserver_.connected() && !xserver_.TryReconnect()) {
+            return;
+          }
+          XServerModel::MergeOverlapping(x_pending_);
+          if (xserver_.Send(x_pending_)) {
+            x_pending_.clear();
+          }
+          return;
+        }
+        if (!xserver_.Send(batch)) {
+          std::move(batch.begin(), batch.end(), std::back_inserter(x_pending_));
+        }
+      },
       [](std::vector<PaintRequest>& batch) { XServerModel::MergeOverlapping(batch); },
       slack_options);
   ++eternal_threads_;

@@ -154,6 +154,7 @@ class CedarWorld {
   paradigm::BoundedBuffer<PaintJob> paint_jobs_;
 
   std::unique_ptr<paradigm::SlackProcess<PaintRequest>> x_buffer_;
+  std::vector<PaintRequest> x_pending_;  // batches that hit a dropped X connection
   std::unique_ptr<paradigm::RejuvenatingTask> dispatcher_;
   std::vector<std::unique_ptr<paradigm::Sleeper>> sleepers_;
   std::vector<paradigm::Sleeper*> ui_sleepers_;  // poked by input activity

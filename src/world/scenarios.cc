@@ -85,6 +85,9 @@ ScenarioResult RunScenario(Scenario scenario, ScenarioOptions options) {
   // priority level 6 gets used by the system daemon that does proportional scheduling").
   config.enable_system_daemon = true;
   pcr::Runtime runtime(config);
+  if (options.setup) {
+    options.setup(runtime);
+  }
 
   pcr::Usec begin = options.warmup;
   pcr::Usec end = options.warmup + options.duration;

@@ -56,6 +56,9 @@ struct ScenarioOptions {
   pcr::CostModel costs;
   // World override for Cedar scenarios — used by the in-world slack-policy experiment.
   CedarSpec cedar_spec;
+  // Called on the fresh Runtime before the world is built — the hook for installing a fault
+  // injector or watchdog (anything the hook wires in must outlive the run).
+  std::function<void(pcr::Runtime&)> setup;
   // Called after the run completes but before the world is torn down — the hook for raw-trace
   // inspection (event-history dumps, custom statistics) while the tracer is still alive.
   std::function<void(pcr::Runtime&)> inspect;

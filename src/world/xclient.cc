@@ -27,7 +27,16 @@ void XlibClient::FlushLocked() {
   if (output_.empty()) {
     return;
   }
-  server_.Send(output_);
+  if (!server_.Send(output_)) {
+    // Xlib has no helper thread to recover for it: the calling thread itself retries the
+    // connection synchronously, and until the server comes back the output simply accumulates
+    // (a later flush will retry).
+    ++stats_.send_failures;
+    if (!server_.TryReconnect() || !server_.Send(output_)) {
+      return;
+    }
+    ++stats_.reconnects;
+  }
   output_.clear();
   ++stats_.output_flushes;
 }
@@ -124,9 +133,42 @@ void XlClient::FlushLocked() {
   if (output_.empty()) {
     return;
   }
-  server_.Send(output_);
+  if (!server_.Send(output_)) {
+    ++stats_.send_failures;
+    StartReconnectLocked();
+    return;  // output_ retained; the reconnect thread flushes it when the server is back
+  }
   output_.clear();
   ++stats_.output_flushes;
+}
+
+void XlClient::StartReconnectLocked() {
+  if (reconnect_active_) {
+    return;
+  }
+  reconnect_active_ = true;
+  runtime_.ForkDetached([this] { ReconnectLoop(); },
+                        pcr::ForkOptions{.name = "xl-reconnect", .priority = 4});
+}
+
+void XlClient::ReconnectLoop() {
+  pcr::Usec backoff = options_.reconnect_backoff_initial;
+  for (int attempt = 0; attempt < options_.reconnect_max_retries; ++attempt) {
+    pcr::thisthread::Sleep(backoff);
+    pcr::MonitorGuard guard(lock_);
+    if (server_.TryReconnect()) {
+      ++stats_.reconnects;
+      reconnect_active_ = false;
+      // Flush-on-reconnect. A fresh drop during this very flush forks a new reconnect thread,
+      // which is why the flag is cleared first.
+      FlushLocked();
+      return;
+    }
+    backoff = std::min(backoff * 2, options_.reconnect_backoff_max);
+  }
+  pcr::MonitorGuard guard(lock_);
+  ++stats_.reconnect_giveups;
+  reconnect_active_ = false;
 }
 
 std::optional<uint64_t> XlClient::GetEvent(pcr::Usec timeout) {

@@ -39,6 +39,9 @@ struct XClientStats {
   int64_t short_read_cycles = 0;   // Xlib only: reads abandoned to release the library mutex
   pcr::Usec lock_held_reading_us = 0;  // time the library mutex was held across reads
   pcr::Usec worst_timeout_overshoot_us = 0;  // requested GetEvent timeout vs actual wait
+  int64_t send_failures = 0;       // flushes that hit a dropped connection (output retained)
+  int64_t reconnects = 0;          // successful reconnects observed by this client
+  int64_t reconnect_giveups = 0;   // Xl only: backoff loops that exhausted their retries
 };
 
 struct XlibOptions {
@@ -79,6 +82,11 @@ class XlibClient {
 
 struct XlOptions {
   pcr::Usec maintenance_flush_period = 500 * pcr::kUsecPerMsec;
+  // Reconnect policy after a dropped server connection: a dedicated thread retries with
+  // exponential backoff (initial, doubling, capped at max) and gives up after max_retries.
+  pcr::Usec reconnect_backoff_initial = 100 * pcr::kUsecPerMsec;
+  pcr::Usec reconnect_backoff_max = 1600 * pcr::kUsecPerMsec;
+  int reconnect_max_retries = 10;
 };
 
 // The designed-for-threads library.
@@ -101,6 +109,10 @@ class XlClient {
 
  private:
   void FlushLocked();
+  // Forks the backoff reconnect thread if one is not already running. Forked lazily, on the
+  // first failed send, so fault-free runs keep their historical thread-id assignment.
+  void StartReconnectLocked();
+  void ReconnectLoop();
 
   pcr::Runtime& runtime_;
   XServerModel& server_;
@@ -110,6 +122,7 @@ class XlClient {
   pcr::Condition event_ready_;
   std::deque<uint64_t> event_queue_;
   std::vector<PaintRequest> output_;
+  bool reconnect_active_ = false;
   XClientStats stats_;
 };
 

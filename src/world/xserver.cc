@@ -9,12 +9,26 @@ namespace world {
 XServerModel::XServerModel(pcr::Runtime& runtime, Costs costs)
     : runtime_(runtime), costs_(costs) {}
 
-void XServerModel::Send(const std::vector<PaintRequest>& batch) {
+bool XServerModel::Send(const std::vector<PaintRequest>& batch) {
   if (batch.empty()) {
-    return;
+    return true;
   }
-  runtime_.scheduler().Charge(costs_.per_flush +
-                              costs_.per_request * static_cast<pcr::Usec>(batch.size()));
+  pcr::Scheduler& s = runtime_.scheduler();
+  if (uint64_t down = s.ConsultFault(pcr::FaultSite::kXDrop); down != 0) {
+    InjectDrop(static_cast<pcr::Usec>(down) * s.config().quantum);
+  }
+  if (!connected_) {
+    // The client pays one flush charge to discover the broken connection; the batch stays
+    // with the caller.
+    s.Charge(costs_.per_flush);
+    ++failed_sends_;
+    return false;
+  }
+  if (uint64_t stall = s.ConsultFault(pcr::FaultSite::kXStall); stall != 0) {
+    // A wedged (not lost) server: the send blocks the caller for the stall, then succeeds.
+    s.Charge(static_cast<pcr::Usec>(stall) * s.config().quantum);
+  }
+  s.Charge(costs_.per_flush + costs_.per_request * static_cast<pcr::Usec>(batch.size()));
   ++flushes_;
   requests_received_ += static_cast<int64_t>(batch.size());
   pcr::Usec now = runtime_.now();
@@ -23,6 +37,28 @@ void XServerModel::Send(const std::vector<PaintRequest>& batch) {
     echo_latency_.Add(latency);
     max_echo_latency_ = std::max(max_echo_latency_, latency);
   }
+  return true;
+}
+
+bool XServerModel::TryReconnect() {
+  if (connected_) {
+    return true;
+  }
+  runtime_.scheduler().Charge(costs_.per_flush);
+  if (runtime_.now() < earliest_reconnect_) {
+    return false;
+  }
+  connected_ = true;
+  ++reconnects_;
+  return true;
+}
+
+void XServerModel::InjectDrop(pcr::Usec downtime) {
+  if (connected_) {
+    connected_ = false;
+    ++drops_;
+  }
+  earliest_reconnect_ = std::max(earliest_reconnect_, runtime_.now() + downtime);
 }
 
 void XServerModel::MergeOverlapping(std::vector<PaintRequest>& batch) {

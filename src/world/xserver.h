@@ -37,8 +37,25 @@ class XServerModel {
   explicit XServerModel(pcr::Runtime& runtime, Costs costs = {});
 
   // Sends a batch; charges the *calling thread* the flush + per-request protocol cost (the
-  // client pays to talk to the server) and records echo latency for each request.
-  void Send(const std::vector<PaintRequest>& batch);
+  // client pays to talk to the server) and records echo latency for each request. Returns
+  // false — leaving the batch unconsumed, so the caller keeps its buffer — when the
+  // connection is down (a FaultSite::kXDrop firing, or a previous drop not yet reconnected);
+  // the caller discovers the failure at the price of one flush charge. A kXStall firing
+  // charges N extra quanta before the send completes (a wedged server, not a lost one).
+  bool Send(const std::vector<PaintRequest>& batch);
+
+  // One reconnect attempt (costs one flush charge when the connection is down): succeeds once
+  // the injected downtime has elapsed. Returns the connection state afterwards.
+  bool TryReconnect();
+
+  // Drops the connection for `downtime` of virtual time — the test hook equivalent of a
+  // kXDrop firing.
+  void InjectDrop(pcr::Usec downtime);
+
+  bool connected() const { return connected_; }
+  int64_t drops() const { return drops_; }
+  int64_t failed_sends() const { return failed_sends_; }
+  int64_t reconnects() const { return reconnects_; }
 
   int64_t requests_received() const { return requests_received_; }
   int64_t flushes() const { return flushes_; }
@@ -61,6 +78,11 @@ class XServerModel {
  private:
   pcr::Runtime& runtime_;
   Costs costs_;
+  bool connected_ = true;
+  pcr::Usec earliest_reconnect_ = 0;  // reconnect attempts before this instant fail
+  int64_t drops_ = 0;
+  int64_t failed_sends_ = 0;
+  int64_t reconnects_ = 0;
   int64_t requests_received_ = 0;
   int64_t flushes_ = 0;
   trace::Histogram echo_latency_{1000, 200};  // 1 ms buckets up to 200 ms

@@ -9,6 +9,7 @@
 
 #include "examples/example_scenarios.h"
 #include "src/explore/hash.h"
+#include "src/fault/fault.h"
 #include "src/pcr/runtime.h"
 #include "src/trace/tracer.h"
 
@@ -59,5 +60,33 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<examples::ExampleScenario>& info) {
       return std::string(info.param.name);
     });
+
+// A seeded fault plan is part of the deterministic input: the same plan over the same workload
+// must fire the same faults and yield byte-identical traces.
+TEST(FaultDeterminismTest, SeededFaultPlanGivesIdenticalTraces) {
+  fault::Plan plan;
+  plan.seed = 11;
+  plan.rate = 0.02;
+  plan.site_mask = fault::SiteBit(fault::FaultSite::kNotifyLost) |
+                   fault::SiteBit(fault::FaultSite::kTimerSkew);
+
+  auto run_once = [&plan](const examples::ExampleScenario& scenario) {
+    fault::Injector injector(plan);
+    pcr::Config config;
+    config.seed = 3;
+    pcr::Runtime rt(config);
+    rt.scheduler().set_fault_injector(&injector);
+    scenario.body(rt, /*verbose=*/false);
+    CapturedRun run{rt.tracer().events(), explore::TraceHash(rt.tracer())};
+    EXPECT_EQ(injector.plan(), plan) << "the plan itself must not mutate across a run";
+    return run;
+  };
+
+  const examples::ExampleScenario& scenario = examples::kExampleScenarios[0];
+  CapturedRun first = run_once(scenario);
+  CapturedRun second = run_once(scenario);
+  ASSERT_FALSE(first.events.empty());
+  ExpectIdentical(first, second, "fault-plan determinism");
+}
 
 }  // namespace

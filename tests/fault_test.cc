@@ -1,0 +1,702 @@
+// Deterministic fault injection (src/fault/) and the runtime watchdog: fork-failure policies,
+// lost notifies (watchdog-detected vs timeout-masked), monitor poisoning after thread death,
+// wait-for-cycle deadlock reports, X-connection drops with backoff reconnect, and the
+// fault-plan field of repro strings.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/explore/explorer.h"
+#include "src/explore/hash.h"
+#include "src/explore/repro.h"
+#include "src/fault/fault.h"
+#include "src/fault/watchdog.h"
+#include "src/pcr/condition.h"
+#include "src/pcr/errors.h"
+#include "src/pcr/monitor.h"
+#include "src/pcr/runtime.h"
+#include "src/pcr/stack.h"
+#include "src/world/xclient.h"
+#include "src/world/xserver.h"
+
+namespace {
+
+using pcr::Config;
+using pcr::Condition;
+using pcr::FaultSite;
+using pcr::ForkError;
+using pcr::ForkOnFailure;
+using pcr::ForkOptions;
+using pcr::ForkResult;
+using pcr::kUsecPerMsec;
+using pcr::kUsecPerSec;
+using pcr::MonitorGuard;
+using pcr::MonitorLock;
+using pcr::Runtime;
+using pcr::RunStatus;
+using pcr::Usec;
+
+// ---------------------------------------------------------------------------
+// Plan codec
+// ---------------------------------------------------------------------------
+
+TEST(FaultPlanTest, EncodeDecodeRoundTrips) {
+  fault::Plan plan;
+  plan.seed = 42;
+  plan.rate = 0.015625;
+  plan.value = 3;
+  plan.site_mask = fault::SiteBit(FaultSite::kNotifyLost) | fault::SiteBit(FaultSite::kXDrop);
+  plan.script.push_back({FaultSite::kFork, 2, 1});
+  plan.script.push_back({FaultSite::kTimerSkew, 0, 7});
+
+  fault::Plan decoded = fault::Plan::Decode(plan.Encode());
+  EXPECT_EQ(decoded, plan);
+
+  EXPECT_FALSE(fault::Plan::Decode("").enabled());
+  EXPECT_FALSE(fault::Plan::Decode("f1").enabled());
+}
+
+TEST(FaultPlanTest, DecodeRejectsMalformedInput) {
+  EXPECT_THROW(fault::Plan::Decode("f2,rate=0.5"), pcr::UsageError);
+  EXPECT_THROW(fault::Plan::Decode("f1,rate=1.5,sites=fork"), pcr::UsageError);
+  EXPECT_THROW(fault::Plan::Decode("f1,sites=warp-core"), pcr::UsageError);
+  EXPECT_THROW(fault::Plan::Decode("f1,bogus=1"), pcr::UsageError);
+  EXPECT_THROW(fault::Plan::Decode("f1,fork@"), pcr::UsageError);
+}
+
+TEST(FaultPlanTest, ScriptedEntryFiresAtExactConsultIndex) {
+  fault::Plan plan;
+  plan.script.push_back({FaultSite::kFork, 2, 5});
+  fault::Injector injector(plan);
+
+  EXPECT_EQ(injector.OnFaultPoint(FaultSite::kFork), 0u);
+  EXPECT_EQ(injector.OnFaultPoint(FaultSite::kFork), 0u);
+  EXPECT_EQ(injector.OnFaultPoint(FaultSite::kFork), 5u);  // the third consult (index 2)
+  EXPECT_EQ(injector.OnFaultPoint(FaultSite::kFork), 0u);
+  ASSERT_EQ(injector.fired().size(), 1u);
+  EXPECT_EQ(injector.fired()[0], (fault::ScriptedFault{FaultSite::kFork, 2, 5}));
+  EXPECT_EQ(injector.consults(FaultSite::kFork), 4u);
+}
+
+TEST(FaultPlanTest, ProbabilisticFiringIsSeedDeterministic) {
+  fault::Plan plan;
+  plan.seed = 9;
+  plan.rate = 0.25;
+  plan.site_mask = fault::SiteBit(FaultSite::kNotifyLost);
+  fault::Injector injector(plan);
+
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 64; ++i) {
+    first.push_back(injector.OnFaultPoint(FaultSite::kNotifyLost));
+  }
+  injector.Reset();
+  std::vector<uint64_t> second;
+  for (int i = 0; i < 64; ++i) {
+    second.push_back(injector.OnFaultPoint(FaultSite::kNotifyLost));
+  }
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(injector.fired().empty()) << "rate 0.25 over 64 consults should fire";
+}
+
+TEST(FaultPlanTest, UnarmedSiteConsultsDoNotShiftArmedDraws) {
+  // The RNG steps only on armed-site consults, so interleaving consults at an unarmed site
+  // must not change which armed consults fire — the invariant scripted minimization rests on.
+  fault::Plan plan;
+  plan.seed = 9;
+  plan.rate = 0.25;
+  plan.site_mask = fault::SiteBit(FaultSite::kNotifyLost);
+
+  fault::Injector a(plan);
+  std::vector<uint64_t> plain;
+  for (int i = 0; i < 32; ++i) {
+    plain.push_back(a.OnFaultPoint(FaultSite::kNotifyLost));
+  }
+
+  fault::Injector b(plan);
+  std::vector<uint64_t> interleaved;
+  for (int i = 0; i < 32; ++i) {
+    b.OnFaultPoint(FaultSite::kFork);  // unarmed: counted, but no RNG step
+    interleaved.push_back(b.OnFaultPoint(FaultSite::kNotifyLost));
+  }
+  EXPECT_EQ(plain, interleaved);
+}
+
+// ---------------------------------------------------------------------------
+// Fork failure policies (satellite: StackPool no longer aborts blindly)
+// ---------------------------------------------------------------------------
+
+TEST(ForkFailureTest, ReturnErrorPolicySurfacesInjectedFailure) {
+  fault::Plan plan;
+  plan.script.push_back({FaultSite::kFork, 0, 1});
+  fault::Injector injector(plan);
+
+  Runtime rt;
+  rt.scheduler().set_fault_injector(&injector);
+  ForkOptions options;
+  options.on_failure = ForkOnFailure::kReturnError;
+  ForkResult failed = rt.TryFork([] {}, options);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.error, ForkError::kInjected);
+  EXPECT_EQ(failed.tid, pcr::kNoThread);
+
+  ForkResult second = rt.TryFork([] {}, options);  // consult index 1: no script entry
+  EXPECT_TRUE(second.ok());
+  rt.Detach(second.tid);
+  rt.RunUntilQuiescent(kUsecPerSec);
+}
+
+TEST(ForkFailureTest, RetryBackoffPolicyRecoversAfterTransientFailure) {
+  fault::Plan plan;
+  plan.script.push_back({FaultSite::kFork, 0, 1});
+  plan.script.push_back({FaultSite::kFork, 1, 1});
+  fault::Injector injector(plan);
+
+  Runtime rt;
+  ForkResult result;
+  Usec started = 0;
+  Usec finished = 0;
+  rt.ForkDetached([&] {
+    started = pcr::thisthread::Now();
+    ForkOptions options;
+    options.on_failure = ForkOnFailure::kRetryBackoff;
+    options.max_retries = 3;
+    result = rt.TryFork([] {}, options);
+    finished = pcr::thisthread::Now();
+    if (result.ok()) {
+      rt.Detach(result.tid);
+    }
+  });
+  // Installed after the outer fork so the script's consult indices count only the TryFork
+  // attempts under test.
+  rt.scheduler().set_fault_injector(&injector);
+  EXPECT_EQ(rt.RunUntilQuiescent(10 * kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.retries, 2);
+  // Two backoff sleeps (1 then 2 quanta by default) separate attempt 0 from attempt 2.
+  EXPECT_GE(finished - started, 3 * rt.config().quantum);
+}
+
+TEST(ForkFailureTest, RetryBackoffGivesUpAfterMaxRetries) {
+  fault::Plan plan;
+  plan.rate = 1.0;  // every fork consult fails
+  plan.site_mask = fault::SiteBit(FaultSite::kFork);
+  fault::Injector injector(plan);
+
+  Runtime rt;
+  ForkResult result;
+  rt.ForkDetached([&] {
+    ForkOptions options;
+    options.on_failure = ForkOnFailure::kRetryBackoff;
+    options.max_retries = 2;
+    result = rt.TryFork([] {}, options);
+  });
+  rt.scheduler().set_fault_injector(&injector);
+  EXPECT_EQ(rt.RunUntilQuiescent(10 * kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, ForkError::kInjected);
+  EXPECT_EQ(result.retries, 2);
+}
+
+TEST(ForkFailureTest, ThreadLimitSurfacesAsReturnError) {
+  Config config;
+  config.max_threads = 2;
+  Runtime rt(config);
+  ForkOptions options;
+  options.on_failure = ForkOnFailure::kReturnError;
+  ForkResult a = rt.TryFork([] { pcr::thisthread::Sleep(kUsecPerMsec); }, options);
+  ForkResult b = rt.TryFork([] { pcr::thisthread::Sleep(kUsecPerMsec); }, options);
+  ForkResult c = rt.TryFork([] {}, options);
+  EXPECT_TRUE(a.ok());
+  EXPECT_TRUE(b.ok());
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.error, ForkError::kThreadLimit);
+  rt.Detach(a.tid);
+  rt.Detach(b.tid);
+  rt.RunUntilQuiescent(kUsecPerSec);
+}
+
+TEST(StackPoolTest, TryAcquireFailsUnderCapacityPressureWithoutAborting) {
+  pcr::StackPool pool;
+  size_t usable = 64 * 1024;
+  pool.set_max_live_bytes(pcr::FiberStack::ReservedSize(usable));
+
+  pcr::FiberStack first;
+  std::string error;
+  ASSERT_TRUE(pool.TryAcquire(usable, &first, nullptr, &error)) << error;
+  EXPECT_TRUE(pool.HasCapacity(usable) == false);
+
+  pcr::FiberStack second;
+  EXPECT_FALSE(pool.TryAcquire(usable, &second, nullptr, &error));
+  EXPECT_FALSE(error.empty());
+
+  pool.Release(std::move(first));
+  EXPECT_TRUE(pool.HasCapacity(usable));
+  ASSERT_TRUE(pool.TryAcquire(usable, &second, nullptr, &error));
+  pool.Release(std::move(second));
+}
+
+TEST(StackExhaustionTest, ForkReportsStackExhaustedWhenPoolIsFull) {
+  pcr::StackPool pool;
+  pool.set_max_live_bytes(1);  // nothing fits
+  Config config;
+  config.stack_pool = &pool;
+  Runtime rt(config);
+  ForkOptions options;
+  options.on_failure = ForkOnFailure::kReturnError;
+  ForkResult result = rt.TryFork([] {}, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.error, ForkError::kStackExhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Thread death and monitor poisoning (satellite: uncaught exceptions are reported)
+// ---------------------------------------------------------------------------
+
+TEST(ThreadDeathTest, InjectedDeathPoisonsHeldMonitor) {
+  fault::Plan plan;
+  // Consult 0 is the Charge inside Enter itself (before ownership registers); consult 1 is the
+  // explicit Compute below, where the victim already holds the lock.
+  plan.script.push_back({FaultSite::kThreadDeath, 1, 1});
+  fault::Injector injector(plan);
+
+  Runtime rt;
+  rt.scheduler().set_fault_injector(&injector);
+  MonitorLock lock(rt.scheduler(), "shared-module");
+  bool victim_finished = false;
+  bool entrant_saw_poison = false;
+  rt.ForkDetached([&] {
+    // Deliberately no RAII guard: a guard would release the lock during unwind, and the point
+    // here is what happens when a dying thread abandons a monitor it still holds.
+    lock.Enter();
+    pcr::thisthread::Compute(kUsecPerMsec);  // kThreadDeath consult 1: dies holding the lock
+    victim_finished = true;
+    lock.Exit();
+  });
+  rt.ForkDetached([&] {
+    pcr::thisthread::Sleep(10 * kUsecPerMsec);
+    try {
+      MonitorGuard guard(lock);
+    } catch (const pcr::MonitorPoisoned& e) {
+      entrant_saw_poison = true;
+      EXPECT_NE(std::string(e.what()).find("shared-module"), std::string::npos);
+    }
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_FALSE(victim_finished);
+  EXPECT_TRUE(entrant_saw_poison);
+  EXPECT_TRUE(lock.poisoned());
+  EXPECT_EQ(rt.scheduler().uncaught_exits(), 1);
+}
+
+TEST(ThreadDeathTest, FatalUncaughtAbortsWithThreadAndMessage) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Config config;
+        config.fatal_uncaught = true;
+        Runtime rt(config);
+        rt.ForkDetached([] { throw std::runtime_error("boom in fiber"); },
+                        ForkOptions{.name = "doomed"});
+        rt.RunUntilQuiescent(kUsecPerSec);
+      },
+      "died of uncaught exception.*boom in fiber");
+}
+
+// ---------------------------------------------------------------------------
+// Lost notifies and the watchdog
+// ---------------------------------------------------------------------------
+
+TEST(WatchdogTest, TimeoutMaskedLostNotifyIsDetected) {
+  // The consumer's CV has a timeout, so an injected lost notify does not hang the program —
+  // the Section 5.3 masking. The watchdog still notices: waits only ever exit by timeout while
+  // a waiter stays queued.
+  fault::Plan plan;
+  plan.rate = 1.0;  // lose every notify
+  plan.site_mask = fault::SiteBit(FaultSite::kNotifyLost);
+  fault::Injector injector(plan);
+
+  Runtime rt;
+  rt.scheduler().set_fault_injector(&injector);
+  MonitorLock lock(rt.scheduler(), "queue");
+  Condition ready(lock, "queue-ready", 50 * kUsecPerMsec);
+  bool produced = false;
+  bool consumed = false;
+
+  fault::WatchdogOptions options;
+  options.period = 100 * kUsecPerMsec;
+  options.missing_notify_min_timeouts = 3;
+  fault::Watchdog watchdog(std::move(options));
+  watchdog.WatchCondition(&ready);
+  watchdog.Start(rt);
+
+  rt.ForkDetached([&] {
+    MonitorGuard guard(lock);
+    while (!produced) {
+      ready.Wait();
+    }
+    consumed = true;
+  });
+  rt.ForkDetached([&] {
+    // Produce late enough that several timeout exits pile up first — the watchdog needs to see
+    // the waiter stuck (>= min_timeouts timeout exits, zero notified exits) while it scans.
+    pcr::thisthread::Sleep(800 * kUsecPerMsec);
+    MonitorGuard guard(lock);
+    produced = true;
+    ready.Notify();  // injected lost: the waiter stays asleep until its timeout
+  });
+  rt.RunFor(2 * kUsecPerSec);
+
+  EXPECT_TRUE(consumed) << "the CV timeout masks the lost notify; progress resumes";
+  ASSERT_FALSE(watchdog.reports().empty());
+  bool found = false;
+  for (const fault::WatchdogReport& report : watchdog.reports()) {
+    if (report.kind == fault::ReportKind::kMissingNotify) {
+      found = true;
+      EXPECT_NE(report.detail.find("queue-ready"), std::string::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(ready.notified_exits(), 0);
+  EXPECT_GE(ready.timeout_exits(), 3);
+  rt.Shutdown();
+}
+
+TEST(WatchdogTest, LostNotifyWithoutTimeoutHangsUntilShutdown) {
+  // The same bug minus the masking timeout: the consumer never wakes and the run cannot go
+  // quiescent — the failure a timeout would have hidden is now structural.
+  fault::Plan plan;
+  plan.rate = 1.0;
+  plan.site_mask = fault::SiteBit(FaultSite::kNotifyLost);
+  fault::Injector injector(plan);
+
+  Runtime rt;
+  rt.scheduler().set_fault_injector(&injector);
+  MonitorLock lock(rt.scheduler(), "queue");
+  Condition ready(lock, "queue-ready", /*timeout=*/-1);
+  bool produced = false;
+  bool consumed = false;
+  rt.ForkDetached([&] {
+    MonitorGuard guard(lock);
+    while (!produced) {
+      ready.Wait();
+    }
+    consumed = true;
+  });
+  rt.ForkDetached([&] {
+    MonitorGuard guard(lock);
+    produced = true;
+    ready.Notify();
+  });
+  // An untimed CV waiter leaves nothing runnable and no timers, so the run counts as
+  // quiescent — but the consumer is still parked and never finished.
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_FALSE(rt.quiescent_info().all_threads_done) << "the consumer is stuck on the CV";
+  EXPECT_FALSE(consumed);
+  rt.Shutdown();
+}
+
+TEST(WatchdogTest, ReportsWaitForCycleDeadlock) {
+  Config config;
+  config.detect_deadlock = false;  // let the watchdog find it, not the contention-time check
+  Runtime rt(config);
+  MonitorLock a(rt.scheduler(), "module-a");
+  MonitorLock b(rt.scheduler(), "module-b");
+
+  fault::WatchdogOptions options;
+  options.period = 100 * kUsecPerMsec;
+  options.detect_starvation = false;
+  fault::Watchdog watchdog(std::move(options));
+  watchdog.Start(rt);
+
+  rt.ForkDetached(
+      [&] {
+        MonitorGuard guard_a(a);
+        pcr::thisthread::Sleep(20 * kUsecPerMsec);
+        MonitorGuard guard_b(b);
+      },
+      ForkOptions{.name = "ab-order"});
+  rt.ForkDetached(
+      [&] {
+        MonitorGuard guard_b(b);
+        pcr::thisthread::Sleep(20 * kUsecPerMsec);
+        MonitorGuard guard_a(a);
+      },
+      ForkOptions{.name = "ba-order"});
+  rt.RunFor(kUsecPerSec);
+
+  ASSERT_FALSE(watchdog.reports().empty());
+  const fault::WatchdogReport& report = watchdog.reports().front();
+  EXPECT_EQ(report.kind, fault::ReportKind::kDeadlock);
+  EXPECT_EQ(report.threads.size(), 2u);
+  EXPECT_NE(report.detail.find("ab-order"), std::string::npos);
+  EXPECT_NE(report.detail.find("ba-order"), std::string::npos);
+  // The cycle is reported once, not re-reported every scan.
+  int deadlock_reports = 0;
+  for (const fault::WatchdogReport& r : watchdog.reports()) {
+    deadlock_reports += r.kind == fault::ReportKind::kDeadlock ? 1 : 0;
+  }
+  EXPECT_EQ(deadlock_reports, 1);
+  rt.Shutdown();
+}
+
+TEST(WatchdogTest, ReportsStarvedRunnableThread) {
+  Runtime rt;  // one processor: a high-priority spinner monopolizes it
+  fault::WatchdogOptions options;
+  options.period = 100 * kUsecPerMsec;
+  options.starvation_quanta = 4;
+  options.detect_deadlock = false;
+  fault::Watchdog watchdog(std::move(options));
+  watchdog.Start(rt);
+
+  rt.ForkDetached(
+      [&] {
+        for (;;) {
+          pcr::thisthread::Compute(10 * kUsecPerMsec);
+        }
+      },
+      ForkOptions{.name = "spinner", .priority = 5});
+  rt.ForkDetached([] { pcr::thisthread::Compute(kUsecPerMsec); },
+                  ForkOptions{.name = "starved", .priority = 1});
+  rt.RunFor(2 * kUsecPerSec);
+
+  bool found = false;
+  for (const fault::WatchdogReport& report : watchdog.reports()) {
+    if (report.kind == fault::ReportKind::kStarvation &&
+        report.detail.find("starved") != std::string::npos) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  rt.Shutdown();
+}
+
+TEST(WatchdogTest, RecoveryCallbackCanBreakTheDeadlock) {
+  Config config;
+  config.detect_deadlock = false;  // let the watchdog find it, not the contention-time check
+  Runtime rt(config);
+  MonitorLock a(rt.scheduler(), "module-a");
+  MonitorLock b(rt.scheduler(), "module-b");
+
+  int recoveries = 0;
+  fault::WatchdogOptions options;
+  options.period = 100 * kUsecPerMsec;
+  options.detect_starvation = false;
+  options.recover = [&](pcr::Runtime&, const fault::WatchdogReport& report) {
+    if (report.kind == fault::ReportKind::kDeadlock) {
+      ++recoveries;
+      a.Poison();  // break the cycle; waiters see MonitorPoisoned and unwind
+    }
+  };
+  fault::Watchdog watchdog(std::move(options));
+  watchdog.Start(rt);
+
+  bool first_recovered = false;
+  bool second_recovered = false;
+  rt.ForkDetached([&] {
+    try {
+      MonitorGuard guard_a(a);
+      pcr::thisthread::Sleep(20 * kUsecPerMsec);
+      MonitorGuard guard_b(b);
+    } catch (const pcr::MonitorPoisoned&) {
+      first_recovered = true;
+    }
+  });
+  rt.ForkDetached([&] {
+    try {
+      MonitorGuard guard_b(b);
+      pcr::thisthread::Sleep(20 * kUsecPerMsec);
+      MonitorGuard guard_a(a);
+    } catch (const pcr::MonitorPoisoned&) {
+      second_recovered = true;
+    }
+  });
+  rt.RunFor(kUsecPerSec);
+  EXPECT_EQ(recoveries, 1);
+  EXPECT_TRUE(first_recovered || second_recovered);
+  rt.Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// X connection drops and reconnect
+// ---------------------------------------------------------------------------
+
+TEST(XFaultTest, SendFailsWhileDisconnectedAndBatchIsRetained) {
+  Runtime rt;
+  world::XServerModel server(rt);
+  bool done = false;
+  rt.ForkDetached([&] {
+    std::vector<world::PaintRequest> batch = {{pcr::thisthread::Now(), 1, 0}};
+    ASSERT_TRUE(server.Send(batch));
+    server.InjectDrop(100 * kUsecPerMsec);
+    EXPECT_FALSE(server.connected());
+    EXPECT_FALSE(server.Send(batch));
+    EXPECT_FALSE(server.TryReconnect()) << "downtime has not elapsed";
+    pcr::thisthread::Sleep(150 * kUsecPerMsec);
+    EXPECT_TRUE(server.TryReconnect());
+    EXPECT_TRUE(server.Send(batch));
+    done = true;
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(server.drops(), 1);
+  EXPECT_EQ(server.failed_sends(), 1);
+  EXPECT_EQ(server.reconnects(), 1);
+  EXPECT_EQ(server.flushes(), 2);
+}
+
+TEST(XFaultTest, XlClientReconnectsWithBackoffAndFlushesPendingOutput) {
+  Runtime rt;
+  world::XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "x-input");
+  world::XlClient client(rt, server, connection);
+
+  rt.ForkDetached([&] {
+    pcr::thisthread::Sleep(10 * kUsecPerMsec);
+    server.InjectDrop(250 * kUsecPerMsec);
+    client.SendRequest({pcr::thisthread::Now(), 1, 0});
+    client.Flush();  // fails; the reconnect thread takes over
+  });
+  rt.RunFor(3 * kUsecPerSec);
+
+  EXPECT_GE(client.stats().send_failures, 1);
+  EXPECT_EQ(client.stats().reconnects, 1);
+  EXPECT_EQ(client.stats().reconnect_giveups, 0);
+  EXPECT_EQ(server.reconnects(), 1);
+  EXPECT_GE(client.stats().output_flushes, 1) << "pending output flushed on reconnect";
+  EXPECT_EQ(server.requests_received(), 1);
+  rt.Shutdown();
+}
+
+TEST(XFaultTest, XlReconnectGivesUpAfterBoundedRetries) {
+  Runtime rt;
+  world::XServerModel server(rt);
+  pcr::InterruptSource connection(rt.scheduler(), "x-input");
+  world::XlOptions options;
+  options.reconnect_backoff_initial = 50 * kUsecPerMsec;
+  options.reconnect_backoff_max = 100 * kUsecPerMsec;
+  options.reconnect_max_retries = 3;
+  world::XlClient client(rt, server, connection, options);
+
+  rt.ForkDetached([&] {
+    pcr::thisthread::Sleep(10 * kUsecPerMsec);
+    server.InjectDrop(3600 * kUsecPerSec);  // effectively forever
+    client.SendRequest({pcr::thisthread::Now(), 1, 0});
+    client.Flush();
+  });
+  rt.RunFor(5 * kUsecPerSec);
+  EXPECT_EQ(client.stats().reconnects, 0);
+  // The maintenance thread re-arms reconnection each flush period, so give-ups keep
+  // accumulating while the server stays down; at least one bounded cycle must have ended.
+  EXPECT_GE(client.stats().reconnect_giveups, 1);
+  EXPECT_FALSE(server.connected());
+  rt.Shutdown();
+}
+
+TEST(XFaultTest, ReconnectBackoffScheduleIsDeterministic) {
+  auto run_once = [] {
+    Runtime rt;
+    world::XServerModel server(rt);
+    pcr::InterruptSource connection(rt.scheduler(), "x-input");
+    world::XlClient client(rt, server, connection);
+    rt.ForkDetached([&] {
+      pcr::thisthread::Sleep(10 * kUsecPerMsec);
+      server.InjectDrop(400 * kUsecPerMsec);
+      client.SendRequest({pcr::thisthread::Now(), 1, 0});
+      client.Flush();
+    });
+    rt.RunFor(3 * kUsecPerSec);
+    uint64_t hash = explore::TraceHash(rt.tracer());
+    rt.Shutdown();
+    return hash;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// Explorer integration: fault plans ride in repro strings
+// ---------------------------------------------------------------------------
+
+TEST(FaultReproTest, FifthFieldRoundTripsAndFourFieldStringsStillParse) {
+  std::vector<explore::Decision> decisions = {0, 0, 1, 0};
+  std::string repro = explore::EncodeRepro("scn", 7, decisions, "f1,notify-lost@2");
+  EXPECT_EQ(repro, "pcr1:scn:7:0r2x10:f1,notify-lost@2");
+
+  std::string scenario;
+  uint64_t seed = 0;
+  std::vector<explore::Decision> parsed;
+  std::string fault_text;
+  ASSERT_TRUE(explore::DecodeRepro(repro, &scenario, &seed, &parsed, &fault_text));
+  EXPECT_EQ(scenario, "scn");
+  EXPECT_EQ(seed, 7u);
+  EXPECT_EQ(parsed, decisions);
+  EXPECT_EQ(fault_text, "f1,notify-lost@2");
+
+  // Four-field strings (pre-fault repros) parse with an empty fault plan.
+  ASSERT_TRUE(explore::DecodeRepro("pcr1:scn:7:01", &scenario, &seed, &parsed, &fault_text));
+  EXPECT_TRUE(fault_text.empty());
+  // A fifth colon with nothing after it is malformed, not "no faults".
+  EXPECT_FALSE(explore::DecodeRepro("pcr1:scn:7:01:", &scenario, &seed, &parsed, &fault_text));
+}
+
+// A body that fails exactly when a notify is lost: the consumer's timed wait expires without
+// the flag having been delivered in time.
+void LostNotifyBody(pcr::Runtime& rt, explore::TestContext& ctx) {
+  auto lock = std::make_shared<MonitorLock>(rt.scheduler(), "box");
+  auto ready = std::make_shared<Condition>(*lock, "box-ready", 200 * kUsecPerMsec);
+  auto delivered = std::make_shared<bool>(false);
+  auto on_time = std::make_shared<bool>(false);
+  rt.ForkDetached([lock, ready, delivered, on_time] {
+    // Await returns true whenever the predicate held at wakeup, even if the wakeup was a late
+    // timeout — so measure elapsed virtual time rather than trusting the return value.
+    Usec start = pcr::thisthread::Now();
+    MonitorGuard guard(*lock);
+    bool got = ready->Await([&] { return *delivered; }, 100 * kUsecPerMsec);
+    *on_time = got && pcr::thisthread::Now() - start < 150 * kUsecPerMsec;
+  });
+  rt.ForkDetached([lock, ready, delivered] {
+    pcr::thisthread::Sleep(10 * kUsecPerMsec);
+    MonitorGuard guard(*lock);
+    *delivered = true;
+    ready->Notify();
+  });
+  rt.RunUntilQuiescent(2 * kUsecPerSec);
+  ctx.Check(*on_time, "event was not delivered before the deadline");
+  rt.Shutdown();
+}
+
+TEST(FaultExploreTest, FaultPlanSearchFindsLostNotifyAndReproCarriesThePlan) {
+  explore::ExploreOptions options;
+  options.scenario_name = "lost-notify";
+  options.budget = 16;
+  options.fault_plan.rate = 0.5;
+  options.fault_plan.site_mask = fault::SiteBit(FaultSite::kNotifyLost);
+
+  explore::Explorer explorer(options);
+  explore::ExploreResult result = explorer.Explore(LostNotifyBody);
+  ASSERT_FALSE(result.failures.empty());
+  const explore::ScheduleOutcome& failure = result.failures.front();
+  EXPECT_NE(failure.repro.find(":f1,"), std::string::npos)
+      << "the minimized repro should pin its fault plan: " << failure.repro;
+  EXPECT_NE(failure.repro.find("notify-lost@"), std::string::npos)
+      << "minimization should convert the rate plan to a script: " << failure.repro;
+
+  // The repro replays to the identical trace, faults included.
+  explore::ScheduleOutcome first = explorer.Replay(failure.repro, LostNotifyBody);
+  explore::ScheduleOutcome second = explorer.Replay(failure.repro, LostNotifyBody);
+  EXPECT_TRUE(first.failed);
+  EXPECT_EQ(first.trace_hash, failure.trace_hash);
+  EXPECT_EQ(second.trace_hash, failure.trace_hash);
+}
+
+TEST(FaultExploreTest, NoFaultPlanMeansNoFailuresInThisBody) {
+  explore::ExploreOptions options;
+  options.budget = 8;
+  explore::Explorer explorer(options);
+  explore::ExploreResult result = explorer.Explore(LostNotifyBody);
+  EXPECT_TRUE(result.failures.empty())
+      << "without injected faults the notify always arrives in time";
+}
+
+}  // namespace

@@ -31,6 +31,16 @@ echo "== Explore suite at workers=4"
 echo "== bench_explore --json smoke"
 (cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --json)
 
+# Fault-injection gates: the fault suite (ctest -L fault) covers fork-failure policies, the
+# watchdog, monitor poisoning, and X reconnect; the bench_explore run sweeps fault x schedule
+# space and exits nonzero unless serial == parallel, so seeded fault plans are provably
+# worker-count independent. Deliberately no --json here: that would overwrite the committed
+# no-fault BENCH_explore.json baseline with fault-path numbers.
+echo "== Fault suite + fault-plan determinism at workers=4"
+(cd "$BUILD_RELEASE" && ctest --output-on-failure -j"$JOBS" -L fault)
+(cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --budget=200 \
+  --fault-plan="f1,rate=0.05,sites=notify-lost+timer-skew,seed=5")
+
 # Context-switch gate: the assembly fast path must stay at least 5x faster than raw
 # swapcontext (it measures ~12x on the reference machine; 5x leaves room for host noise). On
 # builds where the fiber backend is ucontext the gate auto-skips.
@@ -74,5 +84,9 @@ cmake -B "$BUILD_SANITIZED" -S "$ROOT" -DCMAKE_BUILD_TYPE=Debug \
   -DPCR_SANITIZE="$SANITIZER" > /dev/null
 cmake --build "$BUILD_SANITIZED" -j"$JOBS"
 (cd "$BUILD_SANITIZED" && ctest --output-on-failure -j"$JOBS")
+# Re-run the fault suite by label under the sanitizer: injected thread death and monitor
+# poisoning unwind fibers on exceptional paths, exactly where stale ASan shadow or a missed
+# release would hide in a plain build.
+(cd "$BUILD_SANITIZED" && ctest --output-on-failure -j"$JOBS" -L fault)
 
 echo "== ci_check: all green (Release + $SANITIZER)"

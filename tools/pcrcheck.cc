@@ -25,6 +25,8 @@
 #include "src/explore/explorer.h"
 #include "src/explore/repro.h"
 #include "src/explore/scenarios.h"
+#include "src/fault/fault.h"
+#include "src/pcr/errors.h"
 #include "src/trace/export_chrome.h"
 
 namespace {
@@ -32,6 +34,7 @@ namespace {
 struct Args {
   std::string scenario;
   std::string replay;
+  std::string fault_plan;        // --fault-plan: base fault::Plan swept across schedules
   std::string chrome_trace_dir;  // --chrome-trace-on-failure: export failing schedules here
   bool all = false;
   bool list = false;
@@ -47,7 +50,10 @@ void Usage() {
   std::fprintf(stderr,
                "usage: pcrcheck [--list] [--all] [--scenario=NAME] [--budget=N] [--seed=N]\n"
                "                [--workers=N] [--replay=REPRO] [--require-bug] [--verbose]\n"
-               "                [--profile] [--chrome-trace-on-failure=DIR]\n");
+               "                [--profile] [--chrome-trace-on-failure=DIR]\n"
+               "                [--fault-plan=SPEC]   e.g. \"f1,rate=0.01,sites=notify-lost\"\n"
+               "                                      (searches fault x schedule space; failing\n"
+               "                                      repro strings then pin their fault plan)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -71,6 +77,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->chrome_trace_dir = v;
     } else if (const char* v = value("--scenario=")) {
       args->scenario = v;
+    } else if (const char* v = value("--fault-plan=")) {
+      args->fault_plan = v;
     } else if (const char* v = value("--replay=")) {
       args->replay = v;
     } else if (const char* v = value("--budget=")) {
@@ -131,6 +139,9 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
     options.seed = args.seed;
   }
   options.workers = args.workers;  // 0 = hardware concurrency
+  if (!args.fault_plan.empty()) {
+    options.fault_plan = fault::Plan::Decode(args.fault_plan);
+  }
 
   std::printf("== %s: %s\n", scenario.name.c_str(), scenario.description.c_str());
   explore::Explorer explorer(options);
@@ -192,6 +203,14 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     Usage();
     return 2;
+  }
+  if (!args.fault_plan.empty()) {
+    try {
+      (void)fault::Plan::Decode(args.fault_plan);
+    } catch (const pcr::UsageError& e) {
+      std::fprintf(stderr, "pcrcheck: %s\n", e.what());
+      return 2;
+    }
   }
 
   if (args.list) {

@@ -17,10 +17,15 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/analysis/profile.h"
+#include "src/fault/fault.h"
+#include "src/fault/watchdog.h"
 #include "src/trace/export_chrome.h"
 #include "src/trace/serialize.h"
 #include "src/analysis/table.h"
+#include "src/pcr/errors.h"
 #include "src/pcr/runtime.h"
 #include "src/world/scenarios.h"
 
@@ -37,6 +42,8 @@ struct Cli {
   std::optional<std::string> chrome_trace;
   std::optional<std::string> metrics_json;
   std::optional<std::string> scenario;
+  std::optional<std::string> fault_plan;
+  bool watchdog = false;
   double duration_sec = 30.0;
   double warmup_sec = 2.0;
   uint64_t seed = 1;
@@ -83,6 +90,10 @@ void PrintUsage() {
       "  --metrics-json <file>   write the runtime metrics registry snapshot as JSON\n"
       "  --dump <from>:<to>      dump the raw event history for [from,to) virtual ms\n"
       "  --dump-limit <n>        max events per --dump before truncation (default 4000)\n"
+      "  --fault-plan <spec>     inject faults per a fault::Plan spec, e.g.\n"
+      "                          \"f1,rate=0.01,sites=notify-lost+x-drop,seed=7\" or\n"
+      "                          \"f1,fork@3\" (see docs/FAULTS.md for the grammar)\n"
+      "  --watchdog              run the in-simulation watchdog daemon and print its reports\n"
       "\nOptions also accept --flag=value.\n");
 }
 
@@ -139,6 +150,10 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
       cli->dump_limit = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--scenario") {
       cli->scenario = next();
+    } else if (arg == "--fault-plan") {
+      cli->fault_plan = next();
+    } else if (arg == "--watchdog") {
+      cli->watchdog = true;
     } else if (arg == "--duration") {
       cli->duration_sec = std::atof(next());
     } else if (arg == "--warmup") {
@@ -197,6 +212,36 @@ int main(int argc, char** argv) {
   options.duration = static_cast<pcr::Usec>(cli.duration_sec * pcr::kUsecPerSec);
   options.warmup = static_cast<pcr::Usec>(cli.warmup_sec * pcr::kUsecPerSec);
   options.seed = cli.seed;
+
+  fault::Injector injector;
+  std::unique_ptr<fault::Watchdog> watchdog;  // recreated per scenario (Start is once-only)
+  if (cli.fault_plan.has_value()) {
+    try {
+      injector.set_plan(fault::Plan::Decode(*cli.fault_plan));
+    } catch (const pcr::UsageError& e) {
+      std::fprintf(stderr, "pcrsim: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (cli.fault_plan.has_value() || cli.watchdog) {
+    bool want_watchdog = cli.watchdog;
+    options.setup = [&injector, &watchdog, want_watchdog](pcr::Runtime& rt) {
+      if (injector.plan().enabled()) {
+        injector.Reset();  // each scenario replays the plan from consult zero
+        rt.scheduler().set_fault_injector(&injector);
+      }
+      if (want_watchdog) {
+        fault::WatchdogOptions wd_options;
+        wd_options.on_report = [](const fault::WatchdogReport& r) {
+          std::printf("watchdog: [%s] t=%lldus %s\n",
+                      std::string(fault::ReportKindName(r.kind)).c_str(),
+                      static_cast<long long>(r.time), r.detail.c_str());
+        };
+        watchdog = std::make_unique<fault::Watchdog>(std::move(wd_options));
+        watchdog->Start(rt);
+      }
+    };
+  }
   bool want_profile = cli.profile;
   if (cli.dump_ms.has_value() || want_profile || cli.save_trace.has_value() ||
       cli.chrome_trace.has_value() || cli.metrics_json.has_value()) {
@@ -262,6 +307,10 @@ int main(int argc, char** argv) {
 
   for (const world::ScenarioResult& r : results) {
     PrintSummaryRow(r);
+  }
+  if (injector.plan().enabled()) {
+    std::printf("fault plan \"%s\": %zu firing(s) in the last run\n",
+                injector.plan().Encode().c_str(), injector.fired().size());
   }
   if (cli.tables) {
     std::printf("\n");
