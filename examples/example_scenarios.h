@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/apps/editor.h"
+#include "src/explore/scenarios.h"
 #include "src/paradigm/deadlock_avoider.h"
 #include "src/paradigm/defer.h"
 #include "src/paradigm/future.h"
@@ -296,6 +297,39 @@ inline constexpr ExampleScenario kExampleScenarios[] = {
     {"mini_window_system", MiniWindowSystemBody},
     {"editor_session", EditorSessionBody},
 };
+
+// --- exploration registry adapter ----------------------------------------------------------
+//
+// The same bodies, campaignable: wraps an example workload as a silent explore::TestBody and
+// registers it as an expect_bug=false scenario named example_<name>. This is the single
+// registration point for example scenarios — tests and tools share it instead of re-declaring
+// workload bodies (callers must link the `explore` library; examples binaries that never call
+// it keep their slim link line).
+
+inline explore::TestBody AsExploreBody(void (*body)(pcr::Runtime&, bool)) {
+  return [body](pcr::Runtime& rt, explore::TestContext&) { body(rt, /*verbose=*/false); };
+}
+
+// Returns how many scenarios were newly added (0 on repeat calls — RegisterScenario refuses
+// duplicate names). fail_on_findings stays off: several examples intentionally carry paper
+// bug patterns (timeout-masked waits, priority traps) that the detector flags; for a campaign
+// they are coverage, not verdicts.
+inline int RegisterExampleExploreScenarios() {
+  int added = 0;
+  for (const ExampleScenario& example : kExampleScenarios) {
+    explore::BugScenario s;
+    s.name = std::string("example_") + example.name;
+    s.description = std::string("example workload (examples/example_scenarios.h): ") +
+                    example.name;
+    s.expect_bug = false;
+    s.options.budget = 20;
+    s.options.fail_on_findings = false;
+    s.options.base_config.quantum = pcr::kUsecPerMsec;
+    s.body = AsExploreBody(example.body);
+    added += explore::RegisterScenario(std::move(s)) ? 1 : 0;
+  }
+  return added;
+}
 
 }  // namespace examples
 

@@ -1,0 +1,141 @@
+#include "src/explore/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "src/explore/repro.h"
+
+namespace explore {
+
+namespace fs = std::filesystem;
+
+Corpus::Corpus(std::string dir, bool read_only) : dir_(std::move(dir)), read_only_(read_only) {}
+
+uint64_t Corpus::ContentHash(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string Corpus::FileName(const std::string& text) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx.repro",
+                static_cast<unsigned long long>(ContentHash(text)));
+  return buf;
+}
+
+namespace {
+
+// Reads one entry file: the repro string is the first line, trailing whitespace trimmed.
+bool ReadEntry(const fs::path& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) {
+    return false;
+  }
+  std::string line;
+  std::getline(in, line);
+  while (!line.empty() && (line.back() == '\r' || line.back() == ' ' || line.back() == '\t')) {
+    line.pop_back();
+  }
+  *out = std::move(line);
+  return true;
+}
+
+bool LoadDir(const fs::path& dir, std::vector<std::string>* out,
+             std::vector<std::string>* errors) {
+  std::error_code ec;
+  if (!fs::exists(dir, ec)) {
+    return true;
+  }
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".repro") {
+      files.push_back(entry.path());
+    }
+  }
+  if (ec) {
+    errors->push_back("corpus: cannot list " + dir.string() + ": " + ec.message());
+    return false;
+  }
+  std::sort(files.begin(), files.end());
+  for (const fs::path& path : files) {
+    std::string repro;
+    if (!ReadEntry(path, &repro) || repro.empty()) {
+      errors->push_back("corpus: unreadable or empty entry " + path.string());
+      continue;
+    }
+    std::string scenario;
+    uint64_t seed = 0;
+    std::vector<Decision> decisions;
+    if (!DecodeRepro(repro, &scenario, &seed, &decisions)) {
+      errors->push_back("corpus: malformed repro in " + path.string());
+      continue;
+    }
+    out->push_back(std::move(repro));
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Corpus::Load(std::vector<std::string>* errors) {
+  if (dir_.empty()) {
+    return true;
+  }
+  std::error_code ec;
+  if (!fs::exists(dir_, ec)) {
+    if (read_only_) {
+      errors->push_back("corpus: directory " + dir_ + " does not exist");
+      return false;
+    }
+    return true;
+  }
+  std::vector<std::string> loaded;
+  std::vector<std::string> crashes;
+  bool ok = LoadDir(dir_, &loaded, errors);
+  ok = LoadDir(fs::path(dir_) / "crashes", &crashes, errors) && ok;
+  for (std::string& repro : loaded) {
+    if (seen_entries_.insert(repro).second) {
+      entries_.push_back(std::move(repro));
+    }
+  }
+  for (std::string& repro : crashes) {
+    if (seen_crashes_.insert(repro).second) {
+      crashes_.push_back(std::move(repro));
+    }
+  }
+  std::sort(entries_.begin(), entries_.end());
+  std::sort(crashes_.begin(), crashes_.end());
+  return ok;
+}
+
+bool Corpus::AddTo(const std::string& repro, std::vector<std::string>* list,
+                   std::set<std::string>* seen, const std::string& subdir) {
+  if (repro.empty() || !seen->insert(repro).second) {
+    return false;
+  }
+  list->insert(std::lower_bound(list->begin(), list->end(), repro), repro);
+  if (!dir_.empty() && !read_only_) {
+    std::error_code ec;
+    fs::path target = subdir.empty() ? fs::path(dir_) : fs::path(dir_) / subdir;
+    fs::create_directories(target, ec);
+    std::ofstream out(target / FileName(repro));
+    out << repro << "\n";
+  }
+  return true;
+}
+
+bool Corpus::Add(const std::string& repro) {
+  return AddTo(repro, &entries_, &seen_entries_, "");
+}
+
+bool Corpus::AddCrash(const std::string& repro) {
+  return AddTo(repro, &crashes_, &seen_crashes_, "crashes");
+}
+
+}  // namespace explore

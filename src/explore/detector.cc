@@ -324,6 +324,81 @@ std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOpt
   return findings;
 }
 
+std::vector<uint64_t> CollectTraceCoverage(const trace::Tracer& tracer, uint64_t salt) {
+  std::vector<uint64_t> keys;
+  std::unordered_map<ObjectId, ThreadId> last_owner;
+  std::unordered_map<ThreadId, int> locks_held;
+
+  auto mix = [salt](uint64_t tag, uint64_t a, uint64_t b, uint64_t c) {
+    uint64_t h = 0xcbf29ce484222325ull ^ salt;
+    for (uint64_t v : {tag, a, b, c}) {
+      for (int byte = 0; byte < 8; ++byte) {
+        h ^= (v >> (byte * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    }
+    return h;
+  };
+
+  for (const Event& e : tracer.events()) {
+    switch (e.type) {
+      case EventType::kMlEnter: {
+        ThreadId& prev = last_owner[e.object];
+        keys.push_back(mix(1, e.object, prev, e.thread));
+        prev = e.thread;
+        ++locks_held[e.thread];
+        break;
+      }
+      case EventType::kMlExit: {
+        int& held = locks_held[e.thread];
+        held = std::max(0, held - 1);
+        break;
+      }
+      case EventType::kMlContend:
+        keys.push_back(mix(2, e.object, e.thread, e.arg));
+        break;
+      case EventType::kCvNotified:
+        keys.push_back(mix(3, e.object, e.thread, 1));
+        break;
+      case EventType::kCvTimeout:
+        keys.push_back(mix(3, e.object, e.thread, 0));
+        break;
+      case EventType::kCvNotify:
+      case EventType::kCvBroadcast:
+        keys.push_back(mix(4, e.object, e.thread, e.arg > 0 ? 1 : 0));
+        break;
+      case EventType::kSharedRead:
+      case EventType::kSharedWrite: {
+        if (e.thread == 0) {
+          break;  // host-context setup accesses, same filter as the race check
+        }
+        uint64_t is_write = e.type == EventType::kSharedWrite ? 1 : 0;
+        uint64_t held = static_cast<uint64_t>(std::min(locks_held[e.thread], 3));
+        keys.push_back(mix(5, e.object, e.thread, (is_write << 2) | held));
+        break;
+      }
+      case EventType::kFaultInjected:
+        keys.push_back(mix(6, e.object, e.arg, 0));
+        break;
+      case EventType::kWatchdogReport:
+        keys.push_back(mix(7, e.object, 0, 0));
+        break;
+      case EventType::kForkFailed:
+        keys.push_back(mix(8, e.thread, e.arg, 0));
+        break;
+      case EventType::kMonitorPoisoned:
+        keys.push_back(mix(9, e.object, 0, 0));
+        break;
+      default:
+        break;
+    }
+  }
+
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  return keys;
+}
+
 std::string RenderFindings(const std::vector<Finding>& findings) {
   std::ostringstream os;
   for (const Finding& f : findings) {

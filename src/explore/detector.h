@@ -66,6 +66,24 @@ std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOpt
 // Multi-line human-readable report ("" when empty).
 std::string RenderFindings(const std::vector<Finding>& findings);
 
+// Coverage extraction for the fuzzing campaign (campaign.h): stable 64-bit keys naming which
+// interleaving structures a trace exercised, independent of *when* they happened:
+//
+//   * monitor handoff edges — (monitor, previous owner -> next owner) per kMlEnter, the
+//     lockset-style "who followed whom through this lock" relation;
+//   * contention edges — (monitor, blocked thread, owner) per kMlContend;
+//   * CV rendezvous edges — (cv, outcome) for waits ending by notify vs timeout, and
+//     (cv, notifier, #woken>0) per notify/broadcast;
+//   * shared-cell access shapes — (cell, thread, read/write, #locks held bucket);
+//   * fault firings — (site, magnitude) per kFaultInjected;
+//   * watchdog report kinds — (kind) per kWatchdogReport (src/fault/watchdog.cc).
+//
+// Keys are salted with `salt` (the campaign uses a per-scenario salt so identical object ids
+// in different scenarios never collide) and class-tagged so no two classes share a key.
+// Object/thread ids are per-Runtime and deterministic, so the same behaviour always produces
+// the same keys. Returned sorted and deduplicated.
+std::vector<uint64_t> CollectTraceCoverage(const trace::Tracer& tracer, uint64_t salt);
+
 }  // namespace explore
 
 #endif  // SRC_EXPLORE_DETECTOR_H_

@@ -92,6 +92,17 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
   outcome.findings = AnalyzeTrace(rt.tracer(), options_.detector);
   detector_ns_.fetch_add(NsSince(detector_start), std::memory_order_relaxed);
   outcome.trace_hash = TraceHash(rt.tracer());
+  if (options_.collect_coverage) {
+    outcome.coverage = TracePrefixHashes(rt.tracer(), options_.coverage_stride);
+    for (uint64_t& h : outcome.coverage) {
+      h ^= options_.coverage_salt;  // scenario-scope the state fingerprints too
+    }
+    std::vector<uint64_t> edges = CollectTraceCoverage(rt.tracer(), options_.coverage_salt);
+    outcome.coverage.insert(outcome.coverage.end(), edges.begin(), edges.end());
+    std::sort(outcome.coverage.begin(), outcome.coverage.end());
+    outcome.coverage.erase(std::unique(outcome.coverage.begin(), outcome.coverage.end()),
+                           outcome.coverage.end());
+  }
   outcome.failures = ctx.failures();
   if (options_.fail_on_findings) {
     for (const Finding& f : outcome.findings) {

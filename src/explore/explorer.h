@@ -81,6 +81,12 @@ struct ExploreOptions {
   // The result is byte-identical for every value: schedules execute on whichever worker is
   // free, but they are merged in schedule-index order.
   int workers = 0;
+  // Populate ScheduleOutcome::coverage after each run (campaign.h's feedback signal): prefix
+  // trace hashes every coverage_stride events plus the interleaving/fault/watchdog keys from
+  // CollectTraceCoverage. Off by default — plain exploration never pays for it.
+  bool collect_coverage = false;
+  size_t coverage_stride = 64;
+  uint64_t coverage_salt = 0;  // mixed into every key; the campaign salts per scenario
 };
 
 // Everything known about one executed schedule.
@@ -93,6 +99,9 @@ struct ScheduleOutcome {
   std::string repro;                  // replayable repro string for this exact schedule
   uint64_t preempt_points = 0;        // ForcePreempt consultations seen (the PCT horizon)
   std::vector<fault::ScriptedFault> fired_faults;  // faults that fired, in firing order
+  // Sorted, deduplicated coverage keys (only with ExploreOptions::collect_coverage): prefix
+  // trace hashes + CollectTraceCoverage edges. The campaign unions these per run.
+  std::vector<uint64_t> coverage;
 };
 
 // Self-profiling for one Explore call: where the wall time went, and how much of the per-run
@@ -136,6 +145,14 @@ class Explorer {
   ScheduleOutcome Replay(const std::string& repro, const TestBody& body,
                          trace::Tracer* capture = nullptr);
 
+  // Prefix-truncates and zeroes decisions (and shrinks fault plans to the fired script) while
+  // the same bug keeps reproducing. Public so the campaign can minimize crashing corpus
+  // entries with the exact path pcrcheck failures already use; deterministic (bounded replay
+  // budget, no randomness).
+  ScheduleOutcome Minimize(const ScheduleOutcome& outcome, const TestBody& body) {
+    return Minimize(outcome, body, nullptr);
+  }
+
   const ExploreOptions& options() const { return options_; }
 
  private:
@@ -159,9 +176,8 @@ class Explorer {
 
   ScheduleOutcome RunPlan(const Plan& plan, int schedule_index, const TestBody& body,
                           trace::Tracer* capture = nullptr, WorkerArena* arena = nullptr);
-  // Prefix-truncates and zeroes decisions while the same bug keeps reproducing.
   ScheduleOutcome Minimize(const ScheduleOutcome& outcome, const TestBody& body,
-                           WorkerArena* arena = nullptr);
+                           WorkerArena* arena);
   static bool SameFailure(const ScheduleOutcome& a, const ScheduleOutcome& b);
 
   ExploreOptions options_;

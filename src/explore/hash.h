@@ -1,35 +1,78 @@
-// Trace hashing: one 64-bit fingerprint per run.
+// Trace hashing: one 64-bit fingerprint per run, plus prefix fingerprints for coverage.
 //
 // Two runs are "the same schedule" iff every recorded event matches field-for-field; the hash
 // is FNV-1a over the canonical field tuple of each event. Used by Explorer to verify replay
-// determinism and to count distinct schedules explored.
+// determinism and to count distinct schedules explored, and by the fuzzing campaign
+// (campaign.h) as a state-coverage signal: the running hash after each K-event prefix
+// fingerprints *partial* executions, so two schedules that diverge early and reconverge late
+// still count as distinct coverage.
 
 #ifndef SRC_EXPLORE_HASH_H_
 #define SRC_EXPLORE_HASH_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/trace/tracer.h"
 
 namespace explore {
 
-inline uint64_t TraceHash(const trace::Tracer& tracer) {
-  uint64_t h = 0xcbf29ce484222325ull;
-  auto mix = [&h](uint64_t v) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (v >> (byte * 8)) & 0xff;
-      h *= 0x100000001b3ull;
-    }
-  };
-  for (const trace::Event& e : tracer.events()) {
-    mix(static_cast<uint64_t>(e.time_us));
-    mix(static_cast<uint64_t>(e.type));
-    mix((static_cast<uint64_t>(e.priority) << 32) | (static_cast<uint64_t>(e.processor) << 16));
-    mix(e.thread);
-    mix(e.object);
-    mix(e.arg);
+// Incremental FNV-1a over event field tuples. Feeding the same events in the same order
+// always yields the same value; value() may be read at any point to fingerprint the prefix
+// consumed so far.
+class TraceHasher {
+ public:
+  void Mix(const trace::Event& e) {
+    MixWord(static_cast<uint64_t>(e.time_us));
+    MixWord(static_cast<uint64_t>(e.type));
+    MixWord((static_cast<uint64_t>(e.priority) << 32) |
+            (static_cast<uint64_t>(e.processor) << 16));
+    MixWord(e.thread);
+    MixWord(e.object);
+    MixWord(e.arg);
   }
-  return h;
+
+  void MixWord(uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h_ ^= (v >> (byte * 8)) & 0xff;
+      h_ *= 0x100000001b3ull;
+    }
+  }
+
+  uint64_t value() const { return h_; }
+
+ private:
+  uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+inline uint64_t TraceHash(const trace::Tracer& tracer) {
+  TraceHasher hasher;
+  for (const trace::Event& e : tracer.events()) {
+    hasher.Mix(e);
+  }
+  return hasher.value();
+}
+
+// Prefix fingerprints: the running hash after every `stride` events, plus the final hash.
+// A partial execution that matches a known run for its first N*stride events contributes no
+// new fingerprints — which is exactly the dedup the campaign's coverage map wants.
+inline std::vector<uint64_t> TracePrefixHashes(const trace::Tracer& tracer, size_t stride) {
+  std::vector<uint64_t> hashes;
+  if (stride == 0) {
+    stride = 1;
+  }
+  TraceHasher hasher;
+  size_t n = 0;
+  for (const trace::Event& e : tracer.events()) {
+    hasher.Mix(e);
+    if (++n % stride == 0) {
+      hashes.push_back(hasher.value());
+    }
+  }
+  if (n % stride != 0 || n == 0) {
+    hashes.push_back(hasher.value());
+  }
+  return hashes;
 }
 
 }  // namespace explore

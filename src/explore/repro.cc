@@ -103,7 +103,13 @@ bool DecodeRepro(const std::string& repro, std::string* scenario, uint64_t* runt
       if (i == start || run == 0 || i >= decisions_end || repro[i] != 'x') {
         return false;
       }
+      if (i - start > 9) {
+        return false;  // >9 digits can only describe an oversized stream; reject before it
+      }
       ++i;  // the 'x' terminator
+    }
+    if (run > kMaxReproDecisions || parsed.size() + run > kMaxReproDecisions) {
+      return false;  // oversized decision stream (see kMaxReproDecisions)
     }
     parsed.insert(parsed.end(), run, static_cast<Decision>(value));
   }

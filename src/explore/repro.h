@@ -29,6 +29,11 @@ namespace explore {
 // 0 (no) or 1 (yes); PickNext tie-breaks record the chosen candidate index, clamped to 15.
 using Decision = uint8_t;
 
+// DecodeRepro rejects decision streams longer than this. Recorders stop at 2^20 decisions
+// (perturbers.h kMaxRecordedDecisions), so no legitimate repro comes close; without the cap a
+// hostile run-length ("0r999999999999x") would make the decoder allocate terabytes.
+inline constexpr size_t kMaxReproDecisions = size_t{1} << 22;
+
 // `fault_plan` is the serialized fault::Plan for the fifth field; "" omits the field.
 std::string EncodeRepro(const std::string& scenario, uint64_t runtime_seed,
                         const std::vector<Decision>& decisions,

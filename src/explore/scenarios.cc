@@ -174,9 +174,24 @@ std::vector<BugScenario> BuildScenarios() {
 
 }  // namespace
 
-const std::vector<BugScenario>& Scenarios() {
-  static const std::vector<BugScenario>* scenarios = new std::vector<BugScenario>(BuildScenarios());
+namespace {
+
+std::vector<BugScenario>& Registry() {
+  static std::vector<BugScenario>* scenarios = new std::vector<BugScenario>(BuildScenarios());
   return *scenarios;
+}
+
+}  // namespace
+
+const std::vector<BugScenario>& Scenarios() { return Registry(); }
+
+bool RegisterScenario(BugScenario scenario) {
+  if (scenario.name.empty() || FindScenario(scenario.name) != nullptr) {
+    return false;
+  }
+  scenario.options.scenario_name = scenario.name;
+  Registry().push_back(std::move(scenario));
+  return true;
 }
 
 const BugScenario* FindScenario(const std::string& name) {

@@ -26,11 +26,18 @@ struct BugScenario {
   TestBody body;
 };
 
-// The built-in scenario table (stable order).
+// The scenario table (stable order): the built-ins followed by registered extras.
 const std::vector<BugScenario>& Scenarios();
 
 // Lookup by name; nullptr when unknown.
 const BugScenario* FindScenario(const std::string& name);
+
+// Appends a scenario to the registry, visible to every later Scenarios()/FindScenario call.
+// Returns false (registry unchanged) when the name is empty or already taken, which makes
+// registration idempotent. options.scenario_name is forced to the scenario name so repro
+// strings stay self-describing. Not thread-safe — register during startup, before exploration
+// fans out; registration may reallocate the table, so don't hold BugScenario pointers across it.
+bool RegisterScenario(BugScenario scenario);
 
 }  // namespace explore
 

@@ -144,9 +144,57 @@ Plan Plan::Decode(const std::string& text) {
       rest = rest.substr(0, tilde);
     }
     scripted.index = ParseU64(rest, "index");
+    if (plan.script.size() >= kMaxPlanScriptEntries) {
+      throw pcr::UsageError("fault: plan script exceeds " +
+                            std::to_string(kMaxPlanScriptEntries) + " entries");
+    }
     plan.script.push_back(scripted);
   }
   return plan;
+}
+
+Plan MutatePlan(const Plan& plan, std::mt19937_64& rng) {
+  Plan out = plan;
+  auto draw = [&rng](uint64_t n) { return n == 0 ? 0 : rng() % n; };
+  switch (draw(6)) {
+    case 0:  // append a scripted fault; biased toward early consult indices
+      if (out.script.size() < kMaxPlanScriptEntries) {
+        ScriptedFault s;
+        s.site = static_cast<FaultSite>(draw(kNumFaultSites));
+        s.index = draw(16);
+        s.value = 1 + draw(3);
+        out.script.push_back(s);
+      }
+      break;
+    case 1:  // drop one scripted entry
+      if (!out.script.empty()) {
+        out.script.erase(out.script.begin() + static_cast<ptrdiff_t>(draw(out.script.size())));
+      }
+      break;
+    case 2:  // re-aim one scripted entry
+      if (!out.script.empty()) {
+        ScriptedFault& s = out.script[draw(out.script.size())];
+        if (draw(2) == 0) {
+          s.index = draw(32);
+        } else {
+          s.value = 1 + draw(4);
+        }
+      }
+      break;
+    case 3:  // redraw the probabilistic seed (re-sweeps every rate draw)
+      out.seed = rng() | 1;
+      break;
+    case 4: {  // arm or re-arm a small probabilistic rate over a random site set
+      out.rate = 0.01 * static_cast<double>(1 + draw(10));
+      out.site_mask = static_cast<uint32_t>(1 + draw((1u << kNumFaultSites) - 1));
+      break;
+    }
+    default:  // disarm the probabilistic layer; scripted entries survive
+      out.rate = 0;
+      out.site_mask = 0;
+      break;
+  }
+  return out;
 }
 
 Injector::Injector(Plan plan) : plan_(std::move(plan)), rng_(plan_.seed) {}

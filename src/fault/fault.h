@@ -70,6 +70,21 @@ inline constexpr uint32_t SiteBit(FaultSite site) {
   return 1u << static_cast<unsigned>(site);
 }
 
+// Plan::Decode rejects scripts longer than this with a clear UsageError. Real plans carry a
+// handful of entries (one per fault that must fire); the cap exists so a hostile or corrupted
+// repro's fifth field cannot make the decoder build an unbounded script.
+inline constexpr size_t kMaxPlanScriptEntries = 4096;
+
+// Deterministic single-step plan mutation for the fuzzing campaign (src/explore/campaign.h):
+// draws everything from `rng` (seeded by the caller, never wall-clock), so the same plan and
+// the same RNG state always produce the same offspring. One call applies one of:
+//   * append a scripted fault at a random (site, consult index, value);
+//   * drop or re-aim (index/value) an existing scripted entry;
+//   * redraw the probabilistic seed ("re-sweep" the rate draws);
+//   * arm/alter a small probabilistic rate over a random site set, or disarm it.
+// Scripted growth is capped at kMaxPlanScriptEntries so evolved plans always re-encode.
+Plan MutatePlan(const Plan& plan, std::mt19937_64& rng);
+
 // Site name lookup (inverse of trace::FaultSiteName). Returns false for unknown names.
 bool ParseFaultSite(const std::string& name, FaultSite* out);
 

@@ -31,17 +31,24 @@ bool Condition::Wait() {
   bool timed_out;
   try {
     timed_out = s.BlockCurrent(BlockReason::kCondition, this, deadline);
+    s.Emit(timed_out ? trace::EventType::kCvTimeout : trace::EventType::kCvNotified, id_, 0,
+           name_sym_);
+    trace::MetricRecord(timed_out ? m_wait_timeout_us_ : m_wait_notified_us_,
+                        s.now() - wait_began);
+    ++(timed_out ? timeout_exits_ : notified_exits_);
+    ThreadId notifier = timed_out ? kNoThread : me->notified_by;
+    lock_.ReacquireAfterWait(notifier);
   } catch (const ThreadKilled&) {
     // Shutdown unwind: the enclosing MonitorGuard will Exit, so it must own the lock again.
-    lock_.ForceAcquireForUnwind();
+    if (!lock_.HeldByCurrent()) {
+      lock_.ForceAcquireForUnwind();
+    }
     throw;
   }
-  s.Emit(timed_out ? trace::EventType::kCvTimeout : trace::EventType::kCvNotified, id_, 0, name_sym_);
-  trace::MetricRecord(timed_out ? m_wait_timeout_us_ : m_wait_notified_us_,
-                      s.now() - wait_began);
-  ++(timed_out ? timeout_exits_ : notified_exits_);
-  ThreadId notifier = timed_out ? kNoThread : me->notified_by;
-  lock_.ReacquireAfterWait(notifier);
+  // Any other exception surfacing while the monitor is released — an injected thread death,
+  // deadlock verdict, or poison inside ReacquireAfterWait — unwinds WITHOUT ownership; the
+  // enclosing MonitorGuard detects that and skips its Exit. Force-acquiring here instead would
+  // steal the lock from a live owner mid-critical-section.
   // Exploration point: a WAIT that has re-acquired the lock but not yet rechecked its predicate
   // — the window that separates IF-based waits from WHILE-based waits (Section 5.3).
   s.MaybeForcePreempt(PreemptPoint::kWaitReturn);

@@ -181,6 +181,9 @@ void MonitorLock::Poison() {
 
 void MonitorLock::ForceAcquireForUnwind() {
   owner_ = scheduler_.current();
+  // Outside shutdown (e.g. an injected thread death unwinding out of WAIT) the eventual Exit
+  // records a hold time; stamp the acquisition so it isn't measured from a stale timestamp.
+  acquired_at_ = scheduler_.now();
   scheduler_.SetMonitorOwner(this, owner_);
 }
 

@@ -14,6 +14,7 @@
 #define SRC_PCR_MONITOR_H_
 
 #include <deque>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -100,7 +101,16 @@ class MonitorGuard {
   explicit MonitorGuard(MonitorLock& lock) : lock_(lock) { lock_.Enter(); }
   // noexcept(false): Exit charges virtual time, which is a suspension point; a thread parked
   // there when the runtime shuts down unwinds with ThreadKilled *out of this destructor*.
-  ~MonitorGuard() noexcept(false) { lock_.Exit(); }
+  // An exception can also unwind out of WAIT while the monitor is released (injected thread
+  // death, deadlock verdict, poison): then this thread does not own the lock — possibly a live
+  // peer does — and Exit must be skipped, not forced (shutdown's ThreadKilled path instead
+  // re-marks ownership before unwinding, so it still Exits normally here).
+  ~MonitorGuard() noexcept(false) {
+    if (std::uncaught_exceptions() > 0 && !lock_.HeldByCurrent()) {
+      return;
+    }
+    lock_.Exit();
+  }
 
   MonitorGuard(const MonitorGuard&) = delete;
   MonitorGuard& operator=(const MonitorGuard&) = delete;

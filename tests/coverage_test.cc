@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "examples/example_scenarios.h"
 #include "src/apps/editor.h"
 #include "src/paradigm/bounded_buffer.h"
 #include "src/paradigm/one_shot.h"
@@ -32,15 +33,10 @@ trace::Event MakeEvent(trace::Usec t, trace::EventType type, trace::ThreadId thr
 }
 
 TEST(ValidateTest, AcceptsARealRunsTrace) {
+  // The shared quickstart workload (examples/example_scenarios.h) rather than a re-declared
+  // body: monitors, CV waits with timeouts, FORK/JOIN — a real trace with every event family.
   pcr::Runtime rt;
-  pcr::MonitorLock lock(rt.scheduler(), "m");
-  rt.ForkDetached([&] {
-    for (int i = 0; i < 5; ++i) {
-      pcr::MonitorGuard guard(lock);
-      pcr::thisthread::Compute(kUsecPerMsec);
-    }
-  });
-  rt.RunUntilQuiescent(kUsecPerSec);
+  examples::QuickstartBody(rt, /*verbose=*/false);
   trace::ValidationResult v = trace::ValidateTrace(rt.tracer());
   EXPECT_TRUE(v.ok()) << v.ToString();
 }

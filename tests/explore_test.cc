@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "examples/example_scenarios.h"
 #include "src/explore/detector.h"
 #include "src/explore/explorer.h"
 #include "src/explore/perturbers.h"
@@ -137,6 +138,24 @@ TEST(ReproTest, RejectsMalformedStrings) {
                           "pcr1:missing-fields"}) {
     EXPECT_FALSE(explore::DecodeRepro(bad, &scenario, &seed, &decisions)) << bad;
   }
+}
+
+TEST(ScenarioRegistryTest, ExampleWorkloadsRegisterOnceAndReplayDeterministically) {
+  int added = examples::RegisterExampleExploreScenarios();
+  EXPECT_GT(added, 0);
+  EXPECT_EQ(examples::RegisterExampleExploreScenarios(), 0) << "registration must be idempotent";
+
+  const explore::BugScenario* s = explore::FindScenario("example_quickstart");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->options.scenario_name, "example_quickstart");
+  EXPECT_FALSE(s->expect_bug);
+
+  explore::Explorer explorer(s->options);
+  std::string repro = explore::EncodeRepro(s->name, s->options.base_config.seed, {});
+  explore::ScheduleOutcome first = explorer.Replay(repro, s->body);
+  explore::ScheduleOutcome second = explorer.Replay(repro, s->body);
+  EXPECT_FALSE(first.failed);
+  EXPECT_EQ(first.trace_hash, second.trace_hash);
 }
 
 TEST(PerturberTest, ReplayerEchoesRecordedDecisions) {

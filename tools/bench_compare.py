@@ -29,36 +29,52 @@ KNOWN_FILES = [
 
 def extract_metrics(name, doc):
     """Flattens one benchmark JSON into {metric_name: (value, higher_is_better)} plus a list of
-    (check_name, bool) exact correctness gates."""
+    (check_name, bool) exact correctness gates.
+
+    Fields are looked up tolerantly: a committed baseline predating a schema addition simply
+    contributes fewer metrics, and compare_file reports the extras as new metrics rather than
+    this function raising KeyError on the old document."""
     metrics = {}
     checks = []
+
+    def put(key, row, field, higher_better):
+        value = row.get(field)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            metrics[key] = (value, higher_better)
+
     if name == "BENCH_explore.json":
         for row in doc.get("benchmarks", []):
-            scenario = row["scenario"]
-            metrics[f"{scenario}/schedules_per_sec_parallel"] = (
-                row["schedules_per_sec_parallel"], True)
-            metrics[f"{scenario}/schedules_per_sec_serial"] = (
-                row["schedules_per_sec_serial"], True)
+            scenario = row.get("scenario")
+            if scenario is None:
+                continue
+            put(f"{scenario}/schedules_per_sec_parallel", row,
+                "schedules_per_sec_parallel", True)
+            put(f"{scenario}/schedules_per_sec_serial", row,
+                "schedules_per_sec_serial", True)
             checks.append((f"{scenario}/deterministic", bool(row.get("deterministic"))))
     elif name == "BENCH_micro.json":
         # google-benchmark format; aggregate rows (mean/median/stddev) are skipped.
         for row in doc.get("benchmarks", []):
-            if row.get("run_type") == "aggregate":
+            if row.get("run_type") == "aggregate" or "name" not in row:
                 continue
             unit = row.get("time_unit", "ns")
             scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit, 1.0)
-            metrics[f"{row['name']}/real_time_ns"] = (row["real_time"] * scale, False)
+            value = row.get("real_time")
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                metrics[f"{row['name']}/real_time_ns"] = (value * scale, False)
     elif name == "BENCH_trace.json":
         for row in doc.get("benchmarks", []):
-            metrics[f"{row['config']}/events_per_sec"] = (row["events_per_sec"], True)
-        metrics["metrics_overhead_fraction"] = (doc["metrics_overhead_fraction"], False)
+            if "config" in row:
+                put(f"{row['config']}/events_per_sec", row, "events_per_sec", True)
+        put("metrics_overhead_fraction", doc, "metrics_overhead_fraction", False)
         checks.append(("pass", bool(doc.get("pass"))))
     elif name == "BENCH_fiber.json":
         for row in doc.get("benchmarks", []):
-            metrics[f"{row['name']}"] = (row["ns"], False)
+            if "name" in row:
+                put(row["name"], row, "ns", False)
         # Only comparable when both runs used the same backend; the caller's gate in
         # bench_fiber_switch itself enforces the absolute floor.
-        metrics["switch_speedup_vs_ucontext"] = (doc["switch_speedup_vs_ucontext"], True)
+        put("switch_speedup_vs_ucontext", doc, "switch_speedup_vs_ucontext", True)
         checks.append(("fiber_backend_matches", None))  # filled by caller comparison below
     return metrics, checks
 
@@ -105,6 +121,14 @@ def compare_file(name, baseline_doc, fresh_doc, tolerance):
         if regressed:
             failures.append(f"{name}: {metric} regressed {delta_pct:+.1f}% "
                             f"(tolerance {tolerance * 100:.0f}%)")
+
+    # A metric present only in the fresh run means the benchmark grew since the baseline was
+    # committed. That is a note, not a failure — the gate exists to catch regressions, and a
+    # brand-new metric has nothing to regress against. (The reverse, a baseline metric missing
+    # from the fresh run, stays a failure above: the benchmark silently stopped measuring it.)
+    for metric in sorted(set(fresh_metrics) - set(base_metrics)):
+        fresh_value, _ = fresh_metrics[metric]
+        lines.append(f"  {metric}: {fresh_value:.1f} (new metric, no baseline) ok")
     return lines, failures
 
 

@@ -41,6 +41,17 @@ echo "== Fault suite + fault-plan determinism at workers=4"
 (cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --budget=200 \
   --fault-plan="f1,rate=0.05,sites=notify-lost+timer-skew,seed=5")
 
+# Campaign replay gate: every committed corpus entry must still decode, replay
+# deterministically (each input is run twice and the trace hashes compared), and every entry
+# under tests/corpus/crashes/ must still fail — a crash repro that stops failing means a bug
+# was fixed without retiring its corpus entry. rounds=0 puts the campaign in read-only replay
+# mode: no mutation, no corpus writes, so the committed corpus is never modified by CI. The
+# 60s timeout is a hang backstop; the replay itself takes well under a second.
+echo "== Campaign corpus replay gate (read-only)"
+timeout 60 "$BUILD_RELEASE/tools/pcrcheck" --campaign="$ROOT/tests/corpus" \
+  --campaign-rounds=0 --campaign-status-json="$BUILD_RELEASE/ci_campaign_status.json"
+python3 -m json.tool "$BUILD_RELEASE/ci_campaign_status.json" > /dev/null
+
 # Context-switch gate: the assembly fast path must stay at least 5x faster than raw
 # swapcontext (it measures ~12x on the reference machine; 5x leaves room for host noise). On
 # builds where the fiber backend is ucontext the gate auto-skips.
@@ -88,5 +99,10 @@ cmake --build "$BUILD_SANITIZED" -j"$JOBS"
 # poisoning unwind fibers on exceptional paths, exactly where stale ASan shadow or a missed
 # release would hide in a plain build.
 (cd "$BUILD_SANITIZED" && ctest --output-on-failure -j"$JOBS" -L fault)
+# And the corpus replay gate: the committed repros drive injected faults through the
+# runtime's exceptional unwind paths, which is where the sanitizer earns its keep.
+timeout 60 "$BUILD_SANITIZED/tools/pcrcheck" --campaign="$ROOT/tests/corpus" \
+  --campaign-rounds=0 --campaign-status-json="$BUILD_SANITIZED/ci_campaign_status.json"
+python3 -m json.tool "$BUILD_SANITIZED/ci_campaign_status.json" > /dev/null
 
 echo "== ci_check: all green (Release + $SANITIZER)"

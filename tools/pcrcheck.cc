@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "examples/example_scenarios.h"
+#include "src/explore/campaign.h"
 #include "src/explore/explorer.h"
 #include "src/explore/repro.h"
 #include "src/explore/scenarios.h"
@@ -44,6 +46,13 @@ struct Args {
   uint64_t seed = 0;     // 0: use the scenario's tuned default
   int workers = 0;       // 0: hardware concurrency (the flag itself requires > 0)
   bool verbose = false;
+  // Campaign mode (docs/FUZZING.md): coverage-guided fuzzing over the scenario set.
+  std::string campaign_dir;          // --campaign=DIR enables it
+  bool campaign_set = false;
+  int campaign_rounds = 100;         // 0 = replay-only (corpus opened read-only: the CI gate)
+  int campaign_batch = 16;
+  std::string campaign_status_json;  // --campaign-status-json=FILE
+  bool campaign_examples = false;    // also register examples/ workloads as scenarios
 };
 
 void Usage() {
@@ -53,7 +62,12 @@ void Usage() {
                "                [--profile] [--chrome-trace-on-failure=DIR]\n"
                "                [--fault-plan=SPEC]   e.g. \"f1,rate=0.01,sites=notify-lost\"\n"
                "                                      (searches fault x schedule space; failing\n"
-               "                                      repro strings then pin their fault plan)\n");
+               "                                      repro strings then pin their fault plan)\n"
+               "                [--campaign=DIR] [--campaign-rounds=N] [--campaign-batch=N]\n"
+               "                [--campaign-status-json=FILE] [--campaign-examples]\n"
+               "                                      coverage-guided fuzzing campaign over the\n"
+               "                                      scenario set; DIR holds the corpus, rounds=0\n"
+               "                                      replays it read-only (see docs/FUZZING.md)\n");
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
@@ -75,6 +89,30 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->profile = true;
     } else if (const char* v = value("--chrome-trace-on-failure=")) {
       args->chrome_trace_dir = v;
+    } else if (arg == "--campaign-examples") {
+      args->campaign_examples = true;
+    } else if (const char* v = value("--campaign=")) {
+      args->campaign_dir = v;
+      args->campaign_set = true;
+    } else if (const char* v = value("--campaign-rounds=")) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || n < 0) {
+        std::fprintf(stderr, "pcrcheck: --campaign-rounds expects a non-negative integer, got '%s'\n",
+                     v);
+        return false;
+      }
+      args->campaign_rounds = static_cast<int>(n);
+    } else if (const char* v = value("--campaign-batch=")) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "pcrcheck: --campaign-batch expects a positive integer, got '%s'\n", v);
+        return false;
+      }
+      args->campaign_batch = static_cast<int>(n);
+    } else if (const char* v = value("--campaign-status-json=")) {
+      args->campaign_status_json = v;
     } else if (const char* v = value("--scenario=")) {
       args->scenario = v;
     } else if (const char* v = value("--fault-plan=")) {
@@ -196,6 +234,60 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
   return expected && ok;
 }
 
+// Coverage-guided fuzzing campaign (docs/FUZZING.md). Returns the process exit code.
+int RunCampaign(const Args& args) {
+  std::vector<explore::BugScenario> scenarios;
+  if (!args.scenario.empty()) {
+    const explore::BugScenario* s = explore::FindScenario(args.scenario);
+    if (s == nullptr) {
+      std::fprintf(stderr, "pcrcheck: unknown scenario '%s' (try --list)\n",
+                   args.scenario.c_str());
+      return 2;
+    }
+    scenarios.push_back(*s);
+  } else {
+    for (const explore::BugScenario& s : explore::Scenarios()) {
+      scenarios.push_back(s);
+    }
+  }
+  if (!args.fault_plan.empty()) {
+    for (explore::BugScenario& s : scenarios) {
+      s.options.fault_plan = fault::Plan::Decode(args.fault_plan);
+    }
+  }
+
+  explore::CampaignOptions options;
+  options.corpus_dir = args.campaign_dir;
+  options.rounds = args.campaign_rounds;
+  options.read_only = args.campaign_rounds == 0;  // replay-only: never dirty the corpus
+  options.batch = args.campaign_batch;
+  if (args.seed != 0) {
+    options.seed = args.seed;
+  }
+  options.workers = args.workers;
+  options.status_json_path = args.campaign_status_json;
+
+  std::printf("== campaign: %zu scenario(s), corpus '%s'%s, %d round(s) x %d\n",
+              scenarios.size(), options.corpus_dir.c_str(),
+              options.read_only ? " (read-only replay)" : "", options.rounds, options.batch);
+  explore::Campaign campaign(std::move(scenarios), options);
+  const explore::CampaignStatus& status = campaign.Run();
+
+  std::printf("  %d round(s), %lld input(s), corpus %zu (+%zu crash), coverage %zu, "
+              "%zu distinct failure(s)\n",
+              status.rounds_completed, static_cast<long long>(status.inputs_run),
+              status.corpus_entries, status.crash_entries, status.coverage_points,
+              status.distinct_failures);
+  for (const std::string& key : status.failure_keys) {
+    std::printf("  failure: %s\n", key.c_str());
+  }
+  for (const std::string& error : status.errors) {
+    std::fprintf(stderr, "  ERROR: %s\n", error.c_str());
+  }
+  std::printf("  verdict: %s\n", status.ok() ? "OK" : "CAMPAIGN ERRORS");
+  return status.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -211,6 +303,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "pcrcheck: %s\n", e.what());
       return 2;
     }
+  }
+
+  if (args.campaign_examples) {
+    examples::RegisterExampleExploreScenarios();
   }
 
   if (args.list) {
@@ -243,6 +339,14 @@ int main(int argc, char** argv) {
       std::printf("  %s\n", message.c_str());
     }
     return outcome.failed ? 1 : 0;
+  }
+
+  if (args.campaign_set) {
+    if (args.campaign_dir.empty()) {
+      std::fprintf(stderr, "pcrcheck: --campaign expects a corpus directory\n");
+      return 2;
+    }
+    return RunCampaign(args);
   }
 
   std::vector<const explore::BugScenario*> to_run;
