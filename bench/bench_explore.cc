@@ -6,10 +6,15 @@
 // explorer's contract — byte-identical results at any worker count — and exits nonzero on a
 // mismatch, so it doubles as a determinism smoke test in CI.
 //
-//   bench_explore                   # human-readable table, all scenarios
+//   bench_explore                   # human-readable table, all scenarios (plus large-budget
+//                                   # monitor configs, where checkpoint-and-branch amortizes)
 //   bench_explore --workers=8       # pin the parallel worker count
 //   bench_explore --budget=400      # override each scenario's schedule budget
 //   bench_explore --json            # also write BENCH_explore.json
+//   bench_explore --no-checkpoint   # force from-zero replay (the fallback CI gates on)
+//   bench_explore --require-speedup=2
+//                                   # exit nonzero unless every parallel run beats serial by
+//                                   # 2x; auto-skipped below 4 hardware cores
 //   bench_explore --fault-plan="f1,rate=0.05,sites=notify-lost"
 //                                   # sweep fault x schedule space; the serial==parallel
 //                                   # check then covers fault-plan determinism too
@@ -26,6 +31,7 @@
 #include "src/explore/pool.h"
 #include "src/explore/scenarios.h"
 #include "src/fault/fault.h"
+#include "src/pcr/checkpoint.h"
 #include "src/pcr/errors.h"
 #include "src/pcr/runtime.h"
 
@@ -37,11 +43,14 @@ struct Args {
   int budget = -1;         // <0: scenario default
   int workers = 0;         // 0: hardware concurrency
   bool json = false;
+  bool no_checkpoint = false;   // force from-zero replay in both runs
+  double require_speedup = 0;   // >0: gate on parallel/serial ratio (4+ cores only)
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: bench_explore [--scenario=NAME] [--budget=N] [--workers=N] [--json]\n"
+               "                     [--no-checkpoint] [--require-speedup=N]\n"
                "                     [--fault-plan=SPEC]\n");
 }
 
@@ -54,6 +63,18 @@ bool ParseArgs(int argc, char** argv, Args* args) {
     };
     if (arg == "--json") {
       args->json = true;
+    } else if (arg == "--no-checkpoint") {
+      args->no_checkpoint = true;
+    } else if (const char* v = value("--require-speedup=")) {
+      char* end = nullptr;
+      double n = std::strtod(v, &end);
+      if (*v == '\0' || *end != '\0' || n <= 0) {
+        std::fprintf(stderr,
+                     "bench_explore: --require-speedup expects a positive number, got '%s'\n",
+                     v);
+        return false;
+      }
+      args->require_speedup = n;
     } else if (const char* v = value("--scenario=")) {
       args->scenario = v;
     } else if (const char* v = value("--fault-plan=")) {
@@ -101,6 +122,12 @@ struct Measurement {
   int64_t fiber_switches = 0;
   int64_t stack_acquires = 0;
   int64_t stack_pool_hits = 0;
+  // Checkpoint-and-branch counters, also from the parallel run (all zero in from-zero mode).
+  bool checkpoint = false;
+  int64_t checkpoint_saves = 0;
+  int64_t checkpoint_resumes = 0;
+  int64_t checkpoint_bytes = 0;
+  int64_t pruned_schedules = 0;
 };
 
 double Seconds(std::chrono::steady_clock::time_point a,
@@ -125,14 +152,25 @@ bool SameResult(const explore::ExploreResult& a, const explore::ExploreResult& b
   return true;
 }
 
-Measurement RunScenario(const explore::BugScenario& scenario, const Args& args) {
+// budget_override/label: used by the default sweep's large-budget configs, which rerun a
+// scenario under a distinct row name (e.g. "good_monitor@2k") at the budget where prefix
+// grouping amortizes.
+Measurement RunScenario(const explore::BugScenario& scenario, const Args& args,
+                        int budget_override = -1, const char* label = nullptr) {
   Measurement m;
-  m.scenario = scenario.name;
+  m.scenario = label != nullptr ? label : scenario.name;
 
   explore::ExploreOptions options = scenario.options;
+  if (budget_override > 0) {
+    options.budget = budget_override;
+  }
   if (args.budget > 0) {
     options.budget = args.budget;
   }
+  if (args.no_checkpoint) {
+    options.checkpoint = false;
+  }
+  m.checkpoint = options.checkpoint && pcr::Checkpoint::Supported() && scenario.checkpoint_safe;
   if (!args.fault_plan.empty()) {
     options.fault_plan = fault::Plan::Decode(args.fault_plan);
   }
@@ -182,6 +220,10 @@ Measurement RunScenario(const explore::BugScenario& scenario, const Args& args) 
   m.fiber_switches = parallel_result.profile.fiber_switches;
   m.stack_acquires = parallel_result.profile.stack_acquires;
   m.stack_pool_hits = parallel_result.profile.stack_pool_hits;
+  m.checkpoint_saves = parallel_result.profile.checkpoint_saves;
+  m.checkpoint_resumes = parallel_result.profile.checkpoint_resumes;
+  m.checkpoint_bytes = parallel_result.profile.checkpoint_bytes;
+  m.pruned_schedules = parallel_result.profile.pruned_schedules;
   return m;
 }
 
@@ -202,14 +244,21 @@ void WriteJson(const std::vector<Measurement>& all, const char* path) {
                  "     \"speedup\": %.2f, \"events_per_schedule\": %lld,\n"
                  "     \"events_per_sec_parallel\": %.1f, \"deterministic\": %s,\n"
                  "     \"fiber_switches\": %lld, \"stack_acquires\": %lld, "
-                 "\"stack_pool_hits\": %lld}%s\n",
+                 "\"stack_pool_hits\": %lld,\n"
+                 "     \"checkpoint\": %s, \"checkpoint_saves\": %lld, "
+                 "\"checkpoint_resumes\": %lld,\n"
+                 "     \"checkpoint_bytes\": %lld, \"pruned_schedules\": %lld}%s\n",
                  m.scenario.c_str(), m.budget, m.workers_parallel, m.serial_seconds,
                  m.parallel_seconds, m.schedules_per_sec_serial, m.schedules_per_sec_parallel,
                  m.speedup, static_cast<long long>(m.events_per_schedule),
                  m.events_per_sec_parallel, m.deterministic ? "true" : "false",
                  static_cast<long long>(m.fiber_switches),
                  static_cast<long long>(m.stack_acquires),
-                 static_cast<long long>(m.stack_pool_hits), i + 1 < all.size() ? "," : "");
+                 static_cast<long long>(m.stack_pool_hits), m.checkpoint ? "true" : "false",
+                 static_cast<long long>(m.checkpoint_saves),
+                 static_cast<long long>(m.checkpoint_resumes),
+                 static_cast<long long>(m.checkpoint_bytes),
+                 static_cast<long long>(m.pruned_schedules), i + 1 < all.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -246,8 +295,7 @@ int main(int argc, char** argv) {
 
   std::vector<Measurement> all;
   bool deterministic = true;
-  for (const explore::BugScenario* scenario : to_run) {
-    Measurement m = RunScenario(*scenario, args);
+  auto report = [&](Measurement m) {
     double pool_hit_rate =
         m.stack_acquires > 0
             ? 100.0 * static_cast<double>(m.stack_pool_hits) / m.stack_acquires
@@ -259,8 +307,31 @@ int main(int argc, char** argv) {
         m.schedules_per_sec_parallel, m.speedup, m.events_per_sec_parallel,
         static_cast<long long>(m.fiber_switches), static_cast<long long>(m.stack_acquires),
         pool_hit_rate, m.deterministic ? "deterministic" : "MISMATCH");
+    if (m.checkpoint) {
+      std::printf(
+          "%-16s   checkpoint: %lld saves, %lld resumes, %lld KB snapshots, %lld pruned\n", "",
+          static_cast<long long>(m.checkpoint_saves),
+          static_cast<long long>(m.checkpoint_resumes),
+          static_cast<long long>(m.checkpoint_bytes / 1024),
+          static_cast<long long>(m.pruned_schedules));
+    }
     deterministic = deterministic && m.deterministic;
     all.push_back(std::move(m));
+  };
+  for (const explore::BugScenario* scenario : to_run) {
+    report(RunScenario(*scenario, args));
+  }
+  // Large-budget monitor configs: at the default budget (200) checkpoint-and-branch barely
+  // amortizes its snapshot cost; these rows show the O(suffix) regime the design targets.
+  // Skipped under --scenario/--budget overrides, which already pin an exact configuration.
+  if (args.scenario.empty() && args.budget < 0) {
+    for (const explore::BugScenario& s : explore::Scenarios()) {
+      if (std::string(s.name) == "buggy_monitor") {
+        report(RunScenario(s, args, 2000, "buggy_monitor@2k"));
+      } else if (std::string(s.name) == "good_monitor") {
+        report(RunScenario(s, args, 2000, "good_monitor@2k"));
+      }
+    }
   }
 
   if (args.json) {
@@ -269,6 +340,26 @@ int main(int argc, char** argv) {
   if (!deterministic) {
     std::fprintf(stderr, "bench_explore: serial and parallel results diverged\n");
     return 1;
+  }
+  if (args.require_speedup > 0) {
+    if (explore::WorkerPool::HardwareWorkers() < 4) {
+      std::printf(
+          "require-speedup: skipped (%d hardware core(s); the gate needs 4+ so parallel "
+          "headroom exists)\n",
+          explore::WorkerPool::HardwareWorkers());
+    } else {
+      bool ok = true;
+      for (const Measurement& m : all) {
+        if (m.speedup < args.require_speedup) {
+          std::fprintf(stderr, "bench_explore: %s parallel speedup %.2fx < required %.2fx\n",
+                       m.scenario.c_str(), m.speedup, args.require_speedup);
+          ok = false;
+        }
+      }
+      if (!ok) {
+        return 1;
+      }
+    }
   }
   return 0;
 }

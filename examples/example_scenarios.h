@@ -322,6 +322,10 @@ inline int RegisterExampleExploreScenarios() {
     s.description = std::string("example workload (examples/example_scenarios.h): ") +
                     example.name;
     s.expect_bug = false;
+    // Example workloads keep real state on the heap (window tables, editor buffers, serializer
+    // queues); checkpoint restores rewind stacks and registered objects only, so these bodies
+    // must replay from zero.
+    s.checkpoint_safe = false;
     s.options.budget = 20;
     s.options.fail_on_findings = false;
     s.options.base_config.quantum = pcr::kUsecPerMsec;

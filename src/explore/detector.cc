@@ -16,26 +16,31 @@ using trace::ObjectId;
 using trace::ThreadId;
 using trace::Usec;
 
-// Sparse vector clock: thread -> logical time. Small maps (thread counts in these tests are
-// tens, not thousands), so flat storage keeps it cheap to copy at access points.
-using VectorClock = std::unordered_map<ThreadId, uint64_t>;
+// Dense vector clock: index = thread id, value = logical time, 0 = never ticked. Thread ids
+// are small consecutive integers in these traces, so a flat vector turns every clock
+// operation (tick, join, compare) into plain indexed loads — the detector runs once per
+// explored schedule, which makes this the hottest analysis loop in the repo.
+using VectorClock = std::vector<uint64_t>;
 
 void Join(VectorClock* into, const VectorClock& from) {
-  for (const auto& [tid, clock] : from) {
-    uint64_t& slot = (*into)[tid];
-    slot = std::max(slot, clock);
+  if (from.size() > into->size()) {
+    into->resize(from.size(), 0);
+  }
+  for (size_t i = 0; i < from.size(); ++i) {
+    (*into)[i] = std::max((*into)[i], from[i]);
   }
 }
 
 // True when the access stamped with `vc_a` by `thread_a` happens-before the later access
-// stamped with `vc_b`.
+// stamped with `vc_b`. A zero own-clock means thread_a never ticked — degenerate, treat as
+// ordered (entries are >= 1 from their first tick, so 0 is exactly "absent").
 bool HappensBefore(ThreadId thread_a, const VectorClock& vc_a, const VectorClock& vc_b) {
-  auto own = vc_a.find(thread_a);
-  if (own == vc_a.end()) {
-    return true;  // degenerate: no clock, treat as ordered
+  uint64_t own = thread_a < vc_a.size() ? vc_a[thread_a] : 0;
+  if (own == 0) {
+    return true;
   }
-  auto seen = vc_b.find(thread_a);
-  return seen != vc_b.end() && seen->second >= own->second;
+  uint64_t seen = thread_a < vc_b.size() ? vc_b[thread_a] : 0;
+  return seen >= own;
 }
 
 using Lockset = std::vector<ObjectId>;  // sorted
@@ -82,11 +87,13 @@ struct BroadcastGroup {
   uint64_t left_without_rewait = 0;
 };
 
-// What a broadcast-woken thread is doing between its kCvNotified and the verdict.
+// What a broadcast-woken thread is doing between its kCvNotified and the verdict. Stored in a
+// tid-indexed vector; `active` distinguishes a live entry from the default.
 struct WokenState {
   size_t group = 0;          // index into groups
   ObjectId cv = 0;
   ObjectId home_monitor = 0;  // first monitor re-entered after the wakeup; 0 until seen
+  bool active = false;
 };
 
 }  // namespace
@@ -105,166 +112,221 @@ std::string_view FindingKindName(FindingKind kind) {
   return "unknown";
 }
 
-std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOptions& options) {
-  std::vector<Finding> findings;
+// The complete fold state of the analysis. Everything is a value type, so the compiler-generated
+// copy is exactly the deep copy TraceAnalyzer's copy constructor promises.
+struct TraceAnalyzer::State {
+  DetectorOptions options;
 
-  std::unordered_map<ThreadId, VectorClock> clocks;
-  std::unordered_map<ThreadId, Lockset> held;
+  std::vector<VectorClock> clocks;  // tid-indexed
+  std::vector<Lockset> held;        // tid-indexed
   std::unordered_map<ObjectId, VectorClock> monitor_release;
   std::unordered_map<ObjectId, VectorClock> cv_signal;
   std::unordered_map<ObjectId, CellState> cells;
   std::map<ObjectId, CvState> cvs;
   std::vector<BroadcastGroup> groups;
   std::unordered_map<ObjectId, std::vector<size_t>> pending_groups;  // cv -> group indices
-  std::unordered_map<ThreadId, WokenState> woken;
+  std::vector<WokenState> woken;  // tid-indexed
 
-  auto tick = [&clocks](ThreadId tid) { ++clocks[tid][tid]; };
-
-  for (const Event& e : tracer.events()) {
-    ThreadId t = e.thread;
-    switch (e.type) {
-      case EventType::kThreadFork: {
-        // The child starts with everything the parent has done so far.
-        auto child = static_cast<ThreadId>(e.object);
-        tick(t);
-        clocks[child] = clocks[t];
-        tick(child);
-        break;
-      }
-      case EventType::kThreadJoin:
-        // Everything the joined thread did is now ordered before the joiner's future.
-        Join(&clocks[t], clocks[static_cast<ThreadId>(e.object)]);
-        tick(t);
-        break;
-      case EventType::kMlEnter: {
-        Lockset& locks = held[t];
-        auto it = std::lower_bound(locks.begin(), locks.end(), e.object);
-        if (it == locks.end() || *it != e.object) {
-          locks.insert(it, e.object);
-        }
-        auto release = monitor_release.find(e.object);
-        if (release != monitor_release.end()) {
-          Join(&clocks[t], release->second);
-        }
-        tick(t);
-        if (auto w = woken.find(t); w != woken.end() && w->second.home_monitor == 0) {
-          w->second.home_monitor = e.object;  // the re-acquire after a CV wakeup
-        }
-        break;
-      }
-      case EventType::kMlExit: {
-        Lockset& locks = held[t];
-        auto it = std::lower_bound(locks.begin(), locks.end(), e.object);
-        if (it != locks.end() && *it == e.object) {
-          locks.erase(it);
-        }
-        tick(t);
-        monitor_release[e.object] = clocks[t];
-        if (auto w = woken.find(t);
-            w != woken.end() && w->second.home_monitor == e.object) {
-          // Left the monitor without re-WAITing: proceeded on a once-checked predicate.
-          ++groups[w->second.group].left_without_rewait;
-          woken.erase(w);
-        }
-        break;
-      }
-      case EventType::kCvWait:
-        ++cvs[e.object].waits_started;
-        cvs[e.object].last_time = e.time_us;
-        tick(t);
-        if (auto w = woken.find(t); w != woken.end() && w->second.cv == e.object) {
-          woken.erase(w);  // re-checked and re-waited: the loop convention in action
-        }
-        break;
-      case EventType::kCvTimeout:
-        ++cvs[e.object].timeouts;
-        cvs[e.object].last_time = e.time_us;
-        tick(t);
-        break;
-      case EventType::kCvNotified: {
-        CvState& cv = cvs[e.object];
-        ++cv.notified;
-        cv.last_time = e.time_us;
-        auto signal = cv_signal.find(e.object);
-        if (signal != cv_signal.end()) {
-          Join(&clocks[t], signal->second);  // the notifier's past is ordered before us
-        }
-        tick(t);
-        auto pending = pending_groups.find(e.object);
-        if (pending != pending_groups.end() && !pending->second.empty()) {
-          size_t g = pending->second.front();
-          if (--groups[g].unassigned == 0) {
-            pending->second.erase(pending->second.begin());
-          }
-          woken[t] = WokenState{g, e.object, 0};
-        }
-        break;
-      }
-      case EventType::kCvNotify: {
-        CvState& cv = cvs[e.object];
-        ++cv.notifies;
-        if (e.arg > 0) {
-          ++cv.notifies_woke;
-        }
-        cv.last_time = e.time_us;
-        tick(t);
-        cv_signal[e.object] = clocks[t];
-        break;
-      }
-      case EventType::kCvBroadcast: {
-        CvState& cv = cvs[e.object];
-        ++cv.notifies;
-        if (e.arg > 0) {
-          ++cv.notifies_woke;
-        }
-        cv.last_time = e.time_us;
-        tick(t);
-        cv_signal[e.object] = clocks[t];
-        if (e.arg >= 2) {
-          groups.push_back(BroadcastGroup{e.object, e.time_us, e.arg, e.arg, 0});
-          pending_groups[e.object].push_back(groups.size() - 1);
-        }
-        break;
-      }
-      case EventType::kSharedRead:
-      case EventType::kSharedWrite: {
-        if (t == 0) {
-          break;  // host-context setup accesses are not schedulable
-        }
-        bool is_write = e.type == EventType::kSharedWrite;
-        tick(t);
-        CellState& cell = cells[e.object];
-        const Lockset& locks = held[t];
-        // Dedup by (thread, kind, lockset), keeping the first and the latest access per key:
-        // the first catches races against earlier accesses, the latest keeps the clock fresh
-        // for races against later ones. Without this, spin-loop reads would blow up the pass.
-        Access* latest = nullptr;
-        int matches = 0;
-        for (auto it = cell.accesses.rbegin(); it != cell.accesses.rend(); ++it) {
-          if (it->thread == t && it->is_write == is_write && it->locks == locks) {
-            if (latest == nullptr) {
-              latest = &*it;
-            }
-            ++matches;
-          }
-        }
-        if (matches >= 2) {
-          *latest = Access{t, is_write, locks, clocks[t], e.time_us};  // refresh latest slot
-        } else if (cell.accesses.size() < options.max_access_summaries) {
-          cell.accesses.push_back(Access{t, is_write, locks, clocks[t], e.time_us});
-        }
-        break;
-      }
-      default:
-        if (t != 0) {
-          tick(t);
-        }
-        break;
+  VectorClock& clock_of(ThreadId tid) {
+    if (clocks.size() <= tid) {
+      clocks.resize(static_cast<size_t>(tid) + 1);
     }
+    return clocks[tid];
   }
+  Lockset& held_of(ThreadId tid) {
+    if (held.size() <= tid) {
+      held.resize(static_cast<size_t>(tid) + 1);
+    }
+    return held[tid];
+  }
+  WokenState& woken_of(ThreadId tid) {
+    if (woken.size() <= tid) {
+      woken.resize(static_cast<size_t>(tid) + 1);
+    }
+    return woken[tid];
+  }
+  // A live entry for tid, or nullptr. Never grows the vector: absent means inactive.
+  WokenState* woken_find(ThreadId tid) {
+    return tid < woken.size() && woken[tid].active ? &woken[tid] : nullptr;
+  }
+  void tick(ThreadId tid) {
+    VectorClock& c = clock_of(tid);
+    if (c.size() <= tid) {
+      c.resize(static_cast<size_t>(tid) + 1, 0);
+    }
+    ++c[tid];
+  }
+};
+
+TraceAnalyzer::TraceAnalyzer(const DetectorOptions& options) : state_(new State{}) {
+  state_->options = options;
+}
+TraceAnalyzer::TraceAnalyzer(const TraceAnalyzer& other) : state_(new State(*other.state_)) {}
+TraceAnalyzer& TraceAnalyzer::operator=(const TraceAnalyzer& other) {
+  if (this != &other) {
+    *state_ = *other.state_;
+  }
+  return *this;
+}
+TraceAnalyzer::TraceAnalyzer(TraceAnalyzer&&) noexcept = default;
+TraceAnalyzer& TraceAnalyzer::operator=(TraceAnalyzer&&) noexcept = default;
+TraceAnalyzer::~TraceAnalyzer() = default;
+
+void TraceAnalyzer::Feed(const Event& e) {
+  State& s = *state_;
+  ThreadId t = e.thread;
+  switch (e.type) {
+    case EventType::kThreadFork: {
+      // The child starts with everything the parent has done so far.
+      auto child = static_cast<ThreadId>(e.object);
+      s.tick(t);
+      {
+        VectorClock parent = s.clock_of(t);  // copy first: clock_of(child) may reallocate
+        s.clock_of(child) = std::move(parent);
+      }
+      s.tick(child);
+      break;
+    }
+    case EventType::kThreadJoin: {
+      // Everything the joined thread did is now ordered before the joiner's future.
+      auto o = static_cast<ThreadId>(e.object);
+      s.clock_of(std::max(t, o));  // one growth, so both references below stay valid
+      Join(&s.clocks[t], s.clocks[o]);
+      s.tick(t);
+      break;
+    }
+    case EventType::kMlEnter: {
+      Lockset& locks = s.held_of(t);
+      auto it = std::lower_bound(locks.begin(), locks.end(), e.object);
+      if (it == locks.end() || *it != e.object) {
+        locks.insert(it, e.object);
+      }
+      auto release = s.monitor_release.find(e.object);
+      if (release != s.monitor_release.end()) {
+        Join(&s.clock_of(t), release->second);
+      }
+      s.tick(t);
+      if (WokenState* w = s.woken_find(t); w != nullptr && w->home_monitor == 0) {
+        w->home_monitor = e.object;  // the re-acquire after a CV wakeup
+      }
+      break;
+    }
+    case EventType::kMlExit: {
+      Lockset& locks = s.held_of(t);
+      auto it = std::lower_bound(locks.begin(), locks.end(), e.object);
+      if (it != locks.end() && *it == e.object) {
+        locks.erase(it);
+      }
+      s.tick(t);
+      s.monitor_release[e.object] = s.clocks[t];
+      if (WokenState* w = s.woken_find(t); w != nullptr && w->home_monitor == e.object) {
+        // Left the monitor without re-WAITing: proceeded on a once-checked predicate.
+        ++s.groups[w->group].left_without_rewait;
+        w->active = false;
+      }
+      break;
+    }
+    case EventType::kCvWait:
+      ++s.cvs[e.object].waits_started;
+      s.cvs[e.object].last_time = e.time_us;
+      s.tick(t);
+      if (WokenState* w = s.woken_find(t); w != nullptr && w->cv == e.object) {
+        w->active = false;  // re-checked and re-waited: the loop convention in action
+      }
+      break;
+    case EventType::kCvTimeout:
+      ++s.cvs[e.object].timeouts;
+      s.cvs[e.object].last_time = e.time_us;
+      s.tick(t);
+      break;
+    case EventType::kCvNotified: {
+      CvState& cv = s.cvs[e.object];
+      ++cv.notified;
+      cv.last_time = e.time_us;
+      auto signal = s.cv_signal.find(e.object);
+      if (signal != s.cv_signal.end()) {
+        Join(&s.clock_of(t), signal->second);  // the notifier's past is ordered before us
+      }
+      s.tick(t);
+      auto pending = s.pending_groups.find(e.object);
+      if (pending != s.pending_groups.end() && !pending->second.empty()) {
+        size_t g = pending->second.front();
+        if (--s.groups[g].unassigned == 0) {
+          pending->second.erase(pending->second.begin());
+        }
+        s.woken_of(t) = WokenState{g, e.object, 0, true};
+      }
+      break;
+    }
+    case EventType::kCvNotify: {
+      CvState& cv = s.cvs[e.object];
+      ++cv.notifies;
+      if (e.arg > 0) {
+        ++cv.notifies_woke;
+      }
+      cv.last_time = e.time_us;
+      s.tick(t);
+      s.cv_signal[e.object] = s.clocks[t];
+      break;
+    }
+    case EventType::kCvBroadcast: {
+      CvState& cv = s.cvs[e.object];
+      ++cv.notifies;
+      if (e.arg > 0) {
+        ++cv.notifies_woke;
+      }
+      cv.last_time = e.time_us;
+      s.tick(t);
+      s.cv_signal[e.object] = s.clocks[t];
+      if (e.arg >= 2) {
+        s.groups.push_back(BroadcastGroup{e.object, e.time_us, e.arg, e.arg, 0});
+        s.pending_groups[e.object].push_back(s.groups.size() - 1);
+      }
+      break;
+    }
+    case EventType::kSharedRead:
+    case EventType::kSharedWrite: {
+      if (t == 0) {
+        break;  // host-context setup accesses are not schedulable
+      }
+      bool is_write = e.type == EventType::kSharedWrite;
+      s.tick(t);
+      CellState& cell = s.cells[e.object];
+      const Lockset& locks = s.held_of(t);
+      // Dedup by (thread, kind, lockset), keeping the first and the latest access per key:
+      // the first catches races against earlier accesses, the latest keeps the clock fresh
+      // for races against later ones. Without this, spin-loop reads would blow up the pass.
+      Access* latest = nullptr;
+      int matches = 0;
+      for (auto it = cell.accesses.rbegin(); it != cell.accesses.rend(); ++it) {
+        if (it->thread == t && it->is_write == is_write && it->locks == locks) {
+          if (latest == nullptr) {
+            latest = &*it;
+          }
+          ++matches;
+        }
+      }
+      if (matches >= 2) {
+        *latest = Access{t, is_write, locks, s.clocks[t], e.time_us};  // refresh latest slot
+      } else if (cell.accesses.size() < s.options.max_access_summaries) {
+        cell.accesses.push_back(Access{t, is_write, locks, s.clocks[t], e.time_us});
+      }
+      break;
+    }
+    default:
+      if (t != 0) {
+        s.tick(t);
+      }
+      break;
+  }
+}
+
+std::vector<Finding> TraceAnalyzer::Finish() {
+  State& s = *state_;
+  std::vector<Finding> findings;
 
   // Race check: any unordered, lock-disjoint, read-write or write-write pair per cell.
-  for (auto& [cell_id, cell] : cells) {
+  for (auto& [cell_id, cell] : s.cells) {
     for (size_t i = 0; i < cell.accesses.size() && !cell.reported; ++i) {
       for (size_t j = i + 1; j < cell.accesses.size(); ++j) {
         const Access& a = cell.accesses[i];
@@ -288,7 +350,7 @@ std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOpt
     }
   }
 
-  for (const BroadcastGroup& group : groups) {
+  for (const BroadcastGroup& group : s.groups) {
     if (group.left_without_rewait >= 2) {
       std::ostringstream detail;
       detail << "broadcast on cv " << group.cv << " at " << group.time << "us woke "
@@ -299,8 +361,8 @@ std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOpt
     }
   }
 
-  for (const auto& [cv_id, cv] : cvs) {
-    if (cv.timeouts >= options.timeout_driven_min_waits && cv.notified == 0) {
+  for (const auto& [cv_id, cv] : s.cvs) {
+    if (cv.timeouts >= s.options.timeout_driven_min_waits && cv.notified == 0) {
       std::ostringstream detail;
       detail << "cv " << cv_id << ": all " << cv.timeouts
              << " completed waits ended by timeout, none by notify — timeout driven "
@@ -311,7 +373,7 @@ std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOpt
     // Requires >= 2 waits: a thread that waits and is never woken hangs in its first WAIT, so
     // repeated waits alongside all-no-op notifies means timeouts are doing the waking — a
     // genuinely missed rendezvous, not a schedule that merely delayed one waiter.
-    if (cv.notifies >= options.notify_no_waiter_min && cv.notifies_woke == 0 &&
+    if (cv.notifies >= s.options.notify_no_waiter_min && cv.notifies_woke == 0 &&
         cv.waits_started >= 2) {
       std::ostringstream detail;
       detail << "cv " << cv_id << ": " << cv.notifies << " notifies woke nobody while "
@@ -322,6 +384,14 @@ std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOpt
   }
 
   return findings;
+}
+
+std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOptions& options) {
+  TraceAnalyzer analyzer(options);
+  for (const Event& e : tracer.events()) {
+    analyzer.Feed(e);
+  }
+  return analyzer.Finish();
 }
 
 std::vector<uint64_t> CollectTraceCoverage(const trace::Tracer& tracer, uint64_t salt) {

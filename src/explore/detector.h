@@ -22,6 +22,7 @@
 #ifndef SRC_EXPLORE_DETECTOR_H_
 #define SRC_EXPLORE_DETECTOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,30 @@ struct DetectorOptions {
   int notify_no_waiter_min = 3;
   // Per-cell cap on distinct (thread, lockset, kind) access summaries kept for the race check.
   size_t max_access_summaries = 64;
+};
+
+// Resumable form of AnalyzeTrace. The analysis is a strict left fold over the event stream, so
+// feeding events [0, n) and then [n, end) through one analyzer yields exactly the findings of a
+// single full-trace pass. The explorer exploits this the same way it reuses trace-hash prefixes:
+// under prefix-grouped exploration it folds the shared prefix once per branch, then copies the
+// analyzer per leaf and feeds only the suffix — O(suffix) analysis to match O(suffix) replay.
+// Copying is a deep copy of the fold state (a few small vectors and maps). Finish() consumes the
+// accumulated state; call it on a copy (or at most once, as the last call).
+class TraceAnalyzer {
+ public:
+  explicit TraceAnalyzer(const DetectorOptions& options = {});
+  TraceAnalyzer(const TraceAnalyzer& other);
+  TraceAnalyzer& operator=(const TraceAnalyzer& other);
+  TraceAnalyzer(TraceAnalyzer&&) noexcept;
+  TraceAnalyzer& operator=(TraceAnalyzer&&) noexcept;
+  ~TraceAnalyzer();
+
+  void Feed(const trace::Event& e);
+  std::vector<Finding> Finish();
+
+ private:
+  struct State;
+  std::unique_ptr<State> state_;
 };
 
 std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOptions& options = {});

@@ -4,11 +4,15 @@
 #include <chrono>
 #include <memory>
 #include <random>
+#include <unordered_set>
 #include <utility>
 
 #include "src/explore/hash.h"
 #include "src/explore/pool.h"
+#include "src/pcr/checkpoint.h"
 #include "src/pcr/errors.h"
+#include "src/pcr/fiber.h"
+#include "src/trace/metrics.h"
 
 namespace explore {
 
@@ -88,36 +92,12 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
     }
   }
 
-  const auto detector_start = ProfileClock::now();
-  outcome.findings = AnalyzeTrace(rt.tracer(), options_.detector);
-  detector_ns_.fetch_add(NsSince(detector_start), std::memory_order_relaxed);
-  outcome.trace_hash = TraceHash(rt.tracer());
-  if (options_.collect_coverage) {
-    outcome.coverage = TracePrefixHashes(rt.tracer(), options_.coverage_stride);
-    for (uint64_t& h : outcome.coverage) {
-      h ^= options_.coverage_salt;  // scenario-scope the state fingerprints too
-    }
-    std::vector<uint64_t> edges = CollectTraceCoverage(rt.tracer(), options_.coverage_salt);
-    outcome.coverage.insert(outcome.coverage.end(), edges.begin(), edges.end());
-    std::sort(outcome.coverage.begin(), outcome.coverage.end());
-    outcome.coverage.erase(std::unique(outcome.coverage.begin(), outcome.coverage.end()),
-                           outcome.coverage.end());
-  }
-  outcome.failures = ctx.failures();
-  if (options_.fail_on_findings) {
-    for (const Finding& f : outcome.findings) {
-      outcome.failures.push_back(std::string(FindingKindName(f.kind)) + ": " + f.detail);
-    }
-  }
-  outcome.failed = !outcome.failures.empty();
-  outcome.preempt_points = recorder.preempt_points_seen();
-
-  outcome.fired_faults = injector.fired();
-  std::vector<Decision> decisions = TrimTrailingDefaults(
-      plan.replay_mode ? replayer.consumed() : recorder.decisions());
-  outcome.repro =
-      EncodeRepro(options_.scenario_name, plan.runtime_seed, decisions,
-                  plan.fault_plan.enabled() ? plan.fault_plan.Encode() : std::string());
+  FillOutcome(rt.tracer(), ctx,
+              TrimTrailingDefaults(plan.replay_mode ? replayer.consumed()
+                                                    : recorder.decisions()),
+              recorder.preempt_points_seen(),
+              plan.replay_mode ? 0 : recorder.total_consults(), injector.fired(),
+              plan.runtime_seed, plan.fault_plan, schedule_index, &outcome);
   if (arena != nullptr) {
     // Everything that reads the trace (capture, detector, hash) has run; reclaim the buffer's
     // capacity for this worker's next schedule. The runtime's fibers are already torn down
@@ -125,6 +105,492 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
     arena->trace_buffer = rt.tracer().TakeEventBuffer();
   }
   return outcome;
+}
+
+void Explorer::FillOutcome(trace::Tracer& tracer, const TestContext& ctx,
+                           const std::vector<Decision>& decisions, uint64_t preempt_points,
+                           uint64_t total_decisions,
+                           const std::vector<fault::ScriptedFault>& fired,
+                           uint64_t runtime_seed, const fault::Plan& fault_plan,
+                           int schedule_index, ScheduleOutcome* out,
+                           const TraceHasher* resume_hasher, size_t resume_events,
+                           const TraceAnalyzer* resume_analyzer) {
+  out->schedule_index = schedule_index;
+  const auto detector_start = ProfileClock::now();
+  if (resume_analyzer != nullptr) {
+    // O(suffix) analysis: the detector is a left fold over the event stream, so resuming a
+    // prefix-fed analyzer over events [resume_events, end) yields exactly the findings of a
+    // full-trace pass (the equivalence suite checks this against from-zero mode).
+    TraceAnalyzer analyzer(*resume_analyzer);
+    const auto& events = tracer.events();
+    for (size_t i = resume_events; i < events.size(); ++i) {
+      analyzer.Feed(events[i]);
+    }
+    out->findings = analyzer.Finish();
+  } else {
+    out->findings = AnalyzeTrace(tracer, options_.detector);
+  }
+  detector_ns_.fetch_add(NsSince(detector_start), std::memory_order_relaxed);
+  if (resume_hasher != nullptr) {
+    TraceHasher hasher = *resume_hasher;
+    const auto& events = tracer.events();
+    for (size_t i = resume_events; i < events.size(); ++i) {
+      hasher.Mix(events[i]);
+    }
+    out->trace_hash = hasher.value();
+  } else {
+    out->trace_hash = TraceHash(tracer);
+  }
+  if (options_.collect_coverage) {
+    out->coverage = TracePrefixHashes(tracer, options_.coverage_stride);
+    for (uint64_t& h : out->coverage) {
+      h ^= options_.coverage_salt;  // scenario-scope the state fingerprints too
+    }
+    std::vector<uint64_t> edges = CollectTraceCoverage(tracer, options_.coverage_salt);
+    out->coverage.insert(out->coverage.end(), edges.begin(), edges.end());
+    std::sort(out->coverage.begin(), out->coverage.end());
+    out->coverage.erase(std::unique(out->coverage.begin(), out->coverage.end()),
+                        out->coverage.end());
+  }
+  out->failures = ctx.failures();
+  if (options_.fail_on_findings) {
+    for (const Finding& f : out->findings) {
+      out->failures.push_back(std::string(FindingKindName(f.kind)) + ": " + f.detail);
+    }
+  }
+  out->failed = !out->failures.empty();
+  out->preempt_points = preempt_points;
+  out->total_decisions = total_decisions;
+  out->fired_faults = fired;
+  out->repro = EncodeRepro(options_.scenario_name, runtime_seed, decisions,
+                           fault_plan.enabled() ? fault_plan.Encode() : std::string());
+}
+
+namespace {
+
+// Copies one group member's outcome into another cell of the same group; everything but the
+// schedule index is byte-identical by construction (shared prefix + matching fingerprint).
+void CopyOutcome(const ScheduleOutcome& src, int schedule_index, ScheduleOutcome* dst) {
+  *dst = src;
+  dst->schedule_index = schedule_index;
+}
+
+// Exec-fiber stack: holds the scenario body's own frame plus the scheduler run loop, while
+// every simulated thread runs on its own fiber stack.
+constexpr size_t kExecStackBytes = 256 * 1024;
+
+}  // namespace
+
+ScheduleOutcome Explorer::RunGroupMember(const GroupPlan& group, int branch, int leaf,
+                                         const TestBody& body, WorkerArena* arena,
+                                         int* reached_level, uint64_t* f_out) {
+  pcr::Config config = options_.base_config;
+  config.seed = group.runtime_seed;
+  config.trace_events = true;
+  if (arena != nullptr) {
+    config.stack_pool = &arena->stacks;
+  }
+
+  PerturbPolicy policy;
+  policy.seed = group.q0;
+  policy.preempt_probability = options_.preempt_probability;
+  policy.shuffle_probability = options_.shuffle_probability;
+  policy.change_points = group.change_points;
+  RecordingPerturber recorder(policy);
+  fault::Injector injector(group.fault_plan);
+
+  pcr::Runtime rt(config);
+  if (arena != nullptr) {
+    rt.tracer().AdoptEventBuffer(std::move(arena->trace_buffer));
+  }
+  TestContext ctx;
+  rt.scheduler().set_perturber(&recorder);
+  if (group.fault_plan.enabled()) {
+    rt.scheduler().set_fault_injector(&injector);
+  }
+
+  // From-zero execution of the same segmented decision stream the checkpoint path produces:
+  // reseeds fire inline at the segment boundaries instead of pausing, so the recorded
+  // decisions — and therefore the trace — are byte-identical between the two modes.
+  int reached = 0;
+  uint64_t fingerprint = 0;
+  const std::function<void(int)> segment_hook = [&](int level) {
+    reached = level;
+    if (level == 1) {
+      recorder.ReseedSegment(MixSeed(group.q0, 1, static_cast<uint64_t>(branch)));
+    } else {
+      fingerprint = TraceHash(rt.tracer());
+      recorder.ReseedSegment(MixSeed(group.q0 ^ fingerprint, 2, static_cast<uint64_t>(leaf)));
+    }
+  };
+  recorder.SetSegmentBoundaries(group.d1, group.d2);
+  recorder.set_segment_hook(&segment_hook);
+
+  const auto run_start = ProfileClock::now();
+  try {
+    body(rt, ctx);
+  } catch (const std::exception& e) {
+    ctx.Fail(std::string("uncaught exception: ") + e.what());
+  }
+  rt.Shutdown();
+  rt.scheduler().set_perturber(nullptr);
+  rt.scheduler().set_fault_injector(nullptr);
+  run_ns_.fetch_add(NsSince(run_start), std::memory_order_relaxed);
+  fiber_switches_.fetch_add(rt.scheduler().fiber_switches(), std::memory_order_relaxed);
+  stack_acquires_.fetch_add(rt.scheduler().stack_acquires(), std::memory_order_relaxed);
+  stack_pool_hits_.fetch_add(rt.scheduler().stack_pool_hits(), std::memory_order_relaxed);
+
+  *reached_level = reached;
+  *f_out = fingerprint;
+  ScheduleOutcome outcome;
+  FillOutcome(rt.tracer(), ctx, TrimTrailingDefaults(recorder.decisions()),
+              recorder.preempt_points_seen(), recorder.total_consults(), injector.fired(),
+              group.runtime_seed, group.fault_plan,
+              group.first_schedule + branch * group.leaves + leaf, &outcome);
+  if (arena != nullptr) {
+    arena->trace_buffer = rt.tracer().TakeEventBuffer();
+  }
+  return outcome;
+}
+
+void Explorer::RunGroupReplay(const GroupPlan& group, const TestBody& body,
+                              std::vector<ScheduleOutcome>* outcomes, WorkerArena* arena) {
+  outcomes->assign(static_cast<size_t>(group.members), ScheduleOutcome{});
+  // Fingerprint at d2 -> branch that first produced it, within this group only. The reseed at
+  // d2 is a pure function of (q0, fingerprint, leaf), so matching fingerprints guarantee
+  // identical leaf outcomes — pruning is exact, and both execution modes prune the same cells.
+  std::vector<std::pair<uint64_t, int>> seen_f;
+  for (int b = 0; b < group.branches; ++b) {
+    int first_cell = b * group.leaves;
+    if (first_cell >= group.members) {
+      break;
+    }
+    int cells = std::min(group.leaves, group.members - first_cell);
+    int reached = 0;
+    uint64_t fingerprint = 0;
+    ScheduleOutcome first = RunGroupMember(group, b, 0, body, arena, &reached, &fingerprint);
+    if (reached == 0 && b == 0) {
+      // The run consults fewer than d1 decisions: no reseed ever applies, so every member of
+      // the group is the same schedule. One execution covers them all.
+      (*outcomes)[0] = std::move(first);
+      for (int m = 1; m < group.members; ++m) {
+        CopyOutcome((*outcomes)[0], group.first_schedule + m, &(*outcomes)[static_cast<size_t>(m)]);
+      }
+      if (group.members > 1) {
+        pruned_.fetch_add(group.members - 1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    if (reached <= 1) {
+      // Ended after d1 but before d2: the leaf reseed never applied, so this branch's leaves
+      // are all the same schedule. No fingerprint exists (the run never got to d2).
+      (*outcomes)[static_cast<size_t>(first_cell)] = std::move(first);
+      for (int j = 1; j < cells; ++j) {
+        CopyOutcome((*outcomes)[static_cast<size_t>(first_cell)],
+                    group.first_schedule + first_cell + j,
+                    &(*outcomes)[static_cast<size_t>(first_cell + j)]);
+      }
+      if (cells > 1) {
+        pruned_.fetch_add(cells - 1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    // Reached d2: prune against earlier branches by state fingerprint.
+    int duplicate_of = -1;
+    for (const auto& [f, source] : seen_f) {
+      if (f == fingerprint) {
+        duplicate_of = source;
+        break;
+      }
+    }
+    if (duplicate_of >= 0) {
+      // Same prefix fingerprint at d2 as branch `duplicate_of`: identical continuations, so
+      // copy its leaves (the leaf run just executed is discarded — the checkpoint path detects
+      // the match before running any leaf, and pruned counts must agree between modes).
+      int src = duplicate_of * group.leaves;
+      for (int j = 0; j < cells; ++j) {
+        CopyOutcome((*outcomes)[static_cast<size_t>(src + j)],
+                    group.first_schedule + first_cell + j,
+                    &(*outcomes)[static_cast<size_t>(first_cell + j)]);
+      }
+      pruned_.fetch_add(cells, std::memory_order_relaxed);
+      continue;
+    }
+    seen_f.emplace_back(fingerprint, b);
+    (*outcomes)[static_cast<size_t>(first_cell)] = std::move(first);
+    for (int j = 1; j < cells; ++j) {
+      int leaf_reached = 0;
+      uint64_t leaf_f = 0;
+      (*outcomes)[static_cast<size_t>(first_cell + j)] =
+          RunGroupMember(group, b, j, body, arena, &leaf_reached, &leaf_f);
+    }
+  }
+}
+
+void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
+                                  std::vector<ScheduleOutcome>* outcomes, WorkerArena* arena) {
+  outcomes->assign(static_cast<size_t>(group.members), ScheduleOutcome{});
+
+  pcr::Config config = options_.base_config;
+  config.seed = group.runtime_seed;
+  config.trace_events = true;
+  if (arena != nullptr) {
+    config.stack_pool = &arena->stacks;
+  }
+
+  PerturbPolicy policy;
+  policy.seed = group.q0;
+  policy.preempt_probability = options_.preempt_probability;
+  policy.shuffle_probability = options_.shuffle_probability;
+  policy.change_points = group.change_points;
+  // Host-frame run state: the scheduler holds pointers to these, and branching restores them
+  // by copy-assignment (their addresses never change, only their contents rewind).
+  RecordingPerturber recorder(policy);
+  fault::Injector injector(group.fault_plan);
+
+  pcr::Runtime rt(config);
+  if (arena != nullptr) {
+    rt.tracer().AdoptEventBuffer(std::move(arena->trace_buffer));
+  }
+  TestContext ctx;
+  rt.scheduler().set_perturber(&recorder);
+  if (group.fault_plan.enabled()) {
+    rt.scheduler().set_fault_injector(&injector);
+  }
+
+  // The body runs on a dedicated exec fiber so the host frame can snapshot it mid-run: at a
+  // segment boundary the recorder parks the simulation (CheckpointPause), the scheduler fires
+  // the checkpoint hook from the exec stack, and the hook suspends the exec fiber — leaving
+  // every fiber quiescent with the host in control.
+  int pause_level = 0;
+  const std::function<void(int)> segment_hook = [&](int level) {
+    pause_level = level;
+    rt.scheduler().CheckpointPause();
+  };
+  recorder.SetSegmentBoundaries(group.d1, group.d2);
+  recorder.set_segment_hook(&segment_hook);
+
+  pcr::StackPool local_stacks;
+  pcr::StackPool& exec_stacks = arena != nullptr ? arena->stacks : local_stacks;
+  pcr::Fiber exec(
+      [&] {
+        try {
+          try {
+            body(rt, ctx);
+          } catch (const std::exception& e) {
+            ctx.Fail(std::string("uncaught exception: ") + e.what());
+          }
+          rt.Shutdown();
+        } catch (const pcr::CheckpointAbort&) {
+          // Group abandoned with this execution suspended mid-run: unwind quietly; the host
+          // already shut the simulated threads down.
+        }
+      },
+      exec_stacks.Acquire(kExecStackBytes), &exec_stacks);
+  rt.scheduler().set_checkpoint_hook([&exec] { exec.Suspend(); });
+
+  // Restores rewind the scheduler's own counters, so profile deltas are harvested per executed
+  // segment (each segment runs exactly once — that is the point).
+  int64_t base_switches = 0;
+  int64_t base_acquires = 0;
+  int64_t base_hits = 0;
+  auto harvest = [&] {
+    fiber_switches_.fetch_add(rt.scheduler().fiber_switches() - base_switches,
+                              std::memory_order_relaxed);
+    stack_acquires_.fetch_add(rt.scheduler().stack_acquires() - base_acquires,
+                              std::memory_order_relaxed);
+    stack_pool_hits_.fetch_add(rt.scheduler().stack_pool_hits() - base_hits,
+                               std::memory_order_relaxed);
+    base_switches = rt.scheduler().fiber_switches();
+    base_acquires = rt.scheduler().stack_acquires();
+    base_hits = rt.scheduler().stack_pool_hits();
+  };
+  auto resync = [&] {
+    base_switches = rt.scheduler().fiber_switches();
+    base_acquires = rt.scheduler().stack_acquires();
+    base_hits = rt.scheduler().stack_pool_hits();
+  };
+
+  // Per-runtime observability: the same counters land in ExploreProfile; these make them
+  // visible through the metrics registry when Config::metrics is on.
+  trace::Counter* m_saves = rt.scheduler().MetricCounter("explore.checkpoint.saves");
+  trace::Counter* m_resumes = rt.scheduler().MetricCounter("explore.checkpoint.resumes");
+  trace::Counter* m_bytes = rt.scheduler().MetricCounter("explore.checkpoint.bytes");
+  trace::Counter* m_pruned = rt.scheduler().MetricCounter("explore.pruned");
+  int64_t group_saves = 0;
+  int64_t group_resumes = 0;
+  int64_t group_bytes = 0;
+  int64_t group_pruned = 0;
+
+  auto fill_cell = [&](int cell, const TraceHasher* resume_hasher = nullptr,
+                       size_t resume_events = 0,
+                       const TraceAnalyzer* resume_analyzer = nullptr) {
+    FillOutcome(rt.tracer(), ctx, TrimTrailingDefaults(recorder.decisions()),
+                recorder.preempt_points_seen(), recorder.total_consults(), injector.fired(),
+                group.runtime_seed, group.fault_plan, group.first_schedule + cell,
+                &(*outcomes)[static_cast<size_t>(cell)], resume_hasher, resume_events,
+                resume_analyzer);
+  };
+
+  // Phase 1: execute the shared prefix up to d1.
+  const auto prefix_start = ProfileClock::now();
+  exec.Resume();
+  run_ns_.fetch_add(NsSince(prefix_start), std::memory_order_relaxed);
+
+  std::unique_ptr<pcr::Checkpoint> ckpt1;
+  std::unique_ptr<pcr::Checkpoint> ckpt2;
+  if (exec.finished()) {
+    // The whole run consults fewer than d1 decisions: every member is the same schedule.
+    harvest();
+    fill_cell(0);
+    for (int m = 1; m < group.members; ++m) {
+      CopyOutcome((*outcomes)[0], group.first_schedule + m,
+                  &(*outcomes)[static_cast<size_t>(m)]);
+    }
+    if (group.members > 1) {
+      group_pruned = group.members - 1;
+      pruned_.fetch_add(group_pruned, std::memory_order_relaxed);
+    }
+  } else {
+    // Paused at d1. Snapshot the simulation plus the host-frame run state.
+    ckpt1 = std::make_unique<pcr::Checkpoint>(rt.scheduler(), rt.tracer(), &exec);
+    ++group_saves;
+    group_bytes += static_cast<int64_t>(ckpt1->bytes());
+    RecordingPerturber recorder_at_d1 = recorder;
+    fault::Injector injector_at_d1 = injector;
+    TestContext ctx_at_d1 = ctx;
+    const size_t prefix_events = rt.tracer().events().size();
+    TraceHasher prefix_hasher;
+    TraceAnalyzer prefix_analyzer(options_.detector);
+    for (const trace::Event& e : rt.tracer().events()) {
+      prefix_hasher.Mix(e);
+      prefix_analyzer.Feed(e);
+    }
+
+    std::vector<std::pair<uint64_t, int>> seen_f;
+    for (int b = 0; b < group.branches; ++b) {
+      int first_cell = b * group.leaves;
+      if (first_cell >= group.members) {
+        break;
+      }
+      int cells = std::min(group.leaves, group.members - first_cell);
+      if (b > 0) {
+        harvest();  // a pruned branch's d1->d2 segment would otherwise be rewound uncounted
+        // Checkpoints are destroyed newest-first so fiber pins release in LIFO order.
+        ckpt2.reset();
+        ckpt1->Restore();
+        ++group_resumes;
+        resync();
+        recorder = recorder_at_d1;
+        injector = injector_at_d1;
+        ctx = ctx_at_d1;
+      }
+      recorder.ReseedSegment(MixSeed(group.q0, 1, static_cast<uint64_t>(b)));
+      pause_level = 0;
+      const auto branch_start = ProfileClock::now();
+      exec.Resume();
+      run_ns_.fetch_add(NsSince(branch_start), std::memory_order_relaxed);
+      if (exec.finished()) {
+        // Ended before d2: one schedule covers all of this branch's leaves.
+        harvest();
+        fill_cell(first_cell, &prefix_hasher, prefix_events, &prefix_analyzer);
+        for (int j = 1; j < cells; ++j) {
+          CopyOutcome((*outcomes)[static_cast<size_t>(first_cell)],
+                      group.first_schedule + first_cell + j,
+                      &(*outcomes)[static_cast<size_t>(first_cell + j)]);
+        }
+        if (cells > 1) {
+          group_pruned += cells - 1;
+          pruned_.fetch_add(cells - 1, std::memory_order_relaxed);
+        }
+        continue;
+      }
+      // Paused at d2: fingerprint the trace prefix (incrementally — the events up to d1 were
+      // hashed once for the whole group).
+      TraceHasher branch_hasher = prefix_hasher;
+      TraceAnalyzer branch_analyzer = prefix_analyzer;
+      const auto& events = rt.tracer().events();
+      for (size_t i = prefix_events; i < events.size(); ++i) {
+        branch_hasher.Mix(events[i]);
+        branch_analyzer.Feed(events[i]);
+      }
+      const size_t events_at_d2 = events.size();
+      const uint64_t fingerprint = branch_hasher.value();
+      int duplicate_of = -1;
+      for (const auto& [f, source] : seen_f) {
+        if (f == fingerprint) {
+          duplicate_of = source;
+          break;
+        }
+      }
+      if (duplicate_of >= 0) {
+        // Matching state fingerprint: this branch's leaves would replay another branch's
+        // leaves byte-for-byte, so copy them without executing anything. The paused execution
+        // is abandoned; the next branch (or the group epilogue) rewinds past it.
+        int src = duplicate_of * group.leaves;
+        for (int j = 0; j < cells; ++j) {
+          CopyOutcome((*outcomes)[static_cast<size_t>(src + j)],
+                      group.first_schedule + first_cell + j,
+                      &(*outcomes)[static_cast<size_t>(first_cell + j)]);
+        }
+        group_pruned += cells;
+        pruned_.fetch_add(cells, std::memory_order_relaxed);
+        continue;
+      }
+      seen_f.emplace_back(fingerprint, b);
+      ckpt2 = std::make_unique<pcr::Checkpoint>(rt.scheduler(), rt.tracer(), &exec);
+      ++group_saves;
+      group_bytes += static_cast<int64_t>(ckpt2->bytes());
+      RecordingPerturber recorder_at_d2 = recorder;
+      fault::Injector injector_at_d2 = injector;
+      TestContext ctx_at_d2 = ctx;
+      for (int j = 0; j < cells; ++j) {
+        if (j > 0) {
+          ckpt2->Restore();
+          ++group_resumes;
+          resync();
+          recorder = recorder_at_d2;
+          injector = injector_at_d2;
+          ctx = ctx_at_d2;
+        }
+        recorder.ReseedSegment(
+            MixSeed(group.q0 ^ fingerprint, 2, static_cast<uint64_t>(j)));
+        const auto leaf_start = ProfileClock::now();
+        exec.Resume();  // no boundaries remain: runs to completion
+        run_ns_.fetch_add(NsSince(leaf_start), std::memory_order_relaxed);
+        harvest();
+        fill_cell(first_cell + j, &branch_hasher, events_at_d2, &branch_analyzer);
+      }
+    }
+  }
+
+  if (!exec.finished()) {
+    // The last branch was pruned at its pause point: kill the simulated threads from the host,
+    // then unwind the suspended body via CheckpointAbort.
+    const auto teardown_start = ProfileClock::now();
+    rt.Shutdown();
+    rt.scheduler().RequestCheckpointAbort();
+    exec.Resume();
+    run_ns_.fetch_add(NsSince(teardown_start), std::memory_order_relaxed);
+    harvest();
+  }
+  ckpt2.reset();
+  ckpt1.reset();
+  rt.scheduler().set_checkpoint_hook(nullptr);
+  rt.scheduler().set_perturber(nullptr);
+  rt.scheduler().set_fault_injector(nullptr);
+
+  checkpoint_saves_.fetch_add(group_saves, std::memory_order_relaxed);
+  checkpoint_resumes_.fetch_add(group_resumes, std::memory_order_relaxed);
+  checkpoint_bytes_.fetch_add(group_bytes, std::memory_order_relaxed);
+  trace::MetricAdd(m_saves, group_saves);
+  trace::MetricAdd(m_resumes, group_resumes);
+  trace::MetricAdd(m_bytes, group_bytes);
+  trace::MetricAdd(m_pruned, group_pruned);
+
+  if (arena != nullptr) {
+    arena->trace_buffer = rt.tracer().TakeEventBuffer();
+  }
 }
 
 bool Explorer::SameFailure(const ScheduleOutcome& a, const ScheduleOutcome& b) {
@@ -250,19 +716,19 @@ ScheduleOutcome Explorer::Replay(const std::string& repro, const TestBody& body,
 
 ExploreResult Explorer::Explore(const TestBody& body) {
   ExploreResult result;
-  std::vector<uint64_t> hashes;
+  std::unordered_set<uint64_t> hashes;
   run_ns_.store(0, std::memory_order_relaxed);
   detector_ns_.store(0, std::memory_order_relaxed);
   fiber_switches_.store(0, std::memory_order_relaxed);
   stack_acquires_.store(0, std::memory_order_relaxed);
   stack_pool_hits_.store(0, std::memory_order_relaxed);
+  checkpoint_saves_.store(0, std::memory_order_relaxed);
+  checkpoint_resumes_.store(0, std::memory_order_relaxed);
+  checkpoint_bytes_.store(0, std::memory_order_relaxed);
+  pruned_.store(0, std::memory_order_relaxed);
   const auto total_start = ProfileClock::now();
 
-  auto note_hash = [&hashes](uint64_t h) {
-    if (std::find(hashes.begin(), hashes.end(), h) == hashes.end()) {
-      hashes.push_back(h);
-    }
-  };
+  auto note_hash = [&hashes](uint64_t h) { hashes.insert(h); };
 
   // One arena per pool worker, alive for the whole Explore call: each worker's schedules
   // inherit its predecessor's stack pool and trace-buffer capacity instead of paying mmap +
@@ -286,46 +752,95 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   result.schedules_run = 1;
   note_hash(result.baseline.trace_hash);
   uint64_t horizon = std::max<uint64_t>(result.baseline.preempt_points, 16);
+  // The segment boundaries live in total-consultation space (ForcePreempt + PickNext); place
+  // them inside the baseline's decision horizon so most runs actually cross them.
+  uint64_t decision_space = std::max<uint64_t>(result.baseline.total_decisions, 16);
 
-  // Every plan is precomputed from (options, baseline) before anything executes. The horizon
-  // is fixed at the baseline's: letting it grow with each completed schedule would make plan i
-  // a function of schedules 0..i-1, serializing the whole sweep. With plans pure, any worker
-  // can run any schedule and the result cannot depend on who ran what when.
+  // Budget-tiered group geometry: branches reseed at d1, leaves reseed at d2, so one group of
+  // branches*leaves schedules shares one prefix execution (and each branch shares its d1->d2
+  // segment). Bigger budgets amortize deeper; tiny budgets keep groups small so the search
+  // still spreads across many independent prefixes.
+  int branches = 2;
+  int leaves = 1;
+  if (options_.budget >= 1024) {
+    branches = 4;
+    leaves = 16;
+  } else if (options_.budget >= 256) {
+    branches = 2;
+    leaves = 3;
+  } else if (options_.budget >= 64) {
+    branches = 2;
+    leaves = 2;
+  }
+  const int per_group = branches * leaves;
+
+  // Every group plan is precomputed from (options, baseline) before anything executes. The
+  // horizon is fixed at the baseline's: letting it grow with each completed schedule would
+  // make plan i a function of schedules 0..i-1, serializing the whole sweep. With plans pure,
+  // any worker can run any group and the result cannot depend on who ran what when.
   std::mt19937_64 master(options_.seed);
-  std::vector<Plan> plans;
-  plans.reserve(options_.budget > 1 ? static_cast<size_t>(options_.budget) - 1 : 0);
-  for (int i = 1; i < options_.budget; ++i) {
-    Plan plan;
-    plan.runtime_seed =
+  std::vector<GroupPlan> groups;
+  int sweep_budget = options_.budget > 1 ? options_.budget - 1 : 0;
+  groups.reserve(static_cast<size_t>((sweep_budget + per_group - 1) / per_group));
+  for (int g = 0; g * per_group < sweep_budget; ++g) {
+    GroupPlan group;
+    group.group_index = g;
+    group.first_schedule = 1 + g * per_group;
+    group.branches = branches;
+    group.leaves = leaves;
+    group.members = std::min(per_group, options_.budget - group.first_schedule);
+    group.runtime_seed =
         options_.sweep_runtime_seed ? (master() | 1) : options_.base_config.seed;
-    plan.policy.seed = master();
-    plan.policy.preempt_probability = options_.preempt_probability;
-    plan.policy.shuffle_probability = options_.shuffle_probability;
-    // PCT-style depth: schedule i gets i % 4 guaranteed change points within the baseline
+    group.q0 = master();
+    // PCT-style depth: group g gets g % 4 guaranteed change points within the baseline
     // horizon. Depth cycles 0..3 so shallow bugs are not starved by deep probing.
-    int depth = i % 4;
+    int depth = g % 4;
     for (int d = 0; d < depth; ++d) {
-      plan.policy.change_points.push_back(master() % horizon);
+      group.change_points.push_back(master() % horizon);
     }
     // The master RNG is stepped for fault seeds only when a fault plan is set, so fault-free
-    // Explore calls keep producing the exact plan streams (and repro strings) they always did.
+    // Explore calls keep drawing the same seed stream whether or not faults are in play.
     if (options_.fault_plan.enabled()) {
-      plan.fault_plan = options_.fault_plan;
+      group.fault_plan = options_.fault_plan;
       if (options_.sweep_fault_seed) {
-        plan.fault_plan.seed = master();
+        group.fault_plan.seed = master();
       }
     }
-    plans.push_back(std::move(plan));
+    // d1 lands in [45%, 65%) and d2 in [80%, 90%) of the baseline's decision count: late
+    // enough that the shared prefix amortizes real work, early enough that branches and
+    // leaves still have decisions left to diverge on. Large budgets push both boundaries
+    // later — with 16 leaves per branch the per-schedule execution cost is dominated by the
+    // post-d2 suffix, so shrinking that suffix is what the bigger group buys.
+    if (options_.budget >= 1024) {
+      group.d1 = decision_space * 55 / 100 +
+                 master() % std::max<uint64_t>(1, decision_space * 15 / 100);
+      group.d2 = decision_space * 88 / 100 +
+                 master() % std::max<uint64_t>(1, decision_space * 8 / 100);
+    } else {
+      group.d1 =
+          decision_space * 45 / 100 + master() % std::max<uint64_t>(1, decision_space / 5);
+      group.d2 =
+          decision_space * 80 / 100 + master() % std::max<uint64_t>(1, decision_space / 10);
+    }
+    if (group.d2 <= group.d1) {
+      group.d2 = group.d1 + 1;
+    }
+    groups.push_back(std::move(group));
   }
 
-  // Fan schedules across workers. Each RunPlan builds its own Runtime + Tracer and shares
-  // nothing but its worker's arena, so schedules are embarrassingly parallel; outcomes land in
-  // their slot by index.
-  std::vector<ScheduleOutcome> outcomes(plans.size());
+  // Fan groups across workers. Each group builds its own Runtime + Tracer and shares nothing
+  // but its worker's arena, so groups are embarrassingly parallel; outcomes land in their slot
+  // by index. Groups (not schedules) being the work unit is what keeps the pool busy: one
+  // coarse unit per dispatch instead of one microsecond-scale run.
+  const bool use_checkpoint = options_.checkpoint && pcr::Checkpoint::Supported();
+  std::vector<std::vector<ScheduleOutcome>> group_outcomes(groups.size());
   const auto sweep_start = ProfileClock::now();
-  pool.Run(plans.size(), [&](size_t worker, size_t k) {
-    outcomes[k] = RunPlan(plans[k], static_cast<int>(k) + 1, body, nullptr,
-                          arenas[worker].get());
+  pool.Run(groups.size(), [&](size_t worker, size_t g) {
+    if (use_checkpoint) {
+      RunGroupCheckpoint(groups[g], body, &group_outcomes[g], arenas[worker].get());
+    } else {
+      RunGroupReplay(groups[g], body, &group_outcomes[g], arenas[worker].get());
+    }
   });
   result.profile.sweep_sec = SecSince(sweep_start);
 
@@ -336,20 +851,24 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   if (result.baseline.failed) {
     distinct.push_back(result.baseline);
   }
-  for (size_t k = 0; k < outcomes.size() && distinct.size() < options_.max_failures; ++k) {
-    ScheduleOutcome& outcome = outcomes[k];
-    ++result.schedules_run;
-    note_hash(outcome.trace_hash);
-    if (outcome.failed) {
-      bool duplicate = false;
-      for (const ScheduleOutcome& known : distinct) {
-        if (SameFailure(known, outcome)) {
-          duplicate = true;
-          break;
+  for (size_t g = 0; g < group_outcomes.size() && distinct.size() < options_.max_failures;
+       ++g) {
+    for (size_t k = 0;
+         k < group_outcomes[g].size() && distinct.size() < options_.max_failures; ++k) {
+      ScheduleOutcome& outcome = group_outcomes[g][k];
+      ++result.schedules_run;
+      note_hash(outcome.trace_hash);
+      if (outcome.failed) {
+        bool duplicate = false;
+        for (const ScheduleOutcome& known : distinct) {
+          if (SameFailure(known, outcome)) {
+            duplicate = true;
+            break;
+          }
         }
-      }
-      if (!duplicate) {
-        distinct.push_back(std::move(outcome));
+        if (!duplicate) {
+          distinct.push_back(std::move(outcome));
+        }
       }
     }
   }
@@ -376,6 +895,10 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   result.profile.fiber_switches = fiber_switches_.load(std::memory_order_relaxed);
   result.profile.stack_acquires = stack_acquires_.load(std::memory_order_relaxed);
   result.profile.stack_pool_hits = stack_pool_hits_.load(std::memory_order_relaxed);
+  result.profile.checkpoint_saves = checkpoint_saves_.load(std::memory_order_relaxed);
+  result.profile.checkpoint_resumes = checkpoint_resumes_.load(std::memory_order_relaxed);
+  result.profile.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
+  result.profile.pruned_schedules = pruned_.load(std::memory_order_relaxed);
   if (result.profile.total_sec > 0) {
     result.profile.schedules_per_sec = result.schedules_run / result.profile.total_sec;
   }

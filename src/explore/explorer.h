@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/explore/detector.h"
+#include "src/explore/hash.h"
 #include "src/explore/perturbers.h"
 #include "src/explore/repro.h"
 #include "src/fault/fault.h"
@@ -87,6 +88,13 @@ struct ExploreOptions {
   bool collect_coverage = false;
   size_t coverage_stride = 64;
   uint64_t coverage_salt = 0;  // mixed into every key; the campaign salts per scenario
+  // Execute schedule groups by checkpoint-and-branch: snapshot the simulation at each group's
+  // divergence points and replay only the suffix per schedule (O(suffix) instead of O(horizon)).
+  // Results are byte-identical either way; this only changes how they are computed. Ignored
+  // (treated as false) in builds where pcr::Checkpoint::Supported() is false — ucontext fibers
+  // or sanitizers. Turn off for bodies that keep non-checkpointable state outside the runtime
+  // (see BugScenario::checkpoint_safe).
+  bool checkpoint = true;
 };
 
 // Everything known about one executed schedule.
@@ -98,6 +106,7 @@ struct ScheduleOutcome {
   uint64_t trace_hash = 0;
   std::string repro;                  // replayable repro string for this exact schedule
   uint64_t preempt_points = 0;        // ForcePreempt consultations seen (the PCT horizon)
+  uint64_t total_decisions = 0;       // consultations of either kind (the d1/d2 index space)
   std::vector<fault::ScriptedFault> fired_faults;  // faults that fired, in firing order
   // Sorted, deduplicated coverage keys (only with ExploreOptions::collect_coverage): prefix
   // trace hashes + CollectTraceCoverage edges. The campaign unions these per run.
@@ -121,6 +130,14 @@ struct ExploreProfile {
   int64_t fiber_switches = 0;
   int64_t stack_acquires = 0;
   int64_t stack_pool_hits = 0;
+  // Checkpoint-and-branch counters (all zero with ExploreOptions::checkpoint off or
+  // unsupported). pruned_schedules counts schedules whose outcome was copied from an
+  // already-executed group member because their state fingerprints matched at the divergence
+  // point — they are included in schedules_run but cost no execution.
+  int64_t checkpoint_saves = 0;
+  int64_t checkpoint_resumes = 0;
+  int64_t checkpoint_bytes = 0;
+  int64_t pruned_schedules = 0;
 };
 
 struct ExploreResult {
@@ -174,8 +191,67 @@ class Explorer {
     std::vector<trace::Event> trace_buffer;
   };
 
+  // One prefix-grouped work unit: up to branches*leaves consecutive schedules sharing the
+  // segment-1 decision prefix (seed q0 + the group's change points). At consultation d1 each
+  // branch b reseeds to MixSeed(q0, 1, b); at d2 each leaf j reseeds to MixSeed(q0 ^ F, 2, j),
+  // where F is the trace-prefix fingerprint at d2 — so equal fingerprints provably yield
+  // identical continuations, which is what makes state-hash pruning exact, not heuristic.
+  // Flat schedule index of (branch b, leaf j) is first_schedule + b*leaves + j; cells past the
+  // overall budget are skipped (members counts the in-budget ones).
+  struct GroupPlan {
+    int group_index = 0;
+    int first_schedule = 1;
+    int branches = 1;
+    int leaves = 1;
+    int members = 1;
+    uint64_t runtime_seed = 1;
+    uint64_t q0 = 0;                      // segment-1 decision seed and reseed basis
+    std::vector<uint64_t> change_points;  // group-shared PCT change points
+    uint64_t d1 = 0;                      // consultation indices of the divergence points
+    uint64_t d2 = 0;
+    fault::Plan fault_plan;
+  };
+
+ public:
+  // Checkpoint/pruning counters accumulated since the last Explore() call (which resets them).
+  // Replay/Minimize add to them whenever they run grouped plans. The fuzzing campaign reads
+  // these per-scenario explorers for its status JSON.
+  int64_t checkpoint_saves() const { return checkpoint_saves_.load(std::memory_order_relaxed); }
+  int64_t checkpoint_resumes() const {
+    return checkpoint_resumes_.load(std::memory_order_relaxed);
+  }
+  int64_t checkpoint_bytes() const { return checkpoint_bytes_.load(std::memory_order_relaxed); }
+  int64_t pruned_schedules() const { return pruned_.load(std::memory_order_relaxed); }
+
+ private:
   ScheduleOutcome RunPlan(const Plan& plan, int schedule_index, const TestBody& body,
                           trace::Tracer* capture = nullptr, WorkerArena* arena = nullptr);
+  // Group execution: checkpoint-and-branch (O(suffix) per schedule) or from-zero replay of the
+  // same plans. Both fill `outcomes` (size group.members, flat order) with byte-identical
+  // results and identical pruned counts.
+  void RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
+                          std::vector<ScheduleOutcome>* outcomes, WorkerArena* arena);
+  void RunGroupReplay(const GroupPlan& group, const TestBody& body,
+                      std::vector<ScheduleOutcome>* outcomes, WorkerArena* arena);
+  // From-zero execution of one group member on the calling frame. reached_level reports how far
+  // the run got (0: ended before d1, 1: before d2, 2: past d2); f_out receives the d2
+  // fingerprint when reached_level == 2.
+  ScheduleOutcome RunGroupMember(const GroupPlan& group, int branch, int leaf,
+                                 const TestBody& body, WorkerArena* arena, int* reached_level,
+                                 uint64_t* f_out);
+  // Shared post-run analysis: detector, trace hash, coverage, repro encoding. When the caller
+  // already holds the running hash of a trace prefix (checkpointed groups hash the shared
+  // prefix once), resume_hasher/resume_events let the trace hash continue from it instead of
+  // rehashing from event zero — FNV continuation is value-identical to the full pass. The same
+  // boundary feeds resume_analyzer: a detector fold already carried to resume_events continues
+  // over the suffix only, and both are checked byte-identical against from-zero mode by the
+  // equivalence suite.
+  void FillOutcome(trace::Tracer& tracer, const TestContext& ctx,
+                   const std::vector<Decision>& decisions, uint64_t preempt_points,
+                   uint64_t total_decisions, const std::vector<fault::ScriptedFault>& fired,
+                   uint64_t runtime_seed, const fault::Plan& fault_plan, int schedule_index,
+                   ScheduleOutcome* out, const TraceHasher* resume_hasher = nullptr,
+                   size_t resume_events = 0, const TraceAnalyzer* resume_analyzer = nullptr);
   ScheduleOutcome Minimize(const ScheduleOutcome& outcome, const TestBody& body,
                            WorkerArena* arena);
   static bool SameFailure(const ScheduleOutcome& a, const ScheduleOutcome& b);
@@ -187,6 +263,10 @@ class Explorer {
   std::atomic<int64_t> fiber_switches_{0};
   std::atomic<int64_t> stack_acquires_{0};
   std::atomic<int64_t> stack_pool_hits_{0};
+  std::atomic<int64_t> checkpoint_saves_{0};
+  std::atomic<int64_t> checkpoint_resumes_{0};
+  std::atomic<int64_t> checkpoint_bytes_{0};
+  std::atomic<int64_t> pruned_{0};
 };
 
 }  // namespace explore

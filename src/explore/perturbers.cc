@@ -15,7 +15,23 @@ void RecordingPerturber::Record(Decision d) {
   }
 }
 
+void RecordingPerturber::AtConsult() {
+  uint64_t index = consults_++;
+  if (segment_hook_ == nullptr) {
+    return;
+  }
+  if (next_level_ == 1 && index == d1_) {
+    next_level_ = 2;  // advanced before the call: the hook may checkpoint-pause mid-statement
+    (*segment_hook_)(1);
+  } else if (next_level_ == 2 && index == d2_) {
+    next_level_ = 3;
+    (*segment_hook_)(2);
+  }
+  // No member access after the hook returns — see the header comment on AtConsult.
+}
+
 bool RecordingPerturber::ForcePreempt(pcr::PreemptPoint /*point*/, pcr::ThreadId /*current*/) {
+  AtConsult();
   uint64_t index = preempt_points_seen_++;
   if (decisions_.size() >= kMaxRecordedDecisions) {
     return false;  // stopped recording; must answer the replayer's past-end default
@@ -31,6 +47,7 @@ bool RecordingPerturber::ForcePreempt(pcr::PreemptPoint /*point*/, pcr::ThreadId
 }
 
 size_t RecordingPerturber::PickNext(const pcr::ThreadId* /*candidates*/, size_t count) {
+  AtConsult();
   if (decisions_.size() >= kMaxRecordedDecisions) {
     return 0;
   }

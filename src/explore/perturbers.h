@@ -14,6 +14,8 @@
 #ifndef SRC_EXPLORE_PERTURBERS_H_
 #define SRC_EXPLORE_PERTURBERS_H_
 
+#include <cstdint>
+#include <functional>
 #include <random>
 #include <vector>
 
@@ -21,6 +23,47 @@
 #include "src/pcr/perturber.h"
 
 namespace explore {
+
+// Derives a decision-stream seed from a group seed plus segment coordinates (splitmix64-style
+// finalizer). Used by the explorer's prefix-grouped schedules: every branch/leaf reseeds the
+// recorder at a fixed consultation index, so schedules in one group share a decision prefix
+// byte-for-byte and diverge only at the reseed boundary.
+inline uint64_t MixSeed(uint64_t a, uint64_t b, uint64_t c) {
+  uint64_t x = a ^ (0x9e3779b97f4a7c15ull * (b + 1)) ^ (0xbf58476d1ce4e5b9ull * (c + 1));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+// Decision-stream generator. The recorder reseeds once per explored schedule (and once per
+// segment under prefix-grouped exploration), and each stream is only a handful of draws long —
+// mt19937_64 pays a ~2.5KB state expansion per seed, which dominated the sweep profile.
+// splitmix64 seeds in one store, draws in three multiplies, and passes through
+// std::uniform_*_distribution like any URBG. Decision *streams* change with the engine, but
+// every decision is recorded, so repro strings and replays are engine-independent.
+class SplitMix64 {
+ public:
+  using result_type = uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  SplitMix64() = default;
+  explicit SplitMix64(uint64_t s) : state_(s) {}
+  void seed(uint64_t s) { state_ = s; }
+
+  result_type operator()() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_ = 0;
+};
 
 // Decisions past this count stop being recorded and fall back to defaults (no preempt, FIFO
 // tie-break). Replay stays faithful because the replayer answers the same defaults past the end
@@ -45,13 +88,40 @@ class RecordingPerturber : public pcr::SchedulePerturber {
   // Total ForcePreempt consultations seen — the "horizon" the explorer uses to place the next
   // schedule's change points.
   uint64_t preempt_points_seen() const { return preempt_points_seen_; }
+  // Total consultations of either kind — the decision-index space the explorer's segment
+  // boundaries (d1/d2) live in.
+  uint64_t total_consults() const { return consults_; }
+
+  // Segment boundaries for prefix-grouped exploration: just before answering consultation d1
+  // (respectively d2) the recorder fires the segment hook with level 1 (2), exactly once each.
+  // The hook typically reseeds the RNG (ReseedSegment) and may pause the simulation to take a
+  // checkpoint. Unset boundaries (the default, kNoBoundary) never fire.
+  static constexpr uint64_t kNoBoundary = ~0ull;
+  void SetSegmentBoundaries(uint64_t d1, uint64_t d2) {
+    d1_ = d1;
+    d2_ = d2;
+  }
+  // The hook is held by pointer to a host-owned std::function: under checkpointed exploration
+  // the recorder is copy-assigned (restored) while a suspended fiber frame still sits inside the
+  // hook target's operator(), so the target itself must never be copied or destroyed here.
+  void set_segment_hook(const std::function<void(int)>* hook) { segment_hook_ = hook; }
+  void ReseedSegment(uint64_t seed) { rng_.seed(seed); }
 
  private:
   void Record(Decision d);
+  // Must be the first statement of both consultation callbacks, and must touch no members after
+  // the hook returns: a checkpoint restore can rewind this object while the frame is suspended
+  // inside the hook, and the resumed frame must see post-restore state only.
+  void AtConsult();
 
   PerturbPolicy policy_;
-  std::mt19937_64 rng_;
+  SplitMix64 rng_;
   uint64_t preempt_points_seen_ = 0;
+  uint64_t consults_ = 0;
+  uint64_t d1_ = kNoBoundary;
+  uint64_t d2_ = kNoBoundary;
+  int next_level_ = 1;
+  const std::function<void(int)>* segment_hook_ = nullptr;
   std::vector<Decision> decisions_;
 };
 

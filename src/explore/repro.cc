@@ -27,8 +27,24 @@ int HexValue(char c) {
 std::string EncodeRepro(const std::string& scenario, uint64_t runtime_seed,
                         const std::vector<Decision>& decisions,
                         const std::string& fault_plan) {
-  std::string out = std::string(kMagic) + ":" + scenario + ":" + std::to_string(runtime_seed) +
-                    ":";
+  // One encode per explored schedule: build in place with a single reservation instead of
+  // chaining temporary strings (the worst case is one hex digit per decision).
+  std::string out;
+  out.reserve(sizeof(kMagic) + scenario.size() + 24 + decisions.size() + fault_plan.size() + 2);
+  out += kMagic;
+  out += ':';
+  out += scenario;
+  out += ':';
+  char seed_buf[21];  // max uint64 is 20 digits
+  char* seed_end = seed_buf + sizeof(seed_buf);
+  char* seed_p = seed_end;
+  uint64_t seed = runtime_seed;
+  do {
+    *--seed_p = static_cast<char>('0' + seed % 10);
+    seed /= 10;
+  } while (seed != 0);
+  out.append(seed_p, seed_end);
+  out += ':';
   size_t i = 0;
   while (i < decisions.size()) {
     Decision value = decisions[i] > 15 ? 15 : decisions[i];
@@ -41,12 +57,23 @@ std::string EncodeRepro(const std::string& scenario, uint64_t runtime_seed,
     if (run > 1) {
       // The count is decimal and would be ambiguous against a following hex digit, so it is
       // always terminated with 'x'.
-      out += 'r' + std::to_string(run) + 'x';
+      char run_buf[21];
+      char* run_end = run_buf + sizeof(run_buf);
+      char* run_p = run_end;
+      size_t n = run;
+      do {
+        *--run_p = static_cast<char>('0' + n % 10);
+        n /= 10;
+      } while (n != 0);
+      out += 'r';
+      out.append(run_p, run_end);
+      out += 'x';
     }
     i += run;
   }
   if (!fault_plan.empty()) {
-    out += ':' + fault_plan;
+    out += ':';
+    out += fault_plan;
   }
   return out;
 }

@@ -190,6 +190,7 @@ bool RegisterScenario(BugScenario scenario) {
     return false;
   }
   scenario.options.scenario_name = scenario.name;
+  scenario.options.checkpoint = scenario.checkpoint_safe;
   Registry().push_back(std::move(scenario));
   return true;
 }

@@ -22,6 +22,12 @@ struct BugScenario {
   std::string name;
   std::string description;
   bool expect_bug = false;     // should exploration report at least one failure?
+  // Whether the body tolerates checkpoint-and-branch execution (ExploreOptions::checkpoint):
+  // all run-affecting state must live in the body's frame, in runtime objects, or in
+  // registered Checkpointables. Bodies holding state the checkpoint cannot rewind (globals,
+  // heap side tables, non-trivially-copyable WeakCells) must clear this; registration then
+  // forces options.checkpoint off so they always run from zero.
+  bool checkpoint_safe = true;
   ExploreOptions options;      // tuned defaults; callers may override budget/seed
   TestBody body;
 };

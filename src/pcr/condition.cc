@@ -1,5 +1,7 @@
 #include "src/pcr/condition.h"
 
+#include <new>
+
 #include "src/trace/event.h"
 
 namespace pcr {
@@ -9,6 +11,26 @@ Condition::Condition(MonitorLock& lock, std::string name, Usec timeout)
       name_sym_(lock.scheduler().InternName(name_)), timeout_(timeout) {
   m_wait_notified_us_ = lock_.scheduler().MetricHistogram("cv.wait_us.notified");
   m_wait_timeout_us_ = lock_.scheduler().MetricHistogram("cv.wait_us.timeout");
+  lock_.scheduler().RegisterCheckpointable(this);
+}
+
+Condition::~Condition() { lock_.scheduler().UnregisterCheckpointable(this); }
+
+void Condition::CheckpointSave(CheckpointedObjectState* state) const {
+  ckpt::AppendString(&state->extra, name_);
+  ckpt::AppendPodRange(&state->extra, waiters_);
+}
+
+void Condition::CheckpointTeardown() {
+  name_.~basic_string();
+  waiters_.~deque();
+}
+
+void Condition::CheckpointRestore(const CheckpointedObjectState& state) {
+  const char* cursor = state.extra.data();
+  new (&name_) std::string(ckpt::ReadString(&cursor));
+  new (&waiters_) std::deque<WaitEntry>();
+  ckpt::ReadPodRange(&cursor, &waiters_);
 }
 
 size_t Condition::waiter_count() const { return waiters_.size(); }

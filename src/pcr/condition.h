@@ -23,11 +23,12 @@
 
 namespace pcr {
 
-class Condition {
+class Condition : public Checkpointable {
  public:
   // `timeout` < 0 means WAITs never time out. Mesa associates the timeout with the CV, not the
   // individual WAIT.
   Condition(MonitorLock& lock, std::string name, Usec timeout = -1);
+  ~Condition() override;
 
   Condition(const Condition&) = delete;
   Condition& operator=(const Condition&) = delete;
@@ -70,6 +71,14 @@ class Condition {
   // exits on a watched CV means the notify side is absent, not slow.
   int64_t timeout_exits() const { return timeout_exits_; }
   int64_t notified_exits() const { return notified_exits_; }
+
+  // Checkpointable: heap-owning members are name_ and waiters_; scalars (timeout, exit
+  // counters, histogram handles) ride the raw byte image. See checkpoint.h.
+  void CheckpointSave(CheckpointedObjectState* state) const override;
+  void CheckpointTeardown() override;
+  void CheckpointRestore(const CheckpointedObjectState& state) override;
+  void* CheckpointStorage() override { return this; }
+  size_t CheckpointStorageBytes() const override { return sizeof(Condition); }
 
  private:
   void RequireLockForSignal(const char* op) const;

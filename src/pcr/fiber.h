@@ -65,6 +65,10 @@ class Fiber {
   static Fiber* Current();
 
  private:
+  // Checkpoint (src/pcr/checkpoint.h) saves/restores stack bytes and the suspended context_
+  // plus the started_/finished_ flags directly; the public API has no reason to expose them.
+  friend class Checkpoint;
+
 #if PCR_FIBER_USE_UCONTEXT
   static void Trampoline();
 #else

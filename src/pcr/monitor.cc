@@ -1,5 +1,7 @@
 #include "src/pcr/monitor.h"
 
+#include <new>
+
 #include "src/trace/event.h"
 
 namespace pcr {
@@ -9,6 +11,7 @@ MonitorLock::MonitorLock(Scheduler& scheduler, std::string name)
       name_sym_(scheduler.InternName(name_)) {
   m_all_contentions_ = scheduler_.MetricCounter("monitor.contentions");
   m_all_hold_us_ = scheduler_.MetricHistogram("monitor.hold_us");
+  scheduler_.RegisterCheckpointable(this);
 }
 
 void MonitorLock::RegisterContentionMetrics() {
@@ -23,7 +26,31 @@ void MonitorLock::RegisterContentionMetrics() {
   m_hold_us_ = scheduler_.MetricHistogram("monitor." + name_ + ".hold_us");
 }
 
-MonitorLock::~MonitorLock() { scheduler_.SetMonitorOwner(this, kNoThread); }
+MonitorLock::~MonitorLock() {
+  scheduler_.UnregisterCheckpointable(this);
+  scheduler_.SetMonitorOwner(this, kNoThread);
+}
+
+void MonitorLock::CheckpointSave(CheckpointedObjectState* state) const {
+  ckpt::AppendString(&state->extra, name_);
+  ckpt::AppendPodRange(&state->extra, entry_waiters_);
+  ckpt::AppendPodRange(&state->extra, deferred_wakeups_);
+}
+
+void MonitorLock::CheckpointTeardown() {
+  name_.~basic_string();
+  entry_waiters_.~deque();
+  deferred_wakeups_.~vector();
+}
+
+void MonitorLock::CheckpointRestore(const CheckpointedObjectState& state) {
+  const char* cursor = state.extra.data();
+  new (&name_) std::string(ckpt::ReadString(&cursor));
+  new (&entry_waiters_) std::deque<WaitEntry>();
+  ckpt::ReadPodRange(&cursor, &entry_waiters_);
+  new (&deferred_wakeups_) std::vector<ThreadId>();
+  ckpt::ReadPodRange(&cursor, &deferred_wakeups_);
+}
 
 bool MonitorLock::HeldByCurrent() const {
   return owner_ != kNoThread && owner_ == scheduler_.current();

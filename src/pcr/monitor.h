@@ -18,15 +18,16 @@
 #include <string>
 #include <vector>
 
+#include "src/pcr/checkpoint.h"
 #include "src/pcr/ids.h"
 #include "src/pcr/scheduler.h"
 
 namespace pcr {
 
-class MonitorLock {
+class MonitorLock : public Checkpointable {
  public:
   MonitorLock(Scheduler& scheduler, std::string name);
-  ~MonitorLock();
+  ~MonitorLock() override;
 
   MonitorLock(const MonitorLock&) = delete;
   MonitorLock& operator=(const MonitorLock&) = delete;
@@ -68,6 +69,15 @@ class MonitorLock {
   void ForceAcquireForUnwind();
 
   Scheduler& scheduler() { return scheduler_; }
+
+  // Checkpointable: heap-owning members are name_, entry_waiters_, deferred_wakeups_; every
+  // scalar (owner, poison, metric handles — registry nodes are address-stable) rides the raw
+  // byte image. See checkpoint.h for the teardown/memcpy/placement-new protocol.
+  void CheckpointSave(CheckpointedObjectState* state) const override;
+  void CheckpointTeardown() override;
+  void CheckpointRestore(const CheckpointedObjectState& state) override;
+  void* CheckpointStorage() override { return this; }
+  size_t CheckpointStorageBytes() const override { return sizeof(MonitorLock); }
 
  private:
   void AcquireSlowPath(bool count_spurious, ThreadId notifier);

@@ -14,6 +14,8 @@ Runtime::~Runtime() { Shutdown(); }
 
 Runtime* Runtime::Current() { return g_current_runtime; }
 
+void Runtime::SetCurrent(Runtime* rt) { g_current_runtime = rt; }
+
 ThreadId Runtime::ForkDetached(std::function<void()> body, ForkOptions options) {
   ThreadId tid = scheduler_.Fork(std::move(body), std::move(options));
   scheduler_.Detach(tid);

@@ -67,6 +67,10 @@ class Runtime {
   // The runtime currently executing on this OS thread (set during Run*), or nullptr. Lets
   // library code reach the runtime without threading a reference everywhere.
   static Runtime* Current();
+  // Checkpoint plumbing: Run* maintains Current() around the run-loop call, but a checkpoint
+  // restore rewinds stacks into the *middle* of that call — the thread-local must be put back
+  // alongside them or resumed fibers see no current runtime (pcr::Checkpoint uses this).
+  static void SetCurrent(Runtime* rt);
 
  private:
   void EnsureSystemDaemon();

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <limits>
 
+#include "src/pcr/checkpoint.h"
 #include "src/pcr/interrupt.h"
 #include "src/pcr/monitor.h"
 
@@ -60,6 +61,10 @@ Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
   running_.assign(static_cast<size_t>(config_.processors), kNoThread);
   last_running_.assign(static_cast<size_t>(config_.processors), kNoThread);
   stack_pool_ = config_.stack_pool != nullptr ? config_.stack_pool : &own_stack_pool_;
+  // Pre-size the tie-break scratch to its maximum: a checkpoint can pause execution inside
+  // SelectReady while a pointer to tied_scratch_.data() lives in a suspended frame, so the
+  // vector must never reallocate (restore refills it in place, within this capacity).
+  tied_scratch_.reserve(static_cast<size_t>(std::max(1, config_.max_threads)));
 #if PCR_METRICS
   if (config_.metrics) {
     // Register once here; the hot paths only ever touch the cached pointers.
@@ -104,11 +109,8 @@ trace::Log2Histogram* Scheduler::MetricHistogram(std::string_view name) {
 
 Scheduler::~Scheduler() { Shutdown(); }
 
-Tcb& Scheduler::GetTcb(ThreadId tid) {
-  if (tid == kNoThread || tid > tcbs_.size()) {
-    throw UsageError("pcr: unknown thread id " + std::to_string(tid));
-  }
-  return *tcbs_[tid - 1];
+void Scheduler::ThrowUnknownThread(ThreadId tid) const {
+  throw UsageError("pcr: unknown thread id " + std::to_string(tid));
 }
 
 Tcb* Scheduler::CurrentTcb() {
@@ -645,6 +647,74 @@ void Scheduler::MaybeForcePreempt(PreemptPoint point) {
 }
 
 // ---------------------------------------------------------------------------
+// Checkpoint support
+// ---------------------------------------------------------------------------
+
+void Scheduler::CheckpointPause() {
+  if (!checkpoint_hook_) {
+    return;
+  }
+  Tcb* me = CurrentTcb();
+  if (me == nullptr) {
+    // Scheduler-loop context (a PickNext tie-break): the loop already runs on the exec
+    // fiber's stack, so the hook can suspend directly from here.
+    checkpoint_hook_();
+    ThrowIfCheckpointAborted();
+    return;
+  }
+  // Simulated-thread context (a ForcePreempt consult): park the fiber and let the RunFiber
+  // frame — which runs on the exec stack — fire the hook, so the snapshot sees this fiber
+  // cleanly suspended.
+  checkpoint_pause_pending_ = true;
+  me->fiber->Suspend();
+  if (shutting_down_) {
+    // Resumed by Shutdown() while the group was being abandoned: unwind this thread.
+    throw ThreadKilled();
+  }
+}
+
+void Scheduler::ThrowIfCheckpointAborted() {
+  if (!checkpoint_abort_) {
+    return;
+  }
+  checkpoint_abort_ = false;
+  // The throw unwinds RunLoop (whose flag management is not RAII) and whatever dispatch frame
+  // the pause interrupted; reset both so the scheduler is reusable for diagnostics.
+  in_run_loop_ = false;
+  current_tid_ = kNoThread;
+  throw CheckpointAbort{};
+}
+
+void Scheduler::RegisterCheckpointable(Checkpointable* object) {
+  checkpointables_.push_back(object);
+}
+
+void Scheduler::UnregisterCheckpointable(Checkpointable* object) {
+  auto it = std::find(checkpointables_.begin(), checkpointables_.end(), object);
+  if (it != checkpointables_.end()) {
+    checkpointables_.erase(it);
+  }
+}
+
+void Scheduler::UnpinFiber(ThreadId tid) {
+  auto it = fiber_pins_.find(tid);
+  if (it == fiber_pins_.end()) {
+    return;
+  }
+  if (--it->second <= 0) {
+    fiber_pins_.erase(it);
+    fiber_limbo_.erase(tid);  // destroys the parked fiber, releasing its stack to the pool
+  }
+}
+
+void Scheduler::RetireFiber(Tcb& tcb) {
+  if (tcb.fiber && FiberPinned(tcb.id)) {
+    fiber_limbo_[tcb.id] = std::move(tcb.fiber);
+  }
+  tcb.fiber.reset();
+}
+
+// ---------------------------------------------------------------------------
 // Dispatch
 // ---------------------------------------------------------------------------
 
@@ -952,6 +1022,19 @@ void Scheduler::RunFiber(Tcb& tcb) {
   trace::MetricAdd(m_fiber_switches_, 2);
   tcb.fiber->Resume();
   current_tid_ = previous;
+  // Checkpoint pauses: the fiber parked itself at a perturber consult (CheckpointPause). Fire
+  // the hook from this frame — which lives on the exec stack, so a snapshot/restore rewinds to
+  // exactly here — then resume the same fiber to continue the consult. The flag clears before
+  // the hook so the snapshot records it false; the hidden Resume round trip is deliberately
+  // not counted in fiber_switches_ (a pause must be invisible to from-zero comparisons).
+  while (checkpoint_pause_pending_) {
+    checkpoint_pause_pending_ = false;
+    checkpoint_hook_();
+    ThrowIfCheckpointAborted();
+    current_tid_ = tcb.id;
+    tcb.fiber->Resume();
+    current_tid_ = previous;
+  }
   ++zero_progress_ops_;
   CheckLivelock();
   if (tcb.finished) {
@@ -962,18 +1045,22 @@ void Scheduler::RunFiber(Tcb& tcb) {
 void Scheduler::FiberBody(Tcb& tcb) {
   tcb.started = true;
   Emit(trace::EventType::kThreadStart);
-  std::function<void()> body = std::move(tcb.entry);
-  tcb.entry = nullptr;
   try {
-    body();
+    // Called in place rather than moved to a frame local: this stack is snapshotted byte-wise
+    // by checkpoints, and a std::function living in a saved frame would revive as a dangling
+    // closure on restore. The Tcb (host-owned, restored field-wise) is the safe home.
+    tcb.entry();
   } catch (const ThreadKilled&) {
     // Normal shutdown unwind.
   } catch (...) {
     tcb.uncaught = std::current_exception();
   }
-  // Free the closure now: ExitCurrent() parks the fiber and never returns, so this frame's
-  // destructors would otherwise never run and heap-allocated captures would leak.
-  body = nullptr;
+  // Free the closure now — ExitCurrent() parks the fiber and never returns — unless a live
+  // checkpoint pinned this fiber, in which case a restore may rewind to mid-body and the
+  // entry must stay intact (it is freed when the Tcb is destroyed).
+  if (!FiberPinned(tcb.id)) {
+    tcb.entry = nullptr;
+  }
   ExitCurrent();
 }
 
@@ -1032,7 +1119,7 @@ void Scheduler::ExitCurrent() {
 void Scheduler::ReapIfPossible(Tcb& tcb) {
   if (tcb.finished && (tcb.joined || tcb.detached) && tcb.fiber) {
     stack_bytes_reserved_ -= tcb.fiber->stack_reserved_bytes();
-    tcb.fiber.reset();  // release the stack; the Tcb itself stays for stats/diagnostics
+    RetireFiber(tcb);  // release the stack; the Tcb itself stays for stats/diagnostics
   }
 }
 
@@ -1334,7 +1421,7 @@ void Scheduler::Shutdown() {
     if (t.finished || !t.fiber || !t.fiber->started()) {
       t.state = ThreadState::kDone;
       t.finished = true;
-      t.fiber.reset();
+      RetireFiber(t);
       continue;
     }
     ThreadId previous = current_tid_;
@@ -1348,7 +1435,7 @@ void Scheduler::Shutdown() {
       std::fprintf(stderr, "pcr: thread %u (%s) survived shutdown unwinding\n", t.id,
                    t.name.c_str());
     }
-    t.fiber.reset();
+    RetireFiber(t);
   }
   live_threads_ = 0;
   for (auto& queue : ready_) {

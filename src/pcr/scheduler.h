@@ -40,6 +40,8 @@
 
 namespace pcr {
 
+class Checkpoint;
+class Checkpointable;
 class InterruptSource;
 
 enum class ThreadState : uint8_t { kReady, kRunning, kBlocked, kDone };
@@ -271,7 +273,14 @@ class Scheduler {
 
   ObjectId NextObjectId() { return ++next_object_id_; }
 
-  Tcb& GetTcb(ThreadId tid);
+  // Hot everywhere in the dispatch path (a few hundred lookups per simulated run), so the happy
+  // path is inline and only the invalid-tid throw stays out of line.
+  Tcb& GetTcb(ThreadId tid) {
+    if (tid == kNoThread || tid > tcbs_.size()) {
+      ThrowUnknownThread(tid);
+    }
+    return *tcbs_[tid - 1];
+  }
   Tcb* CurrentTcb();
 
   // Monitors report ownership changes here so the deadlock walk can follow blocked->owner
@@ -320,7 +329,42 @@ class Scheduler {
   // explorer worker reused across schedules), otherwise a private per-scheduler pool.
   StackPool& stack_pool() { return *stack_pool_; }
 
+  // ---- Checkpoint support (src/pcr/checkpoint.h) ----
+
+  // Installs (or clears) the checkpoint pause hook. While set, CheckpointPause() suspends the
+  // run back to the exec-fiber orchestrator at perturber decision boundaries; the hook runs on
+  // the scheduler's execution context (either the host/exec frame, for PickNext pauses, or the
+  // RunFiber frame after a sim fiber parks itself, for ForcePreempt pauses).
+  void set_checkpoint_hook(std::function<void()> hook) { checkpoint_hook_ = std::move(hook); }
+
+  // Pauses the run at the current decision point. From a simulated thread this parks the
+  // fiber and defers the hook to the RunFiber frame; from the scheduler loop itself (no
+  // current fiber) the hook runs inline. No-op when no hook is installed.
+  void CheckpointPause();
+
+  // Arms/checks the abandon-run flag: the next time a checkpoint pause would resume forward
+  // execution, it throws CheckpointAbort through the exec fiber instead, unwinding a run whose
+  // remaining suffixes were all pruned or copied.
+  void RequestCheckpointAbort() { checkpoint_abort_ = true; }
+  void ThrowIfCheckpointAborted();
+
+  // Checkpointable registry: monitors/CVs/weak cells register at construction so a Checkpoint
+  // can capture and restore their heap-owning state (see checkpoint.h for the protocol).
+  void RegisterCheckpointable(Checkpointable* object);
+  void UnregisterCheckpointable(Checkpointable* object);
+
+  // Fiber pinning: while a fiber is pinned by >= 1 live Checkpoint, retiring it parks the
+  // Fiber (and its stack mapping) in limbo instead of destroying it, so a later Restore can
+  // reinstall it and memcpy the saved stack image back into the same addresses.
+  void PinFiber(ThreadId tid) { ++fiber_pins_[tid]; }
+  void UnpinFiber(ThreadId tid);
+  bool FiberPinned(ThreadId tid) const {
+    return !fiber_pins_.empty() && fiber_pins_.count(tid) != 0;
+  }
+
  private:
+  friend class Checkpoint;
+  [[noreturn]] void ThrowUnknownThread(ThreadId tid) const;
   struct TimerEntry {
     Usec deadline;
     ThreadId tid;
@@ -342,6 +386,9 @@ class Scheduler {
   void FiberBody(Tcb& tcb);
   void ExitCurrent();
   void ReapIfPossible(Tcb& tcb);
+  // Destroys tcb.fiber, or parks it in limbo when pinned by a checkpoint. Call sites keep
+  // their own stack_bytes_reserved_ accounting (this only decides destroy-vs-limbo).
+  void RetireFiber(Tcb& tcb);
 
   // Selection. Returns kNoThread when nothing is ready. With pop == false the queues are left
   // untouched (peek); the perturber tie-break is consulted only when popping, so peeks stay
@@ -454,6 +501,19 @@ class Scheduler {
   // relative to tcbs_ does not matter.
   StackPool own_stack_pool_;
   StackPool* stack_pool_ = nullptr;  // == config_.stack_pool or &own_stack_pool_
+
+  // Checkpoint plumbing. The hook and flags are deliberately NOT part of checkpointed state:
+  // pause_pending is always false at both snapshot and restore time (snapshots are taken from
+  // the hook, after the flag is cleared), and the hook/abort flag belong to the orchestrator
+  // driving the current group, not to the run being rewound.
+  std::function<void()> checkpoint_hook_;
+  bool checkpoint_pause_pending_ = false;
+  bool checkpoint_abort_ = false;
+  std::vector<Checkpointable*> checkpointables_;
+  // Fibers retired while pinned, keyed by tid (tids are never reused, and a tcb only ever owns
+  // one Fiber object over its lifetime, so reinstalling from limbo is unambiguous).
+  std::unordered_map<ThreadId, std::unique_ptr<Fiber>> fiber_limbo_;
+  std::unordered_map<ThreadId, int> fiber_pins_;
 };
 
 }  // namespace pcr

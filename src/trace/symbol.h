@@ -8,6 +8,7 @@
 #ifndef SRC_TRACE_SYMBOL_H_
 #define SRC_TRACE_SYMBOL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -59,6 +60,15 @@ class SymbolTable {
     names_.clear();
     index_.clear();
     Intern(std::string_view());
+  }
+
+  // Forgets every symbol with id >= n, rolling the table back to an earlier interning point
+  // (checkpoint restore; ids are dense and assigned in order, so a prefix is a valid table).
+  void TruncateTo(size_t n) {
+    while (names_.size() > std::max<size_t>(n, 1)) {
+      index_.erase(std::string_view(names_.back()));
+      names_.pop_back();
+    }
   }
 
  private:

@@ -41,6 +41,14 @@ class Tracer {
 
   const std::vector<Event>& events() const { return events_; }
   size_t size() const { return events_.size(); }
+
+  // Drops every event at index >= n (checkpoint restore rewinds the buffer to the snapshot
+  // point; capacity is retained). `n` must not exceed size().
+  void TruncateTo(size_t n) {
+    if (n < events_.size()) {
+      events_.resize(n);
+    }
+  }
   // Drops events but keeps the symbol table: the runtime caches interned ids (in Tcbs,
   // monitors, CVs), so symbols must stay valid across a mid-run Clear.
   void Clear() { events_.clear(); }

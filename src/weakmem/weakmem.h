@@ -18,7 +18,10 @@
 #define SRC_WEAKMEM_WEAKMEM_H_
 
 #include <deque>
+#include <new>
+#include <type_traits>
 
+#include "src/pcr/checkpoint.h"
 #include "src/pcr/ids.h"
 #include "src/pcr/runtime.h"
 
@@ -28,14 +31,45 @@ namespace weakmem {
 inline constexpr pcr::Usec kDefaultDrainDelay = 20;
 
 template <typename T>
-class WeakCell {
+class WeakCell : public pcr::Checkpointable {
  public:
   WeakCell(pcr::Runtime& runtime, T initial, pcr::Usec drain_delay = kDefaultDrainDelay)
       : runtime_(runtime), committed_(initial), drain_delay_(drain_delay),
-        id_(runtime.scheduler().NextObjectId()) {}
+        id_(runtime.scheduler().NextObjectId()) {
+    // Checkpointing captures the pending-store queue by byte copy, so only trivially copyable
+    // payloads participate; cells holding other types are simply invisible to checkpoints
+    // (scenario bodies using them should run with checkpointing off).
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      runtime_.scheduler().RegisterCheckpointable(this);
+    }
+  }
+
+  ~WeakCell() override {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      runtime_.scheduler().UnregisterCheckpointable(this);
+    }
+  }
 
   WeakCell(const WeakCell&) = delete;
   WeakCell& operator=(const WeakCell&) = delete;
+
+  // Checkpointable: pending_ is the only heap-owning member; committed_/drain_delay_/id_ ride
+  // the raw byte image. Only reachable when T is trivially copyable (registration above).
+  void CheckpointSave(pcr::CheckpointedObjectState* state) const override {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      pcr::ckpt::AppendPodRange(&state->extra, pending_);
+    }
+  }
+  void CheckpointTeardown() override { pending_.~deque(); }
+  void CheckpointRestore(const pcr::CheckpointedObjectState& state) override {
+    new (&pending_) std::deque<Pending>();
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      const char* cursor = state.extra.data();
+      pcr::ckpt::ReadPodRange(&cursor, &pending_);
+    }
+  }
+  void* CheckpointStorage() override { return this; }
+  size_t CheckpointStorageBytes() const override { return sizeof(WeakCell); }
 
   // Process-unique id shared with monitors/CVs; shared-access trace events carry it so the
   // race detector (src/explore/) can group accesses by cell.

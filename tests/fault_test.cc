@@ -670,6 +670,9 @@ TEST(FaultExploreTest, FaultPlanSearchFindsLostNotifyAndReproCarriesThePlan) {
   explore::ExploreOptions options;
   options.scenario_name = "lost-notify";
   options.budget = 16;
+  // The body's shared_ptr-held state lives on the heap with refcounts owned by fiber frames;
+  // checkpoint restores rewind those frames but not the heap, so this body must run from zero.
+  options.checkpoint = false;
   options.fault_plan.rate = 0.5;
   options.fault_plan.site_mask = fault::SiteBit(FaultSite::kNotifyLost);
 
@@ -693,6 +696,7 @@ TEST(FaultExploreTest, FaultPlanSearchFindsLostNotifyAndReproCarriesThePlan) {
 TEST(FaultExploreTest, NoFaultPlanMeansNoFailuresInThisBody) {
   explore::ExploreOptions options;
   options.budget = 8;
+  options.checkpoint = false;  // see above: shared_ptr state is not checkpoint-rewindable
   explore::Explorer explorer(options);
   explore::ExploreResult result = explorer.Explore(LostNotifyBody);
   EXPECT_TRUE(result.failures.empty())

@@ -52,6 +52,11 @@ def extract_metrics(name, doc):
             put(f"{scenario}/schedules_per_sec_serial", row,
                 "schedules_per_sec_serial", True)
             checks.append((f"{scenario}/deterministic", bool(row.get("deterministic"))))
+            # checkpoint_saves/resumes/bytes and pruned_schedules are deliberately not
+            # extracted: they are configuration facts (deterministic per budget and group
+            # geometry), not throughput, so gating them would turn every intentional geometry
+            # change into a "regression". They stay in the JSON as fresh-run notes for humans;
+            # the explorer's equivalence tests are what hold them mode-invariant.
     elif name == "BENCH_micro.json":
         # google-benchmark format; aggregate rows (mean/median/stddev) are skipped.
         for row in doc.get("benchmarks", []):

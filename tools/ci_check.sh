@@ -28,8 +28,18 @@ cmake --build "$BUILD_RELEASE" -j"$JOBS"
 echo "== Explore suite at workers=4"
 (cd "$BUILD_RELEASE" && ctest --output-on-failure -j"$JOBS" -L explore)
 "$BUILD_RELEASE/tools/pcrcheck" --all --workers=4
-echo "== bench_explore --json smoke"
-(cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --json)
+echo "== bench_explore --json smoke (+speedup gate, auto-skipped below 4 cores)"
+(cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --json --require-speedup=2)
+
+# From-zero fallback leg: --no-checkpoint forces every schedule to replay from event zero —
+# the path used when pcr::Checkpoint is unsupported (ucontext fibers, sanitizers) or a body is
+# not checkpoint-safe. The scenario sweep must reach the same verdicts and bench_explore must
+# still report serial == parallel, so the fallback cannot rot while checkpoint-and-branch is
+# the everyday default. (The checkpoint ctest label covers byte-identical equivalence of the
+# two modes; these legs cover the fallback end to end through the CLI and bench.)
+echo "== From-zero fallback (--no-checkpoint)"
+"$BUILD_RELEASE/tools/pcrcheck" --all --workers=4 --no-checkpoint
+(cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --budget=100 --no-checkpoint)
 
 # Fault-injection gates: the fault suite (ctest -L fault) covers fork-failure policies, the
 # watchdog, monitor poisoning, and X reconnect; the bench_explore run sweeps fault x schedule

@@ -42,6 +42,7 @@ struct Args {
   bool list = false;
   bool require_bug = false;
   bool profile = false;
+  bool no_checkpoint = false;  // force from-zero schedule execution (same results, slower)
   int budget = -1;       // <0: use the scenario's tuned default
   uint64_t seed = 0;     // 0: use the scenario's tuned default
   int workers = 0;       // 0: hardware concurrency (the flag itself requires > 0)
@@ -59,7 +60,7 @@ void Usage() {
   std::fprintf(stderr,
                "usage: pcrcheck [--list] [--all] [--scenario=NAME] [--budget=N] [--seed=N]\n"
                "                [--workers=N] [--replay=REPRO] [--require-bug] [--verbose]\n"
-               "                [--profile] [--chrome-trace-on-failure=DIR]\n"
+               "                [--profile] [--no-checkpoint] [--chrome-trace-on-failure=DIR]\n"
                "                [--fault-plan=SPEC]   e.g. \"f1,rate=0.01,sites=notify-lost\"\n"
                "                                      (searches fault x schedule space; failing\n"
                "                                      repro strings then pin their fault plan)\n"
@@ -87,6 +88,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->verbose = true;
     } else if (arg == "--profile") {
       args->profile = true;
+    } else if (arg == "--no-checkpoint") {
+      args->no_checkpoint = true;
     } else if (const char* v = value("--chrome-trace-on-failure=")) {
       args->chrome_trace_dir = v;
     } else if (arg == "--campaign-examples") {
@@ -177,6 +180,9 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
     options.seed = args.seed;
   }
   options.workers = args.workers;  // 0 = hardware concurrency
+  if (args.no_checkpoint) {
+    options.checkpoint = false;
+  }
   if (!args.fault_plan.empty()) {
     options.fault_plan = fault::Plan::Decode(args.fault_plan);
   }
@@ -224,6 +230,11 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
         "minimize %.3fs | worker-time run %.3fs, detector %.3fs (%.1f%% of busy)\n",
         p.schedules_per_sec, p.total_sec, p.baseline_sec, p.sweep_sec, p.minimize_sec,
         p.run_sec, p.detector_sec, busy > 0 ? 100.0 * p.detector_sec / busy : 0.0);
+    std::printf(
+        "  checkpoint: %lld save(s), %lld resume(s), %.1f KiB snapshotted, %lld pruned "
+        "schedule(s)\n",
+        static_cast<long long>(p.checkpoint_saves), static_cast<long long>(p.checkpoint_resumes),
+        p.checkpoint_bytes / 1024.0, static_cast<long long>(p.pruned_schedules));
   }
 
   bool found = !result.failures.empty();
@@ -253,6 +264,11 @@ int RunCampaign(const Args& args) {
   if (!args.fault_plan.empty()) {
     for (explore::BugScenario& s : scenarios) {
       s.options.fault_plan = fault::Plan::Decode(args.fault_plan);
+    }
+  }
+  if (args.no_checkpoint) {
+    for (explore::BugScenario& s : scenarios) {
+      s.options.checkpoint = false;
     }
   }
 
