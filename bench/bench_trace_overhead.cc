@@ -4,7 +4,8 @@
 // branch plus an integer add per event — cheap enough to leave on in every run. This bench
 // holds it to that: a fixed monitor-and-yield workload (every iteration crosses several Emit
 // sites) runs under three configs — tracing+metrics, tracing only, and everything off — and
-// the run exits nonzero if enabling metrics adds more than 10% on top of tracing alone.
+// the run exits nonzero if enabling metrics adds more than 10% on top of tracing alone, or if
+// tracing itself adds more than kMaxTracingOverhead on top of running dark.
 //
 //   bench_trace_overhead             # human-readable table
 //   bench_trace_overhead --json      # also write BENCH_trace.json (the CI artifact)
@@ -26,6 +27,11 @@ constexpr int kThreads = 4;
 constexpr int kIterations = 5000;
 constexpr int kRepeats = 5;
 constexpr double kMaxMetricsOverhead = 0.10;
+// End-to-end cost of the segmented trace log vs. running dark. The packed 24-byte encoding
+// landed this at ~0.04-0.15 on the reference host (down from ~0.34 with the flat vector);
+// the gate sits at the top of that band today and should ratchet toward 0.05 as the hot
+// path tightens further.
+constexpr double kMaxTracingOverhead = 0.15;
 
 struct Measurement {
   const char* name;
@@ -102,16 +108,18 @@ int main(int argc, char** argv) {
       trace_only.seconds > 0 ? full.seconds / trace_only.seconds - 1.0 : 0.0;
   const double tracing_overhead =
       off.seconds > 0 ? trace_only.seconds / off.seconds - 1.0 : 0.0;
-  const bool pass = metrics_overhead <= kMaxMetricsOverhead;
+  const bool metrics_ok = metrics_overhead <= kMaxMetricsOverhead;
+  const bool tracing_ok = tracing_overhead <= kMaxTracingOverhead;
+  const bool pass = metrics_ok && tracing_ok;
 
   for (const Measurement* m : {&full, &trace_only, &off}) {
     std::printf("%-16s %8.4fs  %9.0f events/s\n", m->name, m->seconds, m->events_per_sec);
   }
   std::printf("events per run: %zu\n", events);
   std::printf("metrics overhead on top of tracing: %+.1f%% (limit %.0f%%) -> %s\n",
-              metrics_overhead * 100, kMaxMetricsOverhead * 100, pass ? "OK" : "TOO SLOW");
-  std::printf("tracing overhead on top of nothing: %+.1f%% (informational)\n",
-              tracing_overhead * 100);
+              metrics_overhead * 100, kMaxMetricsOverhead * 100, metrics_ok ? "OK" : "TOO SLOW");
+  std::printf("tracing overhead on top of nothing: %+.1f%% (limit %.0f%%) -> %s\n",
+              tracing_overhead * 100, kMaxTracingOverhead * 100, tracing_ok ? "OK" : "TOO SLOW");
 
   if (json) {
     const char* path = "BENCH_trace.json";
@@ -132,8 +140,9 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "  ],\n  \"metrics_overhead_fraction\": %.4f,\n"
                  "  \"tracing_overhead_fraction\": %.4f,\n"
-                 "  \"threshold\": %.2f,\n  \"pass\": %s\n}\n",
-                 metrics_overhead, tracing_overhead, kMaxMetricsOverhead,
+                 "  \"metrics_threshold\": %.2f,\n"
+                 "  \"tracing_threshold\": %.2f,\n  \"pass\": %s\n}\n",
+                 metrics_overhead, tracing_overhead, kMaxMetricsOverhead, kMaxTracingOverhead,
                  pass ? "true" : "false");
     std::fclose(f);
     std::printf("wrote %s\n", path);

@@ -15,9 +15,8 @@ int64_t Traffic(const ThreadProfile& profile) { return profile.ml_enters + profi
 
 ProfileSummary ProfileThreads(const trace::Tracer& tracer, trace::Usec window_begin,
                               trace::Usec window_end) {
-  const std::vector<trace::Event>& events = tracer.events();
   if (window_end <= window_begin) {
-    window_end = events.empty() ? 0 : events.back().time_us;
+    window_end = tracer.last_time();
   }
   std::map<trace::ThreadId, ThreadProfile> by_thread;
   std::map<uint16_t, std::pair<trace::ThreadId, trace::Usec>> running;  // per processor
@@ -34,7 +33,7 @@ ProfileSummary ProfileThreads(const trace::Tracer& tracer, trace::Usec window_be
     }
   };
 
-  for (const trace::Event& e : events) {
+  for (const trace::Event& e : tracer.view()) {
     if (e.time_us >= window_end) {
       break;
     }

@@ -388,7 +388,7 @@ std::vector<Finding> TraceAnalyzer::Finish() {
 
 std::vector<Finding> AnalyzeTrace(const trace::Tracer& tracer, const DetectorOptions& options) {
   TraceAnalyzer analyzer(options);
-  for (const Event& e : tracer.events()) {
+  for (const Event& e : tracer.view()) {
     analyzer.Feed(e);
   }
   return analyzer.Finish();
@@ -410,7 +410,7 @@ std::vector<uint64_t> CollectTraceCoverage(const trace::Tracer& tracer, uint64_t
     return h;
   };
 
-  for (const Event& e : tracer.events()) {
+  for (const Event& e : tracer.view()) {
     switch (e.type) {
       case EventType::kMlEnter: {
         ThreadId& prev = last_owner[e.object];

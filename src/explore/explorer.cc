@@ -87,7 +87,7 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
     // Symbol ids in the captured events are only meaningful against the run's own table, so
     // the capture tracer's table is replaced wholesale (SymbolTable copies rebuild the index).
     capture->symbols() = rt.tracer().symbols();
-    for (const trace::Event& e : rt.tracer().events()) {
+    for (const trace::Event& e : rt.tracer().view()) {
       capture->Record(e);
     }
   }
@@ -122,9 +122,8 @@ void Explorer::FillOutcome(trace::Tracer& tracer, const TestContext& ctx,
     // prefix-fed analyzer over events [resume_events, end) yields exactly the findings of a
     // full-trace pass (the equivalence suite checks this against from-zero mode).
     TraceAnalyzer analyzer(*resume_analyzer);
-    const auto& events = tracer.events();
-    for (size_t i = resume_events; i < events.size(); ++i) {
-      analyzer.Feed(events[i]);
+    for (const trace::Event& e : tracer.view(resume_events)) {
+      analyzer.Feed(e);
     }
     out->findings = analyzer.Finish();
   } else {
@@ -133,9 +132,8 @@ void Explorer::FillOutcome(trace::Tracer& tracer, const TestContext& ctx,
   detector_ns_.fetch_add(NsSince(detector_start), std::memory_order_relaxed);
   if (resume_hasher != nullptr) {
     TraceHasher hasher = *resume_hasher;
-    const auto& events = tracer.events();
-    for (size_t i = resume_events; i < events.size(); ++i) {
-      hasher.Mix(events[i]);
+    for (const trace::Event& e : tracer.view(resume_events)) {
+      hasher.Mix(e);
     }
     out->trace_hash = hasher.value();
   } else {
@@ -459,10 +457,10 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
     RecordingPerturber recorder_at_d1 = recorder;
     fault::Injector injector_at_d1 = injector;
     TestContext ctx_at_d1 = ctx;
-    const size_t prefix_events = rt.tracer().events().size();
+    const size_t prefix_events = rt.tracer().size();
     TraceHasher prefix_hasher;
     TraceAnalyzer prefix_analyzer(options_.detector);
-    for (const trace::Event& e : rt.tracer().events()) {
+    for (const trace::Event& e : rt.tracer().view()) {
       prefix_hasher.Mix(e);
       prefix_analyzer.Feed(e);
     }
@@ -509,12 +507,11 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
       // hashed once for the whole group).
       TraceHasher branch_hasher = prefix_hasher;
       TraceAnalyzer branch_analyzer = prefix_analyzer;
-      const auto& events = rt.tracer().events();
-      for (size_t i = prefix_events; i < events.size(); ++i) {
-        branch_hasher.Mix(events[i]);
-        branch_analyzer.Feed(events[i]);
+      for (const trace::Event& e : rt.tracer().view(prefix_events)) {
+        branch_hasher.Mix(e);
+        branch_analyzer.Feed(e);
       }
-      const size_t events_at_d2 = events.size();
+      const size_t events_at_d2 = rt.tracer().size();
       const uint64_t fingerprint = branch_hasher.value();
       int duplicate_of = -1;
       for (const auto& [f, source] : seen_f) {

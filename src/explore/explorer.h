@@ -188,7 +188,7 @@ class Explorer {
   // deliberately not here: interning order differs per schedule, so reuse would leak state.
   struct WorkerArena {
     pcr::StackPool stacks;
-    std::vector<trace::Event> trace_buffer;
+    trace::SegmentArena trace_buffer;
   };
 
   // One prefix-grouped work unit: up to branches*leaves consecutive schedules sharing the

@@ -47,7 +47,7 @@ class TraceHasher {
 
 inline uint64_t TraceHash(const trace::Tracer& tracer) {
   TraceHasher hasher;
-  for (const trace::Event& e : tracer.events()) {
+  for (const trace::Event& e : tracer.view()) {
     hasher.Mix(e);
   }
   return hasher.value();
@@ -63,7 +63,7 @@ inline std::vector<uint64_t> TracePrefixHashes(const trace::Tracer& tracer, size
   }
   TraceHasher hasher;
   size_t n = 0;
-  for (const trace::Event& e : tracer.events()) {
+  for (const trace::Event& e : tracer.view()) {
     hasher.Mix(e);
     if (++n % stride == 0) {
       hashes.push_back(hasher.value());

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <exception>
 #include <cstdlib>
+#include <iostream>
 #include <limits>
 
 #include "src/pcr/checkpoint.h"
@@ -61,6 +62,7 @@ Scheduler::Scheduler(const Config& config, trace::Tracer* tracer)
   running_.assign(static_cast<size_t>(config_.processors), kNoThread);
   last_running_.assign(static_cast<size_t>(config_.processors), kNoThread);
   stack_pool_ = config_.stack_pool != nullptr ? config_.stack_pool : &own_stack_pool_;
+  trace_active_ = tracer_ != nullptr && config_.trace_events;
   // Pre-size the tie-break scratch to its maximum: a checkpoint can pause execution inside
   // SelectReady while a pointer to tied_scratch_.data() lives in a suspended frame, so the
   // vector must never reallocate (restore refills it in place, within this capacity).
@@ -160,7 +162,9 @@ void Scheduler::SetInheritedPriority(Tcb& tcb, int value) {
 
 void Scheduler::Emit(trace::EventType type, ObjectId object, uint64_t arg,
                      uint32_t object_sym) {
-  if (tracer_ == nullptr || !tracer_->enabled() || shutting_down_ || !config_.trace_events) {
+  // shutting_down_ stays a separate condition: it is checkpoint-restored state (a restore can
+  // rewind a finished run back to mid-flight), while trace_active_ is fixed at construction.
+  if (!trace_active_ || shutting_down_) {
     return;
   }
   trace::Event e;
@@ -176,6 +180,14 @@ void Scheduler::Emit(trace::EventType type, ObjectId object, uint64_t arg,
     e.thread_sym = me->name_sym;
   }
   tracer_->Record(e);
+}
+
+void Scheduler::FlightDump(const char* reason) {
+  if (tracer_ == nullptr || tracer_->ring_limit() == 0 || tracer_->retained() == 0) {
+    return;
+  }
+  std::cerr << "pcr: flight recorder (" << reason << ") at t=" << now_ << "us:\n";
+  tracer_->Dump(std::cerr, 0, now_ + 1);
 }
 
 uint32_t Scheduler::InternName(std::string_view name) {
@@ -1093,9 +1105,12 @@ void Scheduler::ExitCurrent() {
       std::fprintf(stderr, "pcr: thread %u (%s) died of uncaught exception: %s\n", me.id,
                    me.name.c_str(), DescribeException(me.uncaught).c_str());
       if (config_.fatal_uncaught) {
+        FlightDump("uncaught exception (fatal)");
         std::abort();
       }
     }
+    FlightDump(abandoned.empty() ? "uncaught fiber exception"
+                                 : "uncaught fiber exception; monitors poisoned");
   }
   if (!shutting_down_) {
     --live_threads_;

@@ -267,6 +267,11 @@ class Scheduler {
   void Emit(trace::EventType type, ObjectId object = 0, uint64_t arg = 0,
             uint32_t object_sym = 0);
 
+  // Flight recorder: when the tracer runs with a ring limit (Config::trace_ring_events), dumps
+  // the retained event tail to stderr, prefixed with `reason`. No-op otherwise; failure paths
+  // call this unconditionally.
+  void FlightDump(const char* reason);
+
   // Interns a name in the tracer's symbol table so events can reference it by id. Returns 0
   // (anonymous) when tracing is off; callers cache the result.
   uint32_t InternName(std::string_view name);
@@ -461,6 +466,9 @@ class Scheduler {
   ObjectId next_object_id_ = 0;
   bool shutting_down_ = false;
   bool in_run_loop_ = false;
+  // Folds the constant Emit preconditions (tracer present, tracing configured) into one flag
+  // so the per-event guard is two flag loads instead of a pointer chase.
+  bool trace_active_ = false;
 
   std::vector<std::unique_ptr<Tcb>> tcbs_;  // index = tid - 1
   std::deque<ThreadId> ready_[kNumPriorityLevels];

@@ -1,10 +1,11 @@
 #include "src/trace/export_chrome.h"
 
 #include <algorithm>
-#include <fstream>
 #include <map>
 #include <ostream>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/trace/intervals.h"
@@ -81,163 +82,183 @@ class Emitter {
 
 }  // namespace
 
-void ExportChromeTrace(std::ostream& os, const Tracer& tracer) {
-  const Timeline timeline = BuildTimeline(tracer);
-  const SymbolTable& symbols = tracer.symbols();
-  Emitter out(os);
+// Consumes events one at a time: instants are emitted on the spot, state/occupancy/hold
+// slices as TimelineBuilder closes them, track-name metadata at Finish (once the full track
+// population is known). Perfetto orders by the `ts` field, not array position, so the
+// close-time interleaving renders identically to the old batch layout.
+class ChromeTraceWriter::Impl : public TimelineBuilder::SpanObserver {
+ public:
+  Impl(std::ostream& os, const SymbolTable& symbols)
+      : out_(os), symbols_(symbols), builder_(this) {
+    os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    out_.Metadata(kThreadsPid, -1, "process_name", "threads");
+    out_.Metadata(kProcessorsPid, -1, "process_name", "processors");
+    out_.Metadata(kMonitorsPid, -1, "process_name", "monitors");
+  }
 
-  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  void Push(const Event& e) {
+    if (e.thread != 0) {
+      NoteThread(e.thread, e.thread_sym);
+    }
+    if (e.type == EventType::kThreadFork) {
+      NoteThread(static_cast<ThreadId>(e.object), 0);
+    }
+    builder_.Feed(e);
+    EmitInstant(e);
+  }
 
-  out.Metadata(kThreadsPid, -1, "process_name", "threads");
-  out.Metadata(kProcessorsPid, -1, "process_name", "processors");
-  out.Metadata(kMonitorsPid, -1, "process_name", "monitors");
+  void Finish() {
+    builder_.Finish();  // closes open spans at the last event's time, via the callbacks below
 
-  // Track names. Threads are already sorted by id; processors and monitors are collected into
-  // ordered maps so the metadata block is stable.
-  std::map<uint16_t, bool> processors;
-  for (const ThreadTimeline& t : timeline.threads) {
-    out.Metadata(kThreadsPid, t.id, "thread_name",
-                 DisplayName(symbols, t.name_sym, "thread-", t.id));
-    for (const ThreadInterval& iv : t.intervals) {
-      if (iv.phase == ThreadPhase::kRunning) {
-        processors[iv.processor] = true;
-      }
+    // Track names. Threads and processors are ordered by id; monitor tracks were assigned in
+    // first-hold order and are emitted in that order.
+    for (const auto& [tid, sym] : threads_) {
+      out_.Metadata(kThreadsPid, tid, "thread_name", DisplayName(symbols_, sym, "thread-", tid));
+    }
+    for (uint16_t proc : processors_) {
+      out_.Metadata(kProcessorsPid, proc, "thread_name", "cpu-" + std::to_string(proc));
+    }
+    std::vector<std::pair<int64_t, ObjectId>> tracks;
+    for (const auto& [monitor, track] : monitor_track_) {
+      tracks.emplace_back(track, monitor);
+    }
+    std::sort(tracks.begin(), tracks.end());
+    for (const auto& [track, monitor] : tracks) {
+      out_.Metadata(kMonitorsPid, track, "thread_name",
+                    DisplayName(symbols_, monitor_sym_[monitor], "monitor-", monitor));
+    }
+    out_.os() << "\n]}\n";
+  }
+
+  // ---- TimelineBuilder::SpanObserver ----
+
+  void OnInterval(ThreadId thread, const ThreadInterval& iv) override {
+    out_.Slice(ThreadPhaseName(iv.phase), "state", iv.begin, iv.end - iv.begin, kThreadsPid,
+               thread);
+    if (iv.phase == ThreadPhase::kRunning) {
+      out_.os() << ", \"args\": {\"processor\": " << iv.processor << "}";
+    }
+    out_.End();
+    if (iv.phase == ThreadPhase::kRunning) {
+      // Processor occupancy: the same interval, re-keyed by processor and labelled with the
+      // thread that ran.
+      processors_.insert(iv.processor);
+      out_.Slice(ThreadDisplayName(thread), "run", iv.begin, iv.end - iv.begin, kProcessorsPid,
+                 iv.processor);
+      out_.os() << ", \"args\": {\"thread\": " << thread << "}";
+      out_.End();
     }
   }
-  for (const auto& [proc, unused] : processors) {
-    out.Metadata(kProcessorsPid, proc, "thread_name", "cpu-" + std::to_string(proc));
-  }
-  // Monitor object ids are process-unique 64-bit values; give each a small stable track id.
-  std::map<ObjectId, int64_t> monitor_track;
-  std::map<ObjectId, uint32_t> monitor_sym;
-  for (const MonitorHold& h : timeline.monitor_holds) {
-    if (monitor_track.emplace(h.monitor, 0).second) {
-      monitor_sym[h.monitor] = h.monitor_sym;
+
+  void OnMonitorHold(const MonitorHold& h) override {
+    auto [it, fresh] = monitor_track_.emplace(h.monitor, next_monitor_track_);
+    if (fresh) {
+      ++next_monitor_track_;
+      monitor_sym_[h.monitor] = h.monitor_sym;
     }
+    out_.Slice(ThreadDisplayName(h.holder), "hold", h.begin, h.end - h.begin, kMonitorsPid,
+               it->second);
+    out_.os() << ", \"args\": {\"holder\": " << h.holder << "}";
+    out_.End();
   }
-  {
-    int64_t next = 1;
-    for (auto& [id, track] : monitor_track) {
-      track = next++;
-      out.Metadata(kMonitorsPid, track, "thread_name",
-                   DisplayName(symbols, monitor_sym[id], "monitor-", id));
+
+ private:
+  void NoteThread(ThreadId tid, uint32_t sym) {
+    auto [it, fresh] = threads_.emplace(tid, sym);
+    if (!fresh && it->second == 0 && sym != 0) {
+      it->second = sym;
     }
   }
 
-  // Per-thread state slices, chronological within each track.
-  for (const ThreadTimeline& t : timeline.threads) {
-    for (const ThreadInterval& iv : t.intervals) {
-      out.Slice(ThreadPhaseName(iv.phase), "state", iv.begin, iv.end - iv.begin, kThreadsPid,
-                t.id);
-      if (iv.phase == ThreadPhase::kRunning) {
-        out.os() << ", \"args\": {\"processor\": " << iv.processor << "}";
-      }
-      out.End();
-    }
-  }
-
-  // Processor occupancy: the same running intervals, re-keyed by processor and labelled with
-  // the thread that ran.
-  struct ProcSlice {
-    Usec begin;
-    Usec end;
-    uint16_t processor;
-    ThreadId thread;
-    uint32_t name_sym;
-  };
-  std::vector<ProcSlice> proc_slices;
-  for (const ThreadTimeline& t : timeline.threads) {
-    for (const ThreadInterval& iv : t.intervals) {
-      if (iv.phase == ThreadPhase::kRunning) {
-        proc_slices.push_back({iv.begin, iv.end, iv.processor, t.id, t.name_sym});
-      }
-    }
-  }
-  std::sort(proc_slices.begin(), proc_slices.end(), [](const ProcSlice& a, const ProcSlice& b) {
-    return a.begin != b.begin ? a.begin < b.begin
-                              : (a.processor != b.processor ? a.processor < b.processor
-                                                            : a.thread < b.thread);
-  });
-  for (const ProcSlice& s : proc_slices) {
-    out.Slice(DisplayName(symbols, s.name_sym, "thread-", s.thread), "run", s.begin,
-              s.end - s.begin, kProcessorsPid, s.processor);
-    out.os() << ", \"args\": {\"thread\": " << s.thread << "}";
-    out.End();
-  }
-
-  // Monitor hold spans, labelled with the holding thread.
-  for (const MonitorHold& h : timeline.monitor_holds) {
-    const ThreadTimeline* holder = timeline.Find(h.holder);
-    out.Slice(DisplayName(symbols, holder != nullptr ? holder->name_sym : 0, "thread-",
-                          h.holder),
-              "hold", h.begin, h.end - h.begin, kMonitorsPid, monitor_track[h.monitor]);
-    out.os() << ", \"args\": {\"holder\": " << h.holder << "}";
-    out.End();
+  std::string ThreadDisplayName(ThreadId tid) {
+    auto it = threads_.find(tid);
+    return DisplayName(symbols_, it != threads_.end() ? it->second : 0, "thread-", tid);
   }
 
   // Instant markers for the pathologies the paper reads straight off event histories: notify
-  // and broadcast fan-out, preemption, YieldButNotToMe (5.2), spurious conflicts (6.1).
-  for (const Event& e : tracer.events()) {
+  // and broadcast fan-out, preemption, YieldButNotToMe (5.2), spurious conflicts (6.1), plus
+  // fault-injection and watchdog markers so a failing fault x schedule repro shows its
+  // injected faults inline with the schedule that exposed them.
+  void EmitInstant(const Event& e) {
     switch (e.type) {
       case EventType::kCvNotify:
       case EventType::kCvBroadcast:
-        out.Instant(e.type == EventType::kCvNotify ? "notify" : "broadcast", e.time_us,
-                    kThreadsPid, e.thread);
-        out.os() << ", \"args\": {\"cv\": ";
-        WriteJsonString(out.os(), DisplayName(symbols, e.object_sym, "cv-", e.object));
-        out.os() << ", \"woken\": " << e.arg << "}";
-        out.End();
+        out_.Instant(e.type == EventType::kCvNotify ? "notify" : "broadcast", e.time_us,
+                     kThreadsPid, e.thread);
+        out_.os() << ", \"args\": {\"cv\": ";
+        WriteJsonString(out_.os(), DisplayName(symbols_, e.object_sym, "cv-", e.object));
+        out_.os() << ", \"woken\": " << e.arg << "}";
+        out_.End();
         break;
       case EventType::kPreempt:
         // Emitted from the host context (thread = 0); the victim rides in `object`, and the
         // marker belongs on the victim's track.
-        out.Instant("preempt", e.time_us, kThreadsPid, static_cast<int64_t>(e.object));
-        out.End();
+        out_.Instant("preempt", e.time_us, kThreadsPid, static_cast<int64_t>(e.object));
+        out_.End();
         break;
       case EventType::kYieldButNotToMe:
-        out.Instant("yield-but-not-to-me", e.time_us, kThreadsPid, e.thread);
-        out.End();
+        out_.Instant("yield-but-not-to-me", e.time_us, kThreadsPid, e.thread);
+        out_.End();
         break;
       case EventType::kSpuriousConflict:
-        out.Instant("spurious-conflict", e.time_us, kThreadsPid, e.thread);
-        out.os() << ", \"args\": {\"monitor\": ";
-        WriteJsonString(out.os(), DisplayName(symbols, e.object_sym, "monitor-", e.object));
-        out.os() << "}";
-        out.End();
+        out_.Instant("spurious-conflict", e.time_us, kThreadsPid, e.thread);
+        out_.os() << ", \"args\": {\"monitor\": ";
+        WriteJsonString(out_.os(), DisplayName(symbols_, e.object_sym, "monitor-", e.object));
+        out_.os() << "}";
+        out_.End();
         break;
-      // Fault-injection and watchdog instants, so a failing fault x schedule repro shows its
-      // injected faults inline with the schedule that exposed them.
       case EventType::kFaultInjected:
-        out.Instant(std::string("fault:") +
-                        std::string(FaultSiteName(static_cast<FaultSite>(e.object))),
-                    e.time_us, kThreadsPid, e.thread);
-        out.os() << ", \"args\": {\"value\": " << e.arg << "}";
-        out.End();
+        out_.Instant(std::string("fault:") +
+                         std::string(FaultSiteName(static_cast<FaultSite>(e.object))),
+                     e.time_us, kThreadsPid, e.thread);
+        out_.os() << ", \"args\": {\"value\": " << e.arg << "}";
+        out_.End();
         break;
       case EventType::kForkFailed:
-        out.Instant("fork-failed", e.time_us, kThreadsPid, e.thread);
-        out.os() << ", \"args\": {\"cause\": " << e.arg << "}";
-        out.End();
+        out_.Instant("fork-failed", e.time_us, kThreadsPid, e.thread);
+        out_.os() << ", \"args\": {\"cause\": " << e.arg << "}";
+        out_.End();
         break;
       case EventType::kMonitorPoisoned:
-        out.Instant("monitor-poisoned", e.time_us, kThreadsPid, e.thread);
-        out.os() << ", \"args\": {\"monitor\": ";
-        WriteJsonString(out.os(), DisplayName(symbols, e.object_sym, "monitor-", e.object));
-        out.os() << "}";
-        out.End();
+        out_.Instant("monitor-poisoned", e.time_us, kThreadsPid, e.thread);
+        out_.os() << ", \"args\": {\"monitor\": ";
+        WriteJsonString(out_.os(), DisplayName(symbols_, e.object_sym, "monitor-", e.object));
+        out_.os() << "}";
+        out_.End();
         break;
       case EventType::kWatchdogReport:
-        out.Instant("watchdog-report", e.time_us, kThreadsPid,
-                    static_cast<int64_t>(e.arg));  // arg = first implicated thread
-        out.os() << ", \"args\": {\"kind\": " << e.object << "}";
-        out.End();
+        out_.Instant("watchdog-report", e.time_us, kThreadsPid,
+                     static_cast<int64_t>(e.arg));  // arg = first implicated thread
+        out_.os() << ", \"args\": {\"kind\": " << e.object << "}";
+        out_.End();
         break;
       default:
         break;
     }
   }
 
-  os << "\n]}\n";
+  Emitter out_;
+  const SymbolTable& symbols_;
+  TimelineBuilder builder_;
+  std::map<ThreadId, uint32_t> threads_;  // id -> first non-zero name symbol
+  std::set<uint16_t> processors_;
+  std::map<ObjectId, int64_t> monitor_track_;
+  std::map<ObjectId, uint32_t> monitor_sym_;
+  int64_t next_monitor_track_ = 1;
+};
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os, const SymbolTable& symbols)
+    : impl_(std::make_unique<Impl>(os, symbols)) {}
+ChromeTraceWriter::~ChromeTraceWriter() = default;
+void ChromeTraceWriter::Push(const Event& event) { impl_->Push(event); }
+void ChromeTraceWriter::Finish() { impl_->Finish(); }
+
+void ExportChromeTrace(std::ostream& os, const Tracer& tracer) {
+  ChromeTraceWriter writer(os, tracer.symbols());
+  for (const Event& e : tracer.view()) {
+    writer.Push(e);
+  }
+  writer.Finish();
 }
 
 bool SaveChromeTraceFile(const std::string& path, const Tracer& tracer) {
@@ -247,6 +268,31 @@ bool SaveChromeTraceFile(const std::string& path, const Tracer& tracer) {
   }
   ExportChromeTrace(file, tracer);
   return file.good();
+}
+
+ChromeStreamFile::ChromeStreamFile(const std::string& path, const SymbolTable& symbols)
+    : file_(path) {
+  if (file_) {
+    writer_ = std::make_unique<ChromeTraceWriter>(file_, symbols);
+  }
+}
+
+ChromeStreamFile::~ChromeStreamFile() = default;
+
+void ChromeStreamFile::Consume(const Event& event) {
+  if (writer_ != nullptr) {
+    writer_->Push(event);
+  }
+}
+
+bool ChromeStreamFile::Finish() {
+  if (writer_ == nullptr) {
+    return false;
+  }
+  writer_->Finish();
+  writer_.reset();
+  file_.close();
+  return file_.good();
 }
 
 }  // namespace trace

@@ -6,10 +6,9 @@ namespace trace {
 
 GenealogySummary AnalyzeGenealogy(const Tracer& tracer, const GenealogyOptions& options) {
   GenealogySummary g;
-  const std::vector<Event>& events = tracer.events();
-  Usec trace_end = events.empty() ? 0 : events.back().time_us;
+  Usec trace_end = tracer.last_time();
 
-  for (const Event& e : events) {
+  for (const Event& e : tracer.view()) {
     if (e.type == EventType::kThreadFork) {
       ThreadRecord rec;
       rec.id = static_cast<ThreadId>(e.object);

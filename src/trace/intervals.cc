@@ -3,23 +3,28 @@
 #include <algorithm>
 #include <map>
 #include <sstream>
+#include <utility>
 
 namespace trace {
 
 namespace {
 
-// Mutable per-thread state while folding the event stream.
+// Mutable per-thread state while folding the event stream. Open spans live here (not in the
+// accumulated Timeline) so the observer mode can deliver them at close time without ever
+// growing a vector.
 struct ThreadState {
   ThreadPhase phase = ThreadPhase::kReady;
   Usec phase_begin = 0;
   uint16_t processor = 0;
   int priority = 0;
   bool alive = true;
-  // Index into Timeline::monitor_waits of the still-open blocked span, or -1.
-  int open_wait = -1;
-  // Index into Timeline::cv_waits of the WAIT in flight (survives re-dispatch: the completion
-  // event is emitted after the switch back in), or -1.
-  int open_cv = -1;
+  bool wait_open = false;  // a blocked-monitor span is in flight
+  MonitorWait wait;
+  uint64_t wait_seq = 0;
+  bool cv_open = false;  // a WAIT is in flight (survives re-dispatch: the completion event is
+                         // emitted after the switch back in)
+  CvWait cv;
+  uint64_t cv_seq = 0;
 };
 
 // Mutable per-monitor state: who the model believes holds the lock, and since when.
@@ -29,11 +34,19 @@ struct MonitorState {
   Usec held_since = 0;
 };
 
-class Builder {
- public:
-  explicit Builder(const Tracer& tracer) : tracer_(tracer) {}
+}  // namespace
 
-  Timeline Build();
+void TimelineBuilder::SpanObserver::OnInterval(ThreadId, const ThreadInterval&) {}
+void TimelineBuilder::SpanObserver::OnMonitorHold(const MonitorHold&) {}
+void TimelineBuilder::SpanObserver::OnMonitorWait(const MonitorWait&) {}
+void TimelineBuilder::SpanObserver::OnCvWait(const CvWait&) {}
+
+class TimelineBuilder::Impl {
+ public:
+  explicit Impl(SpanObserver* observer) : observer_(observer) {}
+
+  void Feed(const Event& e);
+  Timeline Finish();
 
  private:
   ThreadState& Thread(ThreadId id) { return threads_[id]; }
@@ -50,15 +63,50 @@ class Builder {
 
   void ClosePhase(ThreadId id, ThreadState& st, Usec now) {
     if (now > st.phase_begin) {
-      intervals_[id].push_back({st.phase, st.phase_begin, now, st.processor});
-      residency_[id][static_cast<size_t>(st.phase)] += now - st.phase_begin;
+      ThreadInterval interval{st.phase, st.phase_begin, now, st.processor};
+      if (observer_ != nullptr) {
+        observer_->OnInterval(id, interval);
+      } else {
+        intervals_[id].push_back(interval);
+        residency_[id][static_cast<size_t>(st.phase)] += now - st.phase_begin;
+      }
     }
   }
 
   void CloseHold(ObjectId monitor, MonitorState& ms, Usec now) {
     if (ms.owner != 0) {
-      timeline_.monitor_holds.push_back({monitor, ms.sym, ms.owner, ms.held_since, now});
+      MonitorHold hold{monitor, ms.sym, ms.owner, ms.held_since, now};
+      if (observer_ != nullptr) {
+        observer_->OnMonitorHold(hold);
+      } else {
+        timeline_.monitor_holds.push_back(hold);
+      }
       ms.owner = 0;
+    }
+  }
+
+  // Waits and CV spans close out of open order, but the accumulated Timeline historically
+  // lists them in open order — so each carries its open sequence number and the accumulate
+  // path sorts by it in Finish.
+  void CloseWait(ThreadState& st, Usec end) {
+    st.wait.end = end;
+    st.wait_open = false;
+    if (observer_ != nullptr) {
+      observer_->OnMonitorWait(st.wait);
+    } else {
+      waits_.emplace_back(st.wait_seq, st.wait);
+    }
+  }
+
+  void CloseCv(ThreadState& st, Usec end, bool by_timeout, bool completed) {
+    st.cv.end = end;
+    st.cv.by_timeout = by_timeout;
+    st.cv.completed = completed;
+    st.cv_open = false;
+    if (observer_ != nullptr) {
+      observer_->OnCvWait(st.cv);
+    } else {
+      cvs_.emplace_back(st.cv_seq, st.cv);
     }
   }
 
@@ -68,8 +116,12 @@ class Builder {
     }
   }
 
-  const Tracer& tracer_;
+  SpanObserver* observer_;
   Timeline timeline_;
+  size_t fed_ = 0;        // events folded so far (TimelineError index)
+  uint64_t open_seq_ = 0; // open-order stamp for waits and CV spans
+  std::vector<std::pair<uint64_t, MonitorWait>> waits_;
+  std::vector<std::pair<uint64_t, CvWait>> cvs_;
   std::map<ThreadId, ThreadState> threads_;
   std::map<ThreadId, std::vector<ThreadInterval>> intervals_;
   std::map<ThreadId, std::array<Usec, kNumThreadPhases>> residency_;
@@ -77,196 +129,194 @@ class Builder {
   std::map<ThreadId, Usec> born_;
   std::map<ThreadId, Usec> died_;
   std::map<ObjectId, MonitorState> monitors_;
-  std::map<uint16_t, ThreadId> running_;     // processor -> dispatched thread
-  std::map<uint16_t, Usec> last_time_;       // processor -> last event time (monotonicity)
+  std::map<uint16_t, ThreadId> running_;  // processor -> dispatched thread
+  std::map<uint16_t, Usec> last_time_;    // processor -> last event time (monotonicity)
 };
 
-Timeline Builder::Build() {
-  const std::vector<Event>& events = tracer_.events();
-  if (!events.empty()) {
-    timeline_.begin = events.front().time_us;
-    timeline_.end = events.back().time_us;
+void TimelineBuilder::Impl::Feed(const Event& e) {
+  const Usec now = e.time_us;
+  const size_t i = fed_++;
+  if (i == 0) {
+    timeline_.begin = now;
+  }
+  timeline_.end = now;
+
+  // The tracer claims per-construction monotonicity; a violation means the log was corrupted
+  // or hand-assembled wrong, and every interval after it would be garbage.
+  auto [it, fresh] = last_time_.try_emplace(e.processor, now);
+  if (!fresh) {
+    if (now < it->second) {
+      std::ostringstream msg;
+      msg << "non-monotone event time on processor " << e.processor << ": event #" << i << " ("
+          << EventTypeName(e.type) << ") at " << now << "us after " << it->second << "us";
+      throw TimelineError(msg.str(), i);
+    }
+    it->second = now;
   }
 
-  for (size_t i = 0; i < events.size(); ++i) {
-    const Event& e = events[i];
-    const Usec now = e.time_us;
-
-    // The tracer claims per-construction monotonicity; a violation means the buffer was
-    // corrupted or hand-assembled wrong, and every interval after it would be garbage.
-    auto [it, fresh] = last_time_.try_emplace(e.processor, now);
-    if (!fresh) {
-      if (now < it->second) {
-        std::ostringstream msg;
-        msg << "non-monotone event time on processor " << e.processor << ": event #" << i << " ("
-            << EventTypeName(e.type) << ") at " << now << "us after " << it->second << "us";
-        throw TimelineError(msg.str(), i);
-      }
-      it->second = now;
+  if (e.thread != 0) {
+    ThreadState& st = Thread(e.thread);
+    st.priority = e.priority;
+    NoteName(e.thread, e.thread_sym);
+    if (born_.find(e.thread) == born_.end()) {
+      born_[e.thread] = now;  // first sighting of a thread never seen forked (e.g. main)
     }
+  }
 
-    if (e.thread != 0) {
-      ThreadState& st = Thread(e.thread);
-      st.priority = e.priority;
-      NoteName(e.thread, e.thread_sym);
-      if (born_.find(e.thread) == born_.end()) {
-        born_[e.thread] = now;  // first sighting of a thread never seen forked (e.g. main)
-      }
+  switch (e.type) {
+    case EventType::kThreadFork: {
+      const ThreadId child = static_cast<ThreadId>(e.object);
+      born_[child] = now;
+      ThreadState& st = Thread(child);
+      st.phase = ThreadPhase::kReady;
+      st.phase_begin = now;
+      st.priority = static_cast<int>(e.arg);
+      break;
     }
-
-    switch (e.type) {
-      case EventType::kThreadFork: {
-        const ThreadId child = static_cast<ThreadId>(e.object);
-        born_[child] = now;
-        ThreadState& st = Thread(child);
-        st.phase = ThreadPhase::kReady;
-        st.phase_begin = now;
-        st.priority = static_cast<int>(e.arg);
-        break;
-      }
-      case EventType::kSwitch: {
-        const ThreadId incoming = e.thread;
-        const ThreadId outgoing = running_[e.processor];
-        // The outgoing thread only becomes ready here if nothing already moved it elsewhere
-        // (block, wait, sleep, exit and preempt all transition before the switch shows up).
-        if (outgoing != 0 && outgoing != incoming) {
-          ThreadState& out = Thread(outgoing);
-          if (out.alive && out.phase == ThreadPhase::kRunning) {
-            Transition(outgoing, ThreadPhase::kReady, now);
-          }
+    case EventType::kSwitch: {
+      const ThreadId incoming = e.thread;
+      const ThreadId outgoing = running_[e.processor];
+      // The outgoing thread only becomes ready here if nothing already moved it elsewhere
+      // (block, wait, sleep, exit and preempt all transition before the switch shows up).
+      if (outgoing != 0 && outgoing != incoming) {
+        ThreadState& out = Thread(outgoing);
+        if (out.alive && out.phase == ThreadPhase::kRunning) {
+          Transition(outgoing, ThreadPhase::kReady, now);
         }
-        running_[e.processor] = incoming;
-        if (incoming != 0) {
-          ThreadState& in = Thread(incoming);
-          if (in.phase == ThreadPhase::kBlockedMonitor && in.open_wait >= 0) {
-            // Dispatch is the first evidence the blocked thread owns the lock: complete the
-            // wait span and start its hold.
-            MonitorWait& w = timeline_.monitor_waits[in.open_wait];
-            w.end = now;
-            in.open_wait = -1;
-            MonitorState& ms = monitors_[w.monitor];
-            CloseHold(w.monitor, ms, now);
-            ms.owner = incoming;
-            ms.sym = w.monitor_sym;
-            ms.held_since = now;
-          }
-          Transition(incoming, ThreadPhase::kRunning, now, e.processor);
-        }
-        break;
       }
-      case EventType::kPreempt: {
-        // Emitted from the host context: thread = 0, object = victim.
-        const ThreadId victim = static_cast<ThreadId>(e.object);
-        ThreadState& st = Thread(victim);
-        if (st.alive && st.phase == ThreadPhase::kRunning) {
-          Transition(victim, ThreadPhase::kReady, now);
-        }
-        break;
-      }
-      case EventType::kMlEnter: {
-        // Emitted before acquisition; uncontended entry owns the lock at this same timestamp.
-        // If a contend event follows it will correct the tentative claim.
-        MonitorState& ms = monitors_[e.object];
-        if (ms.owner == 0) {
-          ms.owner = e.thread;
-          ms.sym = e.object_sym;
+      running_[e.processor] = incoming;
+      if (incoming != 0) {
+        ThreadState& in = Thread(incoming);
+        if (in.phase == ThreadPhase::kBlockedMonitor && in.wait_open) {
+          // Dispatch is the first evidence the blocked thread owns the lock: complete the
+          // wait span and start its hold.
+          const ObjectId monitor = in.wait.monitor;
+          const uint32_t monitor_sym = in.wait.monitor_sym;
+          CloseWait(in, now);
+          MonitorState& ms = monitors_[monitor];
+          CloseHold(monitor, ms, now);
+          ms.owner = incoming;
+          ms.sym = monitor_sym;
           ms.held_since = now;
         }
-        break;
+        Transition(incoming, ThreadPhase::kRunning, now, e.processor);
       }
-      case EventType::kMlContend: {
-        const ThreadId owner = static_cast<ThreadId>(e.arg);
-        MonitorState& ms = monitors_[e.object];
-        if (ms.owner != owner) {
-          // The runtime's arg is authoritative; the tentative kMlEnter claim (possibly by this
-          // very waiter) was wrong.
-          CloseHold(e.object, ms, now);
-          ms.owner = owner;
-          ms.sym = e.object_sym;
-          ms.held_since = now;
-        }
-        ThreadState& st = Thread(e.thread);
-        auto owner_it = threads_.find(owner);
-        const int owner_priority = owner_it == threads_.end() ? 0 : owner_it->second.priority;
-        st.open_wait = static_cast<int>(timeline_.monitor_waits.size());
-        timeline_.monitor_waits.push_back({e.object, e.object_sym, e.thread, owner, st.priority,
-                                           owner_priority, now, now});
-        Transition(e.thread, ThreadPhase::kBlockedMonitor, now);
-        break;
+      break;
+    }
+    case EventType::kPreempt: {
+      // Emitted from the host context: thread = 0, object = victim.
+      const ThreadId victim = static_cast<ThreadId>(e.object);
+      ThreadState& st = Thread(victim);
+      if (st.alive && st.phase == ThreadPhase::kRunning) {
+        Transition(victim, ThreadPhase::kReady, now);
       }
-      case EventType::kMlExit: {
-        MonitorState& ms = monitors_[e.object];
-        if (ms.owner != 0 && ms.owner != e.thread) {
-          // Model drift; trust the exit event over the reconstruction.
-          ms.owner = e.thread;
-        }
-        if (ms.owner == 0) {
-          ms.owner = e.thread;
-          ms.held_since = now;
-          ms.sym = e.object_sym;
-        }
+      break;
+    }
+    case EventType::kMlEnter: {
+      // Emitted before acquisition; uncontended entry owns the lock at this same timestamp.
+      // If a contend event follows it will correct the tentative claim.
+      MonitorState& ms = monitors_[e.object];
+      if (ms.owner == 0) {
+        ms.owner = e.thread;
+        ms.sym = e.object_sym;
+        ms.held_since = now;
+      }
+      break;
+    }
+    case EventType::kMlContend: {
+      const ThreadId owner = static_cast<ThreadId>(e.arg);
+      MonitorState& ms = monitors_[e.object];
+      if (ms.owner != owner) {
+        // The runtime's arg is authoritative; the tentative kMlEnter claim (possibly by this
+        // very waiter) was wrong.
         CloseHold(e.object, ms, now);
-        break;
+        ms.owner = owner;
+        ms.sym = e.object_sym;
+        ms.held_since = now;
       }
-      case EventType::kCvWait: {
-        ThreadState& st = Thread(e.thread);
-        st.open_cv = static_cast<int>(timeline_.cv_waits.size());
-        timeline_.cv_waits.push_back({e.object, e.object_sym, e.thread, false, false, now, now});
-        Transition(e.thread, ThreadPhase::kCvWaiting, now);
-        break;
-      }
-      case EventType::kCvTimeout:
-      case EventType::kCvNotified: {
-        // Emitted after the waiter is re-dispatched, so its phase is already kRunning; only the
-        // latency span needs completing.
-        ThreadState& st = Thread(e.thread);
-        if (st.open_cv >= 0) {
-          CvWait& w = timeline_.cv_waits[st.open_cv];
-          w.end = now;
-          w.by_timeout = e.type == EventType::kCvTimeout;
-          w.completed = true;
-          st.open_cv = -1;
-        }
-        break;
-      }
-      case EventType::kSleep: {
-        Transition(e.thread, ThreadPhase::kSleeping, now);
-        break;
-      }
-      case EventType::kTimerFire: {
-        ThreadState& st = Thread(e.thread);
-        if (st.phase == ThreadPhase::kSleeping || st.phase == ThreadPhase::kCvWaiting) {
-          Transition(e.thread, ThreadPhase::kReady, now);
-        }
-        break;
-      }
-      case EventType::kThreadExit: {
-        ThreadState& st = Thread(e.thread);
-        ClosePhase(e.thread, st, now);
-        st.alive = false;
-        st.phase_begin = now;
-        died_[e.thread] = now;
-        break;
-      }
-      default:
-        break;  // forks/joins/yields/user events carry no phase transition of their own
+      ThreadState& st = Thread(e.thread);
+      auto owner_it = threads_.find(owner);
+      const int owner_priority = owner_it == threads_.end() ? 0 : owner_it->second.priority;
+      st.wait = {e.object, e.object_sym, e.thread, owner, st.priority, owner_priority, now, now};
+      st.wait_open = true;
+      st.wait_seq = open_seq_++;
+      Transition(e.thread, ThreadPhase::kBlockedMonitor, now);
+      break;
     }
+    case EventType::kMlExit: {
+      MonitorState& ms = monitors_[e.object];
+      if (ms.owner != 0 && ms.owner != e.thread) {
+        // Model drift; trust the exit event over the reconstruction.
+        ms.owner = e.thread;
+      }
+      if (ms.owner == 0) {
+        ms.owner = e.thread;
+        ms.held_since = now;
+        ms.sym = e.object_sym;
+      }
+      CloseHold(e.object, ms, now);
+      break;
+    }
+    case EventType::kCvWait: {
+      ThreadState& st = Thread(e.thread);
+      st.cv = {e.object, e.object_sym, e.thread, false, false, now, now};
+      st.cv_open = true;
+      st.cv_seq = open_seq_++;
+      Transition(e.thread, ThreadPhase::kCvWaiting, now);
+      break;
+    }
+    case EventType::kCvTimeout:
+    case EventType::kCvNotified: {
+      // Emitted after the waiter is re-dispatched, so its phase is already kRunning; only the
+      // latency span needs completing.
+      ThreadState& st = Thread(e.thread);
+      if (st.cv_open) {
+        CloseCv(st, now, /*by_timeout=*/e.type == EventType::kCvTimeout, /*completed=*/true);
+      }
+      break;
+    }
+    case EventType::kSleep: {
+      Transition(e.thread, ThreadPhase::kSleeping, now);
+      break;
+    }
+    case EventType::kTimerFire: {
+      ThreadState& st = Thread(e.thread);
+      if (st.phase == ThreadPhase::kSleeping || st.phase == ThreadPhase::kCvWaiting) {
+        Transition(e.thread, ThreadPhase::kReady, now);
+      }
+      break;
+    }
+    case EventType::kThreadExit: {
+      ThreadState& st = Thread(e.thread);
+      ClosePhase(e.thread, st, now);
+      st.alive = false;
+      st.phase_begin = now;
+      died_[e.thread] = now;
+      break;
+    }
+    default:
+      break;  // forks/joins/yields/user events carry no phase transition of their own
   }
+}
 
+Timeline TimelineBuilder::Impl::Finish() {
   // Trace over: close whatever is still open so residency accounts for the full window.
   for (auto& [id, st] : threads_) {
     if (st.alive) {
       ClosePhase(id, st, timeline_.end);
     }
-    if (st.open_wait >= 0) {
-      timeline_.monitor_waits[st.open_wait].end = timeline_.end;
+    if (st.wait_open) {
+      CloseWait(st, timeline_.end);
     }
-    if (st.open_cv >= 0) {
-      timeline_.cv_waits[st.open_cv].end = timeline_.end;
+    if (st.cv_open) {
+      CloseCv(st, timeline_.end, st.cv.by_timeout, st.cv.completed);
     }
   }
   for (auto& [id, ms] : monitors_) {
     CloseHold(id, ms, timeline_.end);
+  }
+  if (observer_ != nullptr) {
+    return std::move(timeline_);
   }
 
   for (auto& [id, st] : threads_) {
@@ -280,6 +330,16 @@ Timeline Builder::Build() {
     tt.residency = residency_[id];
     timeline_.threads.push_back(std::move(tt));
   }
+  std::sort(waits_.begin(), waits_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [seq, w] : waits_) {
+    timeline_.monitor_waits.push_back(w);
+  }
+  std::sort(cvs_.begin(), cvs_.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [seq, w] : cvs_) {
+    timeline_.cv_waits.push_back(w);
+  }
   std::sort(timeline_.monitor_holds.begin(), timeline_.monitor_holds.end(),
             [](const MonitorHold& a, const MonitorHold& b) {
               return a.begin != b.begin ? a.begin < b.begin : a.monitor < b.monitor;
@@ -287,7 +347,11 @@ Timeline Builder::Build() {
   return std::move(timeline_);
 }
 
-}  // namespace
+TimelineBuilder::TimelineBuilder(SpanObserver* observer)
+    : impl_(std::make_unique<Impl>(observer)) {}
+TimelineBuilder::~TimelineBuilder() = default;
+void TimelineBuilder::Feed(const Event& event) { impl_->Feed(event); }
+Timeline TimelineBuilder::Finish() { return impl_->Finish(); }
 
 std::string_view ThreadPhaseName(ThreadPhase phase) {
   switch (phase) {
@@ -314,7 +378,13 @@ const ThreadTimeline* Timeline::Find(ThreadId id) const {
   return nullptr;
 }
 
-Timeline BuildTimeline(const Tracer& tracer) { return Builder(tracer).Build(); }
+Timeline BuildTimeline(const Tracer& tracer) {
+  TimelineBuilder builder;
+  for (const Event& e : tracer.view()) {
+    builder.Feed(e);
+  }
+  return builder.Finish();
+}
 
 std::vector<MonitorWait> FindPriorityInversions(const Timeline& timeline) {
   std::vector<MonitorWait> inversions;

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -121,7 +122,54 @@ class TimelineError : public std::runtime_error {
   size_t event_index_;
 };
 
-// Folds the tracer's event buffer into a Timeline. Throws TimelineError on non-monotone
+// Incremental timeline fold: feed events one at a time, get completed spans as they close.
+//
+// Two modes share one fold:
+//   * accumulate (no observer): Feed everything, then Finish() returns the full Timeline —
+//     this is what BuildTimeline does.
+//   * observer: completed spans are delivered through the SpanObserver as each one closes and
+//     nothing is accumulated, so memory stays O(live threads + monitors) no matter how long
+//     the trace is. The streaming Chrome exporter (export_chrome.h) is built on this.
+//
+// Open state (a thread's current phase, in-flight monitor/CV waits, current lock holders)
+// lives inside the builder either way; Finish() closes it at the last event's time, exactly
+// like the end-of-trace closure the batch fold always did. Spans are observed in *close*
+// order; the accumulated Timeline keeps the historical orders (waits in open order, holds
+// sorted by begin) so batch consumers see no change.
+class TimelineBuilder {
+ public:
+  // Completed-span callbacks. Default implementations ignore the span.
+  class SpanObserver {
+   public:
+    virtual ~SpanObserver() = default;
+    // A thread finished one state interval (interval.processor is set for kRunning).
+    virtual void OnInterval(ThreadId thread, const ThreadInterval& interval);
+    virtual void OnMonitorHold(const MonitorHold& hold);
+    virtual void OnMonitorWait(const MonitorWait& wait);
+    virtual void OnCvWait(const CvWait& wait);
+  };
+
+  // With an observer the builder streams spans and accumulates nothing; without one it
+  // accumulates a Timeline for Finish() to return.
+  explicit TimelineBuilder(SpanObserver* observer = nullptr);
+  ~TimelineBuilder();
+  TimelineBuilder(const TimelineBuilder&) = delete;
+  TimelineBuilder& operator=(const TimelineBuilder&) = delete;
+
+  // Folds one event. Throws TimelineError on non-monotone per-processor times (the index in
+  // the error counts events fed to this builder, starting at 0).
+  void Feed(const Event& event);
+
+  // Closes everything still open at the last fed event's time, delivers the final spans, and
+  // returns the accumulated Timeline (empty in observer mode). Call at most once.
+  Timeline Finish();
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Folds the tracer's event log into a Timeline. Throws TimelineError on non-monotone
 // per-processor event times.
 Timeline BuildTimeline(const Tracer& tracer);
 

@@ -24,7 +24,7 @@ size_t WriteTrace(std::ostream& os, const Tracer& tracer) {
   for (uint32_t id = 1; id < symbols.size(); ++id) {  // id 0 is always ""
     os << kSymPrefix << id << '\t' << symbols.Name(id) << '\n';
   }
-  for (const Event& e : tracer.events()) {
+  for (const Event& e : tracer.view()) {
     os << e.time_us << '\t' << static_cast<int>(e.type) << '\t'
        << static_cast<int>(e.priority) << '\t' << e.processor << '\t' << e.thread << '\t'
        << e.object << '\t' << e.arg << '\t' << e.thread_sym << '\t' << e.object_sym << '\n';

@@ -21,11 +21,10 @@ struct ProcessorRun {
 }  // namespace
 
 Summary Summarize(const Tracer& tracer, const StatsOptions& options) {
-  const std::vector<Event>& events = tracer.events();
   Usec begin = options.window_begin;
   Usec end = options.window_end;
   if (end <= begin) {
-    end = events.empty() ? begin : events.back().time_us;
+    end = tracer.retained() == 0 ? begin : tracer.last_time();
   }
 
   Summary s;
@@ -61,7 +60,7 @@ Summary Summarize(const Tracer& tracer, const StatsOptions& options) {
     s.exec_intervals.Add(span);
   };
 
-  for (const Event& e : events) {
+  for (const Event& e : tracer.view()) {
     if (e.time_us >= end) {
       break;
     }

@@ -97,10 +97,221 @@ std::string_view FaultSiteName(FaultSite site) {
   return "unknown";
 }
 
+void Tracer::RecordSlow(const Event& event) {
+  internal::Segment* seg = tail_;
+  if (seg == nullptr || seg->count == internal::kSegmentCapacity ||
+      (seg->count > 0 && static_cast<uint64_t>(event.time_us) -
+                                 static_cast<uint64_t>(seg->last_time) >
+                             0xffffffffull)) {
+    seg = RollSegment();
+  }
+  uint32_t dt = 0;
+  if (seg->count == 0) {
+    seg->base_time = event.time_us;
+  } else {
+    dt = static_cast<uint32_t>(event.time_us - seg->last_time);
+  }
+  internal::PackedEvent& r = seg->records[seg->count++];
+  r.dt_us = dt;
+  r.priority = event.priority;
+  r.processor = event.processor;
+  r.thread = event.thread;
+  const bool wide = (event.object | event.arg) > 0xffffffffull ||
+                    ((event.thread_sym | event.object_sym) >> 16) != 0;
+  if (wide) {
+    r.type_flags = static_cast<uint8_t>(event.type) | internal::kWideFlag;
+    r.object = static_cast<uint32_t>(seg->wide.size());
+    r.arg = 0;
+    r.thread_sym = 0;
+    r.object_sym = 0;
+    seg->wide.push_back(event);
+  } else {
+    r.type_flags = static_cast<uint8_t>(event.type);
+    r.object = static_cast<uint32_t>(event.object);
+    r.arg = static_cast<uint32_t>(event.arg);
+    r.thread_sym = static_cast<uint16_t>(event.thread_sym);
+    r.object_sym = static_cast<uint16_t>(event.object_sym);
+  }
+  seg->last_time = event.time_us;
+  ++size_;
+}
+
+std::unique_ptr<internal::Segment> Tracer::NewSegment() {
+  if (!freelist_.empty()) {
+    std::unique_ptr<internal::Segment> seg = std::move(freelist_.back());
+    freelist_.pop_back();
+    return seg;
+  }
+  return std::make_unique<internal::Segment>();
+}
+
+internal::Segment* Tracer::RollSegment() {
+  if (sink_ != nullptr) {
+    // Streaming: every complete segment folds to the sink and recycles, so in steady state
+    // exactly one segment (the open tail) is live.
+    for (std::unique_ptr<internal::Segment>& seg : segments_) {
+      DrainSegmentToSink(*seg);
+      Recycle(std::move(seg));
+    }
+    segments_.clear();
+  }
+  std::unique_ptr<internal::Segment> seg = NewSegment();
+  seg->Reset(size_);
+  tail_ = seg.get();
+  segments_.push_back(std::move(seg));
+  if (ring_limit_ > 0) {
+    // Flight recorder: evict whole segments from the front while the events behind them still
+    // meet the retention floor. The open (empty) tail never counts toward the floor.
+    while (segments_.size() > 1 &&
+           retained() - segments_.front()->count >= ring_limit_) {
+      dropped_ += segments_.front()->count;
+      Recycle(std::move(segments_.front()));
+      segments_.erase(segments_.begin());
+    }
+  }
+  return tail_;
+}
+
+void Tracer::DrainSegmentToSink(const internal::Segment& seg) {
+  Usec prev = seg.base_time;
+  for (uint32_t i = 0; i < seg.count; ++i) {
+    Event e = seg.Decode(i, prev);
+    prev = e.time_us;
+    sink_->Consume(e);
+  }
+  streamed_ += seg.count;
+}
+
+void Tracer::FlushSink() {
+  if (sink_ == nullptr) {
+    return;
+  }
+  for (std::unique_ptr<internal::Segment>& seg : segments_) {
+    DrainSegmentToSink(*seg);
+    Recycle(std::move(seg));
+  }
+  segments_.clear();
+  tail_ = nullptr;
+}
+
+EventRange Tracer::view(size_t from) const {
+  const size_t lo = first_retained();
+  if (from < lo) {
+    from = lo;
+  }
+  if (from >= size_ || segments_.empty()) {
+    return EventRange();
+  }
+  // Last segment whose first_index <= from.
+  size_t a = 0;
+  size_t b = segments_.size();
+  while (b - a > 1) {
+    size_t mid = a + (b - a) / 2;
+    if (segments_[mid]->first_index <= from) {
+      a = mid;
+    } else {
+      b = mid;
+    }
+  }
+  const internal::Segment& seg = *segments_[a];
+  const uint32_t pos = static_cast<uint32_t>(from - seg.first_index);
+  // dt_us is valid even for wide records, so the prefix sum lands on the previous event's
+  // time without decoding the wide table.
+  Usec prev = seg.base_time;
+  for (uint32_t i = 0; i < pos; ++i) {
+    prev += seg.records[i].dt_us;
+  }
+  EventCursor c;
+  c.segments_ = &segments_;
+  c.seg_ = a;
+  c.pos_ = pos;
+  c.index_ = from;
+  c.remaining_ = size_ - from;
+  c.prev_time_ = prev;
+  c.current_ = seg.Decode(pos, prev);
+  return EventRange(c);
+}
+
+std::vector<Event> Tracer::CopyEvents() const {
+  std::vector<Event> out;
+  out.reserve(retained());
+  for (const Event& e : view()) {
+    out.push_back(e);
+  }
+  return out;
+}
+
+void Tracer::TruncateTo(size_t n) {
+  if (n >= size_) {
+    return;
+  }
+  while (!segments_.empty() && segments_.back()->first_index >= n) {
+    Recycle(std::move(segments_.back()));
+    segments_.pop_back();
+  }
+  size_ = n;
+  if (segments_.empty()) {
+    tail_ = nullptr;
+    return;
+  }
+  internal::Segment& seg = *segments_.back();
+  seg.count = static_cast<uint32_t>(n - seg.first_index);
+  Usec t = seg.base_time;
+  uint32_t wides = 0;
+  for (uint32_t i = 0; i < seg.count; ++i) {
+    t += seg.records[i].dt_us;
+    if (seg.records[i].type_flags & internal::kWideFlag) {
+      ++wides;
+    }
+  }
+  seg.last_time = t;
+  seg.wide.resize(wides);
+  tail_ = &seg;
+}
+
+void Tracer::Clear() {
+  for (std::unique_ptr<internal::Segment>& seg : segments_) {
+    Recycle(std::move(seg));
+  }
+  segments_.clear();
+  tail_ = nullptr;
+  size_ = 0;
+  dropped_ = 0;
+  streamed_ = 0;
+  window_start_ = 0;  // a cleared log starts a fresh measurement window
+}
+
+SegmentArena Tracer::TakeEventBuffer() {
+  SegmentArena arena;
+  arena.segments = std::move(segments_);
+  for (std::unique_ptr<internal::Segment>& seg : freelist_) {
+    arena.segments.push_back(std::move(seg));
+  }
+  segments_.clear();
+  freelist_.clear();
+  tail_ = nullptr;
+  size_ = 0;
+  dropped_ = 0;
+  streamed_ = 0;
+  return arena;
+}
+
+void Tracer::AdoptEventBuffer(SegmentArena arena) {
+  Clear();
+  for (std::unique_ptr<internal::Segment>& seg : arena.segments) {
+    Recycle(std::move(seg));
+  }
+}
+
 void Tracer::Dump(std::ostream& os, Usec from_us, Usec to_us, size_t limit) const {
+  if (first_retained() > 0) {
+    os << "... " << first_retained() << " earlier event(s) "
+       << (streamed_ > 0 ? "streamed out" : "dropped by the ring") << " (showing "
+       << retained() << " retained of " << size_ << " recorded)\n";
+  }
   size_t emitted = 0;
   size_t suppressed = 0;
-  for (const Event& e : events_) {
+  for (const Event& e : view()) {
     if (e.time_us < from_us) {
       continue;
     }

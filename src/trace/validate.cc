@@ -22,7 +22,6 @@ void Error(ValidationResult* result, size_t index, const Event& e, const std::st
 
 ValidationResult ValidateTrace(const Tracer& tracer) {
   ValidationResult result;
-  const std::vector<Event>& events = tracer.events();
 
   Usec last_time = 0;
   std::set<ThreadId> forked;
@@ -30,8 +29,10 @@ ValidationResult ValidateTrace(const Tracer& tracer) {
   std::map<ObjectId, int64_t> monitor_balance;  // enters minus exits; never negative
   std::map<ThreadId, int> waits_begun;          // cv-wait vs completion balance
 
-  for (size_t i = 0; i < events.size(); ++i) {
-    const Event& e = events[i];
+  const EventRange range = tracer.view();
+  for (EventCursor c = range.begin(); c != range.end(); ++c) {
+    const Event& e = *c;
+    const size_t i = c.index();
     if (e.time_us < last_time) {
       Error(&result, i, e, "time went backwards");
     }

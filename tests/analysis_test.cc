@@ -113,7 +113,7 @@ TEST(AnnotateTest, UserEventsAppearInTheTrace) {
   rt.ForkDetached([] { pcr::thisthread::Annotate(/*object=*/777, /*arg=*/42); });
   rt.RunUntilQuiescent(kUsecPerSec);
   bool found = false;
-  for (const trace::Event& e : rt.tracer().events()) {
+  for (const trace::Event& e : rt.tracer().view()) {
     if (e.type == trace::EventType::kUser && e.object == 777 && e.arg == 42) {
       found = true;
     }

@@ -25,7 +25,7 @@ CapturedRun RunOnce(const examples::ExampleScenario& scenario, uint64_t seed) {
   config.seed = seed;
   pcr::Runtime rt(config);
   scenario.body(rt, /*verbose=*/false);
-  return CapturedRun{rt.tracer().events(), explore::TraceHash(rt.tracer())};
+  return CapturedRun{rt.tracer().CopyEvents(), explore::TraceHash(rt.tracer())};
 }
 
 void ExpectIdentical(const CapturedRun& a, const CapturedRun& b, const char* name) {
@@ -77,7 +77,7 @@ TEST(FaultDeterminismTest, SeededFaultPlanGivesIdenticalTraces) {
     pcr::Runtime rt(config);
     rt.scheduler().set_fault_injector(&injector);
     scenario.body(rt, /*verbose=*/false);
-    CapturedRun run{rt.tracer().events(), explore::TraceHash(rt.tracer())};
+    CapturedRun run{rt.tracer().CopyEvents(), explore::TraceHash(rt.tracer())};
     EXPECT_EQ(injector.plan(), plan) << "the plan itself must not mutate across a run";
     return run;
   };

@@ -222,6 +222,9 @@ TEST(ChromeExportTest, GoldenMiniTrace) {
 
   std::ostringstream os;
   trace::ExportChromeTrace(os, t);
+  // The writer streams: instant markers land at event time, interval slices when they close,
+  // and name metadata at Finish. Trace viewers sort by ts/ph, so record order is free — but it
+  // is pinned here because streamed and buffered exports must stay byte-identical.
   const std::string expected =
       "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"
       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
@@ -230,16 +233,16 @@ TEST(ChromeExportTest, GoldenMiniTrace) {
       "\"args\": {\"name\": \"processors\"}},\n"
       "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 3, "
       "\"args\": {\"name\": \"monitors\"}},\n"
-      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
-      "\"args\": {\"name\": \"main\"}},\n"
-      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 0, "
-      "\"args\": {\"name\": \"cpu-0\"}},\n"
+      "{\"name\": \"notify\", \"cat\": \"marker\", \"ph\": \"i\", \"s\": \"t\", \"ts\": 10, "
+      "\"pid\": 1, \"tid\": 1, \"args\": {\"cv\": \"cv-7\", \"woken\": 0}},\n"
       "{\"name\": \"running\", \"cat\": \"state\", \"ph\": \"X\", \"ts\": 0, \"dur\": 20, "
       "\"pid\": 1, \"tid\": 1, \"args\": {\"processor\": 0}},\n"
       "{\"name\": \"main\", \"cat\": \"run\", \"ph\": \"X\", \"ts\": 0, \"dur\": 20, "
       "\"pid\": 2, \"tid\": 0, \"args\": {\"thread\": 1}},\n"
-      "{\"name\": \"notify\", \"cat\": \"marker\", \"ph\": \"i\", \"s\": \"t\", \"ts\": 10, "
-      "\"pid\": 1, \"tid\": 1, \"args\": {\"cv\": \"cv-7\", \"woken\": 0}}\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 1, "
+      "\"args\": {\"name\": \"main\"}},\n"
+      "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 2, \"tid\": 0, "
+      "\"args\": {\"name\": \"cpu-0\"}}\n"
       "]}\n";
   EXPECT_EQ(os.str(), expected);
 }
@@ -288,7 +291,7 @@ TEST(SerializeTest, V2RemapsSymbolsIntoPrePopulatedTracer) {
   std::istringstream in(out.str());
   ASSERT_EQ(trace::ReadTrace(in, &b), 1);
   ASSERT_EQ(b.size(), 1u);
-  const Event& e = b.events()[0];
+  const Event e = *b.view().begin();
   EXPECT_EQ(b.symbols().Name(e.thread_sym), "alpha");
   EXPECT_EQ(b.symbols().Name(e.object_sym), "beta");
   EXPECT_NE(e.thread_sym, alpha);  // "alpha" was re-interned past "zulu", so the id moved
@@ -300,7 +303,7 @@ TEST(SerializeTest, V1HeaderReadsSymbolFreeRecords) {
   std::istringstream in("pcr-trace v1\n5\t0\t3\t0\t1\t2\t7\n");
   ASSERT_EQ(trace::ReadTrace(in, &t), 1);
   ASSERT_EQ(t.size(), 1u);
-  const Event& e = t.events()[0];
+  const Event e = *t.view().begin();
   EXPECT_EQ(e.time_us, 5);
   EXPECT_EQ(e.type, EventType::kThreadFork);
   EXPECT_EQ(e.priority, 3);
@@ -497,7 +500,7 @@ TEST(ExplorerTest, ProfileIsPopulatedAndReplayCaptureExportsTrace) {
   EXPECT_EQ(again.trace_hash, result.baseline.trace_hash);
   ASSERT_GT(capture.size(), 0u);
   bool saw_mu = false;
-  for (const Event& e : capture.events()) {
+  for (const Event& e : capture.view()) {
     if (capture.symbols().Name(e.object_sym) == "mu") {
       saw_mu = true;
       break;

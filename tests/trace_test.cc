@@ -227,9 +227,11 @@ TEST(SerializeTest, RoundTripPreservesEveryEvent) {
   std::istringstream in(out.str());
   EXPECT_EQ(ReadTrace(in, &loaded), static_cast<int64_t>(written));
   ASSERT_EQ(loaded.size(), rt.tracer().size());
+  const std::vector<Event> original_events = rt.tracer().CopyEvents();
+  const std::vector<Event> loaded_events = loaded.CopyEvents();
   for (size_t i = 0; i < loaded.size(); ++i) {
-    const Event& a = rt.tracer().events()[i];
-    const Event& b = loaded.events()[i];
+    const Event& a = original_events[i];
+    const Event& b = loaded_events[i];
     EXPECT_EQ(a.time_us, b.time_us);
     EXPECT_EQ(a.type, b.type);
     EXPECT_EQ(a.thread, b.thread);

@@ -72,6 +72,7 @@ def extract_metrics(name, doc):
             if "config" in row:
                 put(f"{row['config']}/events_per_sec", row, "events_per_sec", True)
         put("metrics_overhead_fraction", doc, "metrics_overhead_fraction", False)
+        put("tracing_overhead_fraction", doc, "tracing_overhead_fraction", False)
         checks.append(("pass", bool(doc.get("pass"))))
     elif name == "BENCH_fiber.json":
         for row in doc.get("benchmarks", []):
@@ -110,6 +111,21 @@ def compare_file(name, baseline_doc, fresh_doc, tolerance):
             failures.append(f"{name}: metric '{metric}' missing from fresh run")
             continue
         fresh_value, _ = fresh_metrics[metric]
+        if metric.endswith("_overhead_fraction"):
+            # Overhead fractions sit near zero, where a ratio test explodes: 0.04 -> 0.10 is a
+            # 2.5x "regression" well inside host noise (and the baseline can even be negative).
+            # Use absolute slack instead — relative tolerance with a 0.10-fraction-point floor —
+            # so the gate catches tracing falling back to flat-vector cost, not jitter.
+            slack = max(abs(base_value) * tolerance, 0.10)
+            regressed = fresh_value > base_value + slack
+            delta = fresh_value - base_value
+            marker = "REGRESSED" if regressed else "ok"
+            lines.append(f"  {metric}: {base_value:.4f} -> {fresh_value:.4f} "
+                         f"({delta:+.4f} abs) {marker}")
+            if regressed:
+                failures.append(f"{name}: {metric} regressed {delta:+.4f} "
+                                f"(absolute slack {slack:.2f})")
+            continue
         if base_value == 0:
             continue
         ratio = fresh_value / base_value

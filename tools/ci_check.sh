@@ -72,8 +72,8 @@ echo "== bench_micro --json"
 (cd "$BUILD_RELEASE" && bench/bench_micro --json > /dev/null)
 
 # Observability gates: the Chrome-trace and metrics exports must be valid JSON end to end, and
-# the metrics instrumentation must stay within its hot-path overhead budget (the bench exits
-# nonzero past 10% and records the numbers in BENCH_trace.json).
+# both tracing and metrics instrumentation must stay within their hot-path overhead budgets
+# (the bench exits nonzero past either threshold and records the numbers in BENCH_trace.json).
 echo "== Observability exports + trace-overhead budget"
 (cd "$BUILD_RELEASE" \
   && tools/pcrsim --scenario keyboard --duration 5 \
@@ -81,6 +81,23 @@ echo "== Observability exports + trace-overhead budget"
   && python3 -m json.tool ci_chrome_trace.json > /dev/null \
   && python3 -m json.tool ci_metrics.json > /dev/null \
   && bench/bench_trace_overhead --json)
+
+# Streaming-export equivalence: the bounded-memory streaming sink must produce byte-for-byte
+# the file the buffered exporter writes — first over a full pcrsim world run, then over a
+# pcrcheck failing-schedule repro (the two CLI paths that drive ChromeTraceWriter). cmp, not a
+# JSON-level diff: the contract is byte identity, so golden traces stay pinnable either way.
+echo "== Streamed vs buffered Chrome export (byte identity)"
+(cd "$BUILD_RELEASE" \
+  && tools/pcrsim --scenario keyboard --duration 5 --chrome-trace=ci_chrome_buffered.json \
+  && tools/pcrsim --scenario keyboard --duration 5 --chrome-stream=ci_chrome_streamed.json \
+  && cmp ci_chrome_buffered.json ci_chrome_streamed.json)
+rm -rf "$BUILD_RELEASE/ci_ct_buffered" "$BUILD_RELEASE/ci_ct_streamed"
+(cd "$BUILD_RELEASE" \
+  && tools/pcrcheck --scenario=buggy_monitor --require-bug \
+       --chrome-trace-on-failure=ci_ct_buffered --chrome-stream-on-failure=ci_ct_streamed)
+for f in "$BUILD_RELEASE"/ci_ct_buffered/*.json; do
+  cmp "$f" "$BUILD_RELEASE/ci_ct_streamed/$(basename "$f")"
+done
 
 # Benchmark regression gate: the runs above regenerated BENCH_explore/fiber/micro/trace.json in
 # the build tree; diff them against the committed baselines. Tolerance is wide (50%) because CI

@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <iostream>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,8 @@ struct Args {
   std::string replay;
   std::string fault_plan;        // --fault-plan: base fault::Plan swept across schedules
   std::string chrome_trace_dir;  // --chrome-trace-on-failure: export failing schedules here
+  std::string chrome_stream_dir;  // --chrome-stream-on-failure: same, via the streaming sink
+  size_t trace_ring = 0;  // --trace-ring: replay failures with a ring-armed capture and dump
   bool all = false;
   bool list = false;
   bool require_bug = false;
@@ -61,6 +64,12 @@ void Usage() {
                "usage: pcrcheck [--list] [--all] [--scenario=NAME] [--budget=N] [--seed=N]\n"
                "                [--workers=N] [--replay=REPRO] [--require-bug] [--verbose]\n"
                "                [--profile] [--no-checkpoint] [--chrome-trace-on-failure=DIR]\n"
+               "                [--chrome-stream-on-failure=DIR]\n"
+               "                                      like --chrome-trace-on-failure but written\n"
+               "                                      through the bounded-memory streaming sink\n"
+               "                                      (byte-identical output)\n"
+               "                [--trace-ring=N]      replay each failure with a flight-recorder\n"
+               "                                      ring of N events and dump the retained tail\n"
                "                [--fault-plan=SPEC]   e.g. \"f1,rate=0.01,sites=notify-lost\"\n"
                "                                      (searches fault x schedule space; failing\n"
                "                                      repro strings then pin their fault plan)\n"
@@ -92,6 +101,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->no_checkpoint = true;
     } else if (const char* v = value("--chrome-trace-on-failure=")) {
       args->chrome_trace_dir = v;
+    } else if (const char* v = value("--chrome-stream-on-failure=")) {
+      args->chrome_stream_dir = v;
+    } else if (const char* v = value("--trace-ring=")) {
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (*v == '\0' || *end != '\0' || n <= 0) {
+        std::fprintf(stderr, "pcrcheck: --trace-ring expects a positive integer, got '%s'\n", v);
+        return false;
+      }
+      args->trace_ring = static_cast<size_t>(n);
     } else if (arg == "--campaign-examples") {
       args->campaign_examples = true;
     } else if (const char* v = value("--campaign=")) {
@@ -216,6 +235,40 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
       } else {
         std::fprintf(stderr, "  could not write chrome trace %s\n", path.c_str());
       }
+    }
+    if (!args.chrome_stream_dir.empty()) {
+      // Same export, but folded to disk segment by segment while the replay runs: the capture
+      // tracer never holds more than one segment of the failing schedule in memory. Output is
+      // byte-identical to the buffered --chrome-trace-on-failure file, which ci_check.sh diffs.
+      std::error_code ec;
+      std::filesystem::create_directories(args.chrome_stream_dir, ec);
+      std::string path = args.chrome_stream_dir + "/" + scenario.name + "-" +
+                         std::to_string(failure_index) + ".json";
+      trace::Tracer capture;
+      trace::ChromeStreamFile sink(path, capture.symbols());
+      if (!sink.ok()) {
+        std::fprintf(stderr, "  could not open chrome trace %s\n", path.c_str());
+      } else {
+        capture.set_sink(&sink);
+        explorer.Replay(failure.repro, scenario.body, &capture);
+        capture.FlushSink();
+        capture.set_sink(nullptr);
+        if (sink.Finish()) {
+          std::printf("  chrome trace (streamed): %s\n", path.c_str());
+        } else {
+          std::fprintf(stderr, "  could not write chrome trace %s\n", path.c_str());
+        }
+      }
+    }
+    if (args.trace_ring > 0) {
+      // Flight-recorder triage: re-run the failing schedule with a bounded ring and print the
+      // crash-adjacent tail — what an operator would see from a long run that died.
+      trace::Tracer capture;
+      capture.set_ring_limit(args.trace_ring);
+      explorer.Replay(failure.repro, scenario.body, &capture);
+      std::printf("  flight recorder tail (ring=%zu, %zu retained of %zu recorded):\n",
+                  args.trace_ring, capture.retained(), capture.size());
+      capture.Dump(std::cout, 0, capture.last_time() + 1, capture.retained());
     }
     ++failure_index;
   }

@@ -40,7 +40,9 @@ struct Cli {
   bool profile = false;
   std::optional<std::string> save_trace;
   std::optional<std::string> chrome_trace;
+  std::optional<std::string> chrome_stream;
   std::optional<std::string> metrics_json;
+  size_t trace_ring = 0;
   std::optional<std::string> scenario;
   std::optional<std::string> fault_plan;
   bool watchdog = false;
@@ -87,6 +89,12 @@ void PrintUsage() {
       "  --profile               print the per-thread traffic profile\n"
       "  --save-trace <file>     write the raw event trace to a file\n"
       "  --chrome-trace <file>   export a Chrome/Perfetto trace (open in ui.perfetto.dev)\n"
+      "  --chrome-stream <file>  stream the Chrome trace to disk during the run (bounded\n"
+      "                          memory; byte-identical to --chrome-trace, but post-run\n"
+      "                          analyses and summary rows see only the unstreamed tail)\n"
+      "  --trace-ring <n>        flight recorder: retain only the last n trace events; the\n"
+      "                          scheduler dumps the tail on watchdog reports and uncaught\n"
+      "                          fiber exceptions\n"
       "  --metrics-json <file>   write the runtime metrics registry snapshot as JSON\n"
       "  --dump <from>:<to>      dump the raw event history for [from,to) virtual ms\n"
       "  --dump-limit <n>        max events per --dump before truncation (default 4000)\n"
@@ -144,6 +152,10 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
       cli->save_trace = next();
     } else if (arg == "--chrome-trace") {
       cli->chrome_trace = next();
+    } else if (arg == "--chrome-stream") {
+      cli->chrome_stream = next();
+    } else if (arg == "--trace-ring") {
+      cli->trace_ring = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--metrics-json") {
       cli->metrics_json = next();
     } else if (arg == "--dump-limit") {
@@ -215,6 +227,7 @@ int main(int argc, char** argv) {
 
   fault::Injector injector;
   std::unique_ptr<fault::Watchdog> watchdog;  // recreated per scenario (Start is once-only)
+  std::unique_ptr<trace::ChromeStreamFile> stream_sink;  // recreated per scenario too
   if (cli.fault_plan.has_value()) {
     try {
       injector.set_plan(fault::Plan::Decode(*cli.fault_plan));
@@ -223,12 +236,29 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (cli.fault_plan.has_value() || cli.watchdog) {
+  if (cli.fault_plan.has_value() || cli.watchdog || cli.trace_ring > 0 ||
+      cli.chrome_stream.has_value()) {
     bool want_watchdog = cli.watchdog;
-    options.setup = [&injector, &watchdog, want_watchdog](pcr::Runtime& rt) {
+    size_t trace_ring = cli.trace_ring;
+    auto chrome_stream = cli.chrome_stream;
+    options.setup = [&injector, &watchdog, &stream_sink, want_watchdog, trace_ring,
+                     chrome_stream](pcr::Runtime& rt) {
       if (injector.plan().enabled()) {
         injector.Reset();  // each scenario replays the plan from consult zero
         rt.scheduler().set_fault_injector(&injector);
+      }
+      if (trace_ring > 0) {
+        rt.tracer().set_ring_limit(trace_ring);
+      }
+      if (chrome_stream.has_value()) {
+        stream_sink = std::make_unique<trace::ChromeStreamFile>(*chrome_stream,
+                                                                rt.tracer().symbols());
+        if (stream_sink->ok()) {
+          rt.tracer().set_sink(stream_sink.get());
+        } else {
+          std::fprintf(stderr, "pcrsim: could not open %s\n", chrome_stream->c_str());
+          stream_sink.reset();
+        }
       }
       if (want_watchdog) {
         fault::WatchdogOptions wd_options;
@@ -244,14 +274,30 @@ int main(int argc, char** argv) {
   }
   bool want_profile = cli.profile;
   if (cli.dump_ms.has_value() || want_profile || cli.save_trace.has_value() ||
-      cli.chrome_trace.has_value() || cli.metrics_json.has_value()) {
+      cli.chrome_trace.has_value() || cli.chrome_stream.has_value() ||
+      cli.metrics_json.has_value()) {
     auto dump = cli.dump_ms;
     auto save_trace = cli.save_trace;
     auto chrome_trace = cli.chrome_trace;
+    auto chrome_stream = cli.chrome_stream;
     auto metrics_json = cli.metrics_json;
     size_t dump_limit = cli.dump_limit;
-    options.inspect = [dump, want_profile, save_trace, chrome_trace, metrics_json,
-                       dump_limit](pcr::Runtime& rt) {
+    options.inspect = [dump, want_profile, save_trace, chrome_trace, chrome_stream,
+                       metrics_json, dump_limit, &stream_sink](pcr::Runtime& rt) {
+      // Close the streaming export first: FlushSink folds the still-open tail segment through
+      // the sink, and Finish terminates the JSON document. Must happen while the runtime (and
+      // its symbol table) is alive, which is exactly what this hook guarantees.
+      if (stream_sink != nullptr) {
+        rt.tracer().FlushSink();
+        rt.tracer().set_sink(nullptr);
+        if (stream_sink->Finish()) {
+          std::printf("chrome trace streamed to %s (open in ui.perfetto.dev)\n",
+                      chrome_stream->c_str());
+        } else {
+          std::fprintf(stderr, "pcrsim: could not write %s\n", chrome_stream->c_str());
+        }
+        stream_sink.reset();
+      }
       if (dump.has_value()) {
         std::printf("--- event history %ld..%ld ms ---\n", dump->first, dump->second);
         rt.tracer().Dump(std::cout, dump->first * pcr::kUsecPerMsec,

@@ -55,11 +55,13 @@ int main(int argc, char** argv) {
   }
   std::printf("%s: %zu events; %s: %zu events\n", argv[1], a.size(), argv[2], b.size());
 
+  const std::vector<trace::Event> a_events = a.CopyEvents();
+  const std::vector<trace::Event> b_events = b.CopyEvents();
   size_t common = std::min(a.size(), b.size());
   size_t first_diff = common;
   for (size_t i = 0; i < common; ++i) {
-    const trace::Event& ea = a.events()[i];
-    const trace::Event& eb = b.events()[i];
+    const trace::Event& ea = a_events[i];
+    const trace::Event& eb = b_events[i];
     // Symbol ids are interned per table, so names must be compared as resolved strings —
     // identical traces can legitimately assign different ids to the same name.
     if (ea.time_us != eb.time_us || ea.type != eb.type || ea.thread != eb.thread ||
@@ -79,8 +81,8 @@ int main(int argc, char** argv) {
     std::printf("traces agree for all %zu common events; lengths differ\n", common);
   } else {
     std::printf("first divergence at event #%zu:\n", first_diff);
-    PrintEvent("a", a, a.events()[first_diff]);
-    PrintEvent("b", b, b.events()[first_diff]);
+    PrintEvent("a", a, a_events[first_diff]);
+    PrintEvent("b", b, b_events[first_diff]);
   }
   trace::Summary sa = trace::Summarize(a);
   trace::Summary sb = trace::Summarize(b);
