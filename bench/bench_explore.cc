@@ -44,13 +44,14 @@ struct Args {
   int workers = 0;         // 0: hardware concurrency
   bool json = false;
   bool no_checkpoint = false;   // force from-zero replay in both runs
+  bool no_dpor = false;         // disable sleep-set leaf pruning in both runs
   double require_speedup = 0;   // >0: gate on parallel/serial ratio (4+ cores only)
 };
 
 void Usage() {
   std::fprintf(stderr,
                "usage: bench_explore [--scenario=NAME] [--budget=N] [--workers=N] [--json]\n"
-               "                     [--no-checkpoint] [--require-speedup=N]\n"
+               "                     [--no-checkpoint] [--no-dpor] [--require-speedup=N]\n"
                "                     [--fault-plan=SPEC]\n");
 }
 
@@ -65,6 +66,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->json = true;
     } else if (arg == "--no-checkpoint") {
       args->no_checkpoint = true;
+    } else if (arg == "--no-dpor") {
+      args->no_dpor = true;
     } else if (const char* v = value("--require-speedup=")) {
       char* end = nullptr;
       double n = std::strtod(v, &end);
@@ -128,6 +131,9 @@ struct Measurement {
   int64_t checkpoint_resumes = 0;
   int64_t checkpoint_bytes = 0;
   int64_t pruned_schedules = 0;
+  // DPOR leaf pruning (subsets of pruned_schedules; zero under --no-dpor).
+  int64_t dpor_pruned = 0;
+  int64_t drain_spliced = 0;
 };
 
 double Seconds(std::chrono::steady_clock::time_point a,
@@ -169,6 +175,9 @@ Measurement RunScenario(const explore::BugScenario& scenario, const Args& args,
   }
   if (args.no_checkpoint) {
     options.checkpoint = false;
+  }
+  if (args.no_dpor) {
+    options.dpor = false;
   }
   m.checkpoint = options.checkpoint && pcr::Checkpoint::Supported() && scenario.checkpoint_safe;
   if (!args.fault_plan.empty()) {
@@ -224,6 +233,8 @@ Measurement RunScenario(const explore::BugScenario& scenario, const Args& args,
   m.checkpoint_resumes = parallel_result.profile.checkpoint_resumes;
   m.checkpoint_bytes = parallel_result.profile.checkpoint_bytes;
   m.pruned_schedules = parallel_result.profile.pruned_schedules;
+  m.dpor_pruned = parallel_result.profile.dpor_pruned;
+  m.drain_spliced = parallel_result.profile.drain_spliced;
   return m;
 }
 
@@ -247,7 +258,8 @@ void WriteJson(const std::vector<Measurement>& all, const char* path) {
                  "\"stack_pool_hits\": %lld,\n"
                  "     \"checkpoint\": %s, \"checkpoint_saves\": %lld, "
                  "\"checkpoint_resumes\": %lld,\n"
-                 "     \"checkpoint_bytes\": %lld, \"pruned_schedules\": %lld}%s\n",
+                 "     \"checkpoint_bytes\": %lld, \"pruned_schedules\": %lld,\n"
+                 "     \"dpor_pruned\": %lld, \"drain_spliced\": %lld}%s\n",
                  m.scenario.c_str(), m.budget, m.workers_parallel, m.serial_seconds,
                  m.parallel_seconds, m.schedules_per_sec_serial, m.schedules_per_sec_parallel,
                  m.speedup, static_cast<long long>(m.events_per_schedule),
@@ -258,7 +270,9 @@ void WriteJson(const std::vector<Measurement>& all, const char* path) {
                  static_cast<long long>(m.checkpoint_saves),
                  static_cast<long long>(m.checkpoint_resumes),
                  static_cast<long long>(m.checkpoint_bytes),
-                 static_cast<long long>(m.pruned_schedules), i + 1 < all.size() ? "," : "");
+                 static_cast<long long>(m.pruned_schedules),
+                 static_cast<long long>(m.dpor_pruned),
+                 static_cast<long long>(m.drain_spliced), i + 1 < all.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -309,11 +323,13 @@ int main(int argc, char** argv) {
         pool_hit_rate, m.deterministic ? "deterministic" : "MISMATCH");
     if (m.checkpoint) {
       std::printf(
-          "%-16s   checkpoint: %lld saves, %lld resumes, %lld KB snapshots, %lld pruned\n", "",
-          static_cast<long long>(m.checkpoint_saves),
+          "%-16s   checkpoint: %lld saves, %lld resumes, %lld KB snapshots, %lld pruned "
+          "(%lld dpor, %lld spliced)\n",
+          "", static_cast<long long>(m.checkpoint_saves),
           static_cast<long long>(m.checkpoint_resumes),
           static_cast<long long>(m.checkpoint_bytes / 1024),
-          static_cast<long long>(m.pruned_schedules));
+          static_cast<long long>(m.pruned_schedules), static_cast<long long>(m.dpor_pruned),
+          static_cast<long long>(m.drain_spliced));
     }
     deterministic = deterministic && m.deterministic;
     all.push_back(std::move(m));

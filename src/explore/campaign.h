@@ -105,6 +105,8 @@ struct CampaignStatus {
   int64_t checkpoint_resumes = 0;
   int64_t checkpoint_bytes = 0;
   int64_t pruned_schedules = 0;
+  int64_t dpor_pruned = 0;
+  int64_t drain_spliced = 0;
   double wall_sec = 0;
   double inputs_per_sec = 0;
 

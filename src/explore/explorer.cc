@@ -41,7 +41,8 @@ double SecSince(ProfileClock::time_point start) {
 Explorer::Explorer(ExploreOptions options) : options_(std::move(options)) {}
 
 ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const TestBody& body,
-                                  trace::Tracer* capture, WorkerArena* arena) {
+                                  trace::Tracer* capture, WorkerArena* arena,
+                                  std::vector<ConsultRecord>* consult_log) {
   pcr::Config config = options_.base_config;
   config.seed = plan.runtime_seed;
   config.trace_events = true;  // the trace is the whole point
@@ -65,6 +66,9 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
     rt.scheduler().set_perturber(&replayer);
   } else {
     rt.scheduler().set_perturber(&recorder);
+    if (consult_log != nullptr) {
+      recorder.EnableConsultLog(&rt.tracer());  // the baseline's decision-density sample
+    }
   }
   if (plan.fault_plan.enabled()) {
     rt.scheduler().set_fault_injector(&injector);
@@ -98,6 +102,9 @@ ScheduleOutcome Explorer::RunPlan(const Plan& plan, int schedule_index, const Te
               recorder.preempt_points_seen(),
               plan.replay_mode ? 0 : recorder.total_consults(), injector.fired(),
               plan.runtime_seed, plan.fault_plan, schedule_index, &outcome);
+  if (consult_log != nullptr && !plan.replay_mode) {
+    *consult_log = recorder.consult_log();
+  }
   if (arena != nullptr) {
     // Everything that reads the trace (capture, detector, hash) has run; reclaim the buffer's
     // capacity for this worker's next schedule. The runtime's fibers are already torn down
@@ -177,11 +184,30 @@ void CopyOutcome(const ScheduleOutcome& src, int schedule_index, ScheduleOutcome
 // every simulated thread runs on its own fiber stack.
 constexpr size_t kExecStackBytes = 256 * 1024;
 
+// Cells covered by one child subtree rooted at tree level `level` (1-based): the product of
+// the fanouts strictly below that level. Leaves (level == fanout.size()) have stride 1.
+int SubtreeStride(const std::vector<int>& fanout, size_t level) {
+  int stride = 1;
+  for (size_t l = level; l < fanout.size(); ++l) {
+    stride *= fanout[l];
+  }
+  return stride;
+}
+
+// A leaf run can anchor dpor pruning only when copying its outcome over a sibling is provably
+// lossless: it passed with no findings and no fired faults, and its consultation log is
+// complete (one record per consultation, nowhere near the recording cap).
+bool WitnessEligible(const ScheduleOutcome& out, const RecordingPerturber& recorder) {
+  return !out.failed && out.findings.empty() && out.fired_faults.empty() &&
+         recorder.total_consults() < kMaxRecordedDecisions &&
+         recorder.consult_log().size() == recorder.total_consults();
+}
+
 }  // namespace
 
-ScheduleOutcome Explorer::RunGroupMember(const GroupPlan& group, int branch, int leaf,
+ScheduleOutcome Explorer::RunGroupMember(const GroupPlan& group, const std::vector<int>& path,
                                          const TestBody& body, WorkerArena* arena,
-                                         int* reached_level, uint64_t* f_out) {
+                                         MemberProbe* probe) {
   pcr::Config config = options_.base_config;
   config.seed = group.runtime_seed;
   config.trace_events = true;
@@ -206,22 +232,28 @@ ScheduleOutcome Explorer::RunGroupMember(const GroupPlan& group, int branch, int
   if (group.fault_plan.enabled()) {
     rt.scheduler().set_fault_injector(&injector);
   }
+  if (group.dpor) {
+    recorder.EnableConsultLog(&rt.tracer());
+  }
 
   // From-zero execution of the same segmented decision stream the checkpoint path produces:
   // reseeds fire inline at the segment boundaries instead of pausing, so the recorded
   // decisions — and therefore the trace — are byte-identical between the two modes.
+  const size_t levels = group.depths.size();
   int reached = 0;
-  uint64_t fingerprint = 0;
+  std::vector<uint64_t> fingerprints(levels + 1, 0);
   const std::function<void(int)> segment_hook = [&](int level) {
     reached = level;
     if (level == 1) {
-      recorder.ReseedSegment(MixSeed(group.q0, 1, static_cast<uint64_t>(branch)));
+      recorder.ReseedSegment(MixSeed(group.q0, 1, static_cast<uint64_t>(path[0])));
     } else {
-      fingerprint = TraceHash(rt.tracer());
-      recorder.ReseedSegment(MixSeed(group.q0 ^ fingerprint, 2, static_cast<uint64_t>(leaf)));
+      uint64_t f = TraceHash(rt.tracer());
+      fingerprints[static_cast<size_t>(level)] = f;
+      recorder.ReseedSegment(MixSeed(group.q0 ^ f, static_cast<uint64_t>(level),
+                                     static_cast<uint64_t>(path[static_cast<size_t>(level) - 1])));
     }
   };
-  recorder.SetSegmentBoundaries(group.d1, group.d2);
+  recorder.SetSegmentBoundaries(group.depths);
   recorder.set_segment_hook(&segment_hook);
 
   const auto run_start = ProfileClock::now();
@@ -238,13 +270,28 @@ ScheduleOutcome Explorer::RunGroupMember(const GroupPlan& group, int branch, int
   stack_acquires_.fetch_add(rt.scheduler().stack_acquires(), std::memory_order_relaxed);
   stack_pool_hits_.fetch_add(rt.scheduler().stack_pool_hits(), std::memory_order_relaxed);
 
-  *reached_level = reached;
-  *f_out = fingerprint;
+  int cell = 0;
+  for (size_t l = 0; l < levels; ++l) {
+    cell += path[l] * SubtreeStride(group.fanout, l + 1);
+  }
   ScheduleOutcome outcome;
   FillOutcome(rt.tracer(), ctx, TrimTrailingDefaults(recorder.decisions()),
               recorder.preempt_points_seen(), recorder.total_consults(), injector.fired(),
-              group.runtime_seed, group.fault_plan,
-              group.first_schedule + branch * group.leaves + leaf, &outcome);
+              group.runtime_seed, group.fault_plan, group.first_schedule + cell, &outcome);
+  if (probe != nullptr) {
+    probe->reached = reached;
+    probe->fingerprints = fingerprints;
+    probe->witness_valid = group.dpor && reached == static_cast<int>(levels) &&
+                           WitnessEligible(outcome, recorder);
+    if (probe->witness_valid) {
+      const std::vector<ConsultRecord>& log = recorder.consult_log();
+      probe->suffix.assign(log.begin() + static_cast<ptrdiff_t>(group.depths.back()), log.end());
+      probe->independent_tail_event = IndependentTailStart(rt.tracer());
+    } else {
+      probe->suffix.clear();
+      probe->independent_tail_event = 0;
+    }
+  }
   if (arena != nullptr) {
     arena->trace_buffer = rt.tracer().TakeEventBuffer();
   }
@@ -254,75 +301,124 @@ ScheduleOutcome Explorer::RunGroupMember(const GroupPlan& group, int branch, int
 void Explorer::RunGroupReplay(const GroupPlan& group, const TestBody& body,
                               std::vector<ScheduleOutcome>* outcomes, WorkerArena* arena) {
   outcomes->assign(static_cast<size_t>(group.members), ScheduleOutcome{});
-  // Fingerprint at d2 -> branch that first produced it, within this group only. The reseed at
-  // d2 is a pure function of (q0, fingerprint, leaf), so matching fingerprints guarantee
-  // identical leaf outcomes — pruning is exact, and both execution modes prune the same cells.
-  std::vector<std::pair<uint64_t, int>> seen_f;
-  for (int b = 0; b < group.branches; ++b) {
-    int first_cell = b * group.leaves;
-    if (first_cell >= group.members) {
-      break;
-    }
-    int cells = std::min(group.leaves, group.members - first_cell);
-    int reached = 0;
-    uint64_t fingerprint = 0;
-    ScheduleOutcome first = RunGroupMember(group, b, 0, body, arena, &reached, &fingerprint);
-    if (reached == 0 && b == 0) {
-      // The run consults fewer than d1 decisions: no reseed ever applies, so every member of
-      // the group is the same schedule. One execution covers them all.
-      (*outcomes)[0] = std::move(first);
-      for (int m = 1; m < group.members; ++m) {
-        CopyOutcome((*outcomes)[0], group.first_schedule + m, &(*outcomes)[static_cast<size_t>(m)]);
-      }
-      if (group.members > 1) {
-        pruned_.fetch_add(group.members - 1, std::memory_order_relaxed);
-      }
-      return;
-    }
-    if (reached <= 1) {
-      // Ended after d1 but before d2: the leaf reseed never applied, so this branch's leaves
-      // are all the same schedule. No fingerprint exists (the run never got to d2).
-      (*outcomes)[static_cast<size_t>(first_cell)] = std::move(first);
-      for (int j = 1; j < cells; ++j) {
-        CopyOutcome((*outcomes)[static_cast<size_t>(first_cell)],
-                    group.first_schedule + first_cell + j,
-                    &(*outcomes)[static_cast<size_t>(first_cell + j)]);
-      }
-      if (cells > 1) {
-        pruned_.fetch_add(cells - 1, std::memory_order_relaxed);
-      }
-      continue;
-    }
-    // Reached d2: prune against earlier branches by state fingerprint.
-    int duplicate_of = -1;
-    for (const auto& [f, source] : seen_f) {
-      if (f == fingerprint) {
-        duplicate_of = source;
-        break;
-      }
-    }
-    if (duplicate_of >= 0) {
-      // Same prefix fingerprint at d2 as branch `duplicate_of`: identical continuations, so
-      // copy its leaves (the leaf run just executed is discarded — the checkpoint path detects
-      // the match before running any leaf, and pruned counts must agree between modes).
-      int src = duplicate_of * group.leaves;
-      for (int j = 0; j < cells; ++j) {
-        CopyOutcome((*outcomes)[static_cast<size_t>(src + j)],
-                    group.first_schedule + first_cell + j,
-                    &(*outcomes)[static_cast<size_t>(first_cell + j)]);
-      }
-      pruned_.fetch_add(cells, std::memory_order_relaxed);
-      continue;
-    }
-    seen_f.emplace_back(fingerprint, b);
-    (*outcomes)[static_cast<size_t>(first_cell)] = std::move(first);
-    for (int j = 1; j < cells; ++j) {
-      int leaf_reached = 0;
-      uint64_t leaf_f = 0;
-      (*outcomes)[static_cast<size_t>(first_cell + j)] =
-          RunGroupMember(group, b, j, body, arena, &leaf_reached, &leaf_f);
-    }
-  }
+  const int levels = static_cast<int>(group.depths.size());
+  PerturbPolicy policy;  // ClassifyLeaf reads only the probabilities
+  policy.preempt_probability = options_.preempt_probability;
+  policy.shuffle_probability = options_.shuffle_probability;
+  std::vector<uint64_t> sorted_points = group.change_points;
+  std::sort(sorted_points.begin(), sorted_points.end());
+
+  std::vector<int> path(static_cast<size_t>(levels), 0);
+
+  // Processes the subtree rooted at `level` (children diverge at depths[level-1]), covering
+  // cells [first_cell, first_cell + stride-of-this-node). `out` and `probe` come from the
+  // already-executed run of this node's all-zeros descendant path.
+  std::function<void(int, int, ScheduleOutcome&&, MemberProbe&&)> node =
+      [&](int level, int first_cell, ScheduleOutcome&& out, MemberProbe&& probe) {
+        const int stride = SubtreeStride(group.fanout, static_cast<size_t>(level));
+        const int node_cells =
+            std::min(SubtreeStride(group.fanout, static_cast<size_t>(level) - 1),
+                     group.members - first_cell);
+        if (probe.reached < level) {
+          // The run ended before this node's boundary: no reseed below it ever applies, so
+          // every cell of the subtree is the same schedule. One execution covers them all.
+          (*outcomes)[static_cast<size_t>(first_cell)] = std::move(out);
+          for (int m = 1; m < node_cells; ++m) {
+            CopyOutcome((*outcomes)[static_cast<size_t>(first_cell)],
+                        group.first_schedule + first_cell + m,
+                        &(*outcomes)[static_cast<size_t>(first_cell + m)]);
+          }
+          if (node_cells > 1) {
+            pruned_.fetch_add(node_cells - 1, std::memory_order_relaxed);
+          }
+          return;
+        }
+        if (level == levels) {
+          // Leaf parent: child 0 is the executed witness; classify each sibling's decision
+          // stream against its consultation log before paying for a run (sleep-set pruning).
+          (*outcomes)[static_cast<size_t>(first_cell)] = std::move(out);
+          LeafWitness witness{probe.suffix.data(), probe.suffix.size(),
+                              probe.independent_tail_event};
+          const uint64_t f = probe.fingerprints[static_cast<size_t>(levels)];
+          for (int j = 1; j < node_cells; ++j) {
+            if (group.dpor && probe.witness_valid) {
+              LeafVerdict v =
+                  ClassifyLeaf(MixSeed(group.q0 ^ f, static_cast<uint64_t>(levels),
+                                       static_cast<uint64_t>(j)),
+                               policy, sorted_points, witness);
+              if (v != LeafVerdict::kExecute) {
+                CopyOutcome((*outcomes)[static_cast<size_t>(first_cell)],
+                            group.first_schedule + first_cell + j,
+                            &(*outcomes)[static_cast<size_t>(first_cell + j)]);
+                pruned_.fetch_add(1, std::memory_order_relaxed);
+                if (v == LeafVerdict::kIdenticalPrune) {
+                  dpor_pruned_.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                  drain_spliced_.fetch_add(1, std::memory_order_relaxed);
+                }
+                continue;
+              }
+            }
+            path[static_cast<size_t>(levels) - 1] = j;
+            (*outcomes)[static_cast<size_t>(first_cell + j)] =
+                RunGroupMember(group, path, body, arena, nullptr);
+          }
+          path[static_cast<size_t>(levels) - 1] = 0;
+          return;
+        }
+        // Inner node: fingerprint at the children's divergence depth -> child that first
+        // produced it, within this node only. The reseed below is a pure function of
+        // (q0, fingerprint, coordinate), so matching fingerprints guarantee identical
+        // continuations — pruning is exact, and both execution modes prune the same cells.
+        std::vector<std::pair<uint64_t, int>> seen_f;
+        for (int c = 0; c < group.fanout[static_cast<size_t>(level) - 1]; ++c) {
+          int child_first = first_cell + c * stride;
+          if (child_first >= group.members) {
+            break;
+          }
+          int cells = std::min(stride, group.members - child_first);
+          path[static_cast<size_t>(level) - 1] = c;
+          ScheduleOutcome child_out;
+          MemberProbe child_probe;
+          if (c == 0) {
+            child_out = std::move(out);
+            child_probe = std::move(probe);
+          } else {
+            child_out = RunGroupMember(group, path, body, arena, &child_probe);
+          }
+          if (child_probe.reached >= level + 1) {
+            const uint64_t f = child_probe.fingerprints[static_cast<size_t>(level) + 1];
+            int duplicate_of = -1;
+            for (const auto& [known, source] : seen_f) {
+              if (known == f) {
+                duplicate_of = source;
+                break;
+              }
+            }
+            if (duplicate_of >= 0) {
+              // Same prefix fingerprint at the child boundary: identical continuations, so
+              // copy that child's cells (the probe run just executed is discarded — the
+              // checkpoint path detects the match before running any descendant, and pruned
+              // counts must agree between modes).
+              int src = first_cell + duplicate_of * stride;
+              for (int j = 0; j < cells; ++j) {
+                CopyOutcome((*outcomes)[static_cast<size_t>(src + j)],
+                            group.first_schedule + child_first + j,
+                            &(*outcomes)[static_cast<size_t>(child_first + j)]);
+              }
+              pruned_.fetch_add(cells, std::memory_order_relaxed);
+              continue;
+            }
+            seen_f.emplace_back(f, c);
+          }
+          node(level + 1, child_first, std::move(child_out), std::move(child_probe));
+        }
+        path[static_cast<size_t>(level) - 1] = 0;
+      };
+
+  MemberProbe probe;
+  ScheduleOutcome first = RunGroupMember(group, path, body, arena, &probe);
+  node(1, 0, std::move(first), std::move(probe));
 }
 
 void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
@@ -355,6 +451,11 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
   if (group.fault_plan.enabled()) {
     rt.scheduler().set_fault_injector(&injector);
   }
+  if (group.dpor) {
+    // The consultation log is plain recorder state, so the copy-assign restores below rewind
+    // it in lockstep with the decisions — leaf 0's log is identical to from-zero mode's.
+    recorder.EnableConsultLog(&rt.tracer());
+  }
 
   // The body runs on a dedicated exec fiber so the host frame can snapshot it mid-run: at a
   // segment boundary the recorder parks the simulation (CheckpointPause), the scheduler fires
@@ -365,7 +466,7 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
     pause_level = level;
     rt.scheduler().CheckpointPause();
   };
-  recorder.SetSegmentBoundaries(group.d1, group.d2);
+  recorder.SetSegmentBoundaries(group.depths);
   recorder.set_segment_hook(&segment_hook);
 
   pcr::StackPool local_stacks;
@@ -415,6 +516,8 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
   trace::Counter* m_resumes = rt.scheduler().MetricCounter("explore.checkpoint.resumes");
   trace::Counter* m_bytes = rt.scheduler().MetricCounter("explore.checkpoint.bytes");
   trace::Counter* m_pruned = rt.scheduler().MetricCounter("explore.pruned");
+  trace::Counter* m_dpor = rt.scheduler().MetricCounter("explore.dpor.pruned");
+  trace::Counter* m_splice = rt.scheduler().MetricCounter("explore.drain.spliced");
   int64_t group_saves = 0;
   int64_t group_resumes = 0;
   int64_t group_bytes = 0;
@@ -430,15 +533,171 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
                 resume_analyzer);
   };
 
-  // Phase 1: execute the shared prefix up to d1.
+  const int levels = static_cast<int>(group.depths.size());
+  std::vector<uint64_t> sorted_points = group.change_points;
+  std::sort(sorted_points.begin(), sorted_points.end());
+
+  // Host-frame snapshot taken alongside each checkpoint: the run state the scheduler's
+  // pointers refer to, plus the incremental trace folds carried to the pause point. The
+  // checkpoint is the last member so it is destroyed first (nothing here depends on it).
+  struct NodeState {
+    RecordingPerturber recorder;
+    fault::Injector injector;
+    TestContext ctx;
+    TraceHasher hasher;
+    TraceAnalyzer analyzer;
+    size_t events = 0;
+    uint64_t fingerprint = 0;
+    std::unique_ptr<pcr::Checkpoint> ckpt;
+  };
+
+  // Folds the events since `base` into a fresh NodeState (no checkpoint yet: siblings with a
+  // duplicate fingerprint are pruned before a snapshot is spent on them).
+  auto fold_node = [&](const TraceHasher& base_hasher, const TraceAnalyzer& base_analyzer,
+                       size_t base_events) {
+    NodeState n{recorder, injector, ctx, base_hasher, base_analyzer, 0, 0, nullptr};
+    for (const trace::Event& e : rt.tracer().view(base_events)) {
+      n.hasher.Mix(e);
+      n.analyzer.Feed(e);
+    }
+    n.events = rt.tracer().size();
+    n.fingerprint = n.hasher.value();
+    return n;
+  };
+  auto snapshot_node = [&](NodeState* n) {
+    n->ckpt = std::make_unique<pcr::Checkpoint>(rt.scheduler(), rt.tracer(), &exec);
+    ++group_saves;
+    group_bytes += static_cast<int64_t>(n->ckpt->bytes());
+  };
+
+  int64_t group_dpor = 0;
+  int64_t group_splice = 0;
+
+  // Processes the subtree rooted at `level`: the execution is paused at depths[level-1] in the
+  // state `at` snapshots, and the node covers cells [first_cell, first_cell + its stride).
+  // Child NodeStates live inside one loop iteration, so checkpoints die newest-first (LIFO
+  // fiber pins) before the parent's next restore.
+  std::function<void(int, int, NodeState&)> descend = [&](int level, int first_cell,
+                                                          NodeState& at) {
+    const int stride = SubtreeStride(group.fanout, static_cast<size_t>(level));
+    const bool leaf_level = level == levels;
+    std::vector<std::pair<uint64_t, int>> seen_f;  // child-boundary fingerprint -> child index
+    // Leaf-parent witness: child 0's consultation suffix, copied out before any restore
+    // rewinds the recorder's log.
+    bool witness_valid = false;
+    std::vector<ConsultRecord> wit_suffix;
+    uint64_t wit_estar = 0;
+    for (int c = 0; c < group.fanout[static_cast<size_t>(level) - 1]; ++c) {
+      int child_first = first_cell + c * stride;
+      if (child_first >= group.members) {
+        break;
+      }
+      int cells = std::min(stride, group.members - child_first);
+      uint64_t child_seed = level == 1
+                                ? MixSeed(group.q0, 1, static_cast<uint64_t>(c))
+                                : MixSeed(group.q0 ^ at.fingerprint,
+                                          static_cast<uint64_t>(level),
+                                          static_cast<uint64_t>(c));
+      if (leaf_level && c > 0 && group.dpor && witness_valid) {
+        // Sleep-set check before paying for restore + suffix: pre-simulate this leaf's
+        // decision stream over the witness's consultation log.
+        LeafVerdict v = ClassifyLeaf(child_seed, policy, sorted_points,
+                                     {wit_suffix.data(), wit_suffix.size(), wit_estar});
+        if (v != LeafVerdict::kExecute) {
+          CopyOutcome((*outcomes)[static_cast<size_t>(first_cell)],
+                      group.first_schedule + child_first,
+                      &(*outcomes)[static_cast<size_t>(child_first)]);
+          ++group_pruned;
+          pruned_.fetch_add(1, std::memory_order_relaxed);
+          if (v == LeafVerdict::kIdenticalPrune) {
+            ++group_dpor;
+            dpor_pruned_.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            ++group_splice;
+            drain_spliced_.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+      }
+      if (c > 0) {
+        harvest();  // an abandoned child's segment would otherwise be rewound uncounted
+        at.ckpt->Restore();
+        ++group_resumes;
+        resync();
+        recorder = at.recorder;
+        injector = at.injector;
+        ctx = at.ctx;
+      }
+      recorder.ReseedSegment(child_seed);
+      pause_level = 0;
+      const auto seg_start = ProfileClock::now();
+      exec.Resume();
+      run_ns_.fetch_add(NsSince(seg_start), std::memory_order_relaxed);
+      if (exec.finished()) {
+        // Ran to completion: at leaf level that is the schedule itself (stride 1); at an inner
+        // level the deeper reseeds never applied, so one schedule covers the whole subtree.
+        harvest();
+        fill_cell(child_first, &at.hasher, at.events, &at.analyzer);
+        for (int j = 1; j < cells; ++j) {
+          CopyOutcome((*outcomes)[static_cast<size_t>(child_first)],
+                      group.first_schedule + child_first + j,
+                      &(*outcomes)[static_cast<size_t>(child_first + j)]);
+        }
+        if (cells > 1) {
+          group_pruned += cells - 1;
+          pruned_.fetch_add(cells - 1, std::memory_order_relaxed);
+        }
+        if (leaf_level && c == 0 && group.dpor) {
+          witness_valid = WitnessEligible((*outcomes)[static_cast<size_t>(child_first)],
+                                          recorder) &&
+                          recorder.consult_log().size() > group.depths.back();
+          if (witness_valid) {
+            const std::vector<ConsultRecord>& log = recorder.consult_log();
+            wit_suffix.assign(log.begin() + static_cast<ptrdiff_t>(group.depths.back()),
+                              log.end());
+            wit_estar = IndependentTailStart(rt.tracer());
+          }
+        }
+        continue;
+      }
+      // Paused at depths[level]: fingerprint the trace prefix incrementally and dedup against
+      // siblings before spending a checkpoint on it. The reseed below the pause is a pure
+      // function of (q0, fingerprint, coordinate), so matching fingerprints guarantee
+      // identical continuations — the paused execution is abandoned; the next sibling (or the
+      // group epilogue) rewinds past it.
+      NodeState child = fold_node(at.hasher, at.analyzer, at.events);
+      int duplicate_of = -1;
+      for (const auto& [known, source] : seen_f) {
+        if (known == child.fingerprint) {
+          duplicate_of = source;
+          break;
+        }
+      }
+      if (duplicate_of >= 0) {
+        int src = first_cell + duplicate_of * stride;
+        for (int j = 0; j < cells; ++j) {
+          CopyOutcome((*outcomes)[static_cast<size_t>(src + j)],
+                      group.first_schedule + child_first + j,
+                      &(*outcomes)[static_cast<size_t>(child_first + j)]);
+        }
+        group_pruned += cells;
+        pruned_.fetch_add(cells, std::memory_order_relaxed);
+        continue;
+      }
+      seen_f.emplace_back(child.fingerprint, c);
+      snapshot_node(&child);
+      descend(level + 1, child_first, child);
+    }
+  };
+
+  // Phase 1: execute the shared prefix up to the first boundary.
   const auto prefix_start = ProfileClock::now();
   exec.Resume();
   run_ns_.fetch_add(NsSince(prefix_start), std::memory_order_relaxed);
 
-  std::unique_ptr<pcr::Checkpoint> ckpt1;
-  std::unique_ptr<pcr::Checkpoint> ckpt2;
+  std::unique_ptr<NodeState> root;
   if (exec.finished()) {
-    // The whole run consults fewer than d1 decisions: every member is the same schedule.
+    // The whole run consults fewer than depths[0] decisions: every member is the same schedule.
     harvest();
     fill_cell(0);
     for (int m = 1; m < group.members; ++m) {
@@ -450,115 +709,11 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
       pruned_.fetch_add(group_pruned, std::memory_order_relaxed);
     }
   } else {
-    // Paused at d1. Snapshot the simulation plus the host-frame run state.
-    ckpt1 = std::make_unique<pcr::Checkpoint>(rt.scheduler(), rt.tracer(), &exec);
-    ++group_saves;
-    group_bytes += static_cast<int64_t>(ckpt1->bytes());
-    RecordingPerturber recorder_at_d1 = recorder;
-    fault::Injector injector_at_d1 = injector;
-    TestContext ctx_at_d1 = ctx;
-    const size_t prefix_events = rt.tracer().size();
-    TraceHasher prefix_hasher;
-    TraceAnalyzer prefix_analyzer(options_.detector);
-    for (const trace::Event& e : rt.tracer().view()) {
-      prefix_hasher.Mix(e);
-      prefix_analyzer.Feed(e);
-    }
-
-    std::vector<std::pair<uint64_t, int>> seen_f;
-    for (int b = 0; b < group.branches; ++b) {
-      int first_cell = b * group.leaves;
-      if (first_cell >= group.members) {
-        break;
-      }
-      int cells = std::min(group.leaves, group.members - first_cell);
-      if (b > 0) {
-        harvest();  // a pruned branch's d1->d2 segment would otherwise be rewound uncounted
-        // Checkpoints are destroyed newest-first so fiber pins release in LIFO order.
-        ckpt2.reset();
-        ckpt1->Restore();
-        ++group_resumes;
-        resync();
-        recorder = recorder_at_d1;
-        injector = injector_at_d1;
-        ctx = ctx_at_d1;
-      }
-      recorder.ReseedSegment(MixSeed(group.q0, 1, static_cast<uint64_t>(b)));
-      pause_level = 0;
-      const auto branch_start = ProfileClock::now();
-      exec.Resume();
-      run_ns_.fetch_add(NsSince(branch_start), std::memory_order_relaxed);
-      if (exec.finished()) {
-        // Ended before d2: one schedule covers all of this branch's leaves.
-        harvest();
-        fill_cell(first_cell, &prefix_hasher, prefix_events, &prefix_analyzer);
-        for (int j = 1; j < cells; ++j) {
-          CopyOutcome((*outcomes)[static_cast<size_t>(first_cell)],
-                      group.first_schedule + first_cell + j,
-                      &(*outcomes)[static_cast<size_t>(first_cell + j)]);
-        }
-        if (cells > 1) {
-          group_pruned += cells - 1;
-          pruned_.fetch_add(cells - 1, std::memory_order_relaxed);
-        }
-        continue;
-      }
-      // Paused at d2: fingerprint the trace prefix (incrementally — the events up to d1 were
-      // hashed once for the whole group).
-      TraceHasher branch_hasher = prefix_hasher;
-      TraceAnalyzer branch_analyzer = prefix_analyzer;
-      for (const trace::Event& e : rt.tracer().view(prefix_events)) {
-        branch_hasher.Mix(e);
-        branch_analyzer.Feed(e);
-      }
-      const size_t events_at_d2 = rt.tracer().size();
-      const uint64_t fingerprint = branch_hasher.value();
-      int duplicate_of = -1;
-      for (const auto& [f, source] : seen_f) {
-        if (f == fingerprint) {
-          duplicate_of = source;
-          break;
-        }
-      }
-      if (duplicate_of >= 0) {
-        // Matching state fingerprint: this branch's leaves would replay another branch's
-        // leaves byte-for-byte, so copy them without executing anything. The paused execution
-        // is abandoned; the next branch (or the group epilogue) rewinds past it.
-        int src = duplicate_of * group.leaves;
-        for (int j = 0; j < cells; ++j) {
-          CopyOutcome((*outcomes)[static_cast<size_t>(src + j)],
-                      group.first_schedule + first_cell + j,
-                      &(*outcomes)[static_cast<size_t>(first_cell + j)]);
-        }
-        group_pruned += cells;
-        pruned_.fetch_add(cells, std::memory_order_relaxed);
-        continue;
-      }
-      seen_f.emplace_back(fingerprint, b);
-      ckpt2 = std::make_unique<pcr::Checkpoint>(rt.scheduler(), rt.tracer(), &exec);
-      ++group_saves;
-      group_bytes += static_cast<int64_t>(ckpt2->bytes());
-      RecordingPerturber recorder_at_d2 = recorder;
-      fault::Injector injector_at_d2 = injector;
-      TestContext ctx_at_d2 = ctx;
-      for (int j = 0; j < cells; ++j) {
-        if (j > 0) {
-          ckpt2->Restore();
-          ++group_resumes;
-          resync();
-          recorder = recorder_at_d2;
-          injector = injector_at_d2;
-          ctx = ctx_at_d2;
-        }
-        recorder.ReseedSegment(
-            MixSeed(group.q0 ^ fingerprint, 2, static_cast<uint64_t>(j)));
-        const auto leaf_start = ProfileClock::now();
-        exec.Resume();  // no boundaries remain: runs to completion
-        run_ns_.fetch_add(NsSince(leaf_start), std::memory_order_relaxed);
-        harvest();
-        fill_cell(first_cell + j, &branch_hasher, events_at_d2, &branch_analyzer);
-      }
-    }
+    // Paused at depths[0]. Snapshot the simulation plus the host-frame run state.
+    root = std::make_unique<NodeState>(
+        fold_node(TraceHasher{}, TraceAnalyzer(options_.detector), 0));
+    snapshot_node(root.get());
+    descend(1, 0, *root);
   }
 
   if (!exec.finished()) {
@@ -571,8 +726,7 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
     run_ns_.fetch_add(NsSince(teardown_start), std::memory_order_relaxed);
     harvest();
   }
-  ckpt2.reset();
-  ckpt1.reset();
+  root.reset();  // inner-node checkpoints already died inside descend (newest-first)
   rt.scheduler().set_checkpoint_hook(nullptr);
   rt.scheduler().set_perturber(nullptr);
   rt.scheduler().set_fault_injector(nullptr);
@@ -584,6 +738,8 @@ void Explorer::RunGroupCheckpoint(const GroupPlan& group, const TestBody& body,
   trace::MetricAdd(m_resumes, group_resumes);
   trace::MetricAdd(m_bytes, group_bytes);
   trace::MetricAdd(m_pruned, group_pruned);
+  trace::MetricAdd(m_dpor, group_dpor);
+  trace::MetricAdd(m_splice, group_splice);
 
   if (arena != nullptr) {
     arena->trace_buffer = rt.tracer().TakeEventBuffer();
@@ -723,6 +879,8 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   checkpoint_resumes_.store(0, std::memory_order_relaxed);
   checkpoint_bytes_.store(0, std::memory_order_relaxed);
   pruned_.store(0, std::memory_order_relaxed);
+  dpor_pruned_.store(0, std::memory_order_relaxed);
+  drain_spliced_.store(0, std::memory_order_relaxed);
   const auto total_start = ProfileClock::now();
 
   auto note_hash = [&hashes](uint64_t h) { hashes.insert(h); };
@@ -744,7 +902,8 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   Plan baseline_plan;
   baseline_plan.runtime_seed = options_.base_config.seed;
   baseline_plan.fault_plan = options_.fault_plan;  // verbatim: the reference fault run
-  result.baseline = RunPlan(baseline_plan, 0, body, nullptr, arenas[0].get());
+  std::vector<ConsultRecord> baseline_log;
+  result.baseline = RunPlan(baseline_plan, 0, body, nullptr, arenas[0].get(), &baseline_log);
   result.profile.baseline_sec = SecSince(total_start);
   result.schedules_run = 1;
   note_hash(result.baseline.trace_hash);
@@ -753,23 +912,92 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   // them inside the baseline's decision horizon so most runs actually cross them.
   uint64_t decision_space = std::max<uint64_t>(result.baseline.total_decisions, 16);
 
-  // Budget-tiered group geometry: branches reseed at d1, leaves reseed at d2, so one group of
-  // branches*leaves schedules shares one prefix execution (and each branch shares its d1->d2
-  // segment). Bigger budgets amortize deeper; tiny budgets keep groups small so the search
-  // still spreads across many independent prefixes.
-  int branches = 2;
-  int leaves = 1;
-  if (options_.budget >= 1024) {
-    branches = 4;
-    leaves = 16;
+  // Budget-tiered group geometry: crossing depths[k] reseeds level k+1, so one group of
+  // prod(fanout) schedules shares one prefix execution (and each subtree shares its segment).
+  // Bigger budgets amortize deeper — budgets >= 8192 add a third divergence level so the
+  // per-leaf suffix shrinks again; tiny budgets keep groups small so the search still spreads
+  // across many independent prefixes.
+  std::vector<int> fanout;
+  std::vector<double> fractions;  // target event-mass per boundary (see below)
+  if (options_.budget >= 8192) {
+    fanout = {4, 4, 8};
+    fractions = {0.45, 0.72, 0.90};
+  } else if (options_.budget >= 1024) {
+    fanout = {4, 16};
+    fractions = {0.55, 1.30};
   } else if (options_.budget >= 256) {
-    branches = 2;
-    leaves = 3;
+    fanout = {2, 3};
+    fractions = {0.45, 0.80};
   } else if (options_.budget >= 64) {
-    branches = 2;
-    leaves = 2;
+    fanout = {2, 2};
+    fractions = {0.45, 0.80};
+  } else {
+    fanout = {2, 1};
+    fractions = {0.45, 0.80};
   }
-  const int per_group = branches * leaves;
+  const size_t levels = fanout.size();
+  int per_group = 1;
+  for (int f : fanout) {
+    per_group *= f;
+  }
+
+  // Adaptive boundary placement: the consultation index space is not uniform in work — early
+  // consultations interleave thread setup, late ones sit in teardown. The baseline's consult
+  // log maps each consultation to its trace position, so a boundary targeting fraction f of
+  // the run's *event mass* lands where f of the actual work has happened, independent of how
+  // consultations cluster. Each boundary gets a ±0.04-mass jitter window; per-group draws
+  // inside the window decorrelate the groups' divergence points. Falls back to fractions of
+  // the raw decision count when the baseline log is too thin to estimate density.
+  std::vector<uint64_t> win_lo(levels);
+  std::vector<uint64_t> win_hi(levels);
+  {
+    auto mass_index = [&](double f) -> uint64_t {
+      const uint64_t span = baseline_log.back().event_index + 1;
+      const auto target = static_cast<uint64_t>(f * static_cast<double>(span));
+      if (target >= span) {
+        // Fractions past 1.0 extrapolate beyond the baseline run at its mean decision
+        // density: perturbed runs consult more than the unperturbed baseline (every forced
+        // preempt adds context-switch decisions downstream), so a boundary meant to sit in
+        // the *perturbed* tail must overshoot the baseline's own consult count.
+        return baseline_log.size() +
+               static_cast<uint64_t>((f - 1.0) * static_cast<double>(baseline_log.size()));
+      }
+      size_t lo = 0;
+      size_t hi = baseline_log.size();
+      while (lo < hi) {
+        size_t mid = lo + (hi - lo) / 2;
+        if (baseline_log[mid].event_index < target) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      return lo;
+    };
+    const bool adaptive = baseline_log.size() >= 16;
+    for (size_t l = 0; l < levels; ++l) {
+      if (adaptive) {
+        win_lo[l] = mass_index(fractions[l] - 0.04);
+        win_hi[l] = mass_index(fractions[l] + 0.04);
+      } else {
+        win_lo[l] =
+            static_cast<uint64_t>(static_cast<double>(decision_space) * (fractions[l] - 0.04));
+        win_hi[l] =
+            static_cast<uint64_t>(static_cast<double>(decision_space) * (fractions[l] + 0.04));
+      }
+      // Clamp so every deeper boundary still has room to be strictly later. The cap allows
+      // extrapolated boundaries up to twice the baseline's decision space: runs that end
+      // before a boundary simply never branch there (both execution modes collapse those
+      // subtrees to one schedule).
+      const uint64_t cap = 2 * decision_space - (levels - l);
+      const uint64_t floor = l + 1;
+      win_lo[l] = std::clamp<uint64_t>(win_lo[l], floor, cap);
+      win_hi[l] = std::clamp<uint64_t>(win_hi[l], win_lo[l] + 1, cap + 1);
+    }
+  }
+  result.profile.boundary_d1 = (win_lo[0] + win_hi[0] - 1) / 2;
+  result.profile.boundary_d2 = (win_lo[1] + win_hi[1] - 1) / 2;
+  result.profile.boundary_d3 = levels >= 3 ? (win_lo[2] + win_hi[2] - 1) / 2 : 0;
 
   // Every group plan is precomputed from (options, baseline) before anything executes. The
   // horizon is fixed at the baseline's: letting it grow with each completed schedule would
@@ -783,8 +1011,7 @@ ExploreResult Explorer::Explore(const TestBody& body) {
     GroupPlan group;
     group.group_index = g;
     group.first_schedule = 1 + g * per_group;
-    group.branches = branches;
-    group.leaves = leaves;
+    group.fanout = fanout;
     group.members = std::min(per_group, options_.budget - group.first_schedule);
     group.runtime_seed =
         options_.sweep_runtime_seed ? (master() | 1) : options_.base_config.seed;
@@ -803,25 +1030,21 @@ ExploreResult Explorer::Explore(const TestBody& body) {
         group.fault_plan.seed = master();
       }
     }
-    // d1 lands in [45%, 65%) and d2 in [80%, 90%) of the baseline's decision count: late
-    // enough that the shared prefix amortizes real work, early enough that branches and
-    // leaves still have decisions left to diverge on. Large budgets push both boundaries
-    // later — with 16 leaves per branch the per-schedule execution cost is dominated by the
-    // post-d2 suffix, so shrinking that suffix is what the bigger group buys.
-    if (options_.budget >= 1024) {
-      group.d1 = decision_space * 55 / 100 +
-                 master() % std::max<uint64_t>(1, decision_space * 15 / 100);
-      group.d2 = decision_space * 88 / 100 +
-                 master() % std::max<uint64_t>(1, decision_space * 8 / 100);
-    } else {
-      group.d1 =
-          decision_space * 45 / 100 + master() % std::max<uint64_t>(1, decision_space / 5);
-      group.d2 =
-          decision_space * 80 / 100 + master() % std::max<uint64_t>(1, decision_space / 10);
+    // Boundaries drawn from the adaptive jitter windows: late enough that the shared prefix
+    // amortizes real work, early enough that the subtrees still have decisions left to
+    // diverge on. Strict monotonicity is restored after the draws (windows can abut).
+    group.depths.resize(levels);
+    for (size_t l = 0; l < levels; ++l) {
+      group.depths[l] = win_lo[l] + master() % std::max<uint64_t>(1, win_hi[l] - win_lo[l]);
     }
-    if (group.d2 <= group.d1) {
-      group.d2 = group.d1 + 1;
+    for (size_t l = 1; l < levels; ++l) {
+      if (group.depths[l] <= group.depths[l - 1]) {
+        group.depths[l] = group.depths[l - 1] + 1;
+      }
     }
+    // Leaf pruning stays off for fault sweeps: the injector consumes its own RNG along the
+    // suffix, so equal decision streams do not imply equal outcomes there.
+    group.dpor = options_.dpor && !group.fault_plan.enabled();
     groups.push_back(std::move(group));
   }
 
@@ -896,6 +1119,8 @@ ExploreResult Explorer::Explore(const TestBody& body) {
   result.profile.checkpoint_resumes = checkpoint_resumes_.load(std::memory_order_relaxed);
   result.profile.checkpoint_bytes = checkpoint_bytes_.load(std::memory_order_relaxed);
   result.profile.pruned_schedules = pruned_.load(std::memory_order_relaxed);
+  result.profile.dpor_pruned = dpor_pruned_.load(std::memory_order_relaxed);
+  result.profile.drain_spliced = drain_spliced_.load(std::memory_order_relaxed);
   if (result.profile.total_sec > 0) {
     result.profile.schedules_per_sec = result.schedules_run / result.profile.total_sec;
   }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/explore/detector.h"
+#include "src/explore/dpor.h"
 #include "src/explore/hash.h"
 #include "src/explore/perturbers.h"
 #include "src/explore/repro.h"
@@ -95,6 +96,15 @@ struct ExploreOptions {
   // or sanitizers. Turn off for bodies that keep non-checkpointable state outside the runtime
   // (see BugScenario::checkpoint_safe).
   bool checkpoint = true;
+  // DPOR-style leaf pruning (dpor.h): pre-simulate each candidate leaf's decision stream over
+  // its executed sibling's consultation log and skip leaves that are provably the same
+  // schedule (sleep set) or diverge only inside the independent tail (drain-tail elision).
+  // Pruning only ever copies *passing* witness outcomes, so reported failures — findings,
+  // hashes, repros — are byte-identical with this off; only distinct_schedules can differ
+  // (pruned leaves contribute their witness's hash instead of executing). Applies identically
+  // to checkpointed and from-zero execution; disabled automatically for fault-plan sweeps
+  // (injector state is interleaving-sensitive).
+  bool dpor = true;
 };
 
 // Everything known about one executed schedule.
@@ -138,6 +148,17 @@ struct ExploreProfile {
   int64_t checkpoint_resumes = 0;
   int64_t checkpoint_bytes = 0;
   int64_t pruned_schedules = 0;
+  // DPOR counters (subsets of pruned_schedules; zero with ExploreOptions::dpor off):
+  // dpor_pruned counts leaves whose pre-simulated decision stream matched the witness's
+  // exactly, drain_spliced counts leaves whose first divergence fell inside the witness's
+  // independent tail.
+  int64_t dpor_pruned = 0;
+  int64_t drain_spliced = 0;
+  // Adaptive segment-boundary placement: the no-jitter target consultation indices chosen
+  // from the baseline's decision density (boundary_d3 is zero for two-level geometries).
+  uint64_t boundary_d1 = 0;
+  uint64_t boundary_d2 = 0;
+  uint64_t boundary_d3 = 0;
 };
 
 struct ExploreResult {
@@ -191,25 +212,36 @@ class Explorer {
     trace::SegmentArena trace_buffer;
   };
 
-  // One prefix-grouped work unit: up to branches*leaves consecutive schedules sharing the
-  // segment-1 decision prefix (seed q0 + the group's change points). At consultation d1 each
-  // branch b reseeds to MixSeed(q0, 1, b); at d2 each leaf j reseeds to MixSeed(q0 ^ F, 2, j),
-  // where F is the trace-prefix fingerprint at d2 — so equal fingerprints provably yield
-  // identical continuations, which is what makes state-hash pruning exact, not heuristic.
-  // Flat schedule index of (branch b, leaf j) is first_schedule + b*leaves + j; cells past the
-  // overall budget are skipped (members counts the in-budget ones).
+  // One prefix-grouped work unit: up to prod(fanout) consecutive schedules sharing the
+  // segment-1 decision prefix (seed q0 + the group's change points). Crossing consultation
+  // depths[k] fires segment level k+1: a level-1 child c reseeds to MixSeed(q0, 1, c); a
+  // level-l>=2 child c reseeds to MixSeed(q0 ^ F, l, c), where F is the trace-prefix
+  // fingerprint at the boundary — so equal fingerprints provably yield identical
+  // continuations, which is what makes state-hash pruning exact, not heuristic. Flat schedule
+  // index of coordinates (c0, .., cL-1) is first_schedule + sum(ck * stride_k) in row-major
+  // order; cells past the overall budget are skipped (members counts the in-budget ones).
   struct GroupPlan {
     int group_index = 0;
     int first_schedule = 1;
-    int branches = 1;
-    int leaves = 1;
+    std::vector<int> fanout;              // children per tree level (last level = leaves)
+    std::vector<uint64_t> depths;         // divergence consultation indices, strictly increasing
     int members = 1;
     uint64_t runtime_seed = 1;
     uint64_t q0 = 0;                      // segment-1 decision seed and reseed basis
     std::vector<uint64_t> change_points;  // group-shared PCT change points
-    uint64_t d1 = 0;                      // consultation indices of the divergence points
-    uint64_t d2 = 0;
+    bool dpor = false;                    // leaf-level sleep-set pruning for this group
     fault::Plan fault_plan;
+  };
+
+  // Everything RunGroupMember reports about one from-zero probe run beyond its outcome:
+  // how many segment levels it crossed, the reseed fingerprints at each crossed level >= 2,
+  // and (when the group prunes) the dpor witness data mirrored from the checkpoint path.
+  struct MemberProbe {
+    int reached = 0;                      // segment levels crossed (0 = ended before depths[0])
+    std::vector<uint64_t> fingerprints;   // indexed by level; [0..1] unused
+    bool witness_valid = false;           // passing run with an aligned consultation log
+    std::vector<ConsultRecord> suffix;    // consult records from depths.back() onward
+    uint64_t independent_tail_event = 0;
   };
 
  public:
@@ -222,10 +254,13 @@ class Explorer {
   }
   int64_t checkpoint_bytes() const { return checkpoint_bytes_.load(std::memory_order_relaxed); }
   int64_t pruned_schedules() const { return pruned_.load(std::memory_order_relaxed); }
+  int64_t dpor_pruned() const { return dpor_pruned_.load(std::memory_order_relaxed); }
+  int64_t drain_spliced() const { return drain_spliced_.load(std::memory_order_relaxed); }
 
  private:
   ScheduleOutcome RunPlan(const Plan& plan, int schedule_index, const TestBody& body,
-                          trace::Tracer* capture = nullptr, WorkerArena* arena = nullptr);
+                          trace::Tracer* capture = nullptr, WorkerArena* arena = nullptr,
+                          std::vector<ConsultRecord>* consult_log = nullptr);
   // Group execution: checkpoint-and-branch (O(suffix) per schedule) or from-zero replay of the
   // same plans. Both fill `outcomes` (size group.members, flat order) with byte-identical
   // results and identical pruned counts.
@@ -233,12 +268,11 @@ class Explorer {
                           std::vector<ScheduleOutcome>* outcomes, WorkerArena* arena);
   void RunGroupReplay(const GroupPlan& group, const TestBody& body,
                       std::vector<ScheduleOutcome>* outcomes, WorkerArena* arena);
-  // From-zero execution of one group member on the calling frame. reached_level reports how far
-  // the run got (0: ended before d1, 1: before d2, 2: past d2); f_out receives the d2
-  // fingerprint when reached_level == 2.
-  ScheduleOutcome RunGroupMember(const GroupPlan& group, int branch, int leaf,
-                                 const TestBody& body, WorkerArena* arena, int* reached_level,
-                                 uint64_t* f_out);
+  // From-zero execution of one group member on the calling frame. `path` gives the member's
+  // per-level coordinates (path.size() == group.depths.size()); `probe` receives the run's
+  // segment telemetry (and dpor witness data when group.dpor and the path ends in leaf 0).
+  ScheduleOutcome RunGroupMember(const GroupPlan& group, const std::vector<int>& path,
+                                 const TestBody& body, WorkerArena* arena, MemberProbe* probe);
   // Shared post-run analysis: detector, trace hash, coverage, repro encoding. When the caller
   // already holds the running hash of a trace prefix (checkpointed groups hash the shared
   // prefix once), resume_hasher/resume_events let the trace hash continue from it instead of
@@ -267,6 +301,8 @@ class Explorer {
   std::atomic<int64_t> checkpoint_resumes_{0};
   std::atomic<int64_t> checkpoint_bytes_{0};
   std::atomic<int64_t> pruned_{0};
+  std::atomic<int64_t> dpor_pruned_{0};
+  std::atomic<int64_t> drain_spliced_{0};
 };
 
 }  // namespace explore

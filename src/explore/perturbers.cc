@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/trace/tracer.h"
+
 namespace explore {
 
 RecordingPerturber::RecordingPerturber(const PerturbPolicy& policy)
@@ -20,12 +22,11 @@ void RecordingPerturber::AtConsult() {
   if (segment_hook_ == nullptr) {
     return;
   }
-  if (next_level_ == 1 && index == d1_) {
-    next_level_ = 2;  // advanced before the call: the hook may checkpoint-pause mid-statement
-    (*segment_hook_)(1);
-  } else if (next_level_ == 2 && index == d2_) {
-    next_level_ = 3;
-    (*segment_hook_)(2);
+  if (next_level_ <= depths_.size() && index == depths_[next_level_ - 1]) {
+    int level =
+        static_cast<int>(next_level_++);  // advanced before the call: the hook may
+                                          // checkpoint-pause mid-statement
+    (*segment_hook_)(level);
   }
   // No member access after the hook returns — see the header comment on AtConsult.
 }
@@ -43,6 +44,10 @@ bool RecordingPerturber::ForcePreempt(pcr::PreemptPoint /*point*/, pcr::ThreadId
     fire = coin(rng_) < policy_.preempt_probability;
   }
   Record(fire ? 1 : 0);
+  if (log_tracer_ != nullptr && consult_log_.size() < kMaxRecordedDecisions) {
+    consult_log_.push_back({log_tracer_->size(), index, 0, kConsultForcePreempt,
+                            static_cast<uint8_t>(fire ? 1 : 0)});
+  }
   return fire;
 }
 
@@ -60,6 +65,10 @@ size_t RecordingPerturber::PickNext(const pcr::ThreadId* /*candidates*/, size_t 
     }
   }
   Record(static_cast<Decision>(choice));
+  if (log_tracer_ != nullptr && consult_log_.size() < kMaxRecordedDecisions) {
+    consult_log_.push_back({log_tracer_->size(), 0, static_cast<uint32_t>(count),
+                            kConsultPickNext, static_cast<uint8_t>(choice)});
+  }
   return choice;
 }
 

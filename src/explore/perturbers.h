@@ -22,6 +22,10 @@
 #include "src/explore/repro.h"
 #include "src/pcr/perturber.h"
 
+namespace trace {
+class Tracer;
+}  // namespace trace
+
 namespace explore {
 
 // Derives a decision-stream seed from a group seed plus segment coordinates (splitmix64-style
@@ -77,6 +81,20 @@ struct PerturbPolicy {
   std::vector<uint64_t> change_points;    // ForcePreempt consultation indices that always fire
 };
 
+// One consultation as the recorder saw it, with enough context to re-derive the decision any
+// *other* segment seed would have produced at the same point (dpor.h pre-simulates candidate
+// leaf seeds over this log without executing them). `event_index` anchors the consultation in
+// the trace so divergences can be compared against the independent-tail frontier.
+struct ConsultRecord {
+  uint64_t event_index = 0;    // tracer size when the consultation was answered
+  uint64_t preempt_index = 0;  // ForcePreempt only: global preempt-consultation index
+  uint32_t count = 0;          // PickNext only: number of tied candidates offered
+  uint8_t kind = 0;            // 0 = ForcePreempt, 1 = PickNext
+  uint8_t answer = 0;          // the recorded decision
+};
+inline constexpr uint8_t kConsultForcePreempt = 0;
+inline constexpr uint8_t kConsultPickNext = 1;
+
 class RecordingPerturber : public pcr::SchedulePerturber {
  public:
   explicit RecordingPerturber(const PerturbPolicy& policy);
@@ -92,20 +110,25 @@ class RecordingPerturber : public pcr::SchedulePerturber {
   // boundaries (d1/d2) live in.
   uint64_t total_consults() const { return consults_; }
 
-  // Segment boundaries for prefix-grouped exploration: just before answering consultation d1
-  // (respectively d2) the recorder fires the segment hook with level 1 (2), exactly once each.
-  // The hook typically reseeds the RNG (ReseedSegment) and may pause the simulation to take a
-  // checkpoint. Unset boundaries (the default, kNoBoundary) never fire.
+  // Segment boundaries for prefix-grouped exploration: just before answering consultation
+  // depths[k] the recorder fires the segment hook with level k+1, exactly once each and in
+  // order. The hook typically reseeds the RNG (ReseedSegment) and may pause the simulation to
+  // take a checkpoint. Boundaries must be strictly increasing; an empty vector (the default)
+  // never fires.
   static constexpr uint64_t kNoBoundary = ~0ull;
-  void SetSegmentBoundaries(uint64_t d1, uint64_t d2) {
-    d1_ = d1;
-    d2_ = d2;
-  }
+  void SetSegmentBoundaries(std::vector<uint64_t> depths) { depths_ = std::move(depths); }
   // The hook is held by pointer to a host-owned std::function: under checkpointed exploration
   // the recorder is copy-assigned (restored) while a suspended fiber frame still sits inside the
   // hook target's operator(), so the target itself must never be copied or destroyed here.
   void set_segment_hook(const std::function<void(int)>* hook) { segment_hook_ = hook; }
   void ReseedSegment(uint64_t seed) { rng_.seed(seed); }
+
+  // Consultation logging for the dpor oracle: with a tracer attached, every recorded decision
+  // also appends a ConsultRecord (same cap as the decision stream). The log is plain member
+  // state, so checkpoint restores rewind it along with the decisions — a leaf run's log is
+  // byte-identical between checkpointed and from-zero execution.
+  void EnableConsultLog(const trace::Tracer* tracer) { log_tracer_ = tracer; }
+  const std::vector<ConsultRecord>& consult_log() const { return consult_log_; }
 
  private:
   void Record(Decision d);
@@ -118,10 +141,11 @@ class RecordingPerturber : public pcr::SchedulePerturber {
   SplitMix64 rng_;
   uint64_t preempt_points_seen_ = 0;
   uint64_t consults_ = 0;
-  uint64_t d1_ = kNoBoundary;
-  uint64_t d2_ = kNoBoundary;
-  int next_level_ = 1;
+  std::vector<uint64_t> depths_;  // segment boundaries, strictly increasing
+  size_t next_level_ = 1;
   const std::function<void(int)>* segment_hook_ = nullptr;
+  const trace::Tracer* log_tracer_ = nullptr;
+  std::vector<ConsultRecord> consult_log_;
   std::vector<Decision> decisions_;
 };
 

@@ -1,5 +1,6 @@
 #include "src/pcr/checkpoint.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <queue>
@@ -37,6 +38,24 @@ constexpr bool kCheckpointSupported = true;
 // frames occupy, except that the innermost function may keep live data in the x86-64 red zone
 // (128 bytes below SP). Saving the superset is harmless on aarch64.
 constexpr size_t kRedZoneBytes = 128;
+
+// Live checkpoints on this thread, oldest first. Checkpoints must nest LIFO and Restore must
+// target the newest live one: restore memcpy's fiber stacks same-address, so rewinding an
+// outer checkpoint while an inner one is live would overwrite the frames the inner snapshot's
+// pins still describe, and out-of-order destruction would unpin fibers an inner snapshot
+// depends on. The explorer's branch tree guarantees this by scoping; the guard turns a future
+// violation into an immediate diagnostic instead of silent stack corruption. thread_local:
+// each explorer worker drives its own scheduler on its own OS thread.
+thread_local std::vector<const Checkpoint*> g_live_checkpoints;
+
+void RequireNewest(const Checkpoint* ckpt, const char* verb) {
+  if (g_live_checkpoints.empty() || g_live_checkpoints.back() != ckpt) {
+    std::fprintf(stderr,
+                 "pcr: Checkpoint::%s violates LIFO nesting (%zu live on this thread)\n", verb,
+                 g_live_checkpoints.size());
+    std::abort();
+  }
+}
 
 }  // namespace
 
@@ -293,15 +312,20 @@ Checkpoint::Checkpoint(Scheduler& scheduler, trace::Tracer& tracer, Fiber* exec_
     bytes_ += record.size + record.state.extra.size();
     s.objects.push_back(std::move(record));
   }
+
+  g_live_checkpoints.push_back(this);
 }
 
 Checkpoint::~Checkpoint() {
+  RequireNewest(this, "~Checkpoint");
+  g_live_checkpoints.pop_back();
   for (ThreadId tid : state_->pinned) {
     scheduler_.UnpinFiber(tid);
   }
 }
 
 void Checkpoint::Restore() {
+  RequireNewest(this, "Restore");
   State& s = *state_;
 
   // 1. Tear down every checkpointable currently alive. Objects also present in the snapshot

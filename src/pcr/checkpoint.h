@@ -144,6 +144,9 @@ class Checkpoint {
   Checkpoint& operator=(const Checkpoint&) = delete;
 
   // Rewinds scheduler/tracer/fibers to the snapshot. May be called repeatedly (branching).
+  // Checkpoints nest LIFO per thread, and Restore may only target the newest live checkpoint:
+  // an inner snapshot's pinned fibers describe frames an outer restore would overwrite.
+  // Violations abort with a diagnostic rather than corrupt fiber stacks.
   void Restore();
 
   // Total bytes captured (stack images + container payloads); observability only.

@@ -1,0 +1,275 @@
+// DPOR-style redundancy elimination (src/explore/dpor.h): sleep-set leaf pruning and
+// drain-tail splicing must change how many schedules execute, never what the explorer finds.
+//
+// Two distinct equivalence contracts are exercised here:
+//
+//   * dpor on vs off ("findings equivalence"): the pruned run copies witness outcomes for
+//     cells it skips, so failures, trace hashes, repro strings, schedule counts, and the
+//     baseline are byte-identical — but distinct_schedules / pruned_schedules legitimately
+//     differ (a pruned cell inherits its witness's hash instead of producing its own).
+//   * checkpoint on vs off, and workers 1 vs 4 (full equivalence): classification is a pure
+//     function of mode-invariant inputs (witness trace + consult log + leaf seed + policy),
+//     so EVERY reported field matches, including the dpor_pruned / drain_spliced counters.
+//
+// The oracle itself (IndependentTailStart + ClassifyLeaf) is unit-tested on synthesized
+// traces: a known-commuting decision pair (disjoint shared cells) is pruned, a
+// known-conflicting pair (same cell, different threads) is not.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/explore/dpor.h"
+#include "src/explore/explorer.h"
+#include "src/explore/perturbers.h"
+#include "src/explore/scenarios.h"
+#include "src/trace/event.h"
+#include "src/trace/tracer.h"
+
+namespace {
+
+using explore::ExploreOptions;
+using explore::ExploreResult;
+using explore::Explorer;
+using explore::LeafVerdict;
+
+// Everything user-visible must agree; schedule counts and the pruning bookkeeping may not
+// (see the header comment). Failure schedule indices still match exactly: a failing schedule
+// is never pruned (witnesses must be finding-free, and pruned cells copy passing outcomes),
+// and cell indices are fixed by the group geometry, not by how many cells executed.
+void ExpectSameFindings(const ExploreResult& a, const ExploreResult& b) {
+  EXPECT_EQ(a.schedules_run, b.schedules_run);
+  EXPECT_EQ(a.baseline.trace_hash, b.baseline.trace_hash);
+  EXPECT_EQ(a.baseline.failed, b.baseline.failed);
+  EXPECT_EQ(a.baseline.repro, b.baseline.repro);
+  ASSERT_EQ(a.failures.size(), b.failures.size());
+  for (size_t i = 0; i < a.failures.size(); ++i) {
+    EXPECT_EQ(a.failures[i].schedule_index, b.failures[i].schedule_index) << "failure " << i;
+    EXPECT_EQ(a.failures[i].trace_hash, b.failures[i].trace_hash) << "failure " << i;
+    EXPECT_EQ(a.failures[i].repro, b.failures[i].repro) << "failure " << i;
+    EXPECT_EQ(a.failures[i].failures, b.failures[i].failures) << "failure " << i;
+  }
+}
+
+// Full equivalence, counters included — the checkpoint/worker-count contract.
+void ExpectSameResult(const ExploreResult& a, const ExploreResult& b) {
+  ExpectSameFindings(a, b);
+  EXPECT_EQ(a.distinct_schedules, b.distinct_schedules);
+  EXPECT_EQ(a.profile.pruned_schedules, b.profile.pruned_schedules);
+  EXPECT_EQ(a.profile.dpor_pruned, b.profile.dpor_pruned);
+  EXPECT_EQ(a.profile.drain_spliced, b.profile.drain_spliced);
+  EXPECT_EQ(a.profile.boundary_d1, b.profile.boundary_d1);
+  EXPECT_EQ(a.profile.boundary_d2, b.profile.boundary_d2);
+  EXPECT_EQ(a.profile.boundary_d3, b.profile.boundary_d3);
+}
+
+ExploreResult ExploreScenario(const explore::BugScenario& scenario, bool checkpoint, bool dpor,
+                              int workers = 1, int budget = -1) {
+  ExploreOptions options = scenario.options;
+  options.checkpoint = checkpoint;
+  options.dpor = dpor;
+  options.workers = workers;
+  if (budget > 0) {
+    options.budget = budget;
+  }
+  Explorer explorer(options);
+  return explorer.Explore(scenario.body);
+}
+
+// --- tri-modal equivalence over the canned scenarios ------------------------------------------
+
+TEST(DporEquivalenceTest, TriModalFindingsIdenticalAtWorkers1And4) {
+  for (const char* name : {"buggy_monitor", "good_monitor", "missing_notify", "weakmem_race"}) {
+    const explore::BugScenario* scenario = explore::FindScenario(name);
+    ASSERT_NE(scenario, nullptr) << name;
+    for (int workers : {1, 4}) {
+      SCOPED_TRACE(std::string(name) + " workers=" + std::to_string(workers));
+      ExploreResult full = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/true,
+                                           workers);
+      ExploreResult no_dpor = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/false,
+                                              workers);
+      ExploreResult no_ckpt = ExploreScenario(*scenario, /*checkpoint=*/false, /*dpor=*/true,
+                                              workers);
+      ExpectSameFindings(full, no_dpor);
+      ExpectSameResult(full, no_ckpt);
+      EXPECT_EQ(scenario->expect_bug, !full.failures.empty()) << name;
+    }
+  }
+}
+
+TEST(DporEquivalenceTest, WorkerCountInvariantWithPruningOn) {
+  const explore::BugScenario* scenario = explore::FindScenario("buggy_monitor");
+  ASSERT_NE(scenario, nullptr);
+  ExploreResult one = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/true, 1);
+  ExploreResult four = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/true, 4);
+  ASSERT_FALSE(one.failures.empty()) << "scenario should find its injected bug";
+  ExpectSameResult(one, four);
+}
+
+// The adaptive-boundary tier (budget >= 1024: boundaries from the baseline's measured decision
+// density, second boundary extrapolated past the baseline's end) exercises deep reseed trees,
+// witness gathering, and the drain-tail splice path.
+TEST(DporEquivalenceTest, AdaptiveBoundaryTierMatchesAcrossAllModes) {
+  const explore::BugScenario* scenario = explore::FindScenario("buggy_monitor");
+  ASSERT_NE(scenario, nullptr);
+  ExploreResult full = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/true, 1, 1100);
+  ExploreResult no_dpor = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/false, 1,
+                                          1100);
+  ExploreResult no_ckpt = ExploreScenario(*scenario, /*checkpoint=*/false, /*dpor=*/true, 1,
+                                          1100);
+  ExpectSameFindings(full, no_dpor);
+  ExpectSameResult(full, no_ckpt);
+  // The boundaries came from the baseline's density profile, deepest-first monotone.
+  EXPECT_GT(full.profile.boundary_d1, 0);
+  EXPECT_GT(full.profile.boundary_d2, full.profile.boundary_d1);
+}
+
+// Budget >= 8192 adds a third segment level; smoke the geometry for mode equivalence.
+TEST(DporEquivalenceTest, ThreeLevelGeometrySmoke) {
+  const explore::BugScenario* scenario = explore::FindScenario("good_monitor");
+  ASSERT_NE(scenario, nullptr);
+  ExploreResult with = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/true, 4, 8192);
+  ExploreResult without = ExploreScenario(*scenario, /*checkpoint=*/false, /*dpor=*/true, 4,
+                                          8192);
+  ExpectSameResult(with, without);
+  EXPECT_GT(with.profile.boundary_d2, with.profile.boundary_d1);
+  EXPECT_GT(with.profile.boundary_d3, with.profile.boundary_d2);
+}
+
+// --- counters ---------------------------------------------------------------------------------
+
+TEST(DporProfileTest, CountersAreModeInvariantAndGatedByTheFlag) {
+  const explore::BugScenario* scenario = explore::FindScenario("good_monitor");
+  ASSERT_NE(scenario, nullptr);
+  ExploreResult with = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/true, 1, 1100);
+  ExploreResult from_zero = ExploreScenario(*scenario, /*checkpoint=*/false, /*dpor=*/true, 1,
+                                            1100);
+  ExploreResult off = ExploreScenario(*scenario, /*checkpoint=*/true, /*dpor=*/false, 1, 1100);
+  // Pruning decisions are a pure function of mode-invariant inputs.
+  EXPECT_EQ(with.profile.dpor_pruned, from_zero.profile.dpor_pruned);
+  EXPECT_EQ(with.profile.drain_spliced, from_zero.profile.drain_spliced);
+  EXPECT_EQ(with.profile.pruned_schedules, from_zero.profile.pruned_schedules);
+  // At this budget the sleep set should actually fire (the 2x bench win depends on it).
+  EXPECT_GT(with.profile.dpor_pruned + with.profile.drain_spliced, 0);
+  // --no-dpor means no sleep-set work at all.
+  EXPECT_EQ(off.profile.dpor_pruned, 0);
+  EXPECT_EQ(off.profile.drain_spliced, 0);
+}
+
+// --- the oracle on synthesized traces ---------------------------------------------------------
+
+trace::Event MakeEvent(trace::Usec t, trace::EventType type, trace::ThreadId thread,
+                       trace::ObjectId object = 0) {
+  trace::Event e;
+  e.time_us = t;
+  e.type = type;
+  e.thread = thread;
+  e.object = object;
+  return e;
+}
+
+TEST(DporOracleTest, DisjointSharedWritesCommute) {
+  // A CV notify (order-sensitive) followed by two threads writing DISJOINT shared cells — a
+  // known-commuting pair. The independent tail opens right after the notify.
+  trace::Tracer tracer;
+  tracer.Record(MakeEvent(1, trace::EventType::kCvNotify, 1, 7));
+  tracer.Record(MakeEvent(2, trace::EventType::kSharedWrite, 1, 10));
+  tracer.Record(MakeEvent(3, trace::EventType::kSharedWrite, 2, 11));
+  EXPECT_EQ(explore::IndependentTailStart(tracer), 1u);
+}
+
+TEST(DporOracleTest, SameCellCrossThreadWritesConflict) {
+  // Same shape, but both threads write the SAME cell: the pair conflicts, so the tail cannot
+  // open before the second write.
+  trace::Tracer tracer;
+  tracer.Record(MakeEvent(1, trace::EventType::kCvNotify, 1, 7));
+  tracer.Record(MakeEvent(2, trace::EventType::kSharedWrite, 1, 10));
+  tracer.Record(MakeEvent(3, trace::EventType::kSharedWrite, 2, 10));
+  EXPECT_EQ(explore::IndependentTailStart(tracer), 2u);
+}
+
+TEST(DporOracleTest, SameThreadRetouchesAndNeutralEventsStayIndependent) {
+  trace::Tracer tracer;
+  tracer.Record(MakeEvent(1, trace::EventType::kSharedWrite, 1, 10));
+  tracer.Record(MakeEvent(2, trace::EventType::kYield, 2));
+  tracer.Record(MakeEvent(3, trace::EventType::kSharedWrite, 1, 10));  // same thread: no pair
+  tracer.Record(MakeEvent(4, trace::EventType::kThreadExit, 2));
+  EXPECT_EQ(explore::IndependentTailStart(tracer), 0u);
+}
+
+TEST(DporOracleTest, MonitorAndSharedCellKeysAreDistinct) {
+  // Monitor 10 and shared cell 10 share an object id but not a dependency key; cross-thread
+  // touches of the two must not manufacture a conflict.
+  trace::Tracer tracer;
+  tracer.Record(MakeEvent(1, trace::EventType::kMlEnter, 1, 10));
+  tracer.Record(MakeEvent(2, trace::EventType::kSharedWrite, 2, 10));
+  EXPECT_EQ(explore::IndependentTailStart(tracer), 0u);
+}
+
+// ClassifyLeaf over a hand-built witness. With preempt_probability forced to 1.0 the simulated
+// stream answers "fire" at every force-preempt consult, so a witness record that answered 0
+// is the first divergence — placed before vs. inside the independent tail it must yield
+// kExecute vs. kTailSplice; with probability 0 the streams agree and the leaf is the witness.
+TEST(DporOracleTest, ClassifyLeafVerdictsFollowTheTailBoundary) {
+  explore::ConsultRecord divergent;
+  divergent.event_index = 5;
+  divergent.preempt_index = 3;
+  divergent.count = 1;
+  divergent.kind = explore::kConsultForcePreempt;
+  divergent.answer = 0;
+
+  explore::PerturbPolicy fire_always;
+  fire_always.preempt_probability = 1.0;
+  fire_always.shuffle_probability = 0.0;
+  std::vector<uint64_t> no_points;
+
+  explore::LeafWitness witness;
+  witness.suffix = &divergent;
+  witness.suffix_len = 1;
+
+  // Divergence at event 5, tail opens at 9: the differing decision reorders a conflicting
+  // pair — the schedule must run.
+  witness.independent_tail_event = 9;
+  EXPECT_EQ(explore::ClassifyLeaf(1234, fire_always, no_points, witness),
+            LeafVerdict::kExecute);
+
+  // Tail opens at 4: the divergence only reorders commuting operations — spliced.
+  witness.independent_tail_event = 4;
+  EXPECT_EQ(explore::ClassifyLeaf(1234, fire_always, no_points, witness),
+            LeafVerdict::kTailSplice);
+
+  // No randomness, no change points: the candidate reproduces the witness decision-for-
+  // decision and is pruned as identical.
+  explore::PerturbPolicy never_fire;
+  never_fire.preempt_probability = 0.0;
+  never_fire.shuffle_probability = 0.0;
+  witness.independent_tail_event = 9;
+  EXPECT_EQ(explore::ClassifyLeaf(1234, never_fire, no_points, witness),
+            LeafVerdict::kIdenticalPrune);
+}
+
+// A change point at the witness's preempt index makes the simulated stream fire
+// deterministically, without consuming an RNG draw — the same short-circuit the recorder uses.
+TEST(DporOracleTest, ClassifyLeafHonorsChangePoints) {
+  explore::ConsultRecord fired;
+  fired.event_index = 2;
+  fired.preempt_index = 7;
+  fired.count = 1;
+  fired.kind = explore::kConsultForcePreempt;
+  fired.answer = 1;
+
+  explore::PerturbPolicy never_fire;
+  never_fire.preempt_probability = 0.0;
+  never_fire.shuffle_probability = 0.0;
+  std::vector<uint64_t> points = {7};
+
+  explore::LeafWitness witness;
+  witness.suffix = &fired;
+  witness.suffix_len = 1;
+  witness.independent_tail_event = 100;
+  EXPECT_EQ(explore::ClassifyLeaf(99, never_fire, points, witness),
+            LeafVerdict::kIdenticalPrune);
+}
+
+}  // namespace

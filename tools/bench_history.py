@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Append benchmark runs to bench/history.jsonl so the perf trajectory is tracked, not
+overwritten.
+
+Each invocation reads one or more BENCH_*.json files and appends one JSON line per file:
+
+    {"sha": ..., "date": ..., "file": "BENCH_explore.json", "metrics": {name: value, ...}}
+
+`--sha` and `--date` come from argv, never from the wall clock or a git subprocess: the caller
+(ci_check.sh: `git rev-parse --short HEAD`, `git show -s --format=%cs HEAD`) decides identity,
+which keeps the script pure, testable, and honest about when the numbers were produced (a
+rerun of an old commit records that commit's date, not today's).
+
+The flattened metric names match tools/bench_compare.py exactly, so a history line can be
+diffed against any committed baseline with the same vocabulary.
+
+Usage:
+    bench_history.py --sha=SHA --date=YYYY-MM-DD --history=bench/history.jsonl FILE...
+"""
+
+import argparse
+import json
+import os
+import sys
+
+import bench_compare
+
+
+def history_record(sha, date, path):
+    name = os.path.basename(path)
+    with open(path) as f:
+        doc = json.load(f)
+    metrics, checks = bench_compare.extract_metrics(name, doc)
+    record = {
+        "sha": sha,
+        "date": date,
+        "file": name,
+        "metrics": {metric: value for metric, (value, _) in sorted(metrics.items())},
+    }
+    failed = sorted(check for check, ok in checks if ok is False)
+    if failed:
+        record["failed_checks"] = failed
+    return record
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--sha", required=True, help="git commit SHA the run was built from")
+    parser.add_argument("--date", required=True, help="commit (or run) date, YYYY-MM-DD")
+    parser.add_argument("--history", default="bench/history.jsonl",
+                        help="JSONL file to append to (created if missing)")
+    parser.add_argument("files", nargs="+", help="BENCH_*.json files to record")
+    args = parser.parse_args()
+
+    records = []
+    for path in args.files:
+        if not os.path.exists(path):
+            print(f"bench_history: {path} missing, skipping")
+            continue
+        records.append(history_record(args.sha, args.date, path))
+    if not records:
+        print("bench_history: nothing recorded")
+        return 1
+
+    directory = os.path.dirname(args.history)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    with open(args.history, "a") as out:
+        for record in records:
+            out.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"bench_history: appended {len(records)} record(s) to {args.history}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,12 @@ echo "== Explore suite at workers=4"
 "$BUILD_RELEASE/tools/pcrcheck" --all --workers=4
 echo "== bench_explore --json smoke (+speedup gate, auto-skipped below 4 cores)"
 (cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --json --require-speedup=2)
+# Strict throughput gate on the smoke output: schedules_per_sec regressions are warnings in
+# the catch-all bench_compare run below, but here — right after the run, on the leg whose
+# hardware profile is known — a drop past tolerance fails, so the sleep-set pruning win cannot
+# be silently given back.
+python3 "$ROOT/tools/bench_compare.py" --baseline-dir="$ROOT" --fresh-dir="$BUILD_RELEASE" \
+  --strict-throughput BENCH_explore.json
 
 # From-zero fallback leg: --no-checkpoint forces every schedule to replay from event zero —
 # the path used when pcr::Checkpoint is unsupported (ucontext fibers, sanitizers) or a body is
@@ -40,6 +46,15 @@ echo "== bench_explore --json smoke (+speedup gate, auto-skipped below 4 cores)"
 echo "== From-zero fallback (--no-checkpoint)"
 "$BUILD_RELEASE/tools/pcrcheck" --all --workers=4 --no-checkpoint
 (cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --budget=100 --no-checkpoint)
+
+# Sleep-set fallback leg: --no-dpor disables pre-execution leaf pruning (sleep sets and
+# drain-tail splicing), mirroring the --no-checkpoint sweep above. The dpor ctest label holds
+# findings/hashes/repros byte-identical across full-pruning, --no-dpor, and --no-checkpoint;
+# these legs cover the flag end to end through the CLI and bench.
+echo "== Pruning-off fallback (--no-dpor)"
+(cd "$BUILD_RELEASE" && ctest --output-on-failure -j"$JOBS" -L dpor)
+"$BUILD_RELEASE/tools/pcrcheck" --all --workers=4 --no-dpor
+(cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --budget=100 --no-dpor)
 
 # Fault-injection gates: the fault suite (ctest -L fault) covers fork-failure policies, the
 # watchdog, monitor poisoning, and X reconnect; the bench_explore run sweeps fault x schedule
@@ -106,6 +121,18 @@ done
 echo "== bench_compare vs committed baselines"
 python3 "$ROOT/tools/bench_compare.py" --baseline-dir="$ROOT" --fresh-dir="$BUILD_RELEASE"
 
+# History append smoke: record this run's numbers, keyed by commit SHA + commit date (argv,
+# never wall clock). CI writes into the build tree to stay read-only on the checkout; the
+# reference machine appends to bench/history.jsonl itself and commits the line with the
+# refreshed baselines, which is how the perf trajectory accumulates.
+echo "== bench_history append"
+python3 "$ROOT/tools/bench_history.py" \
+  --sha="$(git -C "$ROOT" rev-parse --short HEAD 2> /dev/null || echo unknown)" \
+  --date="$(git -C "$ROOT" show -s --format=%cs HEAD 2> /dev/null || echo unknown)" \
+  --history="$BUILD_RELEASE/bench_history.jsonl" \
+  "$BUILD_RELEASE/BENCH_explore.json" "$BUILD_RELEASE/BENCH_trace.json" \
+  "$BUILD_RELEASE/BENCH_micro.json" "$BUILD_RELEASE/BENCH_fiber.json"
+
 # Portable-fallback leg: the ucontext fiber path must keep passing the explore suite (which
 # exercises fibers hardest: thousands of schedules, stack recycling, determinism at several
 # worker counts) so it cannot rot while the assembly path is the everyday default.
@@ -126,6 +153,12 @@ cmake --build "$BUILD_SANITIZED" -j"$JOBS"
 # poisoning unwind fibers on exceptional paths, exactly where stale ASan shadow or a missed
 # release would hide in a plain build.
 (cd "$BUILD_SANITIZED" && ctest --output-on-failure -j"$JOBS" -L fault)
+# The dpor equivalence label and the --no-dpor sweep again under the sanitizer: pruning
+# copies outcomes instead of executing fibers, exactly the kind of shortcut where a dangling
+# read into a rewound buffer would hide in a plain build. (Checkpointing is unsupported under
+# sanitizers, so this leg also proves pruning composes with the from-zero fallback.)
+(cd "$BUILD_SANITIZED" && ctest --output-on-failure -j"$JOBS" -L dpor)
+"$BUILD_SANITIZED/tools/pcrcheck" --all --workers=4 --no-dpor
 # And the corpus replay gate: the committed repros drive injected faults through the
 # runtime's exceptional unwind paths, which is where the sanitizer earns its keep.
 timeout 60 "$BUILD_SANITIZED/tools/pcrcheck" --campaign="$ROOT/tests/corpus" \

@@ -14,11 +14,13 @@
 // expect_bug, or just "found" under --require-bug) and all replays were deterministic;
 // 1 otherwise; 2 on usage errors.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <utility>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -46,6 +48,7 @@ struct Args {
   bool require_bug = false;
   bool profile = false;
   bool no_checkpoint = false;  // force from-zero schedule execution (same results, slower)
+  bool no_dpor = false;        // disable sleep-set leaf pruning (same findings, slower)
   int budget = -1;       // <0: use the scenario's tuned default
   uint64_t seed = 0;     // 0: use the scenario's tuned default
   int workers = 0;       // 0: hardware concurrency (the flag itself requires > 0)
@@ -63,7 +66,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: pcrcheck [--list] [--all] [--scenario=NAME] [--budget=N] [--seed=N]\n"
                "                [--workers=N] [--replay=REPRO] [--require-bug] [--verbose]\n"
-               "                [--profile] [--no-checkpoint] [--chrome-trace-on-failure=DIR]\n"
+               "                [--profile] [--no-checkpoint] [--no-dpor]\n"
+               "                [--chrome-trace-on-failure=DIR]\n"
                "                [--chrome-stream-on-failure=DIR]\n"
                "                                      like --chrome-trace-on-failure but written\n"
                "                                      through the bounded-memory streaming sink\n"
@@ -99,6 +103,8 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->profile = true;
     } else if (arg == "--no-checkpoint") {
       args->no_checkpoint = true;
+    } else if (arg == "--no-dpor") {
+      args->no_dpor = true;
     } else if (const char* v = value("--chrome-trace-on-failure=")) {
       args->chrome_trace_dir = v;
     } else if (const char* v = value("--chrome-stream-on-failure=")) {
@@ -202,6 +208,9 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
   if (args.no_checkpoint) {
     options.checkpoint = false;
   }
+  if (args.no_dpor) {
+    options.dpor = false;
+  }
   if (!args.fault_plan.empty()) {
     options.fault_plan = fault::Plan::Decode(args.fault_plan);
   }
@@ -283,11 +292,24 @@ bool RunScenario(const explore::BugScenario& scenario, const Args& args) {
         "minimize %.3fs | worker-time run %.3fs, detector %.3fs (%.1f%% of busy)\n",
         p.schedules_per_sec, p.total_sec, p.baseline_sec, p.sweep_sec, p.minimize_sec,
         p.run_sec, p.detector_sec, busy > 0 ? 100.0 * p.detector_sec / busy : 0.0);
-    std::printf(
-        "  checkpoint: %lld save(s), %lld resume(s), %.1f KiB snapshotted, %lld pruned "
-        "schedule(s)\n",
-        static_cast<long long>(p.checkpoint_saves), static_cast<long long>(p.checkpoint_resumes),
-        p.checkpoint_bytes / 1024.0, static_cast<long long>(p.pruned_schedules));
+    // Checkpoint/prune counters as a key-sorted table: stable line order and a fixed
+    // key=value shape, so CI logs diff cleanly across runs and new counters slot in
+    // alphabetically instead of reshuffling a prose line.
+    std::vector<std::pair<std::string, long long>> counters = {
+        {"boundary_d1", static_cast<long long>(p.boundary_d1)},
+        {"boundary_d2", static_cast<long long>(p.boundary_d2)},
+        {"boundary_d3", static_cast<long long>(p.boundary_d3)},
+        {"checkpoint_bytes", static_cast<long long>(p.checkpoint_bytes)},
+        {"checkpoint_resumes", static_cast<long long>(p.checkpoint_resumes)},
+        {"checkpoint_saves", static_cast<long long>(p.checkpoint_saves)},
+        {"dpor_pruned", static_cast<long long>(p.dpor_pruned)},
+        {"drain_spliced", static_cast<long long>(p.drain_spliced)},
+        {"pruned_schedules", static_cast<long long>(p.pruned_schedules)},
+    };
+    std::sort(counters.begin(), counters.end());
+    for (const auto& [key, value] : counters) {
+      std::printf("  counter %-20s %lld\n", key.c_str(), value);
+    }
   }
 
   bool found = !result.failures.empty();
@@ -322,6 +344,11 @@ int RunCampaign(const Args& args) {
   if (args.no_checkpoint) {
     for (explore::BugScenario& s : scenarios) {
       s.options.checkpoint = false;
+    }
+  }
+  if (args.no_dpor) {
+    for (explore::BugScenario& s : scenarios) {
+      s.options.dpor = false;
     }
   }
 
