@@ -21,6 +21,8 @@ std::string_view ReportKindName(ReportKind kind) {
       return "starvation";
     case ReportKind::kMissingNotify:
       return "missing-notify";
+    case ReportKind::kBacklogGrowth:
+      return "backlog-growth";
   }
   return "unknown";
 }
@@ -35,6 +37,7 @@ void Watchdog::Start(pcr::Runtime& rt) {
   m_deadlocks_ = rt.scheduler().MetricCounter("watchdog.deadlocks");
   m_starvations_ = rt.scheduler().MetricCounter("watchdog.starvations");
   m_missing_notifies_ = rt.scheduler().MetricCounter("watchdog.missing_notifies");
+  m_backlogs_ = rt.scheduler().MetricCounter("watchdog.backlogs");
   pcr::ForkOptions fork_options;
   fork_options.name = "watchdog";
   fork_options.priority = options_.priority;
@@ -52,6 +55,13 @@ void Watchdog::Start(pcr::Runtime& rt) {
 
 void Watchdog::WatchCondition(pcr::Condition* cv) { watched_.push_back(cv); }
 
+void Watchdog::WatchQueue(std::string name, std::function<size_t()> depth) {
+  WatchedQueue queue;
+  queue.name = std::move(name);
+  queue.depth = std::move(depth);
+  watched_queues_.push_back(std::move(queue));
+}
+
 void Watchdog::Scan(pcr::Runtime& rt) {
   ++scans_;
   if (options_.detect_deadlock) {
@@ -62,6 +72,9 @@ void Watchdog::Scan(pcr::Runtime& rt) {
   }
   if (options_.detect_missing_notify) {
     ScanMissingNotify(rt);
+  }
+  if (options_.detect_backlog) {
+    ScanBacklog(rt);
   }
 }
 
@@ -161,6 +174,32 @@ void Watchdog::ScanMissingNotify(pcr::Runtime& rt) {
   }
 }
 
+void Watchdog::ScanBacklog(pcr::Runtime& rt) {
+  for (WatchedQueue& queue : watched_queues_) {
+    size_t depth = queue.depth();
+    if (depth > queue.last_depth) {
+      ++queue.growth_streak;
+    } else {
+      queue.growth_streak = 0;
+      if (depth < queue.last_depth) {
+        // The queue drained (somebody served or shed it): a later regrowth is a new episode
+        // worth a fresh report.
+        queue.reported = false;
+      }
+    }
+    queue.last_depth = depth;
+    if (queue.growth_streak >= options_.backlog_scans && !queue.reported) {
+      queue.reported = true;
+      WatchdogReport report;
+      report.kind = ReportKind::kBacklogGrowth;
+      report.detail = "queue " + queue.name + " grew for " +
+                      std::to_string(queue.growth_streak) +
+                      " consecutive scans (depth " + std::to_string(depth) + ")";
+      Report(rt, std::move(report));
+    }
+  }
+}
+
 void Watchdog::Report(pcr::Runtime& rt, WatchdogReport report) {
   report.time = rt.now();
   rt.scheduler().Emit(trace::EventType::kWatchdogReport,
@@ -177,6 +216,9 @@ void Watchdog::Report(pcr::Runtime& rt, WatchdogReport report) {
       break;
     case ReportKind::kMissingNotify:
       trace::MetricAdd(m_missing_notifies_);
+      break;
+    case ReportKind::kBacklogGrowth:
+      trace::MetricAdd(m_backlogs_);
       break;
   }
   reports_.push_back(std::move(report));

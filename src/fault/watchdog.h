@@ -8,6 +8,9 @@
 //     rather than by the SystemDaemon's random charity.
 //   * Missing notify: a watched condition variable whose waits only ever exit by timeout while
 //     threads still wait on it — the Section 5.3 bug class that "a timeout masks".
+//   * Backlog growth: a watched queue whose depth grows monotonically for N consecutive scans —
+//     the open-loop overload signature (arrivals outpacing service with no admission control,
+//     docs/WORLDS.md) that ends in unbounded memory if nobody sheds load.
 //
 // Reports go four ways at once: the on_report callback, an optional recovery callback, a
 // kWatchdogReport trace event (visible in Chrome exports), and watchdog.* metrics.
@@ -31,6 +34,7 @@ enum class ReportKind : uint8_t {
   kDeadlock,       // threads = the wait-for cycle, in chain order
   kStarvation,     // threads = the starved thread
   kMissingNotify,  // detail names the condition variable
+  kBacklogGrowth,  // detail names the watched queue and its depth
 };
 
 std::string_view ReportKindName(ReportKind kind);
@@ -47,9 +51,11 @@ struct WatchdogOptions {
   int priority = pcr::kMaxPriority;            // daemon priority; must outrank the suspects
   int starvation_quanta = 8;       // ready this many quanta without dispatch = starved
   int missing_notify_min_timeouts = 3;  // timeout-only exits needed before reporting a CV
+  int backlog_scans = 4;           // consecutive growth scans before a queue is reported
   bool detect_deadlock = true;
   bool detect_starvation = true;
   bool detect_missing_notify = true;
+  bool detect_backlog = true;
   // Called (from the watchdog thread) for every new report, before `recover`.
   std::function<void(const WatchdogReport&)> on_report;
   // Optional recovery hook — e.g. poison a monitor, bump a priority, notify a CV. The
@@ -72,6 +78,13 @@ class Watchdog {
   // runtime does not keep a registry). The Condition must outlive the watchdog.
   void WatchCondition(pcr::Condition* cv);
 
+  // Adds a queue to the backlog-growth scan: `depth` is sampled once per scan, and a depth
+  // that strictly grew for `backlog_scans` consecutive scans produces one kBacklogGrowth
+  // report. Deduped per episode: a reported queue stays quiet until its depth shrinks again,
+  // so sustained growth is one report, not one per scan. Whatever `depth` captures must
+  // outlive the watchdog; the callback runs on the daemon fiber (or wherever Scan is called).
+  void WatchQueue(std::string name, std::function<size_t()> depth);
+
   // One detection pass; the daemon calls this every period, tests may call it directly.
   void Scan(pcr::Runtime& rt);
 
@@ -79,14 +92,24 @@ class Watchdog {
   int64_t scans() const { return scans_; }
 
  private:
+  struct WatchedQueue {
+    std::string name;
+    std::function<size_t()> depth;
+    size_t last_depth = 0;
+    int growth_streak = 0;  // consecutive scans where depth strictly grew
+    bool reported = false;  // episode flag: cleared when the queue shrinks
+  };
+
   void Report(pcr::Runtime& rt, WatchdogReport report);
   void ScanDeadlocks(pcr::Runtime& rt);
   void ScanStarvation(pcr::Runtime& rt);
   void ScanMissingNotify(pcr::Runtime& rt);
+  void ScanBacklog(pcr::Runtime& rt);
 
   WatchdogOptions options_;
   pcr::ThreadId daemon_tid_ = pcr::kNoThread;
   std::vector<pcr::Condition*> watched_;
+  std::vector<WatchedQueue> watched_queues_;
   std::vector<WatchdogReport> reports_;
   int64_t scans_ = 0;
   // Dedup state: a condition is reported when it *becomes* true, not on every scan.
@@ -97,6 +120,7 @@ class Watchdog {
   trace::Counter* m_deadlocks_ = nullptr;
   trace::Counter* m_starvations_ = nullptr;
   trace::Counter* m_missing_notifies_ = nullptr;
+  trace::Counter* m_backlogs_ = nullptr;
 };
 
 }  // namespace fault

@@ -29,8 +29,9 @@ class FaultInjector {
   virtual ~FaultInjector() = default;
 
   // Called each time execution passes the named site. Returning 0 means "no fault here".
-  // A nonzero return injects the fault; for kTimerSkew and kXStall the value is the magnitude
-  // in scheduler quanta, for every other site any nonzero value just means "fire".
+  // A nonzero return injects the fault; for kTimerSkew, kXStall and kShardStall the value is
+  // the magnitude in scheduler quanta, for every other site any nonzero value just means
+  // "fire".
   virtual uint64_t OnFaultPoint(FaultSite site) = 0;
 };
 

@@ -72,8 +72,10 @@ enum class FaultSite : uint8_t {
   kThreadDeath,   // the running fiber body throws InjectedFault (uncaught-exception path)
   kXDrop,         // the simulated X connection drops; sends fail until reconnect
   kXStall,        // the simulated X server stalls for N quanta before accepting a flush
+  kShardStall,    // one service-world shard server wedges for N quanta mid-request
+  kAdmissionReject,  // an admission controller force-rejects the offered request
 };
-inline constexpr int kNumFaultSites = 8;
+inline constexpr int kNumFaultSites = 10;
 
 // Short stable name used in fault-plan grammar and dumps (e.g. "notify-lost").
 std::string_view FaultSiteName(FaultSite site);

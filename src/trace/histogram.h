@@ -50,6 +50,26 @@ class Histogram {
     return total_weight_ == 0 ? 0.0 : static_cast<double>(WeightIn(lo, hi)) / total_weight_;
   }
 
+  // Value at or below which a fraction `p` (in [0, 1]) of the samples fall: the upper edge of
+  // the first bucket where the cumulative count reaches p * total_count. The answer is
+  // bucket-width granular (an upper bound on the true percentile); samples in the overflow
+  // bucket resolve to the overflow boundary. Returns 0 when the histogram is empty. Used for
+  // the load-study latency percentiles (p50/p99/p999 per request class, docs/WORLDS.md).
+  int64_t Percentile(double p) const {
+    if (total_count_ == 0) {
+      return 0;
+    }
+    double need = p * static_cast<double>(total_count_);
+    int64_t cumulative = 0;
+    for (size_t b = 0; b + 1 < counts_.size(); ++b) {
+      cumulative += counts_[b];
+      if (static_cast<double>(cumulative) >= need) {
+        return static_cast<int64_t>(b + 1) * width_;
+      }
+    }
+    return static_cast<int64_t>(counts_.size() - 1) * width_;
+  }
+
   // Bucket index with the highest count within [lo_bucket, hi_bucket]; -1 if all are empty.
   int PeakBucket(int lo_bucket, int hi_bucket) const {
     int best = -1;

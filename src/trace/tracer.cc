@@ -93,6 +93,10 @@ std::string_view FaultSiteName(FaultSite site) {
       return "x-drop";
     case FaultSite::kXStall:
       return "x-stall";
+    case FaultSite::kShardStall:
+      return "shard-stall";
+    case FaultSite::kAdmissionReject:
+      return "admission-reject";
   }
   return "unknown";
 }

@@ -36,6 +36,9 @@ bool XServerModel::Send(const std::vector<PaintRequest>& batch) {
     pcr::Usec latency = now - request.created_at;
     echo_latency_.Add(latency);
     max_echo_latency_ = std::max(max_echo_latency_, latency);
+    if (record_requests_) {
+      received_log_.push_back(request);
+    }
   }
   return true;
 }

@@ -70,6 +70,13 @@ class XServerModel {
   const trace::Histogram& echo_latency() const { return echo_latency_; }
   pcr::Usec max_echo_latency() const { return max_echo_latency_; }
 
+  // Test hook: when enabled, every request a successful Send accepts is appended to
+  // received_log() in arrival order. Lets delivery tests assert exactly-once, in-order
+  // semantics across drops and reconnects without inferring them from counters. Off by
+  // default — the log grows without bound.
+  void set_record_requests(bool on) { record_requests_ = on; }
+  const std::vector<PaintRequest>& received_log() const { return received_log_; }
+
   // Coalesces requests targeting the same (window, region), keeping the latest — "merging
   // input or replacing earlier data with later data" (Section 4.2). Exposed so slack processes
   // can use it as their merge function.
@@ -87,6 +94,8 @@ class XServerModel {
   int64_t flushes_ = 0;
   trace::Histogram echo_latency_{1000, 200};  // 1 ms buckets up to 200 ms
   pcr::Usec max_echo_latency_ = 0;
+  bool record_requests_ = false;
+  std::vector<PaintRequest> received_log_;
 };
 
 }  // namespace world

@@ -18,6 +18,8 @@
 #include "src/pcr/monitor.h"
 #include "src/pcr/runtime.h"
 #include "src/pcr/stack.h"
+#include "src/world/cedar_world.h"
+#include "src/world/service_world.h"
 #include "src/world/xclient.h"
 #include "src/world/xserver.h"
 
@@ -612,6 +614,259 @@ TEST(XFaultTest, ReconnectBackoffScheduleIsDeterministic) {
     return hash;
   };
   EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+// Backlog-growth detection
+// ---------------------------------------------------------------------------
+
+fault::WatchdogOptions BacklogOnly(int scans) {
+  fault::WatchdogOptions options;
+  options.backlog_scans = scans;
+  options.detect_deadlock = false;
+  options.detect_starvation = false;
+  options.detect_missing_notify = false;
+  return options;
+}
+
+TEST(WatchdogTest, BacklogGrowthTripsAfterConsecutiveGrowthScansAndDedupes) {
+  Runtime rt;
+  fault::Watchdog watchdog(BacklogOnly(4));
+  size_t depth = 0;
+  watchdog.WatchQueue("paint-backlog", [&depth] { return depth; });
+
+  // Three strictly-growing scans: below threshold, no report.
+  for (size_t d : {10u, 20u, 30u}) {
+    depth = d;
+    watchdog.Scan(rt);
+  }
+  EXPECT_TRUE(watchdog.reports().empty());
+
+  // The fourth consecutive growth trips exactly one report.
+  depth = 40;
+  watchdog.Scan(rt);
+  ASSERT_EQ(watchdog.reports().size(), 1u);
+  EXPECT_EQ(watchdog.reports().front().kind, fault::ReportKind::kBacklogGrowth);
+  EXPECT_NE(watchdog.reports().front().detail.find("paint-backlog"), std::string::npos);
+
+  // Sustained growth is one episode, not one report per scan.
+  for (size_t d : {50u, 60u, 70u, 80u, 90u}) {
+    depth = d;
+    watchdog.Scan(rt);
+  }
+  EXPECT_EQ(watchdog.reports().size(), 1u);
+
+  // A shrink ends the episode; a fresh run of growth is a fresh report.
+  depth = 15;
+  watchdog.Scan(rt);
+  for (size_t d : {25u, 35u, 45u, 55u}) {
+    depth = d;
+    watchdog.Scan(rt);
+  }
+  EXPECT_EQ(watchdog.reports().size(), 2u);
+  rt.Shutdown();
+}
+
+TEST(WatchdogTest, OscillatingQueueDepthNeverTripsBacklog) {
+  Runtime rt;
+  fault::Watchdog watchdog(BacklogOnly(3));
+  size_t depth = 0;
+  watchdog.WatchQueue("healthy-queue", [&depth] { return depth; });
+  // A served queue breathes: depth rises and falls but never grows `backlog_scans` in a row.
+  for (size_t d : {5u, 12u, 3u, 9u, 14u, 6u, 11u, 16u, 2u, 8u, 13u, 4u}) {
+    depth = d;
+    watchdog.Scan(rt);
+  }
+  EXPECT_TRUE(watchdog.reports().empty());
+  // Flat depth is not growth either.
+  depth = 20;
+  for (int i = 0; i < 6; ++i) {
+    watchdog.Scan(rt);
+  }
+  EXPECT_TRUE(watchdog.reports().empty());
+  rt.Shutdown();
+}
+
+TEST(WatchdogTest, ServiceWorldOverloadTripsBacklogViaWatchedShardQueues) {
+  // End-to-end wiring: the daemon scans the service world's per-shard queues while an
+  // un-admitted open-loop overload grows them without bound.
+  world::ServiceSpec spec;
+  spec.clients = 800;
+  spec.shards = 2;
+  spec.seed = 7;
+  spec.queue_capacity = 0;  // unbounded
+  spec.phases = {{.duration = 2 * kUsecPerSec, .offered_per_sec = 6000}};
+
+  fault::Watchdog watchdog(BacklogOnly(4));
+  world::ServiceRunOptions options;
+  options.setup = [&watchdog](Runtime&, world::ServiceWorld& w) {
+    for (int s = 0; s < w.shards(); ++s) {
+      watchdog.WatchQueue("shard" + std::to_string(s), [&w, s] { return w.shard_depth(s); });
+    }
+    // Started inside setup so the daemon fiber exists before virtual time moves.
+    watchdog.Start(w.runtime());
+  };
+  world::RunServiceLoad(spec, options);
+
+  bool found = false;
+  for (const fault::WatchdogReport& report : watchdog.reports()) {
+    found = found || report.kind == fault::ReportKind::kBacklogGrowth;
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Parked paint batches: Cedar's x_pending_ re-merge
+// ---------------------------------------------------------------------------
+
+TEST(XFaultTest, CedarRemergesParkedBatchesExactlyOnceInOrderAfterReconnect) {
+  Runtime rt;
+  world::CedarWorld world(rt);
+  world.xserver().set_record_requests(true);
+
+  // The world paints a little on its own even when idle, so the probe batches use a window id
+  // range (>= 700) no Cedar window uses; filtering the received log on it gives a complete
+  // delivery record for exactly the probe traffic.
+  rt.ForkDetached(
+      [&] {
+        pcr::thisthread::Sleep(10 * kUsecPerMsec);
+        world.xserver().InjectDrop(600 * kUsecPerMsec);
+        // Three distinct damage regions while the server is down; each flush attempt finds
+        // the connection dead and parks the batch in x_pending_.
+        world.x_buffer().Submit({pcr::thisthread::Now(), 701, 0});
+        pcr::thisthread::Sleep(60 * kUsecPerMsec);
+        world.x_buffer().Submit({pcr::thisthread::Now(), 701, 1});
+        pcr::thisthread::Sleep(60 * kUsecPerMsec);
+        // A duplicate key: must merge with the parked {701, 0}, not deliver twice.
+        world.x_buffer().Submit({pcr::thisthread::Now(), 701, 0});
+        world.x_buffer().Submit({pcr::thisthread::Now(), 702, 0});
+        // Outlive the downtime, then poke one more paint through to trigger the recovery
+        // flush that re-merges and resends the parked set.
+        pcr::thisthread::Sleep(700 * kUsecPerMsec);
+        world.x_buffer().Submit({pcr::thisthread::Now(), 703, 0});
+      },
+      ForkOptions{.name = "paint-driver"});
+  rt.RunFor(3 * kUsecPerSec);
+
+  EXPECT_EQ(world.xserver().drops(), 1);
+  EXPECT_GE(world.xserver().reconnects(), 1);
+
+  // Exactly once, in first-damage order: the four distinct (window, region) keys, nothing
+  // delivered twice, nothing lost.
+  std::vector<std::pair<int, int>> keys;
+  for (const world::PaintRequest& request : world.xserver().received_log()) {
+    if (request.window >= 700) {
+      keys.emplace_back(request.window, request.region);
+    }
+  }
+  std::vector<std::pair<int, int>> expected = {{701, 0}, {701, 1}, {702, 0}, {703, 0}};
+  EXPECT_EQ(keys, expected);
+  rt.Shutdown();
+}
+
+TEST(XFaultTest, CedarKeepsPaintingThroughDropStallPlanDeterministically) {
+  // The same machinery under a probabilistic x-drop/x-stall plan and real keystroke traffic:
+  // paints keep reaching the server after every drop, and the whole faulted run replays to an
+  // identical trace.
+  fault::Plan plan;
+  plan.seed = 13;
+  plan.rate = 0.05;
+  plan.value = 2;  // stalls wedge the server for 2 quanta
+  plan.site_mask = fault::SiteBit(FaultSite::kXDrop) | fault::SiteBit(FaultSite::kXStall);
+
+  auto run_once = [&plan](int64_t* received, int64_t* drops) {
+    fault::Injector injector(plan);
+    Runtime rt;
+    rt.scheduler().set_fault_injector(&injector);
+    world::CedarWorld world(rt);
+    world.keyboard().ScriptUniform(0, 4 * kUsecPerSec, 8.0, world::InputKind::kKey);
+    rt.RunFor(6 * kUsecPerSec);
+    *received = world.xserver().requests_received();
+    *drops = world.xserver().drops();
+    uint64_t hash = explore::TraceHash(rt.tracer());
+    rt.Shutdown();
+    return hash;
+  };
+
+  int64_t received_a = 0, drops_a = 0, received_b = 0, drops_b = 0;
+  uint64_t first = run_once(&received_a, &drops_a);
+  uint64_t second = run_once(&received_b, &drops_b);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(received_a, received_b);
+  EXPECT_GE(drops_a, 1) << "the plan should have dropped the connection at least once";
+  EXPECT_GT(received_a, 0) << "paints must keep landing after reconnects";
+}
+
+// ---------------------------------------------------------------------------
+// Send failure economics: no server-side double charge, giveup -> recover
+// ---------------------------------------------------------------------------
+
+TEST(XFaultTest, FailedSendsChargeTheCallerButNeverTheServer) {
+  Runtime rt;
+  world::XServerModel server(rt);
+  server.set_record_requests(true);
+  bool done = false;
+  rt.ForkDetached([&] {
+    std::vector<world::PaintRequest> batch = {{pcr::thisthread::Now(), 1, 0},
+                                              {pcr::thisthread::Now(), 1, 1}};
+    server.InjectDrop(200 * kUsecPerMsec);
+    pcr::Usec work_before = server.server_work();
+    // The caller retries the same batch against the dead connection; every attempt fails,
+    // keeps the batch with the caller, and adds nothing to the modelled server-side work.
+    for (int attempt = 0; attempt < 5; ++attempt) {
+      EXPECT_FALSE(server.Send(batch));
+      pcr::thisthread::Sleep(20 * kUsecPerMsec);
+    }
+    EXPECT_EQ(server.server_work(), work_before);
+    EXPECT_EQ(server.failed_sends(), 5);
+    EXPECT_EQ(server.flushes(), 0);
+
+    pcr::thisthread::Sleep(100 * kUsecPerMsec);
+    ASSERT_TRUE(server.TryReconnect());
+    ASSERT_TRUE(server.Send(batch));
+    // Exactly one flush charge and one per-request charge per batch element — the failed
+    // attempts did not pre-pay or double-bill any of it.
+    EXPECT_EQ(server.server_work(),
+              work_before + world::XServerCosts{}.per_flush + 2 * world::XServerCosts{}.per_request);
+    done = true;
+  });
+  EXPECT_EQ(rt.RunUntilQuiescent(kUsecPerSec), RunStatus::kQuiescent);
+  EXPECT_TRUE(done);
+  EXPECT_EQ(server.received_log().size(), 2u);
+}
+
+TEST(XFaultTest, XlGiveupThenRecoveryStaysConsistentAndDeliversOnce) {
+  Runtime rt;
+  world::XServerModel server(rt);
+  server.set_record_requests(true);
+  pcr::InterruptSource connection(rt.scheduler(), "x-input");
+  world::XlOptions options;
+  options.reconnect_backoff_initial = 50 * kUsecPerMsec;
+  options.reconnect_backoff_max = 100 * kUsecPerMsec;
+  options.reconnect_max_retries = 2;
+  world::XlClient client(rt, server, connection, options);
+
+  rt.ForkDetached([&] {
+    pcr::thisthread::Sleep(10 * kUsecPerMsec);
+    // Down long enough that the first backoff cycle (2 retries, 50 + 100 ms) must give up,
+    // short enough that a later maintenance-armed cycle succeeds.
+    server.InjectDrop(1200 * kUsecPerMsec);
+    client.SendRequest({pcr::thisthread::Now(), 1, 0});
+    client.Flush();
+  });
+  rt.RunFor(5 * kUsecPerSec);
+
+  // At least one bounded cycle ended in a giveup, and the counter did not double-count or
+  // reset across the giveup -> recover boundary: every giveup preceded the one reconnect.
+  EXPECT_GE(client.stats().reconnect_giveups, 1);
+  EXPECT_EQ(client.stats().reconnects, 1);
+  EXPECT_EQ(server.reconnects(), 1);
+  EXPECT_TRUE(server.connected());
+  // The retained output was delivered exactly once after recovery.
+  ASSERT_EQ(server.received_log().size(), 1u);
+  EXPECT_EQ(server.received_log().front().window, 1);
+  EXPECT_EQ(server.requests_received(), 1);
+  rt.Shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -30,6 +30,7 @@ KNOWN_FILES = [
     "BENCH_micro.json",
     "BENCH_trace.json",
     "BENCH_fiber.json",
+    "BENCH_load.json",
 ]
 
 
@@ -88,6 +89,22 @@ def extract_metrics(name, doc):
         # bench_fiber_switch itself enforces the absolute floor.
         put("switch_speedup_vs_ucontext", doc, "switch_speedup_vs_ucontext", True)
         checks.append(("fiber_backend_matches", None))  # filled by caller comparison below
+    elif name == "BENCH_load.json":
+        # Service-world latencies are virtual-time quantities — deterministic per spec, not
+        # host-dependent — so the p99 gate is real, not noise insurance. Percentiles still get
+        # absolute slack (see compare_file) because they quantise to histogram buckets.
+        for row in doc.get("benchmarks", []):
+            paradigm = row.get("paradigm")
+            offered = row.get("offered_per_sec")
+            if paradigm is None or offered is None:
+                continue
+            key = f"{paradigm}@{offered:.0f}"
+            for cls in ("interactive", "bulk"):
+                stats = row.get(cls)
+                if isinstance(stats, dict):
+                    put(f"{key}/{cls}_p99_us", stats, "p99_us", False)
+            put(f"{key}/goodput_per_sec", row, "goodput_per_sec", True)
+        checks.append(("deterministic", bool(doc.get("deterministic"))))
     return metrics, checks
 
 
@@ -131,6 +148,21 @@ def compare_file(name, baseline_doc, fresh_doc, tolerance, strict_throughput=Fal
             if regressed:
                 failures.append(f"{name}: {metric} regressed {delta:+.4f} "
                                 f"(absolute slack {slack:.2f})")
+            continue
+        if metric.endswith("_p99_us"):
+            # Tail latencies quantise to 500us histogram buckets and the light-load points sit
+            # in single-digit milliseconds, so pure ratio would flag a one-bucket wobble. Give
+            # a 2ms absolute floor on top of the relative tolerance; the collapse points are
+            # tens-to-hundreds of ms, where the relative term dominates as intended.
+            slack = max(abs(base_value) * tolerance, 2000.0)
+            regressed = fresh_value > base_value + slack
+            delta = fresh_value - base_value
+            marker = "REGRESSED" if regressed else "ok"
+            lines.append(f"  {metric}: {base_value:.0f} -> {fresh_value:.0f} "
+                         f"({delta:+.0f}us abs) {marker}")
+            if regressed:
+                failures.append(f"{name}: {metric} regressed {delta:+.0f}us "
+                                f"(absolute slack {slack:.0f}us)")
             continue
         if base_value == 0:
             continue

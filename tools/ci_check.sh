@@ -66,6 +66,19 @@ echo "== Fault suite + fault-plan determinism at workers=4"
 (cd "$BUILD_RELEASE" && bench/bench_explore --workers=4 --budget=200 \
   --fault-plan="f1,rate=0.05,sites=notify-lost+timer-skew,seed=5")
 
+# Overload-robustness gates: the load suite (ctest -L load) covers admission control,
+# backpressure, brown-out, and the backlog watchdog over the open-loop service world;
+# bench_service_load sweeps offered load x paradigm, exits nonzero if a re-run diverges, and
+# writes BENCH_load.json for the baseline diff below. The latencies are virtual-time
+# quantities — deterministic per spec, not host-dependent — so the p99 gate is a real
+# regression gate, not noise insurance. The pcrsim line smokes the CLI load path end to end.
+echo "== Load suite + service-world sweep"
+(cd "$BUILD_RELEASE" && ctest --output-on-failure -j"$JOBS" -L load)
+(cd "$BUILD_RELEASE" && bench/bench_service_load --json > /dev/null)
+python3 "$ROOT/tools/bench_compare.py" --baseline-dir="$ROOT" --fresh-dir="$BUILD_RELEASE" \
+  BENCH_load.json
+(cd "$BUILD_RELEASE" && tools/pcrsim --load-scenario=overload --duration 2 > /dev/null)
+
 # Campaign replay gate: every committed corpus entry must still decode, replay
 # deterministically (each input is run twice and the trace hashes compared), and every entry
 # under tests/corpus/crashes/ must still fail — a crash repro that stops failing means a bug
@@ -131,7 +144,8 @@ python3 "$ROOT/tools/bench_history.py" \
   --date="$(git -C "$ROOT" show -s --format=%cs HEAD 2> /dev/null || echo unknown)" \
   --history="$BUILD_RELEASE/bench_history.jsonl" \
   "$BUILD_RELEASE/BENCH_explore.json" "$BUILD_RELEASE/BENCH_trace.json" \
-  "$BUILD_RELEASE/BENCH_micro.json" "$BUILD_RELEASE/BENCH_fiber.json"
+  "$BUILD_RELEASE/BENCH_micro.json" "$BUILD_RELEASE/BENCH_fiber.json" \
+  "$BUILD_RELEASE/BENCH_load.json"
 
 # Portable-fallback leg: the ucontext fiber path must keep passing the explore suite (which
 # exercises fibers hardest: thousands of schedules, stack recycling, determinism at several
@@ -153,6 +167,10 @@ cmake --build "$BUILD_SANITIZED" -j"$JOBS"
 # poisoning unwind fibers on exceptional paths, exactly where stale ASan shadow or a missed
 # release would hide in a plain build.
 (cd "$BUILD_SANITIZED" && ctest --output-on-failure -j"$JOBS" -L fault)
+# And the load suite: the service world churns thousands of heap-allocated requests through
+# bounded queues, brown-out purges, and retry re-offers — use-after-free bait a plain build
+# would shrug off.
+(cd "$BUILD_SANITIZED" && ctest --output-on-failure -j"$JOBS" -L load)
 # The dpor equivalence label and the --no-dpor sweep again under the sanitizer: pruning
 # copies outcomes instead of executing fibers, exactly the kind of shortcut where a dangling
 # read into a rewound buffer would hide in a plain build. (Checkpointing is unsupported under

@@ -28,6 +28,7 @@
 #include "src/pcr/errors.h"
 #include "src/pcr/runtime.h"
 #include "src/world/scenarios.h"
+#include "src/world/service_world.h"
 
 namespace {
 
@@ -44,6 +45,9 @@ struct Cli {
   std::optional<std::string> metrics_json;
   size_t trace_ring = 0;
   std::optional<std::string> scenario;
+  std::optional<std::string> load_scenario;
+  double offered_load = 0;  // 0: the load scenario's own default
+  int shards = 4;
   std::optional<std::string> fault_plan;
   bool watchdog = false;
   double duration_sec = 30.0;
@@ -102,6 +106,12 @@ void PrintUsage() {
       "                          \"f1,rate=0.01,sites=notify-lost+x-drop,seed=7\" or\n"
       "                          \"f1,fork@3\" (see docs/FAULTS.md for the grammar)\n"
       "  --watchdog              run the in-simulation watchdog daemon and print its reports\n"
+      "  --load-scenario <slug>  run the open-loop service world instead of a Cedar scenario:\n"
+      "                          steady | overload | admitted | brownout | no-admission\n"
+      "                          (see docs/WORLDS.md; honours --duration/--seed/--watchdog/\n"
+      "                          --fault-plan)\n"
+      "  --offered-load <n>      aggregate arrivals/sec for --load-scenario (default per slug)\n"
+      "  --shards <k>            shard count for --load-scenario (default 4)\n"
       "\nOptions also accept --flag=value.\n");
 }
 
@@ -116,19 +126,32 @@ std::optional<world::Scenario> ParseScenario(const std::string& slug) {
 
 bool ParseArgs(int argc, char** argv, Cli* cli) {
   // Accept both `--flag value` and `--flag=value` by splitting on the first '=' up front.
+  // `attached[i]` marks args[i] as the value half of a split, so a flag that takes no value
+  // can reject `--list=yes` with a usage error instead of tripping over a stray "yes" later.
   std::vector<std::string> args;
+  std::vector<bool> attached;
   for (int i = 1; i < argc; ++i) {
     std::string raw = argv[i];
     size_t eq;
     if (raw.rfind("--", 0) == 0 && (eq = raw.find('=')) != std::string::npos) {
       args.push_back(raw.substr(0, eq));
+      attached.push_back(false);
       args.push_back(raw.substr(eq + 1));
+      attached.push_back(true);
     } else {
       args.push_back(std::move(raw));
+      attached.push_back(false);
     }
   }
   for (size_t i = 0; i < args.size(); ++i) {
     std::string arg = args[i];
+    if (attached[i]) {
+      // Only a value-taking flag consumes the following split value via next(); reaching one
+      // at top of loop means the preceding flag was boolean.
+      std::fprintf(stderr, "pcrsim: %s does not take a value (got '%s')\n",
+                   args[i - 1].c_str(), arg.c_str());
+      return false;
+    }
     auto next = [&]() -> const char* {
       if (i + 1 >= args.size()) {
         std::fprintf(stderr, "pcrsim: %s needs a value\n", arg.c_str());
@@ -162,6 +185,12 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
       cli->dump_limit = static_cast<size_t>(std::atoll(next()));
     } else if (arg == "--scenario") {
       cli->scenario = next();
+    } else if (arg == "--load-scenario") {
+      cli->load_scenario = next();
+    } else if (arg == "--offered-load") {
+      cli->offered_load = std::atof(next());
+    } else if (arg == "--shards") {
+      cli->shards = std::atoi(next());
     } else if (arg == "--fault-plan") {
       cli->fault_plan = next();
     } else if (arg == "--watchdog") {
@@ -190,6 +219,117 @@ bool ParseArgs(int argc, char** argv, Cli* cli) {
     }
   }
   return true;
+}
+
+void PrintClassRow(const char* name, const world::ServiceClassStats& s) {
+  std::printf("  %-11s completed=%-7lld samples=%-7lld p50=%lldus p99=%lldus p999=%lldus "
+              "mean=%.0fus\n",
+              name, static_cast<long long>(s.completed), static_cast<long long>(s.count),
+              static_cast<long long>(s.p50), static_cast<long long>(s.p99),
+              static_cast<long long>(s.p999), s.mean);
+}
+
+// The --load-scenario path: one canned ServiceSpec per slug, run through RunServiceLoad with
+// the injector/watchdog wired the same way the Cedar scenarios get them.
+int RunLoadScenario(const Cli& cli, fault::Injector& injector) {
+  const std::string& slug = *cli.load_scenario;
+  world::ServiceSpec spec;
+  spec.shards = cli.shards;
+  spec.seed = cli.seed;
+  pcr::Usec duration = static_cast<pcr::Usec>(cli.duration_sec * pcr::kUsecPerSec);
+  double offered = cli.offered_load;
+  if (slug == "steady") {
+    spec.phases = {{.duration = duration, .offered_per_sec = offered > 0 ? offered : 1500}};
+  } else if (slug == "overload") {
+    // Past the knee with only backpressure: bounded queues, retries, drops.
+    spec.phases = {{.duration = duration, .offered_per_sec = offered > 0 ? offered : 6000}};
+  } else if (slug == "admitted") {
+    // Same overload with the admission controller holding the door.
+    spec.phases = {{.duration = duration, .offered_per_sec = offered > 0 ? offered : 6000}};
+    spec.admission = {.policy = paradigm::AdmissionPolicy::kBoth,
+                      .tokens_per_sec = 800,
+                      .burst = 64,
+                      .queue_limit = 48};
+  } else if (slug == "brownout") {
+    // Calm / surge / calm with a constant absolute interactive rate, shedding enabled.
+    double surge = offered > 0 ? offered : 9600;
+    spec.phases = {
+        {.duration = duration / 4, .offered_per_sec = 1200, .interactive_fraction = 0.25},
+        {.duration = duration / 2, .offered_per_sec = surge,
+         .interactive_fraction = 300.0 / surge},
+        {.duration = duration - duration / 4 - duration / 2, .offered_per_sec = 1200,
+         .interactive_fraction = 0.25}};
+    spec.brownout = true;
+    spec.queue_capacity = 96;
+    spec.brownout_high = 32;
+    spec.brownout_low = 8;
+  } else if (slug == "no-admission") {
+    // Unbounded queues under overload — the configuration the backlog watchdog exists
+    // to flag; pair with --watchdog to see it fire.
+    spec.phases = {{.duration = duration, .offered_per_sec = offered > 0 ? offered : 6000}};
+    spec.queue_capacity = 0;
+  } else {
+    std::fprintf(stderr,
+                 "pcrsim: unknown load scenario '%s' "
+                 "(steady, overload, admitted, brownout, no-admission)\n",
+                 slug.c_str());
+    return 2;
+  }
+  if (spec.shards < 1 || duration <= 0) {
+    std::fprintf(stderr, "pcrsim: --load-scenario needs --shards >= 1 and --duration > 0\n");
+    return 2;
+  }
+
+  std::unique_ptr<fault::Watchdog> watchdog;
+  world::ServiceRunOptions options;
+  bool want_watchdog = cli.watchdog;
+  options.setup = [&injector, &watchdog, want_watchdog](pcr::Runtime& rt,
+                                                        world::ServiceWorld& w) {
+    if (injector.plan().enabled()) {
+      injector.Reset();
+      rt.scheduler().set_fault_injector(&injector);
+    }
+    if (want_watchdog) {
+      fault::WatchdogOptions wd_options;
+      wd_options.on_report = [](const fault::WatchdogReport& r) {
+        std::printf("watchdog: [%s] t=%lldus %s\n",
+                    std::string(fault::ReportKindName(r.kind)).c_str(),
+                    static_cast<long long>(r.time), r.detail.c_str());
+      };
+      watchdog = std::make_unique<fault::Watchdog>(std::move(wd_options));
+      for (int s = 0; s < w.shards(); ++s) {
+        watchdog->WatchQueue("service.shard" + std::to_string(s) + ".queue",
+                             [&w, s] { return w.shard_depth(s); });
+      }
+      watchdog->Start(rt);
+    }
+  };
+
+  world::ServiceRunResult result = world::RunServiceLoad(spec, options);
+  const world::ServiceTotals& t = result.totals;
+  std::printf("load scenario %-12s shards=%d clients=%d seed=%llu paradigm=%s "
+              "ran_for=%lldms\n",
+              slug.c_str(), spec.shards, spec.clients,
+              static_cast<unsigned long long>(spec.seed),
+              std::string(world::ServiceParadigmName(spec.paradigm)).c_str(),
+              static_cast<long long>(result.ran_for / pcr::kUsecPerMsec));
+  PrintClassRow("interactive", result.interactive);
+  PrintClassRow("bulk", result.bulk);
+  std::printf("  arrivals=%lld admitted=%lld rejected_admission=%lld rejected_full=%lld\n"
+              "  retries=%lld drops=%lld (interactive %lld) shed=%lld brownouts=%lld "
+              "max_depth=%zu\n"
+              "  trace_hash=%016llx\n",
+              static_cast<long long>(t.arrivals), static_cast<long long>(t.admitted),
+              static_cast<long long>(t.rejected_admission),
+              static_cast<long long>(t.rejected_full), static_cast<long long>(t.retries),
+              static_cast<long long>(t.drops), static_cast<long long>(t.drops_interactive),
+              static_cast<long long>(t.shed), static_cast<long long>(t.brownouts), t.max_depth,
+              static_cast<unsigned long long>(result.trace_hash));
+  if (injector.plan().enabled()) {
+    std::printf("fault plan \"%s\": %zu firing(s)\n", injector.plan().Encode().c_str(),
+                injector.fired().size());
+  }
+  return 0;
 }
 
 void PrintSummaryRow(const world::ScenarioResult& r) {
@@ -231,6 +371,14 @@ int main(int argc, char** argv) {
   if (cli.fault_plan.has_value()) {
     try {
       injector.set_plan(fault::Plan::Decode(*cli.fault_plan));
+    } catch (const pcr::UsageError& e) {
+      std::fprintf(stderr, "pcrsim: %s\n", e.what());
+      return 2;
+    }
+  }
+  if (cli.load_scenario.has_value()) {
+    try {
+      return RunLoadScenario(cli, injector);
     } catch (const pcr::UsageError& e) {
       std::fprintf(stderr, "pcrsim: %s\n", e.what());
       return 2;
